@@ -1,0 +1,45 @@
+//! Criterion system-level benchmark: one training epoch per system on the
+//! same workload. Wall time here measures the *implementation's* speed
+//! (sampling + kernels + PS data path); the simulated cluster times come
+//! from the `repro` harness instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetkg_kgraph::generator::SyntheticKg;
+use hetkg_kgraph::split::Split;
+use hetkg_train::{train, SystemKind, TrainConfig};
+use std::hint::black_box;
+
+fn bench_epoch(c: &mut Criterion) {
+    let kg = SyntheticKg {
+        num_entities: 2_000,
+        num_relations: 40,
+        num_triples: 10_000,
+        ..Default::default()
+    }
+    .build(7);
+    let split = Split::ninety_five_five(&kg, 7);
+
+    let mut group = c.benchmark_group("train_epoch");
+    group.sample_size(10);
+    for system in [
+        SystemKind::DglKe,
+        SystemKind::HetKgCps,
+        SystemKind::HetKgDps,
+        SystemKind::Pbg,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(system), |b| {
+            b.iter(|| {
+                let mut cfg = TrainConfig::small(system);
+                cfg.epochs = 1;
+                cfg.dim = 32;
+                cfg.machines = 2;
+                cfg.eval_candidates = None;
+                black_box(train(&kg, &split.train, &[], &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

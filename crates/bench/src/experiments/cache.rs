@@ -1,0 +1,377 @@
+//! The cache studies: Fig. 8 (capacity / staleness / entity-ratio sweeps),
+//! Fig. 9 (consistency matters), Table VI (policy comparison), Table VII
+//! (heterogeneity ablation).
+
+use super::ExpCtx;
+use crate::record::ExperimentRecord;
+use crate::render::{mb, pct, secs};
+use crate::workloads::{Dataset, Workload};
+use hetkg_core::baselines::{
+    replay, FifoCache, ImportanceCache, LfuCache, LruCache, ReplacementCache,
+};
+use hetkg_core::filter::{filter_hot_set, FilterConfig};
+use hetkg_core::metrics::CacheStats;
+use hetkg_core::prefetch::Prefetcher;
+use hetkg_embed::negative::{NegConfig, NegativeSampler};
+use hetkg_kgraph::ParamKey;
+use hetkg_train::config::CacheConfig;
+use hetkg_train::{train, SystemKind, TrainConfig};
+
+fn hetkg_run(w: &Workload, cache: CacheConfig, epochs: usize, ctx: ExpCtx) -> hetkg_train::TrainReport {
+    let mut cfg = TrainConfig::small(SystemKind::HetKgDps);
+    cfg.machines = 4;
+    cfg.dim = 64;
+    cfg.epochs = epochs;
+    cfg.cache = cache;
+    cfg.seed = ctx.seed;
+    cfg.eval_candidates = Some(200);
+    train(&w.kg, &w.split.train, &w.eval_set, &cfg)
+}
+
+/// Fig. 8a: cache-size sweep — hit ratio rises with capacity, MRR stays
+/// flat.
+pub fn fig8a(ctx: ExpCtx) -> ExperimentRecord {
+    let w = Workload::new(Dataset::Freebase86m, ctx.full, ctx.seed);
+    let epochs = ctx.epochs(4);
+    let mut rows = Vec::new();
+    for frac in [0.005, 0.01, 0.02, 0.04, 0.08, 0.16] {
+        let report = hetkg_run(
+            &w,
+            CacheConfig { capacity_fraction: frac, ..Default::default() },
+            epochs,
+            ctx,
+        );
+        rows.push(vec![
+            pct(frac),
+            pct(report.total_cache().hit_ratio()),
+            mb(report.total_traffic().total_bytes()),
+            format!("{:.3}", report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())),
+        ]);
+    }
+    ExperimentRecord {
+        id: "fig8a".into(),
+        title: "Impact of cache size".into(),
+        params: format!("{} | HET-KG-D, {epochs} epochs", w.describe()),
+        columns: ["capacity", "hit ratio", "MB moved", "MRR"].map(String::from).to_vec(),
+        rows,
+        shape_expectation: "hit ratio increases monotonically with capacity while \
+                            MRR stays roughly flat (paper Fig. 8a)"
+            .into(),
+    }
+}
+
+/// Fig. 8b: staleness sweep — hit ratio improves, MRR degrades past P≈8.
+pub fn fig8b(ctx: ExpCtx) -> ExperimentRecord {
+    let w = Workload::new(Dataset::Freebase86m, ctx.full, ctx.seed);
+    let epochs = ctx.epochs(4);
+    let mut rows = Vec::new();
+    for p in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let report = hetkg_run(
+            &w,
+            CacheConfig { staleness: p, ..Default::default() },
+            epochs,
+            ctx,
+        );
+        rows.push(vec![
+            p.to_string(),
+            pct(report.total_cache().hit_ratio()),
+            mb(report.total_traffic().total_bytes()),
+            format!("{:.3}", report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())),
+        ]);
+    }
+    ExperimentRecord {
+        id: "fig8b".into(),
+        title: "Impact of bounded staleness P".into(),
+        params: format!("{} | HET-KG-D, {epochs} epochs", w.describe()),
+        columns: ["P", "hit ratio", "MB moved", "MRR"].map(String::from).to_vec(),
+        rows,
+        shape_expectation: "traffic falls as P grows (fewer syncs); MRR holds for \
+                            small P and degrades for large P (paper Fig. 8b: stable \
+                            up to P≈8)"
+            .into(),
+    }
+}
+
+/// Fig. 8c: entity-ratio sweep — hit ratio peaks at a small entity share.
+///
+/// Uses the paper's Freebase batch shape (b=512, many shared negatives):
+/// large batches make the hot relations present in every batch while the
+/// uniform negatives keep individual entities rarely repeated — the regime
+/// where relation slots out-earn entity slots until most of the budget.
+pub fn fig8c(ctx: ExpCtx) -> ExperimentRecord {
+    let w = Workload::new(Dataset::Freebase86m, ctx.full, ctx.seed);
+    let epochs = ctx.epochs(3);
+    let mut rows = Vec::new();
+    for ratio in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let mut cfg = TrainConfig::small(SystemKind::HetKgDps);
+        cfg.machines = 4;
+        cfg.dim = 64;
+        cfg.epochs = epochs;
+        cfg.cache = CacheConfig { entity_fraction: ratio, ..Default::default() };
+        cfg.seed = ctx.seed;
+        cfg.batch_size = 512;
+        cfg.negatives = NegConfig {
+            per_positive: 64,
+            strategy: hetkg_embed::negative::NegStrategy::Chunked { chunk_size: 32 },
+        };
+        let report = train(&w.kg, &w.split.train, &[], &cfg);
+        rows.push(vec![
+            pct(ratio),
+            pct(report.total_cache().hit_ratio()),
+            mb(report.total_traffic().total_bytes()),
+        ]);
+    }
+    ExperimentRecord {
+        id: "fig8c".into(),
+        title: "Impact of hot-embedding selection (entity ratio)".into(),
+        params: format!("{} | HET-KG-D, {epochs} epochs", w.describe()),
+        columns: ["entity ratio", "hit ratio", "MB moved"].map(String::from).to_vec(),
+        rows,
+        shape_expectation: "hit ratio rises then falls with the entity ratio, \
+                            peaking at a small ratio (paper Fig. 8c: 25%) because \
+                            relations are denser per key"
+            .into(),
+    }
+}
+
+/// Fig. 9: epoch-MRR training curves for tight vs loose consistency.
+pub fn fig9(ctx: ExpCtx) -> ExperimentRecord {
+    let w = Workload::new(Dataset::Freebase86m, ctx.full, ctx.seed);
+    let epochs = ctx.epochs(6);
+    let mut rows = Vec::new();
+    for p in [1usize, 128] {
+        let report = hetkg_run(
+            &w,
+            CacheConfig { staleness: p, ..Default::default() },
+            epochs,
+            ctx,
+        );
+        for e in &report.epochs {
+            if let Some(mrr) = e.mrr {
+                rows.push(vec![
+                    format!("P={p}"),
+                    e.epoch.to_string(),
+                    format!("{mrr:.3}"),
+                ]);
+            }
+        }
+    }
+    ExperimentRecord {
+        id: "fig9".into(),
+        title: "Impact of the synchronization threshold on convergence".into(),
+        params: format!("{} | HET-KG-D, {epochs} epochs", w.describe()),
+        columns: ["staleness", "epoch", "MRR"].map(String::from).to_vec(),
+        rows,
+        shape_expectation: "the P=1 curve dominates the P=128 curve: relaxing \
+                            consistency hurts convergence (paper Fig. 9: 0.67 vs \
+                            0.59 final MRR)"
+            .into(),
+    }
+}
+
+/// Bounded-staleness divergence study (empirical §IV-C): how far do cached
+/// rows drift from their global replicas as the sync period `P` grows?
+pub fn divergence(ctx: ExpCtx) -> ExperimentRecord {
+    let w = Workload::new(Dataset::Fb15k, ctx.full, ctx.seed);
+    let epochs = ctx.epochs(4);
+    let mut rows = Vec::new();
+    for p in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let report = hetkg_run(
+            &w,
+            CacheConfig { staleness: p, ..Default::default() },
+            epochs,
+            ctx,
+        );
+        // Mean per-key divergence at sync time, averaged over post-warmup
+        // epochs (max-statistics would bias toward small P, which syncs —
+        // and therefore samples — far more often).
+        let post_warmup: Vec<f64> =
+            report.epochs.iter().skip(1).map(|e| e.mean_divergence).collect();
+        let steady = if post_warmup.is_empty() {
+            0.0
+        } else {
+            post_warmup.iter().sum::<f64>() / post_warmup.len() as f64
+        };
+        rows.push(vec![
+            p.to_string(),
+            format!("{:.4}", steady),
+            format!("{:.3}", report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())),
+        ]);
+    }
+    ExperimentRecord {
+        id: "divergence".into(),
+        title: "Cache-vs-global divergence under bounded staleness".into(),
+        params: format!("{} | HET-KG-D, {epochs} epochs", w.describe()),
+        columns: ["P", "mean L2 divergence at sync", "MRR"].map(String::from).to_vec(),
+        rows,
+        shape_expectation: "divergence at sync time grows with the staleness bound P \
+                            and stays bounded for fixed P — the empirical form of \
+                            §IV-C's bounded-staleness assumption"
+            .into(),
+    }
+}
+
+/// The static "importance cache" baseline's scores: rank by *node degree* —
+/// the strategy HET uses for general embedding tables. Degree is an entity
+/// notion: the baseline has no special treatment for relation embeddings,
+/// which is exactly the node-heterogeneity blindness HET-KG fixes (§IV-B
+/// discussion of HET vs HET-KG).
+fn degree_scores(w: &Workload) -> Vec<(ParamKey, u64)> {
+    w.kg.entity_degrees()
+        .iter()
+        .enumerate()
+        .map(|(e, d)| (ParamKey(e as u64), *d))
+        .collect()
+}
+
+/// Replay HET-KG's DPS selection over a trace: every `window` batches the
+/// hot set is rebuilt from that window's accesses (exactly what prefetch
+/// does in the live system), then accesses replay against it.
+fn hetkg_replay(
+    trace_batches: &[Vec<ParamKey>],
+    capacity: usize,
+    ks: hetkg_kgraph::KeySpace,
+    window: usize,
+) -> CacheStats {
+    let mut stats = CacheStats::new();
+    for chunk in trace_batches.chunks(window) {
+        let window_accesses: Vec<ParamKey> = chunk.iter().flatten().copied().collect();
+        let hot = filter_hot_set(&window_accesses, ks, &FilterConfig::paper_default(capacity));
+        let mut cache = ImportanceCache::from_keys(capacity, hot.keys());
+        for batch in chunk {
+            for &k in batch {
+                stats.record(cache.access(k));
+            }
+        }
+    }
+    stats
+}
+
+/// Table VI: hit-ratio comparison — FIFO, LRU, LFU, importance, HET-KG.
+pub fn table6(ctx: ExpCtx) -> ExperimentRecord {
+    let mut rows = Vec::new();
+    for dataset in Dataset::all() {
+        let w = Workload::new(dataset, ctx.full, ctx.seed);
+        let ks = w.kg.key_space();
+        let capacity = (ks.len() / 20).max(8); // 5% of keys
+        let batches = if ctx.quick { 50 } else { 300 };
+        // Per-batch traces so HET-KG's windowed reconstruction is faithful.
+        let mut sampler = Prefetcher::new(64, ks, ctx.seed);
+        let mut negatives =
+            NegativeSampler::new(w.kg.num_entities(), NegConfig::default(), ctx.seed);
+        let pf = sampler.prefetch(&w.split.train, &mut negatives, batches);
+        let trace_batches: Vec<Vec<ParamKey>> =
+            pf.batches.iter().map(|b| b.unique_keys(ks)).collect();
+        let flat: Vec<ParamKey> = trace_batches.iter().flatten().copied().collect();
+        let scores = degree_scores(&w);
+
+        let fifo = replay(&mut FifoCache::new(capacity), &flat).hit_ratio();
+        let lru = replay(&mut LruCache::new(capacity), &flat).hit_ratio();
+        let lfu = replay(&mut LfuCache::new(capacity), &flat).hit_ratio();
+        let imp =
+            replay(&mut ImportanceCache::from_scores(capacity, &scores), &flat).hit_ratio();
+        let het = hetkg_replay(&trace_batches, capacity, ks, 16).hit_ratio();
+        rows.push(vec![
+            dataset.name().to_string(),
+            pct(fifo),
+            pct(lru),
+            pct(lfu),
+            pct(imp),
+            pct(het),
+        ]);
+    }
+    ExperimentRecord {
+        id: "table6".into(),
+        title: "Cache hit ratio vs simple caching techniques".into(),
+        params: "capacity = 5% of keys; trace = sampled training accesses".into(),
+        columns: ["dataset", "FIFO", "LRU", "LFU", "importance", "HET-KG"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        shape_expectation: "FIFO < LRU < importance < HET-KG on every dataset \
+                            (paper Table VI; e.g. Freebase-86m 6.6/8.6/34.3/43.1%)"
+            .into(),
+    }
+}
+
+/// Table VII: heterogeneity ablation — HET-KG vs HET-KG-N (no 25/75 split).
+pub fn table7(ctx: ExpCtx) -> ExperimentRecord {
+    let epochs = ctx.epochs(6);
+    let mut rows = Vec::new();
+    for dataset in [Dataset::Fb15k, Dataset::Wn18] {
+        let w = Workload::new(dataset, ctx.full, ctx.seed);
+        for (label, aware) in [("HET-KG", true), ("HET-KG-N", false)] {
+            let report = hetkg_run(
+                &w,
+                CacheConfig { heterogeneity_aware: aware, ..Default::default() },
+                epochs,
+                ctx,
+            );
+            let m = report.final_metrics.as_ref().expect("eval enabled");
+            rows.push(vec![
+                dataset.name().to_string(),
+                label.to_string(),
+                format!("{:.3}", m.mrr()),
+                format!("{:.3}", m.hits(1)),
+                format!("{:.3}", m.hits(10)),
+                secs(report.total_secs()),
+                pct(report.total_cache().hit_ratio()),
+            ]);
+        }
+    }
+    ExperimentRecord {
+        id: "table7".into(),
+        title: "Node-heterogeneity optimization ablation".into(),
+        params: format!("HET-KG-D, {epochs} epochs, d=32, 4 machines"),
+        columns: ["dataset", "system", "MRR", "Hits@1", "Hits@10", "time", "hit ratio"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        shape_expectation: "HET-KG-N (no entity/relation split) can be slightly \
+                            faster but loses accuracy relative to HET-KG \
+                            (paper Table VII)"
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpCtx {
+        ExpCtx { quick: true, ..Default::default() }
+    }
+
+    #[test]
+    fn fig8a_hit_ratio_rises_with_capacity() {
+        let r = fig8a(quick());
+        let first: f64 = r.rows[0][1].trim_end_matches('%').parse().unwrap();
+        let last: f64 = r.rows.last().unwrap()[1].trim_end_matches('%').parse().unwrap();
+        assert!(last > first, "hit ratio must rise with capacity: {first} -> {last}");
+    }
+
+    #[test]
+    fn table6_hetkg_beats_simple_caches() {
+        let r = table6(quick());
+        for row in &r.rows {
+            let v = |i: usize| row[i].trim_end_matches('%').parse::<f64>().unwrap();
+            let (fifo, lru, imp, het) = (v(1), v(2), v(4), v(5));
+            assert!(fifo <= lru + 1.0, "{row:?}");
+            assert!(het > imp - 1.0, "HET-KG must be at least importance-level: {row:?}");
+            assert!(het > fifo, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn hetkg_replay_with_full_capacity_hits_everything_after_construction() {
+        let w = Workload::new(Dataset::Wn18, false, 1);
+        let ks = w.kg.key_space();
+        let mut sampler = Prefetcher::new(16, ks, 1);
+        let mut negatives = NegativeSampler::new(w.kg.num_entities(), NegConfig::default(), 1);
+        let pf = sampler.prefetch(&w.split.train, &mut negatives, 10);
+        let batches: Vec<Vec<ParamKey>> =
+            pf.batches.iter().map(|b| b.unique_keys(ks)).collect();
+        let stats = hetkg_replay(&batches, ks.len(), ks, 10);
+        assert_eq!(stats.misses, 0, "full-capacity prefetch-built cache never misses");
+    }
+}

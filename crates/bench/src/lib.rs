@@ -1,0 +1,12 @@
+//! Experiment harness for the HET-KG reproduction.
+//!
+//! The `repro` binary (see `src/bin/repro.rs`) has one subcommand per table
+//! and figure in the paper's evaluation section; this library holds the
+//! shared experiment plumbing: dataset presets sized for the harness,
+//! experiment records serialized as JSON for EXPERIMENTS.md, and text-table
+//! rendering.
+
+pub mod experiments;
+pub mod record;
+pub mod render;
+pub mod workloads;

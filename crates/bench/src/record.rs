@@ -1,0 +1,86 @@
+//! Machine-readable experiment records.
+//!
+//! Every `repro` subcommand appends a JSON record to
+//! `experiments/<id>.json`, which is what EXPERIMENTS.md's paper-vs-measured
+//! tables are built from.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One experiment's output: the rendered table plus raw rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (e.g. "table3", "fig8b").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Free-form parameter description.
+    pub params: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified cells, aligned with `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Notes on how to compare against the paper.
+    pub shape_expectation: String,
+}
+
+impl ExperimentRecord {
+    /// Where records are written, relative to the workspace root.
+    pub fn dir() -> PathBuf {
+        // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+        let manifest = std::env::var("CARGO_MANIFEST_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("."));
+        manifest
+            .parent()
+            .and_then(Path::parent)
+            .map(|root| root.join("experiments"))
+            .unwrap_or_else(|| PathBuf::from("experiments"))
+    }
+
+    /// Write this record as `experiments/<id>.json`.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = Self::dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).expect("record serializes");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = ExperimentRecord {
+            id: "test-rec".into(),
+            title: "t".into(),
+            params: "p".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+            shape_expectation: "s".into(),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "test-rec");
+        assert_eq!(back.rows[0][1], "2");
+    }
+
+    #[test]
+    fn save_writes_a_file() {
+        let r = ExperimentRecord {
+            id: "unit-test-scratch".into(),
+            title: "t".into(),
+            params: String::new(),
+            columns: vec![],
+            rows: vec![],
+            shape_expectation: String::new(),
+        };
+        let path = r.save().unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,371 @@
+//! Baseline caching policies for the Table VI comparison.
+//!
+//! HET-KG's prefetch+filter selection is compared against the standard
+//! replacement policies (FIFO, LRU, LFU) and a static *importance cache*
+//! (top-k by graph degree, the strategy HET uses). These are identifier
+//! caches: Table VI only measures *hit ratio* over an access trace, so no
+//! rows are stored.
+
+use crate::metrics::CacheStats;
+use hetkg_kgraph::ParamKey;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// A cache policy driven one access at a time.
+pub trait ReplacementCache {
+    /// Record an access; returns `true` on hit. Misses insert the key
+    /// (evicting per policy when full).
+    fn access(&mut self, key: ParamKey) -> bool;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Current resident keys.
+    fn len(&self) -> usize;
+
+    /// Whether nothing is resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity in keys.
+    fn capacity(&self) -> usize;
+}
+
+/// Replay a trace through a cache and collect hit/miss counts.
+pub fn replay<C: ReplacementCache + ?Sized>(cache: &mut C, trace: &[ParamKey]) -> CacheStats {
+    let mut stats = CacheStats::new();
+    for &k in trace {
+        stats.record(cache.access(k));
+    }
+    stats
+}
+
+/// First-in first-out eviction.
+#[derive(Debug)]
+pub struct FifoCache {
+    capacity: usize,
+    resident: HashSet<ParamKey>,
+    order: VecDeque<ParamKey>,
+}
+
+impl FifoCache {
+    /// FIFO cache holding up to `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            resident: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+        }
+    }
+}
+
+impl ReplacementCache for FifoCache {
+    fn access(&mut self, key: ParamKey) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.resident.contains(&key) {
+            return true;
+        }
+        if self.resident.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.resident.remove(&old);
+            }
+        }
+        self.resident.insert(key);
+        self.order.push_back(key);
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Least-recently-used eviction (lazy-heap implementation: stale heap
+/// entries are skipped at eviction time, giving amortized O(log n)).
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    clock: u64,
+    /// key → last-use stamp; presence = residency.
+    stamps: HashMap<ParamKey, u64>,
+    /// min-heap by stamp via `Reverse`; entries may be stale.
+    heap: BinaryHeap<std::cmp::Reverse<(u64, ParamKey)>>,
+}
+
+impl LruCache {
+    /// LRU cache holding up to `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            clock: 0,
+            stamps: HashMap::with_capacity(capacity),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn evict_one(&mut self) {
+        while let Some(std::cmp::Reverse((stamp, key))) = self.heap.pop() {
+            if self.stamps.get(&key) == Some(&stamp) {
+                self.stamps.remove(&key);
+                return;
+            }
+            // stale entry: the key was touched again or already evicted
+        }
+    }
+}
+
+impl ReplacementCache for LruCache {
+    fn access(&mut self, key: ParamKey) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.clock += 1;
+        let hit = self.stamps.contains_key(&key);
+        if !hit && self.stamps.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.stamps.insert(key, self.clock);
+        self.heap.push(std::cmp::Reverse((self.clock, key)));
+        hit
+    }
+
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Least-frequently-used eviction (frequency counts survive re-insertion
+/// while resident; lazy heap like [`LruCache`], ties broken by recency).
+#[derive(Debug)]
+pub struct LfuCache {
+    capacity: usize,
+    clock: u64,
+    /// key → (count, last stamp); presence = residency.
+    entries: HashMap<ParamKey, (u64, u64)>,
+    /// min-heap by (count, stamp); entries may be stale.
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64, ParamKey)>>,
+}
+
+impl LfuCache {
+    /// LFU cache holding up to `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            clock: 0,
+            entries: HashMap::with_capacity(capacity),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn evict_one(&mut self) {
+        while let Some(std::cmp::Reverse((count, stamp, key))) = self.heap.pop() {
+            if self.entries.get(&key) == Some(&(count, stamp)) {
+                self.entries.remove(&key);
+                return;
+            }
+        }
+    }
+}
+
+impl ReplacementCache for LfuCache {
+    fn access(&mut self, key: ParamKey) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.clock += 1;
+        if let Some(&(count, _)) = self.entries.get(&key) {
+            let entry = (count + 1, self.clock);
+            self.entries.insert(key, entry);
+            self.heap.push(std::cmp::Reverse((entry.0, entry.1, key)));
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.entries.insert(key, (1, self.clock));
+        self.heap.push(std::cmp::Reverse((1, self.clock, key)));
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "LFU"
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Static importance cache: the top-`capacity` keys by an importance score
+/// fixed up front (graph degree in the Table VI experiment). Never evicts.
+#[derive(Debug)]
+pub struct ImportanceCache {
+    capacity: usize,
+    resident: HashSet<ParamKey>,
+}
+
+impl ImportanceCache {
+    /// Keep the `capacity` highest-scoring keys from `(key, score)` pairs.
+    /// Ties break toward lower key ids (deterministic).
+    pub fn from_scores(capacity: usize, scores: &[(ParamKey, u64)]) -> Self {
+        let mut ranked: Vec<(ParamKey, u64)> = scores.to_vec();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(capacity);
+        Self { capacity, resident: ranked.into_iter().map(|(k, _)| k).collect() }
+    }
+
+    /// Keep an explicit key set (e.g. HET-KG's filtered hot set) — this is
+    /// how the Table VI harness measures HET-KG's own selection as a cache.
+    pub fn from_keys(capacity: usize, keys: impl IntoIterator<Item = ParamKey>) -> Self {
+        let resident: HashSet<ParamKey> = keys.into_iter().take(capacity).collect();
+        Self { capacity, resident }
+    }
+}
+
+impl ReplacementCache for ImportanceCache {
+    fn access(&mut self, key: ParamKey) -> bool {
+        self.resident.contains(&key)
+    }
+
+    fn name(&self) -> &'static str {
+        "importance"
+    }
+
+    fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(ids: &[u64]) -> Vec<ParamKey> {
+        ids.iter().map(|&i| ParamKey(i)).collect()
+    }
+
+    #[test]
+    fn fifo_evicts_insertion_order() {
+        let mut c = FifoCache::new(2);
+        assert!(!c.access(ParamKey(1)));
+        assert!(!c.access(ParamKey(2)));
+        assert!(!c.access(ParamKey(3))); // evicts 1
+        assert!(!c.access(ParamKey(1))); // 1 gone
+        assert!(c.access(ParamKey(3)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = LruCache::new(2);
+        c.access(ParamKey(1));
+        c.access(ParamKey(2));
+        assert!(c.access(ParamKey(1))); // 1 now most recent
+        c.access(ParamKey(3)); // evicts 2 (least recent)
+        assert!(c.access(ParamKey(1)));
+        assert!(!c.access(ParamKey(2)));
+    }
+
+    #[test]
+    fn lfu_keeps_frequently_used() {
+        let mut c = LfuCache::new(2);
+        c.access(ParamKey(1));
+        c.access(ParamKey(1));
+        c.access(ParamKey(1)); // count 3
+        c.access(ParamKey(2)); // count 1
+        c.access(ParamKey(3)); // evicts 2 (lowest count), not 1
+        assert!(c.access(ParamKey(3)), "3 was just inserted");
+        assert!(c.access(ParamKey(1)), "1 has the highest count");
+        assert!(!c.access(ParamKey(2)), "2 was the LFU victim");
+    }
+
+    #[test]
+    fn importance_is_static() {
+        let scores: Vec<(ParamKey, u64)> =
+            (0..10).map(|i| (ParamKey(i), 100 - i)).collect();
+        let mut c = ImportanceCache::from_scores(3, &scores);
+        assert!(c.access(ParamKey(0)));
+        assert!(c.access(ParamKey(2)));
+        assert!(!c.access(ParamKey(5)));
+        // Misses never insert.
+        assert!(!c.access(ParamKey(5)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        for cache in [&mut FifoCache::new(0) as &mut dyn ReplacementCache,
+                      &mut LruCache::new(0), &mut LfuCache::new(0)] {
+            assert!(!cache.access(ParamKey(1)));
+            assert!(!cache.access(ParamKey(1)));
+            assert_eq!(cache.len(), 0);
+        }
+    }
+
+    #[test]
+    fn replay_counts_hits() {
+        let mut c = FifoCache::new(8);
+        let trace = keys(&[1, 2, 1, 1, 3, 2]);
+        let stats = replay(&mut c, &trace);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn skewed_trace_ordering_matches_table6() {
+        // On a Zipf-like trace with a cache much smaller than the key
+        // universe, the paper's ordering holds: FIFO < LRU ≲ LFU <
+        // importance-style static top-k (which knows the whole trace).
+        use hetkg_kgraph::generator::ZipfSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let z = ZipfSampler::new(5_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let trace: Vec<ParamKey> =
+            (0..60_000).map(|_| ParamKey(z.sample(&mut rng) as u64)).collect();
+        let cap = 64;
+
+        let fifo = replay(&mut FifoCache::new(cap), &trace).hit_ratio();
+        let lru = replay(&mut LruCache::new(cap), &trace).hit_ratio();
+        let lfu = replay(&mut LfuCache::new(cap), &trace).hit_ratio();
+        // Oracle-ish static cache: top keys by true frequency.
+        let mut freq: HashMap<ParamKey, u64> = HashMap::new();
+        for &k in &trace {
+            *freq.entry(k).or_insert(0) += 1;
+        }
+        let scores: Vec<(ParamKey, u64)> = freq.into_iter().collect();
+        let imp =
+            replay(&mut ImportanceCache::from_scores(cap, &scores), &trace).hit_ratio();
+
+        assert!(fifo < lru, "fifo {fifo} < lru {lru}");
+        assert!(lru <= lfu + 0.02, "lru {lru} ≲ lfu {lfu}");
+        assert!(lfu <= imp, "lfu {lfu} <= importance {imp}");
+        assert!(imp > 0.3, "static top-k on Zipf(1) should hit often, got {imp}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Cache effectiveness accounting: hits, misses, hit ratio.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for one cache over one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses served from the cache.
+    pub hits: u64,
+    /// Accesses that had to go to the PS.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one access.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 for an untouched cache.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Combine counters (e.g. across workers).
+    pub fn merge(self, other: CacheStats) -> CacheStats {
+        CacheStats { hits: self.hits + other.hits, misses: self.misses + other.misses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basics() {
+        let mut s = CacheStats::new();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.record(true);
+        s.record(true);
+        s.record(false);
+        assert_eq!(s.total(), 3);
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let a = CacheStats { hits: 3, misses: 1 };
+        let b = CacheStats { hits: 1, misses: 5 };
+        let c = a.merge(b);
+        assert_eq!(c, CacheStats { hits: 4, misses: 6 });
+    }
+}

@@ -1,0 +1,153 @@
+//! The two hot-embedding table construction strategies (§IV-B).
+//!
+//! * **CPS — constant partial stale**: before training, the worker scans its
+//!   *entire subgraph*, counts every entity/relation occurrence, and fixes
+//!   the top-k as the hot set for the whole run. Cheap, but assumes each
+//!   mini-batch's access distribution matches the global one.
+//! * **DPS — dynamic partial stale**: every `D` iterations the worker
+//!   prefetches the next `D` mini-batches (Algorithm 1), filters the top-k
+//!   from *their* accesses (Algorithm 2), and rebuilds the table. Tracks
+//!   short-term access patterns, so the hit ratio is higher — at the cost of
+//!   the prefetch work (visible on small datasets, Table IV's discussion).
+
+use crate::filter::FilterConfig;
+use hetkg_kgraph::{KeySpace, ParamKey, Triple};
+use serde::{Deserialize, Serialize};
+
+/// Which construction strategy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Constant partial stale: fixed hot set, chosen before training.
+    Cps,
+    /// Dynamic partial stale: hot set rebuilt every `D` iterations.
+    Dps,
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PolicyKind::Cps => "CPS",
+            PolicyKind::Dps => "DPS",
+        })
+    }
+}
+
+/// Full cache policy: strategy, selection rules, and the prefetch depth `D`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachePolicy {
+    /// CPS or DPS.
+    pub kind: PolicyKind,
+    /// Top-k selection configuration (capacity, entity ratio).
+    pub filter: FilterConfig,
+    /// Prefetch depth `D` (iterations per DPS rebuild; ignored by CPS except
+    /// as the prefetch granularity for sampling).
+    pub prefetch_depth: usize,
+}
+
+impl CachePolicy {
+    /// CPS with the paper's default filter settings.
+    pub fn cps(capacity: usize) -> Self {
+        Self {
+            kind: PolicyKind::Cps,
+            filter: FilterConfig::paper_default(capacity),
+            prefetch_depth: 16,
+        }
+    }
+
+    /// DPS with the paper's default filter settings and depth `d`.
+    pub fn dps(capacity: usize, d: usize) -> Self {
+        assert!(d > 0, "prefetch depth must be positive");
+        Self {
+            kind: PolicyKind::Dps,
+            filter: FilterConfig::paper_default(capacity),
+            prefetch_depth: d,
+        }
+    }
+
+    /// Whether the table must be (re)constructed at `iteration`.
+    ///
+    /// CPS constructs once (iteration 0); DPS reconstructs every `D`.
+    pub fn needs_construction(&self, iteration: usize) -> bool {
+        match self.kind {
+            PolicyKind::Cps => iteration == 0,
+            PolicyKind::Dps => iteration.is_multiple_of(self.prefetch_depth),
+        }
+    }
+}
+
+/// CPS's access list: the whole subgraph, each triple touching its head,
+/// relation, and tail once (the "prefetch the entire subgraph and count the
+/// frequency of all entity and relation embeddings" step).
+pub fn subgraph_accesses(triples: &[Triple], ks: KeySpace) -> Vec<ParamKey> {
+    let mut acc = Vec::with_capacity(triples.len() * 3);
+    for t in triples {
+        acc.push(ks.entity_key(t.head));
+        acc.push(ks.relation_key(t.relation));
+        acc.push(ks.entity_key(t.tail));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::filter_hot_set;
+
+    #[test]
+    fn cps_constructs_only_at_zero() {
+        let p = CachePolicy::cps(10);
+        assert!(p.needs_construction(0));
+        assert!(!p.needs_construction(1));
+        assert!(!p.needs_construction(100));
+    }
+
+    #[test]
+    fn dps_constructs_every_d() {
+        let p = CachePolicy::dps(10, 3);
+        assert!(p.needs_construction(0));
+        assert!(!p.needs_construction(1));
+        assert!(!p.needs_construction(2));
+        assert!(p.needs_construction(3));
+        assert!(p.needs_construction(6));
+    }
+
+    #[test]
+    fn subgraph_accesses_touch_three_keys_per_triple() {
+        let ks = KeySpace::new(5, 2);
+        let triples = vec![Triple::new(0, 1, 2), Triple::new(0, 0, 3)];
+        let acc = subgraph_accesses(&triples, ks);
+        assert_eq!(acc.len(), 6);
+        // Entity 0 appears twice, relation keys at offset 5.
+        assert_eq!(acc.iter().filter(|&&k| k == ParamKey(0)).count(), 2);
+        assert!(acc.contains(&ParamKey(6))); // relation 1
+        assert!(acc.contains(&ParamKey(5))); // relation 0
+    }
+
+    #[test]
+    fn cps_hot_set_reflects_subgraph_frequencies() {
+        let ks = KeySpace::new(5, 2);
+        // Entity 0 in every triple; relation 0 hotter than 1.
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 0, 2),
+            Triple::new(0, 1, 3),
+        ];
+        let acc = subgraph_accesses(&triples, ks);
+        let hot = filter_hot_set(&acc, ks, &FilterConfig::naive(2));
+        // frequencies: e0=3, r0=2 — top-2.
+        assert_eq!(hot.entities, vec![ParamKey(0)]);
+        assert_eq!(hot.relations, vec![ParamKey(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefetch depth must be positive")]
+    fn dps_requires_positive_depth() {
+        let _ = CachePolicy::dps(10, 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PolicyKind::Cps.to_string(), "CPS");
+        assert_eq!(PolicyKind::Dps.to_string(), "DPS");
+    }
+}

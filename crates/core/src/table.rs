@@ -1,0 +1,335 @@
+//! The hot-embedding table: a worker-local cache of embedding rows.
+//!
+//! Entities and relations are stored in separate dense slabs (their row
+//! widths differ for models like TransR), with `key → slot` maps on top.
+//! Capacity is fixed at construction — the filter decides *which* keys get
+//! the slots; the table itself never evicts on access.
+//!
+//! Alongside each cached row the table keeps optimizer state so workers can
+//! apply gradients to cached rows locally between synchronizations (the
+//! "update the corresponding gradients to the involved hot-embeddings" step
+//! of Hot-Embedding Oriented Training).
+
+use hetkg_embed::storage::EmbeddingTable;
+use hetkg_kgraph::{KeySpace, ParamKey};
+use hetkg_ps::optimizer::Optimizer;
+use std::collections::HashMap;
+
+/// A fixed-capacity cache of embedding rows, split by kind.
+#[derive(Debug, Clone)]
+pub struct HotEmbeddingTable {
+    key_space: KeySpace,
+    entity_capacity: usize,
+    relation_capacity: usize,
+    entity_slots: HashMap<ParamKey, u32>,
+    relation_slots: HashMap<ParamKey, u32>,
+    entities: EmbeddingTable,
+    relations: EmbeddingTable,
+    entity_state: EmbeddingTable,
+    relation_state: EmbeddingTable,
+    state_width: usize,
+}
+
+impl HotEmbeddingTable {
+    /// An empty table with room for `entity_capacity` entity rows of width
+    /// `entity_dim` and `relation_capacity` relation rows of width
+    /// `relation_dim`. `state_width` floats of optimizer state are kept per
+    /// parameter coordinate.
+    pub fn new(
+        key_space: KeySpace,
+        entity_capacity: usize,
+        relation_capacity: usize,
+        entity_dim: usize,
+        relation_dim: usize,
+        state_width: usize,
+    ) -> Self {
+        assert!(entity_dim > 0 && relation_dim > 0);
+        Self {
+            key_space,
+            entity_capacity,
+            relation_capacity,
+            entity_slots: HashMap::with_capacity(entity_capacity),
+            relation_slots: HashMap::with_capacity(relation_capacity),
+            entities: EmbeddingTable::zeros(entity_capacity, entity_dim),
+            relations: EmbeddingTable::zeros(relation_capacity, relation_dim),
+            entity_state: EmbeddingTable::zeros(
+                entity_capacity,
+                (entity_dim * state_width).max(1),
+            ),
+            relation_state: EmbeddingTable::zeros(
+                relation_capacity,
+                (relation_dim * state_width).max(1),
+            ),
+            state_width,
+        }
+    }
+
+    /// Total capacity (entity + relation rows).
+    pub fn capacity(&self) -> usize {
+        self.entity_capacity + self.relation_capacity
+    }
+
+    /// Entity-row capacity.
+    pub fn entity_capacity(&self) -> usize {
+        self.entity_capacity
+    }
+
+    /// Relation-row capacity.
+    pub fn relation_capacity(&self) -> usize {
+        self.relation_capacity
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.entity_slots.len() + self.relation_slots.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is cached.
+    #[inline]
+    pub fn contains(&self, key: ParamKey) -> bool {
+        if self.key_space.is_entity(key) {
+            self.entity_slots.contains_key(&key)
+        } else {
+            self.relation_slots.contains_key(&key)
+        }
+    }
+
+    /// Cached row for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: ParamKey) -> Option<&[f32]> {
+        if self.key_space.is_entity(key) {
+            self.entity_slots.get(&key).map(|&s| self.entities.row(s as usize))
+        } else {
+            self.relation_slots.get(&key).map(|&s| self.relations.row(s as usize))
+        }
+    }
+
+    /// Insert (or overwrite) a key's row. Fails when the kind's slab is full
+    /// and the key is not already cached.
+    pub fn insert(&mut self, key: ParamKey, row: &[f32]) -> Result<(), CacheFull> {
+        let is_entity = self.key_space.is_entity(key);
+        let (slots, slab, capacity) = if is_entity {
+            (&mut self.entity_slots, &mut self.entities, self.entity_capacity)
+        } else {
+            (&mut self.relation_slots, &mut self.relations, self.relation_capacity)
+        };
+        if let Some(&slot) = slots.get(&key) {
+            slab.set_row(slot as usize, row);
+            // insert() means "fresh cache entry": optimizer state restarts
+            // too (refresh() is the value-only update).
+            let state =
+                if is_entity { &mut self.entity_state } else { &mut self.relation_state };
+            state.row_mut(slot as usize).fill(0.0);
+            return Ok(());
+        }
+        if slots.len() >= capacity {
+            return Err(CacheFull { key });
+        }
+        let slot = slots.len() as u32;
+        slots.insert(key, slot);
+        slab.set_row(slot as usize, row);
+        // Fresh rows start with fresh optimizer state.
+        let state = if is_entity { &mut self.entity_state } else { &mut self.relation_state };
+        state.row_mut(slot as usize).fill(0.0);
+        Ok(())
+    }
+
+    /// Overwrite a cached key's value (e.g. during synchronization).
+    /// Returns false when the key is not cached.
+    pub fn refresh(&mut self, key: ParamKey, row: &[f32]) -> bool {
+        let (slots, slab) = if self.key_space.is_entity(key) {
+            (&self.entity_slots, &mut self.entities)
+        } else {
+            (&self.relation_slots, &mut self.relations)
+        };
+        match slots.get(&key) {
+            Some(&slot) => {
+                slab.set_row(slot as usize, row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Apply a gradient to a cached row with `optimizer`, using the row's
+    /// local optimizer state. Returns false when the key is not cached.
+    pub fn apply_grad(
+        &mut self,
+        key: ParamKey,
+        grad: &[f32],
+        optimizer: &dyn Optimizer,
+    ) -> bool {
+        let is_entity = self.key_space.is_entity(key);
+        let (slots, slab, state) = if is_entity {
+            (&self.entity_slots, &mut self.entities, &mut self.entity_state)
+        } else {
+            (&self.relation_slots, &mut self.relations, &mut self.relation_state)
+        };
+        match slots.get(&key) {
+            Some(&slot) => {
+                let row = slab.row_mut(slot as usize);
+                let width = row.len() * self.state_width;
+                optimizer.update(row, &mut state.row_mut(slot as usize)[..width], grad);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every cached row (DPS reconstruction starts from empty).
+    pub fn clear(&mut self) {
+        self.entity_slots.clear();
+        self.relation_slots.clear();
+    }
+
+    /// All cached keys (entities then relations; order within a kind is
+    /// unspecified).
+    pub fn keys(&self) -> Vec<ParamKey> {
+        let mut keys: Vec<ParamKey> = self.entity_slots.keys().copied().collect();
+        keys.extend(self.relation_slots.keys().copied());
+        keys
+    }
+
+    /// Number of cached entity rows.
+    pub fn num_entities(&self) -> usize {
+        self.entity_slots.len()
+    }
+
+    /// Number of cached relation rows.
+    pub fn num_relations(&self) -> usize {
+        self.relation_slots.len()
+    }
+}
+
+/// Returned when inserting into a full slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheFull {
+    /// The key that could not be inserted.
+    pub key: ParamKey,
+}
+
+impl std::fmt::Display for CacheFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hot-embedding table is full; cannot insert {}", self.key)
+    }
+}
+
+impl std::error::Error for CacheFull {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetkg_ps::optimizer::{AdaGrad, Sgd};
+
+    fn table() -> HotEmbeddingTable {
+        // 10 entities, 5 relations; cache 3 entity rows + 2 relation rows.
+        HotEmbeddingTable::new(KeySpace::new(10, 5), 3, 2, 4, 4, 1)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = table();
+        t.insert(ParamKey(2), &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(t.contains(ParamKey(2)));
+        assert_eq!(t.get(ParamKey(2)).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.get(ParamKey(3)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn entity_and_relation_slabs_are_independent() {
+        let mut t = table();
+        // Fill entity slab (keys 0..10 are entities).
+        for k in 0..3u64 {
+            t.insert(ParamKey(k), &[k as f32; 4]).unwrap();
+        }
+        assert!(t.insert(ParamKey(3), &[9.0; 4]).is_err());
+        // Relation slab (keys 10..15) still has room.
+        t.insert(ParamKey(10), &[5.0; 4]).unwrap();
+        t.insert(ParamKey(11), &[6.0; 4]).unwrap();
+        assert!(t.insert(ParamKey(12), &[7.0; 4]).is_err());
+        assert_eq!(t.num_entities(), 3);
+        assert_eq!(t.num_relations(), 2);
+    }
+
+    #[test]
+    fn reinsert_overwrites_without_consuming_capacity() {
+        let mut t = table();
+        t.insert(ParamKey(1), &[1.0; 4]).unwrap();
+        t.insert(ParamKey(1), &[2.0; 4]).unwrap();
+        assert_eq!(t.get(ParamKey(1)).unwrap(), &[2.0; 4]);
+        assert_eq!(t.num_entities(), 1);
+    }
+
+    #[test]
+    fn refresh_only_touches_cached_keys() {
+        let mut t = table();
+        t.insert(ParamKey(1), &[1.0; 4]).unwrap();
+        assert!(t.refresh(ParamKey(1), &[3.0; 4]));
+        assert_eq!(t.get(ParamKey(1)).unwrap(), &[3.0; 4]);
+        assert!(!t.refresh(ParamKey(2), &[9.0; 4]));
+        assert!(!t.contains(ParamKey(2)));
+    }
+
+    #[test]
+    fn apply_grad_updates_cached_row_locally() {
+        let mut t = table();
+        t.insert(ParamKey(0), &[1.0; 4]).unwrap();
+        assert!(t.apply_grad(ParamKey(0), &[1.0; 4], &Sgd { lr: 0.5 }));
+        assert_eq!(t.get(ParamKey(0)).unwrap(), &[0.5; 4]);
+        assert!(!t.apply_grad(ParamKey(9), &[1.0; 4], &Sgd { lr: 0.5 }));
+    }
+
+    #[test]
+    fn adagrad_state_is_per_row_and_reset_on_insert() {
+        let mut t = table();
+        let opt = AdaGrad::new(0.1);
+        t.insert(ParamKey(0), &[0.0; 4]).unwrap();
+        t.apply_grad(ParamKey(0), &[1.0; 4], &opt);
+        let first = t.get(ParamKey(0)).unwrap()[0];
+        t.apply_grad(ParamKey(0), &[1.0; 4], &opt);
+        let second_step = t.get(ParamKey(0)).unwrap()[0] - first;
+        assert!(second_step.abs() < first.abs(), "state must accumulate");
+        // Re-inserting resets the state: next step is unit-scaled again.
+        t.insert(ParamKey(0), &[0.0; 4]).unwrap();
+        t.apply_grad(ParamKey(0), &[1.0; 4], &opt);
+        let fresh = t.get(ParamKey(0)).unwrap()[0];
+        assert!((fresh - first).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clear_empties_and_frees_capacity() {
+        let mut t = table();
+        for k in 0..3u64 {
+            t.insert(ParamKey(k), &[0.0; 4]).unwrap();
+        }
+        t.clear();
+        assert!(t.is_empty());
+        for k in 5..8u64 {
+            t.insert(ParamKey(k), &[0.0; 4]).unwrap();
+        }
+        assert_eq!(t.num_entities(), 3);
+    }
+
+    #[test]
+    fn keys_lists_everything() {
+        let mut t = table();
+        t.insert(ParamKey(1), &[0.0; 4]).unwrap();
+        t.insert(ParamKey(12), &[0.0; 4]).unwrap();
+        let mut keys = t.keys();
+        keys.sort();
+        assert_eq!(keys, vec![ParamKey(1), ParamKey(12)]);
+    }
+
+    #[test]
+    fn zero_capacity_table_rejects_everything() {
+        let mut t = HotEmbeddingTable::new(KeySpace::new(4, 2), 0, 0, 4, 4, 0);
+        assert!(t.insert(ParamKey(0), &[0.0; 4]).is_err());
+        assert_eq!(t.capacity(), 0);
+    }
+}

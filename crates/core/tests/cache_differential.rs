@@ -1,0 +1,173 @@
+//! Differential testing of the lazy-heap LRU/LFU caches against naive
+//! reference implementations, plus hot-table invariants under random
+//! workloads.
+
+use hetkg_core::baselines::{LfuCache, LruCache, ReplacementCache};
+use hetkg_core::table::HotEmbeddingTable;
+use hetkg_kgraph::{KeySpace, ParamKey};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Naive O(n)-eviction LRU: the obviously-correct reference.
+struct NaiveLru {
+    capacity: usize,
+    clock: u64,
+    stamps: HashMap<ParamKey, u64>,
+}
+
+impl NaiveLru {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, clock: 0, stamps: HashMap::new() }
+    }
+
+    fn access(&mut self, key: ParamKey) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.clock += 1;
+        let hit = self.stamps.contains_key(&key);
+        if !hit && self.stamps.len() >= self.capacity {
+            let victim = *self
+                .stamps
+                .iter()
+                .min_by_key(|(k, &stamp)| (stamp, k.0))
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            self.stamps.remove(&victim);
+        }
+        self.stamps.insert(key, self.clock);
+        hit
+    }
+}
+
+/// Naive O(n)-eviction LFU with recency tie-break: matches LfuCache's
+/// documented policy.
+struct NaiveLfu {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<ParamKey, (u64, u64)>,
+}
+
+impl NaiveLfu {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, clock: 0, entries: HashMap::new() }
+    }
+
+    fn access(&mut self, key: ParamKey) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.clock += 1;
+        if let Some(&(count, _)) = self.entries.get(&key) {
+            self.entries.insert(key, (count + 1, self.clock));
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(k, &(count, stamp))| (count, stamp, k.0))
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(key, (1, self.clock));
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lazy-heap LRU agrees with the naive reference on every access.
+    #[test]
+    fn lru_matches_reference(
+        trace in prop::collection::vec(0u64..30, 1..400),
+        capacity in 1usize..12,
+    ) {
+        let mut fast = LruCache::new(capacity);
+        let mut slow = NaiveLru::new(capacity);
+        for (i, &k) in trace.iter().enumerate() {
+            let key = ParamKey(k);
+            prop_assert_eq!(
+                fast.access(key),
+                slow.access(key),
+                "divergence at access {} (key {})", i, k
+            );
+        }
+        prop_assert_eq!(fast.len(), slow.stamps.len());
+    }
+
+    /// The lazy-heap LFU agrees with the naive reference on every access.
+    #[test]
+    fn lfu_matches_reference(
+        trace in prop::collection::vec(0u64..30, 1..400),
+        capacity in 1usize..12,
+    ) {
+        let mut fast = LfuCache::new(capacity);
+        let mut slow = NaiveLfu::new(capacity);
+        for (i, &k) in trace.iter().enumerate() {
+            let key = ParamKey(k);
+            prop_assert_eq!(
+                fast.access(key),
+                slow.access(key),
+                "divergence at access {} (key {})", i, k
+            );
+        }
+        prop_assert_eq!(fast.len(), slow.entries.len());
+    }
+
+    /// The hot-embedding table honours insert/refresh/get semantics under a
+    /// random operation sequence.
+    #[test]
+    fn hot_table_random_ops(
+        ops in prop::collection::vec((0u8..3, 0u64..20, -2.0f32..2.0), 1..200),
+    ) {
+        let ks = KeySpace::new(15, 5);
+        let mut table = HotEmbeddingTable::new(ks, 6, 3, 2, 2, 0);
+        // Model of what should be cached.
+        let mut model: HashMap<ParamKey, [f32; 2]> = HashMap::new();
+        for (op, kraw, v) in ops {
+            let key = ParamKey(kraw);
+            let row = [v, -v];
+            match op {
+                0 => {
+                    // insert: succeeds iff cached already or slab has room
+                    let is_entity = ks.is_entity(key);
+                    let kind_count = model
+                        .keys()
+                        .filter(|k| ks.is_entity(**k) == is_entity)
+                        .count();
+                    let cap = if is_entity { 6 } else { 3 };
+                    let expect_ok = model.contains_key(&key) || kind_count < cap;
+                    let got = table.insert(key, &row).is_ok();
+                    prop_assert_eq!(got, expect_ok);
+                    if got {
+                        model.insert(key, row);
+                    }
+                }
+                1 => {
+                    // refresh: only updates cached keys
+                    let expect = model.contains_key(&key);
+                    prop_assert_eq!(table.refresh(key, &row), expect);
+                    if expect {
+                        model.insert(key, row);
+                    }
+                }
+                _ => {
+                    // get matches the model
+                    match (table.get(key), model.get(&key)) {
+                        (Some(got), Some(want)) => prop_assert_eq!(got, &want[..]),
+                        (None, None) => {}
+                        (got, want) => {
+                            return Err(TestCaseError::fail(format!(
+                                "get({key}) = {got:?}, model = {want:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+    }
+}

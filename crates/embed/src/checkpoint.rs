@@ -1,0 +1,202 @@
+//! Embedding checkpointing: save and load dense tables.
+//!
+//! A checkpoint is two tables (entities, relations) in a simple versioned
+//! binary format — magic, version, shapes, then little-endian `f32` rows.
+//! Training runs use it to persist the final model; the evaluation tooling
+//! loads it back for offline link prediction.
+
+use crate::storage::EmbeddingTable;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"HETKGCK\0";
+const VERSION: u32 = 1;
+
+/// Errors from reading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a checkpoint file (bad magic).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Header shape disagrees with payload length.
+    Truncated,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a HET-KG checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A pair of embedding tables (the model parameters) with serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Entity rows, indexed by entity id.
+    pub entities: EmbeddingTable,
+    /// Relation rows, indexed by relation id.
+    pub relations: EmbeddingTable,
+}
+
+impl Checkpoint {
+    /// Wrap two tables.
+    pub fn new(entities: EmbeddingTable, relations: EmbeddingTable) -> Self {
+        Self { entities, relations }
+    }
+
+    /// Serialize to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let payload = 4 * (self.entities.as_slice().len() + self.relations.as_slice().len());
+        let mut buf = BytesMut::with_capacity(8 + 4 + 4 * 4 + payload);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(self.entities.rows() as u64);
+        buf.put_u32_le(self.entities.dim() as u32);
+        buf.put_u64_le(self.relations.rows() as u64);
+        buf.put_u32_le(self.relations.dim() as u32);
+        for &v in self.entities.as_slice() {
+            buf.put_f32_le(v);
+        }
+        for &v in self.relations.as_slice() {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from bytes.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, CheckpointError> {
+        if data.remaining() < 8 + 4 || &data.copy_to_bytes(8)[..] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        if data.remaining() < 2 * (8 + 4) {
+            return Err(CheckpointError::Truncated);
+        }
+        let ent_rows = data.get_u64_le() as usize;
+        let ent_dim = data.get_u32_le() as usize;
+        let rel_rows = data.get_u64_le() as usize;
+        let rel_dim = data.get_u32_le() as usize;
+        let need = 4 * (ent_rows * ent_dim + rel_rows * rel_dim);
+        if data.remaining() < need || ent_dim == 0 || rel_dim == 0 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut read_table = |rows: usize, dim: usize| {
+            let mut values = Vec::with_capacity(rows * dim);
+            for _ in 0..rows * dim {
+                values.push(data.get_f32_le());
+            }
+            EmbeddingTable::from_data(dim, values)
+        };
+        let entities = read_table(ent_rows, ent_dim);
+        let relations = read_table(rel_rows, rel_dim);
+        Ok(Self { entities, relations })
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        file.write_all(&self.to_bytes())?;
+        file.flush()?;
+        Ok(())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let mut data = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut data)?;
+        Self::from_bytes(Bytes::from(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+
+    fn sample() -> Checkpoint {
+        let mut entities = EmbeddingTable::zeros(7, 5);
+        let mut relations = EmbeddingTable::zeros(3, 11);
+        Init::Xavier.fill(&mut entities, 1);
+        Init::Uniform { bound: 0.3 }.fill(&mut relations, 2);
+        Checkpoint::new(entities, relations)
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let ck = sample();
+        let back = Checkpoint::from_bytes(ck.to_bytes()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ck = sample();
+        let path = std::env::temp_dir().join(format!("hetkg-ck-{}.bin", std::process::id()));
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn different_row_widths_survive() {
+        // TransR-style: relations much wider than entities.
+        let entities = EmbeddingTable::from_data(4, vec![1.0; 8]);
+        let relations = EmbeddingTable::from_data(20, vec![2.0; 40]);
+        let ck = Checkpoint::new(entities, relations);
+        let back = Checkpoint::from_bytes(ck.to_bytes()).unwrap();
+        assert_eq!(back.entities.dim(), 4);
+        assert_eq!(back.relations.dim(), 20);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = Checkpoint::from_bytes(Bytes::from_static(b"NOTACKPT....")).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let cut = bytes.slice(..bytes.len() - 10);
+        let err = Checkpoint::from_bytes(cut).unwrap_err();
+        assert!(matches!(err, CheckpointError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let ck = sample();
+        let mut raw = ck.to_bytes().to_vec();
+        raw[8] = 99; // version LE byte 0
+        let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadVersion(_)));
+    }
+
+    #[test]
+    fn empty_tables_round_trip() {
+        let ck = Checkpoint::new(EmbeddingTable::zeros(0, 3), EmbeddingTable::zeros(0, 2));
+        let back = Checkpoint::from_bytes(ck.to_bytes()).unwrap();
+        assert_eq!(back.entities.rows(), 0);
+        assert_eq!(back.relations.dim(), 2);
+    }
+}

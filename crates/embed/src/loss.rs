@@ -1,0 +1,109 @@
+//! Loss functions over triple scores.
+//!
+//! The paper's §III-A gives the two standard KGE losses:
+//!
+//! * **logistic**: `L = Σ log(1 + exp(−y·s))` with `y = +1` for positives
+//!   and `−1` for negatives;
+//! * **margin ranking**: `L = Σ max(0, γ − s⁺ + s⁻)` over positive/negative
+//!   pairs (Algorithm 3 line 17 only back-propagates when `L > 0`).
+//!
+//! Both return the loss value and the derivative(s) w.r.t. the score(s),
+//! which the trainer feeds to [`KgeModel::grad`](crate::models::KgeModel::grad)
+//! as `dscore`.
+
+use crate::math::{sigmoid, softplus};
+use serde::{Deserialize, Serialize};
+
+/// Loss selector for training configs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Pointwise logistic loss.
+    Logistic,
+    /// Pairwise margin ranking loss with margin `gamma`.
+    MarginRanking {
+        /// The margin γ.
+        gamma: f32,
+    },
+}
+
+/// Loss and gradient for one scored triple under the logistic loss.
+///
+/// `label` is `+1.0` for positives, `−1.0` for negatives. Returns
+/// `(loss, dloss/dscore)`.
+#[inline]
+pub fn logistic(score: f32, label: f32) -> (f32, f32) {
+    debug_assert!(label == 1.0 || label == -1.0, "label must be ±1");
+    let loss = softplus(-label * score);
+    // d/ds log(1+exp(−y s)) = −y σ(−y s)
+    let grad = -label * sigmoid(-label * score);
+    (loss, grad)
+}
+
+/// Loss and gradients for one positive/negative score pair under the margin
+/// ranking loss. Returns `(loss, dloss/ds_pos, dloss/ds_neg)`.
+#[inline]
+pub fn margin_ranking(pos_score: f32, neg_score: f32, gamma: f32) -> (f32, f32, f32) {
+    let l = gamma - pos_score + neg_score;
+    if l > 0.0 {
+        (l, -1.0, 1.0)
+    } else {
+        (0.0, 0.0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_decreases_with_confident_positive() {
+        let (l_low, _) = logistic(0.0, 1.0);
+        let (l_high, _) = logistic(5.0, 1.0);
+        assert!(l_high < l_low);
+        assert!(l_high > 0.0);
+    }
+
+    #[test]
+    fn logistic_gradient_signs() {
+        // Positive label: increasing the score reduces loss ⇒ grad < 0.
+        let (_, g_pos) = logistic(0.3, 1.0);
+        assert!(g_pos < 0.0);
+        // Negative label: increasing the score increases loss ⇒ grad > 0.
+        let (_, g_neg) = logistic(0.3, -1.0);
+        assert!(g_neg > 0.0);
+    }
+
+    #[test]
+    fn logistic_gradient_matches_finite_difference() {
+        let eps = 1e-3;
+        for &(s, y) in &[(0.7f32, 1.0f32), (-1.2, -1.0), (3.0, 1.0), (-0.2, 1.0)] {
+            let (_, g) = logistic(s, y);
+            let (lp, _) = logistic(s + eps, y);
+            let (lm, _) = logistic(s - eps, y);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((g - num).abs() < 1e-3, "s={s} y={y}: {g} vs {num}");
+        }
+    }
+
+    #[test]
+    fn margin_inactive_when_separated() {
+        // pos beats neg by more than the margin ⇒ zero loss, zero grads.
+        let (l, gp, gn) = margin_ranking(2.0, -2.0, 1.0);
+        assert_eq!((l, gp, gn), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn margin_active_when_violated() {
+        let (l, gp, gn) = margin_ranking(0.1, 0.0, 1.0);
+        assert!((l - 0.9).abs() < 1e-6);
+        assert_eq!(gp, -1.0);
+        assert_eq!(gn, 1.0);
+    }
+
+    #[test]
+    fn margin_boundary_is_inactive() {
+        // Exactly at the margin: max(0, 0) = 0.
+        let (l, gp, gn) = margin_ranking(1.0, 0.0, 1.0);
+        assert_eq!((l, gp, gn), (0.0, 0.0, 0.0));
+    }
+}

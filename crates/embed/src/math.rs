@@ -1,0 +1,177 @@
+//! Small dense-vector kernels shared by the score functions.
+//!
+//! Everything operates on `&[f32]` slices of equal length; callers guarantee
+//! the lengths (debug-asserted here). These are the hot loops of training —
+//! keep them branch-free and auto-vectorizable.
+
+/// Dot product `x · y`.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = 0.0f32;
+    for i in 0..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// `y += a * x`.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        y[i] += a * x[i];
+    }
+}
+
+/// L1 norm `Σ |x_i|`.
+#[inline]
+pub fn norm1(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// L2 norm `sqrt(Σ x_i²)`.
+#[inline]
+pub fn norm2(x: &[f32]) -> f32 {
+    dot(x, x).sqrt()
+}
+
+/// Scale a vector in place: `x *= a`.
+#[inline]
+pub fn scale(x: &mut [f32], a: f32) {
+    for v in x {
+        *v *= a;
+    }
+}
+
+/// Normalize to unit L2 norm in place; leaves zero vectors untouched.
+#[inline]
+pub fn normalize(x: &mut [f32]) {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(x, 1.0 / n);
+    }
+}
+
+/// Elementwise difference norm helper: returns `h + r - t` into `out`.
+#[inline]
+pub fn translation_residual(h: &[f32], r: &[f32], t: &[f32], out: &mut [f32]) {
+    debug_assert!(h.len() == r.len() && r.len() == t.len() && t.len() == out.len());
+    for i in 0..h.len() {
+        out[i] = h[i] + r[i] - t[i];
+    }
+}
+
+/// Dense matrix-vector product `out = M x` with `M` row-major `rows×cols`.
+#[inline]
+pub fn matvec(m: &[f32], x: &[f32], out: &mut [f32]) {
+    let rows = out.len();
+    let cols = x.len();
+    debug_assert_eq!(m.len(), rows * cols);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = dot(&m[i * cols..(i + 1) * cols], x);
+    }
+}
+
+/// Dense transposed matrix-vector product `out = Mᵀ x` with `M` row-major
+/// `rows×cols` (so `x` has `rows` elements and `out` has `cols`).
+#[inline]
+pub fn matvec_t(m: &[f32], x: &[f32], out: &mut [f32]) {
+    let rows = x.len();
+    let cols = out.len();
+    debug_assert_eq!(m.len(), rows * cols);
+    out.fill(0.0);
+    for i in 0..rows {
+        let row = &m[i * cols..(i + 1) * cols];
+        let xi = x[i];
+        for j in 0..cols {
+            out[j] += xi * row[j];
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically-stable `log(1 + exp(x))` (softplus).
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm1(&[-3.0, 4.0]), 7.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, [3.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut x = [3.0, 4.0];
+        normalize(&mut x);
+        assert!((norm2(&x) - 1.0).abs() < 1e-6);
+        let mut z = [0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn residual_matches_definition() {
+        let mut out = [0.0; 3];
+        translation_residual(&[1.0, 2.0, 3.0], &[0.5, 0.5, 0.5], &[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, [0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree_with_manual() {
+        // M = [[1,2],[3,4],[5,6]] (3x2)
+        let m = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x2 = [1.0, 1.0];
+        let mut out3 = [0.0; 3];
+        matvec(&m, &x2, &mut out3);
+        assert_eq!(out3, [3.0, 7.0, 11.0]);
+        let x3 = [1.0, 0.0, 1.0];
+        let mut out2 = [0.0; 2];
+        matvec_t(&m, &x3, &mut out2);
+        assert_eq!(out2, [6.0, 8.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softplus_is_stable_and_positive() {
+        assert!(softplus(-100.0) >= 0.0);
+        assert!((softplus(100.0) - 100.0).abs() < 1e-3);
+        assert!((softplus(0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+}

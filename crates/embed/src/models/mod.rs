@@ -1,0 +1,204 @@
+//! KGE score functions with analytic gradients.
+//!
+//! Every model implements [`KgeModel`]: a scalar score for a triple's three
+//! embedding slices plus the gradient of that score with respect to each
+//! slice. Models may use different per-entity and per-relation parameter
+//! widths (e.g. TransR stores a `d×d` projection matrix per relation), which
+//! is why [`KgeModel::entity_dim`]/[`KgeModel::relation_dim`] exist — the
+//! parameter server and caches size their rows from these.
+//!
+//! Higher scores mean "more plausible"; translational models return negated
+//! distances so this convention holds uniformly.
+
+mod complex;
+mod distmult;
+mod hole;
+mod rescal;
+mod transd;
+mod transe;
+mod transh;
+mod transr;
+
+pub use complex::ComplEx;
+pub use distmult::DistMult;
+pub use hole::HolE;
+pub use rescal::Rescal;
+pub use transd::TransD;
+pub use transe::{Norm, TransE};
+pub use transh::TransH;
+pub use transr::TransR;
+
+use serde::{Deserialize, Serialize};
+
+/// A knowledge-graph embedding score function with analytic gradients.
+pub trait KgeModel: Send + Sync {
+    /// Human-readable model name (e.g. `"TransE-L2"`).
+    fn name(&self) -> &'static str;
+
+    /// The base embedding dimension `d` the model was built with.
+    fn base_dim(&self) -> usize;
+
+    /// Width of one entity's parameter row.
+    fn entity_dim(&self) -> usize {
+        self.base_dim()
+    }
+
+    /// Width of one relation's parameter row.
+    fn relation_dim(&self) -> usize {
+        self.base_dim()
+    }
+
+    /// Score of triple `(h, r, t)`; higher = more plausible.
+    ///
+    /// Slice lengths must equal `entity_dim`/`relation_dim` respectively.
+    fn score(&self, h: &[f32], r: &[f32], t: &[f32]) -> f32;
+
+    /// Accumulate `dscore * ∂score/∂{h,r,t}` into `gh`, `gr`, `gt`.
+    ///
+    /// Gradients are *accumulated* (`+=`), so callers can sum over a batch
+    /// into shared buffers; zero them first for a fresh gradient.
+    #[allow(clippy::too_many_arguments)]
+    fn grad(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        dscore: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    );
+}
+
+/// Serializable model selector, used by training configs and the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// TransE with L1 distance.
+    TransEL1,
+    /// TransE with L2 distance.
+    TransEL2,
+    /// TransH (relation-specific hyperplanes).
+    TransH,
+    /// TransR (relation-specific projection matrices; relation rows are
+    /// `d + d²` wide).
+    TransR,
+    /// TransD (projection vectors; entity and relation rows are `2d` wide).
+    TransD,
+    /// DistMult (diagonal bilinear).
+    DistMult,
+    /// ComplEx (complex-valued DistMult; rows are `2d` wide).
+    ComplEx,
+    /// RESCAL (full bilinear; relation rows are `d²` wide).
+    Rescal,
+    /// HolE (circular correlation).
+    HolE,
+}
+
+impl ModelKind {
+    /// Instantiate the model for base dimension `d`.
+    pub fn build(self, dim: usize) -> Box<dyn KgeModel> {
+        match self {
+            ModelKind::TransEL1 => Box::new(TransE::new(dim, Norm::L1)),
+            ModelKind::TransEL2 => Box::new(TransE::new(dim, Norm::L2)),
+            ModelKind::TransH => Box::new(TransH::new(dim)),
+            ModelKind::TransR => Box::new(TransR::new(dim)),
+            ModelKind::TransD => Box::new(TransD::new(dim)),
+            ModelKind::DistMult => Box::new(DistMult::new(dim)),
+            ModelKind::ComplEx => Box::new(ComplEx::new(dim)),
+            ModelKind::Rescal => Box::new(Rescal::new(dim)),
+            ModelKind::HolE => Box::new(HolE::new(dim)),
+        }
+    }
+
+    /// All variants, for exhaustive property tests.
+    pub fn all() -> [ModelKind; 9] {
+        [
+            ModelKind::TransEL1,
+            ModelKind::TransEL2,
+            ModelKind::TransH,
+            ModelKind::TransR,
+            ModelKind::TransD,
+            ModelKind::DistMult,
+            ModelKind::ComplEx,
+            ModelKind::Rescal,
+            ModelKind::HolE,
+        ]
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ModelKind::TransEL1 => "TransE-L1",
+            ModelKind::TransEL2 => "TransE-L2",
+            ModelKind::TransH => "TransH",
+            ModelKind::TransR => "TransR",
+            ModelKind::TransD => "TransD",
+            ModelKind::DistMult => "DistMult",
+            ModelKind::ComplEx => "ComplEx",
+            ModelKind::Rescal => "RESCAL",
+            ModelKind::HolE => "HolE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_model_grads;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn every_model_builds_with_consistent_dims() {
+        for kind in ModelKind::all() {
+            let m = kind.build(8);
+            assert_eq!(m.base_dim(), 8, "{kind}");
+            assert!(m.entity_dim() >= 8, "{kind}");
+            assert!(m.relation_dim() >= 8, "{kind}");
+        }
+    }
+
+    #[test]
+    fn every_model_passes_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for kind in ModelKind::all() {
+            let m = kind.build(6);
+            for trial in 0..3 {
+                let h: Vec<f32> =
+                    (0..m.entity_dim()).map(|_| rng.random_range(-0.8..0.8)).collect();
+                let r: Vec<f32> =
+                    (0..m.relation_dim()).map(|_| rng.random_range(-0.8..0.8)).collect();
+                let t: Vec<f32> =
+                    (0..m.entity_dim()).map(|_| rng.random_range(-0.8..0.8)).collect();
+                check_model_grads(m.as_ref(), &h, &r, &t)
+                    .unwrap_or_else(|e| panic!("{kind} trial {trial}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_rather_than_overwrite() {
+        let m = ModelKind::DistMult.build(4);
+        let h = [0.1, 0.2, 0.3, 0.4];
+        let r = [0.5, 0.5, 0.5, 0.5];
+        let t = [0.4, 0.3, 0.2, 0.1];
+        let mut gh = [0.0f32; 4];
+        let mut gr = [0.0f32; 4];
+        let mut gt = [0.0f32; 4];
+        m.grad(&h, &r, &t, 1.0, &mut gh, &mut gr, &mut gt);
+        let once = gh;
+        m.grad(&h, &r, &t, 1.0, &mut gh, &mut gr, &mut gt);
+        for i in 0..4 {
+            assert!((gh[i] - 2.0 * once[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(ModelKind::TransEL2.to_string(), "TransE-L2");
+        assert_eq!(ModelKind::DistMult.to_string(), "DistMult");
+        assert_eq!(ModelKind::Rescal.to_string(), "RESCAL");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests over every KGE model: gradients match finite
+//! differences at random points, scores are finite, and structural
+//! symmetries hold.
+
+use hetkg_embed::gradcheck::check_model_grads;
+use hetkg_embed::models::ModelKind;
+use proptest::prelude::*;
+
+fn arb_unit_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-0.9f32..0.9, len..=len)
+}
+
+/// Random embeddings of the right widths for a model kind at `dim`.
+fn model_inputs(
+    kind: ModelKind,
+    dim: usize,
+) -> impl Strategy<Value = (Vec<f32>, Vec<f32>, Vec<f32>)> {
+    let probe = kind.build(dim);
+    let (ed, rd) = (probe.entity_dim(), probe.relation_dim());
+    (arb_unit_vec(ed), arb_unit_vec(rd), arb_unit_vec(ed))
+}
+
+macro_rules! model_property_tests {
+    ($($name:ident => $kind:expr),* $(,)?) => {
+        $(
+            mod $name {
+                use super::*;
+
+                proptest! {
+                    #![proptest_config(ProptestConfig::with_cases(24))]
+
+                    #[test]
+                    fn scores_are_finite((h, r, t) in model_inputs($kind, 5)) {
+                        let m = $kind.build(5);
+                        let s = m.score(&h, &r, &t);
+                        prop_assert!(s.is_finite(), "score {s}");
+                    }
+
+                    #[test]
+                    fn gradients_match_finite_differences(
+                        (h, r, t) in model_inputs($kind, 5)
+                    ) {
+                        let m = $kind.build(5);
+                        // L1's kinks make finite differences unreliable when a
+                        // residual coordinate is near zero; skip those points.
+                        if m.name() == "TransE-L1" {
+                            let near_kink = h.iter().zip(&r).zip(&t)
+                                .any(|((&a, &b), &c)| (a + b - c).abs() < 0.05);
+                            if near_kink {
+                                return Ok(());
+                            }
+                        }
+                        if let Err(e) = check_model_grads(m.as_ref(), &h, &r, &t) {
+                            return Err(TestCaseError::fail(e));
+                        }
+                    }
+
+                    #[test]
+                    fn zero_dscore_produces_zero_gradient(
+                        (h, r, t) in model_inputs($kind, 5)
+                    ) {
+                        let m = $kind.build(5);
+                        let mut gh = vec![0.0; h.len()];
+                        let mut gr = vec![0.0; r.len()];
+                        let mut gt = vec![0.0; t.len()];
+                        m.grad(&h, &r, &t, 0.0, &mut gh, &mut gr, &mut gt);
+                        prop_assert!(gh.iter().chain(&gr).chain(&gt).all(|&g| g == 0.0));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+model_property_tests! {
+    transe_l1 => ModelKind::TransEL1,
+    transe_l2 => ModelKind::TransEL2,
+    transh => ModelKind::TransH,
+    transr => ModelKind::TransR,
+    transd => ModelKind::TransD,
+    distmult => ModelKind::DistMult,
+    complex => ModelKind::ComplEx,
+    rescal => ModelKind::Rescal,
+    hole => ModelKind::HolE,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DistMult is symmetric in head/tail for every input.
+    #[test]
+    fn distmult_symmetry(h in arb_unit_vec(6), r in arb_unit_vec(6), t in arb_unit_vec(6)) {
+        let m = ModelKind::DistMult.build(6);
+        prop_assert!((m.score(&h, &r, &t) - m.score(&t, &r, &h)).abs() < 1e-5);
+    }
+
+    /// TransE-L2 scores are ≤ 0 and exactly 0 only for perfect translations.
+    #[test]
+    fn transe_scores_are_nonpositive(
+        h in arb_unit_vec(4),
+        r in arb_unit_vec(4),
+        t in arb_unit_vec(4),
+    ) {
+        let m = ModelKind::TransEL2.build(4);
+        prop_assert!(m.score(&h, &r, &t) <= 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Fine-grained evaluation breakdowns: per-relation and per-side metrics.
+//!
+//! Aggregate MRR hides where a model is weak; the standard diagnostic is to
+//! split ranks by relation (which predicates are learnable?) and by
+//! corrupted side (is the model better at predicting heads or tails?). Both
+//! are cheap to collect during the same ranking pass.
+
+use crate::link_prediction::{EmbeddingSnapshot, EvalConfig};
+use crate::metrics::RankMetrics;
+use hetkg_embed::models::KgeModel;
+use hetkg_kgraph::{EntityId, RelationId, Triple};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Link-prediction metrics split by relation and by corrupted side.
+#[derive(Debug, Clone, Default)]
+pub struct EvalBreakdown {
+    /// Overall metrics (same definition as [`crate::evaluate`]).
+    pub overall: RankMetrics,
+    /// Ranks where the *head* was corrupted.
+    pub head_side: RankMetrics,
+    /// Ranks where the *tail* was corrupted.
+    pub tail_side: RankMetrics,
+    /// Per-relation metrics (both sides folded together).
+    pub per_relation: HashMap<RelationId, RankMetrics>,
+}
+
+impl EvalBreakdown {
+    /// Relations sorted by ascending MRR — the model's weakest predicates
+    /// first. Ties break by relation id.
+    pub fn hardest_relations(&self) -> Vec<(RelationId, f64)> {
+        let mut v: Vec<(RelationId, f64)> =
+            self.per_relation.iter().map(|(&r, m)| (r, m.mrr())).collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("mrr is finite").then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Run link prediction collecting the full breakdown.
+///
+/// Same protocol as [`crate::evaluate`] (filtered ranking, optional
+/// candidate subsampling); one extra HashMap insert per rank.
+pub fn evaluate_breakdown(
+    model: &dyn KgeModel,
+    snapshot: &EmbeddingSnapshot,
+    test: &[Triple],
+    all_true: &[Triple],
+    config: &EvalConfig,
+) -> EvalBreakdown {
+    let truth: HashSet<Triple> = if config.filtered {
+        all_true.iter().copied().collect()
+    } else {
+        HashSet::new()
+    };
+    let num_entities = snapshot.entities.rows();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = EvalBreakdown::default();
+    let mut candidates: Vec<u32> = Vec::new();
+
+    for &triple in test {
+        for corrupt_head in [true, false] {
+            candidates.clear();
+            match config.max_candidates {
+                Some(k) if k < num_entities => candidates
+                    .extend((0..k).map(|_| rng.random_range(0..num_entities as u32))),
+                _ => candidates.extend(0..num_entities as u32),
+            }
+            let true_score = snapshot.score(model, triple);
+            let mut greater = 0u64;
+            let mut ties = 0u64;
+            for &c in &candidates {
+                let corrupted = if corrupt_head {
+                    triple.with_head(EntityId(c))
+                } else {
+                    triple.with_tail(EntityId(c))
+                };
+                if corrupted == triple {
+                    continue;
+                }
+                if config.filtered && truth.contains(&corrupted) {
+                    continue;
+                }
+                let s = snapshot.score(model, corrupted);
+                if s > true_score {
+                    greater += 1;
+                } else if s == true_score {
+                    ties += 1;
+                }
+            }
+            let rank = greater + ties / 2 + 1;
+            out.overall.add_rank(rank);
+            if corrupt_head {
+                out.head_side.add_rank(rank);
+            } else {
+                out.tail_side.add_rank(rank);
+            }
+            out.per_relation.entry(triple.relation).or_default().add_rank(rank);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate;
+    use hetkg_embed::models::{Norm, TransE};
+    use hetkg_embed::storage::EmbeddingTable;
+
+    /// Entity i = [i, 0]; relation 0 translates by +1 (learned perfectly),
+    /// relation 1 translates by 0 but its true triples jump by 5 (learned
+    /// badly).
+    fn world() -> (TransE, EmbeddingSnapshot, Vec<Triple>) {
+        let model = TransE::new(2, Norm::L2);
+        let mut ents = EmbeddingTable::zeros(20, 2);
+        for i in 0..20 {
+            ents.set_row(i, &[i as f32, 0.0]);
+        }
+        let mut rels = EmbeddingTable::zeros(2, 2);
+        rels.set_row(0, &[1.0, 0.0]);
+        rels.set_row(1, &[0.0, 0.0]);
+        let snap = EmbeddingSnapshot::new(ents, rels);
+        let test = vec![
+            Triple::new(3, 0, 4),  // perfect for relation 0
+            Triple::new(2, 1, 7),  // bad for relation 1
+        ];
+        (model, snap, test)
+    }
+
+    fn cfg() -> EvalConfig {
+        EvalConfig { filtered: false, max_candidates: None, seed: 0 }
+    }
+
+    #[test]
+    fn overall_matches_plain_evaluate() {
+        let (model, snap, test) = world();
+        let breakdown = evaluate_breakdown(&model, &snap, &test, &[], &cfg());
+        let plain = evaluate(&model, &snap, &test, &[], &cfg());
+        assert_eq!(breakdown.overall, plain);
+    }
+
+    #[test]
+    fn sides_partition_the_ranks() {
+        let (model, snap, test) = world();
+        let b = evaluate_breakdown(&model, &snap, &test, &[], &cfg());
+        assert_eq!(b.head_side.count() + b.tail_side.count(), b.overall.count());
+        assert_eq!(b.head_side.count(), test.len() as u64);
+    }
+
+    #[test]
+    fn per_relation_identifies_the_weak_predicate() {
+        let (model, snap, test) = world();
+        let b = evaluate_breakdown(&model, &snap, &test, &[], &cfg());
+        assert_eq!(b.per_relation.len(), 2);
+        let hardest = b.hardest_relations();
+        assert_eq!(hardest[0].0, RelationId(1), "relation 1 is the bad one");
+        assert!(hardest[0].1 < hardest[1].1);
+        // Relation 0 is learned perfectly.
+        assert_eq!(b.per_relation[&RelationId(0)].mrr(), 1.0);
+    }
+
+    #[test]
+    fn empty_test_set_is_empty_breakdown() {
+        let (model, snap, _) = world();
+        let b = evaluate_breakdown(&model, &snap, &[], &[], &cfg());
+        assert_eq!(b.overall.count(), 0);
+        assert!(b.per_relation.is_empty());
+        assert!(b.hardest_relations().is_empty());
+    }
+}

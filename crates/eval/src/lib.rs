@@ -1,0 +1,17 @@
+//! Link-prediction evaluation: the standard KGE quality protocol used by the
+//! paper (§VI-A).
+//!
+//! For every test triple `(h, r, t)` the scorer ranks the true tail `t`
+//! against all candidate tails (and the true head against all candidate
+//! heads); [`metrics::RankMetrics`] then aggregates Mean Rank, Mean
+//! Reciprocal Rank, and Hits@k. The *filtered* setting removes candidates
+//! that form other true triples, as in Bordes et al. and the paper's
+//! "FilteredMRR" hyperparameter rows.
+
+pub mod breakdown;
+pub mod link_prediction;
+pub mod metrics;
+
+pub use breakdown::{evaluate_breakdown, EvalBreakdown};
+pub use link_prediction::{evaluate, EvalConfig};
+pub use metrics::RankMetrics;

@@ -1,0 +1,177 @@
+//! Rank aggregation: MRR, MR, Hits@k (§VI-A's evaluation metrics).
+//!
+//! Each test triple produces one rank (per corrupted side); the aggregates
+//! are `MRR = mean(1/rank)`, `MR = mean(rank)`, and
+//! `Hits@k = fraction(rank ≤ k)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming aggregator of link-prediction ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankMetrics {
+    count: u64,
+    sum_rank: u64,
+    sum_reciprocal: f64,
+    hits1: u64,
+    hits3: u64,
+    hits10: u64,
+}
+
+impl RankMetrics {
+    /// Empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one rank (1-based).
+    pub fn add_rank(&mut self, rank: u64) {
+        assert!(rank >= 1, "ranks are 1-based");
+        self.count += 1;
+        self.sum_rank += rank;
+        self.sum_reciprocal += 1.0 / rank as f64;
+        if rank <= 1 {
+            self.hits1 += 1;
+        }
+        if rank <= 3 {
+            self.hits3 += 1;
+        }
+        if rank <= 10 {
+            self.hits10 += 1;
+        }
+    }
+
+    /// Number of ranks recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean Reciprocal Rank, in `(0, 1]`; 0 when empty.
+    pub fn mrr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_reciprocal / self.count as f64
+        }
+    }
+
+    /// Mean Rank; 0 when empty.
+    pub fn mr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_rank as f64 / self.count as f64
+        }
+    }
+
+    /// Hits@k for `k ∈ {1, 3, 10}`.
+    ///
+    /// # Panics
+    /// Panics for any other k (only these are tracked).
+    pub fn hits(&self, k: u64) -> f64 {
+        let h = match k {
+            1 => self.hits1,
+            3 => self.hits3,
+            10 => self.hits10,
+            _ => panic!("only Hits@1/3/10 are tracked"),
+        };
+        if self.count == 0 {
+            0.0
+        } else {
+            h as f64 / self.count as f64
+        }
+    }
+
+    /// Combine two aggregators (e.g. head-side and tail-side ranks).
+    pub fn merge(self, other: RankMetrics) -> RankMetrics {
+        RankMetrics {
+            count: self.count + other.count,
+            sum_rank: self.sum_rank + other.sum_rank,
+            sum_reciprocal: self.sum_reciprocal + other.sum_reciprocal,
+            hits1: self.hits1 + other.hits1,
+            hits3: self.hits3 + other.hits3,
+            hits10: self.hits10 + other.hits10,
+        }
+    }
+}
+
+impl std::fmt::Display for RankMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MRR {:.3} | MR {:.1} | Hits@1 {:.3} | Hits@3 {:.3} | Hits@10 {:.3}",
+            self.mrr(),
+            self.mr(),
+            self.hits(1),
+            self.hits(3),
+            self.hits(10)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranks() {
+        let mut m = RankMetrics::new();
+        for _ in 0..5 {
+            m.add_rank(1);
+        }
+        assert_eq!(m.mrr(), 1.0);
+        assert_eq!(m.mr(), 1.0);
+        assert_eq!(m.hits(1), 1.0);
+        assert_eq!(m.hits(10), 1.0);
+    }
+
+    #[test]
+    fn mixed_ranks() {
+        let mut m = RankMetrics::new();
+        m.add_rank(1);
+        m.add_rank(2);
+        m.add_rank(4);
+        m.add_rank(20);
+        assert!((m.mrr() - (1.0 + 0.5 + 0.25 + 0.05) / 4.0).abs() < 1e-12);
+        assert!((m.mr() - 27.0 / 4.0).abs() < 1e-12);
+        assert_eq!(m.hits(1), 0.25);
+        assert_eq!(m.hits(3), 0.5);
+        assert_eq!(m.hits(10), 0.75);
+    }
+
+    #[test]
+    fn empty_is_zero_not_nan() {
+        let m = RankMetrics::new();
+        assert_eq!(m.mrr(), 0.0);
+        assert_eq!(m.mr(), 0.0);
+        assert_eq!(m.hits(10), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = RankMetrics::new();
+        a.add_rank(1);
+        a.add_rank(5);
+        let mut b = RankMetrics::new();
+        b.add_rank(3);
+        let merged = a.merge(b);
+        let mut seq = RankMetrics::new();
+        for r in [1, 5, 3] {
+            seq.add_rank(r);
+        }
+        assert_eq!(merged, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rank_zero_rejected() {
+        RankMetrics::new().add_rank(0);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let mut m = RankMetrics::new();
+        m.add_rank(2);
+        let s = m.to_string();
+        assert!(s.contains("MRR 0.500"), "{s}");
+    }
+}

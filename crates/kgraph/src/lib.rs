@@ -1,0 +1,35 @@
+//! Knowledge-graph data model and workload substrate for HET-KG.
+//!
+//! This crate provides everything the training system needs to know about the
+//! *data*: identifier types, triples, an adjacency-indexed [`KnowledgeGraph`],
+//! train/valid/test splits, TSV loaders for standard benchmark files
+//! (FB15k/WN18-format), synthetic generators that reproduce the skewed
+//! access-frequency distributions the paper's cache exploits, and frequency
+//! statistics used both for the Fig. 2 micro-benchmark and by the
+//! hot-embedding filter.
+//!
+//! # Quick example
+//!
+//! ```
+//! use hetkg_kgraph::{datasets, split::Split};
+//!
+//! // A small FB15k-like synthetic graph (same shape, fewer triples).
+//! let kg = datasets::fb15k_like().scale(0.01).build(42);
+//! assert!(kg.num_entities() > 0);
+//! let split = Split::new(&kg, 0.9, 0.05, 42);
+//! assert!(split.train.len() > split.valid.len());
+//! ```
+
+pub mod datasets;
+pub mod generator;
+pub mod graph;
+pub mod ids;
+pub mod index;
+pub mod io;
+pub mod split;
+pub mod stats;
+pub mod triple;
+
+pub use graph::KnowledgeGraph;
+pub use ids::{EntityId, KeySpace, ParamKey, RelationId};
+pub use triple::Triple;

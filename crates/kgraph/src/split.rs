@@ -1,0 +1,137 @@
+//! Train/valid/test splitting.
+//!
+//! The paper uses the standard splits for FB15k/WN18 and a 90/5/5 split for
+//! Freebase-86m (§VI-A). [`Split::new`] reproduces the 90/5/5 convention on
+//! any graph, deterministically from a seed.
+
+use crate::graph::KnowledgeGraph;
+use crate::triple::Triple;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A train/valid/test partition of a graph's triples.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training triples (the bulk).
+    pub train: Vec<Triple>,
+    /// Validation triples.
+    pub valid: Vec<Triple>,
+    /// Test triples.
+    pub test: Vec<Triple>,
+}
+
+impl Split {
+    /// Randomly split `kg`'s triples: `train_frac` to train, `valid_frac` to
+    /// valid, the remainder to test. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < train_frac`, `0 <= valid_frac`, and
+    /// `train_frac + valid_frac <= 1`.
+    pub fn new(kg: &KnowledgeGraph, train_frac: f64, valid_frac: f64, seed: u64) -> Self {
+        assert!(train_frac > 0.0 && valid_frac >= 0.0, "fractions must be non-negative");
+        assert!(train_frac + valid_frac <= 1.0 + 1e-12, "fractions exceed 1");
+        let mut order: Vec<u32> = (0..kg.num_triples() as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let n = order.len();
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_valid = ((n as f64) * valid_frac).round() as usize;
+        let n_train = n_train.min(n);
+        let n_valid = n_valid.min(n - n_train);
+        let pick = |ids: &[u32]| -> Vec<Triple> {
+            ids.iter().map(|&i| kg.triples()[i as usize]).collect()
+        };
+        Split {
+            train: pick(&order[..n_train]),
+            valid: pick(&order[n_train..n_train + n_valid]),
+            test: pick(&order[n_train + n_valid..]),
+        }
+    }
+
+    /// The paper's Freebase-86m convention: 90% train / 5% valid / 5% test.
+    pub fn ninety_five_five(kg: &KnowledgeGraph, seed: u64) -> Self {
+        Self::new(kg, 0.90, 0.05, seed)
+    }
+
+    /// Total triples across the three parts.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+
+    /// Whether the split holds no triples at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SyntheticKg;
+
+    fn graph() -> KnowledgeGraph {
+        SyntheticKg { num_entities: 500, num_relations: 20, num_triples: 4_000, ..Default::default() }
+            .build(77)
+    }
+
+    #[test]
+    fn split_is_exhaustive_and_disjoint() {
+        let g = graph();
+        let s = Split::ninety_five_five(&g, 1);
+        assert_eq!(s.len(), g.num_triples());
+        let mut all: Vec<Triple> = Vec::new();
+        all.extend_from_slice(&s.train);
+        all.extend_from_slice(&s.valid);
+        all.extend_from_slice(&s.test);
+        all.sort_unstable();
+        let mut orig = g.triples().to_vec();
+        orig.sort_unstable();
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn split_proportions_are_close() {
+        let g = graph();
+        let s = Split::ninety_five_five(&g, 2);
+        let n = g.num_triples() as f64;
+        assert!((s.train.len() as f64 / n - 0.90).abs() < 0.01);
+        assert!((s.valid.len() as f64 / n - 0.05).abs() < 0.01);
+        assert!((s.test.len() as f64 / n - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let g = graph();
+        let a = Split::ninety_five_five(&g, 5);
+        let b = Split::ninety_five_five(&g, 5);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.valid, b.valid);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seed_different_shuffle() {
+        let g = graph();
+        let a = Split::ninety_five_five(&g, 5);
+        let b = Split::ninety_five_five(&g, 6);
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn zero_valid_fraction_allowed() {
+        let g = graph();
+        let s = Split::new(&g, 0.8, 0.0, 3);
+        assert!(s.valid.is_empty());
+        assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions exceed 1")]
+    fn overfull_fractions_panic() {
+        let g = graph();
+        let _ = Split::new(&g, 0.9, 0.2, 3);
+    }
+}

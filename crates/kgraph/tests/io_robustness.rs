@@ -1,0 +1,49 @@
+//! The TSV loader must never panic on arbitrary input: every outcome is
+//! either parsed triples or a structured error.
+
+use hetkg_kgraph::io::{load_tsv_str, save_tsv, Dictionary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn loader_is_total(text in ".{0,400}") {
+        let mut dict = Dictionary::new();
+        let _ = load_tsv_str(&text, &mut dict);
+    }
+
+    /// Arbitrary *tab-separated* field content round-trips exactly (fields
+    /// may not contain tabs or line breaks — the format's own constraint).
+    #[test]
+    fn well_formed_lines_round_trip(
+        rows in prop::collection::vec(
+            ("[^\t\r\n]{1,12}", "[^\t\r\n]{1,8}", "[^\t\r\n]{1,12}"),
+            1..30,
+        )
+    ) {
+        let text: String = rows
+            .iter()
+            .map(|(h, r, t)| format!("{h}\t{r}\t{t}\n"))
+            .collect();
+        let mut dict = Dictionary::new();
+        let triples = load_tsv_str(&text, &mut dict).expect("well-formed input parses");
+        prop_assert_eq!(triples.len(), rows.len());
+
+        let mut buf = Vec::new();
+        save_tsv(&mut buf, &triples, &dict).unwrap();
+        let mut dict2 = Dictionary::new();
+        let reparsed = load_tsv_str(&String::from_utf8(buf).unwrap(), &mut dict2).unwrap();
+        prop_assert_eq!(reparsed, triples);
+    }
+
+    /// Lines with the wrong arity produce BadLine, not garbage triples.
+    #[test]
+    fn wrong_arity_is_an_error(fields in prop::collection::vec("[a-z]{1,5}", 1..6)) {
+        prop_assume!(fields.len() != 3);
+        let line = fields.join("\t");
+        let mut dict = Dictionary::new();
+        prop_assert!(load_tsv_str(&line, &mut dict).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Deterministic network simulation for distributed-training experiments.
+//!
+//! The paper's cluster (4 machines, 1 Gbps) is reproduced by *metering*
+//! every parameter-server interaction: each push/pull records its byte count
+//! and whether it crossed a (simulated) machine boundary. A [`CostModel`]
+//! turns metered traffic into simulated network time, so communication
+//! results are bit-reproducible and independent of the host machine.
+//!
+//! * [`CostModel`] — bandwidth + latency + per-message overhead;
+//! * [`TrafficMeter`] — per-worker counters (local/remote bytes & messages);
+//! * [`ClusterTopology`] — worker → machine placement (co-located PS).
+
+pub mod cost;
+pub mod meter;
+pub mod topology;
+
+pub use cost::CostModel;
+pub use meter::{TrafficMeter, TrafficSnapshot};
+pub use topology::ClusterTopology;

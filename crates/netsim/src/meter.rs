@@ -1,0 +1,182 @@
+//! Traffic metering: lock-free counters every PS interaction reports to.
+//!
+//! One [`TrafficMeter`] per worker. Counters are atomics so the worker
+//! thread and any observer (the trainer's reporting loop) can share it via
+//! `Arc` without locks. [`TrafficSnapshot`] is a plain copy used in reports;
+//! snapshots subtract, so per-epoch traffic is `end − start`.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic per-worker traffic counters.
+#[derive(Debug, Default)]
+pub struct TrafficMeter {
+    local_bytes: AtomicU64,
+    local_messages: AtomicU64,
+    remote_bytes: AtomicU64,
+    remote_messages: AtomicU64,
+}
+
+impl TrafficMeter {
+    /// Fresh zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one local (shared-memory) transfer of `bytes`.
+    #[inline]
+    pub fn record_local(&self, bytes: u64) {
+        self.local_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.local_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one remote (cross-machine) transfer of `bytes`.
+    #[inline]
+    pub fn record_remote(&self, bytes: u64) {
+        self.remote_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.remote_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            local_bytes: self.local_bytes.load(Ordering::Relaxed),
+            local_messages: self.local_messages.load(Ordering::Relaxed),
+            remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
+            remote_messages: self.remote_messages.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.local_bytes.store(0, Ordering::Relaxed);
+        self.local_messages.store(0, Ordering::Relaxed);
+        self.remote_bytes.store(0, Ordering::Relaxed);
+        self.remote_messages.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a meter's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficSnapshot {
+    /// Bytes moved through shared memory.
+    pub local_bytes: u64,
+    /// Shared-memory message count.
+    pub local_messages: u64,
+    /// Bytes moved across machines.
+    pub remote_bytes: u64,
+    /// Cross-machine message count.
+    pub remote_messages: u64,
+}
+
+impl TrafficSnapshot {
+    /// Traffic between an earlier snapshot and this one.
+    pub fn since(self, earlier: TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            local_bytes: self.local_bytes - earlier.local_bytes,
+            local_messages: self.local_messages - earlier.local_messages,
+            remote_bytes: self.remote_bytes - earlier.remote_bytes,
+            remote_messages: self.remote_messages - earlier.remote_messages,
+        }
+    }
+
+    /// Sum of two snapshots (aggregating workers).
+    pub fn merge(self, other: TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            local_bytes: self.local_bytes + other.local_bytes,
+            local_messages: self.local_messages + other.local_messages,
+            remote_bytes: self.remote_bytes + other.remote_bytes,
+            remote_messages: self.remote_messages + other.remote_messages,
+        }
+    }
+
+    /// Total bytes, local + remote.
+    pub fn total_bytes(self) -> u64 {
+        self.local_bytes + self.remote_bytes
+    }
+
+    /// Simulated communication time under `model` (local + remote parts).
+    pub fn simulated_time(self, model: &CostModel) -> f64 {
+        model.remote_time(self.remote_bytes, self.remote_messages)
+            + model.local_time(self.local_bytes, self.local_messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = TrafficMeter::new();
+        m.record_local(100);
+        m.record_remote(200);
+        m.record_remote(300);
+        let s = m.snapshot();
+        assert_eq!(s.local_bytes, 100);
+        assert_eq!(s.local_messages, 1);
+        assert_eq!(s.remote_bytes, 500);
+        assert_eq!(s.remote_messages, 2);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let m = TrafficMeter::new();
+        m.record_remote(100);
+        let start = m.snapshot();
+        m.record_remote(250);
+        m.record_local(50);
+        let delta = m.snapshot().since(start);
+        assert_eq!(delta.remote_bytes, 250);
+        assert_eq!(delta.remote_messages, 1);
+        assert_eq!(delta.local_bytes, 50);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = TrafficSnapshot { local_bytes: 1, local_messages: 2, remote_bytes: 3, remote_messages: 4 };
+        let b = TrafficSnapshot { local_bytes: 10, local_messages: 20, remote_bytes: 30, remote_messages: 40 };
+        let c = a.merge(b);
+        assert_eq!(c.local_bytes, 11);
+        assert_eq!(c.remote_messages, 44);
+        assert_eq!(c.total_bytes(), 44);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = TrafficMeter::new();
+        m.record_remote(10);
+        m.reset();
+        assert_eq!(m.snapshot(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn meter_is_thread_safe() {
+        let m = std::sync::Arc::new(TrafficMeter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_remote(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.remote_bytes, 4000);
+        assert_eq!(s.remote_messages, 4000);
+    }
+
+    #[test]
+    fn simulated_time_combines_local_and_remote() {
+        let s = TrafficSnapshot { local_bytes: 1_000, local_messages: 1, remote_bytes: 1_000_000, remote_messages: 10 };
+        let m = CostModel::gigabit();
+        let t = s.simulated_time(&m);
+        assert!((t - (m.remote_time(1_000_000, 10) + m.local_time(1_000, 1))).abs() < 1e-12);
+    }
+}

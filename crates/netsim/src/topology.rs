@@ -1,0 +1,103 @@
+//! Cluster topology: which worker lives on which (simulated) machine.
+//!
+//! The co-located PS design places one PS shard on every machine next to
+//! that machine's workers. A worker talking to its own machine's shard uses
+//! shared memory (`localPull`/`localPush`); any other shard is a remote
+//! message. [`ClusterTopology`] encodes the placement and answers the
+//! "is this access local?" question the meters depend on.
+
+use serde::{Deserialize, Serialize};
+
+/// Worker → machine placement for a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    num_machines: usize,
+    workers_per_machine: usize,
+}
+
+impl ClusterTopology {
+    /// `num_machines` machines, each hosting `workers_per_machine` workers
+    /// and one PS shard.
+    pub fn new(num_machines: usize, workers_per_machine: usize) -> Self {
+        assert!(num_machines > 0, "need at least one machine");
+        assert!(workers_per_machine > 0, "need at least one worker per machine");
+        Self { num_machines, workers_per_machine }
+    }
+
+    /// The paper's testbed: 4 machines, 1 worker process per machine.
+    pub fn paper_default() -> Self {
+        Self::new(4, 1)
+    }
+
+    /// Number of machines (= number of PS shards).
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Workers per machine.
+    pub fn workers_per_machine(&self) -> usize {
+        self.workers_per_machine
+    }
+
+    /// Total workers.
+    pub fn num_workers(&self) -> usize {
+        self.num_machines * self.workers_per_machine
+    }
+
+    /// Machine hosting worker `worker_id` (workers are numbered
+    /// machine-major: workers 0..w live on machine 0, etc.).
+    pub fn machine_of(&self, worker_id: usize) -> usize {
+        assert!(worker_id < self.num_workers(), "worker id out of range");
+        worker_id / self.workers_per_machine
+    }
+
+    /// Whether worker `worker_id` reaches PS shard `shard` through shared
+    /// memory (same machine) rather than the network.
+    pub fn is_local(&self, worker_id: usize, shard: usize) -> bool {
+        assert!(shard < self.num_machines, "shard id out of range");
+        self.machine_of(worker_id) == shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_major_numbering() {
+        let t = ClusterTopology::new(3, 2);
+        assert_eq!(t.num_workers(), 6);
+        assert_eq!(t.machine_of(0), 0);
+        assert_eq!(t.machine_of(1), 0);
+        assert_eq!(t.machine_of(2), 1);
+        assert_eq!(t.machine_of(5), 2);
+    }
+
+    #[test]
+    fn locality() {
+        let t = ClusterTopology::new(2, 2);
+        assert!(t.is_local(0, 0));
+        assert!(t.is_local(1, 0));
+        assert!(!t.is_local(2, 0));
+        assert!(t.is_local(2, 1));
+    }
+
+    #[test]
+    fn paper_default_is_four_machines() {
+        let t = ClusterTopology::paper_default();
+        assert_eq!(t.num_machines(), 4);
+        assert_eq!(t.num_workers(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker id out of range")]
+    fn out_of_range_worker_panics() {
+        ClusterTopology::new(2, 1).machine_of(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard id out of range")]
+    fn out_of_range_shard_panics() {
+        ClusterTopology::new(2, 1).is_local(0, 2);
+    }
+}

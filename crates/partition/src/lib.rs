@@ -1,0 +1,21 @@
+//! Graph partitioning for distributed KGE training.
+//!
+//! HET-KG (like DGL-KE) partitions the knowledge graph across workers with
+//! METIS before training so most triples touch only locally-stored entity
+//! embeddings. METIS itself is proprietary-free but C; this crate implements
+//! the same algorithm family from scratch:
+//!
+//! * [`random::RandomPartitioner`] — the baseline METIS is compared against;
+//! * [`metis_like::MetisLike`] — a multilevel min-edge-cut partitioner
+//!   (heavy-edge-matching coarsening → greedy region growing → boundary
+//!   Kernighan–Lin refinement);
+//! * [`quality`] — edge-cut and balance metrics used by the experiments.
+
+pub mod metis_like;
+pub mod partitioning;
+pub mod quality;
+pub mod random;
+
+pub use metis_like::MetisLike;
+pub use partitioning::{Partitioner, Partitioning};
+pub use random::RandomPartitioner;

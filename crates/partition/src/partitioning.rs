@@ -1,0 +1,149 @@
+//! The partitioning abstraction: entity → partition assignments and the
+//! triple-placement rules derived from them.
+//!
+//! Following DGL-KE (§V "Graph Partitioning"), entities are assigned to
+//! machines and each triple is stored with its head entity's machine. A
+//! triple is *local* when head and tail live on the same machine and *cross*
+//! otherwise; cross triples are what force remote embedding pulls.
+
+use hetkg_kgraph::{EntityId, KnowledgeGraph, Triple};
+
+/// An assignment of every entity to one of `num_parts` partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    num_parts: usize,
+    /// `assignment[entity] = partition`.
+    assignment: Vec<u32>,
+}
+
+impl Partitioning {
+    /// Wrap an assignment vector.
+    ///
+    /// # Panics
+    /// Panics if any assignment is `>= num_parts` or `num_parts == 0`.
+    pub fn new(num_parts: usize, assignment: Vec<u32>) -> Self {
+        assert!(num_parts > 0, "need at least one partition");
+        assert!(
+            assignment.iter().all(|&p| (p as usize) < num_parts),
+            "assignment references a partition >= num_parts"
+        );
+        Self { num_parts, assignment }
+    }
+
+    /// Number of partitions.
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Number of entities assigned.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether no entities are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Partition of an entity.
+    #[inline]
+    pub fn part_of(&self, e: EntityId) -> usize {
+        self.assignment[e.index()] as usize
+    }
+
+    /// Partition a triple is stored on (its head's machine).
+    #[inline]
+    pub fn triple_home(&self, t: Triple) -> usize {
+        self.part_of(t.head)
+    }
+
+    /// Whether a triple's head and tail are co-located.
+    #[inline]
+    pub fn is_local_triple(&self, t: Triple) -> bool {
+        self.part_of(t.head) == self.part_of(t.tail)
+    }
+
+    /// Entities per partition.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Distribute triples to their home partitions.
+    pub fn split_triples(&self, triples: &[Triple]) -> Vec<Vec<Triple>> {
+        let mut parts = vec![Vec::new(); self.num_parts];
+        for &t in triples {
+            parts[self.triple_home(t)].push(t);
+        }
+        parts
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+}
+
+/// A graph partitioning algorithm.
+pub trait Partitioner {
+    /// Assign every entity of `kg` to one of `num_parts` partitions.
+    fn partition(&self, kg: &KnowledgeGraph, num_parts: usize) -> Partitioning;
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> KnowledgeGraph {
+        KnowledgeGraph::new(
+            4,
+            1,
+            vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3), Triple::new(0, 0, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn part_of_and_locality() {
+        let g = toy();
+        let p = Partitioning::new(2, vec![0, 0, 1, 1]);
+        assert_eq!(p.part_of(EntityId(0)), 0);
+        assert!(p.is_local_triple(g.triples()[0])); // 0-1 both in part 0
+        assert!(p.is_local_triple(g.triples()[1])); // 2-3 both in part 1
+        assert!(!p.is_local_triple(g.triples()[2])); // 0 in 0, 3 in 1
+    }
+
+    #[test]
+    fn triple_home_follows_head() {
+        let p = Partitioning::new(2, vec![0, 0, 1, 1]);
+        assert_eq!(p.triple_home(Triple::new(2, 0, 0)), 1);
+        assert_eq!(p.triple_home(Triple::new(0, 0, 2)), 0);
+    }
+
+    #[test]
+    fn split_triples_routes_by_home() {
+        let g = toy();
+        let p = Partitioning::new(2, vec![0, 0, 1, 1]);
+        let parts = p.split_triples(g.triples());
+        assert_eq!(parts[0].len(), 2); // heads 0, 0
+        assert_eq!(parts[1].len(), 1); // head 2
+    }
+
+    #[test]
+    fn part_sizes_count_entities() {
+        let p = Partitioning::new(3, vec![0, 1, 1, 2]);
+        assert_eq!(p.part_sizes(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition >= num_parts")]
+    fn invalid_assignment_rejected() {
+        let _ = Partitioning::new(2, vec![0, 2]);
+    }
+}

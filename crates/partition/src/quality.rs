@@ -1,0 +1,78 @@
+//! Partition quality metrics: edge cut, balance, cross-triple fraction.
+//!
+//! These feed both the partitioner tests and the `partition-ablation`
+//! experiment (METIS-like vs random) in the bench harness.
+
+use crate::partitioning::Partitioning;
+use hetkg_kgraph::KnowledgeGraph;
+
+/// Number of triples whose endpoints live in different partitions.
+pub fn edge_cut(kg: &KnowledgeGraph, p: &Partitioning) -> usize {
+    kg.triples().iter().filter(|&&t| !p.is_local_triple(t)).count()
+}
+
+/// Fraction of triples cut, in `[0, 1]`.
+pub fn cut_fraction(kg: &KnowledgeGraph, p: &Partitioning) -> f64 {
+    if kg.num_triples() == 0 {
+        return 0.0;
+    }
+    edge_cut(kg, p) as f64 / kg.num_triples() as f64
+}
+
+/// Load balance: largest part size divided by the ideal size. 1.0 = perfect.
+pub fn balance(p: &Partitioning) -> f64 {
+    let sizes = p.part_sizes();
+    let total: usize = sizes.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / p.num_parts() as f64;
+    let max = *sizes.iter().max().expect("at least one part") as f64;
+    max / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetkg_kgraph::Triple;
+
+    fn toy() -> KnowledgeGraph {
+        KnowledgeGraph::new(
+            4,
+            1,
+            vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3), Triple::new(0, 0, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_triples() {
+        let g = toy();
+        let p = Partitioning::new(2, vec![0, 0, 1, 1]);
+        assert_eq!(edge_cut(&g, &p), 1);
+        assert!((cut_fraction(&g, &p) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_in_one_part_cuts_nothing() {
+        let g = toy();
+        let p = Partitioning::new(1, vec![0, 0, 0, 0]);
+        assert_eq!(edge_cut(&g, &p), 0);
+        assert_eq!(balance(&p), 1.0);
+    }
+
+    #[test]
+    fn balance_detects_skew() {
+        let p = Partitioning::new(2, vec![0, 0, 0, 1]);
+        // max 3 vs ideal 2 -> 1.5
+        assert!((balance(&p) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = KnowledgeGraph::new(0, 0, vec![]).unwrap();
+        let p = Partitioning::new(2, vec![]);
+        assert_eq!(cut_fraction(&g, &p), 0.0);
+        assert_eq!(balance(&p), 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Random partitioning — the baseline METIS is measured against.
+//!
+//! Entities are assigned round-robin after a seeded shuffle, giving perfect
+//! balance and (in expectation) the worst possible edge cut:
+//! `(k−1)/k` of all edges cross partitions.
+
+use crate::partitioning::{Partitioner, Partitioning};
+use hetkg_kgraph::KnowledgeGraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Balanced random partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPartitioner {
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl RandomPartitioner {
+    /// Random partitioner with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Partitioner for RandomPartitioner {
+    fn partition(&self, kg: &KnowledgeGraph, num_parts: usize) -> Partitioning {
+        assert!(num_parts > 0);
+        let n = kg.num_entities();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut assignment = vec![0u32; n];
+        for (rank, &e) in order.iter().enumerate() {
+            assignment[e as usize] = (rank % num_parts) as u32;
+        }
+        Partitioning::new(num_parts, assignment)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetkg_kgraph::generator::SyntheticKg;
+
+    #[test]
+    fn balance_is_perfect() {
+        let g = SyntheticKg { num_entities: 100, ..Default::default() }.build(1);
+        let p = RandomPartitioner::new(7).partition(&g, 4);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(sizes.iter().all(|&s| s == 25));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = SyntheticKg::default().build(2);
+        let a = RandomPartitioner::new(3).partition(&g, 4);
+        let b = RandomPartitioner::new(3).partition(&g, 4);
+        assert_eq!(a, b);
+        let c = RandomPartitioner::new(4).partition(&g, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cross_fraction_near_three_quarters_for_four_parts() {
+        let g = SyntheticKg {
+            num_entities: 2_000,
+            num_relations: 10,
+            num_triples: 20_000,
+            ..Default::default()
+        }
+        .build(5);
+        let p = RandomPartitioner::new(1).partition(&g, 4);
+        let cross = g.triples().iter().filter(|&&t| !p.is_local_triple(t)).count();
+        let frac = cross as f64 / g.num_triples() as f64;
+        assert!((frac - 0.75).abs() < 0.05, "cross fraction {frac}");
+    }
+}

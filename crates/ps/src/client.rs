@@ -1,0 +1,261 @@
+//! The worker-side PS handle: routed, *metered* push/pull.
+//!
+//! This is where `localPull`/`localPush` vs `remotePull`/`remotePush` (§V)
+//! are distinguished: a key whose shard is co-located with the calling
+//! worker's machine is shared-memory traffic; every other key crosses the
+//! simulated network. Batched operations send **one message per shard
+//! touched per direction**, matching how a real KVStore client coalesces a
+//! mini-batch's keys.
+
+use crate::kvstore::KvStore;
+use crate::optimizer::Optimizer;
+use hetkg_kgraph::ParamKey;
+use hetkg_netsim::{ClusterTopology, TrafficMeter};
+use std::sync::Arc;
+
+/// Bytes accounted per key id shipped in a request (u64 on the wire).
+const KEY_BYTES: u64 = 8;
+
+/// A worker's connection to the parameter server.
+#[derive(Debug, Clone)]
+pub struct PsClient {
+    worker_id: usize,
+    topology: ClusterTopology,
+    store: Arc<KvStore>,
+    meter: Arc<TrafficMeter>,
+}
+
+impl PsClient {
+    /// Client for `worker_id` under the given topology, reporting traffic to
+    /// `meter`.
+    pub fn new(
+        worker_id: usize,
+        topology: ClusterTopology,
+        store: Arc<KvStore>,
+        meter: Arc<TrafficMeter>,
+    ) -> Self {
+        assert!(worker_id < topology.num_workers(), "worker id out of range");
+        assert_eq!(
+            topology.num_machines(),
+            store.router().num_shards(),
+            "one PS shard per machine"
+        );
+        Self { worker_id, topology, store, meter }
+    }
+
+    /// The underlying store (for evaluation snapshots).
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// This client's worker id.
+    pub fn worker_id(&self) -> usize {
+        self.worker_id
+    }
+
+    /// Whether `key` is served from this worker's machine.
+    #[inline]
+    pub fn is_local(&self, key: ParamKey) -> bool {
+        self.topology.is_local(self.worker_id, self.store.router().shard_of(key))
+    }
+
+    /// Pull one key (one message).
+    pub fn pull(&self, key: ParamKey, out: &mut [f32]) {
+        self.store.pull(key, out);
+        let bytes = self.store.row_bytes(key) + KEY_BYTES;
+        if self.is_local(key) {
+            self.meter.record_local(bytes);
+        } else {
+            self.meter.record_remote(bytes);
+        }
+    }
+
+    /// Pull many keys; `sink(i, row)` receives each key's row in order.
+    ///
+    /// Metering: requested keys are grouped by shard; each touched shard
+    /// costs one message carrying its keys' ids plus the returned rows.
+    pub fn pull_batch(&self, keys: &[ParamKey], mut sink: impl FnMut(usize, &[f32])) {
+        if keys.is_empty() {
+            return;
+        }
+        let num_shards = self.store.router().num_shards();
+        let mut shard_bytes = vec![0u64; num_shards];
+        let max_dim = self.store.entity_dim().max(self.store.relation_dim());
+        let mut buf = vec![0.0f32; max_dim];
+        for (i, &key) in keys.iter().enumerate() {
+            let width = (self.store.row_bytes(key) / 4) as usize;
+            self.store.pull(key, &mut buf[..width]);
+            sink(i, &buf[..width]);
+            shard_bytes[self.store.router().shard_of(key)] +=
+                self.store.row_bytes(key) + KEY_BYTES;
+        }
+        self.meter_shards(&shard_bytes);
+    }
+
+    /// Push one gradient (one message); the server applies `optimizer`.
+    pub fn push(&self, key: ParamKey, grad: &[f32], optimizer: &dyn Optimizer) {
+        self.store.push_grad(key, grad, optimizer);
+        let bytes = self.store.row_bytes(key) + KEY_BYTES;
+        if self.is_local(key) {
+            self.meter.record_local(bytes);
+        } else {
+            self.meter.record_remote(bytes);
+        }
+    }
+
+    /// Push many gradients, one message per shard touched.
+    ///
+    /// `grads[i]` is the gradient for `keys[i]`.
+    pub fn push_batch(&self, keys: &[ParamKey], grads: &[&[f32]], optimizer: &dyn Optimizer) {
+        assert_eq!(keys.len(), grads.len(), "one gradient per key");
+        if keys.is_empty() {
+            return;
+        }
+        let num_shards = self.store.router().num_shards();
+        let mut shard_bytes = vec![0u64; num_shards];
+        for (&key, &grad) in keys.iter().zip(grads) {
+            self.store.push_grad(key, grad, optimizer);
+            shard_bytes[self.store.router().shard_of(key)] +=
+                self.store.row_bytes(key) + KEY_BYTES;
+        }
+        self.meter_shards(&shard_bytes);
+    }
+
+    /// Overwrite many keys' values (no optimizer), one message per shard
+    /// touched. Used by block-partitioned training (PBG) to save entity
+    /// partitions back to shared storage.
+    pub fn write_batch(&self, keys: &[ParamKey], values: &[&[f32]]) {
+        assert_eq!(keys.len(), values.len(), "one value per key");
+        if keys.is_empty() {
+            return;
+        }
+        let num_shards = self.store.router().num_shards();
+        let mut shard_bytes = vec![0u64; num_shards];
+        for (&key, &value) in keys.iter().zip(values) {
+            self.store.store(key, value);
+            shard_bytes[self.store.router().shard_of(key)] +=
+                self.store.row_bytes(key) + KEY_BYTES;
+        }
+        self.meter_shards(&shard_bytes);
+    }
+
+    /// Record one message per shard with accumulated bytes.
+    fn meter_shards(&self, shard_bytes: &[u64]) {
+        for (shard, &bytes) in shard_bytes.iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            if self.topology.is_local(self.worker_id, shard) {
+                self.meter.record_local(bytes);
+            } else {
+                self.meter.record_remote(bytes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Sgd;
+    use crate::router::ShardRouter;
+    use hetkg_embed::init::Init;
+    use hetkg_kgraph::KeySpace;
+
+    fn setup(machines: usize) -> (Arc<KvStore>, ClusterTopology) {
+        let ks = KeySpace::new(8, 4);
+        let router = ShardRouter::round_robin(ks, machines);
+        let store =
+            Arc::new(KvStore::new(router, 4, 4, 0, Init::Uniform { bound: 0.1 }, 1));
+        (store, ClusterTopology::new(machines, 1))
+    }
+
+    #[test]
+    fn local_and_remote_are_metered_separately() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store, meter.clone());
+        let mut buf = [0.0f32; 4];
+        // Entity key 0 -> shard 0 (round robin): local for worker 0.
+        client.pull(ParamKey(0), &mut buf);
+        // Entity key 1 -> shard 1: remote.
+        client.pull(ParamKey(1), &mut buf);
+        let s = meter.snapshot();
+        assert_eq!(s.local_messages, 1);
+        assert_eq!(s.remote_messages, 1);
+        assert_eq!(s.local_bytes, 16 + 8);
+        assert_eq!(s.remote_bytes, 16 + 8);
+    }
+
+    #[test]
+    fn batch_pull_coalesces_messages_per_shard() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store, meter.clone());
+        // Keys 0,2,4,6 on shard 0 (local), 1,3,5 on shard 1 (remote).
+        let keys: Vec<ParamKey> = (0..7).map(ParamKey).collect();
+        let mut rows = 0;
+        client.pull_batch(&keys, |_, row| {
+            assert_eq!(row.len(), 4);
+            rows += 1;
+        });
+        assert_eq!(rows, 7);
+        let s = meter.snapshot();
+        assert_eq!(s.local_messages, 1, "one coalesced local message");
+        assert_eq!(s.remote_messages, 1, "one coalesced remote message");
+        assert_eq!(s.local_bytes, 4 * (16 + 8));
+        assert_eq!(s.remote_bytes, 3 * (16 + 8));
+    }
+
+    #[test]
+    fn push_updates_the_store() {
+        let (store, topo) = setup(1);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store.clone(), meter);
+        store.store(ParamKey(0), &[1.0; 4]);
+        client.push(ParamKey(0), &[1.0; 4], &Sgd { lr: 0.5 });
+        let mut buf = [0.0f32; 4];
+        store.pull(ParamKey(0), &mut buf);
+        assert!((buf[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn push_batch_applies_all_and_meters_once_per_shard() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(1, topo, store.clone(), meter.clone());
+        store.store(ParamKey(0), &[0.0; 4]);
+        store.store(ParamKey(1), &[0.0; 4]);
+        let g = [1.0f32; 4];
+        client.push_batch(&[ParamKey(0), ParamKey(1)], &[&g, &g], &Sgd { lr: 1.0 });
+        let mut buf = [0.0f32; 4];
+        store.pull(ParamKey(0), &mut buf);
+        assert!((buf[0] + 1.0).abs() < 1e-6);
+        let s = meter.snapshot();
+        // Worker 1 is on machine 1: key 1 local, key 0 remote.
+        assert_eq!(s.local_messages, 1);
+        assert_eq!(s.remote_messages, 1);
+    }
+
+    #[test]
+    fn empty_batches_cost_nothing() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store, meter.clone());
+        client.pull_batch(&[], |_, _| panic!("no rows expected"));
+        client.push_batch(&[], &[], &Sgd { lr: 1.0 });
+        assert_eq!(meter.snapshot().total_bytes(), 0);
+    }
+
+    #[test]
+    fn single_machine_everything_is_local() {
+        let (store, topo) = setup(1);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store, meter.clone());
+        let keys: Vec<ParamKey> = (0..12).map(ParamKey).collect();
+        client.pull_batch(&keys, |_, _| {});
+        let s = meter.snapshot();
+        assert_eq!(s.remote_bytes, 0);
+        assert!(s.local_bytes > 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! The sharded key-value store holding the global embeddings.
+//!
+//! One shard per simulated machine. A shard owns two dense tables (entity
+//! rows and relation rows — their widths differ for models like TransR)
+//! plus matching optimizer-state tables. Shards are independently locked
+//! (`parking_lot::RwLock`), so workers pulling from different machines never
+//! contend, mirroring how separate KVStore server processes behave.
+//!
+//! Gradient application happens *inside* the shard (server-side optimizer,
+//! Algorithm 4) — workers only ship gradients.
+
+use crate::optimizer::Optimizer;
+use crate::router::{Placement, RowKind, ShardRouter};
+use hetkg_embed::init::Init;
+use hetkg_embed::storage::EmbeddingTable;
+use hetkg_kgraph::ParamKey;
+use parking_lot::RwLock;
+
+/// One machine's slice of the parameter space.
+#[derive(Debug)]
+struct Shard {
+    entities: EmbeddingTable,
+    relations: EmbeddingTable,
+    entity_state: EmbeddingTable,
+    relation_state: EmbeddingTable,
+}
+
+/// The global, sharded embedding store.
+pub struct KvStore {
+    router: ShardRouter,
+    entity_dim: usize,
+    relation_dim: usize,
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl KvStore {
+    /// Allocate and initialize all shards.
+    ///
+    /// `entity_dim`/`relation_dim` come from the model
+    /// ([`KgeModel::entity_dim`](hetkg_embed::models::KgeModel::entity_dim));
+    /// `state_width` from the optimizer. Initialization is deterministic in
+    /// `seed` and *placement-independent*: a key's initial row depends only
+    /// on the key, so different partitionings start from identical global
+    /// parameters.
+    pub fn new(
+        router: ShardRouter,
+        entity_dim: usize,
+        relation_dim: usize,
+        state_width: usize,
+        init: Init,
+        seed: u64,
+    ) -> Self {
+        assert!(entity_dim > 0 && relation_dim > 0);
+        let num_shards = router.num_shards();
+        let mut shards = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let (ne, nr) = router.shard_rows(s);
+            let entities = EmbeddingTable::zeros(ne, entity_dim);
+            let relations = EmbeddingTable::zeros(nr, relation_dim);
+            let entity_state = EmbeddingTable::zeros(ne, (entity_dim * state_width).max(1));
+            let relation_state =
+                EmbeddingTable::zeros(nr, (relation_dim * state_width).max(1));
+            shards.push(RwLock::new(Shard { entities, relations, entity_state, relation_state }));
+        }
+        let store = Self { router, entity_dim, relation_dim, shards };
+        // Key-addressed init: iterate the key space, fill each row in place.
+        let ks = store.router.key_space();
+        for k in 0..ks.len() as u64 {
+            let key = ParamKey(k);
+            let p = store.router.place(key);
+            let mut shard = store.shards[p.shard].write();
+            let row = match p.kind {
+                RowKind::Entity => shard.entities.row_mut(p.local),
+                RowKind::Relation => shard.relations.row_mut(p.local),
+            };
+            init.fill_row(row, seed, k);
+        }
+        store
+    }
+
+    /// The router (placement map) in use.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Width of entity rows.
+    pub fn entity_dim(&self) -> usize {
+        self.entity_dim
+    }
+
+    /// Width of relation rows.
+    pub fn relation_dim(&self) -> usize {
+        self.relation_dim
+    }
+
+    /// Row width (bytes) for a key — what one pull of it transfers.
+    pub fn row_bytes(&self, key: ParamKey) -> u64 {
+        let p = self.router.place(key);
+        let dim = match p.kind {
+            RowKind::Entity => self.entity_dim,
+            RowKind::Relation => self.relation_dim,
+        };
+        (dim * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Copy a key's current embedding into `out` (length must match the
+    /// key's row width).
+    pub fn pull(&self, key: ParamKey, out: &mut [f32]) {
+        let p = self.router.place(key);
+        let shard = self.shards[p.shard].read();
+        let row = match p.kind {
+            RowKind::Entity => shard.entities.row(p.local),
+            RowKind::Relation => shard.relations.row(p.local),
+        };
+        out.copy_from_slice(row);
+    }
+
+    /// Apply a gradient to a key under `optimizer` (server-side update).
+    pub fn push_grad(&self, key: ParamKey, grad: &[f32], optimizer: &dyn Optimizer) {
+        let p = self.router.place(key);
+        let mut shard = self.shards[p.shard].write();
+        let Shard { entities, relations, entity_state, relation_state } = &mut *shard;
+        let (row, state) = match p.kind {
+            RowKind::Entity => (entities.row_mut(p.local), entity_state.row_mut(p.local)),
+            RowKind::Relation => {
+                (relations.row_mut(p.local), relation_state.row_mut(p.local))
+            }
+        };
+        let width = row.len() * optimizer.state_width();
+        optimizer.update(row, &mut state[..width], grad);
+    }
+
+    /// Overwrite a key's embedding (used by tests and checkpoint loading).
+    pub fn store(&self, key: ParamKey, value: &[f32]) {
+        let p = self.router.place(key);
+        let mut shard = self.shards[p.shard].write();
+        match p.kind {
+            RowKind::Entity => shard.entities.set_row(p.local, value),
+            RowKind::Relation => shard.relations.set_row(p.local, value),
+        }
+    }
+
+    /// Placement of a key (exposed for the metering client).
+    pub fn place(&self, key: ParamKey) -> Placement {
+        self.router.place(key)
+    }
+
+    /// Run `f` over every key and its current embedding (read-locked shard
+    /// at a time). Used by evaluation to snapshot the model.
+    pub fn for_each_row<F: FnMut(ParamKey, &[f32])>(&self, mut f: F) {
+        let ks = self.router.key_space();
+        for k in 0..ks.len() as u64 {
+            let key = ParamKey(k);
+            let p = self.router.place(key);
+            let shard = self.shards[p.shard].read();
+            let row = match p.kind {
+                RowKind::Entity => shard.entities.row(p.local),
+                RowKind::Relation => shard.relations.row(p.local),
+            };
+            f(key, row);
+        }
+    }
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("shards", &self.shards.len())
+            .field("entity_dim", &self.entity_dim)
+            .field("relation_dim", &self.relation_dim)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{AdaGrad, Sgd};
+    use hetkg_kgraph::KeySpace;
+
+    fn store(num_shards: usize) -> KvStore {
+        let ks = KeySpace::new(10, 4);
+        let router = ShardRouter::round_robin(ks, num_shards);
+        KvStore::new(router, 8, 8, 1, Init::Uniform { bound: 0.5 }, 42)
+    }
+
+    #[test]
+    fn pull_returns_initialized_rows() {
+        let s = store(2);
+        let mut buf = [0.0f32; 8];
+        s.pull(ParamKey(3), &mut buf);
+        assert!(buf.iter().any(|v| v.abs() > 1e-6));
+        assert!(buf.iter().all(|v| v.abs() <= 0.5));
+    }
+
+    #[test]
+    fn init_is_placement_independent() {
+        let ks = KeySpace::new(10, 4);
+        let a = KvStore::new(
+            ShardRouter::round_robin(ks, 1),
+            8,
+            8,
+            1,
+            Init::Uniform { bound: 0.5 },
+            7,
+        );
+        let b = KvStore::new(
+            ShardRouter::round_robin(ks, 4),
+            8,
+            8,
+            1,
+            Init::Uniform { bound: 0.5 },
+            7,
+        );
+        let mut ra = [0.0f32; 8];
+        let mut rb = [0.0f32; 8];
+        for k in 0..ks.len() as u64 {
+            a.pull(ParamKey(k), &mut ra);
+            b.pull(ParamKey(k), &mut rb);
+            assert_eq!(ra, rb, "key {k} differs across shardings");
+        }
+    }
+
+    #[test]
+    fn store_then_pull_round_trips() {
+        let s = store(3);
+        let val = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        s.store(ParamKey(11), &val); // a relation key
+        let mut buf = [0.0f32; 8];
+        s.pull(ParamKey(11), &mut buf);
+        assert_eq!(buf, val);
+    }
+
+    #[test]
+    fn push_grad_applies_sgd() {
+        let s = store(2);
+        let key = ParamKey(0);
+        s.store(key, &[1.0; 8]);
+        s.push_grad(key, &[0.5; 8], &Sgd { lr: 0.2 });
+        let mut buf = [0.0f32; 8];
+        s.pull(key, &mut buf);
+        for v in buf {
+            assert!((v - 0.9).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn push_grad_adagrad_keeps_state_across_pushes() {
+        let s = store(1);
+        let key = ParamKey(2);
+        s.store(key, &[0.0; 8]);
+        let opt = AdaGrad::new(0.1);
+        s.push_grad(key, &[1.0; 8], &opt);
+        let mut after_one = [0.0f32; 8];
+        s.pull(key, &mut after_one);
+        s.push_grad(key, &[1.0; 8], &opt);
+        let mut after_two = [0.0f32; 8];
+        s.pull(key, &mut after_two);
+        let step1 = after_one[0].abs();
+        let step2 = (after_two[0] - after_one[0]).abs();
+        assert!(step2 < step1, "adagrad state must persist in the shard");
+    }
+
+    #[test]
+    fn different_row_widths_for_relations() {
+        let ks = KeySpace::new(4, 2);
+        let router = ShardRouter::round_robin(ks, 2);
+        // TransR-style: entity rows 4, relation rows 4 + 16 = 20.
+        let s = KvStore::new(router, 4, 20, 1, Init::Xavier, 1);
+        assert_eq!(s.row_bytes(ParamKey(0)), 16);
+        assert_eq!(s.row_bytes(ParamKey(4)), 80);
+        let mut rel = vec![0.0f32; 20];
+        s.pull(ParamKey(5), &mut rel);
+        assert!(rel.iter().any(|v| v.abs() > 1e-6));
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land() {
+        let s = std::sync::Arc::new(store(2));
+        let opt = Sgd { lr: 1.0 };
+        s.store(ParamKey(0), &[0.0; 8]);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        s.push_grad(ParamKey(0), &[-1.0; 8], &opt);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut buf = [0.0f32; 8];
+        s.pull(ParamKey(0), &mut buf);
+        // 400 SGD steps of +1 each (lr 1.0, grad −1).
+        assert!((buf[0] - 400.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn for_each_row_visits_every_key() {
+        let s = store(3);
+        let mut seen = 0;
+        s.for_each_row(|_, row| {
+            assert_eq!(row.len(), 8);
+            seen += 1;
+        });
+        assert_eq!(seen, 14);
+    }
+}

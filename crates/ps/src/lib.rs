@@ -1,0 +1,52 @@
+//! The parameter server (PS) substrate: a sharded key→embedding store with
+//! server-side optimizers and metered push/pull, mirroring the co-located
+//! PS architecture HET-KG builds on (DGL-KE-style KVStore).
+//!
+//! * [`kvstore::KvStore`] — sharded dense storage; one shard per simulated
+//!   machine, guarded by `parking_lot` locks (shared-memory access for
+//!   co-located workers);
+//! * [`optimizer`] — AdaGrad (the paper's choice) and SGD, applied *at the
+//!   server* on push, exactly like Algorithm 4;
+//! * [`client::PsClient`] — a worker-side handle that routes pulls/pushes to
+//!   the right shard and meters local vs remote traffic;
+//! * [`queue::AsyncServer`] — Algorithm 4's message queue: a consumer
+//!   thread applying fire-and-forget gradient pushes.
+
+//!
+//! # Example: a two-shard store with metered pulls
+//!
+//! ```
+//! use hetkg_ps::{KvStore, PsClient, ShardRouter};
+//! use hetkg_ps::optimizer::Sgd;
+//! use hetkg_embed::init::Init;
+//! use hetkg_kgraph::{KeySpace, ParamKey};
+//! use hetkg_netsim::{ClusterTopology, TrafficMeter};
+//! use std::sync::Arc;
+//!
+//! let ks = KeySpace::new(10, 2);
+//! let store = Arc::new(KvStore::new(
+//!     ShardRouter::round_robin(ks, 2), 4, 4, 0, Init::Xavier, 7,
+//! ));
+//! let meter = Arc::new(TrafficMeter::new());
+//! let client = PsClient::new(0, ClusterTopology::new(2, 1), store, meter.clone());
+//!
+//! let mut row = [0.0f32; 4];
+//! client.pull(ParamKey(0), &mut row);          // local (shard 0)
+//! client.pull(ParamKey(1), &mut row);          // remote (shard 1)
+//! client.push(ParamKey(1), &[0.1; 4], &Sgd { lr: 0.1 });
+//! let t = meter.snapshot();
+//! assert_eq!(t.local_messages, 1);
+//! assert_eq!(t.remote_messages, 2);
+//! ```
+
+pub mod client;
+pub mod kvstore;
+pub mod optimizer;
+pub mod queue;
+pub mod router;
+
+pub use client::PsClient;
+pub use queue::AsyncServer;
+pub use kvstore::KvStore;
+pub use optimizer::{AdaGrad, Optimizer, Sgd};
+pub use router::ShardRouter;

@@ -1,0 +1,178 @@
+//! Server-side optimizers.
+//!
+//! Gradients pushed to the PS are applied there (Algorithm 4, `push`):
+//! AdaGrad keeps a per-coordinate sum of squared gradients alongside every
+//! parameter row and rescales updates by its square root — the paper's
+//! optimizer of choice ("it can get embeddings of greater quality than
+//! SGD", §VI-A, at the cost of the extra state memory).
+
+use serde::{Deserialize, Serialize};
+
+/// A stateless-object, per-row optimizer: applies one gradient row to one
+/// parameter row, given that row's optimizer state.
+pub trait Optimizer: Send + Sync {
+    /// Floats of state kept per parameter coordinate (0 for SGD, 1 for
+    /// AdaGrad).
+    fn state_width(&self) -> usize;
+
+    /// Apply `grad` to `param` in place, updating `state` (length
+    /// `param.len() × state_width`).
+    fn update(&self, param: &mut [f32], state: &mut [f32], grad: &[f32]);
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − η g`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate η.
+    pub lr: f32,
+}
+
+impl Optimizer for Sgd {
+    fn state_width(&self) -> usize {
+        0
+    }
+
+    fn update(&self, param: &mut [f32], _state: &mut [f32], grad: &[f32]) {
+        debug_assert_eq!(param.len(), grad.len());
+        for i in 0..param.len() {
+            param[i] -= self.lr * grad[i];
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// AdaGrad (Duchi et al., 2011): `s ← s + g²; θ ← θ − η g / (√s + ε)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaGrad {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Numerical-stability floor ε.
+    pub eps: f32,
+}
+
+impl AdaGrad {
+    /// AdaGrad with the conventional ε = 1e-10 (DGL-KE's default).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, eps: 1e-10 }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn state_width(&self) -> usize {
+        1
+    }
+
+    fn update(&self, param: &mut [f32], state: &mut [f32], grad: &[f32]) {
+        debug_assert_eq!(param.len(), grad.len());
+        debug_assert_eq!(param.len(), state.len());
+        for i in 0..param.len() {
+            let g = grad[i];
+            state[i] += g * g;
+            param[i] -= self.lr * g / (state[i].sqrt() + self.eps);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adagrad"
+    }
+}
+
+/// Serializable optimizer selector for training configs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Plain SGD with learning rate.
+    Sgd {
+        /// Learning rate η.
+        lr: f32,
+    },
+    /// AdaGrad with learning rate (ε fixed at 1e-10).
+    AdaGrad {
+        /// Learning rate η.
+        lr: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Instantiate the optimizer.
+    pub fn build(self) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Sgd { lr } => Box::new(Sgd { lr }),
+            OptimizerKind::AdaGrad { lr } => Box::new(AdaGrad::new(lr)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let o = Sgd { lr: 0.1 };
+        let mut p = [1.0f32, -1.0];
+        o.update(&mut p, &mut [], &[1.0, -1.0]);
+        assert!((p[0] - 0.9).abs() < 1e-6);
+        assert!((p[1] + 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adagrad_first_step_is_unit_scaled() {
+        // First update: s = g², so step = lr·g/|g| = lr·sign(g).
+        let o = AdaGrad::new(0.1);
+        let mut p = [0.0f32, 0.0];
+        let mut s = [0.0f32, 0.0];
+        o.update(&mut p, &mut s, &[4.0, -0.25]);
+        assert!((p[0] + 0.1).abs() < 1e-4, "{p:?}");
+        assert!((p[1] - 0.1).abs() < 1e-4, "{p:?}");
+    }
+
+    #[test]
+    fn adagrad_steps_shrink_over_time() {
+        let o = AdaGrad::new(0.1);
+        let mut p = [0.0f32];
+        let mut s = [0.0f32];
+        let mut prev = 0.0f32;
+        let mut deltas = Vec::new();
+        for _ in 0..5 {
+            o.update(&mut p, &mut s, &[1.0]);
+            deltas.push((p[0] - prev).abs());
+            prev = p[0];
+        }
+        for w in deltas.windows(2) {
+            assert!(w[1] < w[0], "steps should shrink: {deltas:?}");
+        }
+    }
+
+    #[test]
+    fn adagrad_accumulates_state() {
+        let o = AdaGrad::new(0.1);
+        let mut p = [0.0f32];
+        let mut s = [0.0f32];
+        o.update(&mut p, &mut s, &[2.0]);
+        o.update(&mut p, &mut s, &[3.0]);
+        assert!((s[0] - 13.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn kind_builds_expected_optimizer() {
+        assert_eq!(OptimizerKind::Sgd { lr: 0.1 }.build().name(), "sgd");
+        assert_eq!(OptimizerKind::AdaGrad { lr: 0.1 }.build().name(), "adagrad");
+        assert_eq!(OptimizerKind::AdaGrad { lr: 0.1 }.build().state_width(), 1);
+    }
+
+    #[test]
+    fn zero_gradient_is_a_noop() {
+        let o = AdaGrad::new(0.1);
+        let mut p = [0.5f32];
+        let mut s = [1.0f32];
+        o.update(&mut p, &mut s, &[0.0]);
+        assert_eq!(p[0], 0.5);
+        assert_eq!(s[0], 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Algorithm 4's message queue: an asynchronous push path to the PS.
+//!
+//! The paper's server "continuously fetches the elements of the message
+//! queue and employs the AdaGrad optimizer to update the embedding using
+//! gradients". This module implements exactly that: one consumer thread per
+//! server drains a channel of [`PushMessage`]s and applies them to the
+//! store. Workers fire-and-forget their gradient pushes — which is the
+//! systems-level reason communication overlaps computation (the timing
+//! model's `max(compute, comm)`).
+//!
+//! The synchronous [`KvStore::push_grad`](crate::KvStore::push_grad) path
+//! remains the default in the trainer because it makes runs bit-
+//! deterministic; the async server exists for fidelity and is exercised by
+//! its own tests and the `train_epoch` benchmarks.
+
+use crate::kvstore::KvStore;
+use crate::optimizer::Optimizer;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use hetkg_kgraph::ParamKey;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One gradient push in flight.
+#[derive(Debug)]
+pub struct PushMessage {
+    /// Target parameter.
+    pub key: ParamKey,
+    /// The gradient row.
+    pub grad: Vec<f32>,
+}
+
+enum Command {
+    Push(PushMessage),
+    /// Flush barrier: reply when everything before it has been applied.
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+/// An asynchronous push server: a consumer thread applying queued gradients
+/// to the store with the server-side optimizer.
+pub struct AsyncServer {
+    tx: Sender<Command>,
+    handle: Option<JoinHandle<u64>>,
+}
+
+impl AsyncServer {
+    /// Spawn the consumer thread. `queue_depth` bounds the channel
+    /// (backpressure: producers block when the server falls behind, like a
+    /// real bounded message queue).
+    pub fn spawn(
+        store: Arc<KvStore>,
+        optimizer: Arc<dyn Optimizer>,
+        queue_depth: usize,
+    ) -> Self {
+        assert!(queue_depth > 0, "queue depth must be positive");
+        let (tx, rx): (Sender<Command>, Receiver<Command>) = bounded(queue_depth);
+        let handle = std::thread::Builder::new()
+            .name("hetkg-ps-server".into())
+            .spawn(move || {
+                let mut applied = 0u64;
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Command::Push(msg) => {
+                            store.push_grad(msg.key, &msg.grad, optimizer.as_ref());
+                            applied += 1;
+                        }
+                        Command::Flush(reply) => {
+                            // Everything sent before this flush is already
+                            // applied (single consumer, FIFO channel).
+                            let _ = reply.send(());
+                        }
+                        Command::Shutdown => break,
+                    }
+                }
+                applied
+            })
+            .expect("spawn ps server thread");
+        Self { tx, handle: Some(handle) }
+    }
+
+    /// Enqueue a gradient push (blocks only when the queue is full).
+    pub fn push(&self, key: ParamKey, grad: Vec<f32>) {
+        self.tx
+            .send(Command::Push(PushMessage { key, grad }))
+            .expect("ps server thread alive");
+    }
+
+    /// Wait until every previously enqueued push has been applied — the
+    /// "workers are fully synchronized after every few thousand mini-
+    /// batches" barrier from §V.
+    pub fn flush(&self) {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx.send(Command::Flush(reply_tx)).expect("ps server thread alive");
+        reply_rx.recv().expect("server replies to flush");
+    }
+
+    /// Stop the server, returning how many pushes it applied.
+    pub fn shutdown(mut self) -> u64 {
+        self.tx.send(Command::Shutdown).expect("ps server thread alive");
+        self.handle
+            .take()
+            .expect("handle present until shutdown")
+            .join()
+            .expect("server thread exits cleanly")
+    }
+}
+
+impl Drop for AsyncServer {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.tx.send(Command::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for AsyncServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncServer").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Sgd;
+    use crate::router::ShardRouter;
+    use hetkg_embed::init::Init;
+    use hetkg_kgraph::KeySpace;
+
+    fn store() -> Arc<KvStore> {
+        let ks = KeySpace::new(8, 2);
+        let router = ShardRouter::round_robin(ks, 2);
+        Arc::new(KvStore::new(router, 4, 4, 0, Init::Uniform { bound: 0.0 }, 1))
+    }
+
+    #[test]
+    fn pushes_apply_after_flush() {
+        let store = store();
+        let server = AsyncServer::spawn(store.clone(), Arc::new(Sgd { lr: 1.0 }), 64);
+        for _ in 0..10 {
+            server.push(ParamKey(0), vec![-1.0; 4]);
+        }
+        server.flush();
+        let mut row = [0.0f32; 4];
+        store.pull(ParamKey(0), &mut row);
+        assert_eq!(row, [10.0; 4]);
+        assert_eq!(server.shutdown(), 10);
+    }
+
+    #[test]
+    fn concurrent_producers_all_land() {
+        let store = store();
+        let server =
+            Arc::new(AsyncServer::spawn(store.clone(), Arc::new(Sgd { lr: 1.0 }), 8));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let server = server.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        server.push(ParamKey(3), vec![-0.5; 4]);
+                    }
+                });
+            }
+        });
+        server.flush();
+        let mut row = [0.0f32; 4];
+        store.pull(ParamKey(3), &mut row);
+        assert!((row[0] - 200.0).abs() < 1e-3, "row {row:?}");
+    }
+
+    #[test]
+    fn flush_is_a_real_barrier() {
+        let store = store();
+        let server = AsyncServer::spawn(store.clone(), Arc::new(Sgd { lr: 1.0 }), 4);
+        // Fill beyond the queue depth so the consumer must drain while we
+        // are still producing; flush must still see everything.
+        for _ in 0..50 {
+            server.push(ParamKey(1), vec![-1.0; 4]);
+        }
+        server.flush();
+        let mut row = [0.0f32; 4];
+        store.pull(ParamKey(1), &mut row);
+        assert_eq!(row, [50.0; 4]);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let store = store();
+        {
+            let server = AsyncServer::spawn(store.clone(), Arc::new(Sgd { lr: 1.0 }), 4);
+            server.push(ParamKey(2), vec![-1.0; 4]);
+            // dropped without explicit shutdown
+        }
+        // The channel is FIFO and Drop enqueues Shutdown after the push, so
+        // the push is applied before the consumer exits.
+        let mut row = [0.0f32; 4];
+        store.pull(ParamKey(2), &mut row);
+        assert_eq!(row, [1.0; 4]);
+    }
+
+    #[test]
+    fn shutdown_reports_applied_count() {
+        let store = store();
+        let server = AsyncServer::spawn(store, Arc::new(Sgd { lr: 0.1 }), 16);
+        for i in 0..7 {
+            server.push(ParamKey(i % 3), vec![0.1; 4]);
+        }
+        server.flush();
+        assert_eq!(server.shutdown(), 7);
+    }
+}

@@ -1,0 +1,183 @@
+//! Key → shard routing.
+//!
+//! Entity embeddings live on the shard (machine) that owns the entity in
+//! the graph partitioning — that is the co-location DGL-KE and HET-KG get
+//! from METIS. Relation embeddings are spread round-robin across shards
+//! (there are few of them, but they are hot; spreading balances load).
+//!
+//! The router also assigns each key a dense *local index* within its shard
+//! and kind, which is how shards address their storage rows.
+
+use hetkg_kgraph::{KeySpace, ParamKey};
+
+/// Which storage family a key belongs to (entity and relation rows can have
+/// different widths depending on the model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// Entity embedding row.
+    Entity,
+    /// Relation embedding row.
+    Relation,
+}
+
+/// Where a key lives: shard, kind, and dense index within that shard+kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Shard (machine) index.
+    pub shard: usize,
+    /// Entity or relation storage.
+    pub kind: RowKind,
+    /// Dense row index within the shard's table of that kind.
+    pub local: usize,
+}
+
+/// Immutable key → placement map shared by all workers.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    key_space: KeySpace,
+    num_shards: usize,
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+    /// Rows per shard, per kind: `[shard] -> (entities, relations)`.
+    shard_rows: Vec<(usize, usize)>,
+}
+
+impl ShardRouter {
+    /// Route entities according to `entity_shard[entity_id]`, relations
+    /// round-robin.
+    pub fn new(key_space: KeySpace, num_shards: usize, entity_shard: &[u32]) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        assert_eq!(
+            entity_shard.len(),
+            key_space.num_entities(),
+            "one shard assignment per entity"
+        );
+        assert!(
+            entity_shard.iter().all(|&s| (s as usize) < num_shards),
+            "entity shard out of range"
+        );
+        let total = key_space.len();
+        let mut shard_of = Vec::with_capacity(total);
+        let mut local_of = Vec::with_capacity(total);
+        let mut shard_rows = vec![(0usize, 0usize); num_shards];
+        for &s in entity_shard {
+            shard_of.push(s);
+            local_of.push(shard_rows[s as usize].0 as u32);
+            shard_rows[s as usize].0 += 1;
+        }
+        for r in 0..key_space.num_relations() {
+            let s = r % num_shards;
+            shard_of.push(s as u32);
+            local_of.push(shard_rows[s].1 as u32);
+            shard_rows[s].1 += 1;
+        }
+        Self { key_space, num_shards, shard_of, local_of, shard_rows }
+    }
+
+    /// All entities and relations round-robin (used when no partitioning is
+    /// available, e.g. unit tests).
+    pub fn round_robin(key_space: KeySpace, num_shards: usize) -> Self {
+        let entity_shard: Vec<u32> = (0..key_space.num_entities())
+            .map(|e| (e % num_shards) as u32)
+            .collect();
+        Self::new(key_space, num_shards, &entity_shard)
+    }
+
+    /// The key space being routed.
+    pub fn key_space(&self) -> KeySpace {
+        self.key_space
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Placement of a key.
+    #[inline]
+    pub fn place(&self, key: ParamKey) -> Placement {
+        let i = key.index();
+        let kind = if i < self.key_space.num_entities() {
+            RowKind::Entity
+        } else {
+            RowKind::Relation
+        };
+        Placement {
+            shard: self.shard_of[i] as usize,
+            kind,
+            local: self.local_of[i] as usize,
+        }
+    }
+
+    /// Shard of a key (shortcut for locality checks).
+    #[inline]
+    pub fn shard_of(&self, key: ParamKey) -> usize {
+        self.shard_of[key.index()] as usize
+    }
+
+    /// `(entity_rows, relation_rows)` stored on `shard`.
+    pub fn shard_rows(&self, shard: usize) -> (usize, usize) {
+        self.shard_rows[shard]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entities_follow_assignment_relations_round_robin() {
+        let ks = KeySpace::new(4, 3);
+        let r = ShardRouter::new(ks, 2, &[1, 0, 1, 0]);
+        assert_eq!(r.shard_of(ParamKey(0)), 1);
+        assert_eq!(r.shard_of(ParamKey(1)), 0);
+        // Relations: keys 4,5,6 -> shards 0,1,0
+        assert_eq!(r.shard_of(ParamKey(4)), 0);
+        assert_eq!(r.shard_of(ParamKey(5)), 1);
+        assert_eq!(r.shard_of(ParamKey(6)), 0);
+    }
+
+    #[test]
+    fn local_indices_are_dense_per_shard_and_kind() {
+        let ks = KeySpace::new(4, 3);
+        let r = ShardRouter::new(ks, 2, &[1, 0, 1, 0]);
+        // Shard 0 entities: keys 1, 3 -> locals 0, 1.
+        assert_eq!(r.place(ParamKey(1)).local, 0);
+        assert_eq!(r.place(ParamKey(3)).local, 1);
+        // Shard 1 entities: keys 0, 2 -> locals 0, 1.
+        assert_eq!(r.place(ParamKey(0)).local, 0);
+        assert_eq!(r.place(ParamKey(2)).local, 1);
+        // Shard 0 relations: keys 4, 6 -> locals 0, 1.
+        assert_eq!(r.place(ParamKey(4)).local, 0);
+        assert_eq!(r.place(ParamKey(6)).local, 1);
+        assert_eq!(r.shard_rows(0), (2, 2));
+        assert_eq!(r.shard_rows(1), (2, 1));
+    }
+
+    #[test]
+    fn kinds_are_classified() {
+        let ks = KeySpace::new(2, 2);
+        let r = ShardRouter::round_robin(ks, 2);
+        assert_eq!(r.place(ParamKey(1)).kind, RowKind::Entity);
+        assert_eq!(r.place(ParamKey(2)).kind, RowKind::Relation);
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let ks = KeySpace::new(10, 4);
+        let r = ShardRouter::round_robin(ks, 2);
+        let (e0, r0) = r.shard_rows(0);
+        let (e1, r1) = r.shard_rows(1);
+        assert_eq!(e0 + e1, 10);
+        assert_eq!(r0 + r1, 4);
+        assert_eq!(e0, 5);
+        assert_eq!(r0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one shard assignment per entity")]
+    fn wrong_assignment_length_panics() {
+        let ks = KeySpace::new(3, 1);
+        let _ = ShardRouter::new(ks, 2, &[0, 1]);
+    }
+}

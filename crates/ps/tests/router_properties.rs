@@ -1,0 +1,67 @@
+//! Property tests over the shard router and KV store: placements are total,
+//! local indices dense and collision-free, and store round-trips exact.
+
+use hetkg_embed::init::Init;
+use hetkg_kgraph::{KeySpace, ParamKey};
+use hetkg_ps::router::RowKind;
+use hetkg_ps::{KvStore, ShardRouter};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every key gets a placement; (shard, kind, local) triples never
+    /// collide; local indices are dense per shard+kind.
+    #[test]
+    fn placements_are_total_and_dense(
+        entities in 1usize..200,
+        relations in 0usize..50,
+        shards in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Entity assignment: arbitrary but valid, derived from the seed.
+        let assignment: Vec<u32> =
+            (0..entities).map(|e| ((e as u64 ^ seed) % shards as u64) as u32).collect();
+        let ks = KeySpace::new(entities, relations);
+        let router = ShardRouter::new(ks, shards, &assignment);
+
+        let mut seen: HashSet<(usize, bool, usize)> = HashSet::new();
+        let mut per_bucket: Vec<(usize, usize)> = vec![(0, 0); shards];
+        for k in 0..ks.len() as u64 {
+            let p = router.place(ParamKey(k));
+            prop_assert!(p.shard < shards);
+            let is_entity = matches!(p.kind, RowKind::Entity);
+            prop_assert!(seen.insert((p.shard, is_entity, p.local)), "collision at key {k}");
+            if is_entity {
+                per_bucket[p.shard].0 = per_bucket[p.shard].0.max(p.local + 1);
+            } else {
+                per_bucket[p.shard].1 = per_bucket[p.shard].1.max(p.local + 1);
+            }
+        }
+        // Dense: max local + 1 equals the shard's declared row count.
+        for s in 0..shards {
+            prop_assert_eq!(per_bucket[s], router.shard_rows(s));
+        }
+    }
+
+    /// store() then pull() round-trips exactly for every key, any sharding.
+    #[test]
+    fn store_pull_round_trips(
+        entities in 1usize..60,
+        relations in 1usize..20,
+        shards in 1usize..5,
+        dim in 1usize..9,
+    ) {
+        let ks = KeySpace::new(entities, relations);
+        let router = ShardRouter::round_robin(ks, shards);
+        let store = KvStore::new(router, dim, dim, 0, Init::Uniform { bound: 0.1 }, 7);
+        let mut buf = vec![0.0f32; dim];
+        for k in 0..ks.len() as u64 {
+            let val: Vec<f32> = (0..dim).map(|i| (k as f32) + i as f32 * 0.25).collect();
+            store.store(ParamKey(k), &val);
+            store.pull(ParamKey(k), &mut buf);
+            prop_assert_eq!(&buf, &val, "key {}", k);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Training configuration: the full experiment grid of the paper in one
+//! struct.
+
+use hetkg_core::filter::FilterConfig;
+use hetkg_core::policy::{CachePolicy, PolicyKind};
+use hetkg_core::sync::SyncConfig;
+use hetkg_embed::loss::LossKind;
+use hetkg_embed::negative::NegConfig;
+use hetkg_embed::ModelKind;
+use hetkg_netsim::{ClusterTopology, CostModel};
+use hetkg_ps::optimizer::OptimizerKind;
+use serde::{Deserialize, Serialize};
+
+/// Which training system to run (the paper's comparison grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// HET-KG with constant partial stale (HET-KG-C).
+    HetKgCps,
+    /// HET-KG with dynamic partial stale (HET-KG-D).
+    HetKgDps,
+    /// DGL-KE-style plain co-located PS (no worker cache).
+    DglKe,
+    /// PyTorch-BigGraph-style block partitioned training.
+    Pbg,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SystemKind::HetKgCps => "HET-KG-C",
+            SystemKind::HetKgDps => "HET-KG-D",
+            SystemKind::DglKe => "DGL-KE",
+            SystemKind::Pbg => "PBG",
+        })
+    }
+}
+
+/// Which partitioner distributes entities across machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionerKind {
+    /// Multilevel min-cut (METIS-like) — the paper's setting.
+    MetisLike,
+    /// Random balanced assignment — the ablation baseline.
+    Random,
+}
+
+/// Cache settings for the HET-KG systems.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Cache capacity as a fraction of the total number of embeddings
+    /// (entities + relations). Fig. 8a sweeps this.
+    pub capacity_fraction: f64,
+    /// Fraction of the cache reserved for entities (paper default 0.25,
+    /// Fig. 8c).
+    pub entity_fraction: f64,
+    /// Apply the entity/relation split (false = HET-KG-N, Table VII).
+    pub heterogeneity_aware: bool,
+    /// DPS prefetch depth `D`.
+    pub prefetch_depth: usize,
+    /// Staleness bound `P` (sync period, Fig. 8b).
+    pub staleness: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity_fraction: 0.02,
+            entity_fraction: 0.25,
+            heterogeneity_aware: true,
+            prefetch_depth: 16,
+            staleness: 8,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Resolve to a [`CachePolicy`] given the total key count and system.
+    pub fn policy(&self, total_keys: usize, system: SystemKind) -> CachePolicy {
+        let capacity =
+            ((total_keys as f64 * self.capacity_fraction).round() as usize).min(total_keys);
+        let kind = match system {
+            SystemKind::HetKgDps => PolicyKind::Dps,
+            _ => PolicyKind::Cps,
+        };
+        CachePolicy {
+            kind,
+            filter: FilterConfig {
+                capacity,
+                entity_fraction: self.entity_fraction,
+                heterogeneity_aware: self.heterogeneity_aware,
+            },
+            prefetch_depth: self.prefetch_depth.max(1),
+        }
+    }
+
+    /// The sync schedule.
+    pub fn sync(&self) -> SyncConfig {
+        SyncConfig::new(self.staleness.max(1))
+    }
+}
+
+/// Everything a training run needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Which system's data path to use.
+    pub system: SystemKind,
+    /// Score function.
+    pub model: ModelKind,
+    /// Base embedding dimension `d`.
+    pub dim: usize,
+    /// Loss.
+    pub loss: LossKind,
+    /// Negative sampling.
+    pub negatives: NegConfig,
+    /// Server-side optimizer.
+    pub optimizer: OptimizerKind,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Positive triples per mini-batch (`b` in Table II).
+    pub batch_size: usize,
+    /// Cluster shape.
+    pub machines: usize,
+    /// Worker threads per machine.
+    pub workers_per_machine: usize,
+    /// Network cost model for the simulated communication time.
+    pub cost_model: CostModel,
+    /// Cache settings (HET-KG systems only; ignored by the baselines).
+    pub cache: CacheConfig,
+    /// Entity partitioner.
+    pub partitioner: PartitionerKind,
+    /// Master seed; all per-worker randomness derives from it.
+    pub seed: u64,
+    /// Evaluate MRR on a held-out set after every epoch (candidate count
+    /// for subsampled ranking; `None` disables per-epoch eval).
+    pub eval_candidates: Option<usize>,
+}
+
+impl TrainConfig {
+    /// A small, fast configuration used by tests and the quickstart
+    /// example (TransE-L2, logistic loss, 2 machines).
+    pub fn small(system: SystemKind) -> Self {
+        Self {
+            system,
+            model: ModelKind::TransEL2,
+            dim: 16,
+            loss: LossKind::Logistic,
+            negatives: NegConfig::default(),
+            optimizer: OptimizerKind::AdaGrad { lr: 0.1 },
+            epochs: 3,
+            batch_size: 64,
+            machines: 2,
+            workers_per_machine: 1,
+            cost_model: CostModel::gigabit(),
+            cache: CacheConfig::default(),
+            partitioner: PartitionerKind::MetisLike,
+            seed: 42,
+            eval_candidates: None,
+        }
+    }
+
+    /// The paper's Table II hyperparameters, scaled to dimension `dim`
+    /// (the paper uses `d = 400`; the harness defaults lower to keep runs
+    /// laptop-sized — pass 400 to match exactly).
+    pub fn paper(system: SystemKind, model: ModelKind, dim: usize) -> Self {
+        Self {
+            system,
+            model,
+            dim,
+            loss: LossKind::Logistic,
+            negatives: NegConfig::default(),
+            optimizer: OptimizerKind::AdaGrad { lr: 0.1 },
+            epochs: 30,
+            batch_size: 32,
+            machines: 4,
+            workers_per_machine: 1,
+            cost_model: CostModel::gigabit(),
+            cache: CacheConfig::default(),
+            partitioner: PartitionerKind::MetisLike,
+            seed: 42,
+            eval_candidates: Some(200),
+        }
+    }
+
+    /// The simulated cluster topology.
+    pub fn topology(&self) -> ClusterTopology {
+        ClusterTopology::new(self.machines, self.workers_per_machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_resolution_respects_system() {
+        let cfg = CacheConfig::default();
+        assert_eq!(cfg.policy(1000, SystemKind::HetKgCps).kind, PolicyKind::Cps);
+        assert_eq!(cfg.policy(1000, SystemKind::HetKgDps).kind, PolicyKind::Dps);
+        assert_eq!(cfg.policy(1000, SystemKind::HetKgCps).filter.capacity, 20);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_key_count() {
+        let cfg = CacheConfig { capacity_fraction: 10.0, ..Default::default() };
+        assert_eq!(cfg.policy(100, SystemKind::HetKgCps).filter.capacity, 100);
+    }
+
+    #[test]
+    fn system_names() {
+        assert_eq!(SystemKind::HetKgCps.to_string(), "HET-KG-C");
+        assert_eq!(SystemKind::HetKgDps.to_string(), "HET-KG-D");
+        assert_eq!(SystemKind::DglKe.to_string(), "DGL-KE");
+        assert_eq!(SystemKind::Pbg.to_string(), "PBG");
+    }
+
+    #[test]
+    fn topology_matches_counts() {
+        let cfg = TrainConfig::small(SystemKind::DglKe);
+        let t = cfg.topology();
+        assert_eq!(t.num_machines(), 2);
+        assert_eq!(t.num_workers(), 2);
+    }
+
+    #[test]
+    fn config_serializes_round_trip() {
+        let cfg = TrainConfig::paper(SystemKind::HetKgDps, ModelKind::DistMult, 64);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: TrainConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.system, cfg.system);
+        assert_eq!(back.dim, 64);
+    }
+}

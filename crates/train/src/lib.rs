@@ -1,0 +1,25 @@
+//! The distributed training engine: multi-worker KGE training over the
+//! parameter server, in four system flavours matching the paper's
+//! evaluation grid:
+//!
+//! * **HET-KG-C** — hot-embedding cache, constant partial stale (CPS);
+//! * **HET-KG-D** — hot-embedding cache, dynamic partial stale (DPS);
+//! * **DGL-KE (simulated)** — plain co-located PS, no cache: every mini-batch
+//!   pulls all its embeddings and pushes all its gradients;
+//! * **PBG (simulated)** — block partitioning with a lock server, bucket
+//!   swapping through a shared filesystem, relations as dense parameters.
+//!
+//! Workers run as OS threads doing real floating-point training; the network
+//! is metered and costed by `hetkg-netsim`, so "communication time" in the
+//! reports is simulated (deterministic) while "computation time" is real.
+
+pub mod batch;
+pub mod config;
+pub mod report;
+pub mod systems;
+pub mod trainer;
+pub mod worker;
+
+pub use config::{SystemKind, TrainConfig};
+pub use report::{EpochReport, TrainReport};
+pub use trainer::train;

@@ -1,0 +1,190 @@
+//! Training run reports: the numbers every experiment table/figure is built
+//! from.
+//!
+//! Per epoch we record real computation wall time, *simulated* communication
+//! time (from metered traffic under the run's cost model), the traffic
+//! snapshot itself, cache statistics, training loss, and (optionally) MRR on
+//! a held-out set. "Epoch time" follows the paper's convention of
+//! computation + communication.
+
+use hetkg_core::metrics::CacheStats;
+use hetkg_eval::RankMetrics;
+use hetkg_netsim::TrafficSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Measurements for one epoch (aggregated over workers: times are the
+/// slowest worker's, traffic and cache stats are summed).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Simulated compute time of the slowest worker (kernel work units
+    /// under the cost model's per-machine compute rate), seconds.
+    pub compute_secs: f64,
+    /// Real wall time of the slowest worker (diagnostic; host-dependent).
+    pub wall_secs: f64,
+    /// Simulated communication time of the most communication-bound worker.
+    pub comm_secs: f64,
+    /// Total traffic across workers this epoch.
+    pub traffic: TrafficSnapshot,
+    /// Cache hits/misses across workers this epoch (zero for cacheless
+    /// systems).
+    pub cache: CacheStats,
+    /// Mean training loss per positive triple.
+    pub loss: f64,
+    /// Held-out MRR measured after this epoch, when evaluation is enabled.
+    pub mrr: Option<f64>,
+    /// Largest cache-vs-global divergence observed at sync points (the
+    /// empirical bounded-staleness measurement; 0 for cacheless systems).
+    pub max_divergence: f64,
+    /// Mean per-key divergence at sync points, worst worker (0 for
+    /// cacheless systems).
+    pub mean_divergence: f64,
+}
+
+impl EpochReport {
+    /// Epoch duration: `max(compute, comm)` — PS training pipelines
+    /// communication with computation (gradient pushes are asynchronous and
+    /// the next batch's pulls overlap the current batch's compute), so the
+    /// slower of the two paces the epoch.
+    pub fn epoch_secs(&self) -> f64 {
+        self.compute_secs.max(self.comm_secs)
+    }
+
+    /// Communication's share of the measured work,
+    /// `comm / (compute + comm)` — Table I's statistic.
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.compute_secs + self.comm_secs;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.comm_secs / total
+        }
+    }
+}
+
+/// Full training-run report.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// System label (e.g. "HET-KG-D").
+    pub system: String,
+    /// Model label (e.g. "TransE-L2").
+    pub model: String,
+    /// Per-epoch measurements.
+    pub epochs: Vec<EpochReport>,
+    /// Final held-out metrics (when a final evaluation ran).
+    pub final_metrics: Option<RankMetrics>,
+}
+
+impl TrainReport {
+    /// Total training time (sum of epoch times).
+    pub fn total_secs(&self) -> f64 {
+        self.epochs.iter().map(|e| e.epoch_secs()).sum()
+    }
+
+    /// Total compute seconds.
+    pub fn total_compute_secs(&self) -> f64 {
+        self.epochs.iter().map(|e| e.compute_secs).sum()
+    }
+
+    /// Total simulated communication seconds.
+    pub fn total_comm_secs(&self) -> f64 {
+        self.epochs.iter().map(|e| e.comm_secs).sum()
+    }
+
+    /// Communication's share of the measured work over the whole run,
+    /// `comm / (compute + comm)`.
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.total_compute_secs() + self.total_comm_secs();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.total_comm_secs() / total
+        }
+    }
+
+    /// Aggregate traffic over the whole run.
+    pub fn total_traffic(&self) -> TrafficSnapshot {
+        self.epochs
+            .iter()
+            .fold(TrafficSnapshot::default(), |acc, e| acc.merge(e.traffic))
+    }
+
+    /// Aggregate cache stats over the whole run.
+    pub fn total_cache(&self) -> CacheStats {
+        self.epochs.iter().fold(CacheStats::default(), |acc, e| acc.merge(e.cache))
+    }
+
+    /// Largest cache-vs-global divergence seen anywhere in the run.
+    pub fn max_divergence(&self) -> f64 {
+        self.epochs.iter().fold(0.0, |acc, e| acc.max(e.max_divergence))
+    }
+
+    /// Loss of the final epoch (NaN when no epochs ran).
+    pub fn final_loss(&self) -> f64 {
+        self.epochs.last().map_or(f64::NAN, |e| e.loss)
+    }
+
+    /// `(time_so_far, mrr)` series for convergence plots (Fig. 5).
+    pub fn convergence_series(&self) -> Vec<(f64, f64)> {
+        let mut t = 0.0;
+        let mut out = Vec::new();
+        for e in &self.epochs {
+            t += e.epoch_secs();
+            if let Some(mrr) = e.mrr {
+                out.push((t, mrr));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(compute: f64, comm: f64, mrr: Option<f64>) -> EpochReport {
+        EpochReport { compute_secs: compute, comm_secs: comm, mrr, ..Default::default() }
+    }
+
+    #[test]
+    fn epoch_time_is_the_pipelined_max() {
+        let e = epoch(2.0, 6.0, None);
+        assert_eq!(e.epoch_secs(), 6.0);
+        assert_eq!(e.comm_fraction(), 0.75);
+        // Compute-bound epoch: compute paces it.
+        let e = epoch(6.0, 2.0, None);
+        assert_eq!(e.epoch_secs(), 6.0);
+        assert_eq!(e.comm_fraction(), 0.25);
+    }
+
+    #[test]
+    fn totals_sum_over_epochs() {
+        let r = TrainReport {
+            epochs: vec![epoch(1.0, 2.0, None), epoch(1.0, 4.0, None)],
+            ..Default::default()
+        };
+        assert_eq!(r.total_secs(), 6.0); // max(1,2) + max(1,4)
+        assert_eq!(r.total_compute_secs(), 2.0);
+        assert_eq!(r.total_comm_secs(), 6.0);
+        assert_eq!(r.comm_fraction(), 0.75);
+    }
+
+    #[test]
+    fn convergence_series_accumulates_time() {
+        let r = TrainReport {
+            epochs: vec![epoch(1.0, 1.0, Some(0.3)), epoch(1.0, 1.0, None), epoch(1.0, 1.0, Some(0.5))],
+            ..Default::default()
+        };
+        assert_eq!(r.convergence_series(), vec![(1.0, 0.3), (3.0, 0.5)]);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = TrainReport::default();
+        assert_eq!(r.total_secs(), 0.0);
+        assert_eq!(r.comm_fraction(), 0.0);
+        assert!(r.final_loss().is_nan());
+        assert!(r.convergence_series().is_empty());
+    }
+}

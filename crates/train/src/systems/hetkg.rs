@@ -1,0 +1,481 @@
+//! HET-KG's worker loop: Hot-Embedding Oriented Training (§IV-B, Alg. 3).
+//!
+//! The data path per iteration:
+//!
+//! 1. (re)construct the hot-embedding table when the policy says so —
+//!    CPS once from the whole subgraph's frequencies, DPS every `D`
+//!    iterations from prefetched batches;
+//! 2. synchronize the table with the PS every `P` iterations (bounded
+//!    staleness, Alg. 3 lines 8–9);
+//! 3. read hot embeddings from the table, pull only the *misses* from the
+//!    PS — this is where the communication reduction comes from;
+//! 4. compute gradients; apply them to cached rows locally **and** push all
+//!    gradients to the PS (Alg. 3 lines 17–19) so the global model keeps
+//!    advancing.
+
+use crate::worker::{WorkerCtx, WorkerEpochStats, WorkerLoop};
+use hetkg_core::filter::filter_hot_set;
+use hetkg_core::metrics::CacheStats;
+use hetkg_core::policy::{subgraph_accesses, CachePolicy, PolicyKind};
+use hetkg_core::prefetch::{MiniBatch, Prefetcher};
+use hetkg_core::sync::{StalenessTracker, SyncConfig};
+use hetkg_core::table::HotEmbeddingTable;
+use hetkg_embed::negative::NegativeSampler;
+use hetkg_kgraph::ParamKey;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Per-worker HET-KG training state (CPS or DPS, by the policy's kind).
+pub struct HetKgWorker {
+    ctx: WorkerCtx,
+    policy: CachePolicy,
+    sync: SyncConfig,
+    table: HotEmbeddingTable,
+    sampler: Prefetcher,
+    negatives: NegativeSampler,
+    /// DPS: batches produced by the last prefetch, consumed one per
+    /// iteration.
+    pending: VecDeque<MiniBatch>,
+    /// Global iteration counter (across epochs).
+    iteration: usize,
+    staleness: StalenessTracker,
+    cache_stats: CacheStats,
+    /// Largest cache-vs-global divergence seen at sync points this epoch.
+    epoch_divergence: f64,
+    /// Sum of per-key divergences across this epoch's sync events.
+    epoch_div_sum: f64,
+    /// Number of per-key divergence samples this epoch.
+    epoch_div_samples: u64,
+    /// Scratch for miss keys.
+    miss_keys: Vec<ParamKey>,
+}
+
+impl HetKgWorker {
+    /// Build from a context. The table capacity and split come from
+    /// `policy.filter`; `sync` is the staleness bound `P`.
+    pub fn new(
+        ctx: WorkerCtx,
+        policy: CachePolicy,
+        sync: SyncConfig,
+        negatives: NegativeSampler,
+        seed: u64,
+    ) -> Self {
+        let cap = policy.filter.capacity;
+        // Quota spillover (filter.rs) can shift the entity/relation split in
+        // either direction, so each slab is sized at full capacity; the
+        // filter bounds the *total* number of selected keys to `cap`.
+        let table = HotEmbeddingTable::new(
+            ctx.key_space,
+            cap,
+            cap,
+            ctx.model.entity_dim(),
+            ctx.model.relation_dim(),
+            ctx.optimizer.state_width(),
+        );
+        let sampler = Prefetcher::new(
+            ctx.batch_size,
+            ctx.key_space,
+            seed ^ (ctx.worker_id as u64).wrapping_mul(0x1234_5678_9ABC),
+        );
+        Self {
+            ctx,
+            policy,
+            sync,
+            table,
+            sampler,
+            negatives,
+            pending: VecDeque::new(),
+            iteration: 0,
+            staleness: StalenessTracker::new(),
+            cache_stats: CacheStats::new(),
+            epoch_divergence: 0.0,
+            epoch_div_sum: 0.0,
+            epoch_div_samples: 0,
+            miss_keys: Vec::new(),
+        }
+    }
+
+    /// The cache table (exposed for tests and the harness's hit-ratio
+    /// experiments).
+    pub fn table(&self) -> &HotEmbeddingTable {
+        &self.table
+    }
+
+    /// Largest cache staleness observed so far (must stay ≤ P; reads at a
+    /// sync iteration precede that iteration's refresh).
+    pub fn max_staleness(&self) -> usize {
+        self.staleness.max_observed()
+    }
+
+    /// (Re)construct the hot-embedding table from an access list: filter the
+    /// top-k, then pull the *newly selected* keys from the PS (metered —
+    /// building the cache is not free). Keys already cached are kept as-is:
+    /// hot sets overlap heavily between windows and retained rows stay
+    /// within the staleness bound (the periodic sync refreshes them), so
+    /// re-pulling them would be pure waste.
+    fn construct_table(&mut self, accesses: &[ParamKey]) {
+        let hot = filter_hot_set(accesses, self.ctx.key_space, &self.policy.filter);
+        let selected: std::collections::HashSet<ParamKey> = hot.keys().collect();
+        // Rebuild in place: carry over surviving rows, then pull newcomers.
+        let mut fresh: Vec<ParamKey> = Vec::new();
+        let mut survivors: Vec<(ParamKey, Vec<f32>)> = Vec::new();
+        for key in &selected {
+            match self.table.get(*key) {
+                Some(row) => survivors.push((*key, row.to_vec())),
+                None => fresh.push(*key),
+            }
+        }
+        self.table.clear();
+        for (key, row) in survivors {
+            self.table.insert(key, &row).expect("capacity covers the hot set");
+        }
+        if !fresh.is_empty() {
+            let table = &mut self.table;
+            self.ctx.client.pull_batch(&fresh, |i, row| {
+                table.insert(fresh[i], row).expect("capacity covers the hot set");
+            });
+        }
+    }
+
+    fn next_batch(&mut self) -> MiniBatch {
+        match self.policy.kind {
+            PolicyKind::Dps => {
+                if self.pending.is_empty() {
+                    // Refill (can happen when an epoch boundary desyncs the
+                    // D-cycle; keeps the loop total-failure free).
+                    let pf = self.sampler.prefetch(
+                        &self.ctx.subgraph,
+                        &mut self.negatives,
+                        self.policy.prefetch_depth,
+                    );
+                    self.pending = pf.batches.into();
+                }
+                self.pending.pop_front().expect("prefetch produced at least one batch")
+            }
+            PolicyKind::Cps => {
+                let positives = self.sampler.sample_batch(&self.ctx.subgraph);
+                let mut negs = Vec::new();
+                self.negatives.corrupt_batch(&positives, &mut negs);
+                MiniBatch { positives, negatives: negs }
+            }
+        }
+    }
+
+    fn one_iteration(&mut self) -> crate::batch::BatchResult {
+        // --- Construction (Alg. 3 lines 5–7) ---
+        if self.policy.needs_construction(self.iteration) {
+            match self.policy.kind {
+                PolicyKind::Cps => {
+                    if self.iteration == 0 {
+                        let acc = subgraph_accesses(&self.ctx.subgraph, self.ctx.key_space);
+                        self.construct_table(&acc);
+                    }
+                }
+                PolicyKind::Dps => {
+                    let pf = self.sampler.prefetch(
+                        &self.ctx.subgraph,
+                        &mut self.negatives,
+                        self.policy.prefetch_depth,
+                    );
+                    self.pending = pf.batches.into();
+                    self.construct_table(&pf.accesses);
+                }
+            }
+        }
+
+        // --- Synchronization (Alg. 3 lines 8–9) ---
+        // The refresh keys ride in the same pull request as this iteration's
+        // cache misses (one round trip per server per iteration, as a real
+        // KVStore client batches), so sync costs bytes but no extra
+        // messages.
+        let sync_now = self.iteration > 0 && self.sync.is_sync_iteration(self.iteration);
+        self.staleness.observe(self.iteration);
+
+        // --- Fetch: cache hits locally, misses from the PS ---
+        let batch = self.next_batch();
+        let keys = batch.unique_keys(self.ctx.key_space);
+        // Usage-weighted hit accounting: a key used u times in the batch
+        // counts u hits/misses — the paper's "embedding usage" statistic
+        // (Fig. 2, Table VI). Pull traffic is still deduplicated per batch.
+        let mut usage: std::collections::HashMap<ParamKey, u64> =
+            std::collections::HashMap::with_capacity(keys.len());
+        for t in batch
+            .positives
+            .iter()
+            .chain(batch.negatives.iter().map(|n| &n.triple))
+        {
+            *usage.entry(self.ctx.key_space.entity_key(t.head)).or_insert(0) += 1;
+            *usage.entry(self.ctx.key_space.relation_key(t.relation)).or_insert(0) += 1;
+            *usage.entry(self.ctx.key_space.entity_key(t.tail)).or_insert(0) += 1;
+        }
+        self.ctx.ws.clear();
+        self.miss_keys.clear();
+        for &k in &keys {
+            let uses = usage.get(&k).copied().unwrap_or(1);
+            if let Some(row) = self.table.get(k) {
+                self.ctx.ws.insert(k, row);
+                self.cache_stats.hits += uses;
+            } else {
+                self.miss_keys.push(k);
+                self.cache_stats.misses += uses;
+            }
+        }
+        let misses = std::mem::take(&mut self.miss_keys);
+        if sync_now {
+            // One combined pull: misses (into the working set) + every
+            // cached key (refreshing the table). Rows for refreshed keys
+            // that this batch reads as hits were already copied into the
+            // working set from the pre-refresh cache — that read is at most
+            // one sync period stale, which is exactly the bounded-staleness
+            // contract.
+            let refresh = self.table.keys();
+            let mut combined = misses.clone();
+            combined.extend_from_slice(&refresh);
+            let miss_count = misses.len();
+            let table = &mut self.table;
+            let ws = &mut self.ctx.ws;
+            let mut max_div = 0.0f64;
+            let mut div_sum = 0.0f64;
+            let mut div_samples = 0u64;
+            self.ctx.client.pull_batch(&combined, |i, row| {
+                if i < miss_count {
+                    ws.insert(combined[i], row);
+                } else {
+                    if let Some(cached) = table.get(combined[i]) {
+                        let d2: f64 = cached
+                            .iter()
+                            .zip(row)
+                            .map(|(&c, &g)| ((c - g) as f64).powi(2))
+                            .sum();
+                        let d = d2.sqrt();
+                        max_div = max_div.max(d);
+                        div_sum += d;
+                        div_samples += 1;
+                    }
+                    table.refresh(combined[i], row);
+                }
+            });
+            self.epoch_divergence = self.epoch_divergence.max(max_div);
+            self.epoch_div_sum += div_sum;
+            self.epoch_div_samples += div_samples;
+            self.staleness.record_sync(self.iteration);
+        } else {
+            self.ctx.pull_into_ws(&misses);
+        }
+        self.miss_keys = misses;
+
+        // --- Compute ---
+        let result = crate::batch::compute_batch(
+            self.ctx.model.as_ref(),
+            self.ctx.loss,
+            self.ctx.key_space,
+            &batch,
+            &self.ctx.ws,
+            &mut self.ctx.grads,
+            &mut self.ctx.scratch,
+        );
+
+        // --- Update: local cache rows + push everything (Alg. 3 17–19) ---
+        for (k, g) in self.ctx.grads.iter() {
+            self.table.apply_grad(k, g, self.ctx.optimizer.as_ref());
+        }
+        self.ctx.push_grads();
+
+        self.iteration += 1;
+        result
+    }
+}
+
+impl WorkerLoop for HetKgWorker {
+    fn run_epoch(&mut self, _epoch: usize) -> WorkerEpochStats {
+        let start_traffic = self.ctx.meter.snapshot();
+        let start_cache = self.cache_stats;
+        self.epoch_divergence = 0.0;
+        self.epoch_div_sum = 0.0;
+        self.epoch_div_samples = 0;
+        let start = Instant::now();
+        let mut acc = crate::batch::BatchResult::default();
+        for _ in 0..self.ctx.iterations_per_epoch {
+            acc.absorb(self.one_iteration());
+        }
+        WorkerEpochStats {
+            work_units: acc.work_units,
+            wall_secs: start.elapsed().as_secs_f64(),
+            traffic: self.ctx.meter.snapshot().since(start_traffic),
+            cache: CacheStats {
+                hits: self.cache_stats.hits - start_cache.hits,
+                misses: self.cache_stats.misses - start_cache.misses,
+            },
+            loss_sum: acc.loss,
+            loss_terms: acc.terms,
+            max_divergence: self.epoch_divergence,
+            mean_divergence: if self.epoch_div_samples == 0 {
+                0.0
+            } else {
+                self.epoch_div_sum / self.epoch_div_samples as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetkg_embed::init::Init;
+    use hetkg_embed::loss::LossKind;
+    use hetkg_embed::negative::{NegConfig, NegStrategy};
+    use hetkg_embed::ModelKind;
+    use hetkg_kgraph::generator::SyntheticKg;
+    use hetkg_netsim::{ClusterTopology, TrafficMeter};
+    use hetkg_ps::optimizer::AdaGrad;
+    use hetkg_ps::{KvStore, PsClient, ShardRouter};
+    use std::sync::Arc;
+
+    fn build(policy_kind: PolicyKind, capacity: usize) -> HetKgWorker {
+        let g = SyntheticKg {
+            num_entities: 80,
+            num_relations: 6,
+            num_triples: 400,
+            ..Default::default()
+        }
+        .build(5);
+        let ks = g.key_space();
+        let router = ShardRouter::round_robin(ks, 2);
+        let store = Arc::new(KvStore::new(router, 8, 8, 1, Init::Uniform { bound: 0.2 }, 1));
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, ClusterTopology::new(2, 1), store, meter.clone());
+        let ctx = WorkerCtx::new(
+            0,
+            g.triples().to_vec(),
+            ks,
+            client,
+            meter,
+            ModelKind::TransEL2.build(8).into(),
+            LossKind::Logistic,
+            Arc::new(AdaGrad::new(0.1)),
+            32,
+        );
+        let negatives = NegativeSampler::new(
+            80,
+            NegConfig { per_positive: 4, strategy: NegStrategy::Independent },
+            9,
+        );
+        let policy = CachePolicy {
+            kind: policy_kind,
+            filter: hetkg_core::filter::FilterConfig::paper_default(capacity),
+            prefetch_depth: 4,
+        };
+        HetKgWorker::new(ctx, policy, SyncConfig::new(4), negatives, 1)
+    }
+
+    #[test]
+    fn cps_constructs_once_and_hits() {
+        let mut w = build(PolicyKind::Cps, 30);
+        let stats = w.run_epoch(0);
+        assert!(stats.cache.hits > 0, "cache must serve hits");
+        assert!(!w.table().is_empty());
+        let hit_ratio = stats.cache.hit_ratio();
+        assert!(hit_ratio > 0.1, "hit ratio {hit_ratio}");
+    }
+
+    #[test]
+    fn dps_reconstructs_and_hits_more_than_tiny_cps() {
+        let mut cps = build(PolicyKind::Cps, 30);
+        let mut dps = build(PolicyKind::Dps, 30);
+        let s_cps = cps.run_epoch(0);
+        let s_dps = dps.run_epoch(0);
+        // DPS caches exactly what the prefetched batches use; its hit ratio
+        // should be at least CPS's (usually higher).
+        assert!(
+            s_dps.cache.hit_ratio() + 0.02 >= s_cps.cache.hit_ratio(),
+            "dps {} vs cps {}",
+            s_dps.cache.hit_ratio(),
+            s_cps.cache.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn staleness_stays_bounded() {
+        let mut w = build(PolicyKind::Cps, 30);
+        for e in 0..3 {
+            w.run_epoch(e);
+        }
+        // Cached reads at a sync iteration happen just before the refresh
+        // lands, so the bound is inclusive: staleness ≤ P.
+        assert!(
+            w.max_staleness() <= 4,
+            "staleness {} exceeded bound 4",
+            w.max_staleness()
+        );
+    }
+
+    #[test]
+    fn cached_training_communicates_less_than_uncached() {
+        // The core claim of the paper, at unit-test scale: same workload,
+        // HET-KG pulls less than DGL-KE.
+        use crate::systems::dglke::DglKeWorker;
+        let mut het = build(PolicyKind::Cps, 60);
+        let het_stats = het.run_epoch(0);
+
+        // Build an equivalent DGL-KE worker over the same graph.
+        let g = SyntheticKg {
+            num_entities: 80,
+            num_relations: 6,
+            num_triples: 400,
+            ..Default::default()
+        }
+        .build(5);
+        let ks = g.key_space();
+        let router = ShardRouter::round_robin(ks, 2);
+        let store = Arc::new(KvStore::new(router, 8, 8, 1, Init::Uniform { bound: 0.2 }, 1));
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, ClusterTopology::new(2, 1), store, meter.clone());
+        let ctx = WorkerCtx::new(
+            0,
+            g.triples().to_vec(),
+            ks,
+            client,
+            meter,
+            ModelKind::TransEL2.build(8).into(),
+            LossKind::Logistic,
+            Arc::new(AdaGrad::new(0.1)),
+            32,
+        );
+        let negatives = NegativeSampler::new(
+            80,
+            NegConfig { per_positive: 4, strategy: NegStrategy::Independent },
+            9,
+        );
+        let mut dgl = DglKeWorker::new(ctx, negatives, 1);
+        let dgl_stats = dgl.run_epoch(0);
+
+        assert!(
+            het_stats.traffic.total_bytes() < dgl_stats.traffic.total_bytes(),
+            "HET-KG {} must move fewer bytes than DGL-KE {}",
+            het_stats.traffic.total_bytes(),
+            dgl_stats.traffic.total_bytes()
+        );
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let mut w = build(PolicyKind::Dps, 40);
+        let first = w.run_epoch(0);
+        let mut last = first;
+        for e in 1..8 {
+            last = w.run_epoch(e);
+        }
+        assert!(
+            last.loss_sum / (last.loss_terms as f64)
+                < first.loss_sum / (first.loss_terms as f64)
+        );
+    }
+
+    #[test]
+    fn zero_capacity_cache_degenerates_to_dglke() {
+        let mut w = build(PolicyKind::Cps, 0);
+        let stats = w.run_epoch(0);
+        assert_eq!(stats.cache.hits, 0);
+        assert!(stats.loss_terms > 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! The four training systems of the paper's evaluation grid.
+//!
+//! * [`hetkg::HetKgWorker`] — the contribution: cached training under CPS or
+//!   DPS with bounded-staleness synchronization;
+//! * [`dglke::DglKeWorker`] — the DGL-KE baseline: plain co-located PS;
+//! * [`pbg`] — the PyTorch-BigGraph baseline: block-partitioned training
+//!   with a lock server and dense relation parameters.
+
+pub mod dglke;
+pub mod hetkg;
+pub mod pbg;

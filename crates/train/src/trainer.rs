@@ -1,0 +1,358 @@
+//! The training orchestrator: partitions the graph, builds the PS, spawns
+//! one thread per worker per epoch, aggregates reports, and (optionally)
+//! evaluates link prediction between epochs.
+
+use crate::config::{PartitionerKind, SystemKind, TrainConfig};
+use crate::report::{EpochReport, TrainReport};
+use crate::systems::dglke::DglKeWorker;
+use crate::systems::hetkg::HetKgWorker;
+use crate::systems::pbg::{LockServer, PbgPlan, PbgWorker};
+use crate::worker::{WorkerCtx, WorkerEpochStats, WorkerLoop};
+use hetkg_embed::init::Init;
+use hetkg_embed::negative::NegativeSampler;
+use hetkg_embed::storage::EmbeddingTable;
+use hetkg_eval::link_prediction::{evaluate, EmbeddingSnapshot, EvalConfig};
+use hetkg_kgraph::{ids::KeyKind, KeySpace, KnowledgeGraph, Triple};
+use hetkg_netsim::TrafficMeter;
+use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
+use hetkg_ps::{KvStore, PsClient, ShardRouter};
+use std::sync::Arc;
+
+/// Train a model on `train_triples` of `kg` under `config`.
+///
+/// `eval_set` is ranked after each epoch when `config.eval_candidates` is
+/// set (pass a subsample of validation triples to keep epochs fast);
+/// filtering uses all of `kg`'s triples as the truth set.
+pub fn train(
+    kg: &KnowledgeGraph,
+    train_triples: &[Triple],
+    eval_set: &[Triple],
+    config: &TrainConfig,
+) -> TrainReport {
+    train_with_store(kg, train_triples, eval_set, config).0
+}
+
+/// [`train`], additionally returning the parameter-server store so callers
+/// can snapshot or checkpoint the final model.
+pub fn train_with_store(
+    kg: &KnowledgeGraph,
+    train_triples: &[Triple],
+    eval_set: &[Triple],
+    config: &TrainConfig,
+) -> (TrainReport, Arc<KvStore>) {
+    assert!(!train_triples.is_empty(), "no training triples");
+    let ks = kg.key_space();
+    let topology = config.topology();
+    let model: Arc<dyn hetkg_embed::KgeModel> = config.model.build(config.dim).into();
+    let optimizer: Arc<dyn hetkg_ps::optimizer::Optimizer> = config.optimizer.build().into();
+
+    // --- Partition entities across machines ---
+    let partitioning = match config.partitioner {
+        PartitionerKind::MetisLike => {
+            MetisLike::new(config.seed).partition(kg, topology.num_machines())
+        }
+        PartitionerKind::Random => {
+            RandomPartitioner::new(config.seed).partition(kg, topology.num_machines())
+        }
+    };
+
+    // --- Parameter server ---
+    let router = ShardRouter::new(ks, topology.num_machines(), partitioning.assignment());
+    let store = Arc::new(KvStore::new(
+        router,
+        model.entity_dim(),
+        model.relation_dim(),
+        optimizer.state_width(),
+        Init::Xavier,
+        config.seed,
+    ));
+
+    // --- Distribute training triples to workers ---
+    let per_machine = partitioning.split_triples(train_triples);
+    let mut per_worker: Vec<Vec<Triple>> = vec![Vec::new(); topology.num_workers()];
+    for (machine, triples) in per_machine.into_iter().enumerate() {
+        let w0 = machine * topology.workers_per_machine();
+        for (i, t) in triples.into_iter().enumerate() {
+            per_worker[w0 + i % topology.workers_per_machine()].push(t);
+        }
+    }
+    // A worker with an empty subgraph (tiny graphs) borrows the full list so
+    // every thread has work; its pulls are remote, which is realistic.
+    for w in &mut per_worker {
+        if w.is_empty() {
+            w.extend_from_slice(train_triples);
+        }
+    }
+
+    // --- Build the per-system worker loops ---
+    let mut workers: Vec<Box<dyn WorkerLoop>> = Vec::with_capacity(topology.num_workers());
+    let pbg_shared = if config.system == SystemKind::Pbg {
+        let plan = Arc::new(PbgPlan::new(
+            kg.num_entities(),
+            train_triples,
+            (2 * topology.num_workers()).max(2),
+            config.negatives.per_positive,
+            config.seed,
+        ));
+        let locks = Arc::new(LockServer::new(plan.clone()));
+        Some((plan, locks))
+    } else {
+        None
+    };
+    for (w, subgraph) in per_worker.iter_mut().enumerate() {
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(w, topology, store.clone(), meter.clone());
+        let ctx = WorkerCtx::new(
+            w,
+            std::mem::take(subgraph),
+            ks,
+            client,
+            meter,
+            model.clone(),
+            config.loss,
+            optimizer.clone(),
+            config.batch_size,
+        );
+        let negatives = NegativeSampler::new(
+            kg.num_entities(),
+            config.negatives,
+            config.seed ^ ((w as u64 + 1) * 0x5DEECE66D),
+        );
+        let boxed: Box<dyn WorkerLoop> = match config.system {
+            SystemKind::DglKe => Box::new(DglKeWorker::new(ctx, negatives, config.seed)),
+            SystemKind::HetKgCps | SystemKind::HetKgDps => {
+                let policy = config.cache.policy(ks.len(), config.system);
+                Box::new(HetKgWorker::new(
+                    ctx,
+                    policy,
+                    config.cache.sync(),
+                    negatives,
+                    config.seed,
+                ))
+            }
+            SystemKind::Pbg => {
+                let (plan, locks) = pbg_shared.as_ref().expect("pbg shared state");
+                let entity_lr = match config.optimizer {
+                    hetkg_ps::optimizer::OptimizerKind::Sgd { lr }
+                    | hetkg_ps::optimizer::OptimizerKind::AdaGrad { lr } => lr,
+                };
+                Box::new(PbgWorker::new(
+                    ctx,
+                    plan.clone(),
+                    locks.clone(),
+                    config.seed,
+                    entity_lr,
+                ))
+            }
+        };
+        workers.push(boxed);
+    }
+
+    // --- Epoch loop ---
+    let mut report = TrainReport {
+        system: config.system.to_string(),
+        model: config.model.to_string(),
+        ..Default::default()
+    };
+    let all_true = kg.triples();
+    for epoch in 0..config.epochs {
+        let stats = run_epoch_threads(&mut workers, epoch);
+        let mut er = aggregate(epoch, &stats, config);
+        if config.eval_candidates.is_some() && !eval_set.is_empty() {
+            let snap = snapshot(&store, ks);
+            let metrics = evaluate(
+                model.as_ref(),
+                &snap,
+                eval_set,
+                all_true,
+                &EvalConfig {
+                    filtered: true,
+                    max_candidates: config.eval_candidates,
+                    seed: config.seed,
+                },
+            );
+            er.mrr = Some(metrics.mrr());
+            if epoch + 1 == config.epochs {
+                report.final_metrics = Some(metrics);
+            }
+        }
+        report.epochs.push(er);
+    }
+    (report, store)
+}
+
+/// Run one epoch on every worker concurrently.
+fn run_epoch_threads(
+    workers: &mut [Box<dyn WorkerLoop>],
+    epoch: usize,
+) -> Vec<WorkerEpochStats> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .map(|w| s.spawn(move || w.run_epoch(epoch)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Fold worker stats into an epoch report: times are the slowest worker's,
+/// traffic and cache stats are summed, loss is averaged over terms.
+fn aggregate(epoch: usize, stats: &[WorkerEpochStats], config: &TrainConfig) -> EpochReport {
+    let mut er = EpochReport { epoch, ..Default::default() };
+    let mut loss_sum = 0.0;
+    let mut loss_terms = 0usize;
+    for s in stats {
+        er.compute_secs =
+            er.compute_secs.max(config.cost_model.compute_time(s.work_units));
+        er.wall_secs = er.wall_secs.max(s.wall_secs);
+        er.comm_secs = er.comm_secs.max(s.traffic.simulated_time(&config.cost_model));
+        er.traffic = er.traffic.merge(s.traffic);
+        er.cache = er.cache.merge(s.cache);
+        er.max_divergence = er.max_divergence.max(s.max_divergence);
+        er.mean_divergence = er.mean_divergence.max(s.mean_divergence);
+        loss_sum += s.loss_sum;
+        loss_terms += s.loss_terms;
+    }
+    er.loss = if loss_terms == 0 { 0.0 } else { loss_sum / loss_terms as f64 };
+    er
+}
+
+/// Copy the global model out of the PS into a serializable
+/// [`Checkpoint`](hetkg_embed::checkpoint::Checkpoint).
+pub fn checkpoint(store: &KvStore, ks: KeySpace) -> hetkg_embed::checkpoint::Checkpoint {
+    let snap = snapshot(store, ks);
+    hetkg_embed::checkpoint::Checkpoint::new(snap.entities, snap.relations)
+}
+
+/// Copy the global model out of the PS into dense id-indexed tables.
+pub fn snapshot(store: &KvStore, ks: KeySpace) -> EmbeddingSnapshot {
+    let mut entities = EmbeddingTable::zeros(ks.num_entities(), store.entity_dim());
+    let mut relations = EmbeddingTable::zeros(ks.num_relations(), store.relation_dim());
+    store.for_each_row(|key, row| match ks.classify(key) {
+        Some(KeyKind::Entity(e)) => entities.set_row(e.index(), row),
+        Some(KeyKind::Relation(r)) => relations.set_row(r.index(), row),
+        None => unreachable!("store iterates only the key space"),
+    });
+    EmbeddingSnapshot::new(entities, relations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetkg_kgraph::generator::SyntheticKg;
+    use hetkg_kgraph::split::Split;
+
+    fn small_graph() -> KnowledgeGraph {
+        SyntheticKg {
+            num_entities: 120,
+            num_relations: 8,
+            num_triples: 600,
+            ..Default::default()
+        }
+        .build(3)
+    }
+
+    fn run(system: SystemKind) -> (TrainReport, KnowledgeGraph) {
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let mut cfg = TrainConfig::small(system);
+        cfg.epochs = 2;
+        cfg.eval_candidates = Some(30);
+        let report = train(&kg, &split.train, &split.valid[..20.min(split.valid.len())], &cfg);
+        (report, kg)
+    }
+
+    #[test]
+    fn all_four_systems_train_end_to_end() {
+        for system in [
+            SystemKind::DglKe,
+            SystemKind::HetKgCps,
+            SystemKind::HetKgDps,
+            SystemKind::Pbg,
+        ] {
+            let (report, _) = run(system);
+            assert_eq!(report.epochs.len(), 2, "{system}");
+            assert!(report.total_secs() > 0.0, "{system}");
+            assert!(report.epochs[0].loss > 0.0, "{system}");
+            assert!(report.epochs[0].mrr.is_some(), "{system}");
+            assert!(report.final_metrics.is_some(), "{system}");
+            assert!(report.total_traffic().total_bytes() > 0, "{system}");
+        }
+    }
+
+    #[test]
+    fn hetkg_systems_report_cache_activity() {
+        let (report, _) = run(SystemKind::HetKgCps);
+        assert!(report.total_cache().total() > 0);
+        assert!(report.total_cache().hit_ratio() > 0.0);
+        let (dgl, _) = run(SystemKind::DglKe);
+        assert_eq!(dgl.total_cache().total(), 0);
+    }
+
+    #[test]
+    fn hetkg_moves_fewer_bytes_than_dglke() {
+        let (het, _) = run(SystemKind::HetKgCps);
+        let (dgl, _) = run(SystemKind::DglKe);
+        assert!(
+            het.total_traffic().total_bytes() < dgl.total_traffic().total_bytes(),
+            "HET-KG {} vs DGL-KE {}",
+            het.total_traffic().total_bytes(),
+            dgl.total_traffic().total_bytes()
+        );
+    }
+
+    #[test]
+    fn loss_improves_with_more_epochs() {
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let mut cfg = TrainConfig::small(SystemKind::HetKgDps);
+        cfg.epochs = 6;
+        let report = train(&kg, &split.train, &[], &cfg);
+        assert!(report.epochs.last().unwrap().loss < report.epochs[0].loss);
+    }
+
+    #[test]
+    fn snapshot_round_trips_store_contents() {
+        let kg = small_graph();
+        let ks = kg.key_space();
+        let router = ShardRouter::round_robin(ks, 2);
+        let store = KvStore::new(router, 8, 8, 0, Init::Xavier, 9);
+        let snap = snapshot(&store, ks);
+        assert_eq!(snap.entities.rows(), kg.num_entities());
+        assert_eq!(snap.relations.rows(), kg.num_relations());
+        // Spot-check one key.
+        let mut buf = [0.0f32; 8];
+        store.pull(hetkg_kgraph::ParamKey(5), &mut buf);
+        assert_eq!(snap.entities.row(5), &buf);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_disk() {
+        let kg = small_graph();
+        let ks = kg.key_space();
+        let router = ShardRouter::round_robin(ks, 2);
+        let store = KvStore::new(router, 8, 8, 0, Init::Xavier, 9);
+        let ck = checkpoint(&store, ks);
+        let path = std::env::temp_dir()
+            .join(format!("hetkg-trainer-ck-{}.bin", std::process::id()));
+        ck.save(&path).unwrap();
+        let back = hetkg_embed::checkpoint::Checkpoint::load(&path).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.entities.rows(), kg.num_entities());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deterministic_traffic_for_same_seed() {
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let cfg = TrainConfig::small(SystemKind::HetKgCps);
+        let a = train(&kg, &split.train, &[], &cfg);
+        let b = train(&kg, &split.train, &[], &cfg);
+        assert_eq!(
+            a.total_traffic(),
+            b.total_traffic(),
+            "metered traffic must be bit-reproducible"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Shared worker machinery: the per-worker context every system's training
+//! loop builds on, and the per-epoch stats workers hand back to the trainer.
+
+use crate::batch::{BatchScratch, GradAccum, WorkingSet};
+use hetkg_core::metrics::CacheStats;
+use hetkg_embed::loss::LossKind;
+use hetkg_embed::models::KgeModel;
+use hetkg_kgraph::{KeySpace, ParamKey, Triple};
+use hetkg_netsim::{TrafficMeter, TrafficSnapshot};
+use hetkg_ps::optimizer::Optimizer;
+use hetkg_ps::PsClient;
+use std::sync::Arc;
+
+/// What one worker reports for one epoch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerEpochStats {
+    /// Kernel work units this worker performed (converted to simulated
+    /// compute time by the cost model, so results are host-independent).
+    pub work_units: u64,
+    /// Real wall time of this worker's epoch, seconds (diagnostic only —
+    /// on hosts with fewer cores than simulated workers it reflects
+    /// scheduling, not the simulated cluster).
+    pub wall_secs: f64,
+    /// Traffic generated this epoch (meter delta).
+    pub traffic: TrafficSnapshot,
+    /// Cache hits/misses this epoch.
+    pub cache: CacheStats,
+    /// Summed loss over loss terms.
+    pub loss_sum: f64,
+    /// Number of loss terms (for averaging).
+    pub loss_terms: usize,
+    /// Largest cache-vs-global L2 divergence observed at sync points this
+    /// epoch (0 for cacheless systems) — the empirical bounded-staleness
+    /// signal of §IV-C.
+    pub max_divergence: f64,
+    /// Mean per-key divergence across this epoch's sync events (0 for
+    /// cacheless systems).
+    pub mean_divergence: f64,
+}
+
+/// Everything a worker needs regardless of system.
+pub struct WorkerCtx {
+    /// This worker's id.
+    pub worker_id: usize,
+    /// Triples homed at this worker.
+    pub subgraph: Vec<Triple>,
+    /// The graph's key space.
+    pub key_space: KeySpace,
+    /// Metered PS connection.
+    pub client: PsClient,
+    /// This worker's traffic meter (shared with `client`).
+    pub meter: Arc<TrafficMeter>,
+    /// Score function.
+    pub model: Arc<dyn KgeModel>,
+    /// Loss.
+    pub loss: LossKind,
+    /// Server-side optimizer (also used for local cache updates).
+    pub optimizer: Arc<dyn Optimizer>,
+    /// Positives per mini-batch.
+    pub batch_size: usize,
+    /// Iterations per epoch (ceil(subgraph / batch_size), min 1).
+    pub iterations_per_epoch: usize,
+    /// Reusable buffers.
+    pub ws: WorkingSet,
+    /// Reusable gradient accumulator.
+    pub grads: GradAccum,
+    /// Reusable backprop scratch.
+    pub scratch: BatchScratch,
+}
+
+impl WorkerCtx {
+    /// Build a context; `iterations_per_epoch` is derived from the subgraph
+    /// size and batch size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        worker_id: usize,
+        subgraph: Vec<Triple>,
+        key_space: KeySpace,
+        client: PsClient,
+        meter: Arc<TrafficMeter>,
+        model: Arc<dyn KgeModel>,
+        loss: LossKind,
+        optimizer: Arc<dyn Optimizer>,
+        batch_size: usize,
+    ) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let iterations_per_epoch = subgraph.len().div_ceil(batch_size).max(1);
+        Self {
+            worker_id,
+            subgraph,
+            key_space,
+            client,
+            meter,
+            model,
+            loss,
+            optimizer,
+            batch_size,
+            iterations_per_epoch,
+            ws: WorkingSet::new(),
+            grads: GradAccum::new(),
+            scratch: BatchScratch::default(),
+        }
+    }
+
+    /// Pull `keys` from the PS into the working set (one coalesced request).
+    pub fn pull_into_ws(&mut self, keys: &[ParamKey]) {
+        let ws = &mut self.ws;
+        self.client.pull_batch(keys, |i, row| ws.insert(keys[i], row));
+    }
+
+    /// Push every accumulated gradient to the PS (coalesced), then clear the
+    /// accumulator.
+    pub fn push_grads(&mut self) {
+        let (keys, grads) = self.grads.as_batch();
+        self.client.push_batch(&keys, &grads, self.optimizer.as_ref());
+        self.grads.clear();
+    }
+}
+
+/// One system's per-worker training loop. The trainer drives epochs; state
+/// (caches, RNGs, iteration counters) persists across epochs inside the
+/// implementor.
+pub trait WorkerLoop: Send {
+    /// Run one epoch and report stats.
+    fn run_epoch(&mut self, epoch: usize) -> WorkerEpochStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetkg_embed::init::Init;
+    use hetkg_embed::ModelKind;
+    use hetkg_netsim::ClusterTopology;
+    use hetkg_ps::optimizer::Sgd;
+    use hetkg_ps::{KvStore, ShardRouter};
+
+    fn ctx() -> WorkerCtx {
+        let ks = KeySpace::new(10, 2);
+        let router = ShardRouter::round_robin(ks, 1);
+        let store = Arc::new(KvStore::new(router, 4, 4, 0, Init::Uniform { bound: 0.2 }, 1));
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, ClusterTopology::new(1, 1), store, meter.clone());
+        let subgraph = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2), Triple::new(2, 0, 3)];
+        WorkerCtx::new(
+            0,
+            subgraph,
+            ks,
+            client,
+            meter,
+            ModelKind::TransEL2.build(4).into(),
+            LossKind::Logistic,
+            Arc::new(Sgd { lr: 0.1 }),
+            2,
+        )
+    }
+
+    #[test]
+    fn iterations_per_epoch_is_ceil() {
+        let c = ctx();
+        assert_eq!(c.iterations_per_epoch, 2); // ceil(3 / 2)
+    }
+
+    #[test]
+    fn pull_into_ws_fetches_rows() {
+        let mut c = ctx();
+        c.pull_into_ws(&[ParamKey(0), ParamKey(10)]);
+        assert!(c.ws.contains(ParamKey(0)));
+        assert!(c.ws.contains(ParamKey(10)));
+        assert_eq!(c.ws.len(), 2);
+        assert!(c.meter.snapshot().total_bytes() > 0);
+    }
+
+    #[test]
+    fn push_grads_clears_accumulator() {
+        let mut c = ctx();
+        c.grads.add(ParamKey(0), &[1.0, 0.0, 0.0, 0.0]);
+        c.push_grads();
+        assert!(c.grads.is_empty());
+    }
+}

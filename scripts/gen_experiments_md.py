@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Generate EXPERIMENTS.md from experiments/*.json + the paper's numbers.
+
+Run `cargo run --release -p hetkg-bench --bin repro -- all` first, then
+`python3 scripts/gen_experiments_md.py`.
+"""
+
+import json
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXP = ROOT / "experiments"
+
+# What the paper reports, quoted for side-by-side comparison.
+PAPER = {
+    "table1": (
+        "Table I (described in §I/§III-B): with TransE on Freebase-86m, network "
+        "communication dominates more than 70% of end-to-end DGL-KE training time "
+        "on the 4-machine, 1 Gbps testbed."
+    ),
+    "fig2": (
+        "Fig. 2 (§III-C, §IV-B): embedding accesses are heavily skewed; on FB15k the "
+        "top 1% of entities account for ~6% of embedding usage and the top 1% of "
+        "relations for ~36%; relations are hotter per key than entities on every dataset."
+    ),
+    "table3": (
+        "Table III (FB15k, 30 epochs, d=400): TransE — PBG MRR .582 / 1047.4 s; DGL-KE "
+        ".570 / 483.7 s; HET-KG-C .569 / 465.9 s; HET-KG-D .564 / 418.6 s. DistMult — "
+        "PBG .681 / 1147.0 s; DGL-KE .673 / 1167.2 s; HET-KG-C .642 / 731.9 s; "
+        "HET-KG-D .662 / 742.1 s."
+    ),
+    "table4": (
+        "Table IV (WN18, 60 epochs): TransE — PBG .722 / 477.4 s; DGL-KE .715 / 184.3 s; "
+        "HET-KG-C .720 / 163.0 s; HET-KG-D .719 / 167.7 s. DistMult — PBG .889 / 1177.6 s; "
+        "DGL-KE .881 / 258.3 s; HET-KG-C .877 / 252.1 s; HET-KG-D .885 / 251.4 s."
+    ),
+    "table5": (
+        "Table V (Freebase-86m, TransE, 10 epochs): PBG .669 / 1125.7 min; DGL-KE .671 / "
+        "312.9 min; HET-KG-C .678 / 312.7 min; HET-KG-D .677 / 305.2 min."
+    ),
+    "fig5": (
+        "Fig. 5: all systems converge to similar accuracy; HET-KG needs less time to any "
+        "given MRR; HET-KG-D is best on Freebase-86m."
+    ),
+    "fig6": (
+        "Fig. 6 (Freebase-86m): PBG has limited scalability; DGL-KE and HET-KG speed up "
+        "with workers, HET-KG's average acceleration ratio ~30% above DGL-KE's."
+    ),
+    "fig7": (
+        "Fig. 7: DGL-KE and HET-KG have similar computation time; HET-KG's communication "
+        "time is lower; PBG's communication far exceeds the others (dense relation "
+        "weights)."
+    ),
+    "fig8a": (
+        "Fig. 8a (Freebase-86m): cache hit ratio rises with cache size; MRR does not "
+        "change significantly."
+    ),
+    "fig8b": (
+        "Fig. 8b: MRR unaffected up to staleness P≈8 and decreases beyond; hit ratio "
+        "(communication saving) improves as P grows."
+    ),
+    "fig8c": (
+        "Fig. 8c: hit ratio rises then falls with the entity ratio, peaking at 25% "
+        "entities / 75% relations."
+    ),
+    "fig9": (
+        "Fig. 9 (epoch-MRR): staleness 1 reaches MRR 0.67; staleness 128 only 0.59 — "
+        "consistency matters for convergence."
+    ),
+    "table6": (
+        "Table VI (hit ratio, %): FB15k — FIFO 7.4, LRU 11.7, importance 15.2, HET-KG "
+        "25.2; WN18 — 16.5, 17.6, 32.1, 35.5; Freebase-86m — 6.6, 8.6, 34.3, 43.1."
+    ),
+    "table7": (
+        "Table VII (30 epochs): FB15k — HET-KG MRR .343 / 236.8 s vs HET-KG-N .304 / "
+        "227.2 s; WN18 — HET-KG .629 / 86.0 s vs HET-KG-N .606 / 77.1 s: dropping the "
+        "heterogeneity split is slightly faster but less accurate."
+    ),
+    "partition-ablation": (
+        "§V Graph Partitioning: 'Compared with random partitioning, METIS significantly "
+        "reduces the network communication for pulling entity embeddings across machines.'"
+    ),
+    "negsample-ablation": (
+        "§V Negative Sampling: batched corruption reduces sampling complexity from "
+        "O(b·d·(n+1)) to O(b·d + b·k·d/b_c)."
+    ),
+    "divergence": (
+        "§IV-C: the inconsistency between cached hot-embeddings and global embeddings is "
+        "bounded by the staleness threshold; larger bounds admit more divergence (no "
+        "figure — this is the empirical form of the convergence analysis)."
+    ),
+    "bandwidth-sweep": (
+        "§II Remarks: PS communication 'will become expensive with the increase of "
+        "number of workers, especially in a low bandwidth network environment' — the "
+        "cache's benefit should grow as bandwidth shrinks (no figure; motivating claim)."
+    ),
+}
+
+ORDER = [
+    "table1", "fig2", "table3", "table4", "table5", "fig5", "fig6", "fig7",
+    "fig8a", "fig8b", "fig8c", "fig9", "table6", "table7",
+    "partition-ablation", "negsample-ablation", "divergence", "bandwidth-sweep",
+]
+
+
+def render_table(columns, rows):
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row[: len(columns)]):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+    lines = [fmt(columns), "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)
+
+
+def main():
+    out = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Every table and figure of *HET-KG* (ICDE 2022) regenerated by this",
+        "repository's harness (`cargo run --release -p hetkg-bench --bin repro -- all`).",
+        "",
+        "Absolute numbers are **not** expected to match the paper: the testbed is a",
+        "deterministic simulator (metered traffic under a 1 Gbps cost model, modeled",
+        "compute), the datasets are synthetic generators matched to the published",
+        "statistics at harness scale, and training runs far fewer epochs at smaller",
+        "dimension. What reproduces is the **shape**: who wins, by roughly what factor,",
+        "and where the crossovers fall. Each section quotes the paper's numbers, shows",
+        "ours, and states the shape check.",
+        "",
+        "Regenerate this file with `python3 scripts/gen_experiments_md.py` after a",
+        "harness run.",
+        "",
+    ]
+    missing = []
+    for exp_id in ORDER:
+        path = EXP / f"{exp_id}.json"
+        if not path.exists():
+            missing.append(exp_id)
+            continue
+        rec = json.loads(path.read_text())
+        out.append(f"## {rec['id']} — {rec['title']}")
+        out.append("")
+        if rec.get("params"):
+            out.append(f"*Setup:* {rec['params']}")
+            out.append("")
+        out.append(f"**Paper:** {PAPER.get(exp_id, '(no direct quote)')}")
+        out.append("")
+        out.append("**Measured:**")
+        out.append("")
+        out.append(render_table(rec["columns"], rec["rows"]))
+        out.append("")
+        out.append(f"**Shape check:** {rec['shape_expectation']}")
+        out.append("")
+    if missing:
+        out.append(f"*Missing records (run `repro all`):* {', '.join(missing)}")
+        out.append("")
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(out))
+    print(f"wrote EXPERIMENTS.md ({len(ORDER) - len(missing)} experiments)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,284 @@
+//! `hetkg` — the command-line face of the library.
+//!
+//! ```text
+//! hetkg stats     (--data DIR | --synthetic NAME)
+//! hetkg partition (--data DIR | --synthetic NAME) [--parts N]
+//! hetkg train     (--data DIR | --synthetic NAME) [--system S] [--model M]
+//!                 [--dim D] [--epochs E] [--machines N] [--out CK.bin]
+//! hetkg eval      (--data DIR | --synthetic NAME) --checkpoint CK.bin
+//!                 [--model M] [--dim D] [--candidates K]
+//! ```
+//!
+//! `--data DIR` expects FB15k-format `train.txt`/`valid.txt`/`test.txt`;
+//! `--synthetic NAME` is one of `fb15k`, `wn18`, `freebase86m` (harness
+//! scale).
+
+use het_kg::embed::checkpoint::Checkpoint;
+use het_kg::eval::breakdown::evaluate_breakdown;
+use het_kg::eval::link_prediction::EmbeddingSnapshot;
+use het_kg::kgraph::io::load_benchmark;
+use het_kg::kgraph::stats::AccessCounter;
+use het_kg::train_sys::trainer;
+use het_kg::partition::quality;
+use het_kg::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+    let command = args.remove(0);
+    let flags = parse_flags(&args);
+    let result = match command.as_str() {
+        "stats" => cmd_stats(&flags),
+        "partition" => cmd_partition(&flags),
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        other => Err(format!("unknown command {other:?}; try --help")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    println!("hetkg — knowledge graph embedding training with a hotness-aware cache\n");
+    println!("commands:");
+    println!("  stats      dataset statistics and access-frequency skew");
+    println!("  partition  compare METIS-like vs random partitioning quality");
+    println!("  train      distributed training (simulated cluster); saves a checkpoint");
+    println!("  eval       filtered link prediction from a checkpoint, with breakdown\n");
+    println!("data selection (all commands):");
+    println!("  --data DIR        FB15k-format train.txt/valid.txt/test.txt");
+    println!("  --synthetic NAME  fb15k | wn18 | freebase86m (harness scale)\n");
+    println!("training flags:");
+    println!("  --system S      hetkg-c | hetkg-d | dglke | pbg      (default hetkg-d)");
+    println!("  --model M       transe | distmult | complex | ...    (default transe)");
+    println!("  --dim D         embedding dimension                  (default 64)");
+    println!("  --epochs E      training epochs                      (default 10)");
+    println!("  --machines N    simulated machines                   (default 4)");
+    println!("  --parts N       partitions for `partition`           (default 4)");
+    println!("  --candidates K  eval candidate subsample             (default 500)");
+    println!("  --out PATH      checkpoint output                    (default hetkg-model.bin)");
+    println!("  --checkpoint P  checkpoint input for `eval`");
+    println!("  --seed N        master seed                          (default 42)");
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            eprintln!("error: unexpected argument {arg:?}");
+            exit(2);
+        };
+        let Some(value) = it.next() else {
+            eprintln!("error: --{name} needs a value");
+            exit(2);
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    flags
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, name: &str, default: &'a str) -> &'a str {
+    flags.get(name).map(String::as_str).unwrap_or(default)
+}
+
+/// The loaded dataset: graph plus train/valid/test.
+struct Data {
+    kg: KnowledgeGraph,
+    train: Vec<Triple>,
+    _valid: Vec<Triple>,
+    test: Vec<Triple>,
+}
+
+fn load_data(flags: &HashMap<String, String>) -> Result<Data, String> {
+    let seed: u64 = flag(flags, "seed", "42").parse().map_err(|_| "--seed must be an integer")?;
+    if let Some(dir) = flags.get("data") {
+        let bench = load_benchmark(&PathBuf::from(dir))
+            .map_err(|e| format!("loading {dir}: {e}"))?;
+        return Ok(Data {
+            kg: bench.graph,
+            train: bench.train,
+            _valid: bench.valid,
+            test: bench.test,
+        });
+    }
+    let name = flags
+        .get("synthetic")
+        .ok_or("pass --data DIR or --synthetic NAME")?;
+    let generator = match name.as_str() {
+        "fb15k" => datasets::fb15k_like().scale(0.05),
+        "wn18" => datasets::wn18_like().scale(0.10),
+        "freebase86m" => datasets::freebase86m_like().scale(0.01),
+        other => return Err(format!("unknown synthetic dataset {other:?}")),
+    };
+    let kg = generator.build(seed);
+    let split = Split::ninety_five_five(&kg, seed);
+    Ok(Data { kg, train: split.train, _valid: split.valid, test: split.test })
+}
+
+fn parse_model(name: &str) -> Result<ModelKind, String> {
+    Ok(match name.to_lowercase().as_str() {
+        "transe" | "transe-l2" => ModelKind::TransEL2,
+        "transe-l1" => ModelKind::TransEL1,
+        "transh" => ModelKind::TransH,
+        "transr" => ModelKind::TransR,
+        "transd" => ModelKind::TransD,
+        "distmult" => ModelKind::DistMult,
+        "complex" => ModelKind::ComplEx,
+        "rescal" => ModelKind::Rescal,
+        "hole" => ModelKind::HolE,
+        other => return Err(format!("unknown model {other:?}")),
+    })
+}
+
+fn parse_system(name: &str) -> Result<SystemKind, String> {
+    Ok(match name.to_lowercase().as_str() {
+        "hetkg-c" | "hetkg-cps" => SystemKind::HetKgCps,
+        "hetkg-d" | "hetkg-dps" => SystemKind::HetKgDps,
+        "dglke" | "dgl-ke" => SystemKind::DglKe,
+        "pbg" => SystemKind::Pbg,
+        other => return Err(format!("unknown system {other:?}")),
+    })
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let data = load_data(flags)?;
+    let kg = &data.kg;
+    println!(
+        "entities {} | relations {} | triples {} (train {} / valid {} / test {})",
+        kg.num_entities(),
+        kg.num_relations(),
+        kg.num_triples(),
+        data.train.len(),
+        data._valid.len(),
+        data.test.len()
+    );
+    println!("avg entity degree {:.2}", kg.avg_degree());
+    let mut counter = AccessCounter::new(kg.key_space());
+    counter.record_batch(kg.triples());
+    println!(
+        "top-1% entity share {:.1}% | top-1% relation share {:.1}% | relation/entity heat {:.1}x",
+        100.0 * counter.entity_top_share(0.01),
+        100.0 * counter.relation_top_share(0.01),
+        counter.heterogeneity_factor()
+    );
+    println!(
+        "gini: entities {:.3}, relations {:.3}",
+        het_kg::kgraph::stats::gini(&counter.counts()[..kg.num_entities()]),
+        het_kg::kgraph::stats::gini(&counter.counts()[kg.num_entities()..])
+    );
+    Ok(())
+}
+
+fn cmd_partition(flags: &HashMap<String, String>) -> Result<(), String> {
+    let data = load_data(flags)?;
+    let parts: usize =
+        flag(flags, "parts", "4").parse().map_err(|_| "--parts must be an integer")?;
+    let seed: u64 = flag(flags, "seed", "42").parse().map_err(|_| "--seed must be an integer")?;
+    println!("{:<12} {:>10} {:>9}", "partitioner", "edge cut", "balance");
+    for (name, p) in [
+        ("metis-like", MetisLike::new(seed).partition(&data.kg, parts)),
+        ("random", RandomPartitioner::new(seed).partition(&data.kg, parts)),
+    ] {
+        println!(
+            "{:<12} {:>9.1}% {:>9.2}",
+            name,
+            100.0 * quality::cut_fraction(&data.kg, &p),
+            quality::balance(&p)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let data = load_data(flags)?;
+    let mut cfg = TrainConfig::small(parse_system(flag(flags, "system", "hetkg-d"))?);
+    cfg.model = parse_model(flag(flags, "model", "transe"))?;
+    cfg.dim = flag(flags, "dim", "64").parse().map_err(|_| "--dim must be an integer")?;
+    cfg.epochs =
+        flag(flags, "epochs", "10").parse().map_err(|_| "--epochs must be an integer")?;
+    cfg.machines =
+        flag(flags, "machines", "4").parse().map_err(|_| "--machines must be an integer")?;
+    cfg.seed = flag(flags, "seed", "42").parse().map_err(|_| "--seed must be an integer")?;
+    cfg.eval_candidates = None;
+
+    println!(
+        "training {} / {} (d={}) on {} machines, {} epochs...",
+        cfg.system, cfg.model, cfg.dim, cfg.machines, cfg.epochs
+    );
+    let (report, store) = trainer::train_with_store(&data.kg, &data.train, &[], &cfg);
+    for e in &report.epochs {
+        println!(
+            "epoch {:>3}: loss {:.4} | compute {:.2}s comm {:.2}s | cache hit {:.1}%",
+            e.epoch,
+            e.loss,
+            e.compute_secs,
+            e.comm_secs,
+            100.0 * e.cache.hit_ratio()
+        );
+    }
+    println!(
+        "total {:.2}s simulated ({:.0}% communication), {:.1} MB moved",
+        report.total_secs(),
+        100.0 * report.comm_fraction(),
+        report.total_traffic().total_bytes() as f64 / 1e6
+    );
+
+    let out = PathBuf::from(flag(flags, "out", "hetkg-model.bin"));
+    let ck = trainer::checkpoint(&store, data.kg.key_space());
+    ck.save(&out).map_err(|e| format!("saving checkpoint: {e}"))?;
+    println!("checkpoint written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let data = load_data(flags)?;
+    let path = flags.get("checkpoint").ok_or("--checkpoint is required for eval")?;
+    let ck = Checkpoint::load(&PathBuf::from(path))
+        .map_err(|e| format!("loading checkpoint: {e}"))?;
+    let model = parse_model(flag(flags, "model", "transe"))?;
+    let dim: usize =
+        flag(flags, "dim", "64").parse().map_err(|_| "--dim must be an integer")?;
+    let candidates: usize =
+        flag(flags, "candidates", "500").parse().map_err(|_| "--candidates must be an integer")?;
+    let model = model.build(dim);
+    if ck.entities.dim() != model.entity_dim() || ck.relations.dim() != model.relation_dim() {
+        return Err(format!(
+            "checkpoint widths (e{}, r{}) do not match {} at d={dim} (e{}, r{})",
+            ck.entities.dim(),
+            ck.relations.dim(),
+            model.name(),
+            model.entity_dim(),
+            model.relation_dim()
+        ));
+    }
+    let snapshot = EmbeddingSnapshot::new(ck.entities, ck.relations);
+    let breakdown = evaluate_breakdown(
+        model.as_ref(),
+        &snapshot,
+        &data.test,
+        data.kg.triples(),
+        &EvalConfig {
+            filtered: true,
+            max_candidates: Some(candidates.min(data.kg.num_entities())),
+            seed: 0,
+        },
+    );
+    println!("overall:   {}", breakdown.overall);
+    println!("head-side: {}", breakdown.head_side);
+    println!("tail-side: {}", breakdown.tail_side);
+    let hardest = breakdown.hardest_relations();
+    println!("\nhardest relations (lowest MRR first):");
+    for (r, mrr) in hardest.iter().take(5) {
+        println!("  {r}: MRR {mrr:.3}");
+    }
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) over the public API's core invariants.
+
+use het_kg::hotcache::baselines::{replay, FifoCache, LfuCache, LruCache, ReplacementCache};
+use het_kg::hotcache::filter::{filter_hot_set, FilterConfig};
+use het_kg::prelude::*;
+use proptest::prelude::*;
+
+fn arb_triples(
+    entities: u32,
+    relations: u32,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<Triple>> {
+    prop::collection::vec(
+        (0..entities, 0..relations, 0..entities).prop_map(|(h, r, t)| Triple::new(h, r, t)),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The filter never selects more than the capacity, never duplicates,
+    /// and only selects keys that were actually accessed.
+    #[test]
+    fn filter_respects_capacity_and_provenance(
+        triples in arb_triples(50, 5, 200),
+        capacity in 0usize..40,
+        entity_fraction in 0.0f64..1.0,
+        aware in any::<bool>(),
+    ) {
+        let ks = KeySpace::new(50, 5);
+        let accesses: Vec<ParamKey> = triples
+            .iter()
+            .flat_map(|t| [ks.entity_key(t.head), ks.relation_key(t.relation), ks.entity_key(t.tail)])
+            .collect();
+        let cfg = FilterConfig { capacity, entity_fraction, heterogeneity_aware: aware };
+        let hot = filter_hot_set(&accesses, ks, &cfg);
+        prop_assert!(hot.len() <= capacity);
+        let keys: Vec<ParamKey> = hot.keys().collect();
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), keys.len(), "no duplicates");
+        for k in keys {
+            prop_assert!(accesses.contains(&k), "{} was never accessed", k);
+        }
+    }
+
+    /// Replacement caches never exceed capacity, and replay accounts every
+    /// access as exactly one hit or miss.
+    #[test]
+    fn caches_bound_residency(
+        accesses in prop::collection::vec(0u64..100, 1..500),
+        capacity in 0usize..50,
+    ) {
+        let trace: Vec<ParamKey> = accesses.iter().map(|&k| ParamKey(k)).collect();
+        let caches: Vec<Box<dyn ReplacementCache>> = vec![
+            Box::new(FifoCache::new(capacity)),
+            Box::new(LruCache::new(capacity)),
+            Box::new(LfuCache::new(capacity)),
+        ];
+        for mut cache in caches {
+            let stats = replay(cache.as_mut(), &trace);
+            prop_assert_eq!(stats.total() as usize, trace.len());
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+
+    /// An infinite-capacity cache's misses equal the number of distinct keys
+    /// (compulsory misses only) for every policy.
+    #[test]
+    fn infinite_capacity_has_only_compulsory_misses(
+        accesses in prop::collection::vec(0u64..60, 1..300),
+    ) {
+        let trace: Vec<ParamKey> = accesses.iter().map(|&k| ParamKey(k)).collect();
+        let distinct = {
+            let mut v = accesses.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len() as u64
+        };
+        for mut cache in [
+            Box::new(FifoCache::new(1000)) as Box<dyn ReplacementCache>,
+            Box::new(LruCache::new(1000)),
+            Box::new(LfuCache::new(1000)),
+        ] {
+            let stats = replay(cache.as_mut(), &trace);
+            prop_assert_eq!(stats.misses, distinct);
+        }
+    }
+
+    /// Graph splits are exhaustive and disjoint for any fractions.
+    #[test]
+    fn splits_partition_triples(
+        triples in arb_triples(30, 3, 150),
+        train_frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let kg = KnowledgeGraph::new(30, 3, triples.clone()).unwrap();
+        let valid_frac = (1.0 - train_frac) / 2.0;
+        let split = Split::new(&kg, train_frac, valid_frac, seed);
+        let mut all: Vec<Triple> = split.train.clone();
+        all.extend_from_slice(&split.valid);
+        all.extend_from_slice(&split.test);
+        all.sort();
+        let mut orig = triples;
+        orig.sort();
+        prop_assert_eq!(all, orig);
+    }
+
+    /// Partitionings assign every entity to a valid part, and every triple's
+    /// home is its head's part.
+    #[test]
+    fn partitioner_assignments_are_total(
+        triples in arb_triples(40, 4, 200),
+        parts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let kg = KnowledgeGraph::new(40, 4, triples).unwrap();
+        for p in [
+            MetisLike::new(seed).partition(&kg, parts),
+            RandomPartitioner::new(seed).partition(&kg, parts),
+        ] {
+            prop_assert_eq!(p.len(), 40);
+            prop_assert_eq!(p.part_sizes().iter().sum::<usize>(), 40);
+            for &t in kg.triples() {
+                prop_assert_eq!(p.triple_home(t), p.part_of(t.head));
+            }
+        }
+    }
+
+    /// Rank metrics are internally consistent: MRR ≤ Hits@1 bound relation,
+    /// Hits monotone in k, MR ≥ 1.
+    #[test]
+    fn rank_metrics_invariants(ranks in prop::collection::vec(1u64..500, 1..100)) {
+        let mut m = RankMetrics::new();
+        for &r in &ranks {
+            m.add_rank(r);
+        }
+        prop_assert!(m.mr() >= 1.0);
+        prop_assert!(m.mrr() > 0.0 && m.mrr() <= 1.0);
+        prop_assert!(m.hits(1) <= m.hits(3));
+        prop_assert!(m.hits(3) <= m.hits(10));
+        // MRR is at least Hits@1 (each hit contributes 1.0) and at most
+        // Hits@1 + (1 - Hits@1) / 2 is not a tight bound — check the basic
+        // dominance instead:
+        prop_assert!(m.mrr() >= m.hits(1));
+    }
+}
