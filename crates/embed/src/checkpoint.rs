@@ -4,6 +4,13 @@
 //! binary format — magic, version, shapes, then little-endian `f32` rows.
 //! Training runs use it to persist the final model; the evaluation tooling
 //! loads it back for offline link prediction.
+//!
+//! Version 2 extends the format with resumable [`TrainState`]: the epoch
+//! counter, an optimizer description, and the optimizer-state tables —
+//! enough for a crashed trainer to restart mid-run without replaying
+//! history. A checkpoint without train state serializes as version 1,
+//! byte-identical to the original format, and the loader reads both
+//! versions (a v1 file simply has no train state).
 
 use crate::storage::EmbeddingTable;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -11,7 +18,8 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"HETKGCK\0";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
 
 /// Errors from reading a checkpoint.
 #[derive(Debug)]
@@ -45,19 +53,46 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// A pair of embedding tables (the model parameters) with serialization.
+/// Resumable training state carried by a v2 checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainState {
+    /// Completed epochs at save time (training resumes from here).
+    pub epoch: u64,
+    /// Human-readable optimizer description (e.g. `AdaGrad { lr: 0.1 }`);
+    /// lets a loader detect state written by a different optimizer.
+    pub optimizer: String,
+    /// Per-entity optimizer state rows (AdaGrad accumulators, or a single
+    /// zero column for stateless optimizers).
+    pub entity_state: EmbeddingTable,
+    /// Per-relation optimizer state rows.
+    pub relation_state: EmbeddingTable,
+}
+
+/// A pair of embedding tables (the model parameters) with serialization,
+/// optionally carrying resumable [`TrainState`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Entity rows, indexed by entity id.
     pub entities: EmbeddingTable,
     /// Relation rows, indexed by relation id.
     pub relations: EmbeddingTable,
+    /// Epoch + optimizer state, present in v2 checkpoints.
+    pub train_state: Option<TrainState>,
 }
 
 impl Checkpoint {
-    /// Wrap two tables.
+    /// Wrap two tables (no train state; serializes as version 1).
     pub fn new(entities: EmbeddingTable, relations: EmbeddingTable) -> Self {
-        Self { entities, relations }
+        Self { entities, relations, train_state: None }
+    }
+
+    /// Wrap two tables plus resumable train state (serializes as version 2).
+    pub fn with_state(
+        entities: EmbeddingTable,
+        relations: EmbeddingTable,
+        train_state: TrainState,
+    ) -> Self {
+        Self { entities, relations, train_state: Some(train_state) }
     }
 
     /// Serialize to bytes.
@@ -65,27 +100,47 @@ impl Checkpoint {
         let payload = 4 * (self.entities.as_slice().len() + self.relations.as_slice().len());
         let mut buf = BytesMut::with_capacity(8 + 4 + 4 * 4 + payload);
         buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
+        match &self.train_state {
+            None => buf.put_u32_le(VERSION_V1),
+            Some(_) => buf.put_u32_le(VERSION_V2),
+        }
         buf.put_u64_le(self.entities.rows() as u64);
         buf.put_u32_le(self.entities.dim() as u32);
         buf.put_u64_le(self.relations.rows() as u64);
         buf.put_u32_le(self.relations.dim() as u32);
+        if let Some(ts) = &self.train_state {
+            buf.put_u64_le(ts.epoch);
+            buf.put_u32_le(ts.optimizer.len() as u32);
+            buf.put_slice(ts.optimizer.as_bytes());
+            buf.put_u64_le(ts.entity_state.rows() as u64);
+            buf.put_u32_le(ts.entity_state.dim() as u32);
+            buf.put_u64_le(ts.relation_state.rows() as u64);
+            buf.put_u32_le(ts.relation_state.dim() as u32);
+        }
         for &v in self.entities.as_slice() {
             buf.put_f32_le(v);
         }
         for &v in self.relations.as_slice() {
             buf.put_f32_le(v);
         }
+        if let Some(ts) = &self.train_state {
+            for &v in ts.entity_state.as_slice() {
+                buf.put_f32_le(v);
+            }
+            for &v in ts.relation_state.as_slice() {
+                buf.put_f32_le(v);
+            }
+        }
         buf.freeze()
     }
 
-    /// Deserialize from bytes.
+    /// Deserialize from bytes (reads both v1 and v2).
     pub fn from_bytes(mut data: Bytes) -> Result<Self, CheckpointError> {
         if data.remaining() < 8 + 4 || &data.copy_to_bytes(8)[..] != MAGIC {
             return Err(CheckpointError::BadMagic);
         }
         let version = data.get_u32_le();
-        if version != VERSION {
+        if version != VERSION_V1 && version != VERSION_V2 {
             return Err(CheckpointError::BadVersion(version));
         }
         if data.remaining() < 2 * (8 + 4) {
@@ -95,10 +150,51 @@ impl Checkpoint {
         let ent_dim = data.get_u32_le() as usize;
         let rel_rows = data.get_u64_le() as usize;
         let rel_dim = data.get_u32_le() as usize;
-        let need = 4 * (ent_rows * ent_dim + rel_rows * rel_dim);
-        if data.remaining() < need || ent_dim == 0 || rel_dim == 0 {
+        if ent_dim == 0 || rel_dim == 0 {
             return Err(CheckpointError::Truncated);
         }
+
+        let mut state_header = None;
+        if version == VERSION_V2 {
+            if data.remaining() < 8 + 4 {
+                return Err(CheckpointError::Truncated);
+            }
+            let epoch = data.get_u64_le();
+            let opt_len = data.get_u32_le() as usize;
+            if data.remaining() < opt_len {
+                return Err(CheckpointError::Truncated);
+            }
+            let optimizer = String::from_utf8(data.copy_to_bytes(opt_len).to_vec())
+                .map_err(|_| CheckpointError::Truncated)?;
+            if data.remaining() < 2 * (8 + 4) {
+                return Err(CheckpointError::Truncated);
+            }
+            let es_rows = data.get_u64_le() as usize;
+            let es_dim = data.get_u32_le() as usize;
+            let rs_rows = data.get_u64_le() as usize;
+            let rs_dim = data.get_u32_le() as usize;
+            if es_dim == 0 || rs_dim == 0 {
+                return Err(CheckpointError::Truncated);
+            }
+            state_header = Some((epoch, optimizer, es_rows, es_dim, rs_rows, rs_dim));
+        }
+
+        // Checked arithmetic: a hostile header must not overflow into a
+        // small `need` (or panic) — it must read as truncated.
+        let need = (|| -> Option<usize> {
+            let mut cells = ent_rows.checked_mul(ent_dim)?;
+            cells = cells.checked_add(rel_rows.checked_mul(rel_dim)?)?;
+            if let Some((_, _, es_rows, es_dim, rs_rows, rs_dim)) = &state_header {
+                cells = cells.checked_add(es_rows.checked_mul(*es_dim)?)?;
+                cells = cells.checked_add(rs_rows.checked_mul(*rs_dim)?)?;
+            }
+            cells.checked_mul(4)
+        })()
+        .ok_or(CheckpointError::Truncated)?;
+        if data.remaining() < need {
+            return Err(CheckpointError::Truncated);
+        }
+
         let mut read_table = |rows: usize, dim: usize| {
             let mut values = Vec::with_capacity(rows * dim);
             for _ in 0..rows * dim {
@@ -108,7 +204,12 @@ impl Checkpoint {
         };
         let entities = read_table(ent_rows, ent_dim);
         let relations = read_table(rel_rows, rel_dim);
-        Ok(Self { entities, relations })
+        let train_state = state_header.map(|(epoch, optimizer, es_rows, es_dim, rs_rows, rs_dim)| {
+            let entity_state = read_table(es_rows, es_dim);
+            let relation_state = read_table(rs_rows, rs_dim);
+            TrainState { epoch, optimizer, entity_state, relation_state }
+        });
+        Ok(Self { entities, relations, train_state })
     }
 
     /// Write to a file.
@@ -140,6 +241,24 @@ mod tests {
         Checkpoint::new(entities, relations)
     }
 
+    fn sample_v2() -> Checkpoint {
+        let base = sample();
+        let mut entity_state = EmbeddingTable::zeros(7, 5);
+        let mut relation_state = EmbeddingTable::zeros(3, 11);
+        Init::Uniform { bound: 1.0 }.fill(&mut entity_state, 3);
+        Init::Uniform { bound: 1.0 }.fill(&mut relation_state, 4);
+        Checkpoint::with_state(
+            base.entities,
+            base.relations,
+            TrainState {
+                epoch: 5,
+                optimizer: "AdaGrad { lr: 0.1 }".into(),
+                entity_state,
+                relation_state,
+            },
+        )
+    }
+
     #[test]
     fn bytes_round_trip() {
         let ck = sample();
@@ -148,13 +267,29 @@ mod tests {
     }
 
     #[test]
+    fn v2_bytes_round_trip() {
+        let ck = sample_v2();
+        let back = Checkpoint::from_bytes(ck.to_bytes()).unwrap();
+        assert_eq!(back, ck);
+        let ts = back.train_state.unwrap();
+        assert_eq!(ts.epoch, 5);
+        assert_eq!(ts.optimizer, "AdaGrad { lr: 0.1 }");
+    }
+
+    #[test]
     fn file_round_trip() {
-        let ck = sample();
+        let ck = sample_v2();
         let path = std::env::temp_dir().join(format!("hetkg-ck-{}.bin", std::process::id()));
         ck.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(back, ck);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stateless_checkpoint_serializes_as_v1() {
+        let bytes = sample().to_bytes();
+        assert_eq!(&bytes[8..12], &1u32.to_le_bytes(), "version 1 on the wire");
     }
 
     #[test]

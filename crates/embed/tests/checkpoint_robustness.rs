@@ -1,0 +1,147 @@
+//! Robustness tests for the checkpoint format: every error path on
+//! corrupted and truncated files, and v1 ↔ v2 compatibility.
+
+use bytes::Bytes;
+use hetkg_embed::checkpoint::{Checkpoint, CheckpointError, TrainState};
+use hetkg_embed::init::Init;
+use hetkg_embed::storage::EmbeddingTable;
+
+fn table(rows: usize, dim: usize, seed: u64) -> EmbeddingTable {
+    let mut t = EmbeddingTable::zeros(rows, dim);
+    Init::Uniform { bound: 0.5 }.fill(&mut t, seed);
+    t
+}
+
+fn v1() -> Checkpoint {
+    Checkpoint::new(table(9, 6, 1), table(4, 6, 2))
+}
+
+fn v2() -> Checkpoint {
+    Checkpoint::with_state(
+        table(9, 6, 1),
+        table(4, 6, 2),
+        TrainState {
+            epoch: 3,
+            optimizer: "AdaGrad { lr: 0.1 }".into(),
+            entity_state: table(9, 6, 3),
+            relation_state: table(4, 6, 4),
+        },
+    )
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("hetkg-ckrob-{}-{tag}.bin", std::process::id()))
+}
+
+#[test]
+fn bad_magic_on_disk() {
+    let path = tmp_path("magic");
+    let mut raw = v1().to_bytes().to_vec();
+    raw[0] ^= 0xFF;
+    std::fs::write(&path, &raw).unwrap();
+    let err = Checkpoint::load(&path).unwrap_err();
+    assert!(matches!(err, CheckpointError::BadMagic), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_version_on_disk() {
+    let path = tmp_path("version");
+    let mut raw = v2().to_bytes().to_vec();
+    raw[8] = 77; // version field follows the 8-byte magic
+    std::fs::write(&path, &raw).unwrap();
+    let err = Checkpoint::load(&path).unwrap_err();
+    assert!(matches!(err, CheckpointError::BadVersion(77)), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_is_io_error() {
+    let err = Checkpoint::load(&tmp_path("does-not-exist")).unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+}
+
+#[test]
+fn every_truncation_point_is_rejected_v1() {
+    let full = v1().to_bytes();
+    // Any strict prefix must fail with BadMagic (couldn't even read the
+    // header) or Truncated — never panic, never succeed.
+    for cut in 0..full.len() {
+        let err = Checkpoint::from_bytes(full.slice(..cut)).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::BadMagic | CheckpointError::Truncated),
+            "prefix of {cut} bytes gave {err}"
+        );
+    }
+    assert!(Checkpoint::from_bytes(full).is_ok());
+}
+
+#[test]
+fn every_truncation_point_is_rejected_v2() {
+    let full = v2().to_bytes();
+    for cut in 0..full.len() {
+        let err = Checkpoint::from_bytes(full.slice(..cut)).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::BadMagic | CheckpointError::Truncated),
+            "prefix of {cut} bytes gave {err}"
+        );
+    }
+    assert!(Checkpoint::from_bytes(full).is_ok());
+}
+
+#[test]
+fn zero_dims_are_rejected() {
+    let mut raw = v1().to_bytes().to_vec();
+    // entity dim lives after magic(8) + version(4) + ent_rows(8).
+    raw[20..24].copy_from_slice(&0u32.to_le_bytes());
+    let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();
+    assert!(matches!(err, CheckpointError::Truncated), "{err}");
+}
+
+#[test]
+fn oversized_shape_claims_are_rejected() {
+    // A header claiming more rows than the payload carries must fail
+    // cleanly instead of over-reading.
+    let mut raw = v1().to_bytes().to_vec();
+    raw[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+    let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();
+    assert!(matches!(err, CheckpointError::Truncated), "{err}");
+}
+
+#[test]
+fn v2_loader_reads_v1_files() {
+    let path = tmp_path("forward");
+    let ck = v1();
+    ck.save(&path).unwrap();
+    let back = Checkpoint::load(&path).unwrap();
+    assert_eq!(back.entities, ck.entities);
+    assert_eq!(back.relations, ck.relations);
+    assert!(back.train_state.is_none(), "v1 files carry no train state");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v2_round_trips_epoch_and_optimizer_state() {
+    let path = tmp_path("v2rt");
+    let ck = v2();
+    ck.save(&path).unwrap();
+    let back = Checkpoint::load(&path).unwrap();
+    assert_eq!(back, ck);
+    let ts = back.train_state.unwrap();
+    assert_eq!(ts.epoch, 3);
+    assert_eq!(ts.optimizer, "AdaGrad { lr: 0.1 }");
+    assert_eq!(ts.entity_state.rows(), 9);
+    assert_eq!(ts.relation_state.rows(), 4);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flipped_payload_bytes_still_parse_but_differ() {
+    // Payload corruption is not detectable without a digest (documented
+    // limitation) — but it must never crash the parser.
+    let mut raw = v2().to_bytes().to_vec();
+    let last = raw.len() - 1;
+    raw[last] ^= 0xFF;
+    let back = Checkpoint::from_bytes(Bytes::from(raw)).unwrap();
+    assert_ne!(back, v2());
+}

@@ -1,0 +1,536 @@
+//! Seeded, deterministic fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* — per-link drop
+//! probability, latency-spike episodes, and PS-shard outage windows — all
+//! expressed in **simulated time**, the same clock the [`CostModel`] feeds.
+//! A per-worker [`FaultInjector`] adjudicates every metered message against
+//! the plan using a seeded RNG and a private simulated clock, so a fault
+//! run is bit-reproducible regardless of host scheduling: two runs with the
+//! same plan, seed, and workload see exactly the same drops at exactly the
+//! same simulated instants.
+//!
+//! The injector deliberately knows nothing about retries or caching; it
+//! only answers "what happened to this message?" via [`Verdict`]. Retry
+//! policy lives in the PS client, degraded-mode semantics in the trainer —
+//! both report their countermeasures back here (`note_*`) so one
+//! [`FaultSnapshot`] aggregates the whole story.
+
+use crate::cost::CostModel;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A window of simulated time during which one PS shard is unreachable
+/// (process crash, network partition). All traffic to the shard — local or
+/// remote — is refused while `start <= now < end`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// The shard (= simulated machine) that is down.
+    pub shard: usize,
+    /// Outage start, in simulated seconds.
+    pub start: f64,
+    /// Outage end (exclusive), in simulated seconds.
+    pub end: f64,
+}
+
+impl OutageWindow {
+    /// Whether simulated instant `t` falls inside the window.
+    #[inline]
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A straggler episode: remote messages sent during the window take
+/// `latency_factor` times their normal transmission time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowEpisode {
+    /// Episode start, in simulated seconds.
+    pub start: f64,
+    /// Episode end (exclusive), in simulated seconds.
+    pub end: f64,
+    /// Multiplier on remote message time (>= 1.0).
+    pub latency_factor: f64,
+}
+
+/// An injected worker crash: during this epoch the workers die, losing all
+/// progress since the last recovery checkpoint; the trainer restores the
+/// parameter server from that checkpoint, rebuilds the workers, and
+/// resumes from the checkpoint's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPoint {
+    /// Zero-based epoch during which the crash fires.
+    pub epoch: usize,
+}
+
+/// Everything that can go wrong in one run. The default plan is fault-free:
+/// attaching it must leave behavior byte-identical to no plan at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Seed for the per-worker adjudication RNGs.
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability that a remote message is dropped in transit.
+    #[serde(default)]
+    pub drop_probability: f64,
+    /// Straggler episodes (remote latency multipliers).
+    #[serde(default)]
+    pub slow_episodes: Vec<SlowEpisode>,
+    /// PS-shard outage windows.
+    #[serde(default)]
+    pub outages: Vec<OutageWindow>,
+    /// Optional injected worker crash (handled by the trainer).
+    #[serde(default)]
+    pub crash: Option<CrashPoint>,
+}
+
+impl FaultPlan {
+    /// A lossy network: remote messages dropped with probability `p`.
+    pub fn lossy(seed: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability in [0, 1]");
+        Self { seed, drop_probability: p, ..Self::default() }
+    }
+
+    /// One shard unreachable over `[start, end)` simulated seconds.
+    pub fn shard_outage(seed: u64, shard: usize, start: f64, end: f64) -> Self {
+        assert!(end > start, "outage must have positive duration");
+        Self { seed, outages: vec![OutageWindow { shard, start, end }], ..Self::default() }
+    }
+
+    /// The documented "everything at once" profile used by the CLI: a 2%
+    /// lossy network, a mid-run outage of shard 1, a straggler episode, and
+    /// a worker crash at the start of epoch 1. Window positions are sized
+    /// for the CLI's synthetic workloads (simulated run time of a few
+    /// hundred milliseconds); tests over tiny graphs build their own plans.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_probability: 0.02,
+            slow_episodes: vec![SlowEpisode { start: 0.010, end: 0.030, latency_factor: 4.0 }],
+            outages: vec![OutageWindow { shard: 1, start: 0.050, end: 0.150 }],
+            crash: Some(CrashPoint { epoch: 1 }),
+        }
+    }
+
+    /// Whether the plan can ever perturb a message (crash injection alone
+    /// does not touch the message path).
+    pub fn perturbs_messages(&self) -> bool {
+        self.drop_probability > 0.0 || !self.slow_episodes.is_empty() || !self.outages.is_empty()
+    }
+}
+
+/// The injector's answer for one message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The message went through (possibly slowed by an episode).
+    Deliver,
+    /// The message was lost in transit; the sender should back off and retry.
+    Drop,
+    /// The target shard is down until the given simulated instant.
+    ShardDown {
+        /// Simulated instant at which the shard comes back.
+        until: f64,
+    },
+}
+
+/// Aggregated fault/countermeasure counters for one injector (one worker).
+/// Snapshots from all workers merge into the run-level report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSnapshot {
+    /// Remote messages lost in transit.
+    pub drops: u64,
+    /// Retransmission attempts made by the PS client.
+    pub retries: u64,
+    /// Bytes re-sent due to drops (also metered as traffic).
+    pub retransmitted_bytes: u64,
+    /// Messages refused because the target shard was down.
+    pub outage_refusals: u64,
+    /// Remote messages slowed by a straggler episode.
+    pub slow_messages: u64,
+    /// Extra simulated seconds added by straggler episodes.
+    pub extra_latency_secs: f64,
+    /// Simulated seconds spent in retry backoff / waiting out outages.
+    pub backoff_secs: f64,
+    /// Cache hits served stale because the home shard was down.
+    pub degraded_hits: u64,
+    /// Gradient pushes deferred into the local backlog during an outage.
+    pub deferred_pushes: u64,
+    /// Backlog flushes performed after shard recovery.
+    pub backlog_flushes: u64,
+}
+
+impl FaultSnapshot {
+    /// Combine two workers' snapshots.
+    pub fn merge(self, o: FaultSnapshot) -> FaultSnapshot {
+        FaultSnapshot {
+            drops: self.drops + o.drops,
+            retries: self.retries + o.retries,
+            retransmitted_bytes: self.retransmitted_bytes + o.retransmitted_bytes,
+            outage_refusals: self.outage_refusals + o.outage_refusals,
+            slow_messages: self.slow_messages + o.slow_messages,
+            extra_latency_secs: self.extra_latency_secs + o.extra_latency_secs,
+            backoff_secs: self.backoff_secs + o.backoff_secs,
+            degraded_hits: self.degraded_hits + o.degraded_hits,
+            deferred_pushes: self.deferred_pushes + o.deferred_pushes,
+            backlog_flushes: self.backlog_flushes + o.backlog_flushes,
+        }
+    }
+
+    /// Total fault events (drops + refusals + slowdowns).
+    pub fn total_faults(&self) -> u64 {
+        self.drops + self.outage_refusals + self.slow_messages
+    }
+}
+
+/// SplitMix64: tiny, seedable, and good enough for fault adjudication.
+/// Inlined so `hetkg-netsim` stays free of RNG-crate dependencies.
+#[derive(Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: SplitMix64,
+    /// This worker's simulated clock: compute + message time + backoff.
+    clock: f64,
+    stats: FaultSnapshot,
+}
+
+/// One worker's fault adjudicator.
+///
+/// Determinism contract: the injector is driven only by its owning worker
+/// (messages sent, compute performed, backoff waited), so its clock and RNG
+/// stream depend solely on `(plan, worker_id, workload)` — never on thread
+/// interleaving. The `Mutex` exists for `Sync`, not for sharing.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    cost: CostModel,
+    worker_id: usize,
+    inner: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// Build the injector for `worker_id`. Each worker gets an independent
+    /// RNG stream derived from the plan seed.
+    pub fn new(plan: FaultPlan, cost: CostModel, worker_id: usize) -> Self {
+        let mut seeder =
+            SplitMix64::new(plan.seed ^ (worker_id as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+        let rng = SplitMix64::new(seeder.next_u64());
+        Self {
+            plan,
+            cost,
+            worker_id,
+            inner: Mutex::new(InjectorState {
+                rng,
+                clock: 0.0,
+                stats: FaultSnapshot::default(),
+            }),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The worker this injector belongs to.
+    pub fn worker_id(&self) -> usize {
+        self.worker_id
+    }
+
+    /// Current simulated instant on this worker's clock.
+    pub fn now(&self) -> f64 {
+        self.inner.lock().clock
+    }
+
+    /// Advance the clock by raw simulated seconds.
+    pub fn advance(&self, secs: f64) {
+        debug_assert!(secs >= 0.0);
+        self.inner.lock().clock += secs;
+    }
+
+    /// Advance the clock by the cost of `work_units` of kernel compute.
+    pub fn advance_compute(&self, work_units: u64) {
+        self.advance(self.cost.compute_time(work_units));
+    }
+
+    /// Whether `shard` is reachable at the current simulated instant.
+    /// Pure clock lookup — consumes no randomness.
+    pub fn shard_available(&self, shard: usize) -> bool {
+        let now = self.inner.lock().clock;
+        !self.plan.outages.iter().any(|w| w.shard == shard && w.contains(now))
+    }
+
+    /// End of the outage currently affecting `shard`, if any.
+    pub fn outage_end(&self, shard: usize) -> Option<f64> {
+        let now = self.inner.lock().clock;
+        self.plan
+            .outages
+            .iter()
+            .filter(|w| w.shard == shard && w.contains(now))
+            .map(|w| w.end)
+            .fold(None, |acc: Option<f64>, end| Some(acc.map_or(end, |a| a.max(end))))
+    }
+
+    /// Adjudicate one message of `bytes` payload to `shard`, advancing the
+    /// clock by its transmission time. `remote` selects the link type (drops
+    /// and slow episodes apply only to remote messages; outages refuse both).
+    pub fn adjudicate(&self, shard: usize, remote: bool, bytes: u64) -> Verdict {
+        let mut inner = self.inner.lock();
+
+        if let Some(w) = self
+            .plan
+            .outages
+            .iter()
+            .filter(|w| w.shard == shard && w.contains(inner.clock))
+            .max_by(|a, b| a.end.total_cmp(&b.end))
+        {
+            // A refused attempt still costs one connect-timeout latency.
+            inner.stats.outage_refusals += 1;
+            inner.clock += self.cost.remote_latency;
+            return Verdict::ShardDown { until: w.end };
+        }
+
+        let base = if remote {
+            self.cost.remote_time(bytes, 1)
+        } else {
+            self.cost.local_time(bytes, 1)
+        };
+        let mut factor = 1.0;
+        if remote {
+            for ep in &self.plan.slow_episodes {
+                if inner.clock >= ep.start && inner.clock < ep.end {
+                    factor = factor.max(ep.latency_factor);
+                }
+            }
+        }
+        if factor > 1.0 {
+            inner.stats.slow_messages += 1;
+            inner.stats.extra_latency_secs += base * (factor - 1.0);
+        }
+        inner.clock += base * factor;
+
+        if remote && self.plan.drop_probability > 0.0 {
+            let draw = inner.rng.next_f64();
+            if draw < self.plan.drop_probability {
+                inner.stats.drops += 1;
+                return Verdict::Drop;
+            }
+        }
+        Verdict::Deliver
+    }
+
+    /// A uniform [0, 1) draw from this worker's RNG stream (backoff jitter).
+    pub fn jitter(&self) -> f64 {
+        self.inner.lock().rng.next_f64()
+    }
+
+    /// Record one retransmission of `bytes` (the retry the client is about
+    /// to make after a drop).
+    pub fn note_retry(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.stats.retries += 1;
+        inner.stats.retransmitted_bytes += bytes;
+    }
+
+    /// Spend `secs` of simulated time backing off / waiting for recovery.
+    pub fn note_backoff(&self, secs: f64) {
+        debug_assert!(secs >= 0.0);
+        let mut inner = self.inner.lock();
+        inner.stats.backoff_secs += secs;
+        inner.clock += secs;
+    }
+
+    /// Record `n` cache hits served stale because their shard was down.
+    pub fn note_degraded_hits(&self, n: u64) {
+        self.inner.lock().stats.degraded_hits += n;
+    }
+
+    /// Record `n` gradient pushes deferred into the local backlog.
+    pub fn note_deferred_pushes(&self, n: u64) {
+        self.inner.lock().stats.deferred_pushes += n;
+    }
+
+    /// Record one backlog flush after shard recovery.
+    pub fn note_backlog_flush(&self) {
+        self.inner.lock().stats.backlog_flushes += 1;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FaultSnapshot {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(plan: FaultPlan) -> FaultInjector {
+        FaultInjector::new(plan, CostModel::gigabit(), 0)
+    }
+
+    #[test]
+    fn zero_plan_always_delivers_and_draws_no_randomness() {
+        let inj = injector(FaultPlan::default());
+        for _ in 0..1000 {
+            assert_eq!(inj.adjudicate(0, true, 1024), Verdict::Deliver);
+            assert_eq!(inj.adjudicate(1, false, 1024), Verdict::Deliver);
+        }
+        let s = inj.stats();
+        assert_eq!(s, FaultSnapshot::default());
+        assert!(inj.now() > 0.0, "clock still advances by message time");
+    }
+
+    #[test]
+    fn verdict_stream_is_deterministic_in_seed() {
+        let run = |seed| {
+            let inj = injector(FaultPlan::lossy(seed, 0.2));
+            (0..500).map(|_| inj.adjudicate(1, true, 256) == Verdict::Drop).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds see different drops");
+    }
+
+    #[test]
+    fn workers_get_independent_streams() {
+        let plan = FaultPlan::lossy(3, 0.3);
+        let a = FaultInjector::new(plan.clone(), CostModel::gigabit(), 0);
+        let b = FaultInjector::new(plan, CostModel::gigabit(), 1);
+        let va: Vec<bool> =
+            (0..200).map(|_| a.adjudicate(1, true, 64) == Verdict::Drop).collect();
+        let vb: Vec<bool> =
+            (0..200).map(|_| b.adjudicate(1, true, 64) == Verdict::Drop).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let inj = injector(FaultPlan::lossy(42, 0.25));
+        let n = 10_000;
+        let drops =
+            (0..n).filter(|_| inj.adjudicate(1, true, 64) == Verdict::Drop).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert_eq!(inj.stats().drops, drops as u64);
+    }
+
+    #[test]
+    fn drops_apply_only_to_remote_messages() {
+        let inj = injector(FaultPlan::lossy(1, 1.0));
+        assert_eq!(inj.adjudicate(0, false, 64), Verdict::Deliver);
+        assert_eq!(inj.adjudicate(0, true, 64), Verdict::Drop);
+    }
+
+    #[test]
+    fn outage_refuses_then_recovers() {
+        let inj = injector(FaultPlan::shard_outage(0, 1, 0.0, 0.5));
+        assert!(!inj.shard_available(1));
+        assert!(inj.shard_available(0));
+        match inj.adjudicate(1, true, 64) {
+            Verdict::ShardDown { until } => assert_eq!(until, 0.5),
+            v => panic!("expected ShardDown, got {v:?}"),
+        }
+        assert_eq!(inj.stats().outage_refusals, 1);
+        // Other shards unaffected during the window.
+        assert_eq!(inj.adjudicate(0, true, 64), Verdict::Deliver);
+        // Waiting past the window restores service.
+        inj.advance(1.0);
+        assert!(inj.shard_available(1));
+        assert_eq!(inj.adjudicate(1, true, 64), Verdict::Deliver);
+        assert_eq!(inj.outage_end(1), None);
+    }
+
+    #[test]
+    fn outage_applies_to_local_traffic_too() {
+        // Shard 0 is worker 0's own machine: a crashed PS process refuses
+        // shared-memory clients as well.
+        let inj = injector(FaultPlan::shard_outage(0, 0, 0.0, 1.0));
+        assert!(matches!(inj.adjudicate(0, false, 64), Verdict::ShardDown { .. }));
+    }
+
+    #[test]
+    fn slow_episode_inflates_message_time() {
+        let plan = FaultPlan {
+            slow_episodes: vec![SlowEpisode { start: 0.0, end: 10.0, latency_factor: 3.0 }],
+            ..FaultPlan::default()
+        };
+        let cost = CostModel::gigabit();
+        let inj = injector(plan);
+        let before = inj.now();
+        assert_eq!(inj.adjudicate(1, true, 1000), Verdict::Deliver);
+        let elapsed = inj.now() - before;
+        let base = cost.remote_time(1000, 1);
+        assert!((elapsed - 3.0 * base).abs() < 1e-12, "elapsed {elapsed}, base {base}");
+        let s = inj.stats();
+        assert_eq!(s.slow_messages, 1);
+        assert!((s.extra_latency_secs - 2.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_episode_does_not_touch_local_messages() {
+        let plan = FaultPlan {
+            slow_episodes: vec![SlowEpisode { start: 0.0, end: 10.0, latency_factor: 5.0 }],
+            ..FaultPlan::default()
+        };
+        let inj = injector(plan);
+        inj.adjudicate(0, false, 1000);
+        assert_eq!(inj.stats().slow_messages, 0);
+    }
+
+    #[test]
+    fn clock_advances_by_compute_and_backoff() {
+        let cost = CostModel::gigabit();
+        let inj = injector(FaultPlan::default());
+        inj.advance_compute(1_000_000);
+        let t1 = inj.now();
+        assert!((t1 - cost.compute_time(1_000_000)).abs() < 1e-15);
+        inj.note_backoff(0.25);
+        assert!((inj.now() - t1 - 0.25).abs() < 1e-15);
+        assert!((inj.stats().backoff_secs - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn snapshots_merge_componentwise() {
+        let a = FaultSnapshot { drops: 1, retries: 2, backoff_secs: 0.5, ..Default::default() };
+        let b = FaultSnapshot { drops: 3, degraded_hits: 7, ..Default::default() };
+        let m = a.merge(b);
+        assert_eq!(m.drops, 4);
+        assert_eq!(m.retries, 2);
+        assert_eq!(m.degraded_hits, 7);
+        assert!((m.backoff_secs - 0.5).abs() < 1e-15);
+        assert_eq!(m.total_faults(), 4);
+    }
+
+    #[test]
+    fn plan_serde_round_trips() {
+        let plan = FaultPlan::chaos(9);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        // Missing fields default to fault-free.
+        let empty: FaultPlan = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, FaultPlan::default());
+        assert!(!empty.perturbs_messages());
+    }
+}

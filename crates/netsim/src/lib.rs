@@ -8,12 +8,18 @@
 //!
 //! * [`CostModel`] — bandwidth + latency + per-message overhead;
 //! * [`TrafficMeter`] — per-worker counters (local/remote bytes & messages);
-//! * [`ClusterTopology`] — worker → machine placement (co-located PS).
+//! * [`ClusterTopology`] — worker → machine placement (co-located PS);
+//! * [`FaultPlan`]/[`FaultInjector`] — seeded, deterministic fault
+//!   injection (drops, stragglers, shard outages) in simulated time.
 
 pub mod cost;
+pub mod faults;
 pub mod meter;
 pub mod topology;
 
 pub use cost::CostModel;
+pub use faults::{
+    CrashPoint, FaultInjector, FaultPlan, FaultSnapshot, OutageWindow, SlowEpisode, Verdict,
+};
 pub use meter::{TrafficMeter, TrafficSnapshot};
 pub use topology::ClusterTopology;

@@ -6,15 +6,40 @@
 //! simulated network. Batched operations send **one message per shard
 //! touched per direction**, matching how a real KVStore client coalesces a
 //! mini-batch's keys.
+//!
+//! # Fault handling
+//!
+//! By default every call is infallible (the store is in-process memory).
+//! Attaching a [`FaultInjector`] via [`PsClient::with_faults`] routes every
+//! message through fault adjudication: drops are retransmitted under the
+//! [`RetryPolicy`] (exponential backoff, seeded jitter), shard outages are
+//! either waited out in simulated time or surfaced as
+//! [`RpcError::ShardUnavailable`]. Every transmission attempt — including
+//! retransmissions of dropped messages — is metered, so simulated network
+//! time reflects the true cost of the faults. The `try_*` methods expose
+//! the fallible path; the legacy infallible methods delegate to them and
+//! panic only if the retry budget is exhausted. With a zero-fault plan
+//! attached, traffic is byte-identical to running with no injector at all.
 
+use crate::error::{RetryPolicy, RpcError};
 use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
 use hetkg_kgraph::ParamKey;
-use hetkg_netsim::{ClusterTopology, TrafficMeter};
+use hetkg_netsim::{ClusterTopology, FaultInjector, TrafficMeter, Verdict};
 use std::sync::Arc;
 
 /// Bytes accounted per key id shipped in a request (u64 on the wire).
 const KEY_BYTES: u64 = 8;
+
+/// A fault injector plus the retry policy governing this client's responses
+/// to its verdicts.
+#[derive(Debug, Clone)]
+pub struct FaultBinding {
+    /// The per-worker adjudicator (shared with the trainer for reporting).
+    pub injector: Arc<FaultInjector>,
+    /// How this client retries dropped messages and down shards.
+    pub policy: RetryPolicy,
+}
 
 /// A worker's connection to the parameter server.
 #[derive(Debug, Clone)]
@@ -23,6 +48,7 @@ pub struct PsClient {
     topology: ClusterTopology,
     store: Arc<KvStore>,
     meter: Arc<TrafficMeter>,
+    faults: Option<FaultBinding>,
 }
 
 impl PsClient {
@@ -40,7 +66,18 @@ impl PsClient {
             store.router().num_shards(),
             "one PS shard per machine"
         );
-        Self { worker_id, topology, store, meter }
+        Self { worker_id, topology, store, meter, faults: None }
+    }
+
+    /// Attach a fault injector and retry policy to this client.
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>, policy: RetryPolicy) -> Self {
+        self.faults = Some(FaultBinding { injector, policy });
+        self
+    }
+
+    /// The attached fault binding, if any.
+    pub fn faults(&self) -> Option<&FaultBinding> {
+        self.faults.as_ref()
     }
 
     /// The underlying store (for evaluation snapshots).
@@ -59,96 +96,192 @@ impl PsClient {
         self.topology.is_local(self.worker_id, self.store.router().shard_of(key))
     }
 
+    /// Whether `key`'s home shard is reachable right now. Always true
+    /// without a fault injector.
+    #[inline]
+    pub fn shard_available(&self, key: ParamKey) -> bool {
+        match &self.faults {
+            None => true,
+            Some(f) => f.injector.shard_available(self.store.router().shard_of(key)),
+        }
+    }
+
     /// Pull one key (one message).
     pub fn pull(&self, key: ParamKey, out: &mut [f32]) {
+        self.try_pull(key, out).expect("ps pull failed after retries");
+    }
+
+    /// Fallible [`pull`](Self::pull): fails only with a fault injector
+    /// attached and the retry budget exhausted.
+    pub fn try_pull(&self, key: ParamKey, out: &mut [f32]) -> Result<(), RpcError> {
+        let shard = self.store.router().shard_of(key);
+        self.transmit(shard, self.store.row_bytes(key) + KEY_BYTES)?;
         self.store.pull(key, out);
-        let bytes = self.store.row_bytes(key) + KEY_BYTES;
-        if self.is_local(key) {
-            self.meter.record_local(bytes);
-        } else {
-            self.meter.record_remote(bytes);
-        }
+        Ok(())
     }
 
     /// Pull many keys; `sink(i, row)` receives each key's row in order.
     ///
     /// Metering: requested keys are grouped by shard; each touched shard
     /// costs one message carrying its keys' ids plus the returned rows.
-    pub fn pull_batch(&self, keys: &[ParamKey], mut sink: impl FnMut(usize, &[f32])) {
+    pub fn pull_batch(&self, keys: &[ParamKey], sink: impl FnMut(usize, &[f32])) {
+        self.try_pull_batch(keys, sink).expect("ps pull_batch failed after retries");
+    }
+
+    /// Fallible [`pull_batch`](Self::pull_batch). All-or-nothing: on error
+    /// no row reaches `sink`. On success rows arrive in key order.
+    pub fn try_pull_batch(
+        &self,
+        keys: &[ParamKey],
+        mut sink: impl FnMut(usize, &[f32]),
+    ) -> Result<(), RpcError> {
         if keys.is_empty() {
-            return;
+            return Ok(());
         }
-        let num_shards = self.store.router().num_shards();
-        let mut shard_bytes = vec![0u64; num_shards];
+        self.transmit_shards(&self.batch_shard_bytes(keys))?;
         let max_dim = self.store.entity_dim().max(self.store.relation_dim());
         let mut buf = vec![0.0f32; max_dim];
         for (i, &key) in keys.iter().enumerate() {
             let width = (self.store.row_bytes(key) / 4) as usize;
             self.store.pull(key, &mut buf[..width]);
             sink(i, &buf[..width]);
-            shard_bytes[self.store.router().shard_of(key)] +=
-                self.store.row_bytes(key) + KEY_BYTES;
         }
-        self.meter_shards(&shard_bytes);
+        Ok(())
     }
 
     /// Push one gradient (one message); the server applies `optimizer`.
     pub fn push(&self, key: ParamKey, grad: &[f32], optimizer: &dyn Optimizer) {
+        self.try_push(key, grad, optimizer).expect("ps push failed after retries");
+    }
+
+    /// Fallible [`push`](Self::push).
+    pub fn try_push(
+        &self,
+        key: ParamKey,
+        grad: &[f32],
+        optimizer: &dyn Optimizer,
+    ) -> Result<(), RpcError> {
+        let shard = self.store.router().shard_of(key);
+        self.transmit(shard, self.store.row_bytes(key) + KEY_BYTES)?;
         self.store.push_grad(key, grad, optimizer);
-        let bytes = self.store.row_bytes(key) + KEY_BYTES;
-        if self.is_local(key) {
-            self.meter.record_local(bytes);
-        } else {
-            self.meter.record_remote(bytes);
-        }
+        Ok(())
     }
 
     /// Push many gradients, one message per shard touched.
     ///
     /// `grads[i]` is the gradient for `keys[i]`.
     pub fn push_batch(&self, keys: &[ParamKey], grads: &[&[f32]], optimizer: &dyn Optimizer) {
+        self.try_push_batch(keys, grads, optimizer).expect("ps push_batch failed after retries");
+    }
+
+    /// Fallible [`push_batch`](Self::push_batch). All-or-nothing: on error
+    /// no gradient is applied.
+    pub fn try_push_batch(
+        &self,
+        keys: &[ParamKey],
+        grads: &[&[f32]],
+        optimizer: &dyn Optimizer,
+    ) -> Result<(), RpcError> {
         assert_eq!(keys.len(), grads.len(), "one gradient per key");
         if keys.is_empty() {
-            return;
+            return Ok(());
         }
-        let num_shards = self.store.router().num_shards();
-        let mut shard_bytes = vec![0u64; num_shards];
+        self.transmit_shards(&self.batch_shard_bytes(keys))?;
         for (&key, &grad) in keys.iter().zip(grads) {
             self.store.push_grad(key, grad, optimizer);
-            shard_bytes[self.store.router().shard_of(key)] +=
-                self.store.row_bytes(key) + KEY_BYTES;
         }
-        self.meter_shards(&shard_bytes);
+        Ok(())
     }
 
     /// Overwrite many keys' values (no optimizer), one message per shard
     /// touched. Used by block-partitioned training (PBG) to save entity
     /// partitions back to shared storage.
     pub fn write_batch(&self, keys: &[ParamKey], values: &[&[f32]]) {
+        self.try_write_batch(keys, values).expect("ps write_batch failed after retries");
+    }
+
+    /// Fallible [`write_batch`](Self::write_batch). All-or-nothing.
+    pub fn try_write_batch(&self, keys: &[ParamKey], values: &[&[f32]]) -> Result<(), RpcError> {
         assert_eq!(keys.len(), values.len(), "one value per key");
         if keys.is_empty() {
-            return;
+            return Ok(());
         }
-        let num_shards = self.store.router().num_shards();
-        let mut shard_bytes = vec![0u64; num_shards];
+        self.transmit_shards(&self.batch_shard_bytes(keys))?;
         for (&key, &value) in keys.iter().zip(values) {
             self.store.store(key, value);
+        }
+        Ok(())
+    }
+
+    /// Per-shard byte totals for a batch (rows + key ids).
+    fn batch_shard_bytes(&self, keys: &[ParamKey]) -> Vec<u64> {
+        let mut shard_bytes = vec![0u64; self.store.router().num_shards()];
+        for &key in keys {
             shard_bytes[self.store.router().shard_of(key)] +=
                 self.store.row_bytes(key) + KEY_BYTES;
         }
-        self.meter_shards(&shard_bytes);
+        shard_bytes
     }
 
-    /// Record one message per shard with accumulated bytes.
-    fn meter_shards(&self, shard_bytes: &[u64]) {
+    /// Send one message per touched shard, in ascending shard order.
+    /// All-or-nothing: the first shard that exhausts its retries aborts the
+    /// batch.
+    fn transmit_shards(&self, shard_bytes: &[u64]) -> Result<(), RpcError> {
         for (shard, &bytes) in shard_bytes.iter().enumerate() {
-            if bytes == 0 {
-                continue;
+            if bytes > 0 {
+                self.transmit(shard, bytes)?;
             }
-            if self.topology.is_local(self.worker_id, shard) {
-                self.meter.record_local(bytes);
+        }
+        Ok(())
+    }
+
+    /// Send one message of `bytes` to `shard`, retrying under the fault
+    /// policy. Every transmission attempt is metered — a dropped message
+    /// still crossed the wire, so its bytes (and its retransmission's) count
+    /// toward simulated network time.
+    fn transmit(&self, shard: usize, bytes: u64) -> Result<(), RpcError> {
+        let remote = !self.topology.is_local(self.worker_id, shard);
+        let record = |b: u64| {
+            if remote {
+                self.meter.record_remote(b);
             } else {
-                self.meter.record_remote(bytes);
+                self.meter.record_local(b);
+            }
+        };
+        let Some(f) = &self.faults else {
+            record(bytes);
+            return Ok(());
+        };
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            match f.injector.adjudicate(shard, remote, bytes) {
+                Verdict::Deliver => {
+                    record(bytes);
+                    return Ok(());
+                }
+                Verdict::Drop => {
+                    // The lost message still transited the link.
+                    record(bytes);
+                    if attempts >= f.policy.max_attempts {
+                        return Err(RpcError::Dropped { attempts });
+                    }
+                    f.injector.note_retry(bytes);
+                    f.injector.note_backoff(f.policy.backoff(attempts, f.injector.jitter()));
+                }
+                Verdict::ShardDown { until } => {
+                    if attempts >= f.policy.max_attempts {
+                        return Err(RpcError::ShardUnavailable { shard, attempts });
+                    }
+                    let backoff = f.policy.backoff(attempts, f.injector.jitter());
+                    if f.policy.wait_for_recovery {
+                        // Sleep (in simulated time) until the shard is back.
+                        let wait = (until - f.injector.now()).max(0.0) + backoff;
+                        f.injector.note_backoff(wait);
+                    } else {
+                        f.injector.note_backoff(backoff);
+                    }
+                }
             }
         }
     }
@@ -161,6 +294,7 @@ mod tests {
     use crate::router::ShardRouter;
     use hetkg_embed::init::Init;
     use hetkg_kgraph::KeySpace;
+    use hetkg_netsim::{CostModel, FaultPlan};
 
     fn setup(machines: usize) -> (Arc<KvStore>, ClusterTopology) {
         let ks = KeySpace::new(8, 4);
@@ -168,6 +302,10 @@ mod tests {
         let store =
             Arc::new(KvStore::new(router, 4, 4, 0, Init::Uniform { bound: 0.1 }, 1));
         (store, ClusterTopology::new(machines, 1))
+    }
+
+    fn injector(plan: FaultPlan) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector::new(plan, CostModel::gigabit(), 0))
     }
 
     #[test]
@@ -257,5 +395,118 @@ mod tests {
         let s = meter.snapshot();
         assert_eq!(s.remote_bytes, 0);
         assert!(s.local_bytes > 0);
+    }
+
+    #[test]
+    fn zero_fault_injector_is_byte_identical_to_none() {
+        let (store, topo) = setup(2);
+        let plain_meter = Arc::new(TrafficMeter::new());
+        let plain = PsClient::new(0, topo, store.clone(), plain_meter.clone());
+        let fault_meter = Arc::new(TrafficMeter::new());
+        let faulty = PsClient::new(0, topo, store.clone(), fault_meter.clone())
+            .with_faults(injector(FaultPlan::default()), RetryPolicy::default());
+
+        let keys: Vec<ParamKey> = (0..10).map(ParamKey).collect();
+        let g = [0.1f32; 4];
+        let grads: Vec<&[f32]> = keys.iter().map(|_| &g[..]).collect();
+        for client in [&plain, &faulty] {
+            let mut buf = [0.0f32; 4];
+            client.pull(ParamKey(3), &mut buf);
+            client.pull_batch(&keys, |_, _| {});
+            client.push(ParamKey(5), &g, &Sgd { lr: 0.1 });
+            client.push_batch(&keys, &grads, &Sgd { lr: 0.1 });
+            client.write_batch(&keys, &grads);
+        }
+        assert_eq!(plain_meter.snapshot(), fault_meter.snapshot());
+        assert_eq!(faulty.faults().unwrap().injector.stats().total_faults(), 0);
+    }
+
+    #[test]
+    fn drops_retransmit_meter_every_attempt_then_fail() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(FaultPlan::lossy(1, 1.0)); // every remote message lost
+        let policy = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        let client = PsClient::new(0, topo, store, meter.clone()).with_faults(inj.clone(), policy);
+        let mut buf = [0.0f32; 4];
+        // Key 1 is remote for worker 0.
+        let err = client.try_pull(ParamKey(1), &mut buf).unwrap_err();
+        assert_eq!(err, RpcError::Dropped { attempts: 3 });
+        let s = meter.snapshot();
+        let msg_bytes = 16 + 8;
+        assert_eq!(s.remote_messages, 3, "every attempt transited the link");
+        assert_eq!(s.remote_bytes, 3 * msg_bytes);
+        let f = inj.stats();
+        assert_eq!(f.drops, 3);
+        assert_eq!(f.retries, 2);
+        assert_eq!(f.retransmitted_bytes, 2 * msg_bytes);
+        assert!(f.backoff_secs > 0.0);
+    }
+
+    #[test]
+    fn local_messages_never_drop() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(FaultPlan::lossy(1, 1.0));
+        let client =
+            PsClient::new(0, topo, store, meter.clone()).with_faults(inj, RetryPolicy::default());
+        let mut buf = [0.0f32; 4];
+        // Key 0 is local for worker 0: delivered despite p = 1.
+        client.try_pull(ParamKey(0), &mut buf).unwrap();
+        assert_eq!(meter.snapshot().local_messages, 1);
+    }
+
+    #[test]
+    fn outage_is_waited_out_in_simulated_time() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(FaultPlan::shard_outage(0, 1, 0.0, 0.5));
+        let client = PsClient::new(0, topo, store, meter.clone())
+            .with_faults(inj.clone(), RetryPolicy::default());
+        assert!(!client.shard_available(ParamKey(1)));
+        assert!(client.shard_available(ParamKey(0)));
+        let mut buf = [0.0f32; 4];
+        client.try_pull(ParamKey(1), &mut buf).unwrap();
+        assert!(inj.now() >= 0.5, "client slept past the outage window");
+        assert!(inj.stats().outage_refusals >= 1);
+        assert_eq!(meter.snapshot().remote_messages, 1, "only the delivery is metered");
+        assert!(client.shard_available(ParamKey(1)));
+    }
+
+    #[test]
+    fn outage_without_wait_exhausts_attempts() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(FaultPlan::shard_outage(0, 1, 0.0, 1e9));
+        let policy =
+            RetryPolicy { max_attempts: 2, wait_for_recovery: false, ..RetryPolicy::default() };
+        let client = PsClient::new(0, topo, store, meter.clone()).with_faults(inj, policy);
+        let mut buf = [0.0f32; 4];
+        let err = client.try_pull(ParamKey(1), &mut buf).unwrap_err();
+        assert_eq!(err, RpcError::ShardUnavailable { shard: 1, attempts: 2 });
+        assert_eq!(meter.snapshot().remote_messages, 0, "refusals are not deliveries");
+    }
+
+    #[test]
+    fn failed_batch_applies_nothing() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(FaultPlan::shard_outage(0, 1, 0.0, 1e9));
+        let policy =
+            RetryPolicy { max_attempts: 2, wait_for_recovery: false, ..RetryPolicy::default() };
+        let client =
+            PsClient::new(0, topo, store.clone(), meter).with_faults(inj, policy);
+        store.store(ParamKey(0), &[0.0; 4]);
+        store.store(ParamKey(1), &[0.0; 4]);
+        let g = [1.0f32; 4];
+        // Shard 0 is fine but shard 1 is down: all-or-nothing, so neither
+        // gradient lands.
+        let err = client
+            .try_push_batch(&[ParamKey(0), ParamKey(1)], &[&g, &g], &Sgd { lr: 1.0 })
+            .unwrap_err();
+        assert!(matches!(err, RpcError::ShardUnavailable { shard: 1, .. }));
+        let mut buf = [0.0f32; 4];
+        store.pull(ParamKey(0), &mut buf);
+        assert_eq!(buf, [0.0; 4], "no partial application");
     }
 }

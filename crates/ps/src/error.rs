@@ -1,0 +1,159 @@
+//! Typed failures for the PS client and the async push server, plus the
+//! retry policy the client wraps around a fault injector.
+//!
+//! Without a fault injector attached every [`PsClient`](crate::PsClient)
+//! call is infallible (the store is in-process memory); these types only
+//! surface once simulated faults are in play — or, for [`ServerGone`], when
+//! the [`AsyncServer`](crate::AsyncServer) consumer thread has died.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A PS RPC that failed after exhausting its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The message was dropped on every attempt.
+    Dropped {
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
+    /// The target shard stayed unreachable across all attempts.
+    ShardUnavailable {
+        /// The shard that refused the message.
+        shard: usize,
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
+    /// The async push server's consumer thread is gone.
+    ServerGone,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Dropped { attempts } => {
+                write!(f, "message dropped on all {attempts} attempts")
+            }
+            RpcError::ShardUnavailable { shard, attempts } => {
+                write!(f, "shard {shard} unavailable after {attempts} attempts")
+            }
+            RpcError::ServerGone => write!(f, "ps server thread is gone"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<ServerGone> for RpcError {
+    fn from(_: ServerGone) -> Self {
+        RpcError::ServerGone
+    }
+}
+
+/// The async push server's consumer thread has exited (store panic or
+/// earlier shutdown); the queued operation was not applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerGone;
+
+impl fmt::Display for ServerGone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ps server thread is gone")
+    }
+}
+
+impl std::error::Error for ServerGone {}
+
+/// Bounded retries with exponential backoff and seeded jitter, all in
+/// simulated time.
+///
+/// On a [`Verdict::Drop`](hetkg_netsim::Verdict::Drop) the client backs off
+/// `base_backoff * 2^(attempt-1)` (capped at `max_backoff`, jittered by
+/// ±`jitter`/2) and retransmits. On `ShardDown`, `wait_for_recovery` makes
+/// the client sleep (in simulated time) until the outage window ends before
+/// retrying — the behavior of a blocking KVStore client with no failover —
+/// which also guarantees retry loops terminate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum send attempts per message (initial send included).
+    pub max_attempts: u32,
+    /// First backoff, in simulated seconds.
+    pub base_backoff: f64,
+    /// Backoff ceiling, in simulated seconds.
+    pub max_backoff: f64,
+    /// Jitter fraction: each backoff is scaled by `1 ± jitter/2`.
+    pub jitter: f64,
+    /// Whether to sleep out a shard outage instead of burning attempts.
+    pub wait_for_recovery: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff: 100e-6,
+            max_backoff: 10e-3,
+            jitter: 0.5,
+            wait_for_recovery: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based), using a uniform
+    /// `[0, 1)` `jitter_draw` from the worker's seeded RNG stream.
+    pub fn backoff(&self, attempt: u32, jitter_draw: f64) -> f64 {
+        let exp = self.base_backoff * 2f64.powi(attempt.saturating_sub(1).min(30) as i32);
+        exp.min(self.max_backoff) * (1.0 + self.jitter * (jitter_draw - 0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_until_capped() {
+        let p = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        let b1 = p.backoff(1, 0.5);
+        let b2 = p.backoff(2, 0.5);
+        let b3 = p.backoff(3, 0.5);
+        assert!((b2 - 2.0 * b1).abs() < 1e-12);
+        assert!((b3 - 4.0 * b1).abs() < 1e-12);
+        let huge = p.backoff(30, 0.5);
+        assert!((huge - p.max_backoff).abs() < 1e-12, "capped at max_backoff");
+    }
+
+    #[test]
+    fn jitter_scales_around_the_midpoint() {
+        let p = RetryPolicy { jitter: 0.5, ..RetryPolicy::default() };
+        let low = p.backoff(1, 0.0);
+        let mid = p.backoff(1, 0.5);
+        let high = p.backoff(1, 1.0 - 1e-9);
+        assert!(low < mid && mid < high);
+        assert!((mid - p.base_backoff).abs() < 1e-12);
+        assert!(low >= 0.75 * p.base_backoff - 1e-12);
+        assert!(high <= 1.25 * p.base_backoff + 1e-12);
+    }
+
+    #[test]
+    fn errors_format_actionably() {
+        assert_eq!(
+            RpcError::Dropped { attempts: 8 }.to_string(),
+            "message dropped on all 8 attempts"
+        );
+        assert_eq!(
+            RpcError::ShardUnavailable { shard: 2, attempts: 3 }.to_string(),
+            "shard 2 unavailable after 3 attempts"
+        );
+        assert_eq!(RpcError::from(ServerGone), RpcError::ServerGone);
+        assert_eq!(ServerGone.to_string(), "ps server thread is gone");
+    }
+
+    #[test]
+    fn giant_attempt_counts_do_not_overflow() {
+        let p = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        let b = p.backoff(u32::MAX, 0.5);
+        assert!(b.is_finite());
+        assert!((b - p.max_backoff).abs() < 1e-12);
+    }
+}

@@ -160,6 +160,56 @@ impl KvStore {
             f(key, row);
         }
     }
+
+    /// Width of the entity optimizer-state rows
+    /// (`(entity_dim * state_width).max(1)`).
+    pub fn entity_state_dim(&self) -> usize {
+        self.shards[0].read().entity_state.dim()
+    }
+
+    /// Width of the relation optimizer-state rows.
+    pub fn relation_state_dim(&self) -> usize {
+        self.shards[0].read().relation_state.dim()
+    }
+
+    /// Run `f` over every key with its embedding row *and* optimizer-state
+    /// row. Used by checkpointing to capture resumable training state.
+    pub fn for_each_row_with_state<F: FnMut(ParamKey, &[f32], &[f32])>(&self, mut f: F) {
+        let ks = self.router.key_space();
+        for k in 0..ks.len() as u64 {
+            let key = ParamKey(k);
+            let p = self.router.place(key);
+            let shard = self.shards[p.shard].read();
+            let (row, state) = match p.kind {
+                RowKind::Entity => (shard.entities.row(p.local), shard.entity_state.row(p.local)),
+                RowKind::Relation => {
+                    (shard.relations.row(p.local), shard.relation_state.row(p.local))
+                }
+            };
+            f(key, row, state);
+        }
+    }
+
+    /// Overwrite a key's embedding and, when given, its optimizer state
+    /// (checkpoint restore). `state` must match the key's state-row width.
+    pub fn restore_row(&self, key: ParamKey, value: &[f32], state: Option<&[f32]>) {
+        let p = self.router.place(key);
+        let mut shard = self.shards[p.shard].write();
+        match p.kind {
+            RowKind::Entity => {
+                shard.entities.set_row(p.local, value);
+                if let Some(s) = state {
+                    shard.entity_state.set_row(p.local, s);
+                }
+            }
+            RowKind::Relation => {
+                shard.relations.set_row(p.local, value);
+                if let Some(s) = state {
+                    shard.relation_state.set_row(p.local, s);
+                }
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for KvStore {
@@ -307,5 +357,44 @@ mod tests {
             seen += 1;
         });
         assert_eq!(seen, 14);
+    }
+
+    #[test]
+    fn state_round_trips_through_restore_row() {
+        let s = store(2);
+        assert_eq!(s.entity_state_dim(), 8);
+        assert_eq!(s.relation_state_dim(), 8);
+        // Accumulate some AdaGrad state, capture it, wipe the row, restore.
+        let key = ParamKey(5);
+        let opt = AdaGrad::new(0.1);
+        let mut before = [0.0f32; 8];
+        s.pull(key, &mut before);
+        s.push_grad(key, &[1.0; 8], &opt);
+        let mut saved_row = vec![];
+        let mut saved_state = vec![];
+        s.for_each_row_with_state(|k, row, state| {
+            if k == key {
+                saved_row = row.to_vec();
+                saved_state = state.to_vec();
+            }
+        });
+        assert!(saved_state.iter().any(|v| *v != 0.0), "adagrad state captured");
+        let zeros = vec![0.0f32; saved_state.len()];
+        s.restore_row(key, &[9.0; 8], Some(&zeros));
+        s.restore_row(key, &saved_row, Some(&saved_state));
+        s.for_each_row_with_state(|k, row, state| {
+            if k == key {
+                assert_eq!(row, &saved_row[..]);
+                assert_eq!(state, &saved_state[..]);
+            }
+        });
+        // Restoring state makes the next step identical to a store that
+        // never lost it: step size shrinks as if the first push persisted.
+        s.push_grad(key, &[1.0; 8], &opt);
+        let mut after = [0.0f32; 8];
+        s.pull(key, &mut after);
+        let step1 = (saved_row[0] - before[0]).abs();
+        let step2 = (after[0] - saved_row[0]).abs();
+        assert!(step2 < step1, "restored adagrad state damps the step");
     }
 }

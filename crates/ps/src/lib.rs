@@ -10,7 +10,9 @@
 //! * [`client::PsClient`] — a worker-side handle that routes pulls/pushes to
 //!   the right shard and meters local vs remote traffic;
 //! * [`queue::AsyncServer`] — Algorithm 4's message queue: a consumer
-//!   thread applying fire-and-forget gradient pushes.
+//!   thread applying fire-and-forget gradient pushes;
+//! * [`error`] — typed RPC failures ([`RpcError`], [`ServerGone`]) and the
+//!   [`RetryPolicy`] used when a fault injector is attached to the client.
 
 //!
 //! # Example: a two-shard store with metered pulls
@@ -40,12 +42,14 @@
 //! ```
 
 pub mod client;
+pub mod error;
 pub mod kvstore;
 pub mod optimizer;
 pub mod queue;
 pub mod router;
 
-pub use client::PsClient;
+pub use client::{FaultBinding, PsClient};
+pub use error::{RetryPolicy, RpcError, ServerGone};
 pub use queue::AsyncServer;
 pub use kvstore::KvStore;
 pub use optimizer::{AdaGrad, Optimizer, Sgd};

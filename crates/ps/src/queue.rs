@@ -12,7 +12,12 @@
 //! remains the default in the trainer because it makes runs bit-
 //! deterministic; the async server exists for fidelity and is exercised by
 //! its own tests and the `train_epoch` benchmarks.
+//!
+//! A dead consumer (e.g. a store panic mid-update) used to panic every
+//! producer too; now `push`/`flush`/`shutdown` surface a typed
+//! [`ServerGone`] so workers can degrade instead of unwinding.
 
+use crate::error::ServerGone;
 use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -34,6 +39,10 @@ enum Command {
     /// Flush barrier: reply when everything before it has been applied.
     Flush(Sender<()>),
     Shutdown,
+    /// Test hook: make the consumer thread die mid-run, as a store panic
+    /// would.
+    #[cfg(test)]
+    Crash,
 }
 
 /// An asynchronous push server: a consumer thread applying queued gradients
@@ -70,6 +79,8 @@ impl AsyncServer {
                             let _ = reply.send(());
                         }
                         Command::Shutdown => break,
+                        #[cfg(test)]
+                        Command::Crash => panic!("injected ps server crash"),
                     }
                 }
                 applied
@@ -79,29 +90,35 @@ impl AsyncServer {
     }
 
     /// Enqueue a gradient push (blocks only when the queue is full).
-    pub fn push(&self, key: ParamKey, grad: Vec<f32>) {
-        self.tx
-            .send(Command::Push(PushMessage { key, grad }))
-            .expect("ps server thread alive");
+    /// Fails if the consumer thread has died.
+    pub fn push(&self, key: ParamKey, grad: Vec<f32>) -> Result<(), ServerGone> {
+        self.tx.send(Command::Push(PushMessage { key, grad })).map_err(|_| ServerGone)
     }
 
     /// Wait until every previously enqueued push has been applied — the
     /// "workers are fully synchronized after every few thousand mini-
-    /// batches" barrier from §V.
-    pub fn flush(&self) {
+    /// batches" barrier from §V. Fails if the consumer thread has died
+    /// (before or while draining the barrier).
+    pub fn flush(&self) -> Result<(), ServerGone> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx.send(Command::Flush(reply_tx)).expect("ps server thread alive");
-        reply_rx.recv().expect("server replies to flush");
+        self.tx.send(Command::Flush(reply_tx)).map_err(|_| ServerGone)?;
+        reply_rx.recv().map_err(|_| ServerGone)
     }
 
-    /// Stop the server, returning how many pushes it applied.
-    pub fn shutdown(mut self) -> u64 {
-        self.tx.send(Command::Shutdown).expect("ps server thread alive");
-        self.handle
-            .take()
-            .expect("handle present until shutdown")
-            .join()
-            .expect("server thread exits cleanly")
+    /// Stop the server, returning how many pushes it applied. Fails if the
+    /// consumer thread had already died.
+    pub fn shutdown(mut self) -> Result<u64, ServerGone> {
+        let sent = self.tx.send(Command::Shutdown).is_ok();
+        let handle = self.handle.take().expect("handle present until shutdown");
+        match handle.join() {
+            Ok(applied) if sent => Ok(applied),
+            _ => Err(ServerGone),
+        }
+    }
+
+    #[cfg(test)]
+    fn crash_consumer(&self) {
+        let _ = self.tx.send(Command::Crash);
     }
 }
 
@@ -139,13 +156,13 @@ mod tests {
         let store = store();
         let server = AsyncServer::spawn(store.clone(), Arc::new(Sgd { lr: 1.0 }), 64);
         for _ in 0..10 {
-            server.push(ParamKey(0), vec![-1.0; 4]);
+            server.push(ParamKey(0), vec![-1.0; 4]).unwrap();
         }
-        server.flush();
+        server.flush().unwrap();
         let mut row = [0.0f32; 4];
         store.pull(ParamKey(0), &mut row);
         assert_eq!(row, [10.0; 4]);
-        assert_eq!(server.shutdown(), 10);
+        assert_eq!(server.shutdown().unwrap(), 10);
     }
 
     #[test]
@@ -158,12 +175,12 @@ mod tests {
                 let server = server.clone();
                 s.spawn(move || {
                     for _ in 0..100 {
-                        server.push(ParamKey(3), vec![-0.5; 4]);
+                        server.push(ParamKey(3), vec![-0.5; 4]).unwrap();
                     }
                 });
             }
         });
-        server.flush();
+        server.flush().unwrap();
         let mut row = [0.0f32; 4];
         store.pull(ParamKey(3), &mut row);
         assert!((row[0] - 200.0).abs() < 1e-3, "row {row:?}");
@@ -176,9 +193,9 @@ mod tests {
         // Fill beyond the queue depth so the consumer must drain while we
         // are still producing; flush must still see everything.
         for _ in 0..50 {
-            server.push(ParamKey(1), vec![-1.0; 4]);
+            server.push(ParamKey(1), vec![-1.0; 4]).unwrap();
         }
-        server.flush();
+        server.flush().unwrap();
         let mut row = [0.0f32; 4];
         store.pull(ParamKey(1), &mut row);
         assert_eq!(row, [50.0; 4]);
@@ -189,7 +206,7 @@ mod tests {
         let store = store();
         {
             let server = AsyncServer::spawn(store.clone(), Arc::new(Sgd { lr: 1.0 }), 4);
-            server.push(ParamKey(2), vec![-1.0; 4]);
+            server.push(ParamKey(2), vec![-1.0; 4]).unwrap();
             // dropped without explicit shutdown
         }
         // The channel is FIFO and Drop enqueues Shutdown after the push, so
@@ -204,9 +221,28 @@ mod tests {
         let store = store();
         let server = AsyncServer::spawn(store, Arc::new(Sgd { lr: 0.1 }), 16);
         for i in 0..7 {
-            server.push(ParamKey(i % 3), vec![0.1; 4]);
+            server.push(ParamKey(i % 3), vec![0.1; 4]).unwrap();
         }
-        server.flush();
-        assert_eq!(server.shutdown(), 7);
+        server.flush().unwrap();
+        assert_eq!(server.shutdown().unwrap(), 7);
+    }
+
+    #[test]
+    fn dead_consumer_surfaces_server_gone_instead_of_panicking() {
+        let store = store();
+        let server = AsyncServer::spawn(store, Arc::new(Sgd { lr: 1.0 }), 4);
+        server.crash_consumer();
+        // The channel closes when the consumer unwinds; keep pushing until
+        // the producer observes it (bounded: the queue held at most 4).
+        let mut saw_gone = false;
+        for _ in 0..1000 {
+            if server.push(ParamKey(0), vec![0.0; 4]).is_err() {
+                saw_gone = true;
+                break;
+            }
+        }
+        assert!(saw_gone, "push reports ServerGone once the consumer is dead");
+        assert_eq!(server.flush(), Err(ServerGone));
+        assert_eq!(server.shutdown(), Err(ServerGone));
     }
 }

@@ -7,7 +7,7 @@ use hetkg_core::sync::SyncConfig;
 use hetkg_embed::loss::LossKind;
 use hetkg_embed::negative::NegConfig;
 use hetkg_embed::ModelKind;
-use hetkg_netsim::{ClusterTopology, CostModel};
+use hetkg_netsim::{ClusterTopology, CostModel, FaultPlan};
 use hetkg_ps::optimizer::OptimizerKind;
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +59,17 @@ pub struct CacheConfig {
     pub prefetch_depth: usize,
     /// Staleness bound `P` (sync period, Fig. 8b).
     pub staleness: usize,
+    /// Hard staleness ceiling for degraded mode: during a PS-shard outage
+    /// the cache keeps serving stale hits past `P`, but once a cached key
+    /// has gone this many iterations without a sync the worker blocks and
+    /// waits the outage out (in simulated time) instead of drifting
+    /// further. Only reachable with fault injection enabled.
+    #[serde(default = "default_staleness_cap")]
+    pub staleness_cap: usize,
+}
+
+fn default_staleness_cap() -> usize {
+    64
 }
 
 impl Default for CacheConfig {
@@ -69,6 +80,7 @@ impl Default for CacheConfig {
             heterogeneity_aware: true,
             prefetch_depth: 16,
             staleness: 8,
+            staleness_cap: default_staleness_cap(),
         }
     }
 }
@@ -133,6 +145,16 @@ pub struct TrainConfig {
     /// Evaluate MRR on a held-out set after every epoch (candidate count
     /// for subsampled ranking; `None` disables per-epoch eval).
     pub eval_candidates: Option<usize>,
+    /// Fault-injection plan. `None` (the default) is the guaranteed
+    /// byte-identical healthy path; note that an attached all-zero plan is
+    /// behaviorally identical too.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+    /// Save an in-memory recovery checkpoint every this many epochs
+    /// (0 disables; forced to at least 1 when the fault plan schedules a
+    /// crash, so restart-from-checkpoint always has something to restore).
+    #[serde(default)]
+    pub checkpoint_every: usize,
 }
 
 impl TrainConfig {
@@ -155,6 +177,8 @@ impl TrainConfig {
             partitioner: PartitionerKind::MetisLike,
             seed: 42,
             eval_candidates: None,
+            faults: None,
+            checkpoint_every: 0,
         }
     }
 
@@ -178,6 +202,8 @@ impl TrainConfig {
             partitioner: PartitionerKind::MetisLike,
             seed: 42,
             eval_candidates: Some(200),
+            faults: None,
+            checkpoint_every: 0,
         }
     }
 
@@ -228,5 +254,22 @@ mod tests {
         let back: TrainConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.system, cfg.system);
         assert_eq!(back.dim, 64);
+        assert!(back.faults.is_none());
+    }
+
+    #[test]
+    fn fault_fields_default_when_absent_from_json() {
+        // Pre-fault-subsystem configs (no `faults`/`checkpoint_every`/
+        // `staleness_cap` fields) must keep deserializing.
+        let cfg = TrainConfig::small(SystemKind::DglKe);
+        let mut v = serde_json::to_value(&cfg).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("faults");
+        obj.remove("checkpoint_every");
+        obj.get_mut("cache").unwrap().as_object_mut().unwrap().remove("staleness_cap");
+        let back: TrainConfig = serde_json::from_value(v).unwrap();
+        assert!(back.faults.is_none());
+        assert_eq!(back.checkpoint_every, 0);
+        assert_eq!(back.cache.staleness_cap, 64);
     }
 }

@@ -21,5 +21,5 @@ pub mod trainer;
 pub mod worker;
 
 pub use config::{SystemKind, TrainConfig};
-pub use report::{EpochReport, TrainReport};
+pub use report::{EpochReport, FaultReport, TrainReport};
 pub use trainer::train;

@@ -9,7 +9,7 @@
 
 use hetkg_core::metrics::CacheStats;
 use hetkg_eval::RankMetrics;
-use hetkg_netsim::TrafficSnapshot;
+use hetkg_netsim::{FaultSnapshot, TrafficSnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Measurements for one epoch (aggregated over workers: times are the
@@ -63,6 +63,60 @@ impl EpochReport {
     }
 }
 
+/// Run-level fault and recovery accounting, present when training ran with
+/// a fault plan attached. Message-path counters are summed over all
+/// workers' [`FaultSnapshot`]s; `recoveries`/`checkpoints` come from the
+/// trainer's crash-recovery loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Remote messages lost in transit.
+    pub drops: u64,
+    /// Retransmission attempts made by PS clients.
+    pub retries: u64,
+    /// Bytes re-sent due to drops (also included in the traffic meters, so
+    /// simulated network time already pays for them).
+    pub retransmitted_bytes: u64,
+    /// Messages refused because the target shard was down.
+    pub outage_refusals: u64,
+    /// Remote messages slowed by straggler episodes.
+    pub slow_messages: u64,
+    /// Extra simulated seconds added by straggler episodes.
+    pub extra_latency_secs: f64,
+    /// Simulated seconds spent in retry backoff / waiting out outages.
+    pub backoff_secs: f64,
+    /// HET-KG cache hits served stale because the home shard was down.
+    pub degraded_hits: u64,
+    /// Gradient pushes deferred into worker backlogs during outages.
+    pub deferred_pushes: u64,
+    /// Backlog flushes performed after shard recovery.
+    pub backlog_flushes: u64,
+    /// Crash-recovery restarts (restore-from-checkpoint events).
+    pub recoveries: u64,
+    /// Recovery checkpoints taken during the run.
+    pub checkpoints: u64,
+}
+
+impl FaultReport {
+    /// Fold one worker's injector counters into the run totals.
+    pub fn absorb(&mut self, s: &FaultSnapshot) {
+        self.drops += s.drops;
+        self.retries += s.retries;
+        self.retransmitted_bytes += s.retransmitted_bytes;
+        self.outage_refusals += s.outage_refusals;
+        self.slow_messages += s.slow_messages;
+        self.extra_latency_secs += s.extra_latency_secs;
+        self.backoff_secs += s.backoff_secs;
+        self.degraded_hits += s.degraded_hits;
+        self.deferred_pushes += s.deferred_pushes;
+        self.backlog_flushes += s.backlog_flushes;
+    }
+
+    /// Whether any fault or countermeasure fired at all.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultReport::default()
+    }
+}
+
 /// Full training-run report.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -74,6 +128,9 @@ pub struct TrainReport {
     pub epochs: Vec<EpochReport>,
     /// Final held-out metrics (when a final evaluation ran).
     pub final_metrics: Option<RankMetrics>,
+    /// Fault/recovery accounting (present iff a fault plan was attached).
+    #[serde(default)]
+    pub faults: Option<FaultReport>,
 }
 
 impl TrainReport {
@@ -186,5 +243,30 @@ mod tests {
         assert_eq!(r.comm_fraction(), 0.0);
         assert!(r.final_loss().is_nan());
         assert!(r.convergence_series().is_empty());
+        assert!(r.faults.is_none());
+    }
+
+    #[test]
+    fn fault_report_absorbs_snapshots() {
+        let mut fr = FaultReport::default();
+        assert!(fr.is_quiet());
+        fr.absorb(&FaultSnapshot { drops: 2, retries: 1, degraded_hits: 5, ..Default::default() });
+        fr.absorb(&FaultSnapshot { drops: 1, deferred_pushes: 3, ..Default::default() });
+        fr.recoveries = 1;
+        assert_eq!(fr.drops, 3);
+        assert_eq!(fr.retries, 1);
+        assert_eq!(fr.degraded_hits, 5);
+        assert_eq!(fr.deferred_pushes, 3);
+        assert!(!fr.is_quiet());
+    }
+
+    #[test]
+    fn report_json_without_faults_field_still_loads() {
+        let r = TrainReport { system: "DGL-KE".into(), ..Default::default() };
+        let mut v = serde_json::to_value(&r).unwrap();
+        v.as_object_mut().unwrap().remove("faults");
+        let back: TrainReport = serde_json::from_value(v).unwrap();
+        assert!(back.faults.is_none());
+        assert_eq!(back.system, "DGL-KE");
     }
 }

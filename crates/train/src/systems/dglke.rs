@@ -61,7 +61,13 @@ impl WorkerLoop for DglKeWorker {
         let start = Instant::now();
         let mut acc = crate::batch::BatchResult::default();
         for _ in 0..self.ctx.iterations_per_epoch {
-            acc.absorb(self.one_iteration());
+            let r = self.one_iteration();
+            // Under fault injection, compute advances the simulated clock
+            // that positions outage/straggler windows. DGL-KE has no
+            // degraded mode: a pull during an outage simply retries (the PS
+            // client waits the outage out in simulated time).
+            self.ctx.advance_fault_clock(r.work_units);
+            acc.absorb(r);
         }
         WorkerEpochStats {
             work_units: acc.work_units,

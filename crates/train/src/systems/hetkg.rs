@@ -12,6 +12,14 @@
 //! 4. compute gradients; apply them to cached rows locally **and** push all
 //!    gradients to the PS (Alg. 3 lines 17–19) so the global model keeps
 //!    advancing.
+//!
+//! With fault injection attached the cache doubles as a degraded-mode
+//! buffer: while a PS shard is down, cached keys homed there keep serving
+//! (stale) hits past the sync bound `P` up to a hard staleness cap, and
+//! their gradient pushes are deferred into a local backlog that is replayed
+//! once the shard recovers. Without faults — or with an all-zero fault
+//! plan — every key is always "available" and the data path is identical
+//! to the healthy one.
 
 use crate::worker::{WorkerCtx, WorkerEpochStats, WorkerLoop};
 use hetkg_core::filter::filter_hot_set;
@@ -22,7 +30,7 @@ use hetkg_core::sync::{StalenessTracker, SyncConfig};
 use hetkg_core::table::HotEmbeddingTable;
 use hetkg_embed::negative::NegativeSampler;
 use hetkg_kgraph::ParamKey;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 /// Per-worker HET-KG training state (CPS or DPS, by the policy's kind).
@@ -48,6 +56,15 @@ pub struct HetKgWorker {
     epoch_div_samples: u64,
     /// Scratch for miss keys.
     miss_keys: Vec<ParamKey>,
+    /// Degraded mode: gradient pushes deferred while their home shard was
+    /// down, summed per key, replayed on recovery.
+    backlog: HashMap<ParamKey, Vec<f32>>,
+    /// Degraded mode: hard ceiling on cache staleness. While a shard is
+    /// down, cached keys skip the periodic refresh and keep serving stale
+    /// hits — but once staleness reaches this cap the worker refreshes
+    /// everything anyway, waiting the outage out in simulated time rather
+    /// than drifting further.
+    staleness_cap: usize,
 }
 
 impl HetKgWorker {
@@ -92,7 +109,17 @@ impl HetKgWorker {
             epoch_div_sum: 0.0,
             epoch_div_samples: 0,
             miss_keys: Vec::new(),
+            backlog: HashMap::new(),
+            staleness_cap: 64,
         }
+    }
+
+    /// Override the degraded-mode staleness ceiling (see
+    /// [`crate::config::CacheConfig::staleness_cap`]). Only relevant when
+    /// fault injection is attached to the PS client.
+    pub fn with_staleness_cap(mut self, cap: usize) -> Self {
+        self.staleness_cap = cap.max(1);
+        self
     }
 
     /// The cache table (exposed for tests and the harness's hit-ratio
@@ -161,7 +188,79 @@ impl HetKgWorker {
         }
     }
 
+    /// Replay backlogged gradient pushes whose home shard has recovered.
+    /// No-op on the healthy path (backlog empty) and while the shards are
+    /// still down. Keys are flushed in sorted order so the replay is
+    /// deterministic regardless of `HashMap` iteration order.
+    fn flush_backlog_if_ready(&mut self) {
+        if self.backlog.is_empty() {
+            return;
+        }
+        let mut ready: Vec<ParamKey> = self
+            .backlog
+            .keys()
+            .copied()
+            .filter(|&k| self.ctx.client.shard_available(k))
+            .collect();
+        if ready.is_empty() {
+            return;
+        }
+        ready.sort_unstable_by_key(|k| k.0);
+        let grads: Vec<Vec<f32>> = ready
+            .iter()
+            .map(|k| self.backlog.remove(k).expect("key was just listed"))
+            .collect();
+        let grad_refs: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
+        self.ctx.client.push_batch(&ready, &grad_refs, self.ctx.optimizer.as_ref());
+        if let Some(f) = self.ctx.client.faults() {
+            f.injector.note_backlog_flush();
+        }
+    }
+
+    /// Push accumulated gradients, deferring those homed on a down shard
+    /// into the local backlog (summed per key) instead of blocking the
+    /// iteration on the outage. With every shard up this sends exactly the
+    /// batch [`WorkerCtx::push_grads`] would.
+    fn push_grads_degraded(&mut self) {
+        let mut deferred = 0u64;
+        {
+            let (keys, grads) = self.ctx.grads.as_batch();
+            let mut up_keys: Vec<ParamKey> = Vec::with_capacity(keys.len());
+            let mut up_grads: Vec<&[f32]> = Vec::with_capacity(grads.len());
+            for (&k, &g) in keys.iter().zip(grads.iter()) {
+                if self.ctx.client.shard_available(k) {
+                    up_keys.push(k);
+                    up_grads.push(g);
+                } else {
+                    match self.backlog.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            for (a, b) in e.get_mut().iter_mut().zip(g) {
+                                *a += b;
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(g.to_vec());
+                        }
+                    }
+                    deferred += 1;
+                }
+            }
+            self.ctx.client.push_batch(&up_keys, &up_grads, self.ctx.optimizer.as_ref());
+        }
+        if deferred > 0 {
+            if let Some(f) = self.ctx.client.faults() {
+                f.injector.note_deferred_pushes(deferred);
+            }
+        }
+        self.ctx.grads.clear();
+    }
+
     fn one_iteration(&mut self) -> crate::batch::BatchResult {
+        let degraded = self.ctx.client.faults().is_some();
+        if degraded {
+            self.flush_backlog_if_ready();
+        }
+
         // --- Construction (Alg. 3 lines 5–7) ---
         if self.policy.needs_construction(self.iteration) {
             match self.policy.kind {
@@ -189,7 +288,7 @@ impl HetKgWorker {
         // KVStore client batches), so sync costs bytes but no extra
         // messages.
         let sync_now = self.iteration > 0 && self.sync.is_sync_iteration(self.iteration);
-        self.staleness.observe(self.iteration);
+        let staleness_now = self.staleness.observe(self.iteration);
 
         // --- Fetch: cache hits locally, misses from the PS ---
         let batch = self.next_batch();
@@ -210,14 +309,25 @@ impl HetKgWorker {
         }
         self.ctx.ws.clear();
         self.miss_keys.clear();
+        let mut degraded_uses = 0u64;
         for &k in &keys {
             let uses = usage.get(&k).copied().unwrap_or(1);
             if let Some(row) = self.table.get(k) {
                 self.ctx.ws.insert(k, row);
                 self.cache_stats.hits += uses;
+                if degraded && !self.ctx.client.shard_available(k) {
+                    // Served stale from the cache while the home shard is
+                    // down — the hit the baselines don't have.
+                    degraded_uses += uses;
+                }
             } else {
                 self.miss_keys.push(k);
                 self.cache_stats.misses += uses;
+            }
+        }
+        if degraded_uses > 0 {
+            if let Some(f) = self.ctx.client.faults() {
+                f.injector.note_degraded_hits(degraded_uses);
             }
         }
         let misses = std::mem::take(&mut self.miss_keys);
@@ -228,7 +338,18 @@ impl HetKgWorker {
             // working set from the pre-refresh cache — that read is at most
             // one sync period stale, which is exactly the bounded-staleness
             // contract.
-            let refresh = self.table.keys();
+            let mut refresh = self.table.keys();
+            // Degraded sync: skip cached keys whose home shard is down and
+            // keep serving them stale, unless staleness has hit the hard
+            // cap — then refresh everything and let the client wait the
+            // outage out in simulated time. A partial refresh does not
+            // count as a sync, so staleness keeps accruing toward the cap.
+            let mut partial = false;
+            if degraded && staleness_now < self.staleness_cap {
+                let before = refresh.len();
+                refresh.retain(|&k| self.ctx.client.shard_available(k));
+                partial = refresh.len() < before;
+            }
             let mut combined = misses.clone();
             combined.extend_from_slice(&refresh);
             let miss_count = misses.len();
@@ -258,7 +379,9 @@ impl HetKgWorker {
             self.epoch_divergence = self.epoch_divergence.max(max_div);
             self.epoch_div_sum += div_sum;
             self.epoch_div_samples += div_samples;
-            self.staleness.record_sync(self.iteration);
+            if !partial {
+                self.staleness.record_sync(self.iteration);
+            }
         } else {
             self.ctx.pull_into_ws(&misses);
         }
@@ -279,7 +402,11 @@ impl HetKgWorker {
         for (k, g) in self.ctx.grads.iter() {
             self.table.apply_grad(k, g, self.ctx.optimizer.as_ref());
         }
-        self.ctx.push_grads();
+        if degraded {
+            self.push_grads_degraded();
+        } else {
+            self.ctx.push_grads();
+        }
 
         self.iteration += 1;
         result
@@ -296,7 +423,9 @@ impl WorkerLoop for HetKgWorker {
         let start = Instant::now();
         let mut acc = crate::batch::BatchResult::default();
         for _ in 0..self.ctx.iterations_per_epoch {
-            acc.absorb(self.one_iteration());
+            let r = self.one_iteration();
+            self.ctx.advance_fault_clock(r.work_units);
+            acc.absorb(r);
         }
         WorkerEpochStats {
             work_units: acc.work_units,
@@ -326,12 +455,29 @@ mod tests {
     use hetkg_embed::negative::{NegConfig, NegStrategy};
     use hetkg_embed::ModelKind;
     use hetkg_kgraph::generator::SyntheticKg;
-    use hetkg_netsim::{ClusterTopology, TrafficMeter};
+    use hetkg_netsim::{ClusterTopology, CostModel, FaultInjector, FaultPlan, TrafficMeter};
     use hetkg_ps::optimizer::AdaGrad;
-    use hetkg_ps::{KvStore, PsClient, ShardRouter};
+    use hetkg_ps::{KvStore, PsClient, RetryPolicy, ShardRouter};
     use std::sync::Arc;
 
     fn build(policy_kind: PolicyKind, capacity: usize) -> HetKgWorker {
+        build_inner(policy_kind, capacity, None)
+    }
+
+    fn build_with_faults(
+        policy_kind: PolicyKind,
+        capacity: usize,
+        plan: FaultPlan,
+        cost: CostModel,
+    ) -> HetKgWorker {
+        build_inner(policy_kind, capacity, Some((plan, cost)))
+    }
+
+    fn build_inner(
+        policy_kind: PolicyKind,
+        capacity: usize,
+        faults: Option<(FaultPlan, CostModel)>,
+    ) -> HetKgWorker {
         let g = SyntheticKg {
             num_entities: 80,
             num_relations: 6,
@@ -343,7 +489,11 @@ mod tests {
         let router = ShardRouter::round_robin(ks, 2);
         let store = Arc::new(KvStore::new(router, 8, 8, 1, Init::Uniform { bound: 0.2 }, 1));
         let meter = Arc::new(TrafficMeter::new());
-        let client = PsClient::new(0, ClusterTopology::new(2, 1), store, meter.clone());
+        let mut client = PsClient::new(0, ClusterTopology::new(2, 1), store, meter.clone());
+        if let Some((plan, cost)) = faults {
+            client = client
+                .with_faults(Arc::new(FaultInjector::new(plan, cost, 0)), RetryPolicy::default());
+        }
         let ctx = WorkerCtx::new(
             0,
             g.triples().to_vec(),
@@ -477,5 +627,65 @@ mod tests {
         let stats = w.run_epoch(0);
         assert_eq!(stats.cache.hits, 0);
         assert!(stats.loss_terms > 0);
+    }
+
+    #[test]
+    fn attached_zero_fault_plan_is_byte_identical() {
+        // The degraded-mode code paths must be inert when every shard is
+        // always up: same traffic, same losses, no counters.
+        let mut plain = build(PolicyKind::Cps, 30);
+        let mut faulty =
+            build_with_faults(PolicyKind::Cps, 30, FaultPlan::default(), CostModel::gigabit());
+        for e in 0..3 {
+            let a = plain.run_epoch(e);
+            let b = faulty.run_epoch(e);
+            assert_eq!(a.traffic, b.traffic, "epoch {e} traffic diverged");
+            assert_eq!(a.loss_sum.to_bits(), b.loss_sum.to_bits(), "epoch {e} loss diverged");
+            assert_eq!(a.cache.hits, b.cache.hits);
+            assert_eq!(a.cache.misses, b.cache.misses);
+        }
+        let stats = faulty.ctx.client.faults().unwrap().injector.stats();
+        assert_eq!(stats.total_faults(), 0);
+        assert_eq!(stats.degraded_hits, 0);
+        assert_eq!(stats.deferred_pushes, 0);
+        assert_eq!(stats.backlog_flushes, 0);
+    }
+
+    #[test]
+    fn degraded_mode_buffers_through_shard_outage() {
+        // Cost model where each remote message costs 1 simulated second and
+        // a training iteration's compute costs ~1 s (≥ 0.96 s: the forward
+        // pass alone is 160 scored triples × 24 units at 4000 units/s), so
+        // the outage window below spans a few iterations deterministically.
+        let cost = CostModel {
+            remote_bandwidth: f64::INFINITY,
+            remote_latency: 1.0,
+            message_overhead_bytes: 0.0,
+            local_bandwidth: f64::INFINITY,
+            local_latency: 0.0,
+            compute_rate: 4000.0,
+        };
+        // Worker 0 lives on machine 0, so shard 1 is its remote shard.
+        let plan = FaultPlan::shard_outage(7, 1, 0.5, 3.5);
+        let mut w = build_with_faults(PolicyKind::Cps, 200, plan, cost);
+        // Pre-cache the full key space (capacity 200 covers all 86 keys)
+        // and skip the iteration-0 rebuild, so the epoch below never
+        // misses: every shard-1 access during the outage is then a
+        // degraded hit or a deferred push, not a blocking pull. The
+        // construction pull's shard-1 message lands at t = 0 (before the
+        // outage) and advances the clock to 1.0 s — inside the window.
+        let every_key: Vec<ParamKey> = (0..w.ctx.key_space.len() as u64).map(ParamKey).collect();
+        w.construct_table(&every_key);
+        w.iteration = 1;
+        for e in 0..2 {
+            w.run_epoch(e);
+        }
+        let binding = w.ctx.client.faults().unwrap();
+        let stats = binding.injector.stats();
+        assert!(stats.degraded_hits > 0, "no stale hits served during the outage: {stats:?}");
+        assert!(stats.deferred_pushes > 0, "no pushes deferred during the outage: {stats:?}");
+        assert!(stats.backlog_flushes >= 1, "backlog never flushed after recovery: {stats:?}");
+        assert!(w.backlog.is_empty(), "backlog must drain once the shard is back");
+        assert_eq!(stats.drops, 0, "outage-only plan must not drop messages");
     }
 }

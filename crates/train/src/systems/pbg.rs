@@ -334,7 +334,12 @@ impl WorkerLoop for PbgWorker {
         let start = Instant::now();
         let mut acc = crate::batch::BatchResult::default();
         while let Some(bucket) = self.locks.acquire() {
-            acc.absorb(self.process_bucket(bucket));
+            let r = self.process_bucket(bucket);
+            // Keep the fault clock moving (outage windows live in simulated
+            // time). PBG has no degraded mode: bucket loads/saves during an
+            // outage retry until the shard recovers.
+            self.ctx.advance_fault_clock(r.work_units);
+            acc.absorb(r);
             self.locks.release(bucket);
         }
         WorkerEpochStats {

@@ -1,21 +1,29 @@
 //! The training orchestrator: partitions the graph, builds the PS, spawns
 //! one thread per worker per epoch, aggregates reports, and (optionally)
 //! evaluates link prediction between epochs.
+//!
+//! When the config carries a [`FaultPlan`](hetkg_netsim::FaultPlan), every
+//! worker's PS client is wired through a per-worker
+//! [`FaultInjector`](hetkg_netsim::FaultInjector), the trainer takes
+//! periodic in-memory recovery checkpoints (v2: model + epoch + optimizer
+//! state), and a scheduled worker crash is recovered by restoring the PS
+//! from the last checkpoint and rebuilding the workers.
 
 use crate::config::{PartitionerKind, SystemKind, TrainConfig};
-use crate::report::{EpochReport, TrainReport};
+use crate::report::{EpochReport, FaultReport, TrainReport};
 use crate::systems::dglke::DglKeWorker;
 use crate::systems::hetkg::HetKgWorker;
 use crate::systems::pbg::{LockServer, PbgPlan, PbgWorker};
 use crate::worker::{WorkerCtx, WorkerEpochStats, WorkerLoop};
+use hetkg_embed::checkpoint::{Checkpoint, TrainState};
 use hetkg_embed::init::Init;
 use hetkg_embed::negative::NegativeSampler;
 use hetkg_embed::storage::EmbeddingTable;
 use hetkg_eval::link_prediction::{evaluate, EmbeddingSnapshot, EvalConfig};
-use hetkg_kgraph::{ids::KeyKind, KeySpace, KnowledgeGraph, Triple};
-use hetkg_netsim::TrafficMeter;
+use hetkg_kgraph::{ids::KeyKind, EntityId, KeySpace, KnowledgeGraph, RelationId, Triple};
+use hetkg_netsim::{FaultInjector, TrafficMeter};
 use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
-use hetkg_ps::{KvStore, PsClient, ShardRouter};
+use hetkg_ps::{KvStore, PsClient, RetryPolicy, ShardRouter};
 use std::sync::Arc;
 
 /// Train a model on `train_triples` of `kg` under `config`.
@@ -84,79 +92,134 @@ pub fn train_with_store(
         }
     }
 
-    // --- Build the per-system worker loops ---
-    let mut workers: Vec<Box<dyn WorkerLoop>> = Vec::with_capacity(topology.num_workers());
-    let pbg_shared = if config.system == SystemKind::Pbg {
-        let plan = Arc::new(PbgPlan::new(
+    // --- Fault injection: one injector per worker, all over the same plan.
+    // Each injector owns a private RNG stream and simulated clock driven
+    // only by its worker, so faulty runs stay bit-reproducible regardless
+    // of thread interleaving. ---
+    let injectors: Vec<Option<Arc<FaultInjector>>> = (0..topology.num_workers())
+        .map(|w| {
+            config
+                .faults
+                .clone()
+                .map(|plan| Arc::new(FaultInjector::new(plan, config.cost_model, w)))
+        })
+        .collect();
+
+    // --- Build the per-system worker loops (re-runnable: the crash
+    // recovery path rebuilds every worker from scratch) ---
+    let pbg_plan = (config.system == SystemKind::Pbg).then(|| {
+        Arc::new(PbgPlan::new(
             kg.num_entities(),
             train_triples,
             (2 * topology.num_workers()).max(2),
             config.negatives.per_positive,
             config.seed,
-        ));
-        let locks = Arc::new(LockServer::new(plan.clone()));
-        Some((plan, locks))
-    } else {
-        None
+        ))
+    });
+    let build_workers = |subgraphs: Vec<Vec<Triple>>| -> Vec<Box<dyn WorkerLoop>> {
+        // PBG workers share one lock server; a rebuild gets a fresh one so
+        // the re-run epoch hands out every bucket again.
+        let pbg_shared =
+            pbg_plan.as_ref().map(|p| (p.clone(), Arc::new(LockServer::new(p.clone()))));
+        let mut workers: Vec<Box<dyn WorkerLoop>> = Vec::with_capacity(subgraphs.len());
+        for (w, subgraph) in subgraphs.into_iter().enumerate() {
+            let meter = Arc::new(TrafficMeter::new());
+            let mut client = PsClient::new(w, topology, store.clone(), meter.clone());
+            if let Some(inj) = &injectors[w] {
+                client = client.with_faults(inj.clone(), RetryPolicy::default());
+            }
+            let ctx = WorkerCtx::new(
+                w,
+                subgraph,
+                ks,
+                client,
+                meter,
+                model.clone(),
+                config.loss,
+                optimizer.clone(),
+                config.batch_size,
+            );
+            let negatives = NegativeSampler::new(
+                kg.num_entities(),
+                config.negatives,
+                config.seed ^ ((w as u64 + 1) * 0x5DEECE66D),
+            );
+            let boxed: Box<dyn WorkerLoop> = match config.system {
+                SystemKind::DglKe => Box::new(DglKeWorker::new(ctx, negatives, config.seed)),
+                SystemKind::HetKgCps | SystemKind::HetKgDps => {
+                    let policy = config.cache.policy(ks.len(), config.system);
+                    Box::new(
+                        HetKgWorker::new(ctx, policy, config.cache.sync(), negatives, config.seed)
+                            .with_staleness_cap(config.cache.staleness_cap),
+                    )
+                }
+                SystemKind::Pbg => {
+                    let (plan, locks) = pbg_shared.as_ref().expect("pbg shared state");
+                    let entity_lr = match config.optimizer {
+                        hetkg_ps::optimizer::OptimizerKind::Sgd { lr }
+                        | hetkg_ps::optimizer::OptimizerKind::AdaGrad { lr } => lr,
+                    };
+                    Box::new(PbgWorker::new(
+                        ctx,
+                        plan.clone(),
+                        locks.clone(),
+                        config.seed,
+                        entity_lr,
+                    ))
+                }
+            };
+            workers.push(boxed);
+        }
+        workers
     };
-    for (w, subgraph) in per_worker.iter_mut().enumerate() {
-        let meter = Arc::new(TrafficMeter::new());
-        let client = PsClient::new(w, topology, store.clone(), meter.clone());
-        let ctx = WorkerCtx::new(
-            w,
-            std::mem::take(subgraph),
-            ks,
-            client,
-            meter,
-            model.clone(),
-            config.loss,
-            optimizer.clone(),
-            config.batch_size,
-        );
-        let negatives = NegativeSampler::new(
-            kg.num_entities(),
-            config.negatives,
-            config.seed ^ ((w as u64 + 1) * 0x5DEECE66D),
-        );
-        let boxed: Box<dyn WorkerLoop> = match config.system {
-            SystemKind::DglKe => Box::new(DglKeWorker::new(ctx, negatives, config.seed)),
-            SystemKind::HetKgCps | SystemKind::HetKgDps => {
-                let policy = config.cache.policy(ks.len(), config.system);
-                Box::new(HetKgWorker::new(
-                    ctx,
-                    policy,
-                    config.cache.sync(),
-                    negatives,
-                    config.seed,
-                ))
-            }
-            SystemKind::Pbg => {
-                let (plan, locks) = pbg_shared.as_ref().expect("pbg shared state");
-                let entity_lr = match config.optimizer {
-                    hetkg_ps::optimizer::OptimizerKind::Sgd { lr }
-                    | hetkg_ps::optimizer::OptimizerKind::AdaGrad { lr } => lr,
-                };
-                Box::new(PbgWorker::new(
-                    ctx,
-                    plan.clone(),
-                    locks.clone(),
-                    config.seed,
-                    entity_lr,
-                ))
-            }
-        };
-        workers.push(boxed);
-    }
+    let crash_epoch = config.faults.as_ref().and_then(|p| p.crash).map(|c| c.epoch);
+    // The recovery path needs the subgraphs a second time; keep a copy only
+    // when a crash is actually scheduled.
+    let master_subgraphs = crash_epoch.map(|_| per_worker.clone());
+    let mut workers = build_workers(per_worker);
 
-    // --- Epoch loop ---
+    // --- Epoch loop with recovery checkpoints and injected crash ---
     let mut report = TrainReport {
         system: config.system.to_string(),
         model: config.model.to_string(),
         ..Default::default()
     };
     let all_true = kg.triples();
-    for epoch in 0..config.epochs {
+    let optimizer_label = format!("{:?}", config.optimizer);
+    // A scheduled crash forces checkpointing on, so the restart always has
+    // something to restore.
+    let ckpt_period = if crash_epoch.is_some() && config.checkpoint_every == 0 {
+        1
+    } else {
+        config.checkpoint_every
+    };
+    let mut checkpoints = 0u64;
+    let mut recoveries = 0u64;
+    let mut last_ck: Option<(usize, Checkpoint)> = None;
+    if ckpt_period > 0 {
+        last_ck = Some((0, checkpoint_v2(&store, ks, 0, &optimizer_label)));
+        checkpoints += 1;
+    }
+    let mut epoch = 0;
+    while epoch < config.epochs {
         let stats = run_epoch_threads(&mut workers, epoch);
+        if crash_epoch == Some(epoch) && recoveries == 0 {
+            // Injected worker crash: everything since the last recovery
+            // checkpoint — this epoch's updates included — is lost. Restore
+            // the PS from the checkpoint, rebuild the workers (their
+            // caches, backlogs, and iteration counters died with the
+            // process), and resume from the checkpoint's epoch.
+            let (ck_epoch, ck) =
+                last_ck.as_ref().expect("a scheduled crash forces checkpointing on");
+            restore_checkpoint(&store, ks, ck);
+            report.epochs.truncate(*ck_epoch);
+            workers = build_workers(
+                master_subgraphs.clone().expect("kept when a crash is scheduled"),
+            );
+            epoch = *ck_epoch;
+            recoveries += 1;
+            continue;
+        }
         let mut er = aggregate(epoch, &stats, config);
         if config.eval_candidates.is_some() && !eval_set.is_empty() {
             let snap = snapshot(&store, ks);
@@ -177,6 +240,20 @@ pub fn train_with_store(
             }
         }
         report.epochs.push(er);
+        epoch += 1;
+        if ckpt_period > 0 && epoch < config.epochs && epoch.is_multiple_of(ckpt_period) {
+            last_ck = Some((epoch, checkpoint_v2(&store, ks, epoch as u64, &optimizer_label)));
+            checkpoints += 1;
+        }
+    }
+    if config.faults.is_some() {
+        let mut fr = FaultReport::default();
+        for inj in injectors.iter().flatten() {
+            fr.absorb(&inj.stats());
+        }
+        fr.recoveries = recoveries;
+        fr.checkpoints = checkpoints;
+        report.faults = Some(fr);
     }
     (report, store)
 }
@@ -218,10 +295,63 @@ fn aggregate(epoch: usize, stats: &[WorkerEpochStats], config: &TrainConfig) -> 
 }
 
 /// Copy the global model out of the PS into a serializable
-/// [`Checkpoint`](hetkg_embed::checkpoint::Checkpoint).
-pub fn checkpoint(store: &KvStore, ks: KeySpace) -> hetkg_embed::checkpoint::Checkpoint {
+/// [`Checkpoint`](hetkg_embed::checkpoint::Checkpoint) (version 1: model
+/// only, no train state).
+pub fn checkpoint(store: &KvStore, ks: KeySpace) -> Checkpoint {
     let snap = snapshot(store, ks);
-    hetkg_embed::checkpoint::Checkpoint::new(snap.entities, snap.relations)
+    Checkpoint::new(snap.entities, snap.relations)
+}
+
+/// Copy the full resumable training state out of the PS: the model tables
+/// plus the epoch counter, an optimizer label, and the optimizer-state
+/// tables (a version-2 checkpoint). This is what the trainer's periodic
+/// recovery checkpoints and the crash-recovery restore use.
+pub fn checkpoint_v2(store: &KvStore, ks: KeySpace, epoch: u64, optimizer: &str) -> Checkpoint {
+    let mut entities = EmbeddingTable::zeros(ks.num_entities(), store.entity_dim());
+    let mut relations = EmbeddingTable::zeros(ks.num_relations(), store.relation_dim());
+    let mut entity_state = EmbeddingTable::zeros(ks.num_entities(), store.entity_state_dim());
+    let mut relation_state =
+        EmbeddingTable::zeros(ks.num_relations(), store.relation_state_dim());
+    store.for_each_row_with_state(|key, row, state| match ks.classify(key) {
+        Some(KeyKind::Entity(e)) => {
+            entities.set_row(e.index(), row);
+            entity_state.set_row(e.index(), state);
+        }
+        Some(KeyKind::Relation(r)) => {
+            relations.set_row(r.index(), row);
+            relation_state.set_row(r.index(), state);
+        }
+        None => unreachable!("store iterates only the key space"),
+    });
+    Checkpoint::with_state(
+        entities,
+        relations,
+        TrainState { epoch, optimizer: optimizer.to_string(), entity_state, relation_state },
+    )
+}
+
+/// Overwrite the PS contents from a checkpoint (crash recovery). Restores
+/// optimizer state too when the checkpoint carries it (v2) and its shapes
+/// match the store's; a v1 checkpoint restores the model only.
+pub fn restore_checkpoint(store: &KvStore, ks: KeySpace, ck: &Checkpoint) {
+    assert_eq!(ck.entities.rows(), ks.num_entities(), "checkpoint entity count mismatch");
+    assert_eq!(ck.relations.rows(), ks.num_relations(), "checkpoint relation count mismatch");
+    let state_ok = ck.train_state.as_ref().is_some_and(|ts| {
+        ts.entity_state.rows() == ks.num_entities()
+            && ts.entity_state.dim() == store.entity_state_dim()
+            && ts.relation_state.rows() == ks.num_relations()
+            && ts.relation_state.dim() == store.relation_state_dim()
+    });
+    for e in 0..ks.num_entities() {
+        let key = ks.entity_key(EntityId(e as u32));
+        let state = state_ok.then(|| ck.train_state.as_ref().unwrap().entity_state.row(e));
+        store.restore_row(key, ck.entities.row(e), state);
+    }
+    for r in 0..ks.num_relations() {
+        let key = ks.relation_key(RelationId(r as u32));
+        let state = state_ok.then(|| ck.train_state.as_ref().unwrap().relation_state.row(r));
+        store.restore_row(key, ck.relations.row(r), state);
+    }
 }
 
 /// Copy the global model out of the PS into dense id-indexed tables.
@@ -354,5 +484,64 @@ mod tests {
             b.total_traffic(),
             "metered traffic must be bit-reproducible"
         );
+    }
+
+    #[test]
+    fn fault_free_runs_carry_no_fault_report() {
+        let (report, _) = run(SystemKind::HetKgCps);
+        assert!(report.faults.is_none());
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_too() {
+        use hetkg_netsim::FaultPlan;
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let mut cfg = TrainConfig::small(SystemKind::HetKgCps);
+        cfg.faults = Some(FaultPlan::lossy(11, 0.05));
+        let a = train(&kg, &split.train, &[], &cfg);
+        let b = train(&kg, &split.train, &[], &cfg);
+        assert_eq!(a.total_traffic(), b.total_traffic());
+        assert_eq!(a.faults, b.faults);
+        let fr = a.faults.expect("fault plan attached");
+        assert!(fr.drops > 0, "5% loss over a full run must drop something");
+        assert_eq!(fr.retries, fr.drops, "every drop is retried at default policy");
+        assert!(fr.retransmitted_bytes > 0);
+    }
+
+    #[test]
+    fn crash_recovery_restores_and_completes() {
+        use hetkg_netsim::{CrashPoint, FaultPlan};
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let mut cfg = TrainConfig::small(SystemKind::HetKgCps);
+        cfg.epochs = 4;
+        cfg.faults =
+            Some(FaultPlan { crash: Some(CrashPoint { epoch: 2 }), ..FaultPlan::default() });
+        let report = train(&kg, &split.train, &[], &cfg);
+        assert_eq!(report.epochs.len(), 4, "all epochs present after recovery");
+        let fr = report.faults.expect("fault plan attached");
+        assert_eq!(fr.recoveries, 1);
+        assert!(fr.checkpoints >= 1, "crash schedule forces checkpointing on");
+        assert_eq!(fr.drops, 0, "crash-only plan perturbs no messages");
+    }
+
+    #[test]
+    fn checkpoint_v2_restores_the_store_exactly() {
+        let kg = small_graph();
+        let ks = kg.key_space();
+        let router = ShardRouter::round_robin(ks, 2);
+        let store = KvStore::new(router, 8, 8, 1, Init::Xavier, 9);
+        let opt = hetkg_ps::optimizer::AdaGrad::new(0.1);
+        store.push_grad(hetkg_kgraph::ParamKey(3), &[1.0; 8], &opt);
+        let ck = checkpoint_v2(&store, ks, 7, "AdaGrad { lr: 0.1 }");
+        assert_eq!(ck.train_state.as_ref().unwrap().epoch, 7);
+        // Wreck the store, restore, and re-capture: must match exactly,
+        // optimizer state included.
+        store.push_grad(hetkg_kgraph::ParamKey(3), &[5.0; 8], &opt);
+        store.push_grad(hetkg_kgraph::ParamKey(90), &[2.0; 8], &opt);
+        restore_checkpoint(&store, ks, &ck);
+        let again = checkpoint_v2(&store, ks, 7, "AdaGrad { lr: 0.1 }");
+        assert_eq!(again, ck);
     }
 }

@@ -115,6 +115,15 @@ impl WorkerCtx {
         self.client.push_batch(&keys, &grads, self.optimizer.as_ref());
         self.grads.clear();
     }
+
+    /// Advance the fault injector's simulated clock by this worker's compute
+    /// (no-op without fault injection). Keeping the clock moving is what
+    /// places outage/straggler windows correctly relative to the workload.
+    pub fn advance_fault_clock(&self, work_units: u64) {
+        if let Some(f) = self.client.faults() {
+            f.injector.advance_compute(work_units);
+        }
+    }
 }
 
 /// One system's per-worker training loop. The trainer drives epochs; state

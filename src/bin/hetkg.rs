@@ -5,44 +5,95 @@
 //! hetkg partition (--data DIR | --synthetic NAME) [--parts N]
 //! hetkg train     (--data DIR | --synthetic NAME) [--system S] [--model M]
 //!                 [--dim D] [--epochs E] [--machines N] [--out CK.bin]
+//!                 [--fault-profile P] [--checkpoint-every N]
 //! hetkg eval      (--data DIR | --synthetic NAME) --checkpoint CK.bin
 //!                 [--model M] [--dim D] [--candidates K]
 //! ```
 //!
 //! `--data DIR` expects FB15k-format `train.txt`/`valid.txt`/`test.txt`;
 //! `--synthetic NAME` is one of `fb15k`, `wn18`, `freebase86m` (harness
-//! scale).
+//! scale). `--fault-profile` is a named preset (`none`, `lossy`, `outage`,
+//! `chaos`) or a path to a JSON [`FaultPlan`] file.
 
 use het_kg::embed::checkpoint::Checkpoint;
 use het_kg::eval::breakdown::evaluate_breakdown;
 use het_kg::eval::link_prediction::EmbeddingSnapshot;
 use het_kg::kgraph::io::load_benchmark;
 use het_kg::kgraph::stats::AccessCounter;
-use het_kg::train_sys::trainer;
 use het_kg::partition::quality;
 use het_kg::prelude::*;
+use het_kg::train_sys::trainer;
 use std::collections::HashMap;
+use std::fmt;
 use std::path::PathBuf;
 use std::process::exit;
 
+/// Everything that can go wrong before or during a command. Usage errors
+/// (bad flags, unknown commands) exit with status 2; runtime errors (data
+/// loading, checkpoint I/O) with status 1.
+#[derive(Debug)]
+enum CliError {
+    UnknownCommand(String),
+    UnexpectedArg(String),
+    MissingValue(String),
+    UnknownFlag { command: &'static str, flag: String },
+    BadFlag { flag: &'static str, message: String },
+    MissingFlag(&'static str),
+    Data(String),
+    Checkpoint(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try --help"),
+            CliError::UnexpectedArg(a) => {
+                write!(f, "unexpected argument {a:?} (flags are --name value)")
+            }
+            CliError::MissingValue(name) => write!(f, "--{name} needs a value"),
+            CliError::UnknownFlag { command, flag } => {
+                write!(f, "--{flag} is not a `{command}` flag; try --help")
+            }
+            CliError::BadFlag { flag, message } => write!(f, "--{flag}: {message}"),
+            CliError::MissingFlag(name) => write!(f, "--{name} is required"),
+            CliError::Data(m) => write!(f, "{m}"),
+            CliError::Checkpoint(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Data(_) | CliError::Checkpoint(_) => 1,
+            _ => 2,
+        }
+    }
+}
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         usage();
         return;
     }
+    if let Err(e) = run(args) {
+        eprintln!("error: {e}");
+        exit(e.exit_code());
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<(), CliError> {
     let command = args.remove(0);
-    let flags = parse_flags(&args);
-    let result = match command.as_str() {
+    let flags = parse_flags(&args)?;
+    match command.as_str() {
         "stats" => cmd_stats(&flags),
         "partition" => cmd_partition(&flags),
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
-        other => Err(format!("unknown command {other:?}; try --help")),
-    };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        exit(1);
+        other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
 
@@ -67,27 +118,97 @@ fn usage() {
     println!("  --out PATH      checkpoint output                    (default hetkg-model.bin)");
     println!("  --checkpoint P  checkpoint input for `eval`");
     println!("  --seed N        master seed                          (default 42)");
+    println!("fault injection (train):");
+    println!("  --fault-profile P    none | lossy | outage | chaos, or a JSON");
+    println!("                       FaultPlan file                  (default none)");
+    println!("                       lossy: 2% remote-message loss with retry/backoff");
+    println!("                       outage: PS shard 1 down mid-run; HET-KG serves");
+    println!("                               stale hits and defers pushes meanwhile");
+    println!("                       chaos: loss + outage + straggler + worker crash");
+    println!("                              recovered from a checkpoint");
+    println!("  --checkpoint-every N recovery checkpoint every N epochs (0 = off;");
+    println!("                       forced on when the profile schedules a crash)");
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let Some(name) = arg.strip_prefix("--") else {
-            eprintln!("error: unexpected argument {arg:?}");
-            exit(2);
+            return Err(CliError::UnexpectedArg(arg.clone()));
         };
         let Some(value) = it.next() else {
-            eprintln!("error: --{name} needs a value");
-            exit(2);
+            return Err(CliError::MissingValue(name.to_string()));
         };
         flags.insert(name.to_string(), value.clone());
     }
-    flags
+    Ok(flags)
 }
 
 fn flag<'a>(flags: &'a HashMap<String, String>, name: &str, default: &'a str) -> &'a str {
     flags.get(name).map(String::as_str).unwrap_or(default)
+}
+
+/// Flags every command accepts (data selection + seed).
+const COMMON_FLAGS: &[&str] = &["data", "synthetic", "seed"];
+
+/// Reject flags the command does not understand — a typo'd flag must fail
+/// loudly, not silently train with defaults.
+fn check_flags(
+    command: &'static str,
+    flags: &HashMap<String, String>,
+    allowed: &[&str],
+) -> Result<(), CliError> {
+    for k in flags.keys() {
+        if !COMMON_FLAGS.contains(&k.as_str()) && !allowed.contains(&k.as_str()) {
+            return Err(CliError::UnknownFlag { command, flag: k.clone() });
+        }
+    }
+    Ok(())
+}
+
+/// Parse an integer flag that must be ≥ 1.
+fn positive(
+    flags: &HashMap<String, String>,
+    name: &'static str,
+    default: usize,
+) -> Result<usize, CliError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(n) => Err(CliError::BadFlag {
+                flag: name,
+                message: format!("must be at least 1, got {n}"),
+            }),
+            Err(_) => Err(CliError::BadFlag {
+                flag: name,
+                message: format!("{v:?} is not an integer"),
+            }),
+        },
+    }
+}
+
+/// Parse an integer flag that may be 0.
+fn non_negative(
+    flags: &HashMap<String, String>,
+    name: &'static str,
+    default: usize,
+) -> Result<usize, CliError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse::<usize>().map_err(|_| CliError::BadFlag {
+            flag: name,
+            message: format!("{v:?} is not an integer"),
+        }),
+    }
+}
+
+fn parse_seed(flags: &HashMap<String, String>) -> Result<u64, CliError> {
+    flag(flags, "seed", "42").parse().map_err(|_| CliError::BadFlag {
+        flag: "seed",
+        message: "must be an unsigned integer".into(),
+    })
 }
 
 /// The loaded dataset: graph plus train/valid/test.
@@ -98,11 +219,11 @@ struct Data {
     test: Vec<Triple>,
 }
 
-fn load_data(flags: &HashMap<String, String>) -> Result<Data, String> {
-    let seed: u64 = flag(flags, "seed", "42").parse().map_err(|_| "--seed must be an integer")?;
+fn load_data(flags: &HashMap<String, String>) -> Result<Data, CliError> {
+    let seed = parse_seed(flags)?;
     if let Some(dir) = flags.get("data") {
         let bench = load_benchmark(&PathBuf::from(dir))
-            .map_err(|e| format!("loading {dir}: {e}"))?;
+            .map_err(|e| CliError::Data(format!("loading {dir}: {e}")))?;
         return Ok(Data {
             kg: bench.graph,
             train: bench.train,
@@ -112,19 +233,24 @@ fn load_data(flags: &HashMap<String, String>) -> Result<Data, String> {
     }
     let name = flags
         .get("synthetic")
-        .ok_or("pass --data DIR or --synthetic NAME")?;
+        .ok_or_else(|| CliError::Data("pass --data DIR or --synthetic NAME".into()))?;
     let generator = match name.as_str() {
         "fb15k" => datasets::fb15k_like().scale(0.05),
         "wn18" => datasets::wn18_like().scale(0.10),
         "freebase86m" => datasets::freebase86m_like().scale(0.01),
-        other => return Err(format!("unknown synthetic dataset {other:?}")),
+        other => {
+            return Err(CliError::BadFlag {
+                flag: "synthetic",
+                message: format!("unknown dataset {other:?} (fb15k | wn18 | freebase86m)"),
+            })
+        }
     };
     let kg = generator.build(seed);
     let split = Split::ninety_five_five(&kg, seed);
     Ok(Data { kg, train: split.train, _valid: split.valid, test: split.test })
 }
 
-fn parse_model(name: &str) -> Result<ModelKind, String> {
+fn parse_model(name: &str) -> Result<ModelKind, CliError> {
     Ok(match name.to_lowercase().as_str() {
         "transe" | "transe-l2" => ModelKind::TransEL2,
         "transe-l1" => ModelKind::TransEL1,
@@ -135,21 +261,53 @@ fn parse_model(name: &str) -> Result<ModelKind, String> {
         "complex" => ModelKind::ComplEx,
         "rescal" => ModelKind::Rescal,
         "hole" => ModelKind::HolE,
-        other => return Err(format!("unknown model {other:?}")),
+        other => {
+            return Err(CliError::BadFlag {
+                flag: "model",
+                message: format!("unknown model {other:?}"),
+            })
+        }
     })
 }
 
-fn parse_system(name: &str) -> Result<SystemKind, String> {
+fn parse_system(name: &str) -> Result<SystemKind, CliError> {
     Ok(match name.to_lowercase().as_str() {
         "hetkg-c" | "hetkg-cps" => SystemKind::HetKgCps,
         "hetkg-d" | "hetkg-dps" => SystemKind::HetKgDps,
         "dglke" | "dgl-ke" => SystemKind::DglKe,
         "pbg" => SystemKind::Pbg,
-        other => return Err(format!("unknown system {other:?}")),
+        other => {
+            return Err(CliError::BadFlag {
+                flag: "system",
+                message: format!("unknown system {other:?} (hetkg-c | hetkg-d | dglke | pbg)"),
+            })
+        }
     })
 }
 
-fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Resolve `--fault-profile`: a named preset or a JSON [`FaultPlan`] file.
+fn parse_fault_profile(value: &str, seed: u64) -> Result<Option<FaultPlan>, CliError> {
+    match value {
+        "none" => Ok(None),
+        "lossy" => Ok(Some(FaultPlan::lossy(seed, 0.02))),
+        "outage" => Ok(Some(FaultPlan::shard_outage(seed, 1, 0.050, 0.150))),
+        "chaos" => Ok(Some(FaultPlan::chaos(seed))),
+        path => {
+            let raw = std::fs::read_to_string(path).map_err(|e| CliError::BadFlag {
+                flag: "fault-profile",
+                message: format!("not a preset (none | lossy | outage | chaos) and reading {path:?} failed: {e}"),
+            })?;
+            let plan: FaultPlan = serde_json::from_str(&raw).map_err(|e| CliError::BadFlag {
+                flag: "fault-profile",
+                message: format!("{path:?} is not a valid FaultPlan: {e}"),
+            })?;
+            Ok(Some(plan))
+        }
+    }
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    check_flags("stats", flags, &[])?;
     let data = load_data(flags)?;
     let kg = &data.kg;
     println!(
@@ -178,11 +336,11 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_partition(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_partition(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    check_flags("partition", flags, &["parts"])?;
     let data = load_data(flags)?;
-    let parts: usize =
-        flag(flags, "parts", "4").parse().map_err(|_| "--parts must be an integer")?;
-    let seed: u64 = flag(flags, "seed", "42").parse().map_err(|_| "--seed must be an integer")?;
+    let parts = positive(flags, "parts", 4)?;
+    let seed = parse_seed(flags)?;
     println!("{:<12} {:>10} {:>9}", "partitioner", "edge cut", "balance");
     for (name, p) in [
         ("metis-like", MetisLike::new(seed).partition(&data.kg, parts)),
@@ -198,22 +356,36 @@ fn cmd_partition(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    check_flags(
+        "train",
+        flags,
+        &["system", "model", "dim", "epochs", "machines", "out", "fault-profile", "checkpoint-every"],
+    )?;
     let data = load_data(flags)?;
     let mut cfg = TrainConfig::small(parse_system(flag(flags, "system", "hetkg-d"))?);
     cfg.model = parse_model(flag(flags, "model", "transe"))?;
-    cfg.dim = flag(flags, "dim", "64").parse().map_err(|_| "--dim must be an integer")?;
-    cfg.epochs =
-        flag(flags, "epochs", "10").parse().map_err(|_| "--epochs must be an integer")?;
-    cfg.machines =
-        flag(flags, "machines", "4").parse().map_err(|_| "--machines must be an integer")?;
-    cfg.seed = flag(flags, "seed", "42").parse().map_err(|_| "--seed must be an integer")?;
+    cfg.dim = positive(flags, "dim", 64)?;
+    cfg.epochs = positive(flags, "epochs", 10)?;
+    cfg.machines = positive(flags, "machines", 4)?;
+    cfg.seed = parse_seed(flags)?;
     cfg.eval_candidates = None;
+    cfg.faults = parse_fault_profile(flag(flags, "fault-profile", "none"), cfg.seed)?;
+    cfg.checkpoint_every = non_negative(flags, "checkpoint-every", 0)?;
 
     println!(
         "training {} / {} (d={}) on {} machines, {} epochs...",
         cfg.system, cfg.model, cfg.dim, cfg.machines, cfg.epochs
     );
+    if let Some(plan) = &cfg.faults {
+        println!(
+            "fault plan: drop {:.1}% | {} outage window(s) | {} straggler episode(s) | crash {}",
+            100.0 * plan.drop_probability,
+            plan.outages.len(),
+            plan.slow_episodes.len(),
+            plan.crash.map_or("none".to_string(), |c| format!("epoch {}", c.epoch)),
+        );
+    }
     let (report, store) = trainer::train_with_store(&data.kg, &data.train, &[], &cfg);
     for e in &report.epochs {
         println!(
@@ -231,34 +403,49 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         100.0 * report.comm_fraction(),
         report.total_traffic().total_bytes() as f64 / 1e6
     );
+    if let Some(fr) = &report.faults {
+        println!(
+            "faults: {} drops ({} retries, {:.1} KB retransmitted) | {} outage refusals | {} slow messages (+{:.4}s latency, {:.4}s backoff)",
+            fr.drops,
+            fr.retries,
+            fr.retransmitted_bytes as f64 / 1e3,
+            fr.outage_refusals,
+            fr.slow_messages,
+            fr.extra_latency_secs,
+            fr.backoff_secs,
+        );
+        println!(
+            "degraded cache: {} stale hits, {} deferred pushes, {} backlog flushes | recovery: {} checkpoints, {} restarts",
+            fr.degraded_hits, fr.deferred_pushes, fr.backlog_flushes, fr.checkpoints, fr.recoveries,
+        );
+    }
 
     let out = PathBuf::from(flag(flags, "out", "hetkg-model.bin"));
     let ck = trainer::checkpoint(&store, data.kg.key_space());
-    ck.save(&out).map_err(|e| format!("saving checkpoint: {e}"))?;
+    ck.save(&out).map_err(|e| CliError::Checkpoint(format!("saving checkpoint: {e}")))?;
     println!("checkpoint written to {}", out.display());
     Ok(())
 }
 
-fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    check_flags("eval", flags, &["checkpoint", "model", "dim", "candidates"])?;
     let data = load_data(flags)?;
-    let path = flags.get("checkpoint").ok_or("--checkpoint is required for eval")?;
+    let path = flags.get("checkpoint").ok_or(CliError::MissingFlag("checkpoint"))?;
     let ck = Checkpoint::load(&PathBuf::from(path))
-        .map_err(|e| format!("loading checkpoint: {e}"))?;
+        .map_err(|e| CliError::Checkpoint(format!("loading checkpoint: {e}")))?;
     let model = parse_model(flag(flags, "model", "transe"))?;
-    let dim: usize =
-        flag(flags, "dim", "64").parse().map_err(|_| "--dim must be an integer")?;
-    let candidates: usize =
-        flag(flags, "candidates", "500").parse().map_err(|_| "--candidates must be an integer")?;
+    let dim = positive(flags, "dim", 64)?;
+    let candidates = positive(flags, "candidates", 500)?;
     let model = model.build(dim);
     if ck.entities.dim() != model.entity_dim() || ck.relations.dim() != model.relation_dim() {
-        return Err(format!(
+        return Err(CliError::Checkpoint(format!(
             "checkpoint widths (e{}, r{}) do not match {} at d={dim} (e{}, r{})",
             ck.entities.dim(),
             ck.relations.dim(),
             model.name(),
             model.entity_dim(),
             model.relation_dim()
-        ));
+        )));
     }
     let snapshot = EmbeddingSnapshot::new(ck.entities, ck.relations);
     let breakdown = evaluate_breakdown(

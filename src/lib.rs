@@ -73,10 +73,13 @@ pub mod prelude {
     pub use hetkg_kgraph::{
         datasets, EntityId, KeySpace, KnowledgeGraph, ParamKey, RelationId, Triple,
     };
-    pub use hetkg_netsim::{ClusterTopology, CostModel};
+    pub use hetkg_netsim::{
+        ClusterTopology, CostModel, CrashPoint, FaultPlan, OutageWindow, SlowEpisode,
+    };
     pub use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
     pub use hetkg_ps::optimizer::OptimizerKind;
+    pub use hetkg_ps::RetryPolicy;
     pub use hetkg_train::config::CacheConfig;
     pub use hetkg_train::trainer::snapshot;
-    pub use hetkg_train::{train, SystemKind, TrainConfig, TrainReport};
+    pub use hetkg_train::{train, FaultReport, SystemKind, TrainConfig, TrainReport};
 }

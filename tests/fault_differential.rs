@@ -1,0 +1,108 @@
+//! Differential tests for the fault-injection subsystem: attaching a
+//! zero-fault [`FaultPlan`] must be a pure observer. Traffic, losses, and
+//! cache behaviour have to be byte-identical to a run with no plan at all —
+//! the injection hooks may meter, but never perturb.
+
+use het_kg::prelude::*;
+
+fn workload() -> (KnowledgeGraph, Vec<Triple>) {
+    let kg = SyntheticKg {
+        num_entities: 200,
+        num_relations: 12,
+        num_triples: 1_500,
+        ..Default::default()
+    }
+    .build(7);
+    let split = Split::ninety_five_five(&kg, 7);
+    (kg, split.train)
+}
+
+#[test]
+fn zero_fault_plan_is_invisible_on_every_system() {
+    let (kg, train_set) = workload();
+    for system in
+        [SystemKind::DglKe, SystemKind::HetKgCps, SystemKind::HetKgDps, SystemKind::Pbg]
+    {
+        let mut cfg = TrainConfig::small(system);
+        cfg.epochs = 3;
+        cfg.eval_candidates = None;
+        let baseline = train(&kg, &train_set, &[], &cfg);
+        assert!(baseline.faults.is_none(), "{system}: fault-free run must carry no report");
+
+        let mut shadowed_cfg = cfg.clone();
+        shadowed_cfg.faults = Some(FaultPlan::default());
+        let shadowed = train(&kg, &train_set, &[], &shadowed_cfg);
+
+        assert_eq!(
+            baseline.total_traffic(),
+            shadowed.total_traffic(),
+            "{system}: zero-fault plan changed traffic"
+        );
+        assert_eq!(baseline.epochs.len(), shadowed.epochs.len());
+        for (b, s) in baseline.epochs.iter().zip(&shadowed.epochs) {
+            assert_eq!(
+                b.loss.to_bits(),
+                s.loss.to_bits(),
+                "{system}: epoch {} loss diverged under a zero-fault plan",
+                b.epoch
+            );
+            assert_eq!(b.traffic, s.traffic, "{system}: epoch {} traffic diverged", b.epoch);
+            assert_eq!(b.cache.hits, s.cache.hits, "{system}: epoch {} cache hits", b.epoch);
+            assert_eq!(b.cache.misses, s.cache.misses, "{system}: epoch {} misses", b.epoch);
+        }
+
+        let fr = shadowed.faults.expect("plan attached, report expected");
+        assert!(fr.is_quiet(), "{system}: zero-fault plan raised counters: {fr:?}");
+    }
+}
+
+#[test]
+fn faulty_runs_are_reproducible() {
+    // Same seed + same plan = the same faults, byte for byte. The injector's
+    // RNG is private per worker, so thread scheduling cannot leak in.
+    let (kg, train_set) = workload();
+    let mut cfg = TrainConfig::small(SystemKind::HetKgDps);
+    cfg.epochs = 3;
+    cfg.eval_candidates = None;
+    cfg.faults = Some(FaultPlan::lossy(23, 0.05));
+
+    let a = train(&kg, &train_set, &[], &cfg);
+    let b = train(&kg, &train_set, &[], &cfg);
+
+    assert_eq!(a.total_traffic(), b.total_traffic());
+    assert_eq!(a.faults, b.faults);
+    let fr = a.faults.unwrap();
+    assert!(fr.drops > 0, "5% loss over three epochs must drop something");
+    assert_eq!(fr.retries, fr.drops, "every drop costs exactly one retry here");
+    assert!(fr.retransmitted_bytes > 0);
+    for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(ea.loss.to_bits(), eb.loss.to_bits());
+    }
+}
+
+#[test]
+fn lossy_network_costs_time_but_not_convergence() {
+    // Retries retransmit the same payload, so the model sees identical
+    // gradients; only the simulated clock (backoff + resends) gets worse.
+    let (kg, train_set) = workload();
+    let mut cfg = TrainConfig::small(SystemKind::HetKgCps);
+    cfg.epochs = 3;
+    cfg.eval_candidates = None;
+    let clean = train(&kg, &train_set, &[], &cfg);
+
+    let mut lossy_cfg = cfg.clone();
+    lossy_cfg.faults = Some(FaultPlan::lossy(23, 0.05));
+    let lossy = train(&kg, &train_set, &[], &lossy_cfg);
+
+    for (c, l) in clean.epochs.iter().zip(&lossy.epochs) {
+        assert_eq!(
+            c.loss.to_bits(),
+            l.loss.to_bits(),
+            "drops are retried transparently; training math must not change"
+        );
+    }
+    assert!(
+        lossy.total_comm_secs() > clean.total_comm_secs(),
+        "retransmissions and backoff must show up in simulated time"
+    );
+}
