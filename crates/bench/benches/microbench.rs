@@ -25,13 +25,22 @@ fn bench_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_score");
     let dim = 128;
     let mut rng = StdRng::seed_from_u64(1);
-    for kind in [ModelKind::TransEL2, ModelKind::DistMult, ModelKind::ComplEx, ModelKind::TransH]
-    {
+    for kind in [
+        ModelKind::TransEL2,
+        ModelKind::DistMult,
+        ModelKind::ComplEx,
+        ModelKind::TransH,
+    ] {
         let model = kind.build(dim);
-        let h: Vec<f32> = (0..model.entity_dim()).map(|_| rng.random_range(-0.5..0.5)).collect();
-        let r: Vec<f32> =
-            (0..model.relation_dim()).map(|_| rng.random_range(-0.5..0.5)).collect();
-        let t: Vec<f32> = (0..model.entity_dim()).map(|_| rng.random_range(-0.5..0.5)).collect();
+        let h: Vec<f32> = (0..model.entity_dim())
+            .map(|_| rng.random_range(-0.5..0.5))
+            .collect();
+        let r: Vec<f32> = (0..model.relation_dim())
+            .map(|_| rng.random_range(-0.5..0.5))
+            .collect();
+        let t: Vec<f32> = (0..model.entity_dim())
+            .map(|_| rng.random_range(-0.5..0.5))
+            .collect();
         group.bench_function(BenchmarkId::new("score", kind.to_string()), |b| {
             b.iter(|| black_box(model.score(black_box(&h), black_box(&r), black_box(&t))))
         });
@@ -83,8 +92,9 @@ fn bench_replacement_caches(c: &mut Criterion) {
     let mut group = c.benchmark_group("replacement_cache");
     let z = ZipfSampler::new(50_000, 1.0);
     let mut rng = StdRng::seed_from_u64(3);
-    let trace: Vec<ParamKey> =
-        (0..100_000).map(|_| ParamKey(z.sample(&mut rng) as u64)).collect();
+    let trace: Vec<ParamKey> = (0..100_000)
+        .map(|_| ParamKey(z.sample(&mut rng) as u64))
+        .collect();
     group.throughput(Throughput::Elements(trace.len() as u64));
     group.bench_function("fifo", |b| {
         b.iter(|| {
@@ -117,8 +127,9 @@ fn bench_filter(c: &mut Criterion) {
     let ks = KeySpace::new(100_000, 2_000);
     let z = ZipfSampler::new(102_000, 1.0);
     let mut rng = StdRng::seed_from_u64(5);
-    let accesses: Vec<ParamKey> =
-        (0..200_000).map(|_| ParamKey(z.sample(&mut rng) as u64)).collect();
+    let accesses: Vec<ParamKey> = (0..200_000)
+        .map(|_| ParamKey(z.sample(&mut rng) as u64))
+        .collect();
     let cfg = FilterConfig::paper_default(2_000);
     c.bench_function("filter_hot_set_200k", |b| {
         b.iter(|| black_box(filter_hot_set(&accesses, ks, &cfg)))

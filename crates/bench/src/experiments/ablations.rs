@@ -17,9 +17,10 @@ pub fn partition(ctx: ExpCtx) -> ExperimentRecord {
     let mut rows = Vec::new();
     for dataset in Dataset::all() {
         let w = Workload::new(dataset, ctx.full, ctx.seed);
-        for (label, kind) in
-            [("metis-like", PartitionerKind::MetisLike), ("random", PartitionerKind::Random)]
-        {
+        for (label, kind) in [
+            ("metis-like", PartitionerKind::MetisLike),
+            ("random", PartitionerKind::Random),
+        ] {
             let p: Box<dyn Partitioner> = match kind {
                 PartitionerKind::MetisLike => Box::new(MetisLike::new(ctx.seed)),
                 PartitionerKind::Random => Box::new(RandomPartitioner::new(ctx.seed)),
@@ -49,9 +50,16 @@ pub fn partition(ctx: ExpCtx) -> ExperimentRecord {
         id: "partition-ablation".into(),
         title: "Graph partitioning: METIS-like vs random".into(),
         params: format!("4 partitions; DGL-KE-sim, {epochs} epochs, d=32"),
-        columns: ["dataset", "partitioner", "edge cut", "balance", "remote MB", "comm time"]
-            .map(String::from)
-            .to_vec(),
+        columns: [
+            "dataset",
+            "partitioner",
+            "edge cut",
+            "balance",
+            "remote MB",
+            "comm time",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         shape_expectation: "METIS-like cuts fewer edges than random at comparable \
                             balance, which lowers remote traffic (the reason \
@@ -74,7 +82,10 @@ pub fn negsample(ctx: ExpCtx) -> ExperimentRecord {
         cfg.machines = 4;
         cfg.dim = 32;
         cfg.epochs = epochs;
-        cfg.negatives = NegConfig { per_positive: 8, strategy };
+        cfg.negatives = NegConfig {
+            per_positive: 8,
+            strategy,
+        };
         cfg.seed = ctx.seed;
         cfg.eval_candidates = Some(200);
         let report = train(&w.kg, &w.split.train, &w.eval_set, &cfg);
@@ -83,7 +94,10 @@ pub fn negsample(ctx: ExpCtx) -> ExperimentRecord {
             mb(report.total_traffic().total_bytes()),
             secs(report.total_comm_secs()),
             secs(report.total_secs()),
-            format!("{:.3}", report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())),
+            format!(
+                "{:.3}",
+                report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())
+            ),
         ]);
     }
     ExperimentRecord {
@@ -117,8 +131,10 @@ pub fn bandwidth(ctx: ExpCtx) -> ExperimentRecord {
             cfg.dim = 128;
             cfg.epochs = epochs;
             cfg.seed = ctx.seed;
-            cfg.cost_model =
-                CostModel { remote_bandwidth: gbps * 1e9 / 8.0, ..CostModel::gigabit() };
+            cfg.cost_model = CostModel {
+                remote_bandwidth: gbps * 1e9 / 8.0,
+                ..CostModel::gigabit()
+            };
             let report = train(&w.kg, &w.split.train, &[], &cfg);
             times.push(report.total_secs());
         }
@@ -133,7 +149,9 @@ pub fn bandwidth(ctx: ExpCtx) -> ExperimentRecord {
         id: "bandwidth-sweep".into(),
         title: "Cache benefit vs network bandwidth".into(),
         params: format!("{} | {epochs} epochs, d=128, 4 machines", w.describe()),
-        columns: ["link", "DGL-KE", "HET-KG-D", "speedup"].map(String::from).to_vec(),
+        columns: ["link", "DGL-KE", "HET-KG-D", "speedup"]
+            .map(String::from)
+            .to_vec(),
         rows,
         shape_expectation: "HET-KG's speedup over DGL-KE is largest on the slowest \
                             link and shrinks as bandwidth grows (§II Remarks: the \
@@ -148,7 +166,10 @@ mod tests {
 
     #[test]
     fn chunked_sampling_moves_fewer_bytes() {
-        let r = negsample(ExpCtx { quick: true, ..Default::default() });
+        let r = negsample(ExpCtx {
+            quick: true,
+            ..Default::default()
+        });
         let bytes = |i: usize| r.rows[i][1].parse::<f64>().unwrap();
         assert!(
             bytes(1) < bytes(0),

@@ -98,7 +98,13 @@ pub fn table4(ctx: ExpCtx) -> ExperimentRecord {
 
 /// Table V: Freebase-86m (scaled), TransE only, 10 epochs.
 pub fn table5(ctx: ExpCtx) -> ExperimentRecord {
-    accuracy_grid("table5", Dataset::Freebase86m, &[ModelKind::TransEL2], 6, ctx)
+    accuracy_grid(
+        "table5",
+        Dataset::Freebase86m,
+        &[ModelKind::TransEL2],
+        6,
+        ctx,
+    )
 }
 
 #[cfg(test)]
@@ -107,7 +113,10 @@ mod tests {
 
     #[test]
     fn grid_covers_all_systems_and_models() {
-        let ctx = ExpCtx { quick: true, ..Default::default() };
+        let ctx = ExpCtx {
+            quick: true,
+            ..Default::default()
+        };
         let r = table3(ctx);
         assert_eq!(r.rows.len(), 8); // 2 models × 4 systems
         for row in &r.rows {
@@ -118,7 +127,10 @@ mod tests {
 
     #[test]
     fn hetkg_accuracy_is_comparable_to_dglke() {
-        let ctx = ExpCtx { quick: false, ..Default::default() };
+        let ctx = ExpCtx {
+            quick: false,
+            ..Default::default()
+        };
         let w = Workload::new(Dataset::Wn18, false, 42);
         let dgl = run_cell(&w, SystemKind::DglKe, ModelKind::TransEL2, 5, ctx);
         let het = run_cell(&w, SystemKind::HetKgCps, ModelKind::TransEL2, 5, ctx);

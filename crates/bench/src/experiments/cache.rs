@@ -17,7 +17,12 @@ use hetkg_kgraph::ParamKey;
 use hetkg_train::config::CacheConfig;
 use hetkg_train::{train, SystemKind, TrainConfig};
 
-fn hetkg_run(w: &Workload, cache: CacheConfig, epochs: usize, ctx: ExpCtx) -> hetkg_train::TrainReport {
+fn hetkg_run(
+    w: &Workload,
+    cache: CacheConfig,
+    epochs: usize,
+    ctx: ExpCtx,
+) -> hetkg_train::TrainReport {
     let mut cfg = TrainConfig::small(SystemKind::HetKgDps);
     cfg.machines = 4;
     cfg.dim = 64;
@@ -37,7 +42,10 @@ pub fn fig8a(ctx: ExpCtx) -> ExperimentRecord {
     for frac in [0.005, 0.01, 0.02, 0.04, 0.08, 0.16] {
         let report = hetkg_run(
             &w,
-            CacheConfig { capacity_fraction: frac, ..Default::default() },
+            CacheConfig {
+                capacity_fraction: frac,
+                ..Default::default()
+            },
             epochs,
             ctx,
         );
@@ -45,14 +53,19 @@ pub fn fig8a(ctx: ExpCtx) -> ExperimentRecord {
             pct(frac),
             pct(report.total_cache().hit_ratio()),
             mb(report.total_traffic().total_bytes()),
-            format!("{:.3}", report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())),
+            format!(
+                "{:.3}",
+                report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())
+            ),
         ]);
     }
     ExperimentRecord {
         id: "fig8a".into(),
         title: "Impact of cache size".into(),
         params: format!("{} | HET-KG-D, {epochs} epochs", w.describe()),
-        columns: ["capacity", "hit ratio", "MB moved", "MRR"].map(String::from).to_vec(),
+        columns: ["capacity", "hit ratio", "MB moved", "MRR"]
+            .map(String::from)
+            .to_vec(),
         rows,
         shape_expectation: "hit ratio increases monotonically with capacity while \
                             MRR stays roughly flat (paper Fig. 8a)"
@@ -68,7 +81,10 @@ pub fn fig8b(ctx: ExpCtx) -> ExperimentRecord {
     for p in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let report = hetkg_run(
             &w,
-            CacheConfig { staleness: p, ..Default::default() },
+            CacheConfig {
+                staleness: p,
+                ..Default::default()
+            },
             epochs,
             ctx,
         );
@@ -76,14 +92,19 @@ pub fn fig8b(ctx: ExpCtx) -> ExperimentRecord {
             p.to_string(),
             pct(report.total_cache().hit_ratio()),
             mb(report.total_traffic().total_bytes()),
-            format!("{:.3}", report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())),
+            format!(
+                "{:.3}",
+                report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())
+            ),
         ]);
     }
     ExperimentRecord {
         id: "fig8b".into(),
         title: "Impact of bounded staleness P".into(),
         params: format!("{} | HET-KG-D, {epochs} epochs", w.describe()),
-        columns: ["P", "hit ratio", "MB moved", "MRR"].map(String::from).to_vec(),
+        columns: ["P", "hit ratio", "MB moved", "MRR"]
+            .map(String::from)
+            .to_vec(),
         rows,
         shape_expectation: "traffic falls as P grows (fewer syncs); MRR holds for \
                             small P and degrades for large P (paper Fig. 8b: stable \
@@ -107,7 +128,10 @@ pub fn fig8c(ctx: ExpCtx) -> ExperimentRecord {
         cfg.machines = 4;
         cfg.dim = 64;
         cfg.epochs = epochs;
-        cfg.cache = CacheConfig { entity_fraction: ratio, ..Default::default() };
+        cfg.cache = CacheConfig {
+            entity_fraction: ratio,
+            ..Default::default()
+        };
         cfg.seed = ctx.seed;
         cfg.batch_size = 512;
         cfg.negatives = NegConfig {
@@ -125,7 +149,9 @@ pub fn fig8c(ctx: ExpCtx) -> ExperimentRecord {
         id: "fig8c".into(),
         title: "Impact of hot-embedding selection (entity ratio)".into(),
         params: format!("{} | HET-KG-D, {epochs} epochs", w.describe()),
-        columns: ["entity ratio", "hit ratio", "MB moved"].map(String::from).to_vec(),
+        columns: ["entity ratio", "hit ratio", "MB moved"]
+            .map(String::from)
+            .to_vec(),
         rows,
         shape_expectation: "hit ratio rises then falls with the entity ratio, \
                             peaking at a small ratio (paper Fig. 8c: 25%) because \
@@ -142,7 +168,10 @@ pub fn fig9(ctx: ExpCtx) -> ExperimentRecord {
     for p in [1usize, 128] {
         let report = hetkg_run(
             &w,
-            CacheConfig { staleness: p, ..Default::default() },
+            CacheConfig {
+                staleness: p,
+                ..Default::default()
+            },
             epochs,
             ctx,
         );
@@ -178,15 +207,22 @@ pub fn divergence(ctx: ExpCtx) -> ExperimentRecord {
     for p in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let report = hetkg_run(
             &w,
-            CacheConfig { staleness: p, ..Default::default() },
+            CacheConfig {
+                staleness: p,
+                ..Default::default()
+            },
             epochs,
             ctx,
         );
         // Mean per-key divergence at sync time, averaged over post-warmup
         // epochs (max-statistics would bias toward small P, which syncs —
         // and therefore samples — far more often).
-        let post_warmup: Vec<f64> =
-            report.epochs.iter().skip(1).map(|e| e.mean_divergence).collect();
+        let post_warmup: Vec<f64> = report
+            .epochs
+            .iter()
+            .skip(1)
+            .map(|e| e.mean_divergence)
+            .collect();
         let steady = if post_warmup.is_empty() {
             0.0
         } else {
@@ -195,14 +231,19 @@ pub fn divergence(ctx: ExpCtx) -> ExperimentRecord {
         rows.push(vec![
             p.to_string(),
             format!("{:.4}", steady),
-            format!("{:.3}", report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())),
+            format!(
+                "{:.3}",
+                report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())
+            ),
         ]);
     }
     ExperimentRecord {
         id: "divergence".into(),
         title: "Cache-vs-global divergence under bounded staleness".into(),
         params: format!("{} | HET-KG-D, {epochs} epochs", w.describe()),
-        columns: ["P", "mean L2 divergence at sync", "MRR"].map(String::from).to_vec(),
+        columns: ["P", "mean L2 divergence at sync", "MRR"]
+            .map(String::from)
+            .to_vec(),
         rows,
         shape_expectation: "divergence at sync time grows with the staleness bound P \
                             and stays bounded for fixed P — the empirical form of \
@@ -268,8 +309,7 @@ pub fn table6(ctx: ExpCtx) -> ExperimentRecord {
         let fifo = replay(&mut FifoCache::new(capacity), &flat).hit_ratio();
         let lru = replay(&mut LruCache::new(capacity), &flat).hit_ratio();
         let lfu = replay(&mut LfuCache::new(capacity), &flat).hit_ratio();
-        let imp =
-            replay(&mut ImportanceCache::from_scores(capacity, &scores), &flat).hit_ratio();
+        let imp = replay(&mut ImportanceCache::from_scores(capacity, &scores), &flat).hit_ratio();
         let het = hetkg_replay(&trace_batches, capacity, ks, 16).hit_ratio();
         rows.push(vec![
             dataset.name().to_string(),
@@ -303,7 +343,10 @@ pub fn table7(ctx: ExpCtx) -> ExperimentRecord {
         for (label, aware) in [("HET-KG", true), ("HET-KG-N", false)] {
             let report = hetkg_run(
                 &w,
-                CacheConfig { heterogeneity_aware: aware, ..Default::default() },
+                CacheConfig {
+                    heterogeneity_aware: aware,
+                    ..Default::default()
+                },
                 epochs,
                 ctx,
             );
@@ -323,9 +366,17 @@ pub fn table7(ctx: ExpCtx) -> ExperimentRecord {
         id: "table7".into(),
         title: "Node-heterogeneity optimization ablation".into(),
         params: format!("HET-KG-D, {epochs} epochs, d=32, 4 machines"),
-        columns: ["dataset", "system", "MRR", "Hits@1", "Hits@10", "time", "hit ratio"]
-            .map(String::from)
-            .to_vec(),
+        columns: [
+            "dataset",
+            "system",
+            "MRR",
+            "Hits@1",
+            "Hits@10",
+            "time",
+            "hit ratio",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         shape_expectation: "HET-KG-N (no entity/relation split) can be slightly \
                             faster but loses accuracy relative to HET-KG \
@@ -339,15 +390,24 @@ mod tests {
     use super::*;
 
     fn quick() -> ExpCtx {
-        ExpCtx { quick: true, ..Default::default() }
+        ExpCtx {
+            quick: true,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn fig8a_hit_ratio_rises_with_capacity() {
         let r = fig8a(quick());
         let first: f64 = r.rows[0][1].trim_end_matches('%').parse().unwrap();
-        let last: f64 = r.rows.last().unwrap()[1].trim_end_matches('%').parse().unwrap();
-        assert!(last > first, "hit ratio must rise with capacity: {first} -> {last}");
+        let last: f64 = r.rows.last().unwrap()[1]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(
+            last > first,
+            "hit ratio must rise with capacity: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -357,7 +417,10 @@ mod tests {
             let v = |i: usize| row[i].trim_end_matches('%').parse::<f64>().unwrap();
             let (fifo, lru, imp, het) = (v(1), v(2), v(4), v(5));
             assert!(fifo <= lru + 1.0, "{row:?}");
-            assert!(het > imp - 1.0, "HET-KG must be at least importance-level: {row:?}");
+            assert!(
+                het > imp - 1.0,
+                "HET-KG must be at least importance-level: {row:?}"
+            );
             assert!(het > fifo, "{row:?}");
         }
     }
@@ -369,9 +432,11 @@ mod tests {
         let mut sampler = Prefetcher::new(16, ks, 1);
         let mut negatives = NegativeSampler::new(w.kg.num_entities(), NegConfig::default(), 1);
         let pf = sampler.prefetch(&w.split.train, &mut negatives, 10);
-        let batches: Vec<Vec<ParamKey>> =
-            pf.batches.iter().map(|b| b.unique_keys(ks)).collect();
+        let batches: Vec<Vec<ParamKey>> = pf.batches.iter().map(|b| b.unique_keys(ks)).collect();
         let stats = hetkg_replay(&batches, ks.len(), ks, 10);
-        assert_eq!(stats.misses, 0, "full-capacity prefetch-built cache never misses");
+        assert_eq!(
+            stats.misses, 0,
+            "full-capacity prefetch-built cache never misses"
+        );
     }
 }

@@ -86,7 +86,9 @@ pub fn fig6(ctx: ExpCtx) -> ExperimentRecord {
         id: "fig6".into(),
         title: "Scalability: speedup vs workers".into(),
         params: format!("{} | {epochs} epochs, d=32", w.describe()),
-        columns: ["system", "workers", "time", "speedup"].map(String::from).to_vec(),
+        columns: ["system", "workers", "time", "speedup"]
+            .map(String::from)
+            .to_vec(),
         rows,
         shape_expectation: "PBG's speedup flattens (lock server + dense relation \
                             transfer); DGL-KE and HET-KG scale, with HET-KG's \
@@ -124,9 +126,17 @@ pub fn fig7(ctx: ExpCtx) -> ExperimentRecord {
         id: "fig7".into(),
         title: "Computation vs communication breakdown".into(),
         params: format!("{epochs} epochs, d=128, 4 machines, 1 Gbps"),
-        columns: ["dataset", "system", "compute", "comm", "total", "comm share", "MB moved"]
-            .map(String::from)
-            .to_vec(),
+        columns: [
+            "dataset",
+            "system",
+            "compute",
+            "comm",
+            "total",
+            "comm share",
+            "MB moved",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         shape_expectation: "DGL-KE and HET-KG have similar compute; HET-KG moves \
                             fewer bytes and spends less communication time; PBG's \
@@ -140,7 +150,10 @@ mod tests {
     use super::*;
 
     fn quick() -> ExpCtx {
-        ExpCtx { quick: true, ..Default::default() }
+        ExpCtx {
+            quick: true,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -152,7 +165,11 @@ mod tests {
             let pbg = bytes(&chunk[0]);
             let dgl = bytes(&chunk[1]);
             let het_c = bytes(&chunk[2]);
-            assert!(het_c < dgl, "HET-KG-C {het_c} < DGL-KE {dgl} ({})", chunk[0][0]);
+            assert!(
+                het_c < dgl,
+                "HET-KG-C {het_c} < DGL-KE {dgl} ({})",
+                chunk[0][0]
+            );
             assert!(pbg > dgl, "PBG {pbg} > DGL-KE {dgl} ({})", chunk[0][0]);
         }
     }

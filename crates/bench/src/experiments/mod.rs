@@ -27,7 +27,11 @@ pub struct ExpCtx {
 
 impl Default for ExpCtx {
     fn default() -> Self {
-        Self { full: false, seed: 42, quick: false }
+        Self {
+            full: false,
+            seed: 42,
+            quick: false,
+        }
     }
 }
 
@@ -44,9 +48,24 @@ impl ExpCtx {
 
 /// All experiment ids, in paper order (used by `repro all` and `--list`).
 pub const ALL: &[&str] = &[
-    "table1", "fig2", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8a",
-    "fig8b", "fig8c", "fig9", "table6", "table7", "partition-ablation",
-    "negsample-ablation", "divergence", "bandwidth-sweep",
+    "table1",
+    "fig2",
+    "table3",
+    "table4",
+    "table5",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig9",
+    "table6",
+    "table7",
+    "partition-ablation",
+    "negsample-ablation",
+    "divergence",
+    "bandwidth-sweep",
 ];
 
 /// Run one experiment by id.
@@ -97,7 +116,10 @@ mod tests {
 
     #[test]
     fn quick_clamps_epochs() {
-        let ctx = ExpCtx { quick: true, ..Default::default() };
+        let ctx = ExpCtx {
+            quick: true,
+            ..Default::default()
+        };
         assert_eq!(ctx.epochs(30), 2);
         let ctx = ExpCtx::default();
         assert_eq!(ctx.epochs(30), 30);

@@ -76,12 +76,14 @@ pub fn fig2(ctx: ExpCtx) -> ExperimentRecord {
             pct(counter.entity_top_share(0.01)),
             pct(counter.relation_top_share(0.01)),
             format!("{:.1}x", counter.heterogeneity_factor()),
-            format!("{:.3}", hetkg_kgraph::stats::gini(
-                &counter.counts()[..ks.num_entities()]
-            )),
-            format!("{:.3}", hetkg_kgraph::stats::gini(
-                &counter.counts()[ks.num_entities()..]
-            )),
+            format!(
+                "{:.3}",
+                hetkg_kgraph::stats::gini(&counter.counts()[..ks.num_entities()])
+            ),
+            format!(
+                "{:.3}",
+                hetkg_kgraph::stats::gini(&counter.counts()[ks.num_entities()..])
+            ),
         ]);
     }
     ExperimentRecord {
@@ -123,7 +125,10 @@ mod tests {
     use super::*;
 
     fn quick() -> ExpCtx {
-        ExpCtx { quick: true, ..Default::default() }
+        ExpCtx {
+            quick: true,
+            ..Default::default()
+        }
     }
 
     #[test]

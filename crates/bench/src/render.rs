@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(&s(&["sys", "time"]), &[s(&["DGL-KE", "12.0"]), s(&["PBG", "300.5"])]);
+        let t = table(
+            &s(&["sys", "time"]),
+            &[s(&["DGL-KE", "12.0"]), s(&["PBG", "300.5"])],
+        );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("sys"));

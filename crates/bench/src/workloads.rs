@@ -88,7 +88,12 @@ impl Workload {
         let kg = dataset.build(full, seed);
         let split = Split::ninety_five_five(&kg, seed);
         let eval_set: Vec<Triple> = split.valid.iter().copied().take(200).collect();
-        Self { dataset, kg, split, eval_set }
+        Self {
+            dataset,
+            kg,
+            split,
+            eval_set,
+        }
     }
 
     /// One-line description for experiment headers.

@@ -233,7 +233,10 @@ impl ImportanceCache {
         let mut ranked: Vec<(ParamKey, u64)> = scores.to_vec();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(capacity);
-        Self { capacity, resident: ranked.into_iter().map(|(k, _)| k).collect() }
+        Self {
+            capacity,
+            resident: ranked.into_iter().map(|(k, _)| k).collect(),
+        }
     }
 
     /// Keep an explicit key set (e.g. HET-KG's filtered hot set) — this is
@@ -307,8 +310,7 @@ mod tests {
 
     #[test]
     fn importance_is_static() {
-        let scores: Vec<(ParamKey, u64)> =
-            (0..10).map(|i| (ParamKey(i), 100 - i)).collect();
+        let scores: Vec<(ParamKey, u64)> = (0..10).map(|i| (ParamKey(i), 100 - i)).collect();
         let mut c = ImportanceCache::from_scores(3, &scores);
         assert!(c.access(ParamKey(0)));
         assert!(c.access(ParamKey(2)));
@@ -320,8 +322,11 @@ mod tests {
 
     #[test]
     fn zero_capacity_never_hits() {
-        for cache in [&mut FifoCache::new(0) as &mut dyn ReplacementCache,
-                      &mut LruCache::new(0), &mut LfuCache::new(0)] {
+        for cache in [
+            &mut FifoCache::new(0) as &mut dyn ReplacementCache,
+            &mut LruCache::new(0),
+            &mut LfuCache::new(0),
+        ] {
             assert!(!cache.access(ParamKey(1)));
             assert!(!cache.access(ParamKey(1)));
             assert_eq!(cache.len(), 0);
@@ -347,8 +352,9 @@ mod tests {
         use rand::SeedableRng;
         let z = ZipfSampler::new(5_000, 1.0);
         let mut rng = StdRng::seed_from_u64(17);
-        let trace: Vec<ParamKey> =
-            (0..60_000).map(|_| ParamKey(z.sample(&mut rng) as u64)).collect();
+        let trace: Vec<ParamKey> = (0..60_000)
+            .map(|_| ParamKey(z.sample(&mut rng) as u64))
+            .collect();
         let cap = 64;
 
         let fifo = replay(&mut FifoCache::new(cap), &trace).hit_ratio();
@@ -360,12 +366,14 @@ mod tests {
             *freq.entry(k).or_insert(0) += 1;
         }
         let scores: Vec<(ParamKey, u64)> = freq.into_iter().collect();
-        let imp =
-            replay(&mut ImportanceCache::from_scores(cap, &scores), &trace).hit_ratio();
+        let imp = replay(&mut ImportanceCache::from_scores(cap, &scores), &trace).hit_ratio();
 
         assert!(fifo < lru, "fifo {fifo} < lru {lru}");
         assert!(lru <= lfu + 0.02, "lru {lru} ≲ lfu {lfu}");
         assert!(lfu <= imp, "lfu {lfu} <= importance {imp}");
-        assert!(imp > 0.3, "static top-k on Zipf(1) should hit often, got {imp}");
+        assert!(
+            imp > 0.3,
+            "static top-k on Zipf(1) should hit often, got {imp}"
+        );
     }
 }

@@ -28,12 +28,20 @@ pub struct FilterConfig {
 impl FilterConfig {
     /// The paper's default: heterogeneity-aware, 25% entities.
     pub fn paper_default(capacity: usize) -> Self {
-        Self { capacity, entity_fraction: 0.25, heterogeneity_aware: true }
+        Self {
+            capacity,
+            entity_fraction: 0.25,
+            heterogeneity_aware: true,
+        }
     }
 
     /// The HET-KG-N ablation: plain frequency top-k.
     pub fn naive(capacity: usize) -> Self {
-        Self { capacity, entity_fraction: 0.0, heterogeneity_aware: false }
+        Self {
+            capacity,
+            entity_fraction: 0.0,
+            heterogeneity_aware: false,
+        }
     }
 }
 
@@ -66,11 +74,7 @@ impl HotSet {
 /// Algorithm 2: count frequencies in `accesses`, sort descending, keep the
 /// top-k under `config`'s capacity and split rules. Ties break toward lower
 /// key ids, so the result is deterministic.
-pub fn filter_hot_set(
-    accesses: &[ParamKey],
-    key_space: KeySpace,
-    config: &FilterConfig,
-) -> HotSet {
+pub fn filter_hot_set(accesses: &[ParamKey], key_space: KeySpace, config: &FilterConfig) -> HotSet {
     let mut counts: HashMap<ParamKey, u64> = HashMap::new();
     for &k in accesses {
         *counts.entry(k).or_insert(0) += 1;
@@ -84,15 +88,13 @@ pub fn filter_hot_set(
             relations.push((k, c));
         }
     }
-    let by_freq_desc =
-        |a: &(ParamKey, u64), b: &(ParamKey, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
+    let by_freq_desc = |a: &(ParamKey, u64), b: &(ParamKey, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
     entities.sort_by(by_freq_desc);
     relations.sort_by(by_freq_desc);
 
     if config.heterogeneity_aware {
-        let ent_quota =
-            ((config.capacity as f64 * config.entity_fraction).round() as usize)
-                .min(config.capacity);
+        let ent_quota = ((config.capacity as f64 * config.entity_fraction).round() as usize)
+            .min(config.capacity);
         let rel_quota = config.capacity - ent_quota;
         let take_e = ent_quota.min(entities.len());
         let take_r = rel_quota.min(relations.len());
@@ -102,8 +104,14 @@ pub fn filter_hot_set(
         let extra_e = spare.min(entities.len() - take_e);
         let extra_r = (spare - extra_e).min(relations.len() - take_r);
         HotSet {
-            entities: entities[..take_e + extra_e].iter().map(|&(k, _)| k).collect(),
-            relations: relations[..take_r + extra_r].iter().map(|&(k, _)| k).collect(),
+            entities: entities[..take_e + extra_e]
+                .iter()
+                .map(|&(k, _)| k)
+                .collect(),
+            relations: relations[..take_r + extra_r]
+                .iter()
+                .map(|&(k, _)| k)
+                .collect(),
         }
     } else {
         // Plain top-k over the merged list.
@@ -120,7 +128,10 @@ pub fn filter_hot_set(
                 rels.push(k);
             }
         }
-        HotSet { entities: ents, relations: rels }
+        HotSet {
+            entities: ents,
+            relations: rels,
+        }
     }
 }
 
@@ -162,7 +173,11 @@ mod tests {
     fn heterogeneity_split_reserves_entity_slots() {
         let ks = KeySpace::new(10, 2);
         let acc = skewed_accesses(ks);
-        let cfg = FilterConfig { capacity: 4, entity_fraction: 0.5, heterogeneity_aware: true };
+        let cfg = FilterConfig {
+            capacity: 4,
+            entity_fraction: 0.5,
+            heterogeneity_aware: true,
+        };
         let hot = filter_hot_set(&acc, ks, &cfg);
         assert_eq!(hot.entities.len(), 2);
         assert_eq!(hot.relations.len(), 2);
@@ -185,9 +200,14 @@ mod tests {
     fn spillover_fills_unused_quota() {
         let ks = KeySpace::new(10, 2);
         // Only entity accesses: relation quota must spill to entities.
-        let acc: Vec<ParamKey> =
-            (0..8u64).flat_map(|k| std::iter::repeat_n(ParamKey(k), (9 - k) as usize)).collect();
-        let cfg = FilterConfig { capacity: 6, entity_fraction: 0.25, heterogeneity_aware: true };
+        let acc: Vec<ParamKey> = (0..8u64)
+            .flat_map(|k| std::iter::repeat_n(ParamKey(k), (9 - k) as usize))
+            .collect();
+        let cfg = FilterConfig {
+            capacity: 6,
+            entity_fraction: 0.25,
+            heterogeneity_aware: true,
+        };
         let hot = filter_hot_set(&acc, ks, &cfg);
         assert_eq!(hot.len(), 6);
         assert!(hot.relations.is_empty());

@@ -44,7 +44,10 @@ impl CacheStats {
 
     /// Combine counters (e.g. across workers).
     pub fn merge(self, other: CacheStats) -> CacheStats {
-        CacheStats { hits: self.hits + other.hits, misses: self.misses + other.misses }
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
     }
 }
 

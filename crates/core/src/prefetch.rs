@@ -73,7 +73,11 @@ impl Prefetcher {
     /// Prefetcher producing batches of `batch_size` positives.
     pub fn new(batch_size: usize, key_space: KeySpace, seed: u64) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        Self { batch_size, key_space, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            batch_size,
+            key_space,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configured batch size.
@@ -94,7 +98,10 @@ impl Prefetcher {
             let j = self.rng.random_range(i..n);
             idx.swap(i, j);
         }
-        idx[..self.batch_size].iter().map(|&i| triples[i as usize]).collect()
+        idx[..self.batch_size]
+            .iter()
+            .map(|&i| triples[i as usize])
+            .collect()
     }
 
     /// Algorithm 1: prefetch `d` iterations from `triples`, corrupting with
@@ -112,7 +119,10 @@ impl Prefetcher {
             let positives = self.sample_batch(triples);
             let mut negatives = Vec::new();
             neg.corrupt_batch(&positives, &mut negatives);
-            let batch = MiniBatch { positives, negatives };
+            let batch = MiniBatch {
+                positives,
+                negatives,
+            };
             for t in batch
                 .positives
                 .iter()
@@ -145,7 +155,10 @@ mod tests {
         let ks = g.key_space();
         let neg = NegativeSampler::new(
             g.num_entities(),
-            NegConfig { per_positive: 2, strategy: NegStrategy::Independent },
+            NegConfig {
+                per_positive: 2,
+                strategy: NegStrategy::Independent,
+            },
             7,
         );
         (g.triples().to_vec(), ks, neg)
@@ -185,7 +198,10 @@ mod tests {
         let triples = vec![Triple::new(0, 0, 1)];
         let mut neg = NegativeSampler::new(
             4,
-            NegConfig { per_positive: 1, strategy: NegStrategy::Independent },
+            NegConfig {
+                per_positive: 1,
+                strategy: NegStrategy::Independent,
+            },
             1,
         );
         let mut p = Prefetcher::new(1, ks, 1);
@@ -222,7 +238,10 @@ mod tests {
         let mk = || {
             let mut neg = NegativeSampler::new(
                 100,
-                NegConfig { per_positive: 2, strategy: NegStrategy::Independent },
+                NegConfig {
+                    per_positive: 2,
+                    strategy: NegStrategy::Independent,
+                },
                 7,
             );
             let mut p = Prefetcher::new(8, ks, 5);

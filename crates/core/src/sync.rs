@@ -139,10 +139,16 @@ mod tests {
     fn client_and_store() -> (PsClient, Arc<KvStore>, Arc<TrafficMeter>) {
         let ks = KeySpace::new(8, 2);
         let router = ShardRouter::round_robin(ks, 2);
-        let store = Arc::new(KvStore::new(router, 4, 4, 0, Init::Uniform { bound: 0.1 }, 3));
+        let store = Arc::new(KvStore::new(
+            router,
+            4,
+            4,
+            0,
+            Init::Uniform { bound: 0.1 },
+            3,
+        ));
         let meter = Arc::new(TrafficMeter::new());
-        let client =
-            PsClient::new(0, ClusterTopology::new(2, 1), store.clone(), meter.clone());
+        let client = PsClient::new(0, ClusterTopology::new(2, 1), store.clone(), meter.clone());
         (client, store, meter)
     }
 
@@ -240,7 +246,10 @@ mod tests {
                 t.record_sync(iter);
             }
             let s = t.observe(iter);
-            assert!(s < cfg.period, "staleness {s} exceeded bound at iter {iter}");
+            assert!(
+                s < cfg.period,
+                "staleness {s} exceeded bound at iter {iter}"
+            );
         }
         assert_eq!(t.max_observed(), cfg.period - 1);
     }

@@ -52,10 +52,7 @@ impl HotEmbeddingTable {
             relation_slots: HashMap::with_capacity(relation_capacity),
             entities: EmbeddingTable::zeros(entity_capacity, entity_dim),
             relations: EmbeddingTable::zeros(relation_capacity, relation_dim),
-            entity_state: EmbeddingTable::zeros(
-                entity_capacity,
-                (entity_dim * state_width).max(1),
-            ),
+            entity_state: EmbeddingTable::zeros(entity_capacity, (entity_dim * state_width).max(1)),
             relation_state: EmbeddingTable::zeros(
                 relation_capacity,
                 (relation_dim * state_width).max(1),
@@ -103,9 +100,13 @@ impl HotEmbeddingTable {
     #[inline]
     pub fn get(&self, key: ParamKey) -> Option<&[f32]> {
         if self.key_space.is_entity(key) {
-            self.entity_slots.get(&key).map(|&s| self.entities.row(s as usize))
+            self.entity_slots
+                .get(&key)
+                .map(|&s| self.entities.row(s as usize))
         } else {
-            self.relation_slots.get(&key).map(|&s| self.relations.row(s as usize))
+            self.relation_slots
+                .get(&key)
+                .map(|&s| self.relations.row(s as usize))
         }
     }
 
@@ -114,16 +115,27 @@ impl HotEmbeddingTable {
     pub fn insert(&mut self, key: ParamKey, row: &[f32]) -> Result<(), CacheFull> {
         let is_entity = self.key_space.is_entity(key);
         let (slots, slab, capacity) = if is_entity {
-            (&mut self.entity_slots, &mut self.entities, self.entity_capacity)
+            (
+                &mut self.entity_slots,
+                &mut self.entities,
+                self.entity_capacity,
+            )
         } else {
-            (&mut self.relation_slots, &mut self.relations, self.relation_capacity)
+            (
+                &mut self.relation_slots,
+                &mut self.relations,
+                self.relation_capacity,
+            )
         };
         if let Some(&slot) = slots.get(&key) {
             slab.set_row(slot as usize, row);
             // insert() means "fresh cache entry": optimizer state restarts
             // too (refresh() is the value-only update).
-            let state =
-                if is_entity { &mut self.entity_state } else { &mut self.relation_state };
+            let state = if is_entity {
+                &mut self.entity_state
+            } else {
+                &mut self.relation_state
+            };
             state.row_mut(slot as usize).fill(0.0);
             return Ok(());
         }
@@ -134,7 +146,11 @@ impl HotEmbeddingTable {
         slots.insert(key, slot);
         slab.set_row(slot as usize, row);
         // Fresh rows start with fresh optimizer state.
-        let state = if is_entity { &mut self.entity_state } else { &mut self.relation_state };
+        let state = if is_entity {
+            &mut self.entity_state
+        } else {
+            &mut self.relation_state
+        };
         state.row_mut(slot as usize).fill(0.0);
         Ok(())
     }
@@ -158,17 +174,20 @@ impl HotEmbeddingTable {
 
     /// Apply a gradient to a cached row with `optimizer`, using the row's
     /// local optimizer state. Returns false when the key is not cached.
-    pub fn apply_grad(
-        &mut self,
-        key: ParamKey,
-        grad: &[f32],
-        optimizer: &dyn Optimizer,
-    ) -> bool {
+    pub fn apply_grad(&mut self, key: ParamKey, grad: &[f32], optimizer: &dyn Optimizer) -> bool {
         let is_entity = self.key_space.is_entity(key);
         let (slots, slab, state) = if is_entity {
-            (&self.entity_slots, &mut self.entities, &mut self.entity_state)
+            (
+                &self.entity_slots,
+                &mut self.entities,
+                &mut self.entity_state,
+            )
         } else {
-            (&self.relation_slots, &mut self.relations, &mut self.relation_state)
+            (
+                &self.relation_slots,
+                &mut self.relations,
+                &mut self.relation_state,
+            )
         };
         match slots.get(&key) {
             Some(&slot) => {

@@ -17,7 +17,11 @@ struct NaiveLru {
 
 impl NaiveLru {
     fn new(capacity: usize) -> Self {
-        Self { capacity, clock: 0, stamps: HashMap::new() }
+        Self {
+            capacity,
+            clock: 0,
+            stamps: HashMap::new(),
+        }
     }
 
     fn access(&mut self, key: ParamKey) -> bool {
@@ -50,7 +54,11 @@ struct NaiveLfu {
 
 impl NaiveLfu {
     fn new(capacity: usize) -> Self {
-        Self { capacity, clock: 0, entries: HashMap::new() }
+        Self {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+        }
     }
 
     fn access(&mut self, key: ParamKey) -> bool {

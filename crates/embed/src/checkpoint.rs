@@ -11,6 +11,17 @@
 //! history. A checkpoint without train state serializes as version 1,
 //! byte-identical to the original format, and the loader reads both
 //! versions (a v1 file simply has no train state).
+//!
+//! Version 3 is the crash-consistent on-disk format: the same tables and
+//! train state, but every region (header, each payload table) is followed
+//! by a 32-bit FNV-1a digest, so a torn write or bit rot is detected as a
+//! typed [`CheckpointError::ChecksumMismatch`] instead of being loaded as
+//! silently wrong embeddings. [`Checkpoint::save`] always writes v3 via
+//! write-temp → fsync → atomic-rename (plus a parent-directory fsync), so
+//! a crash mid-save can never leave a half-written file under the final
+//! name. [`Checkpoint::load`] reads all three versions. The in-memory wire
+//! encoding [`Checkpoint::to_bytes`] stays v1/v2 for compatibility with
+//! files written by earlier releases.
 
 use crate::storage::EmbeddingTable;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -20,6 +31,22 @@ use std::path::Path;
 const MAGIC: &[u8; 8] = b"HETKGCK\0";
 const VERSION_V1: u32 = 1;
 const VERSION_V2: u32 = 2;
+const VERSION_V3: u32 = 3;
+/// v3 flags word: bit 0 set when the checkpoint carries [`TrainState`].
+const FLAG_HAS_STATE: u32 = 1;
+
+/// 32-bit FNV-1a, resumable from a prior digest state. Same digest the wire
+/// frames use (`hetkg-netsim` is not a dependency of this crate, so the
+/// 4-line fold is inlined here).
+fn fnv1a_with(seed: u32, bytes: &[u8]) -> u32 {
+    bytes
+        .iter()
+        .fold(seed, |h, &b| (h ^ u32::from(b)).wrapping_mul(0x0100_0193))
+}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    fnv1a_with(0x811C_9DC5, bytes)
+}
 
 /// Errors from reading a checkpoint.
 #[derive(Debug)]
@@ -32,6 +59,19 @@ pub enum CheckpointError {
     BadVersion(u32),
     /// Header shape disagrees with payload length.
     Truncated,
+    /// A v3 section's stored digest disagrees with its contents (torn
+    /// write, bit rot, or tampering).
+    ChecksumMismatch {
+        /// Which region failed: `"header"`, `"entities"`, `"relations"`,
+        /// `"entity_state"`, or `"relation_state"`.
+        section: &'static str,
+    },
+    /// No checkpoint in a [`CheckpointStore`](crate::CheckpointStore)
+    /// manifest survived validation.
+    NoValidCheckpoint {
+        /// How many manifest entries were tried (and failed).
+        tried: usize,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -41,6 +81,12 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not a HET-KG checkpoint (bad magic)"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
+            CheckpointError::ChecksumMismatch { section } => {
+                write!(f, "checkpoint section `{section}` failed its checksum")
+            }
+            CheckpointError::NoValidCheckpoint { tried } => {
+                write!(f, "no valid checkpoint in manifest ({tried} entries tried)")
+            }
         }
     }
 }
@@ -83,7 +129,11 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Wrap two tables (no train state; serializes as version 1).
     pub fn new(entities: EmbeddingTable, relations: EmbeddingTable) -> Self {
-        Self { entities, relations, train_state: None }
+        Self {
+            entities,
+            relations,
+            train_state: None,
+        }
     }
 
     /// Wrap two tables plus resumable train state (serializes as version 2).
@@ -92,7 +142,11 @@ impl Checkpoint {
         relations: EmbeddingTable,
         train_state: TrainState,
     ) -> Self {
-        Self { entities, relations, train_state: Some(train_state) }
+        Self {
+            entities,
+            relations,
+            train_state: Some(train_state),
+        }
     }
 
     /// Serialize to bytes.
@@ -134,12 +188,61 @@ impl Checkpoint {
         buf.freeze()
     }
 
-    /// Deserialize from bytes (reads both v1 and v2).
+    /// Serialize to the checked v3 format: v2's fields plus a FNV-1a digest
+    /// after the header and after each payload table. This is what
+    /// [`save`](Checkpoint::save) puts on disk.
+    pub fn to_bytes_checked(&self) -> Bytes {
+        let payload = 4 * (self.entities.as_slice().len() + self.relations.as_slice().len());
+        let mut buf = BytesMut::with_capacity(8 + 4 + 4 + 4 * (8 + 4) + 5 * 4 + payload);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V3);
+        buf.put_u32_le(if self.train_state.is_some() {
+            FLAG_HAS_STATE
+        } else {
+            0
+        });
+        buf.put_u64_le(self.entities.rows() as u64);
+        buf.put_u32_le(self.entities.dim() as u32);
+        buf.put_u64_le(self.relations.rows() as u64);
+        buf.put_u32_le(self.relations.dim() as u32);
+        if let Some(ts) = &self.train_state {
+            buf.put_u64_le(ts.epoch);
+            buf.put_u32_le(ts.optimizer.len() as u32);
+            buf.put_slice(ts.optimizer.as_bytes());
+            buf.put_u64_le(ts.entity_state.rows() as u64);
+            buf.put_u32_le(ts.entity_state.dim() as u32);
+            buf.put_u64_le(ts.relation_state.rows() as u64);
+            buf.put_u32_le(ts.relation_state.dim() as u32);
+        }
+        let header_crc = fnv1a(&buf[..]);
+        buf.put_u32_le(header_crc);
+
+        let mut put_table = |buf: &mut BytesMut, t: &EmbeddingTable| {
+            let start = buf.len();
+            for &v in t.as_slice() {
+                buf.put_f32_le(v);
+            }
+            let crc = fnv1a(&buf[start..]);
+            buf.put_u32_le(crc);
+        };
+        put_table(&mut buf, &self.entities);
+        put_table(&mut buf, &self.relations);
+        if let Some(ts) = &self.train_state {
+            put_table(&mut buf, &ts.entity_state);
+            put_table(&mut buf, &ts.relation_state);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from bytes (reads v1, v2, and the checked v3 format).
     pub fn from_bytes(mut data: Bytes) -> Result<Self, CheckpointError> {
         if data.remaining() < 8 + 4 || &data.copy_to_bytes(8)[..] != MAGIC {
             return Err(CheckpointError::BadMagic);
         }
         let version = data.get_u32_le();
+        if version == VERSION_V3 {
+            return Self::from_bytes_v3(&data);
+        }
         if version != VERSION_V1 && version != VERSION_V2 {
             return Err(CheckpointError::BadVersion(version));
         }
@@ -204,19 +307,141 @@ impl Checkpoint {
         };
         let entities = read_table(ent_rows, ent_dim);
         let relations = read_table(rel_rows, rel_dim);
-        let train_state = state_header.map(|(epoch, optimizer, es_rows, es_dim, rs_rows, rs_dim)| {
-            let entity_state = read_table(es_rows, es_dim);
-            let relation_state = read_table(rs_rows, rs_dim);
-            TrainState { epoch, optimizer, entity_state, relation_state }
-        });
-        Ok(Self { entities, relations, train_state })
+        let train_state =
+            state_header.map(|(epoch, optimizer, es_rows, es_dim, rs_rows, rs_dim)| {
+                let entity_state = read_table(es_rows, es_dim);
+                let relation_state = read_table(rs_rows, rs_dim);
+                TrainState {
+                    epoch,
+                    optimizer,
+                    entity_state,
+                    relation_state,
+                }
+            });
+        Ok(Self {
+            entities,
+            relations,
+            train_state,
+        })
     }
 
-    /// Write to a file.
+    /// Parse the checked v3 body (`data` starts right after magic + version).
+    fn from_bytes_v3(data: &[u8]) -> Result<Self, CheckpointError> {
+        struct Cur<'a> {
+            buf: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> Cur<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+                let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+                if end > self.buf.len() {
+                    return Err(CheckpointError::Truncated);
+                }
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            fn u32(&mut self) -> Result<u32, CheckpointError> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u64(&mut self) -> Result<u64, CheckpointError> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+        }
+
+        let mut cur = Cur { buf: data, pos: 0 };
+        let flags = cur.u32()?;
+        let ent_rows = cur.u64()? as usize;
+        let ent_dim = cur.u32()? as usize;
+        let rel_rows = cur.u64()? as usize;
+        let rel_dim = cur.u32()? as usize;
+        if ent_dim == 0 || rel_dim == 0 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut state_header = None;
+        if flags & FLAG_HAS_STATE != 0 {
+            let epoch = cur.u64()?;
+            let opt_len = cur.u32()? as usize;
+            let optimizer = String::from_utf8(cur.take(opt_len)?.to_vec())
+                .map_err(|_| CheckpointError::Truncated)?;
+            let es_rows = cur.u64()? as usize;
+            let es_dim = cur.u32()? as usize;
+            let rs_rows = cur.u64()? as usize;
+            let rs_dim = cur.u32()? as usize;
+            if es_dim == 0 || rs_dim == 0 {
+                return Err(CheckpointError::Truncated);
+            }
+            state_header = Some((epoch, optimizer, es_rows, es_dim, rs_rows, rs_dim));
+        }
+        // The header digest covers magic + version + everything up to here.
+        let mut pre = [0u8; 12];
+        pre[..8].copy_from_slice(MAGIC);
+        pre[8..].copy_from_slice(&VERSION_V3.to_le_bytes());
+        let computed = fnv1a_with(fnv1a(&pre), &data[..cur.pos]);
+        if cur.u32()? != computed {
+            return Err(CheckpointError::ChecksumMismatch { section: "header" });
+        }
+
+        let read_table = |cur: &mut Cur<'_>, rows: usize, dim: usize, section: &'static str| {
+            let bytes = rows
+                .checked_mul(dim)
+                .and_then(|c| c.checked_mul(4))
+                .ok_or(CheckpointError::Truncated)?;
+            let raw = cur.take(bytes)?;
+            if cur.u32()? != fnv1a(raw) {
+                return Err(CheckpointError::ChecksumMismatch { section });
+            }
+            let values = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok::<_, CheckpointError>(EmbeddingTable::from_data(dim, values))
+        };
+        let entities = read_table(&mut cur, ent_rows, ent_dim, "entities")?;
+        let relations = read_table(&mut cur, rel_rows, rel_dim, "relations")?;
+        let train_state = match state_header {
+            None => None,
+            Some((epoch, optimizer, es_rows, es_dim, rs_rows, rs_dim)) => {
+                let entity_state = read_table(&mut cur, es_rows, es_dim, "entity_state")?;
+                let relation_state = read_table(&mut cur, rs_rows, rs_dim, "relation_state")?;
+                Some(TrainState {
+                    epoch,
+                    optimizer,
+                    entity_state,
+                    relation_state,
+                })
+            }
+        };
+        Ok(Self {
+            entities,
+            relations,
+            train_state,
+        })
+    }
+
+    /// Write to a file, crash-consistently: the checked v3 bytes go to a
+    /// sibling temp file, are fsynced, and are atomically renamed over
+    /// `path`; the parent directory is then fsynced (best-effort) so the
+    /// rename itself is durable. A crash at any instant leaves either the
+    /// old file or the new one under `path` — never a torn mix.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        file.write_all(&self.to_bytes())?;
-        file.flush()?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&self.to_bytes_checked())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Directory fsync is required for rename durability on Linux but
+            // unsupported on some platforms/filesystems; failure to sync the
+            // directory does not un-write the checkpoint.
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         Ok(())
     }
 
@@ -333,5 +558,114 @@ mod tests {
         let back = Checkpoint::from_bytes(ck.to_bytes()).unwrap();
         assert_eq!(back.entities.rows(), 0);
         assert_eq!(back.relations.dim(), 2);
+    }
+
+    #[test]
+    fn v3_round_trips_with_and_without_state() {
+        for ck in [sample(), sample_v2()] {
+            let bytes = ck.to_bytes_checked();
+            assert_eq!(&bytes[8..12], &3u32.to_le_bytes(), "version 3 on the wire");
+            let back = Checkpoint::from_bytes(bytes).unwrap();
+            assert_eq!(back, ck);
+        }
+    }
+
+    #[test]
+    fn v3_empty_tables_round_trip() {
+        let ck = Checkpoint::new(EmbeddingTable::zeros(0, 3), EmbeddingTable::zeros(0, 2));
+        let back = Checkpoint::from_bytes(ck.to_bytes_checked()).unwrap();
+        assert_eq!(back.entities.rows(), 0);
+        assert_eq!(back.relations.dim(), 2);
+    }
+
+    #[test]
+    fn v3_detects_payload_corruption_with_section() {
+        let ck = sample_v2();
+        let clean = ck.to_bytes_checked().to_vec();
+        // Flip one byte in the middle of the entities payload (which starts
+        // right after the header + its CRC) and expect the right section.
+        let ent_bytes = 4 * ck.entities.as_slice().len();
+        let payload_start = clean.len()
+            - (ent_bytes + 4)
+            - (4 * ck.relations.as_slice().len() + 4)
+            - ck.train_state
+                .as_ref()
+                .map(|ts| {
+                    4 * ts.entity_state.as_slice().len()
+                        + 4
+                        + 4 * ts.relation_state.as_slice().len()
+                        + 4
+                })
+                .unwrap_or(0);
+        let mut raw = clean.clone();
+        raw[payload_start + ent_bytes / 2] ^= 0x10;
+        match Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err() {
+            CheckpointError::ChecksumMismatch { section } => assert_eq!(section, "entities"),
+            e => panic!("expected checksum mismatch, got {e}"),
+        }
+        // Same flip in the relations payload names that section instead.
+        let mut raw = clean.clone();
+        raw[payload_start + ent_bytes + 4 + 2] ^= 0x01;
+        match Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err() {
+            CheckpointError::ChecksumMismatch { section } => assert_eq!(section, "relations"),
+            e => panic!("expected checksum mismatch, got {e}"),
+        }
+    }
+
+    #[test]
+    fn v3_detects_header_corruption() {
+        let ck = sample_v2();
+        let mut raw = ck.to_bytes_checked().to_vec();
+        raw[16] ^= 0x02; // ent_rows low byte
+        let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::ChecksumMismatch { section: "header" }
+                    | CheckpointError::Truncated
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn v3_every_truncation_point_errors_without_panic() {
+        let bytes = sample_v2().to_bytes_checked();
+        for cut in 0..bytes.len() {
+            let err = Checkpoint::from_bytes(bytes.slice(..cut)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated
+                        | CheckpointError::BadMagic
+                        | CheckpointError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_writes_v3_and_leaves_no_temp_file() {
+        let ck = sample_v2();
+        let dir = std::env::temp_dir().join(format!("hetkg-ck-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ck");
+        ck.save(&path).unwrap();
+        // Overwrite in place: the save must go through the temp + rename.
+        ck.save(&path).unwrap();
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["model.ck".to_string()],
+            "no temp residue: {names:?}"
+        );
+        let raw = std::fs::read(&path).unwrap();
+        assert_eq!(&raw[8..12], &3u32.to_le_bytes());
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -25,7 +25,9 @@ pub enum Init {
 impl Init {
     /// The DGL-KE default: uniform with bound `gamma / dim`.
     pub fn dglke_default(gamma: f32, dim: usize) -> Self {
-        Init::Uniform { bound: gamma / dim as f32 }
+        Init::Uniform {
+            bound: gamma / dim as f32,
+        }
     }
 
     /// Fill `table` in place, deterministically from `seed`.

@@ -36,10 +36,12 @@ pub mod checkpoint;
 pub mod gradcheck;
 pub mod init;
 pub mod loss;
+pub mod manifest;
 pub mod math;
 pub mod models;
 pub mod negative;
 pub mod storage;
 
+pub use manifest::{CheckpointStore, LoadedCheckpoint, ManifestEntry};
 pub use models::{KgeModel, ModelKind};
 pub use storage::EmbeddingTable;

@@ -1,0 +1,322 @@
+//! A directory of recent checkpoints with a recovery manifest.
+//!
+//! [`CheckpointStore`] owns a directory, writes each checkpoint through the
+//! crash-consistent [`Checkpoint::save`] path, and appends one line per
+//! save to a plain-text manifest. Recovery walks the manifest newest-first
+//! and returns the first checkpoint that still validates (magic, shapes,
+//! and every v3 section CRC), counting how many entries it had to skip —
+//! so a torn or rotted latest checkpoint degrades to the previous one with
+//! a typed error trail instead of a panic or a silent partial load.
+//!
+//! The manifest is append-mostly and line-oriented on purpose: a torn
+//! manifest tail parses as "skip the malformed line", never as a wrong
+//! entry. Pruning (bounded retention) rewrites it through the same
+//! temp-file + rename protocol the checkpoints use.
+//!
+//! For fault drills the store can deliberately *tear* its n-th save —
+//! writing a truncated image under the final name while still recording it
+//! in the manifest, as if the medium lied about durability — which is how
+//! the trainer's torn-write recovery test forces the fallback path.
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MANIFEST: &str = "manifest.txt";
+/// Manifest record version tag (first token of every line).
+const RECORD_TAG: &str = "1";
+
+/// One manifest line: a checkpoint file and the epoch it captured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Monotone save sequence number (disambiguates re-saves of an epoch
+    /// after recovery).
+    pub seq: u64,
+    /// Completed epochs at save time.
+    pub epoch: u64,
+    /// File name inside the store directory.
+    pub file: String,
+}
+
+/// A checkpoint recovered from the store.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// Epoch recorded in the manifest for this checkpoint.
+    pub epoch: u64,
+    /// Manifest entries that failed validation before this one loaded
+    /// (newest-first walk).
+    pub skipped: usize,
+    /// The checkpoint itself.
+    pub checkpoint: Checkpoint,
+}
+
+/// A bounded directory of checkpoints plus the manifest describing them.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+    next_seq: u64,
+    torn: Option<u64>,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store at `dir`, retaining at most `keep`
+    /// checkpoints. Re-opening an existing store resumes its sequence
+    /// numbering from the manifest.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, CheckpointError> {
+        assert!(
+            keep >= 1,
+            "a checkpoint store must retain at least one checkpoint"
+        );
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut store = Self {
+            dir,
+            keep,
+            next_seq: 0,
+            torn: None,
+        };
+        store.next_seq = store
+            .entries()?
+            .iter()
+            .map(|e| e.seq + 1)
+            .max()
+            .unwrap_or(0);
+        Ok(store)
+    }
+
+    /// Fault drill: tear (truncate mid-write) the save with sequence number
+    /// `seq`, while still recording it in the manifest.
+    pub fn with_torn_write(mut self, seq: Option<u64>) -> Self {
+        self.torn = seq;
+        self
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Save a checkpoint taken after `epoch` completed epochs, record it in
+    /// the manifest, and prune beyond the retention bound. Returns the
+    /// checkpoint's path.
+    pub fn save(&mut self, ck: &Checkpoint, epoch: u64) -> Result<PathBuf, CheckpointError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let file = format!("ck-{seq:06}-e{epoch}.bin");
+        let path = self.dir.join(&file);
+        if self.torn == Some(seq) {
+            // Simulate a medium that acknowledged the write but persisted
+            // only a prefix: the final name exists, the image does not
+            // validate, and the manifest still advertises it.
+            let full = ck.to_bytes_checked();
+            std::fs::write(&path, &full[..full.len() * 2 / 3])?;
+        } else {
+            ck.save(&path)?;
+        }
+        self.append_manifest(seq, epoch, &file)?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// All manifest entries, oldest first. Malformed lines (torn manifest
+    /// tail) are skipped, not errors.
+    pub fn entries(&self) -> Result<Vec<ManifestEntry>, CheckpointError> {
+        let path = self.dir.join(MANIFEST);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            let (tag, seq, epoch, file) = (it.next(), it.next(), it.next(), it.next());
+            if tag != Some(RECORD_TAG) || it.next().is_some() {
+                continue;
+            }
+            let (Some(seq), Some(epoch), Some(file)) = (seq, epoch, file) else {
+                continue;
+            };
+            let (Ok(seq), Ok(epoch)) = (seq.parse(), epoch.parse()) else {
+                continue;
+            };
+            entries.push(ManifestEntry {
+                seq,
+                epoch,
+                file: file.to_string(),
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Recover the newest checkpoint that validates, skipping (and
+    /// counting) entries whose files are missing, torn, or corrupt.
+    pub fn load_latest(&self) -> Result<LoadedCheckpoint, CheckpointError> {
+        let entries = self.entries()?;
+        let mut skipped = 0;
+        for entry in entries.iter().rev() {
+            match Checkpoint::load(&self.dir.join(&entry.file)) {
+                Ok(checkpoint) => {
+                    return Ok(LoadedCheckpoint {
+                        epoch: entry.epoch,
+                        skipped,
+                        checkpoint,
+                    })
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        Err(CheckpointError::NoValidCheckpoint { tried: skipped })
+    }
+
+    fn append_manifest(&self, seq: u64, epoch: u64, file: &str) -> Result<(), CheckpointError> {
+        let path = self.dir.join(MANIFEST);
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{RECORD_TAG} {seq} {epoch} {file}")?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn prune(&self) -> Result<(), CheckpointError> {
+        let entries = self.entries()?;
+        if entries.len() <= self.keep {
+            return Ok(());
+        }
+        let cut = entries.len() - self.keep;
+        let (drop, keep) = entries.split_at(cut);
+        let tmp = self.dir.join(format!("{MANIFEST}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            for e in keep {
+                writeln!(f, "{RECORD_TAG} {} {} {}", e.seq, e.epoch, e.file)?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        for e in drop {
+            // A file may be shared with a kept entry only if names collide,
+            // which seq uniqueness rules out; removal failures are not fatal
+            // to recovery (the manifest no longer references the file).
+            let _ = std::fs::remove_file(self.dir.join(&e.file));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::storage::EmbeddingTable;
+
+    fn ck(tag: f32) -> Checkpoint {
+        let mut entities = EmbeddingTable::zeros(5, 4);
+        let mut relations = EmbeddingTable::zeros(2, 4);
+        Init::Uniform { bound: 0.5 }.fill(&mut entities, 1);
+        Init::Uniform { bound: 0.5 }.fill(&mut relations, 2);
+        entities.row_mut(0)[0] = tag;
+        Checkpoint::new(entities, relations)
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hetkg-store-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip_with_retention() {
+        let dir = tmp_dir("retain");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        for epoch in 0..5u64 {
+            store.save(&ck(epoch as f32), epoch).unwrap();
+        }
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 2, "retention bound enforced");
+        assert_eq!(
+            entries.iter().map(|e| e.epoch).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.epoch, 4);
+        assert_eq!(loaded.skipped, 0);
+        assert_eq!(loaded.checkpoint.entities.row(0)[0], 4.0);
+        // Pruned files are actually gone.
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n != "manifest.txt")
+            .collect();
+        assert_eq!(files.len(), 2, "{files:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_latest_falls_back_to_previous_valid() {
+        let dir = tmp_dir("torn");
+        let mut store = CheckpointStore::open(&dir, 3)
+            .unwrap()
+            .with_torn_write(Some(2));
+        for epoch in 0..3u64 {
+            store.save(&ck(epoch as f32), epoch).unwrap();
+        }
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.epoch, 1, "fell back past the torn save");
+        assert_eq!(loaded.skipped, 1);
+        assert_eq!(loaded.checkpoint.entities.row(0)[0], 1.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_torn_is_a_typed_error_not_a_panic() {
+        let dir = tmp_dir("all-torn");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        store.save(&ck(0.0), 0).unwrap();
+        // Rot every checkpoint file behind the manifest's back.
+        for e in store.entries().unwrap() {
+            let p = dir.join(&e.file);
+            let raw = std::fs::read(&p).unwrap();
+            std::fs::write(&p, &raw[..raw.len() / 2]).unwrap();
+        }
+        match store.load_latest() {
+            Err(CheckpointError::NoValidCheckpoint { tried }) => assert_eq!(tried, 1),
+            other => panic!("expected NoValidCheckpoint, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_resumes_sequence_numbers() {
+        let dir = tmp_dir("reopen");
+        let mut store = CheckpointStore::open(&dir, 4).unwrap();
+        store.save(&ck(0.0), 0).unwrap();
+        store.save(&ck(1.0), 1).unwrap();
+        drop(store);
+        let mut store = CheckpointStore::open(&dir, 4).unwrap();
+        store.save(&ck(2.0), 2).unwrap();
+        let seqs: Vec<_> = store.entries().unwrap().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_manifest_tail_is_skipped() {
+        let dir = tmp_dir("manifest-tail");
+        let mut store = CheckpointStore::open(&dir, 4).unwrap();
+        store.save(&ck(0.0), 0).unwrap();
+        // Simulate a crash mid-append: a partial line with no file name.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("manifest.txt"))
+            .unwrap();
+        write!(f, "1 1 1").unwrap();
+        drop(f);
+        assert_eq!(store.entries().unwrap().len(), 1);
+        assert_eq!(store.load_latest().unwrap().epoch, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

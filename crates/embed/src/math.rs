@@ -143,7 +143,12 @@ mod tests {
     #[test]
     fn residual_matches_definition() {
         let mut out = [0.0; 3];
-        translation_residual(&[1.0, 2.0, 3.0], &[0.5, 0.5, 0.5], &[1.0, 1.0, 1.0], &mut out);
+        translation_residual(
+            &[1.0, 2.0, 3.0],
+            &[0.5, 0.5, 0.5],
+            &[1.0, 1.0, 1.0],
+            &mut out,
+        );
         assert_eq!(out, [0.5, 1.5, 2.5]);
     }
 

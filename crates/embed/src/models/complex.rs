@@ -110,7 +110,10 @@ mod tests {
         let t = [-0.3, 0.9, 0.2, 0.5];
         let fwd = m.score(&h, &r, &t);
         let bwd = m.score(&t, &r, &h);
-        assert!((fwd - bwd).abs() > 1e-4, "expected asymmetry, got {fwd} vs {bwd}");
+        assert!(
+            (fwd - bwd).abs() > 1e-4,
+            "expected asymmetry, got {fwd} vs {bwd}"
+        );
     }
 
     #[test]

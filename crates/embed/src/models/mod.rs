@@ -166,12 +166,15 @@ mod tests {
         for kind in ModelKind::all() {
             let m = kind.build(6);
             for trial in 0..3 {
-                let h: Vec<f32> =
-                    (0..m.entity_dim()).map(|_| rng.random_range(-0.8..0.8)).collect();
-                let r: Vec<f32> =
-                    (0..m.relation_dim()).map(|_| rng.random_range(-0.8..0.8)).collect();
-                let t: Vec<f32> =
-                    (0..m.entity_dim()).map(|_| rng.random_range(-0.8..0.8)).collect();
+                let h: Vec<f32> = (0..m.entity_dim())
+                    .map(|_| rng.random_range(-0.8..0.8))
+                    .collect();
+                let r: Vec<f32> = (0..m.relation_dim())
+                    .map(|_| rng.random_range(-0.8..0.8))
+                    .collect();
+                let t: Vec<f32> = (0..m.entity_dim())
+                    .map(|_| rng.random_range(-0.8..0.8))
+                    .collect();
                 check_model_grads(m.as_ref(), &h, &r, &t)
                     .unwrap_or_else(|e| panic!("{kind} trial {trial}: {e}"));
             }

@@ -103,7 +103,9 @@ mod tests {
         let m = Rescal::new(d);
         let h = [0.3, -0.4, 0.5];
         let t = [-0.1, 0.6, 0.2];
-        let r: Vec<f32> = (0..d * d).map(|i| ((i as f32) * 0.53).cos() * 0.5).collect();
+        let r: Vec<f32> = (0..d * d)
+            .map(|i| ((i as f32) * 0.53).cos() * 0.5)
+            .collect();
         check_model_grads(&m, &h, &r, &t).unwrap();
     }
 }

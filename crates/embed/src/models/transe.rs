@@ -158,6 +158,10 @@ mod tests {
         let mut gr = [0.0; 2];
         let mut gt = [0.0; 2];
         m.grad(&h, &r, &t, 1.0, &mut gh, &mut gr, &mut gt);
-        assert!(gh.iter().chain(&gr).chain(&gt).all(|v| v.is_finite() && *v == 0.0));
+        assert!(gh
+            .iter()
+            .chain(&gr)
+            .chain(&gt)
+            .all(|v| v.is_finite() && *v == 0.0));
     }
 }

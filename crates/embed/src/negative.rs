@@ -49,7 +49,10 @@ pub struct NegConfig {
 
 impl Default for NegConfig {
     fn default() -> Self {
-        Self { per_positive: 8, strategy: NegStrategy::Chunked { chunk_size: 32 } }
+        Self {
+            per_positive: 8,
+            strategy: NegStrategy::Chunked { chunk_size: 32 },
+        }
     }
 }
 
@@ -74,11 +77,18 @@ impl NegativeSampler {
     /// Sampler over `num_entities` entities, seeded for reproducibility.
     pub fn new(num_entities: usize, config: NegConfig, seed: u64) -> Self {
         assert!(num_entities >= 2, "corruption needs at least two entities");
-        assert!(config.per_positive > 0, "need at least one negative per positive");
+        assert!(
+            config.per_positive > 0,
+            "need at least one negative per positive"
+        );
         if let NegStrategy::Chunked { chunk_size } = config.strategy {
             assert!(chunk_size > 0, "chunk size must be positive");
         }
-        Self { num_entities: num_entities as u32, config, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            num_entities: num_entities as u32,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configuration in use.
@@ -97,7 +107,11 @@ impl NegativeSampler {
             NegStrategy::Independent => {
                 for (i, &p) in positives.iter().enumerate() {
                     for k in 0..self.config.per_positive {
-                        let slot = if (i + k) % 2 == 0 { CorruptSlot::Head } else { CorruptSlot::Tail };
+                        let slot = if (i + k) % 2 == 0 {
+                            CorruptSlot::Head
+                        } else {
+                            CorruptSlot::Tail
+                        };
                         let e = self.draw_entity_not(match slot {
                             CorruptSlot::Head => p.head,
                             CorruptSlot::Tail => p.tail,
@@ -116,7 +130,11 @@ impl NegativeSampler {
                     let shared: Vec<EntityId> = (0..self.config.per_positive)
                         .map(|_| EntityId(self.rng.random_range(0..self.num_entities)))
                         .collect();
-                    let slot = if ci % 2 == 0 { CorruptSlot::Head } else { CorruptSlot::Tail };
+                    let slot = if ci % 2 == 0 {
+                        CorruptSlot::Head
+                    } else {
+                        CorruptSlot::Tail
+                    };
                     for &p in chunk {
                         for &e in &shared {
                             // Skip degenerate corruption equal to the original.
@@ -169,14 +187,19 @@ mod tests {
     use super::*;
 
     fn positives(n: usize) -> Vec<Triple> {
-        (0..n as u32).map(|i| Triple::new(i % 50, i % 5, (i + 7) % 50)).collect()
+        (0..n as u32)
+            .map(|i| Triple::new(i % 50, i % 5, (i + 7) % 50))
+            .collect()
     }
 
     #[test]
     fn independent_produces_expected_count() {
         let mut s = NegativeSampler::new(
             50,
-            NegConfig { per_positive: 4, strategy: NegStrategy::Independent },
+            NegConfig {
+                per_positive: 4,
+                strategy: NegStrategy::Independent,
+            },
             1,
         );
         let pos = positives(10);
@@ -189,7 +212,10 @@ mod tests {
     fn chunked_produces_expected_count() {
         let mut s = NegativeSampler::new(
             50,
-            NegConfig { per_positive: 4, strategy: NegStrategy::Chunked { chunk_size: 8 } },
+            NegConfig {
+                per_positive: 4,
+                strategy: NegStrategy::Chunked { chunk_size: 8 },
+            },
             1,
         );
         let pos = positives(16);
@@ -200,9 +226,18 @@ mod tests {
 
     #[test]
     fn negatives_differ_from_their_positive() {
-        for strategy in [NegStrategy::Independent, NegStrategy::Chunked { chunk_size: 4 }] {
-            let mut s =
-                NegativeSampler::new(50, NegConfig { per_positive: 8, strategy }, 2);
+        for strategy in [
+            NegStrategy::Independent,
+            NegStrategy::Chunked { chunk_size: 4 },
+        ] {
+            let mut s = NegativeSampler::new(
+                50,
+                NegConfig {
+                    per_positive: 8,
+                    strategy,
+                },
+                2,
+            );
             let pos = positives(20);
             let mut out = Vec::new();
             s.corrupt_batch(&pos, &mut out);
@@ -212,7 +247,9 @@ mod tests {
                 // not identical to any positive in the batch with the same
                 // relation+uncorrupted slots.
                 match n.slot {
-                    CorruptSlot::Head => assert!(!pos.contains(&n.triple) || n.triple.head != n.triple.tail),
+                    CorruptSlot::Head => {
+                        assert!(!pos.contains(&n.triple) || n.triple.head != n.triple.tail)
+                    }
                     CorruptSlot::Tail => {}
                 }
             }
@@ -231,7 +268,10 @@ mod tests {
     fn corruption_entity_actually_changes() {
         let mut s = NegativeSampler::new(
             10,
-            NegConfig { per_positive: 16, strategy: NegStrategy::Independent },
+            NegConfig {
+                per_positive: 16,
+                strategy: NegStrategy::Independent,
+            },
             3,
         );
         let p = Triple::new(3, 0, 7);
@@ -249,28 +289,39 @@ mod tests {
     fn chunked_shares_corruptions_within_chunk() {
         let mut s = NegativeSampler::new(
             1000,
-            NegConfig { per_positive: 3, strategy: NegStrategy::Chunked { chunk_size: 4 } },
+            NegConfig {
+                per_positive: 3,
+                strategy: NegStrategy::Chunked { chunk_size: 4 },
+            },
             5,
         );
         let pos = positives(4); // one chunk
         let mut out = Vec::new();
         s.corrupt_batch(&pos, &mut out);
         // All 4 positives × 3 negatives use the same 3 corrupting heads.
-        let heads: std::collections::HashSet<u32> =
-            out.iter().map(|n| n.triple.head.0).collect();
-        assert!(heads.len() <= 3 + 1, "expected shared corruption set, got {heads:?}");
+        let heads: std::collections::HashSet<u32> = out.iter().map(|n| n.triple.head.0).collect();
+        assert!(
+            heads.len() <= 3 + 1,
+            "expected shared corruption set, got {heads:?}"
+        );
     }
 
     #[test]
     fn corruption_draws_reflects_complexity_reduction() {
         let ind = NegativeSampler::new(
             100,
-            NegConfig { per_positive: 8, strategy: NegStrategy::Independent },
+            NegConfig {
+                per_positive: 8,
+                strategy: NegStrategy::Independent,
+            },
             1,
         );
         let chk = NegativeSampler::new(
             100,
-            NegConfig { per_positive: 8, strategy: NegStrategy::Chunked { chunk_size: 32 } },
+            NegConfig {
+                per_positive: 8,
+                strategy: NegStrategy::Chunked { chunk_size: 32 },
+            },
             1,
         );
         assert_eq!(ind.corruption_draws(128), 1024);
@@ -279,7 +330,10 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let cfg = NegConfig { per_positive: 4, strategy: NegStrategy::Independent };
+        let cfg = NegConfig {
+            per_positive: 4,
+            strategy: NegStrategy::Independent,
+        };
         let pos = positives(8);
         let mut a = Vec::new();
         let mut b = Vec::new();

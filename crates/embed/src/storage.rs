@@ -17,7 +17,10 @@ impl EmbeddingTable {
     /// A zero-initialized table.
     pub fn zeros(rows: usize, dim: usize) -> Self {
         assert!(dim > 0, "embedding dimension must be positive");
-        Self { dim, data: vec![0.0; rows * dim] }
+        Self {
+            dim,
+            data: vec![0.0; rows * dim],
+        }
     }
 
     /// Build from existing data. `data.len()` must be a multiple of `dim`.

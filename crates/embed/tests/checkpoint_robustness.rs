@@ -137,11 +137,45 @@ fn v2_round_trips_epoch_and_optimizer_state() {
 
 #[test]
 fn flipped_payload_bytes_still_parse_but_differ() {
-    // Payload corruption is not detectable without a digest (documented
-    // limitation) — but it must never crash the parser.
+    // In the legacy v1/v2 encodings payload corruption is not detectable
+    // (no digest) — it must parse without crashing, just to different
+    // values. The checked v3 format closes this hole (next test).
     let mut raw = v2().to_bytes().to_vec();
     let last = raw.len() - 1;
     raw[last] ^= 0xFF;
     let back = Checkpoint::from_bytes(Bytes::from(raw)).unwrap();
     assert_ne!(back, v2());
+}
+
+#[test]
+fn v3_catches_the_flip_v2_cannot_see() {
+    // The exact same last-byte flip, applied to the checked encoding, is a
+    // typed checksum error instead of silently different embeddings.
+    let mut raw = v2().to_bytes_checked().to_vec();
+    let last = raw.len() - 1;
+    raw[last] ^= 0xFF;
+    let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::ChecksumMismatch { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn saved_files_validate_end_to_end() {
+    // `save` writes the checked format; a byte of rot anywhere in the file
+    // is caught at load time.
+    let path = tmp_path("rot");
+    v2().save(&path).unwrap();
+    let clean = std::fs::read(&path).unwrap();
+    for pos in [12, clean.len() / 2, clean.len() - 1] {
+        let mut rotted = clean.clone();
+        rotted[pos] ^= 0x40;
+        std::fs::write(&path, &rotted).unwrap();
+        assert!(
+            Checkpoint::load(&path).is_err(),
+            "rot at byte {pos} went unnoticed"
+        );
+    }
+    std::fs::remove_file(&path).ok();
 }

@@ -30,9 +30,16 @@ impl EvalBreakdown {
     /// Relations sorted by ascending MRR — the model's weakest predicates
     /// first. Ties break by relation id.
     pub fn hardest_relations(&self) -> Vec<(RelationId, f64)> {
-        let mut v: Vec<(RelationId, f64)> =
-            self.per_relation.iter().map(|(&r, m)| (r, m.mrr())).collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("mrr is finite").then(a.0.cmp(&b.0)));
+        let mut v: Vec<(RelationId, f64)> = self
+            .per_relation
+            .iter()
+            .map(|(&r, m)| (r, m.mrr()))
+            .collect();
+        v.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("mrr is finite")
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 }
@@ -62,8 +69,9 @@ pub fn evaluate_breakdown(
         for corrupt_head in [true, false] {
             candidates.clear();
             match config.max_candidates {
-                Some(k) if k < num_entities => candidates
-                    .extend((0..k).map(|_| rng.random_range(0..num_entities as u32))),
+                Some(k) if k < num_entities => {
+                    candidates.extend((0..k).map(|_| rng.random_range(0..num_entities as u32)))
+                }
                 _ => candidates.extend(0..num_entities as u32),
             }
             let true_score = snapshot.score(model, triple);
@@ -95,7 +103,10 @@ pub fn evaluate_breakdown(
             } else {
                 out.tail_side.add_rank(rank);
             }
-            out.per_relation.entry(triple.relation).or_default().add_rank(rank);
+            out.per_relation
+                .entry(triple.relation)
+                .or_default()
+                .add_rank(rank);
         }
     }
     out
@@ -122,14 +133,18 @@ mod tests {
         rels.set_row(1, &[0.0, 0.0]);
         let snap = EmbeddingSnapshot::new(ents, rels);
         let test = vec![
-            Triple::new(3, 0, 4),  // perfect for relation 0
-            Triple::new(2, 1, 7),  // bad for relation 1
+            Triple::new(3, 0, 4), // perfect for relation 0
+            Triple::new(2, 1, 7), // bad for relation 1
         ];
         (model, snap, test)
     }
 
     fn cfg() -> EvalConfig {
-        EvalConfig { filtered: false, max_candidates: None, seed: 0 }
+        EvalConfig {
+            filtered: false,
+            max_candidates: None,
+            seed: 0,
+        }
     }
 
     #[test]

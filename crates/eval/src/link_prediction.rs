@@ -29,7 +29,10 @@ pub struct EmbeddingSnapshot {
 impl EmbeddingSnapshot {
     /// Wrap dense tables (row i = id i).
     pub fn new(entities: EmbeddingTable, relations: EmbeddingTable) -> Self {
-        Self { entities, relations }
+        Self {
+            entities,
+            relations,
+        }
     }
 
     /// Score one triple under `model`.
@@ -57,7 +60,11 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        Self { filtered: true, max_candidates: None, seed: 0 }
+        Self {
+            filtered: true,
+            max_candidates: None,
+            seed: 0,
+        }
     }
 }
 
@@ -125,12 +132,7 @@ fn rank_one(
 }
 
 /// Fill `out` with the candidate entity ids for one ranking.
-fn pick_candidates(
-    out: &mut Vec<u32>,
-    num_entities: usize,
-    config: &EvalConfig,
-    rng: &mut StdRng,
-) {
+fn pick_candidates(out: &mut Vec<u32>, num_entities: usize, config: &EvalConfig, rng: &mut StdRng) {
     out.clear();
     match config.max_candidates {
         Some(k) if k < num_entities => {
@@ -143,8 +145,8 @@ fn pick_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetkg_embed::models::{ModelKind, TransE};
     use hetkg_embed::models::Norm;
+    use hetkg_embed::models::{ModelKind, TransE};
 
     /// A tiny world where entity i's embedding is `[i, 0]` and the single
     /// relation translates by `[1, 0]`: (i, r, i+1) triples are perfect.
@@ -163,11 +165,17 @@ mod tests {
     fn perfect_model_ranks_first() {
         let (model, snap) = chain_world(10);
         let test = vec![Triple::new(3, 0, 4)];
-        let m = evaluate(&model, &snap, &test, &[], &EvalConfig {
-            filtered: false,
-            max_candidates: None,
-            seed: 0,
-        });
+        let m = evaluate(
+            &model,
+            &snap,
+            &test,
+            &[],
+            &EvalConfig {
+                filtered: false,
+                max_candidates: None,
+                seed: 0,
+            },
+        );
         // Head- and tail-side both rank 1: (3,r,4) is the unique best.
         assert_eq!(m.count(), 2);
         assert_eq!(m.mrr(), 1.0);
@@ -182,16 +190,28 @@ mod tests {
         // Filtered evaluation must ignore it.
         let test = vec![Triple::new(3, 0, 4)];
         let all_true = vec![Triple::new(3, 0, 4), Triple::new(5, 0, 4)];
-        let raw = evaluate(&model, &snap, &test, &all_true, &EvalConfig {
-            filtered: false,
-            max_candidates: None,
-            seed: 0,
-        });
-        let filtered = evaluate(&model, &snap, &test, &all_true, &EvalConfig {
-            filtered: true,
-            max_candidates: None,
-            seed: 0,
-        });
+        let raw = evaluate(
+            &model,
+            &snap,
+            &test,
+            &all_true,
+            &EvalConfig {
+                filtered: false,
+                max_candidates: None,
+                seed: 0,
+            },
+        );
+        let filtered = evaluate(
+            &model,
+            &snap,
+            &test,
+            &all_true,
+            &EvalConfig {
+                filtered: true,
+                max_candidates: None,
+                seed: 0,
+            },
+        );
         assert!(filtered.mrr() >= raw.mrr());
         assert_eq!(filtered.mrr(), 1.0);
     }
@@ -201,11 +221,17 @@ mod tests {
         let (model, snap) = chain_world(50);
         // (0, r, 40) has residual 39 — nearly every candidate tail is closer.
         let test = vec![Triple::new(0, 0, 40)];
-        let m = evaluate(&model, &snap, &test, &[], &EvalConfig {
-            filtered: false,
-            max_candidates: None,
-            seed: 0,
-        });
+        let m = evaluate(
+            &model,
+            &snap,
+            &test,
+            &[],
+            &EvalConfig {
+                filtered: false,
+                max_candidates: None,
+                seed: 0,
+            },
+        );
         assert!(m.mr() > 10.0, "mean rank {}", m.mr());
     }
 
@@ -213,11 +239,17 @@ mod tests {
     fn candidate_subsampling_bounds_work() {
         let (model, snap) = chain_world(100);
         let test: Vec<Triple> = (0..20).map(|i| Triple::new(i, 0, i + 1)).collect();
-        let m = evaluate(&model, &snap, &test, &[], &EvalConfig {
-            filtered: false,
-            max_candidates: Some(10),
-            seed: 7,
-        });
+        let m = evaluate(
+            &model,
+            &snap,
+            &test,
+            &[],
+            &EvalConfig {
+                filtered: false,
+                max_candidates: Some(10),
+                seed: 7,
+            },
+        );
         assert_eq!(m.count(), 40);
         // Ranks can never exceed candidates + 1.
         assert!(m.mr() <= 11.0);
@@ -227,7 +259,11 @@ mod tests {
     fn subsampled_eval_is_deterministic_in_seed() {
         let (model, snap) = chain_world(100);
         let test: Vec<Triple> = (0..10).map(|i| Triple::new(i, 0, i + 1)).collect();
-        let cfg = EvalConfig { filtered: false, max_candidates: Some(16), seed: 3 };
+        let cfg = EvalConfig {
+            filtered: false,
+            max_candidates: Some(16),
+            seed: 3,
+        };
         let a = evaluate(&model, &snap, &test, &[], &cfg);
         let b = evaluate(&model, &snap, &test, &[], &cfg);
         assert_eq!(a, b);
@@ -242,11 +278,17 @@ mod tests {
             let rels = EmbeddingTable::zeros(2, m.relation_dim());
             let snap = EmbeddingSnapshot::new(ents, rels);
             let test = vec![Triple::new(0, 0, 1)];
-            let metrics = evaluate(m.as_ref(), &snap, &test, &[], &EvalConfig {
-                filtered: false,
-                max_candidates: Some(4),
-                seed: 0,
-            });
+            let metrics = evaluate(
+                m.as_ref(),
+                &snap,
+                &test,
+                &[],
+                &EvalConfig {
+                    filtered: false,
+                    max_candidates: Some(4),
+                    seed: 0,
+                },
+            );
             assert_eq!(metrics.count(), 2, "{kind}");
         }
     }

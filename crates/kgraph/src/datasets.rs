@@ -29,14 +29,23 @@ pub struct DatasetStats {
 }
 
 /// Published FB15k statistics.
-pub const FB15K: DatasetStats =
-    DatasetStats { entities: 14_951, triples: 592_213, relations: 1_345 };
+pub const FB15K: DatasetStats = DatasetStats {
+    entities: 14_951,
+    triples: 592_213,
+    relations: 1_345,
+};
 /// Published WN18 statistics.
-pub const WN18: DatasetStats =
-    DatasetStats { entities: 40_943, triples: 151_442, relations: 18 };
+pub const WN18: DatasetStats = DatasetStats {
+    entities: 40_943,
+    triples: 151_442,
+    relations: 18,
+};
 /// Published Freebase-86m statistics.
-pub const FREEBASE_86M: DatasetStats =
-    DatasetStats { entities: 86_054_151, triples: 338_586_276, relations: 14_824 };
+pub const FREEBASE_86M: DatasetStats = DatasetStats {
+    entities: 86_054_151,
+    triples: 338_586_276,
+    relations: 14_824,
+};
 
 /// FB15k-shaped synthetic generator (full published size).
 ///

@@ -30,7 +30,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `alpha` is negative/non-finite.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "ZipfSampler needs a non-empty support");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for i in 0..n {
@@ -129,9 +132,7 @@ impl SyntheticKg {
         assert!(factor > 0.0, "scale factor must be positive");
         self.num_entities = ((self.num_entities as f64 * factor).round() as usize).max(4);
         self.num_triples = ((self.num_triples as f64 * factor).round() as usize).max(4);
-        let scaled = ((self.num_relations as f64 * factor.min(1.0).sqrt()).round()
-            as usize)
-            .max(2);
+        let scaled = ((self.num_relations as f64 * factor.min(1.0).sqrt()).round() as usize).max(2);
         // Never grow the vocabulary: a 1-relation graph stays 1-relation.
         self.num_relations = scaled.min(self.num_relations.max(1));
         self
@@ -154,7 +155,9 @@ impl SyntheticKg {
 
         let mut triples = Vec::with_capacity(self.num_triples);
         let mut seen = if self.dedup {
-            Some(std::collections::HashSet::with_capacity(self.num_triples * 2))
+            Some(std::collections::HashSet::with_capacity(
+                self.num_triples * 2,
+            ))
         } else {
             None
         };
@@ -234,7 +237,12 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let cfg = SyntheticKg { num_entities: 200, num_relations: 10, num_triples: 500, ..Default::default() };
+        let cfg = SyntheticKg {
+            num_entities: 200,
+            num_relations: 10,
+            num_triples: 500,
+            ..Default::default()
+        };
         let a = cfg.build(42);
         let b = cfg.build(42);
         assert_eq!(a.triples(), b.triples());
@@ -242,7 +250,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let cfg = SyntheticKg { num_entities: 200, num_relations: 10, num_triples: 500, ..Default::default() };
+        let cfg = SyntheticKg {
+            num_entities: 200,
+            num_relations: 10,
+            num_triples: 500,
+            ..Default::default()
+        };
         let a = cfg.build(1);
         let b = cfg.build(2);
         assert_ne!(a.triples(), b.triples());

@@ -34,11 +34,20 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::EntityOutOfRange { triple_index, entity } => {
+            GraphError::EntityOutOfRange {
+                triple_index,
+                entity,
+            } => {
                 write!(f, "triple {triple_index}: entity id {entity} out of range")
             }
-            GraphError::RelationOutOfRange { triple_index, relation } => {
-                write!(f, "triple {triple_index}: relation id {relation} out of range")
+            GraphError::RelationOutOfRange {
+                triple_index,
+                relation,
+            } => {
+                write!(
+                    f,
+                    "triple {triple_index}: relation id {relation} out of range"
+                )
             }
         }
     }
@@ -55,10 +64,16 @@ impl KnowledgeGraph {
     ) -> Result<Self, GraphError> {
         for (i, t) in triples.iter().enumerate() {
             if t.head.index() >= num_entities {
-                return Err(GraphError::EntityOutOfRange { triple_index: i, entity: t.head.0 });
+                return Err(GraphError::EntityOutOfRange {
+                    triple_index: i,
+                    entity: t.head.0,
+                });
             }
             if t.tail.index() >= num_entities {
-                return Err(GraphError::EntityOutOfRange { triple_index: i, entity: t.tail.0 });
+                return Err(GraphError::EntityOutOfRange {
+                    triple_index: i,
+                    entity: t.tail.0,
+                });
             }
             if t.relation.index() >= num_relations {
                 return Err(GraphError::RelationOutOfRange {
@@ -72,11 +87,7 @@ impl KnowledgeGraph {
 
     /// Build a graph from triples already known to be in range (e.g. from a
     /// generator). Only range *debug* assertions are performed.
-    pub fn new_unchecked(
-        num_entities: usize,
-        num_relations: usize,
-        triples: Vec<Triple>,
-    ) -> Self {
+    pub fn new_unchecked(num_entities: usize, num_relations: usize, triples: Vec<Triple>) -> Self {
         // Two-pass CSR construction: count degrees, then fill.
         let mut deg = vec![0u64; num_entities];
         for t in &triples {
@@ -102,7 +113,13 @@ impl KnowledgeGraph {
             adj[cursor[ta] as usize] = t.head.0;
             cursor[ta] += 1;
         }
-        Self { num_entities, num_relations, triples, adj_off, adj }
+        Self {
+            num_entities,
+            num_relations,
+            triples,
+            adj_off,
+            adj,
+        }
     }
 
     /// Number of entities `n_v`.
@@ -201,7 +218,11 @@ mod tests {
         KnowledgeGraph::new(
             3,
             2,
-            vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2), Triple::new(0, 0, 2)],
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(1, 1, 2),
+                Triple::new(0, 0, 2),
+            ],
         )
         .unwrap()
     }
@@ -251,13 +272,25 @@ mod tests {
     #[test]
     fn out_of_range_entity_rejected() {
         let err = KnowledgeGraph::new(2, 1, vec![Triple::new(0, 0, 5)]).unwrap_err();
-        assert_eq!(err, GraphError::EntityOutOfRange { triple_index: 0, entity: 5 });
+        assert_eq!(
+            err,
+            GraphError::EntityOutOfRange {
+                triple_index: 0,
+                entity: 5
+            }
+        );
     }
 
     #[test]
     fn out_of_range_relation_rejected() {
         let err = KnowledgeGraph::new(2, 1, vec![Triple::new(0, 3, 1)]).unwrap_err();
-        assert_eq!(err, GraphError::RelationOutOfRange { triple_index: 0, relation: 3 });
+        assert_eq!(
+            err,
+            GraphError::RelationOutOfRange {
+                triple_index: 0,
+                relation: 3
+            }
+        );
     }
 
     #[test]

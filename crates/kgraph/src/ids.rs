@@ -101,7 +101,10 @@ impl KeySpace {
     /// Key of a relation embedding.
     #[inline]
     pub fn relation_key(&self, r: RelationId) -> ParamKey {
-        debug_assert!((r.0 as u64) < self.num_relations, "relation id out of range");
+        debug_assert!(
+            (r.0 as u64) < self.num_relations,
+            "relation id out of range"
+        );
         ParamKey(self.num_entities + r.0 as u64)
     }
 
@@ -124,7 +127,9 @@ impl KeySpace {
         if k.0 < self.num_entities {
             Some(KeyKind::Entity(EntityId(k.0 as u32)))
         } else if k.0 < self.num_entities + self.num_relations {
-            Some(KeyKind::Relation(RelationId((k.0 - self.num_entities) as u32)))
+            Some(KeyKind::Relation(RelationId(
+                (k.0 - self.num_entities) as u32,
+            )))
         } else {
             None
         }

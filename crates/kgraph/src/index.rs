@@ -30,8 +30,14 @@ impl TripleIndex {
 
     /// Add one triple.
     pub fn insert(&mut self, t: Triple) {
-        self.by_head_rel.entry((t.head, t.relation)).or_default().push(t.tail);
-        self.by_rel_tail.entry((t.relation, t.tail)).or_default().push(t.head);
+        self.by_head_rel
+            .entry((t.head, t.relation))
+            .or_default()
+            .push(t.tail);
+        self.by_rel_tail
+            .entry((t.relation, t.tail))
+            .or_default()
+            .push(t.head);
         self.len += 1;
     }
 
@@ -47,12 +53,18 @@ impl TripleIndex {
 
     /// All tails `t'` such that `(h, r, t')` is indexed.
     pub fn tails(&self, h: EntityId, r: RelationId) -> &[EntityId] {
-        self.by_head_rel.get(&(h, r)).map(Vec::as_slice).unwrap_or(&[])
+        self.by_head_rel
+            .get(&(h, r))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All heads `h'` such that `(h', r, t)` is indexed.
     pub fn heads(&self, r: RelationId, t: EntityId) -> &[EntityId] {
-        self.by_rel_tail.get(&(r, t)).map(Vec::as_slice).unwrap_or(&[])
+        self.by_rel_tail
+            .get(&(r, t))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Whether the exact triple is indexed.
@@ -94,8 +106,14 @@ mod tests {
     #[test]
     fn tails_and_heads_answer_patterns() {
         let idx = index();
-        assert_eq!(idx.tails(EntityId(0), RelationId(0)), &[EntityId(1), EntityId(2)]);
-        assert_eq!(idx.heads(RelationId(0), EntityId(2)), &[EntityId(0), EntityId(3)]);
+        assert_eq!(
+            idx.tails(EntityId(0), RelationId(0)),
+            &[EntityId(1), EntityId(2)]
+        );
+        assert_eq!(
+            idx.heads(RelationId(0), EntityId(2)),
+            &[EntityId(0), EntityId(3)]
+        );
         assert!(idx.tails(EntityId(9), RelationId(0)).is_empty());
     }
 
@@ -122,8 +140,11 @@ mod tests {
 
     #[test]
     fn incremental_insert_matches_bulk() {
-        let triples =
-            vec![Triple::new(1, 0, 2), Triple::new(2, 1, 3), Triple::new(1, 0, 3)];
+        let triples = vec![
+            Triple::new(1, 0, 2),
+            Triple::new(2, 1, 3),
+            Triple::new(1, 0, 3),
+        ];
         let bulk = TripleIndex::new(&triples);
         let mut inc = TripleIndex::default();
         for &t in &triples {

@@ -93,8 +93,14 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
-            IoError::BadLine { line_number, content } => {
-                write!(f, "line {line_number}: expected 3 tab-separated fields, got {content:?}")
+            IoError::BadLine {
+                line_number,
+                content,
+            } => {
+                write!(
+                    f,
+                    "line {line_number}: expected 3 tab-separated fields, got {content:?}"
+                )
             }
         }
     }
@@ -120,10 +126,17 @@ pub fn load_tsv_str(text: &str, dict: &mut Dictionary) -> Result<Vec<Triple>, Io
         let (h, r, t) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
             (Some(h), Some(r), Some(t), None) => (h, r, t),
             _ => {
-                return Err(IoError::BadLine { line_number: i + 1, content: line.to_owned() })
+                return Err(IoError::BadLine {
+                    line_number: i + 1,
+                    content: line.to_owned(),
+                })
             }
         };
-        triples.push(Triple::new(dict.entity(h), dict.relation(r), dict.entity(t)));
+        triples.push(Triple::new(
+            dict.entity(h),
+            dict.relation(r),
+            dict.entity(t),
+        ));
     }
     Ok(triples)
 }
@@ -149,9 +162,18 @@ pub fn load_tsv(path: &Path, dict: &mut Dictionary) -> Result<Vec<Triple>, IoErr
         let mut parts = line.split('\t');
         let (h, r, t) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
             (Some(h), Some(r), Some(t), None) => (h, r, t),
-            _ => return Err(IoError::BadLine { line_number, content: line.to_owned() }),
+            _ => {
+                return Err(IoError::BadLine {
+                    line_number,
+                    content: line.to_owned(),
+                })
+            }
         };
-        triples.push(Triple::new(dict.entity(h), dict.relation(r), dict.entity(t)));
+        triples.push(Triple::new(
+            dict.entity(h),
+            dict.relation(r),
+            dict.entity(t),
+        ));
     }
     Ok(triples)
 }
@@ -183,20 +205,21 @@ pub fn load_benchmark(dir: &Path) -> Result<Benchmark, IoError> {
     all.extend_from_slice(&train);
     all.extend_from_slice(&valid);
     all.extend_from_slice(&test);
-    let graph =
-        KnowledgeGraph::new_unchecked(dict.num_entities(), dict.num_relations(), all);
-    Ok(Benchmark { graph, train, valid, test, dict })
+    let graph = KnowledgeGraph::new_unchecked(dict.num_entities(), dict.num_relations(), all);
+    Ok(Benchmark {
+        graph,
+        train,
+        valid,
+        test,
+        dict,
+    })
 }
 
 /// Write triples as TSV using the dictionary's names.
 ///
 /// Triples whose ids are missing from the dictionary are written as raw
 /// numbers (round-trips through [`load_tsv`] still work).
-pub fn save_tsv<W: Write>(
-    mut w: W,
-    triples: &[Triple],
-    dict: &Dictionary,
-) -> std::io::Result<()> {
+pub fn save_tsv<W: Write>(mut w: W, triples: &[Triple], dict: &Dictionary) -> std::io::Result<()> {
     for t in triples {
         match (
             dict.entity_name(t.head.0),
@@ -249,7 +272,10 @@ mod tests {
         let mut d = Dictionary::new();
         let err = load_tsv_str("a\tr\tb\noops\n", &mut d).unwrap_err();
         match err {
-            IoError::BadLine { line_number, content } => {
+            IoError::BadLine {
+                line_number,
+                content,
+            } => {
                 assert_eq!(line_number, 2);
                 assert_eq!(content, "oops");
             }
@@ -266,8 +292,7 @@ mod tests {
     #[test]
     fn save_load_round_trip() {
         let mut d = Dictionary::new();
-        let triples =
-            load_tsv_str("alice\tknows\tbob\nbob\tknows\tcarol\n", &mut d).unwrap();
+        let triples = load_tsv_str("alice\tknows\tbob\nbob\tknows\tcarol\n", &mut d).unwrap();
         let mut buf = Vec::new();
         save_tsv(&mut buf, &triples, &d).unwrap();
         let text = String::from_utf8(buf).unwrap();

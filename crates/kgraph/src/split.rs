@@ -28,7 +28,10 @@ impl Split {
     /// Panics unless `0 < train_frac`, `0 <= valid_frac`, and
     /// `train_frac + valid_frac <= 1`.
     pub fn new(kg: &KnowledgeGraph, train_frac: f64, valid_frac: f64, seed: u64) -> Self {
-        assert!(train_frac > 0.0 && valid_frac >= 0.0, "fractions must be non-negative");
+        assert!(
+            train_frac > 0.0 && valid_frac >= 0.0,
+            "fractions must be non-negative"
+        );
         assert!(train_frac + valid_frac <= 1.0 + 1e-12, "fractions exceed 1");
         let mut order: Vec<u32> = (0..kg.num_triples() as u32).collect();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -73,8 +76,13 @@ mod tests {
     use crate::generator::SyntheticKg;
 
     fn graph() -> KnowledgeGraph {
-        SyntheticKg { num_entities: 500, num_relations: 20, num_triples: 4_000, ..Default::default() }
-            .build(77)
+        SyntheticKg {
+            num_entities: 500,
+            num_relations: 20,
+            num_triples: 4_000,
+            ..Default::default()
+        }
+        .build(77)
     }
 
     #[test]

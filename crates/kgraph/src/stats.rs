@@ -20,7 +20,10 @@ pub struct AccessCounter {
 impl AccessCounter {
     /// Fresh counter for a graph's key space.
     pub fn new(key_space: KeySpace) -> Self {
-        Self { key_space, counts: vec![0; key_space.len()] }
+        Self {
+            key_space,
+            counts: vec![0; key_space.len()],
+        }
     }
 
     /// The key space being counted.
@@ -121,7 +124,10 @@ impl AccessCounter {
         entities.sort_unstable_by(|a, b| b.cmp(a));
         let mut relations: Vec<u64> = self.counts[self.key_space.num_entities()..].to_vec();
         relations.sort_unstable_by(|a, b| b.cmp(a));
-        FrequencyCurves { entities, relations }
+        FrequencyCurves {
+            entities,
+            relations,
+        }
     }
 }
 

@@ -48,15 +48,17 @@ impl CostModel {
 
     /// A 10 Gbps variant for sensitivity studies.
     pub fn ten_gigabit() -> Self {
-        Self { remote_bandwidth: 10e9 / 8.0, ..Self::gigabit() }
+        Self {
+            remote_bandwidth: 10e9 / 8.0,
+            ..Self::gigabit()
+        }
     }
 
     /// Simulated seconds to move `bytes` across the remote link in
     /// `messages` messages.
     pub fn remote_time(&self, bytes: u64, messages: u64) -> f64 {
         messages as f64 * self.remote_latency
-            + (bytes as f64 + messages as f64 * self.message_overhead_bytes)
-                / self.remote_bandwidth
+            + (bytes as f64 + messages as f64 * self.message_overhead_bytes) / self.remote_bandwidth
     }
 
     /// Simulated seconds for local shared-memory traffic.

@@ -72,6 +72,10 @@ pub struct FaultPlan {
     /// Probability that a remote message is dropped in transit.
     #[serde(default)]
     pub drop_probability: f64,
+    /// Probability that a remote message is delivered with a flipped payload
+    /// bit (detected by the wire-frame checksum when integrity is on).
+    #[serde(default)]
+    pub corrupt_probability: f64,
     /// Straggler episodes (remote latency multipliers).
     #[serde(default)]
     pub slow_episodes: Vec<SlowEpisode>,
@@ -81,19 +85,49 @@ pub struct FaultPlan {
     /// Optional injected worker crash (handled by the trainer).
     #[serde(default)]
     pub crash: Option<CrashPoint>,
+    /// Additional injected crashes; the supervisor handles each one with a
+    /// bounded restart budget. Unioned with `crash` (kept for wire
+    /// compatibility with plans serialized before multi-crash support).
+    #[serde(default)]
+    pub crashes: Vec<CrashPoint>,
+    /// Tear (truncate mid-write) the n-th recovery checkpoint the trainer
+    /// saves, simulating a crash between `write` and `fsync`. Recovery must
+    /// fall back to the most recent checkpoint that still validates.
+    #[serde(default)]
+    pub torn_checkpoint: Option<u64>,
 }
 
 impl FaultPlan {
     /// A lossy network: remote messages dropped with probability `p`.
     pub fn lossy(seed: u64, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "drop probability in [0, 1]");
-        Self { seed, drop_probability: p, ..Self::default() }
+        Self {
+            seed,
+            drop_probability: p,
+            ..Self::default()
+        }
     }
 
     /// One shard unreachable over `[start, end)` simulated seconds.
     pub fn shard_outage(seed: u64, shard: usize, start: f64, end: f64) -> Self {
         assert!(end > start, "outage must have positive duration");
-        Self { seed, outages: vec![OutageWindow { shard, start, end }], ..Self::default() }
+        Self {
+            seed,
+            outages: vec![OutageWindow { shard, start, end }],
+            ..Self::default()
+        }
+    }
+
+    /// A corrupting network: remote messages arrive with a flipped payload
+    /// bit with probability `p`. With checksummed frames the client detects
+    /// and re-pulls; without them the garbage is ingested.
+    pub fn corrupting(seed: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "corruption probability in [0, 1]");
+        Self {
+            seed,
+            corrupt_probability: p,
+            ..Self::default()
+        }
     }
 
     /// The documented "everything at once" profile used by the CLI: a 2%
@@ -105,16 +139,42 @@ impl FaultPlan {
         Self {
             seed,
             drop_probability: 0.02,
-            slow_episodes: vec![SlowEpisode { start: 0.010, end: 0.030, latency_factor: 4.0 }],
-            outages: vec![OutageWindow { shard: 1, start: 0.050, end: 0.150 }],
+            slow_episodes: vec![SlowEpisode {
+                start: 0.010,
+                end: 0.030,
+                latency_factor: 4.0,
+            }],
+            outages: vec![OutageWindow {
+                shard: 1,
+                start: 0.050,
+                end: 0.150,
+            }],
             crash: Some(CrashPoint { epoch: 1 }),
+            ..Self::default()
         }
     }
 
     /// Whether the plan can ever perturb a message (crash injection alone
     /// does not touch the message path).
     pub fn perturbs_messages(&self) -> bool {
-        self.drop_probability > 0.0 || !self.slow_episodes.is_empty() || !self.outages.is_empty()
+        self.drop_probability > 0.0
+            || self.corrupt_probability > 0.0
+            || !self.slow_episodes.is_empty()
+            || !self.outages.is_empty()
+    }
+
+    /// All scheduled crash epochs (`crash` unioned with `crashes`), sorted
+    /// and deduplicated.
+    pub fn crash_epochs(&self) -> Vec<usize> {
+        let mut epochs: Vec<usize> = self
+            .crash
+            .iter()
+            .chain(self.crashes.iter())
+            .map(|c| c.epoch)
+            .collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
     }
 }
 
@@ -125,6 +185,9 @@ pub enum Verdict {
     Deliver,
     /// The message was lost in transit; the sender should back off and retry.
     Drop,
+    /// The message arrived, but a payload bit was flipped in transit. The
+    /// receiver only notices if the frame carries a checksum.
+    Corrupt,
     /// The target shard is down until the given simulated instant.
     ShardDown {
         /// Simulated instant at which the shard comes back.
@@ -156,6 +219,15 @@ pub struct FaultSnapshot {
     pub deferred_pushes: u64,
     /// Backlog flushes performed after shard recovery.
     pub backlog_flushes: u64,
+    /// Remote messages delivered with a flipped payload bit.
+    #[serde(default)]
+    pub corrupt_frames: u64,
+    /// Corrupt frames caught by the checksum and re-pulled (never ingested).
+    #[serde(default)]
+    pub corrupt_detected: u64,
+    /// Corrupt frames ingested because checksums were disabled.
+    #[serde(default)]
+    pub corrupt_ingested: u64,
 }
 
 impl FaultSnapshot {
@@ -172,12 +244,15 @@ impl FaultSnapshot {
             degraded_hits: self.degraded_hits + o.degraded_hits,
             deferred_pushes: self.deferred_pushes + o.deferred_pushes,
             backlog_flushes: self.backlog_flushes + o.backlog_flushes,
+            corrupt_frames: self.corrupt_frames + o.corrupt_frames,
+            corrupt_detected: self.corrupt_detected + o.corrupt_detected,
+            corrupt_ingested: self.corrupt_ingested + o.corrupt_ingested,
         }
     }
 
-    /// Total fault events (drops + refusals + slowdowns).
+    /// Total fault events (drops + refusals + slowdowns + corruptions).
     pub fn total_faults(&self) -> u64 {
-        self.drops + self.outage_refusals + self.slow_messages
+        self.drops + self.outage_refusals + self.slow_messages + self.corrupt_frames
     }
 }
 
@@ -278,7 +353,11 @@ impl FaultInjector {
     /// Pure clock lookup — consumes no randomness.
     pub fn shard_available(&self, shard: usize) -> bool {
         let now = self.inner.lock().clock;
-        !self.plan.outages.iter().any(|w| w.shard == shard && w.contains(now))
+        !self
+            .plan
+            .outages
+            .iter()
+            .any(|w| w.shard == shard && w.contains(now))
     }
 
     /// End of the outage currently affecting `shard`, if any.
@@ -289,7 +368,9 @@ impl FaultInjector {
             .iter()
             .filter(|w| w.shard == shard && w.contains(now))
             .map(|w| w.end)
-            .fold(None, |acc: Option<f64>, end| Some(acc.map_or(end, |a| a.max(end))))
+            .fold(None, |acc: Option<f64>, end| {
+                Some(acc.map_or(end, |a| a.max(end)))
+            })
     }
 
     /// Adjudicate one message of `bytes` payload to `shard`, advancing the
@@ -337,7 +418,21 @@ impl FaultInjector {
                 return Verdict::Drop;
             }
         }
+        if remote && self.plan.corrupt_probability > 0.0 {
+            let draw = inner.rng.next_f64();
+            if draw < self.plan.corrupt_probability {
+                inner.stats.corrupt_frames += 1;
+                return Verdict::Corrupt;
+            }
+        }
         Verdict::Deliver
+    }
+
+    /// A raw 64-bit draw selecting *which* bit a corrupt frame loses. Only
+    /// called on the `Verdict::Corrupt` path, so corruption-free plans draw
+    /// no extra randomness.
+    pub fn corruption_pattern(&self) -> u64 {
+        self.inner.lock().rng.next_u64()
     }
 
     /// A uniform [0, 1) draw from this worker's RNG stream (backoff jitter).
@@ -376,6 +471,16 @@ impl FaultInjector {
         self.inner.lock().stats.backlog_flushes += 1;
     }
 
+    /// Record one corrupt frame caught by the checksum (about to be re-pulled).
+    pub fn note_corrupt_detected(&self) {
+        self.inner.lock().stats.corrupt_detected += 1;
+    }
+
+    /// Record one corrupt frame ingested because checksums were off.
+    pub fn note_corrupt_ingested(&self) {
+        self.inner.lock().stats.corrupt_ingested += 1;
+    }
+
     /// Current counters.
     pub fn stats(&self) -> FaultSnapshot {
         self.inner.lock().stats
@@ -406,7 +511,9 @@ mod tests {
     fn verdict_stream_is_deterministic_in_seed() {
         let run = |seed| {
             let inj = injector(FaultPlan::lossy(seed, 0.2));
-            (0..500).map(|_| inj.adjudicate(1, true, 256) == Verdict::Drop).collect::<Vec<_>>()
+            (0..500)
+                .map(|_| inj.adjudicate(1, true, 256) == Verdict::Drop)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8), "different seeds see different drops");
@@ -417,10 +524,12 @@ mod tests {
         let plan = FaultPlan::lossy(3, 0.3);
         let a = FaultInjector::new(plan.clone(), CostModel::gigabit(), 0);
         let b = FaultInjector::new(plan, CostModel::gigabit(), 1);
-        let va: Vec<bool> =
-            (0..200).map(|_| a.adjudicate(1, true, 64) == Verdict::Drop).collect();
-        let vb: Vec<bool> =
-            (0..200).map(|_| b.adjudicate(1, true, 64) == Verdict::Drop).collect();
+        let va: Vec<bool> = (0..200)
+            .map(|_| a.adjudicate(1, true, 64) == Verdict::Drop)
+            .collect();
+        let vb: Vec<bool> = (0..200)
+            .map(|_| b.adjudicate(1, true, 64) == Verdict::Drop)
+            .collect();
         assert_ne!(va, vb);
     }
 
@@ -428,8 +537,9 @@ mod tests {
     fn drop_rate_tracks_probability() {
         let inj = injector(FaultPlan::lossy(42, 0.25));
         let n = 10_000;
-        let drops =
-            (0..n).filter(|_| inj.adjudicate(1, true, 64) == Verdict::Drop).count();
+        let drops = (0..n)
+            .filter(|_| inj.adjudicate(1, true, 64) == Verdict::Drop)
+            .count();
         let rate = drops as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
         assert_eq!(inj.stats().drops, drops as u64);
@@ -466,13 +576,20 @@ mod tests {
         // Shard 0 is worker 0's own machine: a crashed PS process refuses
         // shared-memory clients as well.
         let inj = injector(FaultPlan::shard_outage(0, 0, 0.0, 1.0));
-        assert!(matches!(inj.adjudicate(0, false, 64), Verdict::ShardDown { .. }));
+        assert!(matches!(
+            inj.adjudicate(0, false, 64),
+            Verdict::ShardDown { .. }
+        ));
     }
 
     #[test]
     fn slow_episode_inflates_message_time() {
         let plan = FaultPlan {
-            slow_episodes: vec![SlowEpisode { start: 0.0, end: 10.0, latency_factor: 3.0 }],
+            slow_episodes: vec![SlowEpisode {
+                start: 0.0,
+                end: 10.0,
+                latency_factor: 3.0,
+            }],
             ..FaultPlan::default()
         };
         let cost = CostModel::gigabit();
@@ -481,7 +598,10 @@ mod tests {
         assert_eq!(inj.adjudicate(1, true, 1000), Verdict::Deliver);
         let elapsed = inj.now() - before;
         let base = cost.remote_time(1000, 1);
-        assert!((elapsed - 3.0 * base).abs() < 1e-12, "elapsed {elapsed}, base {base}");
+        assert!(
+            (elapsed - 3.0 * base).abs() < 1e-12,
+            "elapsed {elapsed}, base {base}"
+        );
         let s = inj.stats();
         assert_eq!(s.slow_messages, 1);
         assert!((s.extra_latency_secs - 2.0 * base).abs() < 1e-12);
@@ -490,7 +610,11 @@ mod tests {
     #[test]
     fn slow_episode_does_not_touch_local_messages() {
         let plan = FaultPlan {
-            slow_episodes: vec![SlowEpisode { start: 0.0, end: 10.0, latency_factor: 5.0 }],
+            slow_episodes: vec![SlowEpisode {
+                start: 0.0,
+                end: 10.0,
+                latency_factor: 5.0,
+            }],
             ..FaultPlan::default()
         };
         let inj = injector(plan);
@@ -512,14 +636,70 @@ mod tests {
 
     #[test]
     fn snapshots_merge_componentwise() {
-        let a = FaultSnapshot { drops: 1, retries: 2, backoff_secs: 0.5, ..Default::default() };
-        let b = FaultSnapshot { drops: 3, degraded_hits: 7, ..Default::default() };
+        let a = FaultSnapshot {
+            drops: 1,
+            retries: 2,
+            backoff_secs: 0.5,
+            ..Default::default()
+        };
+        let b = FaultSnapshot {
+            drops: 3,
+            degraded_hits: 7,
+            ..Default::default()
+        };
         let m = a.merge(b);
         assert_eq!(m.drops, 4);
         assert_eq!(m.retries, 2);
         assert_eq!(m.degraded_hits, 7);
         assert!((m.backoff_secs - 0.5).abs() < 1e-15);
         assert_eq!(m.total_faults(), 4);
+    }
+
+    #[test]
+    fn corruption_rate_tracks_probability() {
+        let inj = injector(FaultPlan::corrupting(42, 0.25));
+        let n = 10_000;
+        let corrupt = (0..n)
+            .filter(|_| inj.adjudicate(1, true, 64) == Verdict::Corrupt)
+            .count();
+        let rate = corrupt as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert_eq!(inj.stats().corrupt_frames, corrupt as u64);
+        assert_eq!(inj.stats().total_faults(), corrupt as u64);
+    }
+
+    #[test]
+    fn corruption_applies_only_to_remote_messages() {
+        let inj = injector(FaultPlan::corrupting(1, 1.0));
+        assert_eq!(inj.adjudicate(0, false, 64), Verdict::Deliver);
+        assert_eq!(inj.adjudicate(0, true, 64), Verdict::Corrupt);
+    }
+
+    #[test]
+    fn drop_draw_precedes_corruption_draw() {
+        // With both probabilities at 1.0, every remote message is dropped
+        // before the corruption draw can happen.
+        let plan = FaultPlan {
+            drop_probability: 1.0,
+            corrupt_probability: 1.0,
+            ..FaultPlan::default()
+        };
+        let inj = injector(plan);
+        for _ in 0..50 {
+            assert_eq!(inj.adjudicate(1, true, 64), Verdict::Drop);
+        }
+        assert_eq!(inj.stats().corrupt_frames, 0);
+    }
+
+    #[test]
+    fn crash_epochs_unions_and_dedups() {
+        let plan = FaultPlan {
+            crash: Some(CrashPoint { epoch: 2 }),
+            crashes: vec![CrashPoint { epoch: 1 }, CrashPoint { epoch: 2 }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.crash_epochs(), vec![1, 2]);
+        assert_eq!(FaultPlan::default().crash_epochs(), Vec::<usize>::new());
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Checksummed wire frames for parameter-server messages.
+//!
+//! Every metered PS message is modeled as one [`WireFrame`]: the key ids it
+//! addresses plus the dense f32 payload (embedding rows on pull, gradients
+//! on push). The sender seals the frame with a 32-bit FNV-1a digest over
+//! both; the receiver re-computes it and rejects the frame on mismatch
+//! instead of ingesting garbage.
+//!
+//! The 4-byte digest rides inside the per-message envelope already priced
+//! by [`CostModel::message_overhead_bytes`](crate::CostModel), so enabling
+//! checksums changes neither metered bytes nor simulated time — the
+//! integrity layer is free when the network is clean, and
+//! `tests/fault_differential.rs` holds it to that.
+
+/// Size of the frame digest on the wire. Accounted under the per-message
+/// envelope overhead, not the metered payload bytes.
+pub const FRAME_CHECKSUM_BYTES: u64 = 4;
+
+const FNV_OFFSET: u32 = 0x811C_9DC5;
+const FNV_PRIME: u32 = 0x0100_0193;
+
+/// 32-bit FNV-1a over a byte slice. Small, allocation-free, and fast enough
+/// to run on every simulated message; collision resistance is ample for
+/// detecting single-bit transit flips.
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u32::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+fn digest(keys: &[u64], payload: &[f32]) -> u32 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |b: u8| h = (h ^ u32::from(b)).wrapping_mul(FNV_PRIME);
+    for k in keys {
+        k.to_le_bytes().into_iter().for_each(&mut eat);
+    }
+    for v in payload {
+        v.to_bits().to_le_bytes().into_iter().for_each(&mut eat);
+    }
+    h
+}
+
+/// One PS message: key ids + dense payload, sealed with an end-to-end
+/// checksum at send time. The checksum is computed once over the clean data;
+/// transit corruption mutates `keys`/`payload` but not the seal, so
+/// [`verify`](WireFrame::verify) catches it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFrame {
+    /// Key ids addressed by this message, in transmission order.
+    pub keys: Vec<u64>,
+    /// Concatenated f32 rows (embeddings or gradients) for those keys.
+    pub payload: Vec<f32>,
+    checksum: u32,
+}
+
+impl WireFrame {
+    /// Seal a frame: compute the digest over the clean keys and payload.
+    pub fn seal(keys: Vec<u64>, payload: Vec<f32>) -> Self {
+        let checksum = digest(&keys, &payload);
+        Self {
+            keys,
+            payload,
+            checksum,
+        }
+    }
+
+    /// The digest sealed into the frame at send time.
+    pub fn checksum(&self) -> u32 {
+        self.checksum
+    }
+
+    /// Re-compute the digest over the (possibly corrupted) contents and
+    /// compare against the seal.
+    pub fn verify(&self) -> bool {
+        digest(&self.keys, &self.payload) == self.checksum
+    }
+
+    /// Metered size of this frame: 8 bytes per key id + 4 per payload f32.
+    /// The [`FRAME_CHECKSUM_BYTES`] digest is envelope overhead on top.
+    pub fn wire_bytes(&self) -> u64 {
+        self.keys.len() as u64 * 8 + self.payload.len() as u64 * 4
+    }
+
+    /// Flip one bit chosen by `pattern` (a seeded draw from the fault
+    /// injector), simulating transit corruption. Payload flips stay within
+    /// the sign + mantissa bits so a damaged embedding remains finite — the
+    /// poison is silent, not a NaN that would announce itself. Returns
+    /// `false` for an empty frame (nothing to damage).
+    pub fn corrupt(&mut self, pattern: u64) -> bool {
+        if !self.payload.is_empty() {
+            let idx = (pattern % self.payload.len() as u64) as usize;
+            let pick = ((pattern >> 32) % 24) as u32;
+            let bit = if pick == 23 { 31 } else { pick };
+            self.payload[idx] = f32::from_bits(self.payload[idx].to_bits() ^ (1 << bit));
+            true
+        } else if !self.keys.is_empty() {
+            let idx = (pattern % self.keys.len() as u64) as usize;
+            let bit = ((pattern >> 32) % 64) as u32;
+            self.keys[idx] ^= 1 << bit;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_frame_verifies() {
+        let f = WireFrame::seal(vec![1, 2, 3], vec![0.5, -1.25, 3.0]);
+        assert!(f.verify());
+        assert_eq!(f.wire_bytes(), 3 * 8 + 3 * 4);
+    }
+
+    #[test]
+    fn empty_frame_verifies_and_resists_corruption() {
+        let mut f = WireFrame::seal(vec![], vec![]);
+        assert!(f.verify());
+        assert!(!f.corrupt(0xDEAD_BEEF));
+        assert!(f.verify());
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let keys = vec![7, 11, 400_000];
+        let payload = vec![0.1f32, -2.5, 1e-3, 42.0];
+        for pattern in 0..4096u64 {
+            let mut f = WireFrame::seal(keys.clone(), payload.clone());
+            assert!(f.corrupt(pattern));
+            assert!(!f.verify(), "flip {pattern:#x} went undetected");
+        }
+    }
+
+    #[test]
+    fn corruption_keeps_payload_finite() {
+        for pattern in 0..4096u64 {
+            let mut f = WireFrame::seal(vec![1], vec![0.75, -0.125]);
+            f.corrupt(pattern);
+            assert!(
+                f.payload.iter().all(|v| v.is_finite()),
+                "pattern {pattern:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_only_frames_are_covered_too() {
+        let mut f = WireFrame::seal(vec![9, 10], vec![]);
+        assert!(f.corrupt(5));
+        assert!(!f.verify());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = WireFrame::seal(vec![1, 2], vec![0.5]);
+        let b = WireFrame::seal(vec![2, 1], vec![0.5]);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 32-bit test vectors.
+        assert_eq!(fnv1a(b""), 0x811C_9DC5);
+        assert_eq!(fnv1a(b"a"), 0xE40C_292C);
+        assert_eq!(fnv1a(b"foobar"), 0xBF9C_F968);
+    }
+}

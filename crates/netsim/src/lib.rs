@@ -14,6 +14,7 @@
 
 pub mod cost;
 pub mod faults;
+pub mod frame;
 pub mod meter;
 pub mod topology;
 
@@ -21,5 +22,6 @@ pub use cost::CostModel;
 pub use faults::{
     CrashPoint, FaultInjector, FaultPlan, FaultSnapshot, OutageWindow, SlowEpisode, Verdict,
 };
+pub use frame::{WireFrame, FRAME_CHECKSUM_BYTES};
 pub use meter::{TrafficMeter, TrafficSnapshot};
 pub use topology::ClusterTopology;

@@ -135,8 +135,18 @@ mod tests {
 
     #[test]
     fn merge_adds() {
-        let a = TrafficSnapshot { local_bytes: 1, local_messages: 2, remote_bytes: 3, remote_messages: 4 };
-        let b = TrafficSnapshot { local_bytes: 10, local_messages: 20, remote_bytes: 30, remote_messages: 40 };
+        let a = TrafficSnapshot {
+            local_bytes: 1,
+            local_messages: 2,
+            remote_bytes: 3,
+            remote_messages: 4,
+        };
+        let b = TrafficSnapshot {
+            local_bytes: 10,
+            local_messages: 20,
+            remote_bytes: 30,
+            remote_messages: 40,
+        };
         let c = a.merge(b);
         assert_eq!(c.local_bytes, 11);
         assert_eq!(c.remote_messages, 44);
@@ -174,7 +184,12 @@ mod tests {
 
     #[test]
     fn simulated_time_combines_local_and_remote() {
-        let s = TrafficSnapshot { local_bytes: 1_000, local_messages: 1, remote_bytes: 1_000_000, remote_messages: 10 };
+        let s = TrafficSnapshot {
+            local_bytes: 1_000,
+            local_messages: 1,
+            remote_bytes: 1_000_000,
+            remote_messages: 10,
+        };
         let m = CostModel::gigabit();
         let t = s.simulated_time(&m);
         assert!((t - (m.remote_time(1_000_000, 10) + m.local_time(1_000, 1))).abs() < 1e-12);

@@ -20,8 +20,14 @@ impl ClusterTopology {
     /// and one PS shard.
     pub fn new(num_machines: usize, workers_per_machine: usize) -> Self {
         assert!(num_machines > 0, "need at least one machine");
-        assert!(workers_per_machine > 0, "need at least one worker per machine");
-        Self { num_machines, workers_per_machine }
+        assert!(
+            workers_per_machine > 0,
+            "need at least one worker per machine"
+        );
+        Self {
+            num_machines,
+            workers_per_machine,
+        }
     }
 
     /// The paper's testbed: 4 machines, 1 worker process per machine.

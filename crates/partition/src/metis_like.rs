@@ -37,14 +37,22 @@ pub struct MetisLike {
 
 impl Default for MetisLike {
     fn default() -> Self {
-        Self { seed: 0, coarsen_target_per_part: 32, imbalance: 0.05, refine_passes: 4 }
+        Self {
+            seed: 0,
+            coarsen_target_per_part: 32,
+            imbalance: 0.05,
+            refine_passes: 4,
+        }
     }
 }
 
 impl MetisLike {
     /// Default configuration with an explicit seed.
     pub fn new(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -106,7 +114,12 @@ impl WGraph {
             vwgt[t.head.index()] += 1;
             vwgt[t.tail.index()] += 1;
         }
-        WGraph { xadj, adjncy, adjwgt, vwgt }
+        WGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
     }
 }
 
@@ -150,15 +163,30 @@ impl Partitioner for MetisLike {
 
         // --- Phase 3: uncoarsen + refine ---
         let max_load = max_load(coarsest.total_vweight(), num_parts, self.imbalance);
-        refine(coarsest, &mut part, num_parts, max_load, self.refine_passes, &mut rng);
+        refine(
+            coarsest,
+            &mut part,
+            num_parts,
+            max_load,
+            self.refine_passes,
+            &mut rng,
+        );
         for level in (0..maps.len()).rev() {
             let fine = &levels[level];
             let map = &maps[level];
-            let fine_part: Vec<u32> =
-                (0..fine.num_vertices()).map(|v| part[map[v] as usize]).collect();
+            let fine_part: Vec<u32> = (0..fine.num_vertices())
+                .map(|v| part[map[v] as usize])
+                .collect();
             part = fine_part;
             let max_load = max_load_of(fine, num_parts, self.imbalance);
-            refine(fine, &mut part, num_parts, max_load, self.refine_passes, &mut rng);
+            refine(
+                fine,
+                &mut part,
+                num_parts,
+                max_load,
+                self.refine_passes,
+                &mut rng,
+            );
         }
         Partitioning::new(num_parts, part)
     }
@@ -196,10 +224,12 @@ fn coarsen_once(g: &WGraph, rng: &mut StdRng) -> (WGraph, Vec<u32>) {
         // Heaviest unmatched neighbour.
         let mut best: Option<(u32, u64)> = None;
         for (u, w) in g.neighbors(v) {
-            if u as usize != v && match_of[u as usize] == UNMATCHED
-                && best.is_none_or(|(_, bw)| w > bw) {
-                    best = Some((u, w));
-                }
+            if u as usize != v
+                && match_of[u as usize] == UNMATCHED
+                && best.is_none_or(|(_, bw)| w > bw)
+            {
+                best = Some((u, w));
+            }
         }
         match best {
             Some((u, _)) => {
@@ -254,7 +284,15 @@ fn coarsen_once(g: &WGraph, rng: &mut StdRng) -> (WGraph, Vec<u32>) {
         }
         xadj.push(adjncy.len());
     }
-    (WGraph { xadj, adjncy, adjwgt, vwgt }, map)
+    (
+        WGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        },
+        map,
+    )
 }
 
 /// Greedy BFS region growing: grow each part from a random unassigned seed
@@ -269,8 +307,9 @@ fn initial_partition(g: &WGraph, parts: usize, rng: &mut StdRng) -> Vec<u32> {
     let mut loads = vec![0u64; parts];
     for p in 0..parts as u32 {
         // Seed: random unassigned vertex.
-        let unassigned: Vec<u32> =
-            (0..n as u32).filter(|&v| part[v as usize] == UNASSIGNED).collect();
+        let unassigned: Vec<u32> = (0..n as u32)
+            .filter(|&v| part[v as usize] == UNASSIGNED)
+            .collect();
         if unassigned.is_empty() {
             break;
         }
@@ -479,8 +518,8 @@ mod tests {
     #[test]
     fn disconnected_graph_is_assigned_fully() {
         // Isolated vertices must still get a partition.
-        let g = KnowledgeGraph::new(10, 1, vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3)])
-            .unwrap();
+        let g =
+            KnowledgeGraph::new(10, 1, vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3)]).unwrap();
         let p = MetisLike::new(0).partition(&g, 2);
         assert_eq!(p.len(), 10);
         // All assignments valid by Partitioning's constructor; also check

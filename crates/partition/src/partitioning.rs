@@ -27,7 +27,10 @@ impl Partitioning {
             assignment.iter().all(|&p| (p as usize) < num_parts),
             "assignment references a partition >= num_parts"
         );
-        Self { num_parts, assignment }
+        Self {
+            num_parts,
+            assignment,
+        }
     }
 
     /// Number of partitions.
@@ -104,7 +107,11 @@ mod tests {
         KnowledgeGraph::new(
             4,
             1,
-            vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3), Triple::new(0, 0, 3)],
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(2, 0, 3),
+                Triple::new(0, 0, 3),
+            ],
         )
         .unwrap()
     }

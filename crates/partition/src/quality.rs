@@ -8,7 +8,10 @@ use hetkg_kgraph::KnowledgeGraph;
 
 /// Number of triples whose endpoints live in different partitions.
 pub fn edge_cut(kg: &KnowledgeGraph, p: &Partitioning) -> usize {
-    kg.triples().iter().filter(|&&t| !p.is_local_triple(t)).count()
+    kg.triples()
+        .iter()
+        .filter(|&&t| !p.is_local_triple(t))
+        .count()
 }
 
 /// Fraction of triples cut, in `[0, 1]`.
@@ -40,7 +43,11 @@ mod tests {
         KnowledgeGraph::new(
             4,
             1,
-            vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3), Triple::new(0, 0, 3)],
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(2, 0, 3),
+                Triple::new(0, 0, 3),
+            ],
         )
         .unwrap()
     }

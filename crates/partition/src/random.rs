@@ -52,7 +52,11 @@ mod tests {
 
     #[test]
     fn balance_is_perfect() {
-        let g = SyntheticKg { num_entities: 100, ..Default::default() }.build(1);
+        let g = SyntheticKg {
+            num_entities: 100,
+            ..Default::default()
+        }
+        .build(1);
         let p = RandomPartitioner::new(7).partition(&g, 4);
         let sizes = p.part_sizes();
         assert_eq!(sizes.iter().sum::<usize>(), 100);
@@ -79,7 +83,11 @@ mod tests {
         }
         .build(5);
         let p = RandomPartitioner::new(1).partition(&g, 4);
-        let cross = g.triples().iter().filter(|&&t| !p.is_local_triple(t)).count();
+        let cross = g
+            .triples()
+            .iter()
+            .filter(|&&t| !p.is_local_triple(t))
+            .count();
         let frac = cross as f64 / g.num_triples() as f64;
         assert!((frac - 0.75).abs() < 0.05, "cross fraction {frac}");
     }

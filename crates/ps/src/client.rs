@@ -20,12 +20,25 @@
 //! the fallible path; the legacy infallible methods delegate to them and
 //! panic only if the retry budget is exhausted. With a zero-fault plan
 //! attached, traffic is byte-identical to running with no injector at all.
+//!
+//! # Wire integrity
+//!
+//! Every message is modeled as a checksummed [`WireFrame`] (key ids +
+//! payload, sealed with FNV-1a at send time). Under a fault plan with
+//! `corrupt_probability > 0` a delivered frame may arrive with a flipped
+//! payload bit: with checksums on (the default) the client detects the
+//! mismatch, counts it, and re-pulls under the same [`RetryPolicy`] —
+//! garbage never reaches the table; with [`PsClient::with_checksums`]
+//! `(false)` the damaged payload is ingested and counted, which is how the
+//! divergence oracle demonstrates what the integrity layer prevents. The
+//! 4-byte digest rides in the per-message envelope overhead already priced
+//! by the cost model, so checksums change no metered byte counts.
 
 use crate::error::{RetryPolicy, RpcError};
 use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
 use hetkg_kgraph::ParamKey;
-use hetkg_netsim::{ClusterTopology, FaultInjector, TrafficMeter, Verdict};
+use hetkg_netsim::{ClusterTopology, FaultInjector, TrafficMeter, Verdict, WireFrame};
 use std::sync::Arc;
 
 /// Bytes accounted per key id shipped in a request (u64 on the wire).
@@ -41,6 +54,13 @@ pub struct FaultBinding {
     pub policy: RetryPolicy,
 }
 
+/// Where one key's row lives inside its shard frame's payload.
+struct FrameSlot {
+    shard: usize,
+    offset: usize,
+    width: usize,
+}
+
 /// A worker's connection to the parameter server.
 #[derive(Debug, Clone)]
 pub struct PsClient {
@@ -49,6 +69,7 @@ pub struct PsClient {
     store: Arc<KvStore>,
     meter: Arc<TrafficMeter>,
     faults: Option<FaultBinding>,
+    checksums: bool,
 }
 
 impl PsClient {
@@ -66,13 +87,33 @@ impl PsClient {
             store.router().num_shards(),
             "one PS shard per machine"
         );
-        Self { worker_id, topology, store, meter, faults: None }
+        Self {
+            worker_id,
+            topology,
+            store,
+            meter,
+            faults: None,
+            checksums: true,
+        }
     }
 
     /// Attach a fault injector and retry policy to this client.
     pub fn with_faults(mut self, injector: Arc<FaultInjector>, policy: RetryPolicy) -> Self {
         self.faults = Some(FaultBinding { injector, policy });
         self
+    }
+
+    /// Enable or disable wire-frame checksum verification (on by default).
+    /// With checksums off, frames corrupted in transit are ingested instead
+    /// of detected and re-pulled.
+    pub fn with_checksums(mut self, on: bool) -> Self {
+        self.checksums = on;
+        self
+    }
+
+    /// Whether this client verifies wire-frame checksums.
+    pub fn checksums(&self) -> bool {
+        self.checksums
     }
 
     /// The attached fault binding, if any.
@@ -93,7 +134,8 @@ impl PsClient {
     /// Whether `key` is served from this worker's machine.
     #[inline]
     pub fn is_local(&self, key: ParamKey) -> bool {
-        self.topology.is_local(self.worker_id, self.store.router().shard_of(key))
+        self.topology
+            .is_local(self.worker_id, self.store.router().shard_of(key))
     }
 
     /// Whether `key`'s home shard is reachable right now. Always true
@@ -102,21 +144,31 @@ impl PsClient {
     pub fn shard_available(&self, key: ParamKey) -> bool {
         match &self.faults {
             None => true,
-            Some(f) => f.injector.shard_available(self.store.router().shard_of(key)),
+            Some(f) => f
+                .injector
+                .shard_available(self.store.router().shard_of(key)),
         }
     }
 
     /// Pull one key (one message).
     pub fn pull(&self, key: ParamKey, out: &mut [f32]) {
-        self.try_pull(key, out).expect("ps pull failed after retries");
+        self.try_pull(key, out)
+            .expect("ps pull failed after retries");
     }
 
     /// Fallible [`pull`](Self::pull): fails only with a fault injector
     /// attached and the retry budget exhausted.
     pub fn try_pull(&self, key: ParamKey, out: &mut [f32]) -> Result<(), RpcError> {
         let shard = self.store.router().shard_of(key);
-        self.transmit(shard, self.store.row_bytes(key) + KEY_BYTES)?;
-        self.store.pull(key, out);
+        // The server serializes the row into the response frame, sealing the
+        // checksum over the clean data; whatever survives transit (possibly
+        // a damaged payload, if checksums are off) lands in `out`. On error
+        // `out` is untouched.
+        let mut row = vec![0.0f32; out.len()];
+        self.store.pull(key, &mut row);
+        let mut frame = WireFrame::seal(vec![key.0], row);
+        self.transmit_frame(shard, &mut frame)?;
+        out.copy_from_slice(&frame.payload);
         Ok(())
     }
 
@@ -125,7 +177,8 @@ impl PsClient {
     /// Metering: requested keys are grouped by shard; each touched shard
     /// costs one message carrying its keys' ids plus the returned rows.
     pub fn pull_batch(&self, keys: &[ParamKey], sink: impl FnMut(usize, &[f32])) {
-        self.try_pull_batch(keys, sink).expect("ps pull_batch failed after retries");
+        self.try_pull_batch(keys, sink)
+            .expect("ps pull_batch failed after retries");
     }
 
     /// Fallible [`pull_batch`](Self::pull_batch). All-or-nothing: on error
@@ -138,20 +191,27 @@ impl PsClient {
         if keys.is_empty() {
             return Ok(());
         }
-        self.transmit_shards(&self.batch_shard_bytes(keys))?;
         let max_dim = self.store.entity_dim().max(self.store.relation_dim());
         let mut buf = vec![0.0f32; max_dim];
-        for (i, &key) in keys.iter().enumerate() {
+        let (mut frames, slots) = self.seal_frames(keys, |_, key, payload| {
             let width = (self.store.row_bytes(key) / 4) as usize;
             self.store.pull(key, &mut buf[..width]);
-            sink(i, &buf[..width]);
+            payload.extend_from_slice(&buf[..width]);
+        });
+        self.transmit_frames(&mut frames)?;
+        for (i, slot) in slots.iter().enumerate() {
+            sink(
+                i,
+                &frames[slot.shard].payload[slot.offset..slot.offset + slot.width],
+            );
         }
         Ok(())
     }
 
     /// Push one gradient (one message); the server applies `optimizer`.
     pub fn push(&self, key: ParamKey, grad: &[f32], optimizer: &dyn Optimizer) {
-        self.try_push(key, grad, optimizer).expect("ps push failed after retries");
+        self.try_push(key, grad, optimizer)
+            .expect("ps push failed after retries");
     }
 
     /// Fallible [`push`](Self::push).
@@ -162,8 +222,9 @@ impl PsClient {
         optimizer: &dyn Optimizer,
     ) -> Result<(), RpcError> {
         let shard = self.store.router().shard_of(key);
-        self.transmit(shard, self.store.row_bytes(key) + KEY_BYTES)?;
-        self.store.push_grad(key, grad, optimizer);
+        let mut frame = WireFrame::seal(vec![key.0], grad.to_vec());
+        self.transmit_frame(shard, &mut frame)?;
+        self.store.push_grad(key, &frame.payload, optimizer);
         Ok(())
     }
 
@@ -171,7 +232,8 @@ impl PsClient {
     ///
     /// `grads[i]` is the gradient for `keys[i]`.
     pub fn push_batch(&self, keys: &[ParamKey], grads: &[&[f32]], optimizer: &dyn Optimizer) {
-        self.try_push_batch(keys, grads, optimizer).expect("ps push_batch failed after retries");
+        self.try_push_batch(keys, grads, optimizer)
+            .expect("ps push_batch failed after retries");
     }
 
     /// Fallible [`push_batch`](Self::push_batch). All-or-nothing: on error
@@ -186,8 +248,11 @@ impl PsClient {
         if keys.is_empty() {
             return Ok(());
         }
-        self.transmit_shards(&self.batch_shard_bytes(keys))?;
-        for (&key, &grad) in keys.iter().zip(grads) {
+        let (mut frames, slots) =
+            self.seal_frames(keys, |i, _, payload| payload.extend_from_slice(grads[i]));
+        self.transmit_frames(&mut frames)?;
+        for (&key, slot) in keys.iter().zip(&slots) {
+            let grad = &frames[slot.shard].payload[slot.offset..slot.offset + slot.width];
             self.store.push_grad(key, grad, optimizer);
         }
         Ok(())
@@ -197,7 +262,8 @@ impl PsClient {
     /// touched. Used by block-partitioned training (PBG) to save entity
     /// partitions back to shared storage.
     pub fn write_batch(&self, keys: &[ParamKey], values: &[&[f32]]) {
-        self.try_write_batch(keys, values).expect("ps write_batch failed after retries");
+        self.try_write_batch(keys, values)
+            .expect("ps write_batch failed after retries");
     }
 
     /// Fallible [`write_batch`](Self::write_batch). All-or-nothing.
@@ -206,40 +272,78 @@ impl PsClient {
         if keys.is_empty() {
             return Ok(());
         }
-        self.transmit_shards(&self.batch_shard_bytes(keys))?;
-        for (&key, &value) in keys.iter().zip(values) {
+        let (mut frames, slots) =
+            self.seal_frames(keys, |i, _, payload| payload.extend_from_slice(values[i]));
+        self.transmit_frames(&mut frames)?;
+        for (&key, slot) in keys.iter().zip(&slots) {
+            let value = &frames[slot.shard].payload[slot.offset..slot.offset + slot.width];
             self.store.store(key, value);
         }
         Ok(())
     }
 
-    /// Per-shard byte totals for a batch (rows + key ids).
-    fn batch_shard_bytes(&self, keys: &[ParamKey]) -> Vec<u64> {
-        let mut shard_bytes = vec![0u64; self.store.router().num_shards()];
-        for &key in keys {
-            shard_bytes[self.store.router().shard_of(key)] +=
-                self.store.row_bytes(key) + KEY_BYTES;
+    /// Group a batch into one sealed frame per shard. `row_of(i, key,
+    /// payload)` appends key `i`'s row to its shard's payload; the returned
+    /// slots record where each key landed so rows can be read back in key
+    /// order after transit. Frame bytes are exactly the pre-frame accounting
+    /// (`row_bytes + KEY_BYTES` per key); the checksum itself rides in the
+    /// per-message envelope overhead.
+    fn seal_frames(
+        &self,
+        keys: &[ParamKey],
+        mut row_of: impl FnMut(usize, ParamKey, &mut Vec<f32>),
+    ) -> (Vec<WireFrame>, Vec<FrameSlot>) {
+        let shards = self.store.router().num_shards();
+        let mut keys_by_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        let mut payload_by_shard: Vec<Vec<f32>> = vec![Vec::new(); shards];
+        let mut slots = Vec::with_capacity(keys.len());
+        for (i, &key) in keys.iter().enumerate() {
+            let shard = self.store.router().shard_of(key);
+            let offset = payload_by_shard[shard].len();
+            row_of(i, key, &mut payload_by_shard[shard]);
+            let width = payload_by_shard[shard].len() - offset;
+            keys_by_shard[shard].push(key.0);
+            slots.push(FrameSlot {
+                shard,
+                offset,
+                width,
+            });
         }
-        shard_bytes
+        let frames: Vec<WireFrame> = keys_by_shard
+            .into_iter()
+            .zip(payload_by_shard)
+            .map(|(k, p)| WireFrame::seal(k, p))
+            .collect();
+        debug_assert_eq!(
+            frames.iter().map(|fr| fr.wire_bytes()).sum::<u64>(),
+            keys.iter()
+                .map(|&k| self.store.row_bytes(k) + KEY_BYTES)
+                .sum::<u64>(),
+            "frame bytes must match the metered per-key accounting"
+        );
+        (frames, slots)
     }
 
-    /// Send one message per touched shard, in ascending shard order.
+    /// Send one frame per touched shard, in ascending shard order.
     /// All-or-nothing: the first shard that exhausts its retries aborts the
     /// batch.
-    fn transmit_shards(&self, shard_bytes: &[u64]) -> Result<(), RpcError> {
-        for (shard, &bytes) in shard_bytes.iter().enumerate() {
-            if bytes > 0 {
-                self.transmit(shard, bytes)?;
+    fn transmit_frames(&self, frames: &mut [WireFrame]) -> Result<(), RpcError> {
+        for shard in 0..frames.len() {
+            if !frames[shard].keys.is_empty() {
+                self.transmit_frame(shard, &mut frames[shard])?;
             }
         }
         Ok(())
     }
 
-    /// Send one message of `bytes` to `shard`, retrying under the fault
-    /// policy. Every transmission attempt is metered — a dropped message
-    /// still crossed the wire, so its bytes (and its retransmission's) count
-    /// toward simulated network time.
-    fn transmit(&self, shard: usize, bytes: u64) -> Result<(), RpcError> {
+    /// Send one frame to `shard`, retrying under the fault policy. Every
+    /// transmission attempt is metered — a dropped or corrupted message
+    /// still crossed the wire, so its bytes (and its retransmission's)
+    /// count toward simulated network time. On return the frame holds what
+    /// the receiver accepted: the sealed contents, unless checksums are off
+    /// and transit corruption was ingested.
+    fn transmit_frame(&self, shard: usize, frame: &mut WireFrame) -> Result<(), RpcError> {
+        let bytes = frame.wire_bytes();
         let remote = !self.topology.is_local(self.worker_id, shard);
         let record = |b: u64| {
             if remote {
@@ -260,6 +364,27 @@ impl PsClient {
                     record(bytes);
                     return Ok(());
                 }
+                Verdict::Corrupt => {
+                    // The damaged frame still transited the link.
+                    record(bytes);
+                    let mut damaged = frame.clone();
+                    damaged.corrupt(f.injector.corruption_pattern());
+                    if self.checksums && !damaged.verify() {
+                        f.injector.note_corrupt_detected();
+                        if attempts >= f.policy.max_attempts {
+                            return Err(RpcError::CorruptPayload { attempts });
+                        }
+                        f.injector.note_retry(bytes);
+                        f.injector
+                            .note_backoff(f.policy.backoff(attempts, f.injector.jitter()));
+                    } else {
+                        // No digest to check (or, astronomically rarely, a
+                        // digest collision): the receiver accepts garbage.
+                        f.injector.note_corrupt_ingested();
+                        *frame = damaged;
+                        return Ok(());
+                    }
+                }
                 Verdict::Drop => {
                     // The lost message still transited the link.
                     record(bytes);
@@ -267,7 +392,8 @@ impl PsClient {
                         return Err(RpcError::Dropped { attempts });
                     }
                     f.injector.note_retry(bytes);
-                    f.injector.note_backoff(f.policy.backoff(attempts, f.injector.jitter()));
+                    f.injector
+                        .note_backoff(f.policy.backoff(attempts, f.injector.jitter()));
                 }
                 Verdict::ShardDown { until } => {
                     if attempts >= f.policy.max_attempts {
@@ -299,8 +425,14 @@ mod tests {
     fn setup(machines: usize) -> (Arc<KvStore>, ClusterTopology) {
         let ks = KeySpace::new(8, 4);
         let router = ShardRouter::round_robin(ks, machines);
-        let store =
-            Arc::new(KvStore::new(router, 4, 4, 0, Init::Uniform { bound: 0.1 }, 1));
+        let store = Arc::new(KvStore::new(
+            router,
+            4,
+            4,
+            0,
+            Init::Uniform { bound: 0.1 },
+            1,
+        ));
         (store, ClusterTopology::new(machines, 1))
     }
 
@@ -426,7 +558,10 @@ mod tests {
         let (store, topo) = setup(2);
         let meter = Arc::new(TrafficMeter::new());
         let inj = injector(FaultPlan::lossy(1, 1.0)); // every remote message lost
-        let policy = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
         let client = PsClient::new(0, topo, store, meter.clone()).with_faults(inj.clone(), policy);
         let mut buf = [0.0f32; 4];
         // Key 1 is remote for worker 0.
@@ -469,7 +604,11 @@ mod tests {
         client.try_pull(ParamKey(1), &mut buf).unwrap();
         assert!(inj.now() >= 0.5, "client slept past the outage window");
         assert!(inj.stats().outage_refusals >= 1);
-        assert_eq!(meter.snapshot().remote_messages, 1, "only the delivery is metered");
+        assert_eq!(
+            meter.snapshot().remote_messages,
+            1,
+            "only the delivery is metered"
+        );
         assert!(client.shard_available(ParamKey(1)));
     }
 
@@ -478,13 +617,26 @@ mod tests {
         let (store, topo) = setup(2);
         let meter = Arc::new(TrafficMeter::new());
         let inj = injector(FaultPlan::shard_outage(0, 1, 0.0, 1e9));
-        let policy =
-            RetryPolicy { max_attempts: 2, wait_for_recovery: false, ..RetryPolicy::default() };
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            wait_for_recovery: false,
+            ..RetryPolicy::default()
+        };
         let client = PsClient::new(0, topo, store, meter.clone()).with_faults(inj, policy);
         let mut buf = [0.0f32; 4];
         let err = client.try_pull(ParamKey(1), &mut buf).unwrap_err();
-        assert_eq!(err, RpcError::ShardUnavailable { shard: 1, attempts: 2 });
-        assert_eq!(meter.snapshot().remote_messages, 0, "refusals are not deliveries");
+        assert_eq!(
+            err,
+            RpcError::ShardUnavailable {
+                shard: 1,
+                attempts: 2
+            }
+        );
+        assert_eq!(
+            meter.snapshot().remote_messages,
+            0,
+            "refusals are not deliveries"
+        );
     }
 
     #[test]
@@ -492,10 +644,12 @@ mod tests {
         let (store, topo) = setup(2);
         let meter = Arc::new(TrafficMeter::new());
         let inj = injector(FaultPlan::shard_outage(0, 1, 0.0, 1e9));
-        let policy =
-            RetryPolicy { max_attempts: 2, wait_for_recovery: false, ..RetryPolicy::default() };
-        let client =
-            PsClient::new(0, topo, store.clone(), meter).with_faults(inj, policy);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            wait_for_recovery: false,
+            ..RetryPolicy::default()
+        };
+        let client = PsClient::new(0, topo, store.clone(), meter).with_faults(inj, policy);
         store.store(ParamKey(0), &[0.0; 4]);
         store.store(ParamKey(1), &[0.0; 4]);
         let g = [1.0f32; 4];
@@ -508,5 +662,117 @@ mod tests {
         let mut buf = [0.0f32; 4];
         store.pull(ParamKey(0), &mut buf);
         assert_eq!(buf, [0.0; 4], "no partial application");
+    }
+
+    #[test]
+    fn corrupt_frames_are_detected_and_retransmitted_until_exhaustion() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(FaultPlan::corrupting(1, 1.0)); // every remote frame damaged
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let client = PsClient::new(0, topo, store, meter.clone()).with_faults(inj.clone(), policy);
+        let mut buf = [7.0f32; 4];
+        // Key 1 is remote for worker 0.
+        let err = client.try_pull(ParamKey(1), &mut buf).unwrap_err();
+        assert_eq!(err, RpcError::CorruptPayload { attempts: 3 });
+        assert_eq!(buf, [7.0; 4], "failed pull leaves the output untouched");
+        let s = meter.snapshot();
+        assert_eq!(
+            s.remote_messages, 3,
+            "every damaged attempt transited the link"
+        );
+        let f = inj.stats();
+        assert_eq!(f.corrupt_frames, 3);
+        assert_eq!(f.corrupt_detected, 3);
+        assert_eq!(f.corrupt_ingested, 0);
+        assert_eq!(f.retries, 2);
+        assert!(f.backoff_secs > 0.0);
+    }
+
+    #[test]
+    fn detected_corruption_repulls_clean_data() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(FaultPlan::corrupting(9, 0.4));
+        // A deep retry budget so a corrupt streak cannot exhaust a pull.
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            ..RetryPolicy::default()
+        };
+        let client = PsClient::new(0, topo, store.clone(), meter).with_faults(inj.clone(), policy);
+        for round in 0..50u64 {
+            let key = ParamKey(round % 8);
+            let width = (store.row_bytes(key) / 4) as usize;
+            let mut clean = vec![0.0f32; width];
+            store.pull(key, &mut clean);
+            let mut got = vec![0.0f32; width];
+            client.try_pull(key, &mut got).unwrap();
+            let same = clean
+                .iter()
+                .zip(&got)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "round {round}: corrupted data reached the caller");
+        }
+        let f = inj.stats();
+        assert!(f.corrupt_frames > 0, "the plan did corrupt frames");
+        assert_eq!(
+            f.corrupt_detected, f.corrupt_frames,
+            "every corruption was caught"
+        );
+        assert_eq!(f.corrupt_ingested, 0);
+    }
+
+    #[test]
+    fn checksums_off_ingests_garbage_and_counts_it() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(FaultPlan::corrupting(1, 1.0));
+        let client = PsClient::new(0, topo, store.clone(), meter.clone())
+            .with_faults(inj.clone(), RetryPolicy::default())
+            .with_checksums(false);
+        let mut clean = [0.0f32; 4];
+        store.pull(ParamKey(1), &mut clean);
+        let mut got = [0.0f32; 4];
+        client.try_pull(ParamKey(1), &mut got).unwrap();
+        assert_ne!(
+            clean.map(f32::to_bits),
+            got.map(f32::to_bits),
+            "garbage reached the caller"
+        );
+        assert_eq!(
+            meter.snapshot().remote_messages,
+            1,
+            "no retry without detection"
+        );
+        let f = inj.stats();
+        assert_eq!(f.corrupt_frames, 1);
+        assert_eq!(f.corrupt_ingested, 1);
+        assert_eq!(f.corrupt_detected, 0);
+    }
+
+    #[test]
+    fn checksum_toggle_is_free_without_corruption() {
+        // Same lossy plan, same seed, checksums on vs off: identical meters
+        // and identical fault counters — the integrity layer costs nothing
+        // when frames arrive intact.
+        let run = |checksums: bool| {
+            let (store, topo) = setup(2);
+            let meter = Arc::new(TrafficMeter::new());
+            let inj = injector(FaultPlan::lossy(5, 0.3));
+            let client = PsClient::new(0, topo, store, meter.clone())
+                .with_faults(inj.clone(), RetryPolicy::default())
+                .with_checksums(checksums);
+            let keys: Vec<ParamKey> = (0..8).map(ParamKey).collect();
+            let mut buf = [0.0f32; 4];
+            for _ in 0..20 {
+                client.pull_batch(&keys, |_, _| {});
+                client.try_pull(ParamKey(1), &mut buf).unwrap();
+            }
+            (meter.snapshot(), inj.stats())
+        };
+        assert_eq!(run(true), run(false));
     }
 }

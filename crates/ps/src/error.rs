@@ -24,6 +24,12 @@ pub enum RpcError {
         /// Send attempts made before giving up.
         attempts: u32,
     },
+    /// Every attempt arrived with a payload that failed its wire-frame
+    /// checksum (the garbage was rejected, never ingested).
+    CorruptPayload {
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
     /// The async push server's consumer thread is gone.
     ServerGone,
 }
@@ -36,6 +42,9 @@ impl fmt::Display for RpcError {
             }
             RpcError::ShardUnavailable { shard, attempts } => {
                 write!(f, "shard {shard} unavailable after {attempts} attempts")
+            }
+            RpcError::CorruptPayload { attempts } => {
+                write!(f, "payload failed its checksum on all {attempts} attempts")
             }
             RpcError::ServerGone => write!(f, "ps server thread is gone"),
         }
@@ -113,19 +122,28 @@ mod tests {
 
     #[test]
     fn backoff_grows_exponentially_until_capped() {
-        let p = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
         let b1 = p.backoff(1, 0.5);
         let b2 = p.backoff(2, 0.5);
         let b3 = p.backoff(3, 0.5);
         assert!((b2 - 2.0 * b1).abs() < 1e-12);
         assert!((b3 - 4.0 * b1).abs() < 1e-12);
         let huge = p.backoff(30, 0.5);
-        assert!((huge - p.max_backoff).abs() < 1e-12, "capped at max_backoff");
+        assert!(
+            (huge - p.max_backoff).abs() < 1e-12,
+            "capped at max_backoff"
+        );
     }
 
     #[test]
     fn jitter_scales_around_the_midpoint() {
-        let p = RetryPolicy { jitter: 0.5, ..RetryPolicy::default() };
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
         let low = p.backoff(1, 0.0);
         let mid = p.backoff(1, 0.5);
         let high = p.backoff(1, 1.0 - 1e-9);
@@ -142,7 +160,11 @@ mod tests {
             "message dropped on all 8 attempts"
         );
         assert_eq!(
-            RpcError::ShardUnavailable { shard: 2, attempts: 3 }.to_string(),
+            RpcError::ShardUnavailable {
+                shard: 2,
+                attempts: 3
+            }
+            .to_string(),
             "shard 2 unavailable after 3 attempts"
         );
         assert_eq!(RpcError::from(ServerGone), RpcError::ServerGone);
@@ -151,7 +173,10 @@ mod tests {
 
     #[test]
     fn giant_attempt_counts_do_not_overflow() {
-        let p = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
         let b = p.backoff(u32::MAX, 0.5);
         assert!(b.is_finite());
         assert!((b - p.max_backoff).abs() < 1e-12);

@@ -58,11 +58,20 @@ impl KvStore {
             let entities = EmbeddingTable::zeros(ne, entity_dim);
             let relations = EmbeddingTable::zeros(nr, relation_dim);
             let entity_state = EmbeddingTable::zeros(ne, (entity_dim * state_width).max(1));
-            let relation_state =
-                EmbeddingTable::zeros(nr, (relation_dim * state_width).max(1));
-            shards.push(RwLock::new(Shard { entities, relations, entity_state, relation_state }));
+            let relation_state = EmbeddingTable::zeros(nr, (relation_dim * state_width).max(1));
+            shards.push(RwLock::new(Shard {
+                entities,
+                relations,
+                entity_state,
+                relation_state,
+            }));
         }
-        let store = Self { router, entity_dim, relation_dim, shards };
+        let store = Self {
+            router,
+            entity_dim,
+            relation_dim,
+            shards,
+        };
         // Key-addressed init: iterate the key space, fill each row in place.
         let ks = store.router.key_space();
         for k in 0..ks.len() as u64 {
@@ -119,12 +128,15 @@ impl KvStore {
     pub fn push_grad(&self, key: ParamKey, grad: &[f32], optimizer: &dyn Optimizer) {
         let p = self.router.place(key);
         let mut shard = self.shards[p.shard].write();
-        let Shard { entities, relations, entity_state, relation_state } = &mut *shard;
+        let Shard {
+            entities,
+            relations,
+            entity_state,
+            relation_state,
+        } = &mut *shard;
         let (row, state) = match p.kind {
             RowKind::Entity => (entities.row_mut(p.local), entity_state.row_mut(p.local)),
-            RowKind::Relation => {
-                (relations.row_mut(p.local), relation_state.row_mut(p.local))
-            }
+            RowKind::Relation => (relations.row_mut(p.local), relation_state.row_mut(p.local)),
         };
         let width = row.len() * optimizer.state_width();
         optimizer.update(row, &mut state[..width], grad);
@@ -182,9 +194,10 @@ impl KvStore {
             let shard = self.shards[p.shard].read();
             let (row, state) = match p.kind {
                 RowKind::Entity => (shard.entities.row(p.local), shard.entity_state.row(p.local)),
-                RowKind::Relation => {
-                    (shard.relations.row(p.local), shard.relation_state.row(p.local))
-                }
+                RowKind::Relation => (
+                    shard.relations.row(p.local),
+                    shard.relation_state.row(p.local),
+                ),
             };
             f(key, row, state);
         }
@@ -378,7 +391,10 @@ mod tests {
                 saved_state = state.to_vec();
             }
         });
-        assert!(saved_state.iter().any(|v| *v != 0.0), "adagrad state captured");
+        assert!(
+            saved_state.iter().any(|v| *v != 0.0),
+            "adagrad state captured"
+        );
         let zeros = vec![0.0f32; saved_state.len()];
         s.restore_row(key, &[9.0; 8], Some(&zeros));
         s.restore_row(key, &saved_row, Some(&saved_state));

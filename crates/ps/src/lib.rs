@@ -50,7 +50,7 @@ pub mod router;
 
 pub use client::{FaultBinding, PsClient};
 pub use error::{RetryPolicy, RpcError, ServerGone};
-pub use queue::AsyncServer;
 pub use kvstore::KvStore;
 pub use optimizer::{AdaGrad, Optimizer, Sgd};
+pub use queue::AsyncServer;
 pub use router::ShardRouter;

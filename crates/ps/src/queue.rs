@@ -38,7 +38,6 @@ enum Command {
     Push(PushMessage),
     /// Flush barrier: reply when everything before it has been applied.
     Flush(Sender<()>),
-    Shutdown,
     /// Test hook: make the consumer thread die mid-run, as a store panic
     /// would.
     #[cfg(test)]
@@ -47,8 +46,14 @@ enum Command {
 
 /// An asynchronous push server: a consumer thread applying queued gradients
 /// to the store with the server-side optimizer.
+///
+/// Shutdown protocol: there is no stop sentinel racing ahead of queued
+/// work. The consumer runs until the channel *disconnects* (every sender
+/// dropped), so on clean shutdown or drop it deterministically drains and
+/// applies every push whose `push()` call returned `Ok` — a push is either
+/// applied or rejected at the producer, never silently lost in between.
 pub struct AsyncServer {
-    tx: Sender<Command>,
+    tx: Option<Sender<Command>>,
     handle: Option<JoinHandle<u64>>,
 }
 
@@ -56,17 +61,16 @@ impl AsyncServer {
     /// Spawn the consumer thread. `queue_depth` bounds the channel
     /// (backpressure: producers block when the server falls behind, like a
     /// real bounded message queue).
-    pub fn spawn(
-        store: Arc<KvStore>,
-        optimizer: Arc<dyn Optimizer>,
-        queue_depth: usize,
-    ) -> Self {
+    pub fn spawn(store: Arc<KvStore>, optimizer: Arc<dyn Optimizer>, queue_depth: usize) -> Self {
         assert!(queue_depth > 0, "queue depth must be positive");
         let (tx, rx): (Sender<Command>, Receiver<Command>) = bounded(queue_depth);
         let handle = std::thread::Builder::new()
             .name("hetkg-ps-server".into())
             .spawn(move || {
                 let mut applied = 0u64;
+                // recv() yields every buffered command before reporting
+                // disconnection, so this loop is the drain: it exits only
+                // once the queue is empty *and* no producer can enqueue.
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
                         Command::Push(msg) => {
@@ -78,7 +82,6 @@ impl AsyncServer {
                             // applied (single consumer, FIFO channel).
                             let _ = reply.send(());
                         }
-                        Command::Shutdown => break,
                         #[cfg(test)]
                         Command::Crash => panic!("injected ps server crash"),
                     }
@@ -86,13 +89,24 @@ impl AsyncServer {
                 applied
             })
             .expect("spawn ps server thread");
-        Self { tx, handle: Some(handle) }
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    fn sender(&self) -> &Sender<Command> {
+        self.tx
+            .as_ref()
+            .expect("sender present until shutdown/drop")
     }
 
     /// Enqueue a gradient push (blocks only when the queue is full).
     /// Fails if the consumer thread has died.
     pub fn push(&self, key: ParamKey, grad: Vec<f32>) -> Result<(), ServerGone> {
-        self.tx.send(Command::Push(PushMessage { key, grad })).map_err(|_| ServerGone)
+        self.sender()
+            .send(Command::Push(PushMessage { key, grad }))
+            .map_err(|_| ServerGone)
     }
 
     /// Wait until every previously enqueued push has been applied — the
@@ -101,31 +115,32 @@ impl AsyncServer {
     /// (before or while draining the barrier).
     pub fn flush(&self) -> Result<(), ServerGone> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx.send(Command::Flush(reply_tx)).map_err(|_| ServerGone)?;
+        self.sender()
+            .send(Command::Flush(reply_tx))
+            .map_err(|_| ServerGone)?;
         reply_rx.recv().map_err(|_| ServerGone)
     }
 
-    /// Stop the server, returning how many pushes it applied. Fails if the
-    /// consumer thread had already died.
+    /// Stop the server, returning how many pushes it applied. Every push
+    /// accepted before this call is applied before the count is returned
+    /// (the consumer drains the queue to disconnection). Fails only if the
+    /// consumer thread died (panicked) instead of draining.
     pub fn shutdown(mut self) -> Result<u64, ServerGone> {
-        let sent = self.tx.send(Command::Shutdown).is_ok();
+        self.tx = None; // disconnect: consumer drains the backlog and exits
         let handle = self.handle.take().expect("handle present until shutdown");
-        match handle.join() {
-            Ok(applied) if sent => Ok(applied),
-            _ => Err(ServerGone),
-        }
+        handle.join().map_err(|_| ServerGone)
     }
 
     #[cfg(test)]
     fn crash_consumer(&self) {
-        let _ = self.tx.send(Command::Crash);
+        let _ = self.sender().send(Command::Crash);
     }
 }
 
 impl Drop for AsyncServer {
     fn drop(&mut self) {
         if let Some(handle) = self.handle.take() {
-            let _ = self.tx.send(Command::Shutdown);
+            self.tx = None; // disconnect: consumer drains, then exits
             let _ = handle.join();
         }
     }
@@ -148,7 +163,14 @@ mod tests {
     fn store() -> Arc<KvStore> {
         let ks = KeySpace::new(8, 2);
         let router = ShardRouter::round_robin(ks, 2);
-        Arc::new(KvStore::new(router, 4, 4, 0, Init::Uniform { bound: 0.0 }, 1))
+        Arc::new(KvStore::new(
+            router,
+            4,
+            4,
+            0,
+            Init::Uniform { bound: 0.0 },
+            1,
+        ))
     }
 
     #[test]
@@ -168,8 +190,11 @@ mod tests {
     #[test]
     fn concurrent_producers_all_land() {
         let store = store();
-        let server =
-            Arc::new(AsyncServer::spawn(store.clone(), Arc::new(Sgd { lr: 1.0 }), 8));
+        let server = Arc::new(AsyncServer::spawn(
+            store.clone(),
+            Arc::new(Sgd { lr: 1.0 }),
+            8,
+        ));
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let server = server.clone();
@@ -209,11 +234,67 @@ mod tests {
             server.push(ParamKey(2), vec![-1.0; 4]).unwrap();
             // dropped without explicit shutdown
         }
-        // The channel is FIFO and Drop enqueues Shutdown after the push, so
-        // the push is applied before the consumer exits.
+        // Drop disconnects the channel; the consumer drains everything that
+        // was accepted before exiting, so the push is applied.
         let mut row = [0.0f32; 4];
         store.pull(ParamKey(2), &mut row);
         assert_eq!(row, [1.0; 4]);
+    }
+
+    #[test]
+    fn clean_shutdown_loses_no_accepted_push() {
+        // Regression: the old Shutdown sentinel could race ahead of queued
+        // pushes under an unlucky interleaving. Now shutdown drains: every
+        // accepted push is applied before the count comes back.
+        let store = store();
+        let server = AsyncServer::spawn(store.clone(), Arc::new(Sgd { lr: 1.0 }), 2);
+        let mut accepted = 0u64;
+        for _ in 0..100 {
+            if server.push(ParamKey(5), vec![-1.0; 4]).is_ok() {
+                accepted += 1;
+            }
+        }
+        // No flush: shutdown itself is the barrier.
+        let applied = server.shutdown().unwrap();
+        assert_eq!(applied, accepted);
+        let mut row = [0.0f32; 4];
+        store.pull(ParamKey(5), &mut row);
+        assert_eq!(row, [accepted as f32; 4]);
+    }
+
+    #[test]
+    fn racing_producers_never_lose_accepted_pushes_on_drop() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let store = store();
+        let server = Arc::new(AsyncServer::spawn(
+            store.clone(),
+            Arc::new(Sgd { lr: 1.0 }),
+            2,
+        ));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let mut producers = Vec::new();
+        for _ in 0..4 {
+            let server = server.clone();
+            let accepted = accepted.clone();
+            producers.push(std::thread::spawn(move || {
+                for _ in 0..300 {
+                    if server.push(ParamKey(0), vec![-1.0; 4]).is_ok() {
+                        accepted.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        // Drop our handle first: the *last* Arc is released inside whichever
+        // producer finishes last, so Drop (and its drain) runs concurrently
+        // with the tail of production.
+        drop(server);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut row = [0.0f32; 4];
+        store.pull(ParamKey(0), &mut row);
+        assert_eq!(row[0], accepted.load(Ordering::SeqCst) as f32);
     }
 
     #[test]
@@ -241,7 +322,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_gone, "push reports ServerGone once the consumer is dead");
+        assert!(
+            saw_gone,
+            "push reports ServerGone once the consumer is dead"
+        );
         assert_eq!(server.flush(), Err(ServerGone));
         assert_eq!(server.shutdown(), Err(ServerGone));
     }

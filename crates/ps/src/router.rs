@@ -71,7 +71,13 @@ impl ShardRouter {
             local_of.push(shard_rows[s].1 as u32);
             shard_rows[s].1 += 1;
         }
-        Self { key_space, num_shards, shard_of, local_of, shard_rows }
+        Self {
+            key_space,
+            num_shards,
+            shard_of,
+            local_of,
+            shard_rows,
+        }
     }
 
     /// All entities and relations round-robin (used when no partitioning is

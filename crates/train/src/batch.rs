@@ -184,26 +184,35 @@ pub fn compute_batch(
     let mut total_loss = 0.0f64;
     let mut terms = 0usize;
     let mut work_units = 0u64;
-    let backprop = |triple: Triple, dscore: f32, grads: &mut GradAccum, scratch: &mut BatchScratch| -> u64 {
-        if dscore == 0.0 {
-            return 0;
-        }
-        let hk = key_space.entity_key(triple.head);
-        let rk = key_space.relation_key(triple.relation);
-        let tk = key_space.entity_key(triple.tail);
-        let (h, r, t) = (ws.get(hk), ws.get(rk), ws.get(tk));
-        scratch.gh.clear();
-        scratch.gh.resize(h.len(), 0.0);
-        scratch.gr.clear();
-        scratch.gr.resize(r.len(), 0.0);
-        scratch.gt.clear();
-        scratch.gt.resize(t.len(), 0.0);
-        model.grad(h, r, t, dscore, &mut scratch.gh, &mut scratch.gr, &mut scratch.gt);
-        grads.add(hk, &scratch.gh);
-        grads.add(rk, &scratch.gr);
-        grads.add(tk, &scratch.gt);
-        triple_units
-    };
+    let backprop =
+        |triple: Triple, dscore: f32, grads: &mut GradAccum, scratch: &mut BatchScratch| -> u64 {
+            if dscore == 0.0 {
+                return 0;
+            }
+            let hk = key_space.entity_key(triple.head);
+            let rk = key_space.relation_key(triple.relation);
+            let tk = key_space.entity_key(triple.tail);
+            let (h, r, t) = (ws.get(hk), ws.get(rk), ws.get(tk));
+            scratch.gh.clear();
+            scratch.gh.resize(h.len(), 0.0);
+            scratch.gr.clear();
+            scratch.gr.resize(r.len(), 0.0);
+            scratch.gt.clear();
+            scratch.gt.resize(t.len(), 0.0);
+            model.grad(
+                h,
+                r,
+                t,
+                dscore,
+                &mut scratch.gh,
+                &mut scratch.gr,
+                &mut scratch.gt,
+            );
+            grads.add(hk, &scratch.gh);
+            grads.add(rk, &scratch.gr);
+            grads.add(tk, &scratch.gt);
+            triple_units
+        };
 
     let score_of = |triple: Triple| -> f32 {
         let h = ws.get(key_space.entity_key(triple.head));
@@ -245,14 +254,18 @@ pub fn compute_batch(
             }
         }
     }
-    BatchResult { loss: total_loss, terms, work_units }
+    BatchResult {
+        loss: total_loss,
+        terms,
+        work_units,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetkg_embed::negative::{CorruptSlot, Negative};
     use hetkg_embed::models::ModelKind;
+    use hetkg_embed::negative::{CorruptSlot, Negative};
 
     fn tiny_setup() -> (Box<dyn KgeModel>, KeySpace, WorkingSet) {
         let model = ModelKind::TransEL2.build(4);
@@ -269,8 +282,14 @@ mod tests {
         MiniBatch {
             positives: vec![Triple::new(0, 0, 1), Triple::new(2, 1, 3)],
             negatives: vec![
-                Negative { triple: Triple::new(3, 0, 1), slot: CorruptSlot::Head },
-                Negative { triple: Triple::new(2, 1, 0), slot: CorruptSlot::Tail },
+                Negative {
+                    triple: Triple::new(3, 0, 1),
+                    slot: CorruptSlot::Head,
+                },
+                Negative {
+                    triple: Triple::new(2, 1, 0),
+                    slot: CorruptSlot::Tail,
+                },
             ],
         }
     }
@@ -280,8 +299,15 @@ mod tests {
         let (model, ks, ws) = tiny_setup();
         let mut grads = GradAccum::new();
         let mut scratch = BatchScratch::default();
-        let result =
-            compute_batch(model.as_ref(), LossKind::Logistic, ks, &batch(), &ws, &mut grads, &mut scratch);
+        let result = compute_batch(
+            model.as_ref(),
+            LossKind::Logistic,
+            ks,
+            &batch(),
+            &ws,
+            &mut grads,
+            &mut scratch,
+        );
         assert!(result.loss > 0.0);
         assert_eq!(result.terms, 4);
         assert!(result.work_units > 0);
@@ -352,17 +378,23 @@ mod tests {
         let b = batch();
         let mut grads = GradAccum::new();
         let mut scratch = BatchScratch::default();
-        let before =
-            compute_batch(model.as_ref(), LossKind::Logistic, ks, &b, &ws, &mut grads, &mut scratch)
-                .loss;
+        let before = compute_batch(
+            model.as_ref(),
+            LossKind::Logistic,
+            ks,
+            &b,
+            &ws,
+            &mut grads,
+            &mut scratch,
+        )
+        .loss;
         // Apply a small SGD step to the working set.
         let lr = 0.05f32;
         let updates: Vec<(ParamKey, Vec<f32>)> = grads
             .iter()
             .map(|(k, g)| {
                 let cur = ws.get(k);
-                let next: Vec<f32> =
-                    cur.iter().zip(g).map(|(&x, &gi)| x - lr * gi).collect();
+                let next: Vec<f32> = cur.iter().zip(g).map(|(&x, &gi)| x - lr * gi).collect();
                 (k, next)
             })
             .collect();
@@ -370,9 +402,16 @@ mod tests {
             ws.insert(k, &v);
         }
         let mut grads2 = GradAccum::new();
-        let after =
-            compute_batch(model.as_ref(), LossKind::Logistic, ks, &b, &ws, &mut grads2, &mut scratch)
-                .loss;
+        let after = compute_batch(
+            model.as_ref(),
+            LossKind::Logistic,
+            ks,
+            &b,
+            &ws,
+            &mut grads2,
+            &mut scratch,
+        )
+        .loss;
         assert!(after < before, "loss must decrease: {before} -> {after}");
     }
 
@@ -398,11 +437,21 @@ mod tests {
     #[test]
     fn empty_batch_is_zero_loss() {
         let (model, ks, ws) = tiny_setup();
-        let b = MiniBatch { positives: vec![], negatives: vec![] };
+        let b = MiniBatch {
+            positives: vec![],
+            negatives: vec![],
+        };
         let mut grads = GradAccum::new();
         let mut scratch = BatchScratch::default();
-        let result =
-            compute_batch(model.as_ref(), LossKind::Logistic, ks, &b, &ws, &mut grads, &mut scratch);
+        let result = compute_batch(
+            model.as_ref(),
+            LossKind::Logistic,
+            ks,
+            &b,
+            &ws,
+            &mut grads,
+            &mut scratch,
+        );
         assert_eq!(result, BatchResult::default());
     }
 }

@@ -1,6 +1,7 @@
 //! Training configuration: the full experiment grid of the paper in one
 //! struct.
 
+use crate::supervisor::SupervisorConfig;
 use hetkg_core::filter::FilterConfig;
 use hetkg_core::policy::{CachePolicy, PolicyKind};
 use hetkg_core::sync::SyncConfig;
@@ -155,6 +156,25 @@ pub struct TrainConfig {
     /// crash, so restart-from-checkpoint always has something to restore).
     #[serde(default)]
     pub checkpoint_every: usize,
+    /// Verify wire-frame checksums on every PS message (default on).
+    /// Turning this off makes injected corruption silently poison the
+    /// tables — the control arm of the integrity experiments.
+    #[serde(default = "default_integrity")]
+    pub integrity: bool,
+    /// Directory for on-disk recovery checkpoints (crash-consistent, with a
+    /// manifest and bounded retention). `None` keeps recovery checkpoints
+    /// in memory as validated serialized images.
+    #[serde(default)]
+    pub checkpoint_dir: Option<String>,
+    /// Worker supervision policy: heartbeat timeout and the bounded
+    /// restart-with-backoff budget. Only consulted when a fault plan is
+    /// attached.
+    #[serde(default)]
+    pub supervisor: SupervisorConfig,
+}
+
+fn default_integrity() -> bool {
+    true
 }
 
 impl TrainConfig {
@@ -179,6 +199,9 @@ impl TrainConfig {
             eval_candidates: None,
             faults: None,
             checkpoint_every: 0,
+            integrity: true,
+            checkpoint_dir: None,
+            supervisor: SupervisorConfig::default(),
         }
     }
 
@@ -204,6 +227,9 @@ impl TrainConfig {
             eval_candidates: Some(200),
             faults: None,
             checkpoint_every: 0,
+            integrity: true,
+            checkpoint_dir: None,
+            supervisor: SupervisorConfig::default(),
         }
     }
 
@@ -227,7 +253,10 @@ mod tests {
 
     #[test]
     fn capacity_is_clamped_to_key_count() {
-        let cfg = CacheConfig { capacity_fraction: 10.0, ..Default::default() };
+        let cfg = CacheConfig {
+            capacity_fraction: 10.0,
+            ..Default::default()
+        };
         assert_eq!(cfg.policy(100, SystemKind::HetKgCps).filter.capacity, 100);
     }
 
@@ -266,10 +295,20 @@ mod tests {
         let obj = v.as_object_mut().unwrap();
         obj.remove("faults");
         obj.remove("checkpoint_every");
-        obj.get_mut("cache").unwrap().as_object_mut().unwrap().remove("staleness_cap");
+        obj.remove("integrity");
+        obj.remove("checkpoint_dir");
+        obj.remove("supervisor");
+        obj.get_mut("cache")
+            .unwrap()
+            .as_object_mut()
+            .unwrap()
+            .remove("staleness_cap");
         let back: TrainConfig = serde_json::from_value(v).unwrap();
         assert!(back.faults.is_none());
         assert_eq!(back.checkpoint_every, 0);
         assert_eq!(back.cache.staleness_cap, 64);
+        assert!(back.integrity, "checksums default on");
+        assert!(back.checkpoint_dir.is_none());
+        assert_eq!(back.supervisor, SupervisorConfig::default());
     }
 }

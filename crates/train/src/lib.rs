@@ -15,11 +15,15 @@
 
 pub mod batch;
 pub mod config;
+pub mod oracle;
 pub mod report;
+pub mod supervisor;
 pub mod systems;
 pub mod trainer;
 pub mod worker;
 
 pub use config::{SystemKind, TrainConfig};
+pub use oracle::{shadow_check, OracleConfig, OracleReport};
 pub use report::{EpochReport, FaultReport, TrainReport};
-pub use trainer::train;
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorEvent, SupervisorReport};
+pub use trainer::{train, train_with_store};

@@ -7,6 +7,7 @@
 //! a held-out set. "Epoch time" follows the paper's convention of
 //! computation + communication.
 
+use crate::supervisor::SupervisorReport;
 use hetkg_core::metrics::CacheStats;
 use hetkg_eval::RankMetrics;
 use hetkg_netsim::{FaultSnapshot, TrafficSnapshot};
@@ -40,6 +41,10 @@ pub struct EpochReport {
     /// Mean per-key divergence at sync points, worst worker (0 for
     /// cacheless systems).
     pub mean_divergence: f64,
+    /// Largest cache staleness (iterations since sync) observed by any
+    /// worker up to the end of this epoch (0 for cacheless systems).
+    #[serde(default)]
+    pub max_staleness: usize,
 }
 
 impl EpochReport {
@@ -94,6 +99,16 @@ pub struct FaultReport {
     pub recoveries: u64,
     /// Recovery checkpoints taken during the run.
     pub checkpoints: u64,
+    /// Remote frames delivered with a flipped bit.
+    #[serde(default)]
+    pub corrupt_frames: u64,
+    /// Corrupt frames caught by the wire checksum and re-pulled.
+    #[serde(default)]
+    pub corrupt_detected: u64,
+    /// Corrupt frames ingested because checksums were off (poisoned
+    /// entries; must be zero whenever integrity is on).
+    #[serde(default)]
+    pub corrupt_ingested: u64,
 }
 
 impl FaultReport {
@@ -109,6 +124,9 @@ impl FaultReport {
         self.degraded_hits += s.degraded_hits;
         self.deferred_pushes += s.deferred_pushes;
         self.backlog_flushes += s.backlog_flushes;
+        self.corrupt_frames += s.corrupt_frames;
+        self.corrupt_detected += s.corrupt_detected;
+        self.corrupt_ingested += s.corrupt_ingested;
     }
 
     /// Whether any fault or countermeasure fired at all.
@@ -131,6 +149,9 @@ pub struct TrainReport {
     /// Fault/recovery accounting (present iff a fault plan was attached).
     #[serde(default)]
     pub faults: Option<FaultReport>,
+    /// Supervision accounting (present iff a fault plan was attached).
+    #[serde(default)]
+    pub supervisor: Option<SupervisorReport>,
 }
 
 impl TrainReport {
@@ -169,12 +190,24 @@ impl TrainReport {
 
     /// Aggregate cache stats over the whole run.
     pub fn total_cache(&self) -> CacheStats {
-        self.epochs.iter().fold(CacheStats::default(), |acc, e| acc.merge(e.cache))
+        self.epochs
+            .iter()
+            .fold(CacheStats::default(), |acc, e| acc.merge(e.cache))
     }
 
     /// Largest cache-vs-global divergence seen anywhere in the run.
     pub fn max_divergence(&self) -> f64 {
-        self.epochs.iter().fold(0.0, |acc, e| acc.max(e.max_divergence))
+        self.epochs
+            .iter()
+            .fold(0.0, |acc, e| acc.max(e.max_divergence))
+    }
+
+    /// Largest cache staleness seen anywhere in the run (iterations since
+    /// sync; 0 for cacheless systems).
+    pub fn max_staleness(&self) -> usize {
+        self.epochs
+            .iter()
+            .fold(0, |acc, e| acc.max(e.max_staleness))
     }
 
     /// Loss of the final epoch (NaN when no epochs ran).
@@ -201,7 +234,12 @@ mod tests {
     use super::*;
 
     fn epoch(compute: f64, comm: f64, mrr: Option<f64>) -> EpochReport {
-        EpochReport { compute_secs: compute, comm_secs: comm, mrr, ..Default::default() }
+        EpochReport {
+            compute_secs: compute,
+            comm_secs: comm,
+            mrr,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -230,7 +268,11 @@ mod tests {
     #[test]
     fn convergence_series_accumulates_time() {
         let r = TrainReport {
-            epochs: vec![epoch(1.0, 1.0, Some(0.3)), epoch(1.0, 1.0, None), epoch(1.0, 1.0, Some(0.5))],
+            epochs: vec![
+                epoch(1.0, 1.0, Some(0.3)),
+                epoch(1.0, 1.0, None),
+                epoch(1.0, 1.0, Some(0.5)),
+            ],
             ..Default::default()
         };
         assert_eq!(r.convergence_series(), vec![(1.0, 0.3), (3.0, 0.5)]);
@@ -250,19 +292,64 @@ mod tests {
     fn fault_report_absorbs_snapshots() {
         let mut fr = FaultReport::default();
         assert!(fr.is_quiet());
-        fr.absorb(&FaultSnapshot { drops: 2, retries: 1, degraded_hits: 5, ..Default::default() });
-        fr.absorb(&FaultSnapshot { drops: 1, deferred_pushes: 3, ..Default::default() });
+        fr.absorb(&FaultSnapshot {
+            drops: 2,
+            retries: 1,
+            degraded_hits: 5,
+            ..Default::default()
+        });
+        fr.absorb(&FaultSnapshot {
+            drops: 1,
+            deferred_pushes: 3,
+            corrupt_frames: 4,
+            corrupt_detected: 4,
+            ..Default::default()
+        });
         fr.recoveries = 1;
         assert_eq!(fr.drops, 3);
         assert_eq!(fr.retries, 1);
         assert_eq!(fr.degraded_hits, 5);
         assert_eq!(fr.deferred_pushes, 3);
+        assert_eq!(fr.corrupt_frames, 4);
+        assert_eq!(fr.corrupt_detected, 4);
+        assert_eq!(fr.corrupt_ingested, 0);
         assert!(!fr.is_quiet());
     }
 
     #[test]
+    fn pre_integrity_report_json_still_loads() {
+        // Reports serialized before the corrupt counters / staleness /
+        // supervisor fields existed must keep deserializing.
+        let r = TrainReport {
+            epochs: vec![epoch(1.0, 2.0, None)],
+            faults: Some(FaultReport {
+                drops: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut v = serde_json::to_value(&r).unwrap();
+        v.as_object_mut().unwrap().remove("supervisor");
+        let f = v["faults"].as_object_mut().unwrap();
+        f.remove("corrupt_frames");
+        f.remove("corrupt_detected");
+        f.remove("corrupt_ingested");
+        v["epochs"][0]
+            .as_object_mut()
+            .unwrap()
+            .remove("max_staleness");
+        let back: TrainReport = serde_json::from_value(v).unwrap();
+        assert!(back.supervisor.is_none());
+        assert_eq!(back.faults.unwrap().corrupt_frames, 0);
+        assert_eq!(back.max_staleness(), 0);
+    }
+
+    #[test]
     fn report_json_without_faults_field_still_loads() {
-        let r = TrainReport { system: "DGL-KE".into(), ..Default::default() };
+        let r = TrainReport {
+            system: "DGL-KE".into(),
+            ..Default::default()
+        };
         let mut v = serde_json::to_value(&r).unwrap();
         v.as_object_mut().unwrap().remove("faults");
         let back: TrainReport = serde_json::from_value(v).unwrap();

@@ -27,14 +27,21 @@ impl DglKeWorker {
             ctx.key_space,
             seed ^ (ctx.worker_id as u64).wrapping_mul(0x9E37_79B9),
         );
-        Self { ctx, sampler, negatives }
+        Self {
+            ctx,
+            sampler,
+            negatives,
+        }
     }
 
     fn one_iteration(&mut self) -> crate::batch::BatchResult {
         let positives = self.sampler.sample_batch(&self.ctx.subgraph);
         let mut negs = Vec::new();
         self.negatives.corrupt_batch(&positives, &mut negs);
-        let batch = MiniBatch { positives, negatives: negs };
+        let batch = MiniBatch {
+            positives,
+            negatives: negs,
+        };
 
         // Pull everything the batch touches.
         let keys = batch.unique_keys(self.ctx.key_space);
@@ -78,6 +85,7 @@ impl WorkerLoop for DglKeWorker {
             loss_terms: acc.terms,
             max_divergence: 0.0,
             mean_divergence: 0.0,
+            max_staleness: 0,
         }
     }
 }
@@ -105,7 +113,14 @@ mod tests {
         .build(5);
         let ks = g.key_space();
         let router = ShardRouter::round_robin(ks, 2);
-        let store = Arc::new(KvStore::new(router, 8, 8, 1, Init::Uniform { bound: 0.2 }, 1));
+        let store = Arc::new(KvStore::new(
+            router,
+            8,
+            8,
+            1,
+            Init::Uniform { bound: 0.2 },
+            1,
+        ));
         let meter = Arc::new(TrafficMeter::new());
         let client = PsClient::new(0, ClusterTopology::new(2, 1), store, meter.clone());
         let ctx = WorkerCtx::new(
@@ -121,7 +136,10 @@ mod tests {
         );
         let negatives = NegativeSampler::new(
             60,
-            NegConfig { per_positive: 4, strategy: NegStrategy::Independent },
+            NegConfig {
+                per_positive: 4,
+                strategy: NegStrategy::Independent,
+            },
             9,
         );
         DglKeWorker::new(ctx, negatives, 1)

@@ -154,12 +154,16 @@ impl HetKgWorker {
         }
         self.table.clear();
         for (key, row) in survivors {
-            self.table.insert(key, &row).expect("capacity covers the hot set");
+            self.table
+                .insert(key, &row)
+                .expect("capacity covers the hot set");
         }
         if !fresh.is_empty() {
             let table = &mut self.table;
             self.ctx.client.pull_batch(&fresh, |i, row| {
-                table.insert(fresh[i], row).expect("capacity covers the hot set");
+                table
+                    .insert(fresh[i], row)
+                    .expect("capacity covers the hot set");
             });
         }
     }
@@ -177,13 +181,18 @@ impl HetKgWorker {
                     );
                     self.pending = pf.batches.into();
                 }
-                self.pending.pop_front().expect("prefetch produced at least one batch")
+                self.pending
+                    .pop_front()
+                    .expect("prefetch produced at least one batch")
             }
             PolicyKind::Cps => {
                 let positives = self.sampler.sample_batch(&self.ctx.subgraph);
                 let mut negs = Vec::new();
                 self.negatives.corrupt_batch(&positives, &mut negs);
-                MiniBatch { positives, negatives: negs }
+                MiniBatch {
+                    positives,
+                    negatives: negs,
+                }
             }
         }
     }
@@ -211,7 +220,9 @@ impl HetKgWorker {
             .map(|k| self.backlog.remove(k).expect("key was just listed"))
             .collect();
         let grad_refs: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
-        self.ctx.client.push_batch(&ready, &grad_refs, self.ctx.optimizer.as_ref());
+        self.ctx
+            .client
+            .push_batch(&ready, &grad_refs, self.ctx.optimizer.as_ref());
         if let Some(f) = self.ctx.client.faults() {
             f.injector.note_backlog_flush();
         }
@@ -245,7 +256,9 @@ impl HetKgWorker {
                     deferred += 1;
                 }
             }
-            self.ctx.client.push_batch(&up_keys, &up_grads, self.ctx.optimizer.as_ref());
+            self.ctx
+                .client
+                .push_batch(&up_keys, &up_grads, self.ctx.optimizer.as_ref());
         }
         if deferred > 0 {
             if let Some(f) = self.ctx.client.faults() {
@@ -303,9 +316,15 @@ impl HetKgWorker {
             .iter()
             .chain(batch.negatives.iter().map(|n| &n.triple))
         {
-            *usage.entry(self.ctx.key_space.entity_key(t.head)).or_insert(0) += 1;
-            *usage.entry(self.ctx.key_space.relation_key(t.relation)).or_insert(0) += 1;
-            *usage.entry(self.ctx.key_space.entity_key(t.tail)).or_insert(0) += 1;
+            *usage
+                .entry(self.ctx.key_space.entity_key(t.head))
+                .or_insert(0) += 1;
+            *usage
+                .entry(self.ctx.key_space.relation_key(t.relation))
+                .or_insert(0) += 1;
+            *usage
+                .entry(self.ctx.key_space.entity_key(t.tail))
+                .or_insert(0) += 1;
         }
         self.ctx.ws.clear();
         self.miss_keys.clear();
@@ -443,6 +462,7 @@ impl WorkerLoop for HetKgWorker {
             } else {
                 self.epoch_div_sum / self.epoch_div_samples as f64
             },
+            max_staleness: self.staleness.max_observed(),
         }
     }
 }
@@ -487,12 +507,21 @@ mod tests {
         .build(5);
         let ks = g.key_space();
         let router = ShardRouter::round_robin(ks, 2);
-        let store = Arc::new(KvStore::new(router, 8, 8, 1, Init::Uniform { bound: 0.2 }, 1));
+        let store = Arc::new(KvStore::new(
+            router,
+            8,
+            8,
+            1,
+            Init::Uniform { bound: 0.2 },
+            1,
+        ));
         let meter = Arc::new(TrafficMeter::new());
         let mut client = PsClient::new(0, ClusterTopology::new(2, 1), store, meter.clone());
         if let Some((plan, cost)) = faults {
-            client = client
-                .with_faults(Arc::new(FaultInjector::new(plan, cost, 0)), RetryPolicy::default());
+            client = client.with_faults(
+                Arc::new(FaultInjector::new(plan, cost, 0)),
+                RetryPolicy::default(),
+            );
         }
         let ctx = WorkerCtx::new(
             0,
@@ -507,7 +536,10 @@ mod tests {
         );
         let negatives = NegativeSampler::new(
             80,
-            NegConfig { per_positive: 4, strategy: NegStrategy::Independent },
+            NegConfig {
+                per_positive: 4,
+                strategy: NegStrategy::Independent,
+            },
             9,
         );
         let policy = CachePolicy {
@@ -577,7 +609,14 @@ mod tests {
         .build(5);
         let ks = g.key_space();
         let router = ShardRouter::round_robin(ks, 2);
-        let store = Arc::new(KvStore::new(router, 8, 8, 1, Init::Uniform { bound: 0.2 }, 1));
+        let store = Arc::new(KvStore::new(
+            router,
+            8,
+            8,
+            1,
+            Init::Uniform { bound: 0.2 },
+            1,
+        ));
         let meter = Arc::new(TrafficMeter::new());
         let client = PsClient::new(0, ClusterTopology::new(2, 1), store, meter.clone());
         let ctx = WorkerCtx::new(
@@ -593,7 +632,10 @@ mod tests {
         );
         let negatives = NegativeSampler::new(
             80,
-            NegConfig { per_positive: 4, strategy: NegStrategy::Independent },
+            NegConfig {
+                per_positive: 4,
+                strategy: NegStrategy::Independent,
+            },
             9,
         );
         let mut dgl = DglKeWorker::new(ctx, negatives, 1);
@@ -616,8 +658,7 @@ mod tests {
             last = w.run_epoch(e);
         }
         assert!(
-            last.loss_sum / (last.loss_terms as f64)
-                < first.loss_sum / (first.loss_terms as f64)
+            last.loss_sum / (last.loss_terms as f64) < first.loss_sum / (first.loss_terms as f64)
         );
     }
 
@@ -634,13 +675,21 @@ mod tests {
         // The degraded-mode code paths must be inert when every shard is
         // always up: same traffic, same losses, no counters.
         let mut plain = build(PolicyKind::Cps, 30);
-        let mut faulty =
-            build_with_faults(PolicyKind::Cps, 30, FaultPlan::default(), CostModel::gigabit());
+        let mut faulty = build_with_faults(
+            PolicyKind::Cps,
+            30,
+            FaultPlan::default(),
+            CostModel::gigabit(),
+        );
         for e in 0..3 {
             let a = plain.run_epoch(e);
             let b = faulty.run_epoch(e);
             assert_eq!(a.traffic, b.traffic, "epoch {e} traffic diverged");
-            assert_eq!(a.loss_sum.to_bits(), b.loss_sum.to_bits(), "epoch {e} loss diverged");
+            assert_eq!(
+                a.loss_sum.to_bits(),
+                b.loss_sum.to_bits(),
+                "epoch {e} loss diverged"
+            );
             assert_eq!(a.cache.hits, b.cache.hits);
             assert_eq!(a.cache.misses, b.cache.misses);
         }
@@ -682,10 +731,22 @@ mod tests {
         }
         let binding = w.ctx.client.faults().unwrap();
         let stats = binding.injector.stats();
-        assert!(stats.degraded_hits > 0, "no stale hits served during the outage: {stats:?}");
-        assert!(stats.deferred_pushes > 0, "no pushes deferred during the outage: {stats:?}");
-        assert!(stats.backlog_flushes >= 1, "backlog never flushed after recovery: {stats:?}");
-        assert!(w.backlog.is_empty(), "backlog must drain once the shard is back");
+        assert!(
+            stats.degraded_hits > 0,
+            "no stale hits served during the outage: {stats:?}"
+        );
+        assert!(
+            stats.deferred_pushes > 0,
+            "no pushes deferred during the outage: {stats:?}"
+        );
+        assert!(
+            stats.backlog_flushes >= 1,
+            "backlog never flushed after recovery: {stats:?}"
+        );
+        assert!(
+            w.backlog.is_empty(),
+            "backlog must drain once the shard is back"
+        );
         assert_eq!(stats.drops, 0, "outage-only plan must not drop messages");
     }
 }

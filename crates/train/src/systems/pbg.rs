@@ -72,7 +72,12 @@ impl PbgPlan {
         }
         let mut buckets: Vec<_> = bucket_map.into_iter().collect();
         buckets.sort_by_key(|&(k, _)| k);
-        Self { part_of, parts, buckets, per_positive }
+        Self {
+            part_of,
+            parts,
+            buckets,
+            per_positive,
+        }
     }
 }
 
@@ -149,7 +154,8 @@ impl LockServer {
             }
             // Everything runnable is blocked on locked partitions: wait for
             // a release (with a timeout so shutdown can't hang).
-            self.cv.wait_for(&mut s, std::time::Duration::from_millis(50));
+            self.cv
+                .wait_for(&mut s, std::time::Duration::from_millis(50));
         }
     }
 
@@ -193,10 +199,20 @@ impl PbgWorker {
         entity_lr: f32,
     ) -> Self {
         let relation_keys: Vec<ParamKey> = (0..ctx.key_space.num_relations())
-            .map(|r| ctx.key_space.relation_key(hetkg_kgraph::RelationId(r as u32)))
+            .map(|r| {
+                ctx.key_space
+                    .relation_key(hetkg_kgraph::RelationId(r as u32))
+            })
             .collect();
         let rng = StdRng::seed_from_u64(seed ^ (ctx.worker_id as u64).wrapping_mul(0xABCDEF));
-        Self { ctx, plan, locks, rng, relation_keys, entity_lr }
+        Self {
+            ctx,
+            plan,
+            locks,
+            rng,
+            relation_keys,
+            entity_lr,
+        }
     }
 
     /// Process one bucket.
@@ -217,9 +233,13 @@ impl PbgWorker {
         self.ctx.ws.clear();
         {
             let ws = &mut self.ctx.ws;
-            self.ctx.client.pull_batch(&entity_keys, |i, row| ws.insert(entity_keys[i], row));
+            self.ctx
+                .client
+                .pull_batch(&entity_keys, |i, row| ws.insert(entity_keys[i], row));
             let rel_keys = &self.relation_keys;
-            self.ctx.client.pull_batch(rel_keys, |i, row| ws.insert(rel_keys[i], row));
+            self.ctx
+                .client
+                .pull_batch(rel_keys, |i, row| ws.insert(rel_keys[i], row));
         }
 
         // Loaded entity universe for in-bucket corruption.
@@ -257,8 +277,7 @@ impl PbgWorker {
                     // local SGD-style step on the working copy
                     let cur = self.ctx.ws.get(k);
                     let lr = self.entity_lr;
-                    let next: Vec<f32> =
-                        cur.iter().zip(g).map(|(&x, &gi)| x - lr * gi).collect();
+                    let next: Vec<f32> = cur.iter().zip(g).map(|(&x, &gi)| x - lr * gi).collect();
                     entity_updates.push((k, next));
                 } else {
                     // Relations accumulate until the next dense push.
@@ -283,7 +302,10 @@ impl PbgWorker {
                     .relation_keys
                     .iter()
                     .map(|k| {
-                        pending_rel_grads.get(k).map(Vec::as_slice).unwrap_or(&zero_rel)
+                        pending_rel_grads
+                            .get(k)
+                            .map(Vec::as_slice)
+                            .unwrap_or(&zero_rel)
                     })
                     .collect();
                 self.ctx.client.push_batch(
@@ -323,7 +345,10 @@ impl PbgWorker {
                 negatives.push(Negative { triple, slot });
             }
         }
-        MiniBatch { positives: positives.to_vec(), negatives }
+        MiniBatch {
+            positives: positives.to_vec(),
+            negatives,
+        }
     }
 }
 
@@ -351,6 +376,7 @@ impl WorkerLoop for PbgWorker {
             loss_terms: acc.terms,
             max_divergence: 0.0,
             mean_divergence: 0.0,
+            max_staleness: 0,
         }
     }
 }
@@ -386,7 +412,14 @@ mod tests {
     fn build_workers(g: &KnowledgeGraph, num_workers: usize) -> Vec<PbgWorker> {
         let ks = g.key_space();
         let router = ShardRouter::round_robin(ks, num_workers);
-        let store = Arc::new(KvStore::new(router, 8, 8, 1, Init::Uniform { bound: 0.2 }, 1));
+        let store = Arc::new(KvStore::new(
+            router,
+            8,
+            8,
+            1,
+            Init::Uniform { bound: 0.2 },
+            1,
+        ));
         let plan = Arc::new(PbgPlan::new(
             g.num_entities(),
             g.triples(),
@@ -508,8 +541,7 @@ mod tests {
             last = workers[0].run_epoch(e);
         }
         assert!(
-            last.loss_sum / (last.loss_terms as f64)
-                < first.loss_sum / (first.loss_terms as f64)
+            last.loss_sum / (last.loss_terms as f64) < first.loss_sum / (first.loss_terms as f64)
         );
     }
 }

@@ -5,18 +5,24 @@
 //! When the config carries a [`FaultPlan`](hetkg_netsim::FaultPlan), every
 //! worker's PS client is wired through a per-worker
 //! [`FaultInjector`](hetkg_netsim::FaultInjector), the trainer takes
-//! periodic in-memory recovery checkpoints (v2: model + epoch + optimizer
-//! state), and a scheduled worker crash is recovered by restoring the PS
-//! from the last checkpoint and rebuilding the workers.
+//! periodic recovery checkpoints (v2 state through the checked v3 encoding,
+//! on disk when `checkpoint_dir` is set, else as validated in-memory
+//! images), and each scheduled worker crash goes through the
+//! [`Supervisor`]: missed heartbeats, confirmation, a bounded
+//! restart-with-backoff decision, and a restore from the newest checkpoint
+//! that still validates — torn or rotted images are skipped, counted, and
+//! reported, never partially loaded.
 
 use crate::config::{PartitionerKind, SystemKind, TrainConfig};
 use crate::report::{EpochReport, FaultReport, TrainReport};
+use crate::supervisor::{RestartDecision, Supervisor};
 use crate::systems::dglke::DglKeWorker;
 use crate::systems::hetkg::HetKgWorker;
 use crate::systems::pbg::{LockServer, PbgPlan, PbgWorker};
 use crate::worker::{WorkerCtx, WorkerEpochStats, WorkerLoop};
-use hetkg_embed::checkpoint::{Checkpoint, TrainState};
+use hetkg_embed::checkpoint::{Checkpoint, CheckpointError, TrainState};
 use hetkg_embed::init::Init;
+use hetkg_embed::manifest::CheckpointStore;
 use hetkg_embed::negative::NegativeSampler;
 use hetkg_embed::storage::EmbeddingTable;
 use hetkg_eval::link_prediction::{evaluate, EmbeddingSnapshot, EvalConfig};
@@ -24,6 +30,7 @@ use hetkg_kgraph::{ids::KeyKind, EntityId, KeySpace, KnowledgeGraph, RelationId,
 use hetkg_netsim::{FaultInjector, TrafficMeter};
 use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
 use hetkg_ps::{KvStore, PsClient, RetryPolicy, ShardRouter};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Train a model on `train_triples` of `kg` under `config`.
@@ -119,12 +126,14 @@ pub fn train_with_store(
     let build_workers = |subgraphs: Vec<Vec<Triple>>| -> Vec<Box<dyn WorkerLoop>> {
         // PBG workers share one lock server; a rebuild gets a fresh one so
         // the re-run epoch hands out every bucket again.
-        let pbg_shared =
-            pbg_plan.as_ref().map(|p| (p.clone(), Arc::new(LockServer::new(p.clone()))));
+        let pbg_shared = pbg_plan
+            .as_ref()
+            .map(|p| (p.clone(), Arc::new(LockServer::new(p.clone()))));
         let mut workers: Vec<Box<dyn WorkerLoop>> = Vec::with_capacity(subgraphs.len());
         for (w, subgraph) in subgraphs.into_iter().enumerate() {
             let meter = Arc::new(TrafficMeter::new());
-            let mut client = PsClient::new(w, topology, store.clone(), meter.clone());
+            let mut client = PsClient::new(w, topology, store.clone(), meter.clone())
+                .with_checksums(config.integrity);
             if let Some(inj) = &injectors[w] {
                 client = client.with_faults(inj.clone(), RetryPolicy::default());
             }
@@ -172,13 +181,17 @@ pub fn train_with_store(
         }
         workers
     };
-    let crash_epoch = config.faults.as_ref().and_then(|p| p.crash).map(|c| c.epoch);
-    // The recovery path needs the subgraphs a second time; keep a copy only
-    // when a crash is actually scheduled.
-    let master_subgraphs = crash_epoch.map(|_| per_worker.clone());
+    let crash_epochs = config
+        .faults
+        .as_ref()
+        .map(|p| p.crash_epochs())
+        .unwrap_or_default();
+    // The recovery path needs the subgraphs again on every rebuild; keep a
+    // copy only when a crash is actually scheduled.
+    let master_subgraphs = (!crash_epochs.is_empty()).then(|| per_worker.clone());
     let mut workers = build_workers(per_worker);
 
-    // --- Epoch loop with recovery checkpoints and injected crash ---
+    // --- Epoch loop with recovery checkpoints and supervised crashes ---
     let mut report = TrainReport {
         system: config.system.to_string(),
         model: config.model.to_string(),
@@ -188,37 +201,79 @@ pub fn train_with_store(
     let optimizer_label = format!("{:?}", config.optimizer);
     // A scheduled crash forces checkpointing on, so the restart always has
     // something to restore.
-    let ckpt_period = if crash_epoch.is_some() && config.checkpoint_every == 0 {
+    let ckpt_period = if !crash_epochs.is_empty() && config.checkpoint_every == 0 {
         1
     } else {
         config.checkpoint_every
     };
     let mut checkpoints = 0u64;
     let mut recoveries = 0u64;
-    let mut last_ck: Option<(usize, Checkpoint)> = None;
+    let mut recovery = RecoveryStore::open(config);
     if ckpt_period > 0 {
-        last_ck = Some((0, checkpoint_v2(&store, ks, 0, &optimizer_label)));
+        recovery.save(&checkpoint_v2(&store, ks, 0, &optimizer_label), 0);
         checkpoints += 1;
     }
+    let mut supervisor = config
+        .faults
+        .as_ref()
+        .map(|_| Supervisor::new(config.supervisor, topology.num_workers()));
+    let mut fired: HashSet<usize> = HashSet::new();
     let mut epoch = 0;
     while epoch < config.epochs {
         let stats = run_epoch_threads(&mut workers, epoch);
-        if crash_epoch == Some(epoch) && recoveries == 0 {
+        if crash_epochs.contains(&epoch) && !fired.contains(&epoch) {
             // Injected worker crash: everything since the last recovery
-            // checkpoint — this epoch's updates included — is lost. Restore
-            // the PS from the checkpoint, rebuild the workers (their
-            // caches, backlogs, and iteration counters died with the
-            // process), and resume from the checkpoint's epoch.
-            let (ck_epoch, ck) =
-                last_ck.as_ref().expect("a scheduled crash forces checkpointing on");
-            restore_checkpoint(&store, ks, ck);
-            report.epochs.truncate(*ck_epoch);
-            workers = build_workers(
-                master_subgraphs.clone().expect("kept when a crash is scheduled"),
-            );
-            epoch = *ck_epoch;
-            recoveries += 1;
-            continue;
+            // checkpoint — this epoch's updates included — is lost. The
+            // crashed workers never deliver this epoch's heartbeat, so the
+            // failure detector fires after a full timeout of silence; the
+            // supervisor then decides whether the pool restarts.
+            fired.insert(epoch);
+            let sup = supervisor
+                .as_mut()
+                .expect("crash schedule implies a fault plan");
+            let detect_at = cluster_now(&injectors).max(sup.newest_beat())
+                + 1.01 * sup.config().heartbeat_timeout;
+            let dead = sup.poll(detect_at);
+            debug_assert_eq!(dead.len(), workers.len(), "a crash kills the whole pool");
+            let mut abandoned = false;
+            for &w in &dead {
+                sup.confirm_crash(w, epoch, detect_at);
+                if matches!(sup.request_restart(w, detect_at), RestartDecision::GiveUp) {
+                    abandoned = true;
+                }
+            }
+            if abandoned {
+                break; // restart budget exhausted; the report records it
+            }
+            match recovery.load_latest() {
+                Ok((ck_epoch, skipped, ck)) => {
+                    // Restore the PS from the newest checkpoint that
+                    // validates, rebuild the workers (their caches,
+                    // backlogs, and iteration counters died with the
+                    // process), and resume from the checkpoint's epoch.
+                    sup.note_checkpoints_skipped(skipped);
+                    restore_checkpoint(&store, ks, &ck);
+                    report.epochs.truncate(ck_epoch);
+                    workers = build_workers(
+                        master_subgraphs
+                            .clone()
+                            .expect("kept when a crash is scheduled"),
+                    );
+                    epoch = ck_epoch;
+                    recoveries += 1;
+                    continue;
+                }
+                Err(CheckpointError::NoValidCheckpoint { tried }) => {
+                    sup.note_recovery_failed(tried);
+                    break;
+                }
+                Err(e) => panic!("recovery checkpoint store failed: {e}"),
+            }
+        }
+        if let Some(sup) = supervisor.as_mut() {
+            for (w, inj) in injectors.iter().enumerate() {
+                sup.beat(w, inj.as_ref().map_or(0.0, |i| i.now()));
+            }
         }
         let mut er = aggregate(epoch, &stats, config);
         if config.eval_candidates.is_some() && !eval_set.is_empty() {
@@ -242,7 +297,10 @@ pub fn train_with_store(
         report.epochs.push(er);
         epoch += 1;
         if ckpt_period > 0 && epoch < config.epochs && epoch.is_multiple_of(ckpt_period) {
-            last_ck = Some((epoch, checkpoint_v2(&store, ks, epoch as u64, &optimizer_label)));
+            recovery.save(
+                &checkpoint_v2(&store, ks, epoch as u64, &optimizer_label),
+                epoch,
+            );
             checkpoints += 1;
         }
     }
@@ -255,42 +313,150 @@ pub fn train_with_store(
         fr.checkpoints = checkpoints;
         report.faults = Some(fr);
     }
+    if let Some(sup) = supervisor {
+        report.supervisor = Some(sup.into_report());
+    }
     (report, store)
 }
 
+/// The cluster's simulated instant: the furthest-ahead worker clock.
+fn cluster_now(injectors: &[Option<Arc<FaultInjector>>]) -> f64 {
+    injectors
+        .iter()
+        .flatten()
+        .map(|i| i.now())
+        .fold(0.0, f64::max)
+}
+
+/// Where recovery checkpoints live: a crash-consistent on-disk
+/// [`CheckpointStore`] (manifest, bounded retention) when the config names
+/// a directory, else an in-memory ring of *serialized* images. Both paths
+/// run the full v3 validation on load, so a torn or rotted newest image
+/// degrades to the previous valid one — never a silent partial restore.
+enum RecoveryStore {
+    Disk(Box<CheckpointStore>),
+    Ring {
+        entries: VecDeque<(u64, Vec<u8>)>,
+        saved: u64,
+        torn: Option<u64>,
+    },
+}
+
+impl RecoveryStore {
+    /// Checkpoints retained (same bound for both backends).
+    const KEEP: usize = 3;
+
+    fn open(config: &TrainConfig) -> Self {
+        let torn = config.faults.as_ref().and_then(|p| p.torn_checkpoint);
+        match &config.checkpoint_dir {
+            Some(dir) => RecoveryStore::Disk(Box::new(
+                CheckpointStore::open(dir, Self::KEEP)
+                    .expect("open recovery checkpoint directory")
+                    .with_torn_write(torn),
+            )),
+            None => RecoveryStore::Ring {
+                entries: VecDeque::new(),
+                saved: 0,
+                torn,
+            },
+        }
+    }
+
+    fn save(&mut self, ck: &Checkpoint, epoch: usize) {
+        match self {
+            RecoveryStore::Disk(store) => {
+                store
+                    .save(ck, epoch as u64)
+                    .expect("write recovery checkpoint");
+            }
+            RecoveryStore::Ring {
+                entries,
+                saved,
+                torn,
+            } => {
+                let full = ck.to_bytes_checked();
+                let image = if *torn == Some(*saved) {
+                    // Same drill as the disk store's torn write: the image
+                    // exists, but only a prefix of it survived.
+                    full[..full.len() * 2 / 3].to_vec()
+                } else {
+                    full.to_vec()
+                };
+                *saved += 1;
+                entries.push_back((epoch as u64, image));
+                while entries.len() > Self::KEEP {
+                    entries.pop_front();
+                }
+            }
+        }
+    }
+
+    /// The newest checkpoint that validates, as `(epoch, images skipped,
+    /// checkpoint)`.
+    fn load_latest(&self) -> Result<(usize, usize, Checkpoint), CheckpointError> {
+        match self {
+            RecoveryStore::Disk(store) => {
+                let loaded = store.load_latest()?;
+                Ok((loaded.epoch as usize, loaded.skipped, loaded.checkpoint))
+            }
+            RecoveryStore::Ring { entries, .. } => {
+                let mut skipped = 0;
+                for (epoch, image) in entries.iter().rev() {
+                    match Checkpoint::from_bytes(image.clone().into()) {
+                        Ok(ck) => return Ok((*epoch as usize, skipped, ck)),
+                        Err(_) => skipped += 1,
+                    }
+                }
+                Err(CheckpointError::NoValidCheckpoint { tried: skipped })
+            }
+        }
+    }
+}
+
 /// Run one epoch on every worker concurrently.
-fn run_epoch_threads(
-    workers: &mut [Box<dyn WorkerLoop>],
-    epoch: usize,
-) -> Vec<WorkerEpochStats> {
+fn run_epoch_threads(workers: &mut [Box<dyn WorkerLoop>], epoch: usize) -> Vec<WorkerEpochStats> {
     std::thread::scope(|s| {
         let handles: Vec<_> = workers
             .iter_mut()
             .map(|w| s.spawn(move || w.run_epoch(epoch)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
 }
 
 /// Fold worker stats into an epoch report: times are the slowest worker's,
 /// traffic and cache stats are summed, loss is averaged over terms.
 fn aggregate(epoch: usize, stats: &[WorkerEpochStats], config: &TrainConfig) -> EpochReport {
-    let mut er = EpochReport { epoch, ..Default::default() };
+    let mut er = EpochReport {
+        epoch,
+        ..Default::default()
+    };
     let mut loss_sum = 0.0;
     let mut loss_terms = 0usize;
     for s in stats {
-        er.compute_secs =
-            er.compute_secs.max(config.cost_model.compute_time(s.work_units));
+        er.compute_secs = er
+            .compute_secs
+            .max(config.cost_model.compute_time(s.work_units));
         er.wall_secs = er.wall_secs.max(s.wall_secs);
-        er.comm_secs = er.comm_secs.max(s.traffic.simulated_time(&config.cost_model));
+        er.comm_secs = er
+            .comm_secs
+            .max(s.traffic.simulated_time(&config.cost_model));
         er.traffic = er.traffic.merge(s.traffic);
         er.cache = er.cache.merge(s.cache);
         er.max_divergence = er.max_divergence.max(s.max_divergence);
         er.mean_divergence = er.mean_divergence.max(s.mean_divergence);
+        er.max_staleness = er.max_staleness.max(s.max_staleness);
         loss_sum += s.loss_sum;
         loss_terms += s.loss_terms;
     }
-    er.loss = if loss_terms == 0 { 0.0 } else { loss_sum / loss_terms as f64 };
+    er.loss = if loss_terms == 0 {
+        0.0
+    } else {
+        loss_sum / loss_terms as f64
+    };
     er
 }
 
@@ -310,8 +476,7 @@ pub fn checkpoint_v2(store: &KvStore, ks: KeySpace, epoch: u64, optimizer: &str)
     let mut entities = EmbeddingTable::zeros(ks.num_entities(), store.entity_dim());
     let mut relations = EmbeddingTable::zeros(ks.num_relations(), store.relation_dim());
     let mut entity_state = EmbeddingTable::zeros(ks.num_entities(), store.entity_state_dim());
-    let mut relation_state =
-        EmbeddingTable::zeros(ks.num_relations(), store.relation_state_dim());
+    let mut relation_state = EmbeddingTable::zeros(ks.num_relations(), store.relation_state_dim());
     store.for_each_row_with_state(|key, row, state| match ks.classify(key) {
         Some(KeyKind::Entity(e)) => {
             entities.set_row(e.index(), row);
@@ -326,7 +491,12 @@ pub fn checkpoint_v2(store: &KvStore, ks: KeySpace, epoch: u64, optimizer: &str)
     Checkpoint::with_state(
         entities,
         relations,
-        TrainState { epoch, optimizer: optimizer.to_string(), entity_state, relation_state },
+        TrainState {
+            epoch,
+            optimizer: optimizer.to_string(),
+            entity_state,
+            relation_state,
+        },
     )
 }
 
@@ -334,8 +504,16 @@ pub fn checkpoint_v2(store: &KvStore, ks: KeySpace, epoch: u64, optimizer: &str)
 /// optimizer state too when the checkpoint carries it (v2) and its shapes
 /// match the store's; a v1 checkpoint restores the model only.
 pub fn restore_checkpoint(store: &KvStore, ks: KeySpace, ck: &Checkpoint) {
-    assert_eq!(ck.entities.rows(), ks.num_entities(), "checkpoint entity count mismatch");
-    assert_eq!(ck.relations.rows(), ks.num_relations(), "checkpoint relation count mismatch");
+    assert_eq!(
+        ck.entities.rows(),
+        ks.num_entities(),
+        "checkpoint entity count mismatch"
+    );
+    assert_eq!(
+        ck.relations.rows(),
+        ks.num_relations(),
+        "checkpoint relation count mismatch"
+    );
     let state_ok = ck.train_state.as_ref().is_some_and(|ts| {
         ts.entity_state.rows() == ks.num_entities()
             && ts.entity_state.dim() == store.entity_state_dim()
@@ -388,7 +566,12 @@ mod tests {
         let mut cfg = TrainConfig::small(system);
         cfg.epochs = 2;
         cfg.eval_candidates = Some(30);
-        let report = train(&kg, &split.train, &split.valid[..20.min(split.valid.len())], &cfg);
+        let report = train(
+            &kg,
+            &split.train,
+            &split.valid[..20.min(split.valid.len())],
+            &cfg,
+        );
         (report, kg)
     }
 
@@ -463,8 +646,8 @@ mod tests {
         let router = ShardRouter::round_robin(ks, 2);
         let store = KvStore::new(router, 8, 8, 0, Init::Xavier, 9);
         let ck = checkpoint(&store, ks);
-        let path = std::env::temp_dir()
-            .join(format!("hetkg-trainer-ck-{}.bin", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("hetkg-trainer-ck-{}.bin", std::process::id()));
         ck.save(&path).unwrap();
         let back = hetkg_embed::checkpoint::Checkpoint::load(&path).unwrap();
         assert_eq!(back, ck);
@@ -505,7 +688,10 @@ mod tests {
         assert_eq!(a.faults, b.faults);
         let fr = a.faults.expect("fault plan attached");
         assert!(fr.drops > 0, "5% loss over a full run must drop something");
-        assert_eq!(fr.retries, fr.drops, "every drop is retried at default policy");
+        assert_eq!(
+            fr.retries, fr.drops,
+            "every drop is retried at default policy"
+        );
         assert!(fr.retransmitted_bytes > 0);
     }
 
@@ -516,14 +702,160 @@ mod tests {
         let split = Split::ninety_five_five(&kg, 1);
         let mut cfg = TrainConfig::small(SystemKind::HetKgCps);
         cfg.epochs = 4;
-        cfg.faults =
-            Some(FaultPlan { crash: Some(CrashPoint { epoch: 2 }), ..FaultPlan::default() });
+        cfg.faults = Some(FaultPlan {
+            crash: Some(CrashPoint { epoch: 2 }),
+            ..FaultPlan::default()
+        });
         let report = train(&kg, &split.train, &[], &cfg);
         assert_eq!(report.epochs.len(), 4, "all epochs present after recovery");
         let fr = report.faults.expect("fault plan attached");
         assert_eq!(fr.recoveries, 1);
-        assert!(fr.checkpoints >= 1, "crash schedule forces checkpointing on");
+        assert!(
+            fr.checkpoints >= 1,
+            "crash schedule forces checkpointing on"
+        );
         assert_eq!(fr.drops, 0, "crash-only plan perturbs no messages");
+        let sup = report.supervisor.expect("supervised run");
+        assert_eq!(sup.detections, 2, "both workers went silent");
+        assert_eq!(sup.restarts, 2, "both workers restarted once");
+        assert!(!sup.gave_up);
+        assert!(sup.restart_backoff_secs > 0.0);
+    }
+
+    #[test]
+    fn multiple_crashes_recover_within_the_restart_budget() {
+        use hetkg_netsim::{CrashPoint, FaultPlan};
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let mut cfg = TrainConfig::small(SystemKind::HetKgCps);
+        cfg.epochs = 4;
+        cfg.faults = Some(FaultPlan {
+            crashes: vec![CrashPoint { epoch: 1 }, CrashPoint { epoch: 2 }],
+            ..FaultPlan::default()
+        });
+        let report = train(&kg, &split.train, &[], &cfg);
+        assert_eq!(report.epochs.len(), 4, "both crashes recovered mid-run");
+        let fr = report.faults.expect("fault plan attached");
+        assert_eq!(fr.recoveries, 2);
+        let sup = report.supervisor.expect("supervised run");
+        assert_eq!(sup.detections, 4, "2 workers x 2 crashes");
+        assert_eq!(sup.restarts, 4);
+        assert!(!sup.gave_up);
+    }
+
+    #[test]
+    fn exhausted_restart_budget_gives_up_with_a_report_not_a_panic() {
+        use hetkg_netsim::{CrashPoint, FaultPlan};
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let mut cfg = TrainConfig::small(SystemKind::HetKgCps);
+        cfg.epochs = 3;
+        cfg.supervisor.max_restarts = 0;
+        cfg.faults = Some(FaultPlan {
+            crash: Some(CrashPoint { epoch: 1 }),
+            ..FaultPlan::default()
+        });
+        let report = train(&kg, &split.train, &[], &cfg);
+        assert_eq!(
+            report.epochs.len(),
+            1,
+            "run stopped at the unrecovered crash"
+        );
+        let sup = report.supervisor.expect("supervised run");
+        assert!(sup.gave_up);
+        assert_eq!(sup.restarts, 0);
+        assert!(sup
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::supervisor::SupervisorEvent::GaveUp { .. })));
+        assert_eq!(report.faults.unwrap().recoveries, 0);
+    }
+
+    #[test]
+    fn torn_checkpoint_recovery_falls_back_to_the_previous_valid_one() {
+        use hetkg_netsim::{CrashPoint, FaultPlan};
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let mut cfg = TrainConfig::small(SystemKind::HetKgCps);
+        cfg.epochs = 4;
+        // Saves run seq 0 (initial), 1 (after epoch 0), 2 (after epoch 1);
+        // the crash at epoch 2 would restore seq 2, but that write tore.
+        cfg.faults = Some(FaultPlan {
+            crash: Some(CrashPoint { epoch: 2 }),
+            torn_checkpoint: Some(2),
+            ..FaultPlan::default()
+        });
+        let report = train(&kg, &split.train, &[], &cfg);
+        assert_eq!(
+            report.epochs.len(),
+            4,
+            "recovered from the older checkpoint"
+        );
+        let sup = report.supervisor.expect("supervised run");
+        assert_eq!(
+            sup.torn_checkpoints_skipped, 1,
+            "the torn image was skipped, not loaded"
+        );
+        assert!(!sup.gave_up);
+        assert_eq!(report.faults.unwrap().recoveries, 1);
+    }
+
+    #[test]
+    fn disk_checkpoint_store_recovers_through_a_torn_write() {
+        use hetkg_netsim::{CrashPoint, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("hetkg-trainer-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let mut cfg = TrainConfig::small(SystemKind::HetKgCps);
+        cfg.epochs = 4;
+        cfg.checkpoint_dir = Some(dir.to_string_lossy().into_owned());
+        cfg.faults = Some(FaultPlan {
+            crash: Some(CrashPoint { epoch: 2 }),
+            torn_checkpoint: Some(2),
+            ..FaultPlan::default()
+        });
+        let report = train(&kg, &split.train, &[], &cfg);
+        assert_eq!(report.epochs.len(), 4);
+        let sup = report.supervisor.expect("supervised run");
+        assert_eq!(sup.torn_checkpoints_skipped, 1);
+        assert!(dir.join("manifest.txt").exists(), "manifest written");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected_and_repulled_during_training() {
+        use hetkg_netsim::FaultPlan;
+        let kg = small_graph();
+        let split = Split::ninety_five_five(&kg, 1);
+        let mut cfg = TrainConfig::small(SystemKind::DglKe);
+        cfg.faults = Some(FaultPlan::corrupting(13, 0.02));
+        let report = train(&kg, &split.train, &[], &cfg);
+        let fr = report.faults.expect("fault plan attached");
+        assert!(
+            fr.corrupt_frames > 0,
+            "2% corruption over a run must hit something"
+        );
+        assert_eq!(
+            fr.corrupt_detected, fr.corrupt_frames,
+            "every corrupt frame caught"
+        );
+        assert_eq!(fr.corrupt_ingested, 0, "nothing poisoned the tables");
+        assert_eq!(report.epochs.len(), cfg.epochs);
+    }
+
+    #[test]
+    fn hetkg_reports_bounded_staleness() {
+        let (report, _) = run(SystemKind::HetKgCps);
+        let p = TrainConfig::small(SystemKind::HetKgCps).cache.staleness;
+        assert!(report.max_staleness() >= 1, "cache served something stale");
+        assert!(report.max_staleness() <= p, "staleness bound P respected");
+        let (dgl, _) = run(SystemKind::DglKe);
+        assert_eq!(
+            dgl.max_staleness(),
+            0,
+            "cacheless systems report zero staleness"
+        );
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct WorkerEpochStats {
     /// Mean per-key divergence across this epoch's sync events (0 for
     /// cacheless systems).
     pub mean_divergence: f64,
+    /// Largest cache staleness (iterations since sync) this worker has
+    /// observed so far in the run (0 for cacheless systems).
+    pub max_staleness: usize,
 }
 
 /// Everything a worker needs regardless of system.
@@ -105,14 +108,16 @@ impl WorkerCtx {
     /// Pull `keys` from the PS into the working set (one coalesced request).
     pub fn pull_into_ws(&mut self, keys: &[ParamKey]) {
         let ws = &mut self.ws;
-        self.client.pull_batch(keys, |i, row| ws.insert(keys[i], row));
+        self.client
+            .pull_batch(keys, |i, row| ws.insert(keys[i], row));
     }
 
     /// Push every accumulated gradient to the PS (coalesced), then clear the
     /// accumulator.
     pub fn push_grads(&mut self) {
         let (keys, grads) = self.grads.as_batch();
-        self.client.push_batch(&keys, &grads, self.optimizer.as_ref());
+        self.client
+            .push_batch(&keys, &grads, self.optimizer.as_ref());
         self.grads.clear();
     }
 
@@ -146,10 +151,21 @@ mod tests {
     fn ctx() -> WorkerCtx {
         let ks = KeySpace::new(10, 2);
         let router = ShardRouter::round_robin(ks, 1);
-        let store = Arc::new(KvStore::new(router, 4, 4, 0, Init::Uniform { bound: 0.2 }, 1));
+        let store = Arc::new(KvStore::new(
+            router,
+            4,
+            4,
+            0,
+            Init::Uniform { bound: 0.2 },
+            1,
+        ));
         let meter = Arc::new(TrafficMeter::new());
         let client = PsClient::new(0, ClusterTopology::new(1, 1), store, meter.clone());
-        let subgraph = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2), Triple::new(2, 0, 3)];
+        let subgraph = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 1, 2),
+            Triple::new(2, 0, 3),
+        ];
         WorkerCtx::new(
             0,
             subgraph,

@@ -9,7 +9,12 @@
 
 use het_kg::prelude::*;
 
-fn run(kg: &KnowledgeGraph, train_set: &[Triple], eval_set: &[Triple], cache: CacheConfig) -> TrainReport {
+fn run(
+    kg: &KnowledgeGraph,
+    train_set: &[Triple],
+    eval_set: &[Triple],
+    cache: CacheConfig,
+) -> TrainReport {
     let mut cfg = TrainConfig::small(SystemKind::HetKgDps);
     cfg.machines = 4;
     cfg.epochs = 4;
@@ -31,13 +36,19 @@ fn main() {
     );
 
     println!("— cache size sweep (staleness P = 8) —");
-    println!("{:>9} {:>10} {:>10} {:>8}", "capacity", "hit-ratio", "bytes(MB)", "MRR");
+    println!(
+        "{:>9} {:>10} {:>10} {:>8}",
+        "capacity", "hit-ratio", "bytes(MB)", "MRR"
+    );
     for frac in [0.005, 0.01, 0.02, 0.04, 0.08, 0.16] {
         let report = run(
             &kg,
             &split.train,
             &eval_set,
-            CacheConfig { capacity_fraction: frac, ..Default::default() },
+            CacheConfig {
+                capacity_fraction: frac,
+                ..Default::default()
+            },
         );
         println!(
             "{:>8.1}% {:>9.1}% {:>10.1} {:>8.3}",
@@ -49,13 +60,19 @@ fn main() {
     }
 
     println!("\n— staleness sweep (capacity 5%) —");
-    println!("{:>9} {:>10} {:>10} {:>8}", "P", "hit-ratio", "bytes(MB)", "MRR");
+    println!(
+        "{:>9} {:>10} {:>10} {:>8}",
+        "P", "hit-ratio", "bytes(MB)", "MRR"
+    );
     for p in [1usize, 2, 4, 8, 16, 32, 128] {
         let report = run(
             &kg,
             &split.train,
             &eval_set,
-            CacheConfig { staleness: p, ..Default::default() },
+            CacheConfig {
+                staleness: p,
+                ..Default::default()
+            },
         );
         println!(
             "{:>9} {:>9.1}% {:>10.1} {:>8.3}",

@@ -85,10 +85,17 @@ fn write_demo_dataset() -> PathBuf {
     let n = triples.len();
     let (train, rest) = triples.split_at(n * 8 / 10);
     let (valid, test) = rest.split_at(rest.len() / 2);
-    for (name, set) in [("train.txt", train), ("valid.txt", valid), ("test.txt", test)] {
+    for (name, set) in [
+        ("train.txt", train),
+        ("valid.txt", valid),
+        ("test.txt", test),
+    ] {
         let f = std::fs::File::create(dir.join(name)).expect("create split file");
         save_tsv(std::io::BufWriter::new(f), set, &dict).expect("write split");
     }
-    println!("(no dataset given: wrote a demo dataset to {})", dir.display());
+    println!(
+        "(no dataset given: wrote a demo dataset to {})",
+        dir.display()
+    );
     dir
 }

@@ -20,7 +20,10 @@ fn main() {
         kg.num_relations(),
         kg.num_triples()
     );
-    println!("{:<10} {:>9} {:>11} {:>10} {:>8} {:>10}", "system", "time(s)", "comm-share", "bytes(MB)", "MRR", "cache-hit");
+    println!(
+        "{:<10} {:>9} {:>11} {:>10} {:>8} {:>10}",
+        "system", "time(s)", "comm-share", "bytes(MB)", "MRR", "cache-hit"
+    );
 
     for system in [
         SystemKind::Pbg,

@@ -6,14 +6,16 @@
 //! hetkg train     (--data DIR | --synthetic NAME) [--system S] [--model M]
 //!                 [--dim D] [--epochs E] [--machines N] [--out CK.bin]
 //!                 [--fault-profile P] [--checkpoint-every N]
+//!                 [--integrity on|off] [--checkpoint-dir DIR]
+//!                 [--max-restarts N] [--oracle on|off]
 //! hetkg eval      (--data DIR | --synthetic NAME) --checkpoint CK.bin
 //!                 [--model M] [--dim D] [--candidates K]
 //! ```
 //!
 //! `--data DIR` expects FB15k-format `train.txt`/`valid.txt`/`test.txt`;
 //! `--synthetic NAME` is one of `fb15k`, `wn18`, `freebase86m` (harness
-//! scale). `--fault-profile` is a named preset (`none`, `lossy`, `outage`,
-//! `chaos`) or a path to a JSON [`FaultPlan`] file.
+//! scale). `--fault-profile` is a named preset (`none`, `lossy`, `corrupt`,
+//! `outage`, `chaos`) or a path to a JSON [`FaultPlan`] file.
 
 use het_kg::embed::checkpoint::Checkpoint;
 use het_kg::eval::breakdown::evaluate_breakdown;
@@ -22,6 +24,7 @@ use het_kg::kgraph::io::load_benchmark;
 use het_kg::kgraph::stats::AccessCounter;
 use het_kg::partition::quality;
 use het_kg::prelude::*;
+use het_kg::train_sys::oracle;
 use het_kg::train_sys::trainer;
 use std::collections::HashMap;
 use std::fmt;
@@ -119,15 +122,26 @@ fn usage() {
     println!("  --checkpoint P  checkpoint input for `eval`");
     println!("  --seed N        master seed                          (default 42)");
     println!("fault injection (train):");
-    println!("  --fault-profile P    none | lossy | outage | chaos, or a JSON");
-    println!("                       FaultPlan file                  (default none)");
+    println!("  --fault-profile P    none | lossy | corrupt | outage | chaos, or a");
+    println!("                       JSON FaultPlan file             (default none)");
     println!("                       lossy: 2% remote-message loss with retry/backoff");
+    println!("                       corrupt: 1% payload bit-flips, caught by the");
+    println!("                                wire-frame checksum and re-pulled");
     println!("                       outage: PS shard 1 down mid-run; HET-KG serves");
     println!("                               stale hits and defers pushes meanwhile");
     println!("                       chaos: loss + outage + straggler + worker crash");
     println!("                              recovered from a checkpoint");
     println!("  --checkpoint-every N recovery checkpoint every N epochs (0 = off;");
     println!("                       forced on when the profile schedules a crash)");
+    println!("integrity & supervision (train):");
+    println!("  --integrity on|off   verify wire-frame checksums     (default on;");
+    println!("                       off lets injected corruption poison the tables)");
+    println!("  --checkpoint-dir DIR keep recovery checkpoints on disk, written");
+    println!("                       crash-consistently with a manifest (default:");
+    println!("                       validated in-memory images)");
+    println!("  --max-restarts N     supervisor restart budget per worker (default 3)");
+    println!("  --oracle on|off      also run a fault-free shadow reference and");
+    println!("                       check per-key divergence        (default off)");
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -161,7 +175,10 @@ fn check_flags(
 ) -> Result<(), CliError> {
     for k in flags.keys() {
         if !COMMON_FLAGS.contains(&k.as_str()) && !allowed.contains(&k.as_str()) {
-            return Err(CliError::UnknownFlag { command, flag: k.clone() });
+            return Err(CliError::UnknownFlag {
+                command,
+                flag: k.clone(),
+            });
         }
     }
     Ok(())
@@ -204,11 +221,30 @@ fn non_negative(
     }
 }
 
+/// Parse an `on|off` flag (also accepts `true|false`).
+fn switch(
+    flags: &HashMap<String, String>,
+    name: &'static str,
+    default: bool,
+) -> Result<bool, CliError> {
+    match flags.get(name).map(String::as_str) {
+        None => Ok(default),
+        Some("on") | Some("true") => Ok(true),
+        Some("off") | Some("false") => Ok(false),
+        Some(v) => Err(CliError::BadFlag {
+            flag: name,
+            message: format!("expected on or off, got {v:?}"),
+        }),
+    }
+}
+
 fn parse_seed(flags: &HashMap<String, String>) -> Result<u64, CliError> {
-    flag(flags, "seed", "42").parse().map_err(|_| CliError::BadFlag {
-        flag: "seed",
-        message: "must be an unsigned integer".into(),
-    })
+    flag(flags, "seed", "42")
+        .parse()
+        .map_err(|_| CliError::BadFlag {
+            flag: "seed",
+            message: "must be an unsigned integer".into(),
+        })
 }
 
 /// The loaded dataset: graph plus train/valid/test.
@@ -247,7 +283,12 @@ fn load_data(flags: &HashMap<String, String>) -> Result<Data, CliError> {
     };
     let kg = generator.build(seed);
     let split = Split::ninety_five_five(&kg, seed);
-    Ok(Data { kg, train: split.train, _valid: split.valid, test: split.test })
+    Ok(Data {
+        kg,
+        train: split.train,
+        _valid: split.valid,
+        test: split.test,
+    })
 }
 
 fn parse_model(name: &str) -> Result<ModelKind, CliError> {
@@ -290,12 +331,15 @@ fn parse_fault_profile(value: &str, seed: u64) -> Result<Option<FaultPlan>, CliE
     match value {
         "none" => Ok(None),
         "lossy" => Ok(Some(FaultPlan::lossy(seed, 0.02))),
+        "corrupt" => Ok(Some(FaultPlan::corrupting(seed, 0.01))),
         "outage" => Ok(Some(FaultPlan::shard_outage(seed, 1, 0.050, 0.150))),
         "chaos" => Ok(Some(FaultPlan::chaos(seed))),
         path => {
             let raw = std::fs::read_to_string(path).map_err(|e| CliError::BadFlag {
                 flag: "fault-profile",
-                message: format!("not a preset (none | lossy | outage | chaos) and reading {path:?} failed: {e}"),
+                message: format!(
+                    "not a preset (none | lossy | outage | chaos) and reading {path:?} failed: {e}"
+                ),
             })?;
             let plan: FaultPlan = serde_json::from_str(&raw).map_err(|e| CliError::BadFlag {
                 flag: "fault-profile",
@@ -343,8 +387,14 @@ fn cmd_partition(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let seed = parse_seed(flags)?;
     println!("{:<12} {:>10} {:>9}", "partitioner", "edge cut", "balance");
     for (name, p) in [
-        ("metis-like", MetisLike::new(seed).partition(&data.kg, parts)),
-        ("random", RandomPartitioner::new(seed).partition(&data.kg, parts)),
+        (
+            "metis-like",
+            MetisLike::new(seed).partition(&data.kg, parts),
+        ),
+        (
+            "random",
+            RandomPartitioner::new(seed).partition(&data.kg, parts),
+        ),
     ] {
         println!(
             "{:<12} {:>9.1}% {:>9.2}",
@@ -360,7 +410,20 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     check_flags(
         "train",
         flags,
-        &["system", "model", "dim", "epochs", "machines", "out", "fault-profile", "checkpoint-every"],
+        &[
+            "system",
+            "model",
+            "dim",
+            "epochs",
+            "machines",
+            "out",
+            "fault-profile",
+            "checkpoint-every",
+            "integrity",
+            "checkpoint-dir",
+            "max-restarts",
+            "oracle",
+        ],
     )?;
     let data = load_data(flags)?;
     let mut cfg = TrainConfig::small(parse_system(flag(flags, "system", "hetkg-d"))?);
@@ -372,21 +435,48 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     cfg.eval_candidates = None;
     cfg.faults = parse_fault_profile(flag(flags, "fault-profile", "none"), cfg.seed)?;
     cfg.checkpoint_every = non_negative(flags, "checkpoint-every", 0)?;
+    cfg.integrity = switch(flags, "integrity", true)?;
+    cfg.checkpoint_dir = flags.get("checkpoint-dir").cloned();
+    cfg.supervisor.max_restarts =
+        non_negative(flags, "max-restarts", cfg.supervisor.max_restarts as usize)? as u32;
+    let oracle_on = switch(flags, "oracle", false)?;
 
     println!(
         "training {} / {} (d={}) on {} machines, {} epochs...",
         cfg.system, cfg.model, cfg.dim, cfg.machines, cfg.epochs
     );
     if let Some(plan) = &cfg.faults {
+        let crashes = plan.crash_epochs();
         println!(
-            "fault plan: drop {:.1}% | {} outage window(s) | {} straggler episode(s) | crash {}",
+            "fault plan: drop {:.1}% | corrupt {:.1}% ({}) | {} outage window(s) | {} straggler episode(s) | crashes {}",
             100.0 * plan.drop_probability,
+            100.0 * plan.corrupt_probability,
+            if cfg.integrity { "checksums on" } else { "checksums OFF" },
             plan.outages.len(),
             plan.slow_episodes.len(),
-            plan.crash.map_or("none".to_string(), |c| format!("epoch {}", c.epoch)),
+            if crashes.is_empty() { "none".to_string() } else { format!("epochs {crashes:?}") },
         );
     }
-    let (report, store) = trainer::train_with_store(&data.kg, &data.train, &[], &cfg);
+    let (report, store) = if oracle_on {
+        let (verdict, store) = oracle::shadow_check_with_store(
+            &data.kg,
+            &data.train,
+            &cfg,
+            oracle::OracleConfig::default(),
+        );
+        println!(
+            "oracle: {} | max per-key divergence {:.3e} (mean {:.3e}, bound {}) over {} keys | staleness ok: {}",
+            if verdict.within_bound && verdict.staleness_ok { "PASS" } else { "FAIL" },
+            verdict.max_divergence,
+            verdict.mean_divergence,
+            if verdict.exact { "exact".to_string() } else { format!("{:.3e}", verdict.bound) },
+            verdict.keys_compared,
+            verdict.staleness_ok,
+        );
+        (verdict.report, store)
+    } else {
+        trainer::train_with_store(&data.kg, &data.train, &[], &cfg)
+    };
     for e in &report.epochs {
         println!(
             "epoch {:>3}: loss {:.4} | compute {:.2}s comm {:.2}s | cache hit {:.1}%",
@@ -418,11 +508,28 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "degraded cache: {} stale hits, {} deferred pushes, {} backlog flushes | recovery: {} checkpoints, {} restarts",
             fr.degraded_hits, fr.deferred_pushes, fr.backlog_flushes, fr.checkpoints, fr.recoveries,
         );
+        if fr.corrupt_frames > 0 {
+            println!(
+                "integrity: {} corrupt frames injected | {} detected and re-pulled | {} silently ingested",
+                fr.corrupt_frames, fr.corrupt_detected, fr.corrupt_ingested,
+            );
+        }
+    }
+    if let Some(sup) = &report.supervisor {
+        println!(
+            "supervisor: {} missed-heartbeat detections, {} restarts ({:.4}s backoff), {} torn checkpoint(s) skipped{}",
+            sup.detections,
+            sup.restarts,
+            sup.restart_backoff_secs,
+            sup.torn_checkpoints_skipped,
+            if sup.gave_up { " — restart budget exhausted, run abandoned" } else { "" },
+        );
     }
 
     let out = PathBuf::from(flag(flags, "out", "hetkg-model.bin"));
     let ck = trainer::checkpoint(&store, data.kg.key_space());
-    ck.save(&out).map_err(|e| CliError::Checkpoint(format!("saving checkpoint: {e}")))?;
+    ck.save(&out)
+        .map_err(|e| CliError::Checkpoint(format!("saving checkpoint: {e}")))?;
     println!("checkpoint written to {}", out.display());
     Ok(())
 }
@@ -430,7 +537,9 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     check_flags("eval", flags, &["checkpoint", "model", "dim", "candidates"])?;
     let data = load_data(flags)?;
-    let path = flags.get("checkpoint").ok_or(CliError::MissingFlag("checkpoint"))?;
+    let path = flags
+        .get("checkpoint")
+        .ok_or(CliError::MissingFlag("checkpoint"))?;
     let ck = Checkpoint::load(&PathBuf::from(path))
         .map_err(|e| CliError::Checkpoint(format!("loading checkpoint: {e}")))?;
     let model = parse_model(flag(flags, "model", "transe"))?;

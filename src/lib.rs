@@ -64,6 +64,7 @@ pub mod prelude {
     pub use hetkg_core::sync::SyncConfig;
     pub use hetkg_core::table::HotEmbeddingTable;
     pub use hetkg_embed::loss::LossKind;
+    pub use hetkg_embed::manifest::CheckpointStore;
     pub use hetkg_embed::negative::{NegConfig, NegStrategy};
     pub use hetkg_embed::ModelKind;
     pub use hetkg_eval::link_prediction::{evaluate, EvalConfig};
@@ -74,12 +75,15 @@ pub mod prelude {
         datasets, EntityId, KeySpace, KnowledgeGraph, ParamKey, RelationId, Triple,
     };
     pub use hetkg_netsim::{
-        ClusterTopology, CostModel, CrashPoint, FaultPlan, OutageWindow, SlowEpisode,
+        ClusterTopology, CostModel, CrashPoint, FaultPlan, OutageWindow, SlowEpisode, WireFrame,
     };
     pub use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
     pub use hetkg_ps::optimizer::OptimizerKind;
     pub use hetkg_ps::RetryPolicy;
     pub use hetkg_train::config::CacheConfig;
     pub use hetkg_train::trainer::snapshot;
-    pub use hetkg_train::{train, FaultReport, SystemKind, TrainConfig, TrainReport};
+    pub use hetkg_train::{
+        shadow_check, train, FaultReport, OracleConfig, OracleReport, SupervisorConfig,
+        SupervisorReport, SystemKind, TrainConfig, TrainReport,
+    };
 }

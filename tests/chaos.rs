@@ -24,8 +24,16 @@ fn chaos_plan(seed: u64) -> FaultPlan {
     FaultPlan {
         seed,
         drop_probability: 0.08,
-        slow_episodes: vec![SlowEpisode { start: 0.0, end: 0.005, latency_factor: 4.0 }],
-        outages: vec![OutageWindow { shard: 1, start: 0.0, end: 0.030 }],
+        slow_episodes: vec![SlowEpisode {
+            start: 0.0,
+            end: 0.005,
+            latency_factor: 4.0,
+        }],
+        outages: vec![OutageWindow {
+            shard: 1,
+            start: 0.0,
+            end: 0.030,
+        }],
         crash: Some(CrashPoint { epoch: 2 }),
     }
 }
@@ -41,22 +49,51 @@ fn every_system_survives_the_chaos_profile() {
         cfg.faults = Some(chaos_plan(9));
         let report = train(&kg, &split.train, &eval, &cfg);
 
-        assert_eq!(report.epochs.len(), 5, "{system}: crash recovery must finish the run");
+        assert_eq!(
+            report.epochs.len(),
+            5,
+            "{system}: crash recovery must finish the run"
+        );
         for (i, e) in report.epochs.iter().enumerate() {
-            assert_eq!(e.epoch, i, "{system}: epoch reports out of order after recovery");
+            assert_eq!(
+                e.epoch, i,
+                "{system}: epoch reports out of order after recovery"
+            );
         }
 
         let fr = report.faults.expect("fault plan attached, report expected");
-        assert!(fr.drops > 0, "{system}: an 8% lossy link must drop messages: {fr:?}");
+        assert!(
+            fr.drops > 0,
+            "{system}: an 8% lossy link must drop messages: {fr:?}"
+        );
         assert!(fr.retries > 0, "{system}: drops must be retried");
-        assert!(fr.retransmitted_bytes > 0, "{system}: retries must be metered");
-        assert!(fr.outage_refusals > 0, "{system}: shard 1 was down from t=0: {fr:?}");
-        assert!(fr.backoff_secs > 0.0, "{system}: retries and waits cost simulated time");
-        assert_eq!(fr.recoveries, 1, "{system}: exactly one crash was scheduled");
-        assert!(fr.checkpoints >= 1, "{system}: recovery requires checkpoints");
+        assert!(
+            fr.retransmitted_bytes > 0,
+            "{system}: retries must be metered"
+        );
+        assert!(
+            fr.outage_refusals > 0,
+            "{system}: shard 1 was down from t=0: {fr:?}"
+        );
+        assert!(
+            fr.backoff_secs > 0.0,
+            "{system}: retries and waits cost simulated time"
+        );
+        assert_eq!(
+            fr.recoveries, 1,
+            "{system}: exactly one crash was scheduled"
+        );
+        assert!(
+            fr.checkpoints >= 1,
+            "{system}: recovery requires checkpoints"
+        );
 
         let m = report.final_metrics.as_ref().expect("eval set supplied");
-        assert!(m.mrr() > 0.05, "{system}: MRR {} under chaos not better than chance", m.mrr());
+        assert!(
+            m.mrr() > 0.05,
+            "{system}: MRR {} under chaos not better than chance",
+            m.mrr()
+        );
     }
 }
 

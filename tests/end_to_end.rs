@@ -25,7 +25,10 @@ fn full_pipeline_hetkg_dps() {
     let report = train(&kg, &split.train, &eval, &cfg);
 
     assert_eq!(report.epochs.len(), 4);
-    assert!(report.total_cache().hit_ratio() > 0.0, "cache must serve hits");
+    assert!(
+        report.total_cache().hit_ratio() > 0.0,
+        "cache must serve hits"
+    );
     assert!(report.final_metrics.is_some());
     assert!(report.epochs.last().unwrap().loss < report.epochs[0].loss + 1e-9);
 }
@@ -34,16 +37,23 @@ fn full_pipeline_hetkg_dps() {
 fn all_systems_agree_on_workload_and_rank_better_than_chance() {
     let (kg, split) = workload();
     let eval: Vec<Triple> = split.valid.iter().copied().take(30).collect();
-    for system in
-        [SystemKind::DglKe, SystemKind::HetKgCps, SystemKind::HetKgDps, SystemKind::Pbg]
-    {
+    for system in [
+        SystemKind::DglKe,
+        SystemKind::HetKgCps,
+        SystemKind::HetKgDps,
+        SystemKind::Pbg,
+    ] {
         let mut cfg = TrainConfig::small(system);
         cfg.epochs = 6;
         cfg.eval_candidates = Some(100);
         let report = train(&kg, &split.train, &eval, &cfg);
         let m = report.final_metrics.as_ref().unwrap();
         // Chance MRR against ~100 candidates is ≈ ln(100)/100 ≈ 0.05.
-        assert!(m.mrr() > 0.05, "{system}: MRR {} not better than chance", m.mrr());
+        assert!(
+            m.mrr() > 0.05,
+            "{system}: MRR {} not better than chance",
+            m.mrr()
+        );
     }
 }
 
@@ -99,7 +109,9 @@ fn metis_partitioning_reduces_remote_traffic_vs_random() {
         cfg.epochs = 2;
         cfg.machines = 4;
         cfg.partitioner = partitioner;
-        train(&kg, &split.train, &[], &cfg).total_traffic().remote_bytes
+        train(&kg, &split.train, &[], &cfg)
+            .total_traffic()
+            .remote_bytes
     };
     let metis = run(het_kg::train_sys::config::PartitionerKind::MetisLike);
     let random = run(het_kg::train_sys::config::PartitionerKind::Random);
@@ -130,7 +142,10 @@ fn every_model_kind_trains_distributed() {
         cfg.dim = 8; // TransR relation rows are d+d² wide; keep it small
         cfg.epochs = 1;
         let report = train(&kg, &split.train, &[], &cfg);
-        assert!(report.epochs[0].loss.is_finite(), "{model}: loss must be finite");
+        assert!(
+            report.epochs[0].loss.is_finite(),
+            "{model}: loss must be finite"
+        );
         assert!(report.epochs[0].loss > 0.0, "{model}");
     }
 }
@@ -198,5 +213,8 @@ fn staleness_one_tracks_global_model_closely() {
 
     let h = het_report.final_metrics.unwrap().mrr();
     let d = dgl_report.final_metrics.unwrap().mrr();
-    assert!((h - d).abs() < 0.2, "P=1 HET-KG ({h}) should track DGL-KE ({d})");
+    assert!(
+        (h - d).abs() < 0.2,
+        "P=1 HET-KG ({h}) should track DGL-KE ({d})"
+    );
 }

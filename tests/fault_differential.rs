@@ -20,14 +20,20 @@ fn workload() -> (KnowledgeGraph, Vec<Triple>) {
 #[test]
 fn zero_fault_plan_is_invisible_on_every_system() {
     let (kg, train_set) = workload();
-    for system in
-        [SystemKind::DglKe, SystemKind::HetKgCps, SystemKind::HetKgDps, SystemKind::Pbg]
-    {
+    for system in [
+        SystemKind::DglKe,
+        SystemKind::HetKgCps,
+        SystemKind::HetKgDps,
+        SystemKind::Pbg,
+    ] {
         let mut cfg = TrainConfig::small(system);
         cfg.epochs = 3;
         cfg.eval_candidates = None;
         let baseline = train(&kg, &train_set, &[], &cfg);
-        assert!(baseline.faults.is_none(), "{system}: fault-free run must carry no report");
+        assert!(
+            baseline.faults.is_none(),
+            "{system}: fault-free run must carry no report"
+        );
 
         let mut shadowed_cfg = cfg.clone();
         shadowed_cfg.faults = Some(FaultPlan::default());
@@ -46,13 +52,75 @@ fn zero_fault_plan_is_invisible_on_every_system() {
                 "{system}: epoch {} loss diverged under a zero-fault plan",
                 b.epoch
             );
-            assert_eq!(b.traffic, s.traffic, "{system}: epoch {} traffic diverged", b.epoch);
-            assert_eq!(b.cache.hits, s.cache.hits, "{system}: epoch {} cache hits", b.epoch);
-            assert_eq!(b.cache.misses, s.cache.misses, "{system}: epoch {} misses", b.epoch);
+            assert_eq!(
+                b.traffic, s.traffic,
+                "{system}: epoch {} traffic diverged",
+                b.epoch
+            );
+            assert_eq!(
+                b.cache.hits, s.cache.hits,
+                "{system}: epoch {} cache hits",
+                b.epoch
+            );
+            assert_eq!(
+                b.cache.misses, s.cache.misses,
+                "{system}: epoch {} misses",
+                b.epoch
+            );
         }
 
         let fr = shadowed.faults.expect("plan attached, report expected");
-        assert!(fr.is_quiet(), "{system}: zero-fault plan raised counters: {fr:?}");
+        assert!(
+            fr.is_quiet(),
+            "{system}: zero-fault plan raised counters: {fr:?}"
+        );
+    }
+}
+
+#[test]
+fn checksums_are_free_when_nothing_is_corrupt() {
+    // Integrity on vs off over a clean (zero-corruption) network must be
+    // byte-identical in every observable: the checksum rides in a fixed-size
+    // header the meter already accounts for, verification is pure
+    // arithmetic, and no draw is taken from any injector RNG. "Integrity is
+    // free when clean" is what makes default-on defensible.
+    let (kg, train_set) = workload();
+    for system in [
+        SystemKind::DglKe,
+        SystemKind::HetKgCps,
+        SystemKind::HetKgDps,
+        SystemKind::Pbg,
+    ] {
+        let mut on = TrainConfig::small(system);
+        on.epochs = 3;
+        on.eval_candidates = None;
+        on.faults = Some(FaultPlan::lossy(23, 0.05));
+        on.integrity = true;
+        let mut off = on.clone();
+        off.integrity = false;
+
+        let a = train(&kg, &train_set, &[], &on);
+        let b = train(&kg, &train_set, &[], &off);
+
+        assert_eq!(
+            a.total_traffic(),
+            b.total_traffic(),
+            "{system}: checksum verification changed metered traffic"
+        );
+        assert_eq!(a.faults, b.faults, "{system}: fault accounting diverged");
+        assert_eq!(
+            a.total_secs().to_bits(),
+            b.total_secs().to_bits(),
+            "{system}: simulated time diverged"
+        );
+        for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(
+                ea.loss.to_bits(),
+                eb.loss.to_bits(),
+                "{system}: epoch {} loss diverged with checksums off",
+                ea.epoch
+            );
+        }
     }
 }
 
@@ -72,8 +140,14 @@ fn faulty_runs_are_reproducible() {
     assert_eq!(a.total_traffic(), b.total_traffic());
     assert_eq!(a.faults, b.faults);
     let fr = a.faults.unwrap();
-    assert!(fr.drops > 0, "5% loss over three epochs must drop something");
-    assert_eq!(fr.retries, fr.drops, "every drop costs exactly one retry here");
+    assert!(
+        fr.drops > 0,
+        "5% loss over three epochs must drop something"
+    );
+    assert_eq!(
+        fr.retries, fr.drops,
+        "every drop costs exactly one retry here"
+    );
     assert!(fr.retransmitted_bytes > 0);
     for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
         assert_eq!(ea.loss.to_bits(), eb.loss.to_bits());
