@@ -37,8 +37,15 @@ impl SyncConfig {
     }
 
     /// Whether `iteration` is a synchronization point.
+    ///
+    /// Iteration 0 is never one: the cache was just constructed from fresh
+    /// PS pulls, so an immediate refresh would re-pull every cached key for
+    /// zero consistency gain — pure wasted traffic charged against HET-KG's
+    /// communication numbers. The first sync therefore lands at iteration
+    /// `P`, and the staleness bound still holds (the cache is exact at
+    /// construction time).
     pub fn is_sync_iteration(&self, iteration: usize) -> bool {
-        iteration.is_multiple_of(self.period)
+        iteration > 0 && iteration.is_multiple_of(self.period)
     }
 }
 
@@ -153,12 +160,29 @@ mod tests {
     }
 
     #[test]
-    fn sync_schedule_fires_every_p() {
+    fn sync_schedule_fires_every_p_but_not_at_zero() {
         let s = SyncConfig::new(4);
-        assert!(s.is_sync_iteration(0));
+        assert!(
+            !s.is_sync_iteration(0),
+            "iteration 0 follows construction; re-pulling there is waste"
+        );
         assert!(!s.is_sync_iteration(3));
         assert!(s.is_sync_iteration(4));
         assert!(s.is_sync_iteration(8));
+    }
+
+    #[test]
+    fn iteration_zero_never_syncs_regardless_of_period() {
+        // Regression: the schedule used to fire at iteration 0 (0 % P == 0),
+        // re-pulling every key the CPS construction had pulled moments
+        // before.
+        for p in 1..16 {
+            assert!(!SyncConfig::new(p).is_sync_iteration(0), "period {p}");
+        }
+        // P = 1 still syncs every subsequent iteration.
+        let s = SyncConfig::new(1);
+        assert!(s.is_sync_iteration(1));
+        assert!(s.is_sync_iteration(2));
     }
 
     #[test]

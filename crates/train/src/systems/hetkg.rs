@@ -300,7 +300,9 @@ impl HetKgWorker {
         // cache misses (one round trip per server per iteration, as a real
         // KVStore client batches), so sync costs bytes but no extra
         // messages.
-        let sync_now = self.iteration > 0 && self.sync.is_sync_iteration(self.iteration);
+        // Iteration 0 is never a sync point (the schedule itself excludes
+        // it): the cache was constructed from fresh pulls moments ago.
+        let sync_now = self.sync.is_sync_iteration(self.iteration);
         let staleness_now = self.staleness.observe(self.iteration);
 
         // --- Fetch: cache hits locally, misses from the PS ---
@@ -659,6 +661,30 @@ mod tests {
         }
         assert!(
             last.loss_sum / (last.loss_terms as f64) < first.loss_sum / (first.loss_terms as f64)
+        );
+    }
+
+    #[test]
+    fn iteration_zero_does_not_resync_the_fresh_cache() {
+        // Regression for the iteration-0 double sync: the sync path records
+        // one divergence sample per cached key it refreshes, so a sync
+        // firing at iteration 0 — right after CPS construction filled the
+        // cache — would leave samples behind. It must not.
+        let mut w = build(PolicyKind::Cps, 200);
+        w.one_iteration();
+        assert_eq!(w.iteration, 1);
+        assert!(!w.table().is_empty(), "construction must have run");
+        assert_eq!(
+            w.epoch_div_samples, 0,
+            "the sync path ran at iteration 0, re-pulling the fresh cache"
+        );
+        // The periodic sync (P = 4 in `build`) still fires at iteration 4.
+        for _ in 0..4 {
+            w.one_iteration();
+        }
+        assert!(
+            w.epoch_div_samples > 0,
+            "periodic sync must still fire at iteration P"
         );
     }
 
