@@ -88,7 +88,9 @@ mod tests {
         let t1 = m.remote_time(1_000_000, 1);
         let t2 = m.remote_time(2_000_000, 1);
         let t3 = m.remote_time(3_000_000, 1);
-        assert!((t3 - t2) - (t2 - t1) < 1e-12);
+        // Without `.abs()` any concave curve (second difference negative)
+        // would pass vacuously.
+        assert!(((t3 - t2) - (t2 - t1)).abs() < 1e-12);
         assert!(t2 > t1);
     }
 

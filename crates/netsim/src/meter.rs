@@ -72,12 +72,26 @@ pub struct TrafficSnapshot {
 
 impl TrafficSnapshot {
     /// Traffic between an earlier snapshot and this one.
+    ///
+    /// Counters are monotone while the meter lives, but `reset()` between
+    /// the two snapshots makes `self` smaller than `earlier`. That is a
+    /// caller bug (the delta is meaningless), so debug builds assert; in
+    /// release the subtraction saturates to zero instead of panicking in
+    /// the middle of a long training run.
     pub fn since(self, earlier: TrafficSnapshot) -> TrafficSnapshot {
+        debug_assert!(
+            self.local_bytes >= earlier.local_bytes
+                && self.local_messages >= earlier.local_messages
+                && self.remote_bytes >= earlier.remote_bytes
+                && self.remote_messages >= earlier.remote_messages,
+            "snapshot went backwards (meter reset between snapshots?): \
+             {self:?} since {earlier:?}"
+        );
         TrafficSnapshot {
-            local_bytes: self.local_bytes - earlier.local_bytes,
-            local_messages: self.local_messages - earlier.local_messages,
-            remote_bytes: self.remote_bytes - earlier.remote_bytes,
-            remote_messages: self.remote_messages - earlier.remote_messages,
+            local_bytes: self.local_bytes.saturating_sub(earlier.local_bytes),
+            local_messages: self.local_messages.saturating_sub(earlier.local_messages),
+            remote_bytes: self.remote_bytes.saturating_sub(earlier.remote_bytes),
+            remote_messages: self.remote_messages.saturating_sub(earlier.remote_messages),
         }
     }
 
@@ -131,6 +145,22 @@ mod tests {
         assert_eq!(delta.remote_bytes, 250);
         assert_eq!(delta.remote_messages, 1);
         assert_eq!(delta.local_bytes, 50);
+    }
+
+    // Regression: `since` used unchecked `u64` subtraction and panicked in
+    // release builds when `reset()` landed between the two snapshots (debug
+    // builds now assert instead, so this test only runs in release).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn since_saturates_after_reset() {
+        let m = TrafficMeter::new();
+        m.record_remote(1_000);
+        m.record_local(500);
+        let before = m.snapshot();
+        m.reset();
+        m.record_remote(10);
+        let delta = m.snapshot().since(before);
+        assert_eq!(delta, TrafficSnapshot::default());
     }
 
     #[test]
