@@ -15,10 +15,11 @@ use hetkg_kgraph::{KeySpace, KnowledgeGraph, ParamKey};
 use hetkg_netsim::{ClusterTopology, TrafficMeter};
 use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
 use hetkg_ps::optimizer::AdaGrad;
-use hetkg_ps::{KvStore, PsClient, ShardRouter};
+use hetkg_ps::{KvStore, PsClient, PsScratch, ShardRouter};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn bench_models(c: &mut Criterion) {
@@ -136,27 +137,111 @@ fn bench_filter(c: &mut Criterion) {
     });
 }
 
-fn bench_ps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parameter_server");
+fn ps_setup(shards: usize) -> (Arc<KvStore>, PsClient) {
     let ks = KeySpace::new(50_000, 500);
-    let router = ShardRouter::round_robin(ks, 4);
+    let router = ShardRouter::round_robin(ks, shards);
     let store = Arc::new(KvStore::new(router, 64, 64, 1, Init::Xavier, 1));
     let meter = Arc::new(TrafficMeter::new());
-    let client = PsClient::new(0, ClusterTopology::new(4, 1), store, meter);
+    let client = PsClient::new(0, ClusterTopology::new(shards, 1), store.clone(), meter);
+    (store, client)
+}
+
+fn bench_ps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parameter_server");
     let keys: Vec<ParamKey> = (0..256).map(|i| ParamKey(i * 7)).collect();
-    group.throughput(Throughput::Elements(keys.len() as u64));
-    group.bench_function("pull_batch_256", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            client.pull_batch(&keys, |_, row| acc += row[0]);
-            black_box(acc)
-        })
-    });
     let grad = vec![0.01f32; 64];
     let grads: Vec<&[f32]> = keys.iter().map(|_| grad.as_slice()).collect();
     let opt = AdaGrad::new(0.1);
-    group.bench_function("push_batch_256", |b| {
-        b.iter(|| client.push_batch(&keys, &grads, &opt))
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    for shards in [1usize, 4, 16] {
+        let (_store, client) = ps_setup(shards);
+        let mut scratch = PsScratch::new();
+        group.bench_function(
+            BenchmarkId::new("pull_batch_256", format!("{shards}sh")),
+            |b| {
+                b.iter(|| {
+                    let mut acc = 0.0f32;
+                    client.pull_batch_with(&keys, &mut scratch, |_, row| acc += row[0]);
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_function(
+            BenchmarkId::new("push_batch_256", format!("{shards}sh")),
+            |b| b.iter(|| client.push_batch_with(&keys, &grads, &opt, &mut scratch)),
+        );
+        // Allocating convenience path, for before/after comparison.
+        group.bench_function(
+            BenchmarkId::new("pull_batch_256_alloc", format!("{shards}sh")),
+            |b| {
+                b.iter(|| {
+                    let mut acc = 0.0f32;
+                    client.pull_batch(&keys, |_, row| acc += row[0]);
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    // Contended: two background workers hammer the same 4-shard store with
+    // batched gradient pushes while the measured worker pulls/pushes. This
+    // is where lock-once-per-shard pays: per-key locking would interleave
+    // 256 acquire/release cycles with the writers.
+    {
+        let (store, client) = ps_setup(4);
+        let mut scratch = PsScratch::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let store = store.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let opt = AdaGrad::new(0.1);
+                    let bg_keys: Vec<ParamKey> = (0..256)
+                        .map(|i| ParamKey((i * 11 + t * 131) % 50_000))
+                        .collect();
+                    let g = vec![0.01f32; 64];
+                    let bg_grads: Vec<&[f32]> = bg_keys.iter().map(|_| g.as_slice()).collect();
+                    while !stop.load(Ordering::Relaxed) {
+                        store.push_grad_many(&bg_keys, &bg_grads, &opt);
+                    }
+                })
+            })
+            .collect();
+        group.bench_function("pull_batch_256_contended/4sh", |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                client.pull_batch_with(&keys, &mut scratch, |_, row| acc += row[0]);
+                black_box(acc)
+            })
+        });
+        group.bench_function("push_batch_256_contended/4sh", |b| {
+            b.iter(|| client.push_batch_with(&keys, &grads, &opt, &mut scratch))
+        });
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+    group.finish();
+}
+
+fn bench_capture(c: &mut Criterion) {
+    // Snapshot / checkpoint capture walk every row shard-at-a-time; they run
+    // between epochs, so their cost is wall-clock overhead on every run.
+    let mut group = c.benchmark_group("capture");
+    group.sample_size(20);
+    let ks = KeySpace::new(50_000, 500);
+    let router = ShardRouter::round_robin(ks, 4);
+    let store = KvStore::new(router, 64, 64, 1, Init::Xavier, 1);
+    group.bench_function("snapshot_50k_rows", |b| {
+        b.iter(|| black_box(hetkg_train::trainer::snapshot(&store, ks)))
+    });
+    group.bench_function("checkpoint_v2_50k_rows", |b| {
+        b.iter(|| {
+            black_box(hetkg_train::trainer::checkpoint_v2(
+                &store, ks, 3, "adagrad",
+            ))
+        })
     });
     group.finish();
 }
@@ -187,6 +272,7 @@ criterion_group!(
     bench_replacement_caches,
     bench_filter,
     bench_ps,
+    bench_capture,
     bench_partitioners
 );
 criterion_main!(benches);

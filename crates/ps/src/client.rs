@@ -37,6 +37,7 @@
 use crate::error::{RetryPolicy, RpcError};
 use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
+use crate::router::BatchPlan;
 use hetkg_kgraph::ParamKey;
 use hetkg_netsim::{ClusterTopology, FaultInjector, TrafficMeter, Verdict, WireFrame};
 use std::sync::Arc;
@@ -55,10 +56,62 @@ pub struct FaultBinding {
 }
 
 /// Where one key's row lives inside its shard frame's payload.
+#[derive(Debug, Clone, Copy, Default)]
 struct FrameSlot {
     shard: usize,
     offset: usize,
     width: usize,
+}
+
+/// Reusable scratch for the client's batched operations.
+///
+/// The `*_batch_with` methods resolve placements into a [`BatchPlan`], build
+/// one frame per shard out of recycled buffers, and return every frame's
+/// vectors to an internal pool afterwards — so a steady-state training loop
+/// performs **zero** heap allocations per batched PS call. One scratch per
+/// worker (it lives in the worker context); it carries no data across calls,
+/// only capacity.
+#[derive(Debug, Default)]
+pub struct PsScratch {
+    plan: BatchPlan,
+    slots: Vec<FrameSlot>,
+    /// Spare `(keys, payload)` vector pairs, recycled between calls.
+    pool: Vec<(Vec<u64>, Vec<f32>)>,
+    /// Per-shard frame contents for the call in flight (index = shard).
+    parts: Vec<(Vec<u64>, Vec<f32>)>,
+    /// Sealed frames for the call in flight (index = shard).
+    wire: Vec<WireFrame>,
+}
+
+impl PsScratch {
+    /// Fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recycle last call's frames and hand out one cleared `(keys, payload)`
+    /// pair per shard in `parts`.
+    fn begin(&mut self, num_shards: usize) {
+        for mut f in self.wire.drain(..) {
+            self.pool
+                .push((std::mem::take(&mut f.keys), std::mem::take(&mut f.payload)));
+        }
+        self.pool.append(&mut self.parts);
+        while self.parts.len() < num_shards {
+            let (mut k, mut p) = self.pool.pop().unwrap_or_default();
+            k.clear();
+            p.clear();
+            self.parts.push((k, p));
+        }
+    }
+
+    /// Seal each shard's part into its wire frame (empty shards included, so
+    /// `wire` stays shard-indexed).
+    fn seal_parts(&mut self) {
+        for (k, p) in self.parts.drain(..) {
+            self.wire.push(WireFrame::seal(k, p));
+        }
+    }
 }
 
 /// A worker's connection to the parameter server.
@@ -159,17 +212,34 @@ impl PsClient {
     /// Fallible [`pull`](Self::pull): fails only with a fault injector
     /// attached and the retry budget exhausted.
     pub fn try_pull(&self, key: ParamKey, out: &mut [f32]) -> Result<(), RpcError> {
+        self.try_pull_with(key, out, &mut PsScratch::new())
+    }
+
+    /// [`try_pull`](Self::try_pull) with caller-owned scratch, so repeated
+    /// single-key pulls reuse the frame buffers instead of allocating.
+    pub fn try_pull_with(
+        &self,
+        key: ParamKey,
+        out: &mut [f32],
+        scratch: &mut PsScratch,
+    ) -> Result<(), RpcError> {
         let shard = self.store.router().shard_of(key);
         // The server serializes the row into the response frame, sealing the
         // checksum over the clean data; whatever survives transit (possibly
         // a damaged payload, if checksums are off) lands in `out`. On error
         // `out` is untouched.
-        let mut row = vec![0.0f32; out.len()];
-        self.store.pull(key, &mut row);
-        let mut frame = WireFrame::seal(vec![key.0], row);
-        self.transmit_frame(shard, &mut frame)?;
-        out.copy_from_slice(&frame.payload);
-        Ok(())
+        scratch.begin(1);
+        let (mut keys, mut payload) = scratch.parts.pop().expect("begin filled one part");
+        keys.push(key.0);
+        payload.resize(out.len(), 0.0);
+        self.store.pull(key, &mut payload);
+        let mut frame = WireFrame::seal(keys, payload);
+        let result = self.transmit_frame(shard, &mut frame);
+        if result.is_ok() {
+            out.copy_from_slice(&frame.payload);
+        }
+        scratch.wire.push(frame); // recycled by the next call
+        result
     }
 
     /// Pull many keys; `sink(i, row)` receives each key's row in order.
@@ -186,23 +256,64 @@ impl PsClient {
     pub fn try_pull_batch(
         &self,
         keys: &[ParamKey],
+        sink: impl FnMut(usize, &[f32]),
+    ) -> Result<(), RpcError> {
+        self.try_pull_batch_with(keys, &mut PsScratch::new(), sink)
+    }
+
+    /// [`pull_batch`](Self::pull_batch) with caller-owned scratch (the hot
+    /// training path); panics only if the retry budget is exhausted.
+    pub fn pull_batch_with(
+        &self,
+        keys: &[ParamKey],
+        scratch: &mut PsScratch,
+        sink: impl FnMut(usize, &[f32]),
+    ) {
+        self.try_pull_batch_with(keys, scratch, sink)
+            .expect("ps pull_batch failed after retries");
+    }
+
+    /// [`try_pull_batch`](Self::try_pull_batch) with caller-owned scratch:
+    /// placements are resolved once into a shard-grouped [`BatchPlan`], each
+    /// shard is read-locked once, rows are copied straight into recycled
+    /// frame buffers, and nothing is allocated at steady state.
+    pub fn try_pull_batch_with(
+        &self,
+        keys: &[ParamKey],
+        scratch: &mut PsScratch,
         mut sink: impl FnMut(usize, &[f32]),
     ) -> Result<(), RpcError> {
         if keys.is_empty() {
             return Ok(());
         }
-        let max_dim = self.store.entity_dim().max(self.store.relation_dim());
-        let mut buf = vec![0.0f32; max_dim];
-        let (mut frames, slots) = self.seal_frames(keys, |_, key, payload| {
-            let width = (self.store.row_bytes(key) / 4) as usize;
-            self.store.pull(key, &mut buf[..width]);
-            payload.extend_from_slice(&buf[..width]);
+        let router = self.store.router();
+        router.plan_into(keys, &mut scratch.plan);
+        scratch.begin(router.num_shards());
+        let PsScratch {
+            plan, slots, parts, ..
+        } = &mut *scratch;
+        slots.clear();
+        slots.resize(keys.len(), FrameSlot::default());
+        // The sink runs under each shard's read lock; it only appends to
+        // this worker's private buffers, so no other lock is touched.
+        self.store.pull_planned(plan, |i, shard, row| {
+            let (frame_keys, payload) = &mut parts[shard];
+            let offset = payload.len();
+            payload.extend_from_slice(row);
+            frame_keys.push(keys[i].0);
+            slots[i] = FrameSlot {
+                shard,
+                offset,
+                width: row.len(),
+            };
         });
-        self.transmit_frames(&mut frames)?;
-        for (i, slot) in slots.iter().enumerate() {
+        scratch.seal_parts();
+        self.debug_assert_frame_bytes(keys, &scratch.wire);
+        self.transmit_frames(&mut scratch.wire)?;
+        for (i, slot) in scratch.slots.iter().enumerate() {
             sink(
                 i,
-                &frames[slot.shard].payload[slot.offset..slot.offset + slot.width],
+                &scratch.wire[slot.shard].payload[slot.offset..slot.offset + slot.width],
             );
         }
         Ok(())
@@ -244,17 +355,48 @@ impl PsClient {
         grads: &[&[f32]],
         optimizer: &dyn Optimizer,
     ) -> Result<(), RpcError> {
+        self.try_push_batch_with(keys, grads, optimizer, &mut PsScratch::new())
+    }
+
+    /// [`push_batch`](Self::push_batch) with caller-owned scratch (the hot
+    /// training path); panics only if the retry budget is exhausted.
+    pub fn push_batch_with(
+        &self,
+        keys: &[ParamKey],
+        grads: &[&[f32]],
+        optimizer: &dyn Optimizer,
+        scratch: &mut PsScratch,
+    ) {
+        self.try_push_batch_with(keys, grads, optimizer, scratch)
+            .expect("ps push_batch failed after retries");
+    }
+
+    /// [`try_push_batch`](Self::try_push_batch) with caller-owned scratch:
+    /// one plan resolves placements for both frame sealing and server-side
+    /// application, each shard is write-locked once, and duplicate keys
+    /// apply in batch order (the grouping is stable).
+    pub fn try_push_batch_with(
+        &self,
+        keys: &[ParamKey],
+        grads: &[&[f32]],
+        optimizer: &dyn Optimizer,
+        scratch: &mut PsScratch,
+    ) -> Result<(), RpcError> {
         assert_eq!(keys.len(), grads.len(), "one gradient per key");
         if keys.is_empty() {
             return Ok(());
         }
-        let (mut frames, slots) =
-            self.seal_frames(keys, |i, _, payload| payload.extend_from_slice(grads[i]));
-        self.transmit_frames(&mut frames)?;
-        for (&key, slot) in keys.iter().zip(&slots) {
-            let grad = &frames[slot.shard].payload[slot.offset..slot.offset + slot.width];
-            self.store.push_grad(key, grad, optimizer);
-        }
+        self.seal_value_frames(keys, grads, scratch);
+        self.transmit_frames(&mut scratch.wire)?;
+        let (wire, slots) = (&scratch.wire, &scratch.slots);
+        self.store.push_planned(
+            &scratch.plan,
+            |i| {
+                let s = slots[i];
+                &wire[s.shard].payload[s.offset..s.offset + s.width]
+            },
+            optimizer,
+        );
         Ok(())
     }
 
@@ -268,60 +410,81 @@ impl PsClient {
 
     /// Fallible [`write_batch`](Self::write_batch). All-or-nothing.
     pub fn try_write_batch(&self, keys: &[ParamKey], values: &[&[f32]]) -> Result<(), RpcError> {
+        self.try_write_batch_with(keys, values, &mut PsScratch::new())
+    }
+
+    /// [`write_batch`](Self::write_batch) with caller-owned scratch; panics
+    /// only if the retry budget is exhausted.
+    pub fn write_batch_with(&self, keys: &[ParamKey], values: &[&[f32]], scratch: &mut PsScratch) {
+        self.try_write_batch_with(keys, values, scratch)
+            .expect("ps write_batch failed after retries");
+    }
+
+    /// [`try_write_batch`](Self::try_write_batch) with caller-owned scratch.
+    /// Duplicate keys resolve to the last value in batch order, like
+    /// sequential stores.
+    pub fn try_write_batch_with(
+        &self,
+        keys: &[ParamKey],
+        values: &[&[f32]],
+        scratch: &mut PsScratch,
+    ) -> Result<(), RpcError> {
         assert_eq!(keys.len(), values.len(), "one value per key");
         if keys.is_empty() {
             return Ok(());
         }
-        let (mut frames, slots) =
-            self.seal_frames(keys, |i, _, payload| payload.extend_from_slice(values[i]));
-        self.transmit_frames(&mut frames)?;
-        for (&key, slot) in keys.iter().zip(&slots) {
-            let value = &frames[slot.shard].payload[slot.offset..slot.offset + slot.width];
-            self.store.store(key, value);
-        }
+        self.seal_value_frames(keys, values, scratch);
+        self.transmit_frames(&mut scratch.wire)?;
+        let (wire, slots) = (&scratch.wire, &scratch.slots);
+        self.store.store_planned(&scratch.plan, |i| {
+            let s = slots[i];
+            &wire[s.shard].payload[s.offset..s.offset + s.width]
+        });
         Ok(())
     }
 
-    /// Group a batch into one sealed frame per shard. `row_of(i, key,
-    /// payload)` appends key `i`'s row to its shard's payload; the returned
-    /// slots record where each key landed so rows can be read back in key
-    /// order after transit. Frame bytes are exactly the pre-frame accounting
-    /// (`row_bytes + KEY_BYTES` per key); the checksum itself rides in the
-    /// per-message envelope overhead.
-    fn seal_frames(
-        &self,
-        keys: &[ParamKey],
-        mut row_of: impl FnMut(usize, ParamKey, &mut Vec<f32>),
-    ) -> (Vec<WireFrame>, Vec<FrameSlot>) {
-        let shards = self.store.router().num_shards();
-        let mut keys_by_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
-        let mut payload_by_shard: Vec<Vec<f32>> = vec![Vec::new(); shards];
-        let mut slots = Vec::with_capacity(keys.len());
-        for (i, &key) in keys.iter().enumerate() {
-            let shard = self.store.router().shard_of(key);
-            let offset = payload_by_shard[shard].len();
-            row_of(i, key, &mut payload_by_shard[shard]);
-            let width = payload_by_shard[shard].len() - offset;
-            keys_by_shard[shard].push(key.0);
-            slots.push(FrameSlot {
-                shard,
-                offset,
-                width,
-            });
+    /// Plan a batch and seal one frame per shard from caller-supplied rows
+    /// (`rows[i]` belongs to `keys[i]`), leaving the plan, slots, and wire
+    /// frames in `scratch`. Per-shard frame contents are in batch order —
+    /// exactly what per-key grouping produced, since the plan's grouping is
+    /// stable — so metered bytes are unchanged. Frame bytes are exactly the
+    /// pre-frame accounting (`row_bytes + KEY_BYTES` per key); the checksum
+    /// itself rides in the per-message envelope overhead.
+    fn seal_value_frames(&self, keys: &[ParamKey], rows: &[&[f32]], scratch: &mut PsScratch) {
+        let router = self.store.router();
+        router.plan_into(keys, &mut scratch.plan);
+        scratch.begin(router.num_shards());
+        let PsScratch {
+            plan, slots, parts, ..
+        } = &mut *scratch;
+        slots.clear();
+        slots.resize(keys.len(), FrameSlot::default());
+        for shard in plan.shards() {
+            let (frame_keys, payload) = &mut parts[shard];
+            for i in plan.indices(shard) {
+                let offset = payload.len();
+                payload.extend_from_slice(rows[i]);
+                frame_keys.push(keys[i].0);
+                slots[i] = FrameSlot {
+                    shard,
+                    offset,
+                    width: rows[i].len(),
+                };
+            }
         }
-        let frames: Vec<WireFrame> = keys_by_shard
-            .into_iter()
-            .zip(payload_by_shard)
-            .map(|(k, p)| WireFrame::seal(k, p))
-            .collect();
+        scratch.seal_parts();
+        self.debug_assert_frame_bytes(keys, &scratch.wire);
+    }
+
+    /// Debug check: sealed frames carry exactly the per-key metered bytes.
+    fn debug_assert_frame_bytes(&self, keys: &[ParamKey], wire: &[WireFrame]) {
         debug_assert_eq!(
-            frames.iter().map(|fr| fr.wire_bytes()).sum::<u64>(),
+            wire.iter().map(|fr| fr.wire_bytes()).sum::<u64>(),
             keys.iter()
                 .map(|&k| self.store.row_bytes(k) + KEY_BYTES)
                 .sum::<u64>(),
             "frame bytes must match the metered per-key accounting"
         );
-        (frames, slots)
     }
 
     /// Send one frame per touched shard, in ascending shard order.
@@ -527,6 +690,47 @@ mod tests {
         let s = meter.snapshot();
         assert_eq!(s.remote_bytes, 0);
         assert!(s.local_bytes > 0);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_calls() {
+        // One worker reusing a single PsScratch across many mixed calls must
+        // produce the same rows, same store contents, and same metered
+        // traffic as the allocating convenience methods.
+        let (store_a, topo) = setup(2);
+        let (store_b, _) = setup(2);
+        let meter_a = Arc::new(TrafficMeter::new());
+        let meter_b = Arc::new(TrafficMeter::new());
+        let a = PsClient::new(0, topo, store_a.clone(), meter_a.clone());
+        let b = PsClient::new(0, topo, store_b.clone(), meter_b.clone());
+        let mut scratch = PsScratch::new();
+        // Entities on both shards, a duplicate, and a relation key.
+        let keys = [1u64, 0, 3, 1, 9].map(ParamKey);
+        let g = [0.25f32; 4];
+        let grads: Vec<&[f32]> = keys.iter().map(|_| &g[..]).collect();
+        for _ in 0..3 {
+            let mut rows_a = Vec::new();
+            a.pull_batch(&keys, |_, row| rows_a.push(row.to_vec()));
+            let mut rows_b = Vec::new();
+            b.pull_batch_with(&keys, &mut scratch, |_, row| rows_b.push(row.to_vec()));
+            assert_eq!(rows_a, rows_b);
+            a.push_batch(&keys, &grads, &Sgd { lr: 0.1 });
+            b.push_batch_with(&keys, &grads, &Sgd { lr: 0.1 }, &mut scratch);
+            a.write_batch(&[ParamKey(2)], &[&g]);
+            b.write_batch_with(&[ParamKey(2)], &[&g], &mut scratch);
+            let mut single_a = [0.0f32; 4];
+            let mut single_b = [0.0f32; 4];
+            a.pull(ParamKey(5), &mut single_a);
+            b.try_pull_with(ParamKey(5), &mut single_b, &mut scratch)
+                .unwrap();
+            assert_eq!(single_a, single_b);
+        }
+        assert_eq!(meter_a.snapshot(), meter_b.snapshot());
+        let mut all_a = Vec::new();
+        store_a.for_each_row(|k, row| all_a.push((k, row.to_vec())));
+        let mut all_b = Vec::new();
+        store_b.for_each_row(|k, row| all_b.push((k, row.to_vec())));
+        assert_eq!(all_a, all_b);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Algorithm 4) — workers only ship gradients.
 
 use crate::optimizer::Optimizer;
-use crate::router::{Placement, RowKind, ShardRouter};
+use crate::router::{BatchPlan, Placement, RowKind, ShardRouter};
 use hetkg_embed::init::Init;
 use hetkg_embed::storage::EmbeddingTable;
 use hetkg_kgraph::ParamKey;
@@ -53,12 +53,23 @@ impl KvStore {
         assert!(entity_dim > 0 && relation_dim > 0);
         let num_shards = router.num_shards();
         let mut shards = Vec::with_capacity(num_shards);
+        // Build and fill each shard while it is still exclusively owned —
+        // key-addressed init (row depends only on the key, so different
+        // partitionings start identical), zero lock operations.
         for s in 0..num_shards {
             let (ne, nr) = router.shard_rows(s);
-            let entities = EmbeddingTable::zeros(ne, entity_dim);
-            let relations = EmbeddingTable::zeros(nr, relation_dim);
+            let mut entities = EmbeddingTable::zeros(ne, entity_dim);
+            let mut relations = EmbeddingTable::zeros(nr, relation_dim);
             let entity_state = EmbeddingTable::zeros(ne, (entity_dim * state_width).max(1));
             let relation_state = EmbeddingTable::zeros(nr, (relation_dim * state_width).max(1));
+            for &key in router.shard_keys(s) {
+                let p = router.place(key);
+                let row = match p.kind {
+                    RowKind::Entity => entities.row_mut(p.local),
+                    RowKind::Relation => relations.row_mut(p.local),
+                };
+                init.fill_row(row, seed, key.0);
+            }
             shards.push(RwLock::new(Shard {
                 entities,
                 relations,
@@ -66,25 +77,12 @@ impl KvStore {
                 relation_state,
             }));
         }
-        let store = Self {
+        Self {
             router,
             entity_dim,
             relation_dim,
             shards,
-        };
-        // Key-addressed init: iterate the key space, fill each row in place.
-        let ks = store.router.key_space();
-        for k in 0..ks.len() as u64 {
-            let key = ParamKey(k);
-            let p = store.router.place(key);
-            let mut shard = store.shards[p.shard].write();
-            let row = match p.kind {
-                RowKind::Entity => shard.entities.row_mut(p.local),
-                RowKind::Relation => shard.relations.row_mut(p.local),
-            };
-            init.fill_row(row, seed, k);
         }
-        store
     }
 
     /// The router (placement map) in use.
@@ -157,19 +155,110 @@ impl KvStore {
         self.router.place(key)
     }
 
-    /// Run `f` over every key and its current embedding (read-locked shard
-    /// at a time). Used by evaluation to snapshot the model.
+    /// Batched [`pull`](Self::pull): resolve placements once, take each
+    /// shard's read lock once, and hand `sink` every row as
+    /// `(input_index, row)` — shard-grouped, so *not* in input order.
+    pub fn pull_many<F: FnMut(usize, &[f32])>(&self, keys: &[ParamKey], mut sink: F) {
+        let plan = self.router.plan(keys);
+        self.pull_planned(&plan, |i, _shard, row| sink(i, row));
+    }
+
+    /// Batched [`push_grad`](Self::push_grad). Equivalent to applying the
+    /// gradients one key at a time in batch order: duplicates of a key land
+    /// on the same shard and the grouping is stable, so their updates (and
+    /// optimizer-state mutations) apply in the same order.
+    pub fn push_grad_many(&self, keys: &[ParamKey], grads: &[&[f32]], optimizer: &dyn Optimizer) {
+        assert_eq!(keys.len(), grads.len(), "one gradient per key");
+        let plan = self.router.plan(keys);
+        self.push_planned(&plan, |i| grads[i], optimizer);
+    }
+
+    /// Batched [`store`](Self::store); duplicate keys resolve to the last
+    /// value in batch order, like sequential stores.
+    pub fn store_many(&self, keys: &[ParamKey], values: &[&[f32]]) {
+        assert_eq!(keys.len(), values.len(), "one value per key");
+        let plan = self.router.plan(keys);
+        self.store_planned(&plan, |i| values[i]);
+    }
+
+    /// [`pull_many`](Self::pull_many) against a pre-resolved [`BatchPlan`]
+    /// (the metering client plans once and reuses it for frame sealing).
+    /// `sink` receives `(input_index, shard, row)` grouped by shard,
+    /// batch-ordered within each shard.
+    pub fn pull_planned<F: FnMut(usize, usize, &[f32])>(&self, plan: &BatchPlan, mut sink: F) {
+        for s in plan.shards() {
+            let shard = self.shards[s].read();
+            for i in plan.indices(s) {
+                let p = plan.placement(i);
+                let row = match p.kind {
+                    RowKind::Entity => shard.entities.row(p.local),
+                    RowKind::Relation => shard.relations.row(p.local),
+                };
+                sink(i, s, row);
+            }
+        }
+    }
+
+    /// [`push_grad_many`](Self::push_grad_many) against a pre-resolved plan;
+    /// `grad_of(input_index)` supplies each gradient.
+    pub fn push_planned<'a, G: Fn(usize) -> &'a [f32]>(
+        &self,
+        plan: &BatchPlan,
+        grad_of: G,
+        optimizer: &dyn Optimizer,
+    ) {
+        for s in plan.shards() {
+            let mut shard = self.shards[s].write();
+            let Shard {
+                entities,
+                relations,
+                entity_state,
+                relation_state,
+            } = &mut *shard;
+            for i in plan.indices(s) {
+                let p = plan.placement(i);
+                let (row, state) = match p.kind {
+                    RowKind::Entity => (entities.row_mut(p.local), entity_state.row_mut(p.local)),
+                    RowKind::Relation => {
+                        (relations.row_mut(p.local), relation_state.row_mut(p.local))
+                    }
+                };
+                let width = row.len() * optimizer.state_width();
+                optimizer.update(row, &mut state[..width], grad_of(i));
+            }
+        }
+    }
+
+    /// [`store_many`](Self::store_many) against a pre-resolved plan;
+    /// `value_of(input_index)` supplies each row.
+    pub fn store_planned<'a, V: Fn(usize) -> &'a [f32]>(&self, plan: &BatchPlan, value_of: V) {
+        for s in plan.shards() {
+            let mut shard = self.shards[s].write();
+            for i in plan.indices(s) {
+                let p = plan.placement(i);
+                match p.kind {
+                    RowKind::Entity => shard.entities.set_row(p.local, value_of(i)),
+                    RowKind::Relation => shard.relations.set_row(p.local, value_of(i)),
+                }
+            }
+        }
+    }
+
+    /// Run `f` over every key and its current embedding, one read-locked
+    /// shard at a time (not one lock per key). Keys arrive grouped by shard
+    /// — ascending within a shard, not globally — so consumers must address
+    /// by key, which snapshotting and checkpointing do.
     pub fn for_each_row<F: FnMut(ParamKey, &[f32])>(&self, mut f: F) {
-        let ks = self.router.key_space();
-        for k in 0..ks.len() as u64 {
-            let key = ParamKey(k);
-            let p = self.router.place(key);
-            let shard = self.shards[p.shard].read();
-            let row = match p.kind {
-                RowKind::Entity => shard.entities.row(p.local),
-                RowKind::Relation => shard.relations.row(p.local),
-            };
-            f(key, row);
+        for (s, lock) in self.shards.iter().enumerate() {
+            let shard = lock.read();
+            for &key in self.router.shard_keys(s) {
+                let p = self.router.place(key);
+                let row = match p.kind {
+                    RowKind::Entity => shard.entities.row(p.local),
+                    RowKind::Relation => shard.relations.row(p.local),
+                };
+                f(key, row);
+            }
         }
     }
 
@@ -186,20 +275,23 @@ impl KvStore {
 
     /// Run `f` over every key with its embedding row *and* optimizer-state
     /// row. Used by checkpointing to capture resumable training state.
+    /// Shard-at-a-time like [`for_each_row`](Self::for_each_row).
     pub fn for_each_row_with_state<F: FnMut(ParamKey, &[f32], &[f32])>(&self, mut f: F) {
-        let ks = self.router.key_space();
-        for k in 0..ks.len() as u64 {
-            let key = ParamKey(k);
-            let p = self.router.place(key);
-            let shard = self.shards[p.shard].read();
-            let (row, state) = match p.kind {
-                RowKind::Entity => (shard.entities.row(p.local), shard.entity_state.row(p.local)),
-                RowKind::Relation => (
-                    shard.relations.row(p.local),
-                    shard.relation_state.row(p.local),
-                ),
-            };
-            f(key, row, state);
+        for (s, lock) in self.shards.iter().enumerate() {
+            let shard = lock.read();
+            for &key in self.router.shard_keys(s) {
+                let p = self.router.place(key);
+                let (row, state) = match p.kind {
+                    RowKind::Entity => {
+                        (shard.entities.row(p.local), shard.entity_state.row(p.local))
+                    }
+                    RowKind::Relation => (
+                        shard.relations.row(p.local),
+                        shard.relation_state.row(p.local),
+                    ),
+                };
+                f(key, row, state);
+            }
         }
     }
 
@@ -359,6 +451,48 @@ mod tests {
         s.pull(ParamKey(0), &mut buf);
         // 400 SGD steps of +1 each (lr 1.0, grad −1).
         assert!((buf[0] - 400.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pull_many_matches_per_key_pull() {
+        let s = store(3);
+        let keys = [ParamKey(9), ParamKey(0), ParamKey(12), ParamKey(9)];
+        let mut got = vec![vec![]; keys.len()];
+        s.pull_many(&keys, |i, row| got[i] = row.to_vec());
+        for (i, &k) in keys.iter().enumerate() {
+            let mut want = [0.0f32; 8];
+            s.pull(k, &mut want);
+            assert_eq!(got[i], want, "key {k:?} at batch index {i}");
+        }
+    }
+
+    #[test]
+    fn push_grad_many_duplicates_apply_in_batch_order() {
+        // AdaGrad: the second update of a key must see the first's state, so
+        // the batched result must equal two sequential pushes.
+        let a = store(2);
+        let b = store(2);
+        let opt = AdaGrad::new(0.1);
+        let key = ParamKey(4);
+        let g1 = [1.0f32; 8];
+        let g2 = [2.0f32; 8];
+        a.push_grad(key, &g1, &opt);
+        a.push_grad(key, &g2, &opt);
+        b.push_grad_many(&[key, key], &[&g1, &g2], &opt);
+        let (mut ra, mut rb) = ([0.0f32; 8], [0.0f32; 8]);
+        a.pull(key, &mut ra);
+        b.pull(key, &mut rb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn store_many_last_write_wins() {
+        let s = store(2);
+        let keys = [ParamKey(1), ParamKey(1)];
+        s.store_many(&keys, &[&[1.0; 8], &[2.0; 8]]);
+        let mut buf = [0.0f32; 8];
+        s.pull(ParamKey(1), &mut buf);
+        assert_eq!(buf, [2.0; 8]);
     }
 
     #[test]

@@ -48,9 +48,9 @@ pub mod optimizer;
 pub mod queue;
 pub mod router;
 
-pub use client::{FaultBinding, PsClient};
+pub use client::{FaultBinding, PsClient, PsScratch};
 pub use error::{RetryPolicy, RpcError, ServerGone};
 pub use kvstore::KvStore;
 pub use optimizer::{AdaGrad, Optimizer, Sgd};
 pub use queue::AsyncServer;
-pub use router::ShardRouter;
+pub use router::{BatchPlan, ShardRouter};

@@ -160,11 +160,13 @@ impl HetKgWorker {
         }
         if !fresh.is_empty() {
             let table = &mut self.table;
-            self.ctx.client.pull_batch(&fresh, |i, row| {
-                table
-                    .insert(fresh[i], row)
-                    .expect("capacity covers the hot set");
-            });
+            self.ctx
+                .client
+                .pull_batch_with(&fresh, &mut self.ctx.ps, |i, row| {
+                    table
+                        .insert(fresh[i], row)
+                        .expect("capacity covers the hot set");
+                });
         }
     }
 
@@ -220,9 +222,12 @@ impl HetKgWorker {
             .map(|k| self.backlog.remove(k).expect("key was just listed"))
             .collect();
         let grad_refs: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
-        self.ctx
-            .client
-            .push_batch(&ready, &grad_refs, self.ctx.optimizer.as_ref());
+        self.ctx.client.push_batch_with(
+            &ready,
+            &grad_refs,
+            self.ctx.optimizer.as_ref(),
+            &mut self.ctx.ps,
+        );
         if let Some(f) = self.ctx.client.faults() {
             f.injector.note_backlog_flush();
         }
@@ -256,9 +261,12 @@ impl HetKgWorker {
                     deferred += 1;
                 }
             }
-            self.ctx
-                .client
-                .push_batch(&up_keys, &up_grads, self.ctx.optimizer.as_ref());
+            self.ctx.client.push_batch_with(
+                &up_keys,
+                &up_grads,
+                self.ctx.optimizer.as_ref(),
+                &mut self.ctx.ps,
+            );
         }
         if deferred > 0 {
             if let Some(f) = self.ctx.client.faults() {
@@ -376,10 +384,11 @@ impl HetKgWorker {
             let miss_count = misses.len();
             let table = &mut self.table;
             let ws = &mut self.ctx.ws;
+            let ps = &mut self.ctx.ps;
             let mut max_div = 0.0f64;
             let mut div_sum = 0.0f64;
             let mut div_samples = 0u64;
-            self.ctx.client.pull_batch(&combined, |i, row| {
+            self.ctx.client.pull_batch_with(&combined, ps, |i, row| {
                 if i < miss_count {
                     ws.insert(combined[i], row);
                 } else {

@@ -235,11 +235,15 @@ impl PbgWorker {
             let ws = &mut self.ctx.ws;
             self.ctx
                 .client
-                .pull_batch(&entity_keys, |i, row| ws.insert(entity_keys[i], row));
+                .pull_batch_with(&entity_keys, &mut self.ctx.ps, |i, row| {
+                    ws.insert(entity_keys[i], row)
+                });
             let rel_keys = &self.relation_keys;
             self.ctx
                 .client
-                .pull_batch(rel_keys, |i, row| ws.insert(rel_keys[i], row));
+                .pull_batch_with(rel_keys, &mut self.ctx.ps, |i, row| {
+                    ws.insert(rel_keys[i], row)
+                });
         }
 
         // Loaded entity universe for in-bucket corruption.
@@ -308,10 +312,11 @@ impl PbgWorker {
                             .unwrap_or(&zero_rel)
                     })
                     .collect();
-                self.ctx.client.push_batch(
+                self.ctx.client.push_batch_with(
                     &self.relation_keys,
                     &dense,
                     self.ctx.optimizer.as_ref(),
+                    &mut self.ctx.ps,
                 );
                 pending_rel_grads.clear();
                 batches_since_push = 0;
@@ -320,13 +325,17 @@ impl PbgWorker {
                 let rel_keys = &self.relation_keys;
                 self.ctx
                     .client
-                    .pull_batch(rel_keys, |i, row| ws.insert(rel_keys[i], row));
+                    .pull_batch_with(rel_keys, &mut self.ctx.ps, |i, row| {
+                        ws.insert(rel_keys[i], row)
+                    });
             }
         }
 
         // --- 4. Save the partitions back ---
         let values: Vec<&[f32]> = entity_keys.iter().map(|&k| self.ctx.ws.get(k)).collect();
-        self.ctx.client.write_batch(&entity_keys, &values);
+        self.ctx
+            .client
+            .write_batch_with(&entity_keys, &values, &mut self.ctx.ps);
 
         acc
     }

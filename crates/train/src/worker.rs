@@ -8,7 +8,7 @@ use hetkg_embed::models::KgeModel;
 use hetkg_kgraph::{KeySpace, ParamKey, Triple};
 use hetkg_netsim::{TrafficMeter, TrafficSnapshot};
 use hetkg_ps::optimizer::Optimizer;
-use hetkg_ps::PsClient;
+use hetkg_ps::{PsClient, PsScratch};
 use std::sync::Arc;
 
 /// What one worker reports for one epoch.
@@ -69,6 +69,9 @@ pub struct WorkerCtx {
     pub grads: GradAccum,
     /// Reusable backprop scratch.
     pub scratch: BatchScratch,
+    /// Reusable PS frame/plan buffers (batched calls allocate nothing at
+    /// steady state).
+    pub ps: PsScratch,
 }
 
 impl WorkerCtx {
@@ -102,6 +105,7 @@ impl WorkerCtx {
             ws: WorkingSet::new(),
             grads: GradAccum::new(),
             scratch: BatchScratch::default(),
+            ps: PsScratch::new(),
         }
     }
 
@@ -109,7 +113,7 @@ impl WorkerCtx {
     pub fn pull_into_ws(&mut self, keys: &[ParamKey]) {
         let ws = &mut self.ws;
         self.client
-            .pull_batch(keys, |i, row| ws.insert(keys[i], row));
+            .pull_batch_with(keys, &mut self.ps, |i, row| ws.insert(keys[i], row));
     }
 
     /// Push every accumulated gradient to the PS (coalesced), then clear the
@@ -117,7 +121,7 @@ impl WorkerCtx {
     pub fn push_grads(&mut self) {
         let (keys, grads) = self.grads.as_batch();
         self.client
-            .push_batch(&keys, &grads, self.optimizer.as_ref());
+            .push_batch_with(&keys, &grads, self.optimizer.as_ref(), &mut self.ps);
         self.grads.clear();
     }
 
