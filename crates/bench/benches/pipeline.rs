@@ -1,0 +1,46 @@
+//! Criterion benchmark: pipelined vs sequential iteration scheduling on a
+//! 4-shard workload. Wall time here measures the *implementation* cost of
+//! the pipeline (staging bookkeeping, split pulls, timeline posting) — the
+//! simulated-time gain it buys is reported by `scripts/bench_pipeline.sh`,
+//! which emits `BENCH_pipeline.json` from the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetkg_kgraph::generator::SyntheticKg;
+use hetkg_kgraph::split::Split;
+use hetkg_train::{train, SystemKind, TrainConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let kg = SyntheticKg {
+        num_entities: 4_000,
+        num_relations: 24,
+        num_triples: 8_000,
+        ..Default::default()
+    }
+    .build(11);
+    let split = Split::ninety_five_five(&kg, 11);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for system in [SystemKind::HetKgCps, SystemKind::DglKe] {
+        for overlap in [true, false] {
+            let label = if overlap { "pipelined" } else { "sequential" };
+            group.bench_function(BenchmarkId::new(label, system), |b| {
+                b.iter(|| {
+                    let mut cfg = TrainConfig::small(system);
+                    cfg.epochs = 1;
+                    cfg.dim = 32;
+                    cfg.machines = 4;
+                    cfg.batch_size = 16;
+                    cfg.eval_candidates = None;
+                    cfg.overlap = overlap;
+                    black_box(train(&kg, &split.train, &[], &cfg))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -3,24 +3,59 @@
 //! Everything operates on `&[f32]` slices of equal length; callers guarantee
 //! the lengths (debug-asserted here). These are the hot loops of training —
 //! keep them branch-free and auto-vectorizable.
+//!
+//! `dot` and `axpy` process eight lanes per step over `chunks_exact(8)` so
+//! the compiler can keep the whole accumulator state in one vector register
+//! without having to prove a reassociation is safe. For `axpy` the result is
+//! bit-identical to the scalar loop (each element is independent); for `dot`
+//! the lane-split changes the summation *order*, so results may differ from
+//! the scalar reference by a few ulps — the property tests below pin the
+//! deviation.
+
+/// Accumulator lanes in the chunked kernels (one AVX2 register of f32s).
+const LANES: usize = 8;
 
 /// Dot product `x · y`.
+///
+/// Accumulates into [`LANES`] independent partial sums (one per lane
+/// position) and combines them with a pairwise reduction; the tail shorter
+/// than a chunk is folded in scalarly at the end.
 #[inline]
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     debug_assert_eq!(x.len(), y.len());
-    let mut acc = 0.0f32;
-    for i in 0..x.len() {
-        acc += x[i] * y[i];
+    let xc = x.chunks_exact(LANES);
+    let yc = y.chunks_exact(LANES);
+    let (tx, ty) = (xc.remainder(), yc.remainder());
+    let mut lanes = [0.0f32; LANES];
+    for (xs, ys) in xc.zip(yc) {
+        for (l, acc) in lanes.iter_mut().enumerate() {
+            *acc += xs[l] * ys[l];
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for i in 0..tx.len() {
+        acc += tx[i] * ty[i];
     }
     acc
 }
 
 /// `y += a * x`.
+///
+/// Chunked eight elements at a time; bit-identical to the scalar loop.
 #[inline]
 pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
-    for i in 0..x.len() {
-        y[i] += a * x[i];
+    let mut yc = y.chunks_exact_mut(LANES);
+    let xc = x.chunks_exact(LANES);
+    let tx = xc.remainder();
+    for (ys, xs) in (&mut yc).zip(xc) {
+        for l in 0..LANES {
+            ys[l] += a * xs[l];
+        }
+    }
+    for (yv, &xv) in yc.into_remainder().iter_mut().zip(tx) {
+        *yv += a * xv;
     }
 }
 
@@ -178,5 +213,113 @@ mod tests {
         assert!(softplus(-100.0) >= 0.0);
         assert!((softplus(100.0) - 100.0).abs() < 1e-3);
         assert!((softplus(0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    /// Tiny deterministic xorshift generator for the property tests (no
+    /// external RNG dependency).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        /// Uniform in [0, 1).
+        fn next_f32(&mut self) -> f32 {
+            (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+        }
+
+        fn vec_in(&mut self, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+            (0..n).map(|_| lo + (hi - lo) * self.next_f32()).collect()
+        }
+    }
+
+    /// Plain left-to-right scalar accumulation — the reference the chunked
+    /// kernel is pinned against.
+    fn dot_scalar(x: &[f32], y: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for i in 0..x.len() {
+            acc += x[i] * y[i];
+        }
+        acc
+    }
+
+    /// Distance in units-in-the-last-place between two finite floats
+    /// (order-preserving integer mapping of the IEEE-754 bit patterns).
+    fn ulps(a: f32, b: f32) -> i64 {
+        fn key(v: f32) -> i64 {
+            let i = v.to_bits() as i32;
+            (if i < 0 { i32::MIN.wrapping_sub(i) } else { i }) as i64
+        }
+        (key(a) - key(b)).abs()
+    }
+
+    #[test]
+    fn chunked_dot_stays_within_the_summation_error_bound() {
+        let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+        for trial in 0..200 {
+            let n = (trial * 7) % 68; // covers 0, tails, and multi-chunk
+            let x = rng.vec_in(n, -1.0, 1.0);
+            let y = rng.vec_in(n, -1.0, 1.0);
+            let got = dot(&x, &y);
+            let want = dot_scalar(&x, &y);
+            // Both orders obey |err| <= n * eps * sum(|x_i y_i|); the
+            // difference between them obeys twice that.
+            let mag: f32 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+            let bound = 2.0 * n as f32 * f32::EPSILON * mag + f32::MIN_POSITIVE;
+            assert!(
+                (got - want).abs() <= bound,
+                "n={n}: chunked {got} vs scalar {want} differ by {} (bound {bound})",
+                (got - want).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_dot_is_ulp_close_on_cancellation_free_inputs() {
+        // With all-positive terms there is no catastrophic cancellation, so
+        // an ulp bound on the result itself is meaningful and tight.
+        let mut rng = XorShift(0x1234_5678_9abc_def1);
+        for &n in &[1usize, 7, 8, 9, 16, 63, 64, 65, 256] {
+            let x = rng.vec_in(n, 0.5, 1.5);
+            let y = rng.vec_in(n, 0.5, 1.5);
+            let got = dot(&x, &y);
+            let want = dot_scalar(&x, &y);
+            let bound = 8 + n as i64;
+            assert!(
+                ulps(got, want) <= bound,
+                "n={n}: chunked {got} vs scalar {want} differ by {} ulps (bound {bound})",
+                ulps(got, want)
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_axpy_is_bit_identical_to_scalar() {
+        let mut rng = XorShift(0xfeed_beef_cafe_f00d);
+        for &n in &[0usize, 1, 7, 8, 9, 31, 32, 33, 100] {
+            let a = -3.0 + 6.0 * rng.next_f32();
+            let x = rng.vec_in(n, -2.0, 2.0);
+            let mut got = rng.vec_in(n, -2.0, 2.0);
+            let mut want = got.clone();
+            axpy(a, &x, &mut got);
+            for i in 0..n {
+                want[i] += a * x[i];
+            }
+            for i in 0..n {
+                assert_eq!(
+                    got[i].to_bits(),
+                    want[i].to_bits(),
+                    "n={n} i={i}: {} vs {}",
+                    got[i],
+                    want[i]
+                );
+            }
+        }
     }
 }

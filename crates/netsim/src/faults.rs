@@ -98,6 +98,22 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
+    /// Whether this plan can never perturb anything: no drops, no
+    /// corruption, no straggler episodes, no outages, no crashes, no torn
+    /// checkpoints. Attaching an inert plan is byte-identical to attaching
+    /// no plan at all, so optimizations that must be disabled under real
+    /// faults (e.g. pipelined prefetching) may stay on for inert plans
+    /// without breaking that equivalence.
+    pub fn is_inert(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.corrupt_probability == 0.0
+            && self.slow_episodes.is_empty()
+            && self.outages.is_empty()
+            && self.crash.is_none()
+            && self.crashes.is_empty()
+            && self.torn_checkpoint.is_none()
+    }
+
     /// A lossy network: remote messages dropped with probability `p`.
     pub fn lossy(seed: u64, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "drop probability in [0, 1]");
@@ -700,6 +716,26 @@ mod tests {
         };
         assert_eq!(plan.crash_epochs(), vec![1, 2]);
         assert_eq!(FaultPlan::default().crash_epochs(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn inertness_tracks_every_fault_field() {
+        assert!(FaultPlan::default().is_inert());
+        assert!(FaultPlan { seed: 99, ..Default::default() }.is_inert());
+        assert!(!FaultPlan::lossy(1, 0.5).is_inert());
+        assert!(!FaultPlan::corrupting(1, 0.1).is_inert());
+        assert!(!FaultPlan::shard_outage(1, 0, 1.0, 2.0).is_inert());
+        assert!(!FaultPlan::chaos(1).is_inert());
+        let crashy = FaultPlan {
+            crash: Some(CrashPoint { epoch: 1 }),
+            ..Default::default()
+        };
+        assert!(!crashy.is_inert());
+        let torn = FaultPlan {
+            torn_checkpoint: Some(0),
+            ..Default::default()
+        };
+        assert!(!torn.is_inert());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`CostModel`] — bandwidth + latency + per-message overhead;
 //! * [`TrafficMeter`] — per-worker counters (local/remote bytes & messages);
 //! * [`ClusterTopology`] — worker → machine placement (co-located PS);
+//! * [`Timeline`] — per-worker two-lane (comm/compute) critical path;
 //! * [`FaultPlan`]/[`FaultInjector`] — seeded, deterministic fault
 //!   injection (drops, stragglers, shard outages) in simulated time.
 
@@ -16,6 +17,7 @@ pub mod cost;
 pub mod faults;
 pub mod frame;
 pub mod meter;
+pub mod timeline;
 pub mod topology;
 
 pub use cost::CostModel;
@@ -24,4 +26,5 @@ pub use faults::{
 };
 pub use frame::{WireFrame, FRAME_CHECKSUM_BYTES};
 pub use meter::{TrafficMeter, TrafficSnapshot};
+pub use timeline::{Lane, Timeline};
 pub use topology::ClusterTopology;

@@ -39,7 +39,7 @@ use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
 use crate::router::BatchPlan;
 use hetkg_kgraph::ParamKey;
-use hetkg_netsim::{ClusterTopology, FaultInjector, TrafficMeter, Verdict, WireFrame};
+use hetkg_netsim::{ClusterTopology, FaultInjector, TrafficMeter, TrafficSnapshot, Verdict, WireFrame};
 use std::sync::Arc;
 
 /// Bytes accounted per key id shipped in a request (u64 on the wire).
@@ -191,6 +191,18 @@ impl PsClient {
             .is_local(self.worker_id, self.store.router().shard_of(key))
     }
 
+    /// The shard `key` is homed on (the placement frame sealing uses).
+    #[inline]
+    pub fn shard_of(&self, key: ParamKey) -> usize {
+        self.store.router().shard_of(key)
+    }
+
+    /// Number of PS shards behind this client.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.store.router().num_shards()
+    }
+
     /// Whether `key`'s home shard is reachable right now. Always true
     /// without a fault injector.
     #[inline]
@@ -319,6 +331,54 @@ impl PsClient {
         Ok(())
     }
 
+    /// Run `op` against this client and return its result together with the
+    /// traffic it metered. A worker's meter is private to it and the worker
+    /// is single-threaded, so the snapshot delta is exactly the operation's
+    /// own traffic — the duration a timeline posts for the comm lane.
+    pub fn metered<T>(&self, op: impl FnOnce(&Self) -> T) -> (T, TrafficSnapshot) {
+        let before = self.meter.snapshot();
+        let out = op(self);
+        (out, self.meter.snapshot().since(before))
+    }
+
+    /// Issue half of a split pull: execute the batched pull *now* (the
+    /// store is read, the frames transit and are metered), parking each
+    /// key's row back-to-back in key order in `rows`, and return the
+    /// operation's metered traffic so the caller can post its duration to
+    /// a timeline. Consume later with [`PsClient::complete_pull_batch`].
+    ///
+    /// On error `rows` is left empty and nothing is observable.
+    pub fn try_pull_batch_issue(
+        &self,
+        keys: &[ParamKey],
+        scratch: &mut PsScratch,
+        rows: &mut Vec<f32>,
+    ) -> Result<TrafficSnapshot, RpcError> {
+        rows.clear();
+        let before = self.meter.snapshot();
+        self.try_pull_batch_with(keys, scratch, |_, row| rows.extend_from_slice(row))?;
+        Ok(self.meter.snapshot().since(before))
+    }
+
+    /// Complete half of a split pull: replay rows parked by
+    /// [`PsClient::try_pull_batch_issue`] to `sink` in key order. Row
+    /// widths come from the store's schema, so `rows` must belong to
+    /// exactly this `keys` batch.
+    pub fn complete_pull_batch(
+        &self,
+        keys: &[ParamKey],
+        rows: &[f32],
+        mut sink: impl FnMut(usize, &[f32]),
+    ) {
+        let mut offset = 0;
+        for (i, &k) in keys.iter().enumerate() {
+            let width = (self.store.row_bytes(k) / 4) as usize;
+            sink(i, &rows[offset..offset + width]);
+            offset += width;
+        }
+        debug_assert_eq!(offset, rows.len(), "rows do not match the key batch");
+    }
+
     /// Push one gradient (one message); the server applies `optimizer`.
     pub fn push(&self, key: ParamKey, grad: &[f32], optimizer: &dyn Optimizer) {
         self.try_push(key, grad, optimizer)
@@ -383,10 +443,40 @@ impl PsClient {
         scratch: &mut PsScratch,
     ) -> Result<(), RpcError> {
         assert_eq!(keys.len(), grads.len(), "one gradient per key");
+        self.try_push_batch_rows(keys, |i| grads[i], optimizer, scratch)
+    }
+
+    /// [`push_batch_with`](Self::push_batch_with) with the gradient rows
+    /// supplied by lookup instead of a slice-of-slices, so callers holding
+    /// gradients in a map (e.g. a `GradAccum`) push without building a
+    /// per-call `Vec<&[f32]>`. Panics only if the retry budget is
+    /// exhausted.
+    pub fn push_batch_rows<'a>(
+        &self,
+        keys: &[ParamKey],
+        row_of: impl Fn(usize) -> &'a [f32],
+        optimizer: &dyn Optimizer,
+        scratch: &mut PsScratch,
+    ) {
+        self.try_push_batch_rows(keys, row_of, optimizer, scratch)
+            .expect("ps push_batch failed after retries");
+    }
+
+    /// Fallible [`push_batch_rows`](Self::push_batch_rows). `row_of(i)` is
+    /// the gradient for `keys[i]`. All-or-nothing, like
+    /// [`try_push_batch_with`](Self::try_push_batch_with), and byte- and
+    /// application-order-identical to it for the same rows.
+    pub fn try_push_batch_rows<'a>(
+        &self,
+        keys: &[ParamKey],
+        row_of: impl Fn(usize) -> &'a [f32],
+        optimizer: &dyn Optimizer,
+        scratch: &mut PsScratch,
+    ) -> Result<(), RpcError> {
         if keys.is_empty() {
             return Ok(());
         }
-        self.seal_value_frames(keys, grads, scratch);
+        self.seal_frames_by(keys, row_of, scratch);
         self.transmit_frames(&mut scratch.wire)?;
         let (wire, slots) = (&scratch.wire, &scratch.slots);
         self.store.push_planned(
@@ -433,7 +523,7 @@ impl PsClient {
         if keys.is_empty() {
             return Ok(());
         }
-        self.seal_value_frames(keys, values, scratch);
+        self.seal_frames_by(keys, |i| values[i], scratch);
         self.transmit_frames(&mut scratch.wire)?;
         let (wire, slots) = (&scratch.wire, &scratch.slots);
         self.store.store_planned(&scratch.plan, |i| {
@@ -444,13 +534,18 @@ impl PsClient {
     }
 
     /// Plan a batch and seal one frame per shard from caller-supplied rows
-    /// (`rows[i]` belongs to `keys[i]`), leaving the plan, slots, and wire
-    /// frames in `scratch`. Per-shard frame contents are in batch order —
-    /// exactly what per-key grouping produced, since the plan's grouping is
-    /// stable — so metered bytes are unchanged. Frame bytes are exactly the
-    /// pre-frame accounting (`row_bytes + KEY_BYTES` per key); the checksum
-    /// itself rides in the per-message envelope overhead.
-    fn seal_value_frames(&self, keys: &[ParamKey], rows: &[&[f32]], scratch: &mut PsScratch) {
+    /// (`row_of(i)` belongs to `keys[i]`), leaving the plan, slots, and
+    /// wire frames in `scratch`. Per-shard frame contents are in batch
+    /// order — exactly what per-key grouping produced, since the plan's
+    /// grouping is stable — so metered bytes are unchanged. Frame bytes are
+    /// exactly the pre-frame accounting (`row_bytes + KEY_BYTES` per key);
+    /// the checksum itself rides in the per-message envelope overhead.
+    fn seal_frames_by<'a>(
+        &self,
+        keys: &[ParamKey],
+        row_of: impl Fn(usize) -> &'a [f32],
+        scratch: &mut PsScratch,
+    ) {
         let router = self.store.router();
         router.plan_into(keys, &mut scratch.plan);
         scratch.begin(router.num_shards());
@@ -462,13 +557,14 @@ impl PsClient {
         for shard in plan.shards() {
             let (frame_keys, payload) = &mut parts[shard];
             for i in plan.indices(shard) {
+                let row = row_of(i);
                 let offset = payload.len();
-                payload.extend_from_slice(rows[i]);
+                payload.extend_from_slice(row);
                 frame_keys.push(keys[i].0);
                 slots[i] = FrameSlot {
                     shard,
                     offset,
-                    width: rows[i].len(),
+                    width: row.len(),
                 };
             }
         }
@@ -978,5 +1074,64 @@ mod tests {
             (meter.snapshot(), inj.stats())
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn split_pull_replays_the_same_rows_as_a_direct_pull() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store, meter.clone());
+        let mut scratch = PsScratch::new();
+        // Mixed widths are fine: entities and a relation key.
+        let keys = [0u64, 3, 9, 1].map(ParamKey);
+        let mut direct = Vec::new();
+        client.pull_batch(&keys, |i, row| direct.push((i, row.to_vec())));
+        let before = meter.snapshot();
+        let mut rows = Vec::new();
+        let delta = client
+            .try_pull_batch_issue(&keys, &mut scratch, &mut rows)
+            .unwrap();
+        assert_eq!(delta, meter.snapshot().since(before), "delta is the op's own traffic");
+        assert!(delta.total_bytes() > 0);
+        let mut replayed = Vec::new();
+        client.complete_pull_batch(&keys, &rows, |i, row| replayed.push((i, row.to_vec())));
+        assert_eq!(direct, replayed);
+    }
+
+    #[test]
+    fn metered_reports_exactly_one_ops_traffic() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store, meter.clone());
+        let keys: Vec<ParamKey> = (0..5).map(ParamKey).collect();
+        client.pull_batch(&keys, |_, _| {}); // unrelated earlier traffic
+        let before = meter.snapshot();
+        let ((), delta) = client.metered(|c| c.pull_batch(&keys, |_, _| {}));
+        assert_eq!(delta, meter.snapshot().since(before));
+        assert_eq!(delta.local_messages + delta.remote_messages, 2);
+    }
+
+    #[test]
+    fn push_batch_rows_matches_the_slice_based_push() {
+        let (store_a, topo) = setup(2);
+        let (store_b, _) = setup(2);
+        let meter_a = Arc::new(TrafficMeter::new());
+        let meter_b = Arc::new(TrafficMeter::new());
+        let a = PsClient::new(0, topo, store_a.clone(), meter_a.clone());
+        let b = PsClient::new(0, topo, store_b.clone(), meter_b.clone());
+        let mut scratch = PsScratch::new();
+        let keys = [4u64, 1, 2, 4].map(ParamKey); // duplicate key included
+        let grads: Vec<Vec<f32>> = (0..keys.len())
+            .map(|i| vec![0.5 + i as f32; 4])
+            .collect();
+        let refs: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
+        a.push_batch_with(&keys, &refs, &Sgd { lr: 0.2 }, &mut scratch);
+        b.push_batch_rows(&keys, |i| grads[i].as_slice(), &Sgd { lr: 0.2 }, &mut scratch);
+        assert_eq!(meter_a.snapshot(), meter_b.snapshot());
+        let mut all_a = Vec::new();
+        store_a.for_each_row(|k, row| all_a.push((k, row.to_vec())));
+        let mut all_b = Vec::new();
+        store_b.for_each_row(|k, row| all_b.push((k, row.to_vec())));
+        assert_eq!(all_a, all_b);
     }
 }

@@ -107,6 +107,26 @@ impl GradAccum {
         (keys, grads)
     }
 
+    /// Collect the touched keys, sorted, into `out` — the allocation-free
+    /// half of [`GradAccum::as_batch`]; pair with [`GradAccum::row`].
+    pub fn keys_into(&self, out: &mut Vec<ParamKey>) {
+        out.clear();
+        out.extend(self.grads.keys().copied());
+        out.sort_unstable();
+    }
+
+    /// The accumulated gradient for `key`.
+    ///
+    /// # Panics
+    /// Panics when no gradient was accumulated for `key` — a system bug.
+    #[inline]
+    pub fn row(&self, key: ParamKey) -> &[f32] {
+        self.grads
+            .get(&key)
+            .unwrap_or_else(|| panic!("no gradient accumulated for {key}"))
+            .as_slice()
+    }
+
     /// Number of touched keys.
     pub fn len(&self) -> usize {
         self.grads.len()
@@ -425,6 +445,12 @@ mod tests {
         assert_eq!(keys, vec![ParamKey(2), ParamKey(5)]);
         assert_eq!(grads[0], &[2.0]);
         assert_eq!(grads[1], &[4.0]);
+        // The allocation-free pair agrees with `as_batch`.
+        let mut reused = vec![ParamKey(99)];
+        g.keys_into(&mut reused);
+        assert_eq!(reused, keys);
+        assert_eq!(g.row(ParamKey(2)), &[2.0]);
+        assert_eq!(g.row(ParamKey(5)), &[4.0]);
     }
 
     #[test]

@@ -171,9 +171,20 @@ pub struct TrainConfig {
     /// attached.
     #[serde(default)]
     pub supervisor: SupervisorConfig,
+    /// Pipeline iterations: overlap PS communication with compute on the
+    /// per-worker timeline (default on; `--no-overlap` turns it off and
+    /// reproduces the pre-timeline sequential accounting bit for bit).
+    /// Automatically disabled when a perturbing fault plan is attached —
+    /// fault verdicts depend on message order, which pipelining changes.
+    #[serde(default = "default_overlap")]
+    pub overlap: bool,
 }
 
 fn default_integrity() -> bool {
+    true
+}
+
+fn default_overlap() -> bool {
     true
 }
 
@@ -202,6 +213,7 @@ impl TrainConfig {
             integrity: true,
             checkpoint_dir: None,
             supervisor: SupervisorConfig::default(),
+            overlap: true,
         }
     }
 
@@ -230,6 +242,7 @@ impl TrainConfig {
             integrity: true,
             checkpoint_dir: None,
             supervisor: SupervisorConfig::default(),
+            overlap: true,
         }
     }
 
@@ -298,6 +311,7 @@ mod tests {
         obj.remove("integrity");
         obj.remove("checkpoint_dir");
         obj.remove("supervisor");
+        obj.remove("overlap");
         obj.get_mut("cache")
             .unwrap()
             .as_object_mut()
@@ -310,5 +324,6 @@ mod tests {
         assert!(back.integrity, "checksums default on");
         assert!(back.checkpoint_dir.is_none());
         assert_eq!(back.supervisor, SupervisorConfig::default());
+        assert!(back.overlap, "pipelining defaults on");
     }
 }

@@ -45,15 +45,33 @@ pub struct EpochReport {
     /// worker up to the end of this epoch (0 for cacheless systems).
     #[serde(default)]
     pub max_staleness: usize,
+    /// The slowest worker's two-lane (comm/compute) critical path this
+    /// epoch, simulated seconds. Zero when overlap accounting is off
+    /// (`--no-overlap`, a perturbing fault plan, or a pre-timeline report),
+    /// in which case [`EpochReport::epoch_secs`] falls back to the
+    /// idealized `max(compute, comm)`.
+    #[serde(default)]
+    pub critical_path_secs: f64,
+    /// Simulated seconds of communication hidden behind compute this
+    /// epoch: `compute + comm - critical_path`, clamped at zero. Zero when
+    /// overlap accounting is off.
+    #[serde(default)]
+    pub overlap_secs: f64,
 }
 
 impl EpochReport {
-    /// Epoch duration: `max(compute, comm)` — PS training pipelines
-    /// communication with computation (gradient pushes are asynchronous and
-    /// the next batch's pulls overlap the current batch's compute), so the
-    /// slower of the two paces the epoch.
+    /// Epoch duration. With overlap accounting on this is the worker
+    /// timeline's critical path — an *achievable* schedule in which only
+    /// the communication actually staged ahead hides behind compute. With
+    /// it off (or for reports written before the timeline existed) it
+    /// falls back to the idealized `max(compute, comm)` bound, preserving
+    /// the historical accounting bit for bit.
     pub fn epoch_secs(&self) -> f64 {
-        self.compute_secs.max(self.comm_secs)
+        if self.critical_path_secs > 0.0 {
+            self.critical_path_secs
+        } else {
+            self.compute_secs.max(self.comm_secs)
+        }
     }
 
     /// Communication's share of the measured work,
@@ -170,6 +188,12 @@ impl TrainReport {
         self.epochs.iter().map(|e| e.comm_secs).sum()
     }
 
+    /// Total simulated seconds of communication hidden behind compute over
+    /// the run (zero when overlap accounting was off).
+    pub fn total_overlap_secs(&self) -> f64 {
+        self.epochs.iter().map(|e| e.overlap_secs).sum()
+    }
+
     /// Communication's share of the measured work over the whole run,
     /// `comm / (compute + comm)`.
     pub fn comm_fraction(&self) -> f64 {
@@ -251,6 +275,35 @@ mod tests {
         let e = epoch(6.0, 2.0, None);
         assert_eq!(e.epoch_secs(), 6.0);
         assert_eq!(e.comm_fraction(), 0.25);
+    }
+
+    #[test]
+    fn critical_path_overrides_the_idealized_max() {
+        let mut e = epoch(2.0, 6.0, None);
+        e.critical_path_secs = 7.5; // real schedule: only 0.5 s overlapped
+        e.overlap_secs = 0.5;
+        assert_eq!(e.epoch_secs(), 7.5);
+        // Zero critical path (overlap off / old reports): the historical
+        // accounting is reproduced exactly.
+        e.critical_path_secs = 0.0;
+        assert_eq!(e.epoch_secs(), 6.0);
+    }
+
+    #[test]
+    fn pre_timeline_report_json_still_loads() {
+        let r = TrainReport {
+            epochs: vec![epoch(1.0, 2.0, None)],
+            ..Default::default()
+        };
+        let mut v = serde_json::to_value(&r).unwrap();
+        let e = v["epochs"][0].as_object_mut().unwrap();
+        e.remove("critical_path_secs");
+        e.remove("overlap_secs");
+        let back: TrainReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back.epochs[0].critical_path_secs, 0.0);
+        assert_eq!(back.epochs[0].overlap_secs, 0.0);
+        assert_eq!(back.total_secs(), 2.0, "idealized fallback");
+        assert_eq!(back.total_overlap_secs(), 0.0);
     }
 
     #[test]

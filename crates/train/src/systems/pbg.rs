@@ -16,6 +16,16 @@
 //! 4. saves the entity partitions back.
 //!
 //! Negatives are corrupted within the loaded partitions, as PBG must.
+//!
+//! With overlap accounting on, every metered operation is posted to the
+//! worker's two-lane timeline with its true data dependencies: chunk
+//! computes wait for the bucket load and the latest relation re-pull,
+//! dense pushes wait for the compute that produced their gradients, and
+//! the final partition save waits for the last chunk. PBG's schedule is
+//! almost a pure chain — each dense push feeds the re-pull feeding the
+//! next chunk — so its critical path sits close to `comm + compute`;
+//! the block structure that saves PBG entity traffic is also what keeps
+//! its communication on the critical path.
 
 use crate::batch::WorkingSet;
 use crate::worker::{WorkerCtx, WorkerEpochStats, WorkerLoop};
@@ -231,6 +241,7 @@ impl PbgWorker {
             entity_keys.truncate(self.plan.parts[pa as usize].len());
         }
         self.ctx.ws.clear();
+        let before = self.ctx.meter.snapshot();
         {
             let ws = &mut self.ctx.ws;
             self.ctx
@@ -245,6 +256,11 @@ impl PbgWorker {
                     ws.insert(rel_keys[i], row)
                 });
         }
+        let load_delta = self.ctx.meter.snapshot().since(before);
+        // `ready` carries the completion time of the comm event the next
+        // chunk's compute depends on: first the bucket load, then each
+        // relation re-pull.
+        let mut ready = self.ctx.post_comm(load_delta, 0.0);
 
         // Loaded entity universe for in-bucket corruption.
         let loaded: Vec<EntityId> = {
@@ -260,6 +276,7 @@ impl PbgWorker {
         let zero_rel = vec![0.0f32; self.ctx.model.relation_dim()];
         let mut pending_rel_grads: HashMap<ParamKey, Vec<f32>> = HashMap::new();
         let mut batches_since_push = 0usize;
+        let mut last_compute_end = 0.0f64;
         let num_chunks = triples.chunks(self.ctx.batch_size).count();
         for (ci, chunk) in triples.chunks(self.ctx.batch_size).enumerate() {
             let batch = self.corrupt_in_bucket(chunk, &loaded);
@@ -272,6 +289,7 @@ impl PbgWorker {
                 &mut self.ctx.grads,
                 &mut self.ctx.scratch,
             );
+            let compute_end = self.ctx.post_compute(result.work_units, ready);
             acc.absorb(result);
 
             // Entities: applied locally to the working set (sparse, free).
@@ -302,40 +320,58 @@ impl PbgWorker {
             // Relations: DENSE push — every relation row, zeros included —
             // every RELATION_PUSH_INTERVAL batches and at bucket end.
             if batches_since_push >= RELATION_PUSH_INTERVAL || ci + 1 == num_chunks {
-                let dense: Vec<&[f32]> = self
-                    .relation_keys
-                    .iter()
-                    .map(|k| {
-                        pending_rel_grads
-                            .get(k)
-                            .map(Vec::as_slice)
-                            .unwrap_or(&zero_rel)
-                    })
-                    .collect();
-                self.ctx.client.push_batch_with(
-                    &self.relation_keys,
-                    &dense,
-                    self.ctx.optimizer.as_ref(),
-                    &mut self.ctx.ps,
-                );
+                let before = self.ctx.meter.snapshot();
+                {
+                    let dense: Vec<&[f32]> = self
+                        .relation_keys
+                        .iter()
+                        .map(|k| {
+                            pending_rel_grads
+                                .get(k)
+                                .map(Vec::as_slice)
+                                .unwrap_or(&zero_rel)
+                        })
+                        .collect();
+                    self.ctx.client.push_batch_with(
+                        &self.relation_keys,
+                        &dense,
+                        self.ctx.optimizer.as_ref(),
+                        &mut self.ctx.ps,
+                    );
+                }
+                let push_delta = self.ctx.meter.snapshot().since(before);
+                // The push carries this chunk's gradients; the re-pull
+                // follows it on the comm lane and gates the next chunk.
+                self.ctx.post_comm(push_delta, compute_end);
                 pending_rel_grads.clear();
                 batches_since_push = 0;
                 // Refresh local relation copies from the server (they moved).
-                let ws = &mut self.ctx.ws;
-                let rel_keys = &self.relation_keys;
-                self.ctx
-                    .client
-                    .pull_batch_with(rel_keys, &mut self.ctx.ps, |i, row| {
-                        ws.insert(rel_keys[i], row)
-                    });
+                let before = self.ctx.meter.snapshot();
+                {
+                    let ws = &mut self.ctx.ws;
+                    let rel_keys = &self.relation_keys;
+                    self.ctx
+                        .client
+                        .pull_batch_with(rel_keys, &mut self.ctx.ps, |i, row| {
+                            ws.insert(rel_keys[i], row)
+                        });
+                }
+                let repull_delta = self.ctx.meter.snapshot().since(before);
+                ready = self.ctx.post_comm(repull_delta, 0.0);
             }
+            last_compute_end = compute_end;
         }
 
         // --- 4. Save the partitions back ---
-        let values: Vec<&[f32]> = entity_keys.iter().map(|&k| self.ctx.ws.get(k)).collect();
-        self.ctx
-            .client
-            .write_batch_with(&entity_keys, &values, &mut self.ctx.ps);
+        let before = self.ctx.meter.snapshot();
+        {
+            let values: Vec<&[f32]> = entity_keys.iter().map(|&k| self.ctx.ws.get(k)).collect();
+            self.ctx
+                .client
+                .write_batch_with(&entity_keys, &values, &mut self.ctx.ps);
+        }
+        let save_delta = self.ctx.meter.snapshot().since(before);
+        self.ctx.post_comm(save_delta, last_compute_end);
 
         acc
     }
@@ -365,6 +401,7 @@ impl WorkerLoop for PbgWorker {
     fn run_epoch(&mut self, epoch: usize) -> WorkerEpochStats {
         self.locks.begin_epoch(epoch);
         let start_traffic = self.ctx.meter.snapshot();
+        self.ctx.begin_epoch_timing();
         let start = Instant::now();
         let mut acc = crate::batch::BatchResult::default();
         while let Some(bucket) = self.locks.acquire() {
@@ -376,6 +413,7 @@ impl WorkerLoop for PbgWorker {
             acc.absorb(r);
             self.locks.release(bucket);
         }
+        let critical_path_secs = self.ctx.end_epoch_timing();
         WorkerEpochStats {
             work_units: acc.work_units,
             wall_secs: start.elapsed().as_secs_f64(),
@@ -386,6 +424,7 @@ impl WorkerLoop for PbgWorker {
             max_divergence: 0.0,
             mean_divergence: 0.0,
             max_staleness: 0,
+            critical_path_secs,
         }
     }
 }

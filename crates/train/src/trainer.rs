@@ -123,6 +123,12 @@ pub fn train_with_store(
             config.seed,
         ))
     });
+    // Pipelined overlap accounting stays on only when no fault plan can
+    // perturb a message: staging pulls ahead of the sequential order is
+    // value-preserving exactly because nothing can reorder or fail them.
+    // An *inert* plan (all-zero) keeps overlap on, preserving the
+    // contract that attaching it is byte-identical to attaching none.
+    let overlap = config.overlap && config.faults.as_ref().map_or(true, |p| p.is_inert());
     let build_workers = |subgraphs: Vec<Vec<Triple>>| -> Vec<Box<dyn WorkerLoop>> {
         // PBG workers share one lock server; a rebuild gets a fresh one so
         // the re-run epoch hands out every bucket again.
@@ -147,7 +153,8 @@ pub fn train_with_store(
                 config.loss,
                 optimizer.clone(),
                 config.batch_size,
-            );
+            )
+            .with_timing(config.cost_model, overlap);
             let negatives = NegativeSampler::new(
                 kg.num_entities(),
                 config.negatives,
@@ -436,7 +443,9 @@ fn aggregate(epoch: usize, stats: &[WorkerEpochStats], config: &TrainConfig) -> 
     };
     let mut loss_sum = 0.0;
     let mut loss_terms = 0usize;
+    let mut cp = 0.0f64;
     for s in stats {
+        cp = cp.max(s.critical_path_secs);
         er.compute_secs = er
             .compute_secs
             .max(config.cost_model.compute_time(s.work_units));
@@ -457,6 +466,14 @@ fn aggregate(epoch: usize, stats: &[WorkerEpochStats], config: &TrainConfig) -> 
     } else {
         loss_sum / loss_terms as f64
     };
+    if config.overlap && cp > 0.0 {
+        // The per-op events are metered with the same counters the totals
+        // come from, so the epoch critical path can differ from the
+        // totals-based lane times only by float summation order; clamp it
+        // into its analytic bounds so `overlap_secs` never goes negative.
+        er.critical_path_secs = cp.max(er.compute_secs).max(er.comm_secs);
+        er.overlap_secs = (er.compute_secs + er.comm_secs - er.critical_path_secs).max(0.0);
+    }
     er
 }
 

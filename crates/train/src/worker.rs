@@ -6,7 +6,7 @@ use hetkg_core::metrics::CacheStats;
 use hetkg_embed::loss::LossKind;
 use hetkg_embed::models::KgeModel;
 use hetkg_kgraph::{KeySpace, ParamKey, Triple};
-use hetkg_netsim::{TrafficMeter, TrafficSnapshot};
+use hetkg_netsim::{CostModel, Lane, Timeline, TrafficMeter, TrafficSnapshot};
 use hetkg_ps::optimizer::Optimizer;
 use hetkg_ps::{PsClient, PsScratch};
 use std::sync::Arc;
@@ -39,6 +39,10 @@ pub struct WorkerEpochStats {
     /// Largest cache staleness (iterations since sync) this worker has
     /// observed so far in the run (0 for cacheless systems).
     pub max_staleness: usize,
+    /// This epoch's two-lane critical path in simulated seconds: the
+    /// makespan of the worker's comm and compute lanes under the pipelined
+    /// schedule. Zero when overlap accounting is disabled.
+    pub critical_path_secs: f64,
 }
 
 /// Everything a worker needs regardless of system.
@@ -72,6 +76,17 @@ pub struct WorkerCtx {
     /// Reusable PS frame/plan buffers (batched calls allocate nothing at
     /// steady state).
     pub ps: PsScratch,
+    /// Cost model turning meter deltas and work units into durations for
+    /// the timeline (the trainer passes its own; defaults to gigabit).
+    pub cost: CostModel,
+    /// Whether overlap accounting is on. Off, the timeline is never posted
+    /// to and every report field matches the pre-timeline sequential
+    /// accounting bit for bit.
+    pub overlap: bool,
+    /// This worker's two-lane schedule (comm, compute).
+    pub timeline: Timeline,
+    /// Reusable key buffer for batched pushes.
+    push_keys: Vec<ParamKey>,
 }
 
 impl WorkerCtx {
@@ -106,23 +121,90 @@ impl WorkerCtx {
             grads: GradAccum::new(),
             scratch: BatchScratch::default(),
             ps: PsScratch::new(),
+            cost: CostModel::gigabit(),
+            overlap: false,
+            timeline: Timeline::pipelined(),
+            push_keys: Vec::new(),
         }
     }
 
+    /// Configure the timing model: the cost model pricing this worker's
+    /// timeline events, and whether overlap accounting is enabled.
+    pub fn with_timing(mut self, cost: CostModel, overlap: bool) -> Self {
+        self.cost = cost;
+        self.overlap = overlap;
+        self
+    }
+
     /// Pull `keys` from the PS into the working set (one coalesced request).
-    pub fn pull_into_ws(&mut self, keys: &[ParamKey]) {
+    /// Returns the operation's metered traffic for timeline posting.
+    pub fn pull_into_ws(&mut self, keys: &[ParamKey]) -> TrafficSnapshot {
+        let before = self.meter.snapshot();
         let ws = &mut self.ws;
         self.client
             .pull_batch_with(keys, &mut self.ps, |i, row| ws.insert(keys[i], row));
+        self.meter.snapshot().since(before)
     }
 
     /// Push every accumulated gradient to the PS (coalesced), then clear the
-    /// accumulator.
-    pub fn push_grads(&mut self) {
-        let (keys, grads) = self.grads.as_batch();
-        self.client
-            .push_batch_with(&keys, &grads, self.optimizer.as_ref(), &mut self.ps);
+    /// accumulator. Returns the operation's metered traffic for timeline
+    /// posting.
+    pub fn push_grads(&mut self) -> TrafficSnapshot {
+        let before = self.meter.snapshot();
+        let mut keys = std::mem::take(&mut self.push_keys);
+        self.grads.keys_into(&mut keys);
+        let grads = &self.grads;
+        self.client.push_batch_rows(
+            &keys,
+            |i| grads.row(keys[i]),
+            self.optimizer.as_ref(),
+            &mut self.ps,
+        );
         self.grads.clear();
+        self.push_keys = keys;
+        self.meter.snapshot().since(before)
+    }
+
+    /// Post a metered comm operation to the timeline's comm lane, not
+    /// starting before `after` (the completion time of the event whose
+    /// output it carries; `0.0` when none). Returns the operation's
+    /// completion time, or `0.0` when overlap accounting is off (the
+    /// timeline is untouched, preserving sequential accounting exactly).
+    pub fn post_comm(&mut self, delta: TrafficSnapshot, after: f64) -> f64 {
+        if !self.overlap {
+            return 0.0;
+        }
+        let duration = delta.simulated_time(&self.cost);
+        self.timeline.post(Lane::Comm, duration, after)
+    }
+
+    /// Post a kernel block of `work_units` to the compute lane, not
+    /// starting before `after` (its input pull's completion). Returns its
+    /// completion time, or `0.0` when overlap accounting is off.
+    pub fn post_compute(&mut self, work_units: u64, after: f64) -> f64 {
+        if !self.overlap {
+            return 0.0;
+        }
+        let duration = self.cost.compute_time(work_units);
+        self.timeline.post(Lane::Compute, duration, after)
+    }
+
+    /// Mark the start of an epoch on the timeline (no-op when overlap
+    /// accounting is off).
+    pub fn begin_epoch_timing(&mut self) {
+        if self.overlap {
+            self.timeline.begin_epoch();
+        }
+    }
+
+    /// Close the epoch on the timeline and return its critical path
+    /// (`0.0` when overlap accounting is off).
+    pub fn end_epoch_timing(&mut self) -> f64 {
+        if self.overlap {
+            self.timeline.end_epoch()
+        } else {
+            0.0
+        }
     }
 
     /// Advance the fault injector's simulated clock by this worker's compute
@@ -203,7 +285,37 @@ mod tests {
     fn push_grads_clears_accumulator() {
         let mut c = ctx();
         c.grads.add(ParamKey(0), &[1.0, 0.0, 0.0, 0.0]);
-        c.push_grads();
+        let delta = c.push_grads();
         assert!(c.grads.is_empty());
+        assert!(delta.total_bytes() > 0, "push traffic is returned");
+    }
+
+    #[test]
+    fn timing_disabled_never_touches_the_timeline() {
+        let mut c = ctx();
+        assert!(!c.overlap);
+        let delta = c.pull_into_ws(&[ParamKey(0)]);
+        assert_eq!(c.post_comm(delta, 0.0), 0.0);
+        assert_eq!(c.post_compute(1_000, 5.0), 0.0);
+        c.begin_epoch_timing();
+        assert_eq!(c.end_epoch_timing(), 0.0);
+        assert_eq!(c.timeline.now(), 0.0);
+    }
+
+    #[test]
+    fn timing_enabled_builds_a_critical_path() {
+        let mut c = ctx().with_timing(CostModel::gigabit(), true);
+        c.begin_epoch_timing();
+        let delta = c.pull_into_ws(&[ParamKey(0), ParamKey(3)]);
+        let pull_end = c.post_comm(delta, 0.0);
+        assert!(pull_end > 0.0);
+        let compute_end = c.post_compute(2_000_000, pull_end);
+        assert!(compute_end > pull_end);
+        c.grads.add(ParamKey(0), &[1.0, 0.0, 0.0, 0.0]);
+        let push = c.push_grads();
+        let push_end = c.post_comm(push, compute_end);
+        assert!(push_end > compute_end);
+        let cp = c.end_epoch_timing();
+        assert!((cp - push_end).abs() < 1e-15, "fully serial chain: cp is the chain end");
     }
 }

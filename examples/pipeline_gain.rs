@@ -1,0 +1,79 @@
+//! Measure what the iteration pipeline buys in simulated time: train each
+//! system on a 4-shard workload with overlap on and off, and print one JSON
+//! record per system (epoch simulated time, overlap fraction).
+//!
+//! `scripts/bench_pipeline.sh` runs this and collects the output into
+//! `BENCH_pipeline.json`.
+//!
+//! Run directly with:
+//! ```sh
+//! cargo run --release --example pipeline_gain
+//! ```
+
+use het_kg::prelude::*;
+use serde_json::json;
+
+fn main() {
+    let kg = SyntheticKg {
+        num_entities: 4_000,
+        num_relations: 24,
+        num_triples: 8_000,
+        ..Default::default()
+    }
+    .build(11);
+    let split = Split::ninety_five_five(&kg, 11);
+
+    let mut records = Vec::new();
+    for system in [
+        SystemKind::HetKgCps,
+        SystemKind::HetKgDps,
+        SystemKind::DglKe,
+        SystemKind::Pbg,
+    ] {
+        let mut cfg = TrainConfig::small(system);
+        cfg.epochs = 3;
+        cfg.dim = 32;
+        cfg.machines = 4;
+        cfg.batch_size = 16; // sparse batches: room for clean-shard early pulls
+        cfg.eval_candidates = None;
+
+        let pipelined = train(&kg, &split.train, &[], &cfg);
+
+        let mut seq_cfg = cfg.clone();
+        seq_cfg.overlap = false;
+        let sequential = train(&kg, &split.train, &[], &seq_cfg);
+
+        // Sequential total = compute + comm laid end to end; the pipeline's
+        // gain is the share of that sum hidden behind the other lane.
+        let sum = pipelined.total_compute_secs() + pipelined.total_comm_secs();
+        let overlap_fraction = if sum > 0.0 {
+            pipelined.total_overlap_secs() / sum
+        } else {
+            0.0
+        };
+        records.push(json!({
+            "system": pipelined.system.to_string(),
+            "epochs": cfg.epochs,
+            "epoch_simulated_secs": pipelined.total_secs() / cfg.epochs as f64,
+            "critical_path_secs": pipelined.total_secs(),
+            "compute_secs": pipelined.total_compute_secs(),
+            "comm_secs": pipelined.total_comm_secs(),
+            "overlap_secs": pipelined.total_overlap_secs(),
+            "overlap_fraction": overlap_fraction,
+            "sequential_idealized_secs": sequential.total_secs(),
+        }));
+    }
+
+    let doc = json!({
+        "workload": {
+            "entities": kg.num_entities(),
+            "relations": kg.num_relations(),
+            "triples": kg.num_triples(),
+            "machines": 4,
+            "dim": 32,
+            "batch_size": 16,
+        },
+        "systems": records,
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Benchmark the iteration pipeline: run the pipelined-vs-sequential
+# comparison on the 4-shard workload and write the result to
+# BENCH_pipeline.json (per system: epoch simulated time, compute/comm
+# split, and the fraction of the sequential sum hidden by overlap).
+#
+# Optionally pass --criterion to also run the wall-clock Criterion bench
+# (`cargo bench -p hetkg-bench --bench pipeline`), which measures the
+# implementation cost of the pipeline rather than its simulated-time gain.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_pipeline.json
+cargo run --release --example pipeline_gain > "$OUT"
+echo "wrote $OUT" >&2
+
+if [ "${1:-}" = "--criterion" ]; then
+    cargo bench -p hetkg-bench --bench pipeline
+fi

@@ -121,6 +121,8 @@ fn usage() {
     println!("  --out PATH      checkpoint output                    (default hetkg-model.bin)");
     println!("  --checkpoint P  checkpoint input for `eval`");
     println!("  --seed N        master seed                          (default 42)");
+    println!("  --no-overlap    disable comm/compute pipelining; reproduces the");
+    println!("                  sequential timing accounting bit for bit");
     println!("fault injection (train):");
     println!("  --fault-profile P    none | lossy | corrupt | outage | chaos, or a");
     println!("                       JSON FaultPlan file             (default none)");
@@ -144,6 +146,9 @@ fn usage() {
     println!("                       check per-key divergence        (default off)");
 }
 
+/// Flags that stand alone (no value follows them).
+const BARE_FLAGS: &[&str] = &["no-overlap"];
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
@@ -151,6 +156,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(CliError::UnexpectedArg(arg.clone()));
         };
+        if BARE_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), String::new());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(CliError::MissingValue(name.to_string()));
         };
@@ -423,6 +432,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "checkpoint-dir",
             "max-restarts",
             "oracle",
+            "no-overlap",
         ],
     )?;
     let data = load_data(flags)?;
@@ -439,6 +449,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     cfg.checkpoint_dir = flags.get("checkpoint-dir").cloned();
     cfg.supervisor.max_restarts =
         non_negative(flags, "max-restarts", cfg.supervisor.max_restarts as usize)? as u32;
+    cfg.overlap = !flags.contains_key("no-overlap");
     let oracle_on = switch(flags, "oracle", false)?;
 
     println!(
@@ -493,6 +504,15 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         100.0 * report.comm_fraction(),
         report.total_traffic().total_bytes() as f64 / 1e6
     );
+    let overlapped = report.total_overlap_secs();
+    if overlapped > 0.0 {
+        println!(
+            "pipelining hid {:.2}s of communication behind compute ({:.2}s sequential -> {:.2}s critical path)",
+            overlapped,
+            report.total_compute_secs() + report.total_comm_secs(),
+            report.total_secs(),
+        );
+    }
     if let Some(fr) = &report.faults {
         println!(
             "faults: {} drops ({} retries, {:.1} KB retransmitted) | {} outage refusals | {} slow messages (+{:.4}s latency, {:.4}s backoff)",
