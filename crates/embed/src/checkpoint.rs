@@ -217,7 +217,7 @@ impl Checkpoint {
         let header_crc = fnv1a(&buf[..]);
         buf.put_u32_le(header_crc);
 
-        let mut put_table = |buf: &mut BytesMut, t: &EmbeddingTable| {
+        let put_table = |buf: &mut BytesMut, t: &EmbeddingTable| {
             let start = buf.len();
             for &v in t.as_slice() {
                 buf.put_f32_le(v);

@@ -5,12 +5,12 @@
 //! corrupted side (is the model better at predicting heads or tails?). Both
 //! are cheap to collect during the same ranking pass.
 
-use crate::link_prediction::{EmbeddingSnapshot, EvalConfig};
+use crate::link_prediction::{pick_candidates, rank_one, EmbeddingSnapshot, EvalConfig, Side};
 use crate::metrics::RankMetrics;
 use hetkg_embed::models::KgeModel;
-use hetkg_kgraph::{EntityId, RelationId, Triple};
+use hetkg_kgraph::{RelationId, Triple};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
 
 /// Link-prediction metrics split by relation and by corrupted side.
@@ -66,39 +66,11 @@ pub fn evaluate_breakdown(
     let mut candidates: Vec<u32> = Vec::new();
 
     for &triple in test {
-        for corrupt_head in [true, false] {
-            candidates.clear();
-            match config.max_candidates {
-                Some(k) if k < num_entities => {
-                    candidates.extend((0..k).map(|_| rng.random_range(0..num_entities as u32)))
-                }
-                _ => candidates.extend(0..num_entities as u32),
-            }
-            let true_score = snapshot.score(model, triple);
-            let mut greater = 0u64;
-            let mut ties = 0u64;
-            for &c in &candidates {
-                let corrupted = if corrupt_head {
-                    triple.with_head(EntityId(c))
-                } else {
-                    triple.with_tail(EntityId(c))
-                };
-                if corrupted == triple {
-                    continue;
-                }
-                if config.filtered && truth.contains(&corrupted) {
-                    continue;
-                }
-                let s = snapshot.score(model, corrupted);
-                if s > true_score {
-                    greater += 1;
-                } else if s == true_score {
-                    ties += 1;
-                }
-            }
-            let rank = greater + ties / 2 + 1;
+        for side in [Side::Head, Side::Tail] {
+            pick_candidates(&mut candidates, num_entities, config, &mut rng);
+            let rank = rank_one(model, snapshot, triple, side, &candidates, &truth, config);
             out.overall.add_rank(rank);
-            if corrupt_head {
+            if side == Side::Head {
                 out.head_side.add_rank(rank);
             } else {
                 out.tail_side.add_rank(rank);

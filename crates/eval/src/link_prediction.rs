@@ -14,7 +14,7 @@ use hetkg_embed::models::KgeModel;
 use hetkg_embed::storage::EmbeddingTable;
 use hetkg_kgraph::{EntityId, Triple};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use std::collections::HashSet;
 
 /// A frozen copy of the model parameters, dense by entity/relation id.
@@ -70,7 +70,7 @@ impl Default for EvalConfig {
 
 /// Which sides of each triple to corrupt during evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Side {
+pub(crate) enum Side {
     Head,
     Tail,
 }
@@ -97,7 +97,7 @@ pub fn evaluate(
 /// Rank of the true entity for one triple and side. 1-based; ties are
 /// counted optimistically-half (`greater + ties/2 + 1` rounded down), the
 /// convention that makes constant scorers rank in the middle.
-fn rank_one(
+pub(crate) fn rank_one(
     model: &dyn KgeModel,
     snapshot: &EmbeddingSnapshot,
     triple: Triple,
@@ -132,7 +132,12 @@ fn rank_one(
 }
 
 /// Fill `out` with the candidate entity ids for one ranking.
-fn pick_candidates(out: &mut Vec<u32>, num_entities: usize, config: &EvalConfig, rng: &mut StdRng) {
+pub(crate) fn pick_candidates(
+    out: &mut Vec<u32>,
+    num_entities: usize,
+    config: &EvalConfig,
+    rng: &mut StdRng,
+) {
     out.clear();
     match config.max_candidates {
         Some(k) if k < num_entities => {

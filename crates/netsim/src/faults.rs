@@ -18,6 +18,8 @@
 use crate::cost::CostModel;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A window of simulated time during which one PS shard is unreachable
 /// (process crash, network partition). All traffic to the shard — local or
@@ -50,6 +52,20 @@ pub struct SlowEpisode {
     pub end: f64,
     /// Multiplier on remote message time (>= 1.0).
     pub latency_factor: f64,
+}
+
+/// A permanent PS-shard death: from `at` (simulated seconds) onward the
+/// primary replica of `shard` never answers again. Unlike an
+/// [`OutageWindow`] there is no recovery — the only way forward is for a
+/// backup replica to be promoted to primary (failover). Kills are inert
+/// unless the run has backup replicas to promote (a [`ShardLiveness`] table
+/// is attached to the injectors), so replication-off runs are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardKill {
+    /// The shard whose primary dies.
+    pub shard: usize,
+    /// Death instant, in simulated seconds.
+    pub at: f64,
 }
 
 /// An injected worker crash: during this epoch the workers die, losing all
@@ -95,6 +111,11 @@ pub struct FaultPlan {
     /// fall back to the most recent checkpoint that still validates.
     #[serde(default)]
     pub torn_checkpoint: Option<u64>,
+    /// Permanent primary-shard deaths (failover required). Only effective
+    /// when shard replication is on; without backups to promote, kills are
+    /// masked so legacy replication-off runs keep their exact behavior.
+    #[serde(default)]
+    pub kills: Vec<ShardKill>,
 }
 
 impl FaultPlan {
@@ -112,6 +133,7 @@ impl FaultPlan {
             && self.crash.is_none()
             && self.crashes.is_empty()
             && self.torn_checkpoint.is_none()
+            && self.kills.is_empty()
     }
 
     /// A lossy network: remote messages dropped with probability `p`.
@@ -166,6 +188,43 @@ impl FaultPlan {
                 end: 0.150,
             }],
             crash: Some(CrashPoint { epoch: 1 }),
+            // A permanent primary death late in the run. Masked unless the
+            // run has backup replicas (`--replication 2+`), in which case
+            // the chaos profile also exercises promotion.
+            kills: vec![ShardKill {
+                shard: 0,
+                at: 0.200,
+            }],
+            ..Self::default()
+        }
+    }
+
+    /// The failover profile used by the CLI: a permanent kill of shard 1's
+    /// primary mid-run, a straggler episode wide enough to trigger hedged
+    /// pulls, and a mildly lossy network. No crash points — the point of
+    /// this profile is that training rides through the shard death on the
+    /// promoted backup without restarting from a checkpoint. Requires
+    /// replication (k >= 2); with no backups the kill would be masked.
+    ///
+    /// The fault times sit in the first few simulated milliseconds so the
+    /// profile bites on any workload: a small test graph's whole run spans
+    /// under ten milliseconds of simulated time, while a CLI-scale run
+    /// spends hundreds — either way the straggler episode primes the hedge
+    /// threshold and the kill lands mid-epoch-zero, leaving most of the
+    /// run to execute against the promoted backup.
+    pub fn failover(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_probability: 0.01,
+            slow_episodes: vec![SlowEpisode {
+                start: 0.0005,
+                end: 0.004,
+                latency_factor: 4.0,
+            }],
+            kills: vec![ShardKill {
+                shard: 1,
+                at: 0.002,
+            }],
             ..Self::default()
         }
     }
@@ -177,6 +236,7 @@ impl FaultPlan {
             || self.corrupt_probability > 0.0
             || !self.slow_episodes.is_empty()
             || !self.outages.is_empty()
+            || !self.kills.is_empty()
     }
 
     /// All scheduled crash epochs (`crash` unioned with `crashes`), sorted
@@ -209,6 +269,10 @@ pub enum Verdict {
         /// Simulated instant at which the shard comes back.
         until: f64,
     },
+    /// The target shard's primary is permanently dead; it will never answer
+    /// again. The client must promote a backup replica (failover) before
+    /// any message to this shard can succeed.
+    ShardDead,
 }
 
 /// Aggregated fault/countermeasure counters for one injector (one worker).
@@ -244,6 +308,24 @@ pub struct FaultSnapshot {
     /// Corrupt frames ingested because checksums were disabled.
     #[serde(default)]
     pub corrupt_ingested: u64,
+    /// Backup replicas promoted to primary after a permanent shard death.
+    #[serde(default)]
+    pub promotions: u64,
+    /// Replication-backlog frames replayed during anti-entropy catch-up.
+    #[serde(default)]
+    pub catch_up_frames: u64,
+    /// Bytes replayed during anti-entropy catch-up.
+    #[serde(default)]
+    pub catch_up_bytes: u64,
+    /// Hedged pulls issued because the primary looked like a straggler.
+    #[serde(default)]
+    pub hedged_pulls: u64,
+    /// Hedged pulls where the backup's response arrived first.
+    #[serde(default)]
+    pub hedged_wins: u64,
+    /// Hedged pulls where the primary still won the race.
+    #[serde(default)]
+    pub hedged_losses: u64,
 }
 
 impl FaultSnapshot {
@@ -263,12 +345,80 @@ impl FaultSnapshot {
             corrupt_frames: self.corrupt_frames + o.corrupt_frames,
             corrupt_detected: self.corrupt_detected + o.corrupt_detected,
             corrupt_ingested: self.corrupt_ingested + o.corrupt_ingested,
+            promotions: self.promotions + o.promotions,
+            catch_up_frames: self.catch_up_frames + o.catch_up_frames,
+            catch_up_bytes: self.catch_up_bytes + o.catch_up_bytes,
+            hedged_pulls: self.hedged_pulls + o.hedged_pulls,
+            hedged_wins: self.hedged_wins + o.hedged_wins,
+            hedged_losses: self.hedged_losses + o.hedged_losses,
         }
     }
 
     /// Total fault events (drops + refusals + slowdowns + corruptions).
     pub fn total_faults(&self) -> u64 {
         self.drops + self.outage_refusals + self.slow_messages + self.corrupt_frames
+    }
+}
+
+/// Shared per-shard failover state: which killed shards have had a backup
+/// promoted to primary. One table per run, shared by every worker's
+/// injector and by the PS client performing the promotions — once any
+/// worker fails a shard over, all workers route to the promoted backup.
+///
+/// Promotion events carry the simulated instant they happened at so the
+/// trainer can forward them to the supervisor's event log.
+#[derive(Debug, Default)]
+pub struct ShardLiveness {
+    promoted: Vec<AtomicBool>,
+    events: Mutex<Vec<(usize, f64)>>,
+}
+
+impl ShardLiveness {
+    /// A table for `num_shards` shards, none promoted.
+    pub fn new(num_shards: usize) -> Self {
+        Self {
+            promoted: (0..num_shards).map(|_| AtomicBool::new(false)).collect(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn num_shards(&self) -> usize {
+        self.promoted.len()
+    }
+
+    /// Whether `shard` has already failed over to a backup.
+    pub fn is_promoted(&self, shard: usize) -> bool {
+        self.promoted
+            .get(shard)
+            .is_some_and(|p| p.load(Ordering::Acquire))
+    }
+
+    /// Mark `shard` as failed over at simulated instant `at`. Returns
+    /// `true` if this call performed the promotion (it was not already
+    /// promoted), recording the event.
+    pub fn promote(&self, shard: usize, at: f64) -> bool {
+        let Some(flag) = self.promoted.get(shard) else {
+            return false;
+        };
+        let newly = !flag.swap(true, Ordering::AcqRel);
+        if newly {
+            self.events.lock().push((shard, at));
+        }
+        newly
+    }
+
+    /// Total shards promoted so far.
+    pub fn promotions(&self) -> u64 {
+        self.promoted
+            .iter()
+            .filter(|p| p.load(Ordering::Acquire))
+            .count() as u64
+    }
+
+    /// Drain the pending promotion events `(shard, simulated_instant)`.
+    pub fn take_events(&self) -> Vec<(usize, f64)> {
+        std::mem::take(&mut *self.events.lock())
     }
 }
 
@@ -317,6 +467,11 @@ pub struct FaultInjector {
     plan: FaultPlan,
     cost: CostModel,
     worker_id: usize,
+    /// Failover table shared across workers. `None` means the run has no
+    /// backup replicas to promote, so permanent kills are masked — a kill
+    /// plan at replication 1 behaves exactly like the same plan without
+    /// kills.
+    liveness: Option<Arc<ShardLiveness>>,
     inner: Mutex<InjectorState>,
 }
 
@@ -331,6 +486,7 @@ impl FaultInjector {
             plan,
             cost,
             worker_id,
+            liveness: None,
             inner: Mutex::new(InjectorState {
                 rng,
                 clock: 0.0,
@@ -339,9 +495,26 @@ impl FaultInjector {
         }
     }
 
+    /// Attach the run's shared failover table, arming any [`ShardKill`]s in
+    /// the plan. Without this, kills are masked (no backups to promote).
+    pub fn with_liveness(mut self, liveness: Arc<ShardLiveness>) -> Self {
+        self.liveness = Some(liveness);
+        self
+    }
+
+    /// The attached failover table, if any.
+    pub fn liveness(&self) -> Option<&Arc<ShardLiveness>> {
+        self.liveness.as_ref()
+    }
+
     /// The plan being executed.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// The cost model this injector charges simulated time under.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
     }
 
     /// The worker this injector belongs to.
@@ -395,6 +568,23 @@ impl FaultInjector {
     pub fn adjudicate(&self, shard: usize, remote: bool, bytes: u64) -> Verdict {
         let mut inner = self.inner.lock();
 
+        // Permanent death outranks everything else, but only when the run
+        // has backups to fail over to; otherwise kills are masked entirely
+        // (no stats, no clock charge, no RNG draws).
+        if let Some(liveness) = &self.liveness {
+            if !liveness.is_promoted(shard)
+                && self
+                    .plan
+                    .kills
+                    .iter()
+                    .any(|k| k.shard == shard && inner.clock >= k.at)
+            {
+                // The failed connect still costs one connect-timeout latency.
+                inner.clock += self.cost.remote_latency;
+                return Verdict::ShardDead;
+            }
+        }
+
         if let Some(w) = self
             .plan
             .outages
@@ -413,7 +603,7 @@ impl FaultInjector {
         } else {
             self.cost.local_time(bytes, 1)
         };
-        let mut factor = 1.0;
+        let mut factor: f64 = 1.0;
         if remote {
             for ep in &self.plan.slow_episodes {
                 if inner.clock >= ep.start && inner.clock < ep.end {
@@ -495,6 +685,30 @@ impl FaultInjector {
     /// Record one corrupt frame ingested because checksums were off.
     pub fn note_corrupt_ingested(&self) {
         self.inner.lock().stats.corrupt_ingested += 1;
+    }
+
+    /// Record one backup-to-primary promotion performed by this worker,
+    /// with the anti-entropy catch-up it replayed beforehand.
+    pub fn note_promotion(&self, catch_up_frames: u64, catch_up_bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.stats.promotions += 1;
+        inner.stats.catch_up_frames += catch_up_frames;
+        inner.stats.catch_up_bytes += catch_up_bytes;
+    }
+
+    /// Record one hedged pull. On a win the pull effectively completed when
+    /// the backup answered, so `saved_secs` (the time the primary's
+    /// straggling response would have added) is credited back to the clock.
+    pub fn note_hedged_pull(&self, backup_won: bool, saved_secs: f64) {
+        debug_assert!(saved_secs >= 0.0);
+        let mut inner = self.inner.lock();
+        inner.stats.hedged_pulls += 1;
+        if backup_won {
+            inner.stats.hedged_wins += 1;
+            inner.clock -= saved_secs;
+        } else {
+            inner.stats.hedged_losses += 1;
+        }
     }
 
     /// Current counters.
@@ -721,7 +935,11 @@ mod tests {
     #[test]
     fn inertness_tracks_every_fault_field() {
         assert!(FaultPlan::default().is_inert());
-        assert!(FaultPlan { seed: 99, ..Default::default() }.is_inert());
+        assert!(FaultPlan {
+            seed: 99,
+            ..Default::default()
+        }
+        .is_inert());
         assert!(!FaultPlan::lossy(1, 0.5).is_inert());
         assert!(!FaultPlan::corrupting(1, 0.1).is_inert());
         assert!(!FaultPlan::shard_outage(1, 0, 1.0, 2.0).is_inert());
@@ -736,6 +954,93 @@ mod tests {
             ..Default::default()
         };
         assert!(!torn.is_inert());
+        let killy = FaultPlan {
+            kills: vec![ShardKill { shard: 0, at: 0.1 }],
+            ..Default::default()
+        };
+        assert!(!killy.is_inert());
+        assert!(killy.perturbs_messages());
+        assert!(!FaultPlan::failover(1).is_inert());
+    }
+
+    #[test]
+    fn kills_are_masked_without_liveness() {
+        // A kill plan with no failover table attached (replication off) is
+        // behaviorally identical to the same plan without kills: every
+        // message delivers, no stats, no extra clock charges.
+        let plan = FaultPlan {
+            kills: vec![ShardKill { shard: 1, at: 0.0 }],
+            ..Default::default()
+        };
+        let killed = injector(plan);
+        let clean = injector(FaultPlan::default());
+        for _ in 0..100 {
+            assert_eq!(killed.adjudicate(1, true, 64), Verdict::Deliver);
+            clean.adjudicate(1, true, 64);
+        }
+        assert_eq!(killed.stats(), FaultSnapshot::default());
+        assert_eq!(killed.now(), clean.now());
+    }
+
+    #[test]
+    fn armed_kill_refuses_until_promotion() {
+        let plan = FaultPlan {
+            kills: vec![ShardKill { shard: 1, at: 0.5 }],
+            ..Default::default()
+        };
+        let live = Arc::new(ShardLiveness::new(2));
+        let inj =
+            FaultInjector::new(plan, CostModel::gigabit(), 0).with_liveness(Arc::clone(&live));
+        assert_eq!(
+            inj.adjudicate(1, true, 64),
+            Verdict::Deliver,
+            "alive before the death instant"
+        );
+        inj.advance(1.0);
+        let before = inj.now();
+        assert_eq!(inj.adjudicate(1, true, 64), Verdict::ShardDead);
+        assert!(inj.now() > before, "a refused connect still costs latency");
+        assert_eq!(
+            inj.adjudicate(0, true, 64),
+            Verdict::Deliver,
+            "other shards unaffected"
+        );
+        // Failover: promotion is performed once, is idempotent, and
+        // restores delivery.
+        assert!(live.promote(1, inj.now()));
+        assert!(!live.promote(1, inj.now()), "second promote is a no-op");
+        assert_eq!(inj.adjudicate(1, true, 64), Verdict::Deliver);
+        assert_eq!(live.promotions(), 1);
+        let events = live.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, 1);
+        assert!(live.take_events().is_empty(), "events drain once");
+    }
+
+    #[test]
+    fn failover_counters_accumulate_and_merge() {
+        let inj = injector(FaultPlan::default());
+        inj.advance(1.0);
+        inj.note_promotion(12, 4096);
+        inj.note_hedged_pull(true, 0.25);
+        inj.note_hedged_pull(false, 0.0);
+        inj.note_hedged_pull(true, 0.25);
+        assert!(
+            (inj.now() - 0.5).abs() < 1e-12,
+            "wins credit the saved time back to the clock"
+        );
+        let s = inj.stats();
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.catch_up_frames, 12);
+        assert_eq!(s.catch_up_bytes, 4096);
+        assert_eq!(s.hedged_pulls, 3);
+        assert_eq!(s.hedged_wins, 2);
+        assert_eq!(s.hedged_losses, 1);
+        let m = s.merge(s);
+        assert_eq!(m.promotions, 2);
+        assert_eq!(m.catch_up_frames, 24);
+        assert_eq!(m.hedged_pulls, 6);
+        assert_eq!(m.hedged_wins, 4);
     }
 
     #[test]
@@ -744,9 +1049,15 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
-        // Missing fields default to fault-free.
+        let failover = FaultPlan::failover(3);
+        let json = serde_json::to_string(&failover).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(failover, back);
+        // Missing fields default to fault-free: plans serialized before
+        // kills existed must keep deserializing.
         let empty: FaultPlan = serde_json::from_str("{}").unwrap();
         assert_eq!(empty, FaultPlan::default());
         assert!(!empty.perturbs_messages());
+        assert!(empty.kills.is_empty());
     }
 }

@@ -16,6 +16,8 @@ pub struct TrafficMeter {
     local_messages: AtomicU64,
     remote_bytes: AtomicU64,
     remote_messages: AtomicU64,
+    replication_bytes: AtomicU64,
+    replication_messages: AtomicU64,
 }
 
 impl TrafficMeter {
@@ -38,6 +40,15 @@ impl TrafficMeter {
         self.remote_messages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one primary→backup replication transfer of `bytes`. Kept on
+    /// its own lane so the worker-visible local/remote counters stay
+    /// byte-identical whether or not replication is enabled.
+    #[inline]
+    pub fn record_replication(&self, bytes: u64) {
+        self.replication_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.replication_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the current counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
@@ -45,6 +56,8 @@ impl TrafficMeter {
             local_messages: self.local_messages.load(Ordering::Relaxed),
             remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
             remote_messages: self.remote_messages.load(Ordering::Relaxed),
+            replication_bytes: self.replication_bytes.load(Ordering::Relaxed),
+            replication_messages: self.replication_messages.load(Ordering::Relaxed),
         }
     }
 
@@ -54,6 +67,8 @@ impl TrafficMeter {
         self.local_messages.store(0, Ordering::Relaxed);
         self.remote_bytes.store(0, Ordering::Relaxed);
         self.remote_messages.store(0, Ordering::Relaxed);
+        self.replication_bytes.store(0, Ordering::Relaxed);
+        self.replication_messages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -68,6 +83,12 @@ pub struct TrafficSnapshot {
     pub remote_bytes: u64,
     /// Cross-machine message count.
     pub remote_messages: u64,
+    /// Bytes shipped from primary shards to their backup replicas.
+    #[serde(default)]
+    pub replication_bytes: u64,
+    /// Primary→backup replication message count.
+    #[serde(default)]
+    pub replication_messages: u64,
 }
 
 impl TrafficSnapshot {
@@ -83,7 +104,9 @@ impl TrafficSnapshot {
             self.local_bytes >= earlier.local_bytes
                 && self.local_messages >= earlier.local_messages
                 && self.remote_bytes >= earlier.remote_bytes
-                && self.remote_messages >= earlier.remote_messages,
+                && self.remote_messages >= earlier.remote_messages
+                && self.replication_bytes >= earlier.replication_bytes
+                && self.replication_messages >= earlier.replication_messages,
             "snapshot went backwards (meter reset between snapshots?): \
              {self:?} since {earlier:?}"
         );
@@ -92,6 +115,12 @@ impl TrafficSnapshot {
             local_messages: self.local_messages.saturating_sub(earlier.local_messages),
             remote_bytes: self.remote_bytes.saturating_sub(earlier.remote_bytes),
             remote_messages: self.remote_messages.saturating_sub(earlier.remote_messages),
+            replication_bytes: self
+                .replication_bytes
+                .saturating_sub(earlier.replication_bytes),
+            replication_messages: self
+                .replication_messages
+                .saturating_sub(earlier.replication_messages),
         }
     }
 
@@ -102,18 +131,25 @@ impl TrafficSnapshot {
             local_messages: self.local_messages + other.local_messages,
             remote_bytes: self.remote_bytes + other.remote_bytes,
             remote_messages: self.remote_messages + other.remote_messages,
+            replication_bytes: self.replication_bytes + other.replication_bytes,
+            replication_messages: self.replication_messages + other.replication_messages,
         }
     }
 
-    /// Total bytes, local + remote.
+    /// Total bytes, local + remote. Replication bytes are *not* included:
+    /// they retransmit payloads already counted on the worker lanes, and the
+    /// paper's communication-volume comparisons meter worker traffic only.
     pub fn total_bytes(self) -> u64 {
         self.local_bytes + self.remote_bytes
     }
 
-    /// Simulated communication time under `model` (local + remote parts).
+    /// Simulated communication time under `model` (local + remote parts,
+    /// plus the remote-shaped replication lane — backups live on other
+    /// machines, so replication shipping costs cross-machine time).
     pub fn simulated_time(self, model: &CostModel) -> f64 {
         model.remote_time(self.remote_bytes, self.remote_messages)
             + model.local_time(self.local_bytes, self.local_messages)
+            + model.remote_time(self.replication_bytes, self.replication_messages)
     }
 }
 
@@ -170,17 +206,67 @@ mod tests {
             local_messages: 2,
             remote_bytes: 3,
             remote_messages: 4,
+            replication_bytes: 5,
+            replication_messages: 6,
         };
         let b = TrafficSnapshot {
             local_bytes: 10,
             local_messages: 20,
             remote_bytes: 30,
             remote_messages: 40,
+            replication_bytes: 50,
+            replication_messages: 60,
         };
         let c = a.merge(b);
         assert_eq!(c.local_bytes, 11);
         assert_eq!(c.remote_messages, 44);
-        assert_eq!(c.total_bytes(), 44);
+        assert_eq!(c.replication_bytes, 55);
+        assert_eq!(c.replication_messages, 66);
+        assert_eq!(c.total_bytes(), 44, "replication lane excluded from totals");
+    }
+
+    #[test]
+    fn replication_lane_is_separate() {
+        let m = TrafficMeter::new();
+        m.record_remote(100);
+        m.record_replication(40);
+        m.record_replication(60);
+        let s = m.snapshot();
+        assert_eq!(s.remote_bytes, 100);
+        assert_eq!(s.remote_messages, 1);
+        assert_eq!(s.replication_bytes, 100);
+        assert_eq!(s.replication_messages, 2);
+        assert_eq!(s.total_bytes(), 100, "replication not in total_bytes");
+        let start = s;
+        m.record_replication(5);
+        let delta = m.snapshot().since(start);
+        assert_eq!(delta.replication_bytes, 5);
+        assert_eq!(delta.replication_messages, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn replication_time_is_remote_shaped() {
+        let m = CostModel::gigabit();
+        let s = TrafficSnapshot {
+            replication_bytes: 1_000_000,
+            replication_messages: 10,
+            ..Default::default()
+        };
+        let t = s.simulated_time(&m);
+        assert!((t - m.remote_time(1_000_000, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_without_replication_fields_still_loads() {
+        // Reports serialized before the replication lane existed must keep
+        // deserializing; absent fields default to zero.
+        let json = r#"{"local_bytes":1,"local_messages":2,"remote_bytes":3,"remote_messages":4}"#;
+        let s: TrafficSnapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(s.replication_bytes, 0);
+        assert_eq!(s.replication_messages, 0);
+        assert_eq!(s.remote_bytes, 3);
     }
 
     #[test]
@@ -219,6 +305,7 @@ mod tests {
             local_messages: 1,
             remote_bytes: 1_000_000,
             remote_messages: 10,
+            ..Default::default()
         };
         let m = CostModel::gigabit();
         let t = s.simulated_time(&m);

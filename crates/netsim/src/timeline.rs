@@ -200,7 +200,11 @@ mod tests {
         let durations = [1.5, 0.25, 3.0, 0.5, 2.0];
         let mut tl = Timeline::sequential();
         for (i, &d) in durations.iter().enumerate() {
-            let lane = if i % 2 == 0 { Lane::Comm } else { Lane::Compute };
+            let lane = if i % 2 == 0 {
+                Lane::Comm
+            } else {
+                Lane::Compute
+            };
             tl.post(lane, d, 0.0);
         }
         let sum: f64 = durations.iter().sum();
@@ -264,7 +268,11 @@ mod tests {
         let mut last = 0.0;
         for i in 0..10 {
             let d = 0.1 * (i + 1) as f64;
-            let lane = if i % 3 == 0 { Lane::Compute } else { Lane::Comm };
+            let lane = if i % 3 == 0 {
+                Lane::Compute
+            } else {
+                Lane::Comm
+            };
             // Chain every third event to model scattered dependencies.
             let after = if i % 3 == 2 { last } else { 0.0 };
             last = tl.post(lane, d, after);

@@ -39,11 +39,51 @@ use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
 use crate::router::BatchPlan;
 use hetkg_kgraph::ParamKey;
-use hetkg_netsim::{ClusterTopology, FaultInjector, TrafficMeter, TrafficSnapshot, Verdict, WireFrame};
+use hetkg_netsim::{
+    ClusterTopology, FaultInjector, TrafficMeter, TrafficSnapshot, Verdict, WireFrame,
+};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Bytes accounted per key id shipped in a request (u64 on the wire).
 const KEY_BYTES: u64 = 8;
+
+/// Hedged pulls fire when a delivery's latency inflation (observed time over
+/// the cost model's base time) exceeds `HEDGE_MIN_RATIO` and
+/// `HEDGE_EWMA_SLACK ×` the client's running average — adaptive, so a
+/// sustained episode stops triggering hedges once the average catches up.
+const HEDGE_MIN_RATIO: f64 = 2.0;
+const HEDGE_EWMA_SLACK: f64 = 1.5;
+/// EWMA smoothing for the observed inflation ratio.
+const HEDGE_EWMA_ALPHA: f64 = 0.2;
+
+/// Running latency-inflation tracker backing the adaptive hedge threshold.
+#[derive(Debug, Default)]
+struct HedgeState {
+    ewma: f64,
+    primed: bool,
+}
+
+impl HedgeState {
+    /// Inflation ratio above which the next pull is hedged. Infinite until
+    /// the first observation lands (never hedge blind).
+    fn threshold(&self) -> f64 {
+        if self.primed {
+            (HEDGE_EWMA_SLACK * self.ewma).max(HEDGE_MIN_RATIO)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn observe(&mut self, ratio: f64) {
+        if self.primed {
+            self.ewma = (1.0 - HEDGE_EWMA_ALPHA) * self.ewma + HEDGE_EWMA_ALPHA * ratio;
+        } else {
+            self.ewma = ratio;
+            self.primed = true;
+        }
+    }
+}
 
 /// A fault injector plus the retry policy governing this client's responses
 /// to its verdicts.
@@ -123,6 +163,9 @@ pub struct PsClient {
     meter: Arc<TrafficMeter>,
     faults: Option<FaultBinding>,
     checksums: bool,
+    /// Adaptive hedged-pull threshold state (shared by clones so a worker
+    /// rebuilt after a crash keeps its calibration).
+    hedge: Arc<Mutex<HedgeState>>,
 }
 
 impl PsClient {
@@ -147,6 +190,7 @@ impl PsClient {
             meter,
             faults: None,
             checksums: true,
+            hedge: Arc::new(Mutex::new(HedgeState::default())),
         }
     }
 
@@ -246,7 +290,7 @@ impl PsClient {
         payload.resize(out.len(), 0.0);
         self.store.pull(key, &mut payload);
         let mut frame = WireFrame::seal(keys, payload);
-        let result = self.transmit_frame(shard, &mut frame);
+        let result = self.transmit_frame(shard, &mut frame, true);
         if result.is_ok() {
             out.copy_from_slice(&frame.payload);
         }
@@ -321,7 +365,7 @@ impl PsClient {
         });
         scratch.seal_parts();
         self.debug_assert_frame_bytes(keys, &scratch.wire);
-        self.transmit_frames(&mut scratch.wire)?;
+        self.transmit_frames(&mut scratch.wire, true)?;
         for (i, slot) in scratch.slots.iter().enumerate() {
             sink(
                 i,
@@ -360,6 +404,24 @@ impl PsClient {
         Ok(self.meter.snapshot().since(before))
     }
 
+    /// Refresh rows parked by [`PsClient::try_pull_batch_issue`] to the
+    /// store's *current* values, unmetered. The split pull's frames — and
+    /// their bytes — already transited at issue time; delivery happens at
+    /// consume time, so the parked payload is brought up to date with what
+    /// the server holds now. This is what keeps a staged pull bit-identical
+    /// to the sequential schedule even when other workers push between
+    /// issue and consume: the consumer observes exactly the rows a
+    /// sequential pull at the consume point would.
+    pub fn refresh_pull_batch(&self, keys: &[ParamKey], rows: &mut [f32]) {
+        let mut offset = 0;
+        for &k in keys {
+            let width = (self.store.row_bytes(k) / 4) as usize;
+            self.store.pull(k, &mut rows[offset..offset + width]);
+            offset += width;
+        }
+        debug_assert_eq!(offset, rows.len(), "rows do not match the key batch");
+    }
+
     /// Complete half of a split pull: replay rows parked by
     /// [`PsClient::try_pull_batch_issue`] to `sink` in key order. Row
     /// widths come from the store's schema, so `rows` must belong to
@@ -394,8 +456,9 @@ impl PsClient {
     ) -> Result<(), RpcError> {
         let shard = self.store.router().shard_of(key);
         let mut frame = WireFrame::seal(vec![key.0], grad.to_vec());
-        self.transmit_frame(shard, &mut frame)?;
+        self.transmit_frame(shard, &mut frame, false)?;
         self.store.push_grad(key, &frame.payload, optimizer);
+        self.ship_replication(shard);
         Ok(())
     }
 
@@ -477,7 +540,7 @@ impl PsClient {
             return Ok(());
         }
         self.seal_frames_by(keys, row_of, scratch);
-        self.transmit_frames(&mut scratch.wire)?;
+        self.transmit_frames(&mut scratch.wire, false)?;
         let (wire, slots) = (&scratch.wire, &scratch.slots);
         self.store.push_planned(
             &scratch.plan,
@@ -487,6 +550,9 @@ impl PsClient {
             },
             optimizer,
         );
+        for shard in scratch.plan.shards() {
+            self.ship_replication(shard);
+        }
         Ok(())
     }
 
@@ -524,12 +590,15 @@ impl PsClient {
             return Ok(());
         }
         self.seal_frames_by(keys, |i| values[i], scratch);
-        self.transmit_frames(&mut scratch.wire)?;
+        self.transmit_frames(&mut scratch.wire, false)?;
         let (wire, slots) = (&scratch.wire, &scratch.slots);
         self.store.store_planned(&scratch.plan, |i| {
             let s = slots[i];
             &wire[s.shard].payload[s.offset..s.offset + s.width]
         });
+        for shard in scratch.plan.shards() {
+            self.ship_replication(shard);
+        }
         Ok(())
     }
 
@@ -586,10 +655,10 @@ impl PsClient {
     /// Send one frame per touched shard, in ascending shard order.
     /// All-or-nothing: the first shard that exhausts its retries aborts the
     /// batch.
-    fn transmit_frames(&self, frames: &mut [WireFrame]) -> Result<(), RpcError> {
-        for shard in 0..frames.len() {
-            if !frames[shard].keys.is_empty() {
-                self.transmit_frame(shard, &mut frames[shard])?;
+    fn transmit_frames(&self, frames: &mut [WireFrame], hedgeable: bool) -> Result<(), RpcError> {
+        for (shard, frame) in frames.iter_mut().enumerate() {
+            if !frame.keys.is_empty() {
+                self.transmit_frame(shard, frame, hedgeable)?;
             }
         }
         Ok(())
@@ -601,7 +670,18 @@ impl PsClient {
     /// count toward simulated network time. On return the frame holds what
     /// the receiver accepted: the sealed contents, unless checksums are off
     /// and transit corruption was ingested.
-    fn transmit_frame(&self, shard: usize, frame: &mut WireFrame) -> Result<(), RpcError> {
+    ///
+    /// `hedgeable` marks read traffic (pulls): if a delivered remote pull
+    /// took far longer than the cost model predicts (a straggler episode),
+    /// the same request is hedged to a backup replica and the faster
+    /// response wins. Writes are never hedged — duplicating a gradient push
+    /// would double-apply it.
+    fn transmit_frame(
+        &self,
+        shard: usize,
+        frame: &mut WireFrame,
+        hedgeable: bool,
+    ) -> Result<(), RpcError> {
         let bytes = frame.wire_bytes();
         let remote = !self.topology.is_local(self.worker_id, shard);
         let record = |b: u64| {
@@ -618,9 +698,13 @@ impl PsClient {
         let mut attempts: u32 = 0;
         loop {
             attempts += 1;
+            let sent_at = f.injector.now();
             match f.injector.adjudicate(shard, remote, bytes) {
                 Verdict::Deliver => {
                     record(bytes);
+                    if hedgeable && remote {
+                        self.maybe_hedge(f, shard, bytes, f.injector.now() - sent_at);
+                    }
                     return Ok(());
                 }
                 Verdict::Corrupt => {
@@ -667,7 +751,91 @@ impl PsClient {
                         f.injector.note_backoff(backoff);
                     }
                 }
+                Verdict::ShardDead => {
+                    // Permanent loss: promote a backup (or fail for good),
+                    // then let the loop retransmit to the new primary. The
+                    // attempt against the dead primary doesn't burn a retry
+                    // — failover is a topology change, not flaky transit.
+                    self.fail_over(f, shard)?;
+                    attempts -= 1;
+                }
             }
+        }
+    }
+
+    /// Handle a permanently dead primary: race to mark the shard promoted
+    /// (exactly one caller wins), replay the replication backlog onto the
+    /// backup (anti-entropy catch-up, metered as replication traffic), and
+    /// swap the backup into the primary slot. Losers of the race return
+    /// immediately — the winner's promotion is already visible through the
+    /// shared liveness table by the time `promote` returns `true` here.
+    fn fail_over(&self, f: &FaultBinding, shard: usize) -> Result<(), RpcError> {
+        let Some(liveness) = f.injector.liveness() else {
+            return Err(RpcError::ShardLost { shard });
+        };
+        if liveness.promote(shard, f.injector.now()) {
+            if !self.store.has_backup(shard) {
+                return Err(RpcError::ShardLost { shard });
+            }
+            let flush = self.store.catch_up(shard);
+            for _ in 0..flush.messages {
+                self.meter.record_replication(flush.payload_bytes);
+            }
+            if !self.store.promote(shard) {
+                return Err(RpcError::ShardLost { shard });
+            }
+            f.injector
+                .note_promotion(flush.records, flush.messages * flush.payload_bytes);
+        }
+        Ok(())
+    }
+
+    /// Hedge a slow remote pull against a backup replica. `elapsed` is the
+    /// simulated time the delivered attempt took; `base` is what the cost
+    /// model says an unperturbed transfer costs. When the ratio blows past
+    /// an adaptive threshold (an EWMA of recent ratios, floored so routine
+    /// jitter never trips it), the same pull is issued to the backup: its
+    /// bytes are metered on the replication lane, and if the backup's
+    /// unperturbed response would have arrived first, the saved time is
+    /// credited back to the worker's clock. Payloads are untouched — the
+    /// primary's frame is already sealed and backups are value-identical
+    /// modulo the bounded replication lag — so hedging perturbs time and
+    /// counters only, never training values.
+    fn maybe_hedge(&self, f: &FaultBinding, shard: usize, bytes: u64, elapsed: f64) {
+        if !self.store.has_backup(shard) {
+            return;
+        }
+        let base = f.injector.cost().remote_time(bytes, 1);
+        if base <= 0.0 {
+            return;
+        }
+        let ratio = elapsed / base;
+        let threshold = {
+            let mut h = self.hedge.lock();
+            let t = h.threshold();
+            h.observe(ratio);
+            t
+        };
+        if ratio < threshold {
+            return;
+        }
+        self.meter.record_replication(bytes);
+        let backup_time = base + f.injector.cost().remote_latency;
+        let won = backup_time < elapsed;
+        f.injector
+            .note_hedged_pull(won, if won { elapsed - backup_time } else { 0.0 });
+    }
+
+    /// Drain any full replication batches for `shard` to its backups,
+    /// metering the shipped frames on the replication lane. A no-op (no
+    /// locks, no allocation) when replication is off.
+    fn ship_replication(&self, shard: usize) {
+        if self.store.replication() <= 1 {
+            return;
+        }
+        let flush = self.store.replicate(shard);
+        for _ in 0..flush.messages {
+            self.meter.record_replication(flush.payload_bytes);
         }
     }
 }
@@ -1091,11 +1259,45 @@ mod tests {
         let delta = client
             .try_pull_batch_issue(&keys, &mut scratch, &mut rows)
             .unwrap();
-        assert_eq!(delta, meter.snapshot().since(before), "delta is the op's own traffic");
+        assert_eq!(
+            delta,
+            meter.snapshot().since(before),
+            "delta is the op's own traffic"
+        );
         assert!(delta.total_bytes() > 0);
         let mut replayed = Vec::new();
         client.complete_pull_batch(&keys, &rows, |i, row| replayed.push((i, row.to_vec())));
         assert_eq!(direct, replayed);
+    }
+
+    #[test]
+    fn refreshed_split_pull_observes_pushes_landed_after_issue() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store, meter.clone());
+        let mut scratch = PsScratch::new();
+        let keys = [0u64, 3, 9].map(ParamKey);
+        let mut rows = Vec::new();
+        client
+            .try_pull_batch_issue(&keys, &mut scratch, &mut rows)
+            .unwrap();
+        // Another worker's push lands between issue and consume.
+        let g = [1.0f32; 4];
+        client.push_batch(&[ParamKey(3)], &[&g], &Sgd { lr: 1.0 });
+        let metered = meter.snapshot();
+        client.refresh_pull_batch(&keys, &mut rows);
+        assert_eq!(
+            meter.snapshot(),
+            metered,
+            "delivery of an issued pull is free"
+        );
+        // The refreshed rows match a direct pull at the consume point.
+        let mut direct = Vec::new();
+        client.pull_batch(&keys, |_, row| direct.extend_from_slice(row));
+        assert_eq!(
+            rows.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -1121,17 +1323,185 @@ mod tests {
         let b = PsClient::new(0, topo, store_b.clone(), meter_b.clone());
         let mut scratch = PsScratch::new();
         let keys = [4u64, 1, 2, 4].map(ParamKey); // duplicate key included
-        let grads: Vec<Vec<f32>> = (0..keys.len())
-            .map(|i| vec![0.5 + i as f32; 4])
-            .collect();
+        let grads: Vec<Vec<f32>> = (0..keys.len()).map(|i| vec![0.5 + i as f32; 4]).collect();
         let refs: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
         a.push_batch_with(&keys, &refs, &Sgd { lr: 0.2 }, &mut scratch);
-        b.push_batch_rows(&keys, |i| grads[i].as_slice(), &Sgd { lr: 0.2 }, &mut scratch);
+        b.push_batch_rows(
+            &keys,
+            |i| grads[i].as_slice(),
+            &Sgd { lr: 0.2 },
+            &mut scratch,
+        );
         assert_eq!(meter_a.snapshot(), meter_b.snapshot());
         let mut all_a = Vec::new();
         store_a.for_each_row(|k, row| all_a.push((k, row.to_vec())));
         let mut all_b = Vec::new();
         store_b.for_each_row(|k, row| all_b.push((k, row.to_vec())));
         assert_eq!(all_a, all_b);
+    }
+
+    fn setup_replicated(machines: usize, k: usize) -> (Arc<KvStore>, ClusterTopology) {
+        let ks = KeySpace::new(8, 4);
+        let router = ShardRouter::round_robin(ks, machines);
+        let store = Arc::new(
+            KvStore::new(router, 4, 4, 0, Init::Uniform { bound: 0.1 }, 1).with_replication(k),
+        );
+        (store, ClusterTopology::new(machines, 1))
+    }
+
+    fn kill_plan(shard: usize, at: f64) -> FaultPlan {
+        FaultPlan {
+            kills: vec![hetkg_netsim::ShardKill { shard, at }],
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn failover_promotes_a_backup_and_delivers() {
+        let (store, topo) = setup_replicated(2, 2);
+        // A write that reaches the backlog before the primary dies: the
+        // promoted backup must serve it after anti-entropy catch-up.
+        let marker = [7.0f32; 4];
+        store.store(ParamKey(1), &marker);
+        let meter = Arc::new(TrafficMeter::new());
+        let liveness = Arc::new(hetkg_netsim::ShardLiveness::new(2));
+        let inj = Arc::new(
+            FaultInjector::new(kill_plan(1, 0.0), CostModel::gigabit(), 0)
+                .with_liveness(liveness.clone()),
+        );
+        let client = PsClient::new(0, topo, store, meter.clone())
+            .with_faults(inj.clone(), RetryPolicy::default());
+        let mut buf = [0.0f32; 4];
+        // Key 1 routes to shard 1, dead from t=0: the pull must fail over.
+        client.try_pull(ParamKey(1), &mut buf).unwrap();
+        assert_eq!(buf, marker, "promoted backup serves the caught-up value");
+        let stats = inj.stats();
+        assert_eq!(stats.promotions, 1);
+        assert_eq!(stats.catch_up_frames, 1, "one backlogged record replayed");
+        assert!(stats.catch_up_bytes > 0);
+        assert_eq!(liveness.promotions(), 1);
+        let events = liveness.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, 1, "the dead shard was the one promoted");
+        assert!(
+            events[0].1 > 0.0,
+            "the failed attempt against the dead primary still cost latency"
+        );
+        assert!(
+            meter.snapshot().replication_bytes > 0,
+            "catch-up traffic is metered on the replication lane"
+        );
+        // The new primary takes writes like any other shard.
+        client
+            .try_push(ParamKey(1), &[0.5; 4], &Sgd { lr: 1.0 })
+            .unwrap();
+        client.try_pull(ParamKey(1), &mut buf).unwrap();
+        assert_eq!(buf, [6.5f32; 4]);
+        assert_eq!(inj.stats().promotions, 1, "no second promotion");
+    }
+
+    #[test]
+    fn failover_without_replication_is_shard_lost() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let liveness = Arc::new(hetkg_netsim::ShardLiveness::new(2));
+        let inj = Arc::new(
+            FaultInjector::new(kill_plan(1, 0.0), CostModel::gigabit(), 0).with_liveness(liveness),
+        );
+        let client =
+            PsClient::new(0, topo, store, meter.clone()).with_faults(inj, RetryPolicy::default());
+        let mut buf = [0.0f32; 4];
+        let err = client.try_pull(ParamKey(1), &mut buf).unwrap_err();
+        assert_eq!(err, RpcError::ShardLost { shard: 1 });
+    }
+
+    #[test]
+    fn hedged_pulls_fire_under_a_straggler_episode() {
+        let (store, topo) = setup_replicated(2, 2);
+        let meter = Arc::new(TrafficMeter::new());
+        // No drops/corruption: only a straggler window after a calibration
+        // period of unperturbed pulls (each remote pull costs ~100 us).
+        let plan = FaultPlan {
+            slow_episodes: vec![hetkg_netsim::SlowEpisode {
+                start: 500e-6,
+                end: 1.0,
+                latency_factor: 4.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let inj = Arc::new(FaultInjector::new(plan, CostModel::gigabit(), 0));
+        let client = PsClient::new(0, topo, store, meter.clone())
+            .with_faults(inj.clone(), RetryPolicy::default());
+        let mut buf = [0.0f32; 4];
+        let calm = client
+            .metered(|c| c.try_pull(ParamKey(1), &mut buf).unwrap())
+            .1;
+        assert_eq!(
+            calm.replication_bytes, 0,
+            "unperturbed pulls never hedge: the observed/predicted ratio is 1"
+        );
+        for _ in 0..40 {
+            client.try_pull(ParamKey(1), &mut buf).unwrap();
+        }
+        let stats = inj.stats();
+        assert!(stats.slow_messages > 0, "the episode was entered");
+        assert!(stats.hedged_pulls > 0, "slow pulls past threshold hedge");
+        assert_eq!(stats.hedged_wins + stats.hedged_losses, stats.hedged_pulls);
+        assert!(
+            stats.hedged_wins > 0,
+            "a 4x straggler loses to an unperturbed backup"
+        );
+        assert!(meter.snapshot().replication_bytes > 0);
+        assert!(
+            stats.hedged_pulls < stats.slow_messages,
+            "the adaptive threshold re-calibrates and stops hedging"
+        );
+    }
+
+    #[test]
+    fn replication_on_fault_free_run_only_adds_replication_traffic() {
+        let run = |k: usize| {
+            let (store, topo) = setup_replicated(2, k);
+            let meter = Arc::new(TrafficMeter::new());
+            let inj = injector(FaultPlan::default());
+            let client = PsClient::new(0, topo, store.clone(), meter.clone())
+                .with_faults(inj, RetryPolicy::default());
+            let mut scratch = PsScratch::new();
+            let keys: Vec<ParamKey> = (0..8).map(ParamKey).collect();
+            let mut buf = [0.0f32; 4];
+            for round in 0..20 {
+                for &k in &keys {
+                    client.try_pull(k, &mut buf).unwrap();
+                }
+                let g = vec![0.01 * (round as f32 + 1.0); 4];
+                let refs: Vec<&[f32]> = keys.iter().map(|_| g.as_slice()).collect();
+                client
+                    .try_push_batch_with(&keys, &refs, &Sgd { lr: 0.1 }, &mut scratch)
+                    .unwrap();
+            }
+            let mut rows = Vec::new();
+            store.for_each_row(|k, row| {
+                rows.push((k, row.iter().map(|v| v.to_bits()).collect::<Vec<_>>()))
+            });
+            (meter.snapshot(), rows)
+        };
+        let (off, rows_off) = run(1);
+        let (on, rows_on) = run(2);
+        assert_eq!(
+            rows_off, rows_on,
+            "replication never changes primary values"
+        );
+        assert_eq!(off.replication_bytes, 0);
+        assert_eq!(off.replication_messages, 0);
+        assert!(on.replication_bytes > 0, "batches shipped to the backup");
+        assert_eq!(
+            TrafficSnapshot {
+                replication_bytes: 0,
+                replication_messages: 0,
+                ..on
+            },
+            off,
+            "worker-lane traffic is bit-identical with replication on"
+        );
     }
 }

@@ -30,6 +30,13 @@ pub enum RpcError {
         /// Send attempts made before giving up.
         attempts: u32,
     },
+    /// The target shard's primary is permanently dead and no backup replica
+    /// was available to promote (replication off, or the replica budget for
+    /// this shard is already spent).
+    ShardLost {
+        /// The shard whose primary died beyond recovery.
+        shard: usize,
+    },
     /// The async push server's consumer thread is gone.
     ServerGone,
 }
@@ -45,6 +52,9 @@ impl fmt::Display for RpcError {
             }
             RpcError::CorruptPayload { attempts } => {
                 write!(f, "payload failed its checksum on all {attempts} attempts")
+            }
+            RpcError::ShardLost { shard } => {
+                write!(f, "shard {shard} lost: primary dead, no backup to promote")
             }
             RpcError::ServerGone => write!(f, "ps server thread is gone"),
         }
@@ -166,6 +176,10 @@ mod tests {
             }
             .to_string(),
             "shard 2 unavailable after 3 attempts"
+        );
+        assert_eq!(
+            RpcError::ShardLost { shard: 1 }.to_string(),
+            "shard 1 lost: primary dead, no backup to promote"
         );
         assert_eq!(RpcError::from(ServerGone), RpcError::ServerGone);
         assert_eq!(ServerGone.to_string(), "ps server thread is gone");

@@ -8,21 +8,89 @@
 //!
 //! Gradient application happens *inside* the shard (server-side optimizer,
 //! Algorithm 4) — workers only ship gradients.
+//!
+//! ## Replication
+//!
+//! With [`with_replication`](KvStore::with_replication)`(k)` for `k >= 2`,
+//! every shard keeps `k − 1` backup replicas. Replication is *state
+//! shipping*: each mutation appends the post-update row (and optimizer
+//! state) to a per-shard backlog, which is drained to the backups in
+//! batches — asynchronous with respect to the training step, so a backup
+//! lags its primary by at most one batch. When a primary dies permanently,
+//! [`catch_up`](KvStore::catch_up) force-drains the backlog (anti-entropy)
+//! and [`promote`](KvStore::promote) swaps a fully caught-up backup into
+//! the primary slot, after which the replayed state is value-identical to
+//! the dead primary's. Replication off (`k == 1`) allocates nothing and
+//! changes no behavior.
 
 use crate::optimizer::Optimizer;
 use crate::router::{BatchPlan, Placement, RowKind, ShardRouter};
 use hetkg_embed::init::Init;
 use hetkg_embed::storage::EmbeddingTable;
 use hetkg_kgraph::ParamKey;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 /// One machine's slice of the parameter space.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Shard {
     entities: EmbeddingTable,
     relations: EmbeddingTable,
     entity_state: EmbeddingTable,
     relation_state: EmbeddingTable,
+}
+
+/// Mutations per shard buffered before a replication shipment. Small enough
+/// to keep backup lag within the staleness envelope the trainer already
+/// tolerates; large enough to amortize per-message overhead.
+const REPLICATION_BATCH: usize = 32;
+
+/// One buffered mutation: the post-update row image for a key, plus its
+/// optimizer-state row when the mutation was a gradient push. Replaying the
+/// image makes backups exact copies regardless of the optimizer.
+#[derive(Debug, Clone)]
+struct RepRecord {
+    kind: RowKind,
+    local: usize,
+    row: Vec<f32>,
+    /// Empty for plain stores (they do not touch optimizer state).
+    state: Vec<f32>,
+}
+
+impl RepRecord {
+    /// Wire size of this record: an 8-byte key plus the f32 payload.
+    fn bytes(&self) -> u64 {
+        (8 + 4 * (self.row.len() + self.state.len())) as u64
+    }
+}
+
+/// The result of draining a shard's replication backlog to its backups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationFlush {
+    /// Replication messages sent (one per backup replica).
+    pub messages: u64,
+    /// Row-update records replayed onto each backup.
+    pub records: u64,
+    /// Payload bytes per message.
+    pub payload_bytes: u64,
+}
+
+impl ReplicationFlush {
+    /// Whether anything was shipped.
+    pub fn shipped(&self) -> bool {
+        self.messages > 0
+    }
+}
+
+/// Backup replicas + replication backlogs, indexed by shard.
+#[derive(Debug)]
+struct Replication {
+    /// Replication factor `k` the store was configured with.
+    factor: usize,
+    /// `backups[s]` holds the live backup replicas of shard `s`; promotion
+    /// removes one, so the set shrinks as failovers happen.
+    backups: Vec<RwLock<Vec<Shard>>>,
+    /// Per-shard queue of mutations not yet shipped to the backups.
+    backlog: Vec<Mutex<Vec<RepRecord>>>,
 }
 
 /// The global, sharded embedding store.
@@ -31,6 +99,7 @@ pub struct KvStore {
     entity_dim: usize,
     relation_dim: usize,
     shards: Vec<RwLock<Shard>>,
+    replication: Option<Replication>,
 }
 
 impl KvStore {
@@ -82,7 +151,175 @@ impl KvStore {
             entity_dim,
             relation_dim,
             shards,
+            replication: None,
         }
+    }
+
+    /// Enable `k`-way replication: every shard gets `k − 1` backup replicas
+    /// cloned from its current state, so backups start bit-identical to
+    /// their primary. `k <= 1` is a no-op (replication off). Call right
+    /// after construction, before any traffic.
+    pub fn with_replication(mut self, k: usize) -> Self {
+        if k <= 1 {
+            self.replication = None;
+            return self;
+        }
+        let backups = self
+            .shards
+            .iter()
+            .map(|lock| {
+                let primary = lock.read();
+                RwLock::new(vec![primary.clone(); k - 1])
+            })
+            .collect();
+        let backlog = self.shards.iter().map(|_| Mutex::new(Vec::new())).collect();
+        self.replication = Some(Replication {
+            factor: k,
+            backups,
+            backlog,
+        });
+        self
+    }
+
+    /// The configured replication factor (1 = replication off).
+    pub fn replication(&self) -> usize {
+        self.replication.as_ref().map_or(1, |r| r.factor)
+    }
+
+    /// Whether `shard` still has at least one live backup replica.
+    pub fn has_backup(&self, shard: usize) -> bool {
+        self.replication
+            .as_ref()
+            .is_some_and(|r| !r.backups[shard].read().is_empty())
+    }
+
+    /// Append one mutation to `shard`'s replication backlog (no-op when the
+    /// shard has no live backups left).
+    fn log_replica(&self, p: Placement, row: &[f32], state: Option<&[f32]>) {
+        let Some(rep) = &self.replication else {
+            return;
+        };
+        if rep.backups[p.shard].read().is_empty() {
+            return;
+        }
+        rep.backlog[p.shard].lock().push(RepRecord {
+            kind: p.kind,
+            local: p.local,
+            row: row.to_vec(),
+            state: state.map(<[f32]>::to_vec).unwrap_or_default(),
+        });
+    }
+
+    /// Drain `shard`'s backlog onto its backups once it holds at least
+    /// `min_records` records. Returns what was shipped (all zeros when the
+    /// threshold was not met or the shard has no backups).
+    fn drain_backlog(&self, shard: usize, min_records: usize) -> ReplicationFlush {
+        let Some(rep) = &self.replication else {
+            return ReplicationFlush::default();
+        };
+        let mut backups = rep.backups[shard].write();
+        if backups.is_empty() {
+            // No one left to replicate to; drop anything buffered.
+            rep.backlog[shard].lock().clear();
+            return ReplicationFlush::default();
+        }
+        let records = {
+            let mut bl = rep.backlog[shard].lock();
+            if bl.len() < min_records.max(1) {
+                return ReplicationFlush::default();
+            }
+            std::mem::take(&mut *bl)
+        };
+        let payload_bytes: u64 = records.iter().map(RepRecord::bytes).sum();
+        for backup in backups.iter_mut() {
+            for r in &records {
+                let (table, state_table) = match r.kind {
+                    RowKind::Entity => (&mut backup.entities, &mut backup.entity_state),
+                    RowKind::Relation => (&mut backup.relations, &mut backup.relation_state),
+                };
+                table.set_row(r.local, &r.row);
+                if !r.state.is_empty() {
+                    state_table.set_row(r.local, &r.state);
+                }
+            }
+        }
+        ReplicationFlush {
+            messages: backups.len() as u64,
+            records: records.len() as u64,
+            payload_bytes,
+        }
+    }
+
+    /// Ship `shard`'s buffered mutations to its backups if a full batch has
+    /// accumulated (the asynchronous replication step; the caller meters
+    /// the returned shipment on the replication lane).
+    pub fn replicate(&self, shard: usize) -> ReplicationFlush {
+        self.drain_backlog(shard, REPLICATION_BATCH)
+    }
+
+    /// Anti-entropy catch-up: force-drain `shard`'s entire backlog so its
+    /// backups converge to the primary's exact state. Used right before
+    /// [`promote`](Self::promote).
+    pub fn catch_up(&self, shard: usize) -> ReplicationFlush {
+        self.drain_backlog(shard, 1)
+    }
+
+    /// Fail `shard` over: swap one caught-up backup into the primary slot,
+    /// discarding the dead primary. Returns `false` when the shard has no
+    /// backups left. Call [`catch_up`](Self::catch_up) first — promotion
+    /// takes the backup as-is.
+    pub fn promote(&self, shard: usize) -> bool {
+        let Some(rep) = &self.replication else {
+            return false;
+        };
+        // Lock order everywhere is primary shard → backups → backlog.
+        let mut primary = self.shards[shard].write();
+        let mut backups = rep.backups[shard].write();
+        let Some(candidate) = backups.pop() else {
+            return false;
+        };
+        *primary = candidate;
+        // Whatever the dead primary buffered can never be shipped by it.
+        if backups.is_empty() {
+            rep.backlog[shard].lock().clear();
+        }
+        true
+    }
+
+    /// Rebuild every backup as an exact copy of its current primary and
+    /// clear the backlogs. Used after a checkpoint restore, which rewrites
+    /// primaries wholesale behind replication's back.
+    pub fn resync_backups(&self) {
+        let Some(rep) = &self.replication else {
+            return;
+        };
+        for (s, lock) in self.shards.iter().enumerate() {
+            rep.backlog[s].lock().clear();
+            let primary = lock.read();
+            for backup in rep.backups[s].write().iter_mut() {
+                *backup = primary.clone();
+            }
+        }
+    }
+
+    /// Read a key's embedding from one of `shard`'s backup replicas (hedged
+    /// pulls). Returns `false` when the shard has no backups. The value may
+    /// lag the primary by up to one unshipped replication batch.
+    pub fn pull_backup(&self, key: ParamKey, out: &mut [f32]) -> bool {
+        let p = self.router.place(key);
+        let Some(rep) = &self.replication else {
+            return false;
+        };
+        let backups = rep.backups[p.shard].read();
+        let Some(backup) = backups.first() else {
+            return false;
+        };
+        let row = match p.kind {
+            RowKind::Entity => backup.entities.row(p.local),
+            RowKind::Relation => backup.relations.row(p.local),
+        };
+        out.copy_from_slice(row);
+        true
     }
 
     /// The router (placement map) in use.
@@ -138,6 +375,11 @@ impl KvStore {
         };
         let width = row.len() * optimizer.state_width();
         optimizer.update(row, &mut state[..width], grad);
+        if self.replication.is_some() {
+            let (row, state) = (row.to_vec(), state[..width].to_vec());
+            drop(shard);
+            self.log_replica(p, &row, Some(&state));
+        }
     }
 
     /// Overwrite a key's embedding (used by tests and checkpoint loading).
@@ -148,6 +390,8 @@ impl KvStore {
             RowKind::Entity => shard.entities.set_row(p.local, value),
             RowKind::Relation => shard.relations.set_row(p.local, value),
         }
+        drop(shard);
+        self.log_replica(p, value, None);
     }
 
     /// Placement of a key (exposed for the metering client).
@@ -207,7 +451,9 @@ impl KvStore {
         grad_of: G,
         optimizer: &dyn Optimizer,
     ) {
+        let replicating = self.replication.is_some();
         for s in plan.shards() {
+            let mut records: Vec<(Placement, Vec<f32>, Vec<f32>)> = Vec::new();
             let mut shard = self.shards[s].write();
             let Shard {
                 entities,
@@ -225,6 +471,13 @@ impl KvStore {
                 };
                 let width = row.len() * optimizer.state_width();
                 optimizer.update(row, &mut state[..width], grad_of(i));
+                if replicating {
+                    records.push((p, row.to_vec(), state[..width].to_vec()));
+                }
+            }
+            drop(shard);
+            for (p, row, state) in records {
+                self.log_replica(p, &row, Some(&state));
             }
         }
     }
@@ -232,6 +485,7 @@ impl KvStore {
     /// [`store_many`](Self::store_many) against a pre-resolved plan;
     /// `value_of(input_index)` supplies each row.
     pub fn store_planned<'a, V: Fn(usize) -> &'a [f32]>(&self, plan: &BatchPlan, value_of: V) {
+        let replicating = self.replication.is_some();
         for s in plan.shards() {
             let mut shard = self.shards[s].write();
             for i in plan.indices(s) {
@@ -239,6 +493,12 @@ impl KvStore {
                 match p.kind {
                     RowKind::Entity => shard.entities.set_row(p.local, value_of(i)),
                     RowKind::Relation => shard.relations.set_row(p.local, value_of(i)),
+                }
+            }
+            drop(shard);
+            if replicating {
+                for i in plan.indices(s) {
+                    self.log_replica(plan.placement(i), value_of(i), None);
                 }
             }
         }
@@ -323,6 +583,7 @@ impl std::fmt::Debug for KvStore {
             .field("shards", &self.shards.len())
             .field("entity_dim", &self.entity_dim)
             .field("relation_dim", &self.relation_dim)
+            .field("replication", &self.replication())
             .finish()
     }
 }
@@ -504,6 +765,120 @@ mod tests {
             seen += 1;
         });
         assert_eq!(seen, 14);
+    }
+
+    #[test]
+    fn replication_off_is_free() {
+        let s = store(2).with_replication(1);
+        assert_eq!(s.replication(), 1);
+        assert!(!s.has_backup(0));
+        assert_eq!(s.replicate(0), ReplicationFlush::default());
+        assert_eq!(s.catch_up(0), ReplicationFlush::default());
+        assert!(!s.promote(0));
+        assert!(!s.pull_backup(ParamKey(0), &mut [0.0f32; 8]));
+        s.resync_backups(); // no-op, must not panic
+    }
+
+    #[test]
+    fn backups_start_identical_and_lag_until_a_batch_ships() {
+        let s = store(2).with_replication(2);
+        assert_eq!(s.replication(), 2);
+        assert!(s.has_backup(0) && s.has_backup(1));
+        let key = ParamKey(0);
+        let (mut prim, mut back) = ([0.0f32; 8], [0.0f32; 8]);
+        s.pull(key, &mut prim);
+        assert!(s.pull_backup(key, &mut back));
+        assert_eq!(prim, back, "backups clone the initialized primary");
+        // A single store stays buffered: the backup is (boundedly) stale.
+        s.store(key, &[1.0; 8]);
+        s.pull_backup(key, &mut back);
+        assert_eq!(back, prim, "below the batch threshold nothing ships");
+        assert_eq!(s.replicate(0), ReplicationFlush::default());
+        // Filling the batch ships it.
+        for _ in 0..REPLICATION_BATCH {
+            s.store(key, &[2.0; 8]);
+        }
+        let flush = s.replicate(0);
+        assert!(flush.shipped());
+        assert_eq!(flush.messages, 1, "one backup, one message");
+        assert_eq!(flush.records, REPLICATION_BATCH as u64 + 1);
+        assert!(flush.payload_bytes > 0);
+        s.pull_backup(key, &mut back);
+        assert_eq!(back, [2.0; 8]);
+    }
+
+    #[test]
+    fn catch_up_then_promote_is_value_exact() {
+        // A replicated store whose shard 0 primary "dies" must, after
+        // catch-up + promotion, be indistinguishable from an unreplicated
+        // control — including optimizer state, checked by pushing again
+        // after the failover.
+        let a = store(2).with_replication(2);
+        let b = store(2);
+        let opt = AdaGrad::new(0.1);
+        for _ in 0..3 {
+            for k in 0..14u64 {
+                a.push_grad(ParamKey(k), &[0.5; 8], &opt);
+                b.push_grad(ParamKey(k), &[0.5; 8], &opt);
+            }
+        }
+        let flush = a.catch_up(0);
+        assert!(flush.shipped());
+        assert!(a.promote(0), "one backup must be available");
+        assert!(!a.has_backup(0), "replica budget for shard 0 exhausted");
+        assert!(!a.promote(0), "no second failover");
+        // Post-promotion pushes exercise the replayed optimizer state.
+        for k in 0..14u64 {
+            a.push_grad(ParamKey(k), &[0.25; 8], &opt);
+            b.push_grad(ParamKey(k), &[0.25; 8], &opt);
+        }
+        let (mut ra, mut rb) = ([0.0f32; 8], [0.0f32; 8]);
+        for k in 0..14u64 {
+            a.pull(ParamKey(k), &mut ra);
+            b.pull(ParamKey(k), &mut rb);
+            assert_eq!(ra, rb, "key {k} diverged after failover");
+        }
+    }
+
+    #[test]
+    fn resync_backups_re_clones_primaries() {
+        let s = store(2).with_replication(3);
+        let key = ParamKey(0);
+        // Rewrite the primary behind replication's back (checkpoint restore).
+        s.restore_row(key, &[7.0; 8], None);
+        let mut back = [0.0f32; 8];
+        s.pull_backup(key, &mut back);
+        assert_ne!(back, [7.0; 8], "restore_row does not replicate");
+        s.resync_backups();
+        s.pull_backup(key, &mut back);
+        assert_eq!(back, [7.0; 8]);
+        // Two backups: first promotion succeeds, and the survivor still
+        // serves hedged reads.
+        assert!(s.promote(0));
+        assert!(s.has_backup(0));
+        assert!(s.pull_backup(key, &mut back));
+    }
+
+    #[test]
+    fn batched_mutations_replicate_too() {
+        let s = store(2).with_replication(2);
+        let opt = Sgd { lr: 0.1 };
+        let keys: Vec<ParamKey> = (0..14u64).map(ParamKey).collect();
+        let grad = [1.0f32; 8];
+        let grads: Vec<&[f32]> = keys.iter().map(|_| &grad[..]).collect();
+        for _ in 0..5 {
+            s.push_grad_many(&keys, &grads, &opt);
+        }
+        // 5 × 14 = 70 records split across 2 shards: both above threshold.
+        for shard in 0..2 {
+            assert!(s.replicate(shard).shipped(), "shard {shard}");
+        }
+        let (mut prim, mut back) = ([0.0f32; 8], [0.0f32; 8]);
+        for &k in &keys {
+            s.pull(k, &mut prim);
+            assert!(s.pull_backup(k, &mut back));
+            assert_eq!(prim, back, "key {k:?}");
+        }
     }
 
     #[test]

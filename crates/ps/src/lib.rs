@@ -50,7 +50,7 @@ pub mod router;
 
 pub use client::{FaultBinding, PsClient, PsScratch};
 pub use error::{RetryPolicy, RpcError, ServerGone};
-pub use kvstore::KvStore;
+pub use kvstore::{KvStore, ReplicationFlush};
 pub use optimizer::{AdaGrad, Optimizer, Sgd};
 pub use queue::AsyncServer;
 pub use router::{BatchPlan, ShardRouter};

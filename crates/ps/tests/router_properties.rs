@@ -40,8 +40,8 @@ proptest! {
             }
         }
         // Dense: max local + 1 equals the shard's declared row count.
-        for s in 0..shards {
-            prop_assert_eq!(per_bucket[s], router.shard_rows(s));
+        for (s, &bucket) in per_bucket.iter().enumerate() {
+            prop_assert_eq!(bucket, router.shard_rows(s));
         }
     }
 

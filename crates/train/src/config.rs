@@ -178,6 +178,15 @@ pub struct TrainConfig {
     /// fault verdicts depend on message order, which pipelining changes.
     #[serde(default = "default_overlap")]
     pub overlap: bool,
+    /// PS replication factor `k`: each shard keeps `k - 1` backup replicas
+    /// that trail the primary by at most one replication batch. `1` (the
+    /// default) disables replication entirely — no backups, no backlog, no
+    /// replication traffic — and is bit-identical to pre-replication
+    /// behavior. Values above 1 enable primary/backup failover for
+    /// permanent shard kills and hedged pulls during straggler episodes.
+    /// Clamped to the machine count.
+    #[serde(default = "default_replication")]
+    pub replication: usize,
 }
 
 fn default_integrity() -> bool {
@@ -186,6 +195,10 @@ fn default_integrity() -> bool {
 
 fn default_overlap() -> bool {
     true
+}
+
+fn default_replication() -> usize {
+    1
 }
 
 impl TrainConfig {
@@ -214,6 +227,7 @@ impl TrainConfig {
             checkpoint_dir: None,
             supervisor: SupervisorConfig::default(),
             overlap: true,
+            replication: 1,
         }
     }
 
@@ -243,6 +257,7 @@ impl TrainConfig {
             checkpoint_dir: None,
             supervisor: SupervisorConfig::default(),
             overlap: true,
+            replication: 1,
         }
     }
 
@@ -312,6 +327,7 @@ mod tests {
         obj.remove("checkpoint_dir");
         obj.remove("supervisor");
         obj.remove("overlap");
+        obj.remove("replication");
         obj.get_mut("cache")
             .unwrap()
             .as_object_mut()
@@ -325,5 +341,6 @@ mod tests {
         assert!(back.checkpoint_dir.is_none());
         assert_eq!(back.supervisor, SupervisorConfig::default());
         assert!(back.overlap, "pipelining defaults on");
+        assert_eq!(back.replication, 1, "replication defaults off");
     }
 }

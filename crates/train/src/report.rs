@@ -127,6 +127,24 @@ pub struct FaultReport {
     /// entries; must be zero whenever integrity is on).
     #[serde(default)]
     pub corrupt_ingested: u64,
+    /// Backup replicas promoted to primary after a permanent shard kill.
+    #[serde(default)]
+    pub promotions: u64,
+    /// Replication-backlog records replayed during anti-entropy catch-up.
+    #[serde(default)]
+    pub catch_up_frames: u64,
+    /// Bytes shipped during anti-entropy catch-up.
+    #[serde(default)]
+    pub catch_up_bytes: u64,
+    /// Slow remote pulls hedged to a backup replica.
+    #[serde(default)]
+    pub hedged_pulls: u64,
+    /// Hedged pulls where the backup's response arrived first.
+    #[serde(default)]
+    pub hedged_wins: u64,
+    /// Hedged pulls where the primary still won.
+    #[serde(default)]
+    pub hedged_losses: u64,
 }
 
 impl FaultReport {
@@ -145,6 +163,12 @@ impl FaultReport {
         self.corrupt_frames += s.corrupt_frames;
         self.corrupt_detected += s.corrupt_detected;
         self.corrupt_ingested += s.corrupt_ingested;
+        self.promotions += s.promotions;
+        self.catch_up_frames += s.catch_up_frames;
+        self.catch_up_bytes += s.catch_up_bytes;
+        self.hedged_pulls += s.hedged_pulls;
+        self.hedged_wins += s.hedged_wins;
+        self.hedged_losses += s.hedged_losses;
     }
 
     /// Whether any fault or countermeasure fired at all.
@@ -356,6 +380,12 @@ mod tests {
             deferred_pushes: 3,
             corrupt_frames: 4,
             corrupt_detected: 4,
+            promotions: 1,
+            catch_up_frames: 6,
+            catch_up_bytes: 600,
+            hedged_pulls: 7,
+            hedged_wins: 5,
+            hedged_losses: 2,
             ..Default::default()
         });
         fr.recoveries = 1;
@@ -366,6 +396,12 @@ mod tests {
         assert_eq!(fr.corrupt_frames, 4);
         assert_eq!(fr.corrupt_detected, 4);
         assert_eq!(fr.corrupt_ingested, 0);
+        assert_eq!(fr.promotions, 1);
+        assert_eq!(fr.catch_up_frames, 6);
+        assert_eq!(fr.catch_up_bytes, 600);
+        assert_eq!(fr.hedged_pulls, 7);
+        assert_eq!(fr.hedged_wins, 5);
+        assert_eq!(fr.hedged_losses, 2);
         assert!(!fr.is_quiet());
     }
 
@@ -387,13 +423,23 @@ mod tests {
         f.remove("corrupt_frames");
         f.remove("corrupt_detected");
         f.remove("corrupt_ingested");
+        f.remove("promotions");
+        f.remove("catch_up_frames");
+        f.remove("catch_up_bytes");
+        f.remove("hedged_pulls");
+        f.remove("hedged_wins");
+        f.remove("hedged_losses");
         v["epochs"][0]
             .as_object_mut()
             .unwrap()
             .remove("max_staleness");
         let back: TrainReport = serde_json::from_value(v).unwrap();
         assert!(back.supervisor.is_none());
-        assert_eq!(back.faults.unwrap().corrupt_frames, 0);
+        let back_faults = back.faults.unwrap();
+        assert_eq!(back_faults.corrupt_frames, 0);
+        assert_eq!(back_faults.promotions, 0);
+        assert_eq!(back_faults.catch_up_frames, 0);
+        assert_eq!(back_faults.hedged_pulls, 0);
         assert_eq!(back.max_staleness(), 0);
     }
 

@@ -119,6 +119,14 @@ pub enum SupervisorEvent {
         /// Checkpoint images tried (all invalid).
         tried: usize,
     },
+    /// A backup replica was promoted to primary after its shard's primary
+    /// died permanently.
+    PrimaryPromoted {
+        /// The shard that failed over.
+        shard: usize,
+        /// Simulated instant of the promotion.
+        at: f64,
+    },
 }
 
 /// The outcome of asking the supervisor to restart a crashed worker.
@@ -149,6 +157,9 @@ pub struct SupervisorReport {
     /// Checkpoint images skipped during recovery because they failed
     /// validation (torn writes, rot).
     pub torn_checkpoints_skipped: u64,
+    /// Backup replicas promoted to primary after permanent shard kills.
+    #[serde(default)]
+    pub promotions: u64,
     /// Every transition, in order.
     pub events: Vec<SupervisorEvent>,
 }
@@ -284,6 +295,17 @@ impl Supervisor {
             .push(SupervisorEvent::RecoveryFailed { tried });
     }
 
+    /// Record a primary→backup failover for `shard` at simulated instant
+    /// `at`. Promotions happen inside the PS client (the first worker to
+    /// hit the dead primary performs them); the trainer relays them here
+    /// at epoch boundaries so the run report carries the full timeline.
+    pub fn note_promotion(&mut self, shard: usize, at: f64) {
+        self.report.promotions += 1;
+        self.report
+            .events
+            .push(SupervisorEvent::PrimaryPromoted { shard, at });
+    }
+
     /// The accumulated accounting.
     pub fn report(&self) -> &SupervisorReport {
         &self.report
@@ -388,7 +410,15 @@ mod tests {
 
     #[test]
     fn events_are_ordered_and_serializable() {
-        let mut s = sup(1);
+        // One supervised worker, so the event order below is exactly its
+        // own transition sequence.
+        let mut s = Supervisor::new(
+            SupervisorConfig {
+                max_restarts: 1,
+                ..SupervisorConfig::default()
+            },
+            1,
+        );
         s.poll(1.0);
         s.confirm_crash(0, 4, 1.0);
         s.request_restart(0, 1.0);
@@ -424,8 +454,10 @@ mod tests {
     fn beats_never_move_time_backwards() {
         let mut s = sup(3);
         s.beat(0, 5.0);
+        s.beat(1, 5.0);
         s.beat(0, 1.0); // stale timestamp from a slower clock
-        assert!(s.poll(5.05).is_empty(), "the newer beat stands");
+        assert!(s.poll(5.04).is_empty(), "the newer beat stands");
+        assert_eq!(s.state(0), WorkerState::Healthy);
     }
 
     #[test]
@@ -444,5 +476,28 @@ mod tests {
         let c: SupervisorConfig = serde_json::from_str("{}").unwrap();
         assert_eq!(c, SupervisorConfig::default());
         assert_eq!(c.max_restarts, 3);
+    }
+
+    #[test]
+    fn promotions_are_counted_and_timestamped() {
+        let mut s = sup(3);
+        s.note_promotion(1, 0.25);
+        assert_eq!(s.report().promotions, 1);
+        assert_eq!(
+            s.report().events,
+            vec![SupervisorEvent::PrimaryPromoted { shard: 1, at: 0.25 }]
+        );
+        let json = serde_json::to_string(s.report()).unwrap();
+        let back: SupervisorReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, s.report());
+    }
+
+    #[test]
+    fn pre_replication_report_json_still_loads() {
+        let s = sup(3);
+        let mut v = serde_json::to_value(s.report()).unwrap();
+        v.as_object_mut().unwrap().remove("promotions");
+        let back: SupervisorReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back.promotions, 0);
     }
 }

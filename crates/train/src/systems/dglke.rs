@@ -11,18 +11,19 @@
 //! of its pull are issued ahead when the in-flight batch writes none of
 //! the staged keys on that shard (hiding that network time behind
 //! compute). The per-shard granularity keeps early + late frames an exact
-//! partition of the sequential pull's frames, so metered traffic and every
+//! partition of the sequential pull's frames, and the early pull's
+//! delivery is refreshed to the server's consume-time rows (free — its
+//! frames were metered at issue time), so metered traffic and every
 //! value are bit-identical to the sequential schedule. Because a cacheless
 //! batch touches the (few, ubiquitous) relations on every shard-spanning
 //! pull, consecutive DGL-KE batches almost always dirty every shard —
 //! DGL-KE overlaps far less than HET-KG, whose cache absorbs exactly those
 //! shared-hot keys.
 
-use crate::worker::{WorkerCtx, WorkerEpochStats, WorkerLoop};
+use crate::worker::{EpochRun, WorkerCtx, WorkerEpochStats, WorkerLoop};
 use hetkg_core::prefetch::{MiniBatch, Prefetcher};
 use hetkg_embed::negative::NegativeSampler;
 use hetkg_kgraph::ParamKey;
-use std::time::Instant;
 
 /// Per-worker DGL-KE training state.
 pub struct DglKeWorker {
@@ -46,6 +47,8 @@ pub struct DglKeWorker {
     staged_pull_end: f64,
     /// Pipelining: sorted unique keys of the batch currently in flight.
     cur_keys: Vec<ParamKey>,
+    /// Cross-step state for the epoch in progress.
+    run: EpochRun,
 }
 
 impl DglKeWorker {
@@ -68,6 +71,7 @@ impl DglKeWorker {
             staged_rows: Vec::new(),
             staged_pull_end: 0.0,
             cur_keys: Vec::new(),
+            run: EpochRun::default(),
         }
     }
 
@@ -146,14 +150,18 @@ impl DglKeWorker {
         self.staged_batch = Some(batch);
     }
 
-    /// Consume the staged batch: install early-pulled rows and pull the
-    /// late keys now (after the previous push), matching the sequential
-    /// schedule's values exactly.
+    /// Consume the staged batch: refresh the early pull's delivery to the
+    /// server's current rows (free — its frames were metered at issue
+    /// time) and pull the late keys now (after the previous push),
+    /// matching the sequential schedule's values exactly.
     fn consume_staged(&mut self) -> (MiniBatch, f64) {
         let batch = self.staged_batch.take().expect("a batch was staged");
         self.ctx.ws.clear();
         let mut pull_end = self.staged_pull_end;
         if !self.staged_early.is_empty() {
+            self.ctx
+                .client
+                .refresh_pull_batch(&self.staged_early, &mut self.staged_rows);
             let ws = &mut self.ctx.ws;
             let early = &self.staged_early;
             self.ctx
@@ -211,31 +219,38 @@ impl DglKeWorker {
 }
 
 impl WorkerLoop for DglKeWorker {
-    fn run_epoch(&mut self, _epoch: usize) -> WorkerEpochStats {
-        let start_traffic = self.ctx.meter.snapshot();
+    fn begin_epoch(&mut self, _epoch: usize) {
+        self.run.begin(self.ctx.meter.snapshot());
         self.ctx.begin_epoch_timing();
-        let start = Instant::now();
-        let mut acc = crate::batch::BatchResult::default();
+    }
+
+    fn step(&mut self) -> bool {
         let iters = self.ctx.iterations_per_epoch;
-        for it in 0..iters {
-            // The last iteration never stages (per-epoch traffic stays
-            // attributable to its own epoch).
-            let r = self.one_iteration_inner(it + 1 < iters);
-            // Under fault injection, compute advances the simulated clock
-            // that positions outage/straggler windows. DGL-KE has no
-            // degraded mode: a pull during an outage simply retries (the PS
-            // client waits the outage out in simulated time).
-            self.ctx.advance_fault_clock(r.work_units);
-            acc.absorb(r);
+        if self.run.unit >= iters {
+            return false;
         }
+        // The last iteration never stages (per-epoch traffic stays
+        // attributable to its own epoch).
+        let r = self.one_iteration_inner(self.run.unit + 1 < iters);
+        // Under fault injection, compute advances the simulated clock
+        // that positions outage/straggler windows. DGL-KE has no
+        // degraded mode: a pull during an outage simply retries (the PS
+        // client waits the outage out in simulated time).
+        self.ctx.advance_fault_clock(r.work_units);
+        self.run.acc.absorb(r);
+        self.run.unit += 1;
+        true
+    }
+
+    fn finish_epoch(&mut self) -> WorkerEpochStats {
         let critical_path_secs = self.ctx.end_epoch_timing();
         WorkerEpochStats {
-            work_units: acc.work_units,
-            wall_secs: start.elapsed().as_secs_f64(),
-            traffic: self.ctx.meter.snapshot().since(start_traffic),
+            work_units: self.run.acc.work_units,
+            wall_secs: self.run.wall_secs(),
+            traffic: self.ctx.meter.snapshot().since(self.run.start_traffic),
             cache: Default::default(),
-            loss_sum: acc.loss,
-            loss_terms: acc.terms,
+            loss_sum: self.run.acc.loss,
+            loss_terms: self.run.acc.terms,
             max_divergence: 0.0,
             mean_divergence: 0.0,
             max_staleness: 0,

@@ -32,14 +32,18 @@
 //! on the remaining shards are pulled at consume time, exactly where the
 //! sequential schedule pulls them. Metered traffic — bytes, message
 //! counts, locality — is therefore bit-identical to the sequential
-//! schedule, and so is every value the model sees: early-pulled keys are
-//! untouched by the in-flight push, and hit rows are copied from the
-//! cache only at consume time, after the push's local updates have been
-//! applied. Construction and sync iterations are never staged (their
-//! pulls carry ordering constraints), and the trainer disables overlap
-//! entirely under non-inert fault plans.
+//! schedule, and so is every value the model sees: an early pull's
+//! *delivery* happens at consume time — the parked rows are refreshed to
+//! the server's current values, free of charge, since the frames already
+//! transited at issue time — so staged rows observe every push that
+//! landed in between, other workers' included; hit rows are likewise
+//! copied from the cache only at consume time, after the in-flight
+//! push's local updates have been applied. Construction and sync
+//! iterations are never staged (their pulls carry ordering constraints),
+//! and the trainer disables overlap entirely under non-inert fault
+//! plans.
 
-use crate::worker::{WorkerCtx, WorkerEpochStats, WorkerLoop};
+use crate::worker::{EpochRun, WorkerCtx, WorkerEpochStats, WorkerLoop};
 use hetkg_core::filter::filter_hot_set;
 use hetkg_core::metrics::CacheStats;
 use hetkg_core::policy::{subgraph_accesses, CachePolicy, PolicyKind};
@@ -49,7 +53,6 @@ use hetkg_core::table::HotEmbeddingTable;
 use hetkg_embed::negative::NegativeSampler;
 use hetkg_kgraph::ParamKey;
 use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
 
 /// Per-worker HET-KG training state (CPS or DPS, by the policy's kind).
 pub struct HetKgWorker {
@@ -117,6 +120,10 @@ pub struct HetKgWorker {
     /// everything anyway, waiting the outage out in simulated time rather
     /// than drifting further.
     staleness_cap: usize,
+    /// Cross-step state for the epoch in progress.
+    run: EpochRun,
+    /// Cache stats at epoch start (the epoch report is the delta).
+    epoch_start_cache: CacheStats,
 }
 
 impl HetKgWorker {
@@ -175,6 +182,8 @@ impl HetKgWorker {
             cur_keys: Vec::new(),
             backlog: HashMap::new(),
             staleness_cap: 64,
+            run: EpochRun::default(),
+            epoch_start_cache: CacheStats::new(),
         }
     }
 
@@ -585,9 +594,11 @@ impl HetKgWorker {
 
     /// Consume the batch staged during the previous iteration. Hit values
     /// are copied from the cache *now* — after the previous push applied
-    /// its local updates — and the late misses are pulled now, so every
-    /// value matches the sequential schedule bit for bit; only the early
-    /// misses' network time has already been spent (and overlapped).
+    /// its local updates — the early pull's delivery is refreshed to the
+    /// server's current rows (free: its frames were metered at issue
+    /// time), and the late misses are pulled now, so every value matches
+    /// the sequential schedule bit for bit; only the early misses'
+    /// network time has already been spent (and overlapped).
     fn consume_staged(&mut self) -> (MiniBatch, f64) {
         let batch = self.staged_batch.take().expect("a batch was staged");
         self.staleness.observe(self.iteration);
@@ -603,6 +614,9 @@ impl HetKgWorker {
         self.cache_stats.misses += self.staged_miss_uses;
         let mut pull_end = self.staged_pull_end;
         if !self.staged_early.is_empty() {
+            self.ctx
+                .client
+                .refresh_pull_batch(&self.staged_early, &mut self.staged_rows);
             let ws = &mut self.ctx.ws;
             let early = &self.staged_early;
             self.ctx
@@ -690,34 +704,41 @@ impl HetKgWorker {
 }
 
 impl WorkerLoop for HetKgWorker {
-    fn run_epoch(&mut self, _epoch: usize) -> WorkerEpochStats {
-        let start_traffic = self.ctx.meter.snapshot();
-        let start_cache = self.cache_stats;
+    fn begin_epoch(&mut self, _epoch: usize) {
+        self.run.begin(self.ctx.meter.snapshot());
+        self.epoch_start_cache = self.cache_stats;
         self.epoch_divergence = 0.0;
         self.epoch_div_sum = 0.0;
         self.epoch_div_samples = 0;
         self.ctx.begin_epoch_timing();
-        let start = Instant::now();
-        let mut acc = crate::batch::BatchResult::default();
+    }
+
+    fn step(&mut self) -> bool {
         let iters = self.ctx.iterations_per_epoch;
-        for it in 0..iters {
-            // The last iteration never stages: staging the next epoch's
-            // first batch would shift its pull traffic into this epoch.
-            let r = self.one_iteration_inner(it + 1 < iters);
-            self.ctx.advance_fault_clock(r.work_units);
-            acc.absorb(r);
+        if self.run.unit >= iters {
+            return false;
         }
+        // The last iteration never stages: staging the next epoch's
+        // first batch would shift its pull traffic into this epoch.
+        let r = self.one_iteration_inner(self.run.unit + 1 < iters);
+        self.ctx.advance_fault_clock(r.work_units);
+        self.run.acc.absorb(r);
+        self.run.unit += 1;
+        true
+    }
+
+    fn finish_epoch(&mut self) -> WorkerEpochStats {
         let critical_path_secs = self.ctx.end_epoch_timing();
         WorkerEpochStats {
-            work_units: acc.work_units,
-            wall_secs: start.elapsed().as_secs_f64(),
-            traffic: self.ctx.meter.snapshot().since(start_traffic),
+            work_units: self.run.acc.work_units,
+            wall_secs: self.run.wall_secs(),
+            traffic: self.ctx.meter.snapshot().since(self.run.start_traffic),
             cache: CacheStats {
-                hits: self.cache_stats.hits - start_cache.hits,
-                misses: self.cache_stats.misses - start_cache.misses,
+                hits: self.cache_stats.hits - self.epoch_start_cache.hits,
+                misses: self.cache_stats.misses - self.epoch_start_cache.misses,
             },
-            loss_sum: acc.loss,
-            loss_terms: acc.terms,
+            loss_sum: self.run.acc.loss,
+            loss_terms: self.run.acc.terms,
             max_divergence: self.epoch_divergence,
             mean_divergence: if self.epoch_div_samples == 0 {
                 0.0

@@ -28,7 +28,7 @@
 //! its communication on the critical path.
 
 use crate::batch::WorkingSet;
-use crate::worker::{WorkerCtx, WorkerEpochStats, WorkerLoop};
+use crate::worker::{EpochRun, WorkerCtx, WorkerEpochStats, WorkerLoop};
 use hetkg_core::prefetch::MiniBatch;
 use hetkg_embed::negative::{CorruptSlot, Negative};
 use hetkg_kgraph::{EntityId, ParamKey, Triple};
@@ -37,7 +37,6 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Static block structure shared by all PBG workers.
 #[derive(Debug)]
@@ -195,6 +194,8 @@ pub struct PbgWorker {
     relation_keys: Vec<ParamKey>,
     /// Learning rate for the local (in-bucket) entity SGD steps.
     entity_lr: f32,
+    /// Cross-step state for the epoch in progress.
+    run: EpochRun,
 }
 
 impl PbgWorker {
@@ -222,6 +223,7 @@ impl PbgWorker {
             rng,
             relation_keys,
             entity_lr,
+            run: EpochRun::default(),
         }
     }
 
@@ -398,29 +400,39 @@ impl PbgWorker {
 }
 
 impl WorkerLoop for PbgWorker {
-    fn run_epoch(&mut self, epoch: usize) -> WorkerEpochStats {
+    fn begin_epoch(&mut self, epoch: usize) {
         self.locks.begin_epoch(epoch);
-        let start_traffic = self.ctx.meter.snapshot();
+        self.run.begin(self.ctx.meter.snapshot());
         self.ctx.begin_epoch_timing();
-        let start = Instant::now();
-        let mut acc = crate::batch::BatchResult::default();
-        while let Some(bucket) = self.locks.acquire() {
-            let r = self.process_bucket(bucket);
-            // Keep the fault clock moving (outage windows live in simulated
-            // time). PBG has no degraded mode: bucket loads/saves during an
-            // outage retry until the shard recovers.
-            self.ctx.advance_fault_clock(r.work_units);
-            acc.absorb(r);
-            self.locks.release(bucket);
-        }
+    }
+
+    fn step(&mut self) -> bool {
+        // One unit = one bucket, acquired and released within the step, so
+        // under the trainer's round-robin schedule partitions are always
+        // free at step boundaries and `acquire` never waits.
+        let Some(bucket) = self.locks.acquire() else {
+            return false;
+        };
+        let r = self.process_bucket(bucket);
+        // Keep the fault clock moving (outage windows live in simulated
+        // time). PBG has no degraded mode: bucket loads/saves during an
+        // outage retry until the shard recovers.
+        self.ctx.advance_fault_clock(r.work_units);
+        self.run.acc.absorb(r);
+        self.run.unit += 1;
+        self.locks.release(bucket);
+        true
+    }
+
+    fn finish_epoch(&mut self) -> WorkerEpochStats {
         let critical_path_secs = self.ctx.end_epoch_timing();
         WorkerEpochStats {
-            work_units: acc.work_units,
-            wall_secs: start.elapsed().as_secs_f64(),
-            traffic: self.ctx.meter.snapshot().since(start_traffic),
+            work_units: self.run.acc.work_units,
+            wall_secs: self.run.wall_secs(),
+            traffic: self.ctx.meter.snapshot().since(self.run.start_traffic),
             cache: Default::default(),
-            loss_sum: acc.loss,
-            loss_terms: acc.terms,
+            loss_sum: self.run.acc.loss,
+            loss_terms: self.run.acc.terms,
             max_divergence: 0.0,
             mean_divergence: 0.0,
             max_staleness: 0,

@@ -27,7 +27,7 @@ use hetkg_embed::negative::NegativeSampler;
 use hetkg_embed::storage::EmbeddingTable;
 use hetkg_eval::link_prediction::{evaluate, EmbeddingSnapshot, EvalConfig};
 use hetkg_kgraph::{ids::KeyKind, EntityId, KeySpace, KnowledgeGraph, RelationId, Triple};
-use hetkg_netsim::{FaultInjector, TrafficMeter};
+use hetkg_netsim::{FaultInjector, ShardLiveness, TrafficMeter};
 use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
 use hetkg_ps::{KvStore, PsClient, RetryPolicy, ShardRouter};
 use std::collections::{HashSet, VecDeque};
@@ -73,14 +73,20 @@ pub fn train_with_store(
 
     // --- Parameter server ---
     let router = ShardRouter::new(ks, topology.num_machines(), partitioning.assignment());
-    let store = Arc::new(KvStore::new(
-        router,
-        model.entity_dim(),
-        model.relation_dim(),
-        optimizer.state_width(),
-        Init::Xavier,
-        config.seed,
-    ));
+    // `k - 1` backup replicas per shard; `k = 1` allocates nothing and is
+    // bit-identical to the pre-replication store.
+    let replication = config.replication.clamp(1, topology.num_machines());
+    let store = Arc::new(
+        KvStore::new(
+            router,
+            model.entity_dim(),
+            model.relation_dim(),
+            optimizer.state_width(),
+            Init::Xavier,
+            config.seed,
+        )
+        .with_replication(replication),
+    );
 
     // --- Distribute training triples to workers ---
     let per_machine = partitioning.split_triples(train_triples);
@@ -103,12 +109,24 @@ pub fn train_with_store(
     // Each injector owns a private RNG stream and simulated clock driven
     // only by its worker, so faulty runs stay bit-reproducible regardless
     // of thread interleaving. ---
+    //
+    // Permanent shard kills arm only when a backup exists to promote: the
+    // shared liveness table is what turns a `ShardKill` from inert schedule
+    // into a `ShardDead` verdict, and it is attached exactly when
+    // replication is on and the plan schedules a kill. The first worker to
+    // hit the dead primary wins the promotion race; everyone else sees the
+    // promoted flag and keeps routing to the new primary.
+    let liveness = (replication > 1 && config.faults.as_ref().is_some_and(|p| !p.kills.is_empty()))
+        .then(|| Arc::new(ShardLiveness::new(topology.num_machines())));
     let injectors: Vec<Option<Arc<FaultInjector>>> = (0..topology.num_workers())
         .map(|w| {
-            config
-                .faults
-                .clone()
-                .map(|plan| Arc::new(FaultInjector::new(plan, config.cost_model, w)))
+            config.faults.clone().map(|plan| {
+                let mut inj = FaultInjector::new(plan, config.cost_model, w);
+                if let Some(l) = &liveness {
+                    inj = inj.with_liveness(l.clone());
+                }
+                Arc::new(inj)
+            })
         })
         .collect();
 
@@ -128,7 +146,7 @@ pub fn train_with_store(
     // value-preserving exactly because nothing can reorder or fail them.
     // An *inert* plan (all-zero) keeps overlap on, preserving the
     // contract that attaching it is byte-identical to attaching none.
-    let overlap = config.overlap && config.faults.as_ref().map_or(true, |p| p.is_inert());
+    let overlap = config.overlap && config.faults.as_ref().is_none_or(|p| p.is_inert());
     let build_workers = |subgraphs: Vec<Vec<Triple>>| -> Vec<Box<dyn WorkerLoop>> {
         // PBG workers share one lock server; a rebuild gets a fresh one so
         // the re-run epoch hands out every bucket again.
@@ -227,7 +245,7 @@ pub fn train_with_store(
     let mut fired: HashSet<usize> = HashSet::new();
     let mut epoch = 0;
     while epoch < config.epochs {
-        let stats = run_epoch_threads(&mut workers, epoch);
+        let stats = run_epoch_interleaved(&mut workers, epoch);
         if crash_epochs.contains(&epoch) && !fired.contains(&epoch) {
             // Injected worker crash: everything since the last recovery
             // checkpoint — this epoch's updates included — is lost. The
@@ -260,6 +278,10 @@ pub fn train_with_store(
                     // process), and resume from the checkpoint's epoch.
                     sup.note_checkpoints_skipped(skipped);
                     restore_checkpoint(&store, ks, &ck);
+                    // The restore rewrote the primaries underneath the
+                    // backups; re-clone so replicas track the restored
+                    // state instead of the pre-crash one.
+                    store.resync_backups();
                     report.epochs.truncate(ck_epoch);
                     workers = build_workers(
                         master_subgraphs
@@ -280,6 +302,11 @@ pub fn train_with_store(
         if let Some(sup) = supervisor.as_mut() {
             for (w, inj) in injectors.iter().enumerate() {
                 sup.beat(w, inj.as_ref().map_or(0.0, |i| i.now()));
+            }
+            if let Some(l) = &liveness {
+                for (shard, at) in l.take_events() {
+                    sup.note_promotion(shard, at);
+                }
             }
         }
         let mut er = aggregate(epoch, &stats, config);
@@ -319,6 +346,14 @@ pub fn train_with_store(
         fr.recoveries = recoveries;
         fr.checkpoints = checkpoints;
         report.faults = Some(fr);
+    }
+    if let Some(sup) = supervisor.as_mut() {
+        // Promotions from the final epoch (after the last beat round).
+        if let Some(l) = &liveness {
+            for (shard, at) in l.take_events() {
+                sup.note_promotion(shard, at);
+            }
+        }
     }
     if let Some(sup) = supervisor {
         report.supervisor = Some(sup.into_report());
@@ -421,17 +456,31 @@ impl RecoveryStore {
 }
 
 /// Run one epoch on every worker concurrently.
-fn run_epoch_threads(workers: &mut [Box<dyn WorkerLoop>], epoch: usize) -> Vec<WorkerEpochStats> {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = workers
-            .iter_mut()
-            .map(|w| s.spawn(move || w.run_epoch(epoch)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
+/// Drive one epoch across the worker pool on a single thread, interleaving
+/// units (mini-batch iterations / PBG buckets) in fixed round-robin order.
+/// Workers still contend on the shared PS mid-epoch — the interleaving
+/// preserves the asynchronous-PS semantics at unit granularity — but the
+/// order of every PS read and write is a pure function of the config, so
+/// runs are bit-reproducible (host threads never decide update order).
+/// Parallelism is accounted in simulated time by the per-worker timelines.
+fn run_epoch_interleaved(
+    workers: &mut [Box<dyn WorkerLoop>],
+    epoch: usize,
+) -> Vec<WorkerEpochStats> {
+    for w in workers.iter_mut() {
+        w.begin_epoch(epoch);
+    }
+    let mut done = vec![false; workers.len()];
+    let mut remaining = workers.len();
+    while remaining > 0 {
+        for (i, w) in workers.iter_mut().enumerate() {
+            if !done[i] && !w.step() {
+                done[i] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    workers.iter_mut().map(|w| w.finish_epoch()).collect()
 }
 
 /// Fold worker stats into an epoch report: times are the slowest worker's,
@@ -846,12 +895,14 @@ mod tests {
         let kg = small_graph();
         let split = Split::ninety_five_five(&kg, 1);
         let mut cfg = TrainConfig::small(SystemKind::DglKe);
-        cfg.faults = Some(FaultPlan::corrupting(13, 0.02));
+        // The tiny workload sends few remote frames; 8% makes the drill
+        // deterministic-with-injections at this seed.
+        cfg.faults = Some(FaultPlan::corrupting(13, 0.08));
         let report = train(&kg, &split.train, &[], &cfg);
         let fr = report.faults.expect("fault plan attached");
         assert!(
             fr.corrupt_frames > 0,
-            "2% corruption over a run must hit something"
+            "8% corruption over a run must hit something"
         );
         assert_eq!(
             fr.corrupt_detected, fr.corrupt_frames,

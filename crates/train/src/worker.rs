@@ -217,12 +217,63 @@ impl WorkerCtx {
     }
 }
 
-/// One system's per-worker training loop. The trainer drives epochs; state
-/// (caches, RNGs, iteration counters) persists across epochs inside the
-/// implementor.
+/// Book-keeping carried across [`WorkerLoop::step`] calls within one epoch.
+#[derive(Default)]
+pub struct EpochRun {
+    /// Meter reading at epoch start (stats report the delta).
+    pub start_traffic: TrafficSnapshot,
+    /// Real wall-clock epoch start (diagnostic only).
+    pub started: Option<std::time::Instant>,
+    /// Accumulated batch results so far this epoch.
+    pub acc: crate::batch::BatchResult,
+    /// Units (iterations or buckets) completed so far this epoch.
+    pub unit: usize,
+}
+
+impl EpochRun {
+    /// Reset for a fresh epoch starting now.
+    pub fn begin(&mut self, start_traffic: TrafficSnapshot) {
+        self.start_traffic = start_traffic;
+        self.started = Some(std::time::Instant::now());
+        self.acc = crate::batch::BatchResult::default();
+        self.unit = 0;
+    }
+
+    /// Real seconds since [`EpochRun::begin`] (diagnostic only).
+    pub fn wall_secs(&self) -> f64 {
+        self.started.map_or(0.0, |s| s.elapsed().as_secs_f64())
+    }
+}
+
+/// One system's per-worker training loop, driven one *unit* of work at a
+/// time (a mini-batch iteration, or a PBG bucket). State (caches, RNGs,
+/// iteration counters) persists across epochs inside the implementor.
+///
+/// The trainer interleaves `step` calls across workers in a fixed
+/// round-robin, which makes the order of every parameter-server read and
+/// write a pure function of the config — the reproducibility contract the
+/// differential tests (and the divergence oracle) assert bit-for-bit.
+/// Simulated parallelism lives in the per-worker timelines and cost model,
+/// not in host threads, so serializing the steps changes no reported time.
 pub trait WorkerLoop: Send {
-    /// Run one epoch and report stats.
-    fn run_epoch(&mut self, epoch: usize) -> WorkerEpochStats;
+    /// Start an epoch: snapshot meters, reset accumulators.
+    fn begin_epoch(&mut self, epoch: usize);
+
+    /// Run the next unit of this epoch. Returns `false` (doing nothing)
+    /// when no units remain.
+    fn step(&mut self) -> bool;
+
+    /// Close the epoch started by [`WorkerLoop::begin_epoch`] and report
+    /// its stats.
+    fn finish_epoch(&mut self) -> WorkerEpochStats;
+
+    /// Run one whole epoch and report stats (single-worker convenience;
+    /// the trainer drives the step protocol directly).
+    fn run_epoch(&mut self, epoch: usize) -> WorkerEpochStats {
+        self.begin_epoch(epoch);
+        while self.step() {}
+        self.finish_epoch()
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +367,9 @@ mod tests {
         let push_end = c.post_comm(push, compute_end);
         assert!(push_end > compute_end);
         let cp = c.end_epoch_timing();
-        assert!((cp - push_end).abs() < 1e-15, "fully serial chain: cp is the chain end");
+        assert!(
+            (cp - push_end).abs() < 1e-15,
+            "fully serial chain: cp is the chain end"
+        );
     }
 }

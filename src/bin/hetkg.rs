@@ -15,7 +15,10 @@
 //! `--data DIR` expects FB15k-format `train.txt`/`valid.txt`/`test.txt`;
 //! `--synthetic NAME` is one of `fb15k`, `wn18`, `freebase86m` (harness
 //! scale). `--fault-profile` is a named preset (`none`, `lossy`, `corrupt`,
-//! `outage`, `chaos`) or a path to a JSON [`FaultPlan`] file.
+//! `outage`, `chaos`, `failover`) or a path to a JSON [`FaultPlan`] file.
+//! `--replication K` keeps `K - 1` backup replicas per PS shard; the
+//! `failover` profile (which permanently kills a primary mid-run) defaults
+//! it to 2 and refuses to run without a backup.
 
 use het_kg::embed::checkpoint::Checkpoint;
 use het_kg::eval::breakdown::evaluate_breakdown;
@@ -124,15 +127,20 @@ fn usage() {
     println!("  --no-overlap    disable comm/compute pipelining; reproduces the");
     println!("                  sequential timing accounting bit for bit");
     println!("fault injection (train):");
-    println!("  --fault-profile P    none | lossy | corrupt | outage | chaos, or a");
-    println!("                       JSON FaultPlan file             (default none)");
+    println!("  --fault-profile P    none | lossy | corrupt | outage | chaos | failover,");
+    println!("                       or a JSON FaultPlan file        (default none)");
     println!("                       lossy: 2% remote-message loss with retry/backoff");
     println!("                       corrupt: 1% payload bit-flips, caught by the");
     println!("                                wire-frame checksum and re-pulled");
     println!("                       outage: PS shard 1 down mid-run; HET-KG serves");
     println!("                               stale hits and defers pushes meanwhile");
     println!("                       chaos: loss + outage + straggler + worker crash");
-    println!("                              recovered from a checkpoint");
+    println!("                              recovered from a checkpoint (+ a shard");
+    println!("                              kill, armed only when replication is on)");
+    println!("                       failover: loss + straggler + a permanent primary");
+    println!("                                 kill survived by backup promotion");
+    println!("  --replication K      backup replicas per PS shard: K-1 (default 1 =");
+    println!("                       off; failover profile defaults to 2)");
     println!("  --checkpoint-every N recovery checkpoint every N epochs (0 = off;");
     println!("                       forced on when the profile schedules a crash)");
     println!("integrity & supervision (train):");
@@ -343,11 +351,12 @@ fn parse_fault_profile(value: &str, seed: u64) -> Result<Option<FaultPlan>, CliE
         "corrupt" => Ok(Some(FaultPlan::corrupting(seed, 0.01))),
         "outage" => Ok(Some(FaultPlan::shard_outage(seed, 1, 0.050, 0.150))),
         "chaos" => Ok(Some(FaultPlan::chaos(seed))),
+        "failover" => Ok(Some(FaultPlan::failover(seed))),
         path => {
             let raw = std::fs::read_to_string(path).map_err(|e| CliError::BadFlag {
                 flag: "fault-profile",
                 message: format!(
-                    "not a preset (none | lossy | outage | chaos) and reading {path:?} failed: {e}"
+                    "not a preset (none | lossy | outage | chaos | failover) and reading {path:?} failed: {e}"
                 ),
             })?;
             let plan: FaultPlan = serde_json::from_str(&raw).map_err(|e| CliError::BadFlag {
@@ -433,6 +442,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "max-restarts",
             "oracle",
             "no-overlap",
+            "replication",
         ],
     )?;
     let data = load_data(flags)?;
@@ -443,7 +453,23 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     cfg.machines = positive(flags, "machines", 4)?;
     cfg.seed = parse_seed(flags)?;
     cfg.eval_candidates = None;
-    cfg.faults = parse_fault_profile(flag(flags, "fault-profile", "none"), cfg.seed)?;
+    let profile = flag(flags, "fault-profile", "none");
+    cfg.faults = parse_fault_profile(profile, cfg.seed)?;
+    // The failover profile permanently kills a primary, so it defaults
+    // replication on; a kill with no backup to promote would abort the run.
+    cfg.replication = match flags.get("replication") {
+        Some(_) => positive(flags, "replication", 1)?,
+        None if profile == "failover" => 2,
+        None => 1,
+    };
+    if profile == "failover" && cfg.replication < 2 {
+        return Err(CliError::BadFlag {
+            flag: "replication",
+            message: "the failover profile permanently kills a primary; it needs \
+                      --replication 2 or more (a backup to promote)"
+                .into(),
+        });
+    }
     cfg.checkpoint_every = non_negative(flags, "checkpoint-every", 0)?;
     cfg.integrity = switch(flags, "integrity", true)?;
     cfg.checkpoint_dir = flags.get("checkpoint-dir").cloned();
@@ -459,13 +485,27 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     if let Some(plan) = &cfg.faults {
         let crashes = plan.crash_epochs();
         println!(
-            "fault plan: drop {:.1}% | corrupt {:.1}% ({}) | {} outage window(s) | {} straggler episode(s) | crashes {}",
+            "fault plan: drop {:.1}% | corrupt {:.1}% ({}) | {} outage window(s) | {} straggler episode(s) | crashes {} | shard kills {}",
             100.0 * plan.drop_probability,
             100.0 * plan.corrupt_probability,
             if cfg.integrity { "checksums on" } else { "checksums OFF" },
             plan.outages.len(),
             plan.slow_episodes.len(),
             if crashes.is_empty() { "none".to_string() } else { format!("epochs {crashes:?}") },
+            if plan.kills.is_empty() {
+                "none".to_string()
+            } else if cfg.replication > 1 {
+                format!("{} (armed)", plan.kills.len())
+            } else {
+                format!("{} (masked: replication off)", plan.kills.len())
+            },
+        );
+    }
+    if cfg.replication > 1 {
+        println!(
+            "replication: k={} ({} backup replica(s) per PS shard)",
+            cfg.replication,
+            cfg.replication - 1
         );
     }
     let (report, store) = if oracle_on {
@@ -532,6 +572,25 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             println!(
                 "integrity: {} corrupt frames injected | {} detected and re-pulled | {} silently ingested",
                 fr.corrupt_frames, fr.corrupt_detected, fr.corrupt_ingested,
+            );
+        }
+        if fr.promotions > 0 || fr.hedged_pulls > 0 {
+            println!(
+                "failover: {} promotion(s), {} catch-up record(s) ({:.1} KB replayed) | hedged pulls: {} issued, {} won, {} lost",
+                fr.promotions,
+                fr.catch_up_frames,
+                fr.catch_up_bytes as f64 / 1e3,
+                fr.hedged_pulls,
+                fr.hedged_wins,
+                fr.hedged_losses,
+            );
+        }
+        let rep = report.total_traffic();
+        if rep.replication_bytes > 0 {
+            println!(
+                "replication traffic: {:.1} KB in {} message(s) (own lane; excluded from worker byte totals)",
+                rep.replication_bytes as f64 / 1e3,
+                rep.replication_messages,
             );
         }
     }

@@ -35,6 +35,7 @@ fn chaos_plan(seed: u64) -> FaultPlan {
             end: 0.030,
         }],
         crash: Some(CrashPoint { epoch: 2 }),
+        ..FaultPlan::default()
     }
 }
 

@@ -29,7 +29,9 @@ fn seeded_corruption_leaves_zero_poisoned_entries() {
         let mut cfg = TrainConfig::small(system);
         cfg.epochs = 2;
         cfg.eval_candidates = None;
-        cfg.faults = Some(FaultPlan::corrupting(31, 0.02));
+        // The tiny workload only sends ~60 remote frames; 8% keeps the
+        // drill deterministic-with-injections at this seed.
+        cfg.faults = Some(FaultPlan::corrupting(31, 0.08));
         let verdict = shadow_check(&kg, &train_set, &cfg, OracleConfig::default());
 
         assert_eq!(

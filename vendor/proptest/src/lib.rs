@@ -1,0 +1,629 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Deterministic property testing: strategies sample from a per-case
+//! seeded RNG (no shrinking — a failing case reports its inputs via the
+//! assertion message instead). Covers the workspace's usage: the
+//! `proptest!` macro with `#![proptest_config(...)]`, `prop_assert!` /
+//! `prop_assert_eq!`, range and tuple strategies, `any::<T>()`, `Just`,
+//! `prop::collection::vec`, and `.prop_map`.
+
+use std::fmt;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` sampled cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property case (carried out of the test body by
+/// `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build from an assertion message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic test-case RNG (SplitMix64 stream per case index).
+pub mod test_runner {
+    /// Per-case deterministic RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The RNG for case number `case` (deterministic across runs).
+        pub fn for_case(case: u64) -> Self {
+            Self {
+                state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5DEE_CE66_D1CE_4E5B,
+            }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform usize in `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "empty range");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * (rng.unit_f64() as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (hi - lo) * (rng.unit_f64() as $t)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// String patterns: a `&str` is a strategy generating strings matching a
+/// regex *subset* — one atom (`.`, a literal, or a `[...]` class with
+/// ranges, escapes, and `^` negation) with an optional `{lo,hi}` / `{n}`
+/// repetition. Covers the workspace's patterns; anything richer panics
+/// loudly rather than silently mis-generating.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::test_runner::TestRng;
+
+    /// Generate one string matching the supported pattern subset.
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let mut chars = pat.chars().peekable();
+        let (negated, ranges) = match chars.next().expect("empty pattern") {
+            // Regex `.`: any char except a line break.
+            '.' => (true, vec![('\n', '\n')]),
+            '[' => parse_class(&mut chars),
+            '\\' => {
+                let c = unescape(chars.next().expect("dangling escape"));
+                (false, vec![(c, c)])
+            }
+            c => (false, vec![(c, c)]),
+        };
+        let (lo, hi) = parse_repetition(&mut chars);
+        assert!(
+            chars.next().is_none(),
+            "unsupported pattern (one atom + one repetition only): {pat:?}"
+        );
+        let n = lo + rng.below(hi - lo + 1);
+        (0..n).map(|_| sample(negated, &ranges, rng)).collect()
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            't' => '\t',
+            'r' => '\r',
+            'n' => '\n',
+            other => other,
+        }
+    }
+
+    /// Parse a `[...]` class body (the `[` is already consumed).
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> (bool, Vec<(char, char)>) {
+        let negated = chars.peek() == Some(&'^');
+        if negated {
+            chars.next();
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let c = match chars.next().expect("unterminated class") {
+                ']' => break,
+                '\\' => unescape(chars.next().expect("dangling escape")),
+                c => c,
+            };
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let hi = match chars.next().expect("unterminated range") {
+                    '\\' => unescape(chars.next().expect("dangling escape")),
+                    c => c,
+                };
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        (negated, ranges)
+    }
+
+    /// Parse an optional `{lo,hi}` / `{n}` suffix; bare atoms repeat once.
+    fn parse_repetition(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut lo = 0usize;
+        let mut hi = None;
+        let mut cur = &mut lo;
+        let mut hi_val = 0usize;
+        for c in chars.by_ref() {
+            match c {
+                '0'..='9' => *cur = *cur * 10 + (c as usize - '0' as usize),
+                ',' => {
+                    hi = Some(());
+                    cur = &mut hi_val;
+                }
+                '}' => break,
+                _ => panic!("unsupported repetition"),
+            }
+        }
+        match hi {
+            None => (lo, lo),
+            Some(()) => (lo, hi_val),
+        }
+    }
+
+    /// Sample one char: uniformly from the ranges, or (negated) uniformly
+    /// from the BMP below the surrogates, rejecting class members.
+    fn sample(negated: bool, ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        if negated {
+            loop {
+                let v = rng.below(0xD7FF) as u32 + 1;
+                let c = char::from_u32(v).expect("below the surrogate range");
+                if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                    return c;
+                }
+            }
+        } else {
+            let total: usize = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as usize) - (lo as usize) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let size = (hi as usize) - (lo as usize) + 1;
+                if pick < size {
+                    return char::from_u32(lo as u32 + pick as u32)
+                        .expect("class ranges stay inside assigned planes");
+                }
+                pick -= size;
+            }
+            unreachable!("pick was drawn below the total")
+        }
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Sample from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy over a type's whole domain; see [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive length bounds for a collection strategy, like the real
+    /// crate's `SizeRange`: built from `a..b`, `a..=b`, or a single size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty length range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Generate vectors whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.len.hi - self.len.lo + 1;
+            let n = self.len.lo + rng.below(span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs from one glob import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespaced re-exports (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests: each `fn` samples its arguments from the given
+/// strategies for `cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident(
+        $($arg:pat_param in $strat:expr),* $(,)?
+    ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..u64::from(__cfg.cases) {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("proptest case {} of {} failed: {}", __case, stringify!($name), e);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Assert inside a property body, failing the case (not panicking
+/// directly) on falsehood.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                __l, __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Skip the current case when an assumption does not hold (counts as a
+/// pass — this stand-in does not track rejection quotas).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let mut a = crate::test_runner::TestRng::for_case(3);
+        let mut b = crate::test_runner::TestRng::for_case(3);
+        let s = prop::collection::vec(0u64..100, 1..50);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, f in 0.25f64..0.75, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            let _ = b;
+        }
+
+        /// Vec strategy respects the length range; prop_map transforms.
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec((0u32..5, 0u32..5).prop_map(|(a, b)| a + b), 1..20),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for x in v {
+                prop_assert!(x <= 8, "sum of two values below 5 is at most 8, got {}", x);
+            }
+        }
+
+        /// Just yields its value.
+        #[test]
+        fn just_yields(x in Just(7u8)) {
+            prop_assert_eq!(x, 7);
+        }
+
+        /// Pattern strategies respect class membership and repetition
+        /// bounds; tuple patterns destructure.
+        #[test]
+        fn patterns_and_tuples((a, b) in ("[a-z]{1,5}", "[^\t\r\n]{2,4}")) {
+            prop_assert!((1..=5).contains(&a.chars().count()));
+            prop_assert!(a.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!((2..=4).contains(&b.chars().count()));
+            prop_assert!(b.chars().all(|c| !matches!(c, '\t' | '\r' | '\n')));
+        }
+
+        /// `.` never generates a line break; `{0,n}` may be empty.
+        #[test]
+        fn dot_excludes_newlines(s in ".{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+            prop_assert!(!s.contains('\n'));
+        }
+    }
+}

@@ -1,0 +1,628 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! minimal serde replacement built around an explicit value tree
+//! ([`Value`]): `Serialize` converts into a `Value`, `Deserialize`
+//! converts back, and the companion `serde_derive` stub generates both
+//! impls for the struct/enum shapes this workspace uses (named structs,
+//! newtype structs, enums with unit and struct variants, honoring
+//! `#[serde(default)]` and `#[serde(default = "path")]`). `serde_json`
+//! supplies the text format on top of the same `Value`.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model both traits speak.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer (always < 0; non-negative parses as `UInt`).
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Map),
+}
+
+impl Value {
+    /// The object behind this value, or a type error mentioning `ty`.
+    pub fn as_map_for(&self, ty: &str) -> Result<&Map, Error> {
+        match self {
+            Value::Map(m) => Ok(m),
+            other => Err(Error::new(format!(
+                "expected object for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable name of this value's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// The object behind this value.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The object behind this value, mutably.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array behind this value.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The array behind this value, mutably.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string behind this value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64` (accepts any numeric representation).
+    pub fn as_f64(&self) -> Option<f64> {
+        self.number()
+    }
+
+    /// This value as a `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// This value as an `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (None for non-objects or absent keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Object member lookup, mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|m| m.get_mut(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Map(m) => {
+                if !m.contains_key(key) {
+                    m.insert(key.to_string(), Value::Null);
+                }
+                m.get_mut(key).expect("just inserted")
+            }
+            other => panic!("cannot index {} with a string key", other.kind()),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Seq(items) => &items[idx],
+            other => panic!("cannot index {} with a usize", other.kind()),
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Seq(items) => &mut items[idx],
+            other => panic!("cannot index {} with a usize", other.kind()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Seq(a), Value::Seq(b)) => a == b,
+            (Value::Map(a), Value::Map(b)) => a == b,
+            // Numbers compare across representations.
+            (a, b) => match (a.number(), b.number()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl Value {
+    fn number(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// An object: insertion-ordered key/value pairs with unique keys.
+#[derive(Debug, Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert (or replace) a key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Look up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// True when the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// The sole entry of a single-key object (enum encoding helper).
+    pub fn single_entry(&self) -> Option<(&str, &Value)> {
+        match self.entries.as_slice() {
+            [(k, v)] => Some((k.as_str(), v)),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Map {
+    fn eq(&self, other: &Self) -> bool {
+        // Key order is irrelevant, matching serde_json map equality.
+        self.len() == other.len()
+            && self
+                .entries
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::new(format!("missing field `{field}` for {ty}"))
+    }
+
+    /// An enum tag didn't match any variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Self::new(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// A value had the wrong shape for the target type.
+    pub fn invalid_type(expected: &str, found: &Value) -> Self {
+        Self::new(format!("expected {expected}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::invalid_type("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => return Err(Error::invalid_type("unsigned integer", other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::new(format!("{n} out of range for i64")))?,
+                    other => return Err(Error::invalid_type("integer", other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.number().ok_or_else(|| Error::invalid_type("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|n| n as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::invalid_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::new(format!("expected array of {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(Error::new(format!(
+                                "expected tuple of {expected}, found {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::invalid_type("array", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_get_remove() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::UInt(1));
+        m.insert("b".into(), Value::Null);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("a"), Some(&Value::UInt(1)));
+        m.insert("a".into(), Value::UInt(2));
+        assert_eq!(m.len(), 2, "replace, not duplicate");
+        assert_eq!(m.remove("a"), Some(Value::UInt(2)));
+        assert!(m.get("a").is_none());
+    }
+
+    #[test]
+    fn map_equality_ignores_order() {
+        let mut a = Map::new();
+        a.insert("x".into(), Value::UInt(1));
+        a.insert("y".into(), Value::UInt(2));
+        let mut b = Map::new();
+        b.insert("y".into(), Value::UInt(2));
+        b.insert("x".into(), Value::UInt(1));
+        assert_eq!(Value::Map(a), Value::Map(b));
+    }
+
+    #[test]
+    fn numbers_compare_across_representations() {
+        assert_eq!(Value::UInt(2), Value::Float(2.0));
+        assert_ne!(Value::UInt(2), Value::Float(2.5));
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::deserialize_value(&42u64.serialize_value()), Ok(42));
+        assert_eq!(i32::deserialize_value(&(-7i32).serialize_value()), Ok(-7));
+        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()), Ok(1.5));
+        assert_eq!(
+            f64::deserialize_value(&Value::UInt(3)),
+            Ok(3.0),
+            "floats accept integer encodings"
+        );
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null),
+            Ok(None)
+        );
+        assert_eq!(
+            Vec::<bool>::deserialize_value(&vec![true, false].serialize_value()),
+            Ok(vec![true, false])
+        );
+        let t: (u32, f64) = Deserialize::deserialize_value(&(3u32, 0.5f64).serialize_value())
+            .unwrap();
+        assert_eq!(t, (3, 0.5));
+    }
+
+    #[test]
+    fn type_errors_name_the_mismatch() {
+        let err = u64::deserialize_value(&Value::Str("no".into())).unwrap_err();
+        assert!(err.to_string().contains("unsigned integer"));
+    }
+}

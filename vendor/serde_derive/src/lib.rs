@@ -1,0 +1,428 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored `serde`
+//! value model for the shapes this workspace uses:
+//!
+//! - structs with named fields (honoring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`),
+//! - newtype structs (transparent, like real serde),
+//! - enums with unit variants (encoded as the variant-name string) and
+//!   struct variants (encoded as a single-key object), i.e. serde's
+//!   externally-tagged representation.
+//!
+//! Anything outside that shape panics at compile time with a clear
+//! message, so unsupported serde features fail the build loudly instead
+//! of silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// How a missing field is filled during deserialization.
+#[derive(Clone)]
+enum FieldDefault {
+    /// No default: the field is required.
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants; field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let keyword = expect_ident(&mut it, "struct or enum");
+    let name = expect_ident(&mut it, "item name");
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic types are not supported ({name})");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(parse_fields(g.stream().into_iter().peekable()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream().into_iter().peekable());
+                if arity != 1 {
+                    panic!(
+                        "serde stub derive: tuple struct {name} has {arity} fields; \
+                         only newtype structs are supported"
+                    );
+                }
+                ItemKind::Newtype
+            }
+            other => panic!("serde stub derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(&name, g.stream().into_iter().peekable()))
+            }
+            other => panic!("serde stub derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde stub derive: expected struct or enum, found `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Skip attributes, returning the field default policy found in any
+/// `#[serde(...)]` attribute along the way.
+fn parse_attrs(it: &mut Tokens) -> FieldDefault {
+    let mut default = FieldDefault::Required;
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        let group = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde stub derive: malformed attribute: {other:?}"),
+        };
+        let mut inner = group.stream().into_iter().peekable();
+        let head = match inner.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue,
+        };
+        if head != "serde" {
+            continue; // doc comments, cfg, etc.
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde stub derive: malformed #[serde] attribute: {other:?}"),
+        };
+        let mut args = args.stream().into_iter().peekable();
+        while let Some(tok) = args.next() {
+            match tok {
+                TokenTree::Ident(id) if id.to_string() == "default" => {
+                    if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        args.next();
+                        match args.next() {
+                            Some(TokenTree::Literal(lit)) => {
+                                let raw = lit.to_string();
+                                let path = raw.trim_matches('"').to_string();
+                                default = FieldDefault::Path(path);
+                            }
+                            other => panic!(
+                                "serde stub derive: expected string literal after \
+                                 default =, found {other:?}"
+                            ),
+                        }
+                    } else {
+                        default = FieldDefault::Std;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => panic!(
+                    "serde stub derive: unsupported #[serde] option {other}; \
+                     only default and default = \"path\" are implemented"
+                ),
+            }
+        }
+    }
+    default
+}
+
+fn skip_attrs(it: &mut Tokens) {
+    parse_attrs(it);
+}
+
+fn skip_vis(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut Tokens, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Skip one type, stopping after the top-level comma (consumed) or at the
+/// end of the stream. Tracks `<`/`>` nesting so generic arguments'
+/// commas don't end the field early.
+fn skip_type(it: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = it.next() {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+fn parse_fields(mut it: Tokens) -> Vec<Field> {
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let default = parse_attrs(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_vis(&mut it);
+        let name = expect_ident(&mut it, "field name");
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field {name}: {other:?}"),
+        }
+        skip_type(&mut it);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_top_level_fields(mut it: Tokens) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    while let Some(tok) = it.next() {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    if it.peek().is_none() {
+                        return count; // trailing comma
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    count + usize::from(saw_tokens)
+}
+
+fn parse_variants(enum_name: &str, mut it: Tokens) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        skip_attrs(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it, "variant name");
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match it.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Some(parse_fields(g.stream().into_iter().peekable()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde stub derive: tuple variant {enum_name}::{name} is unsupported; \
+                 use a struct variant"
+            ),
+            _ => None,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn missing_field_expr(ty: &str, field: &Field) -> String {
+    match &field.default {
+        FieldDefault::Required => format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field(\"{ty}\", \"{f}\"))",
+            f = field.name
+        ),
+        FieldDefault::Std => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(path) => format!("{path}()"),
+    }
+}
+
+fn gen_struct_body_deserialize(ty_label: &str, path: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{path} {{\n"));
+    for field in fields {
+        out.push_str(&format!(
+            "    {f}: match __m.get(\"{f}\") {{\n\
+                     ::std::option::Option::Some(__x) => \
+                         ::serde::Deserialize::deserialize_value(__x)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                 }},\n",
+            f = field.name,
+            missing = missing_field_expr(ty_label, field)
+        ));
+    }
+    out.push_str("}");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut b = String::from("let mut __m = ::serde::Map::new();\n");
+            for field in fields {
+                b.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize_value(&self.{f}));\n",
+                    f = field.name
+                ));
+            }
+            b.push_str("::serde::Value::Map(__m)");
+            b
+        }
+        ItemKind::Newtype => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut b = String::from("match self {\n");
+            for v in variants {
+                match &v.fields {
+                    None => b.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let bindings = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut arm = format!("{name}::{v} {{ {bindings} }} => {{\n", v = v.name);
+                        arm.push_str("let mut __inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "__inner.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize_value({f}));\n",
+                                f = f.name
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Map(__inner));\n\
+                             ::serde::Value::Map(__outer)\n}},\n",
+                            v = v.name
+                        ));
+                        b.push_str(&arm);
+                    }
+                }
+            }
+            b.push_str("}");
+            b
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => format!(
+            "let __m = __v.as_map_for(\"{name}\")?;\n\
+             ::std::result::Result::Ok({built})",
+            built = gen_struct_body_deserialize(name, name, fields)
+        ),
+        ItemKind::Newtype => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            for v in variants.iter().filter(|v| v.fields.is_none()) {
+                unit_arms.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                    v = v.name
+                ));
+            }
+            let mut struct_arms = String::new();
+            for v in variants.iter() {
+                if let Some(fields) = &v.fields {
+                    let label = format!("{name}::{v}", v = v.name);
+                    struct_arms.push_str(&format!(
+                        "\"{v}\" => {{\n\
+                             let __m = __inner.as_map_for(\"{label}\")?;\n\
+                             ::std::result::Result::Ok({built})\n\
+                         }},\n",
+                        v = v.name,
+                        built = gen_struct_body_deserialize(&label, &label, fields)
+                    ));
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                     }},\n\
+                     ::serde::Value::Map(__outer) => match __outer.single_entry() {{\n\
+                         ::std::option::Option::Some((__tag, __inner)) => match __tag {{\n\
+                             {struct_arms}\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                         }},\n\
+                         ::std::option::Option::None => ::std::result::Result::Err(\
+                             ::serde::Error::new(\
+                                 \"expected single-key object for enum {name}\")),\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::Error::invalid_type(\"string or object\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,601 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! JSON text parsing and printing over the vendored `serde` value model.
+//! Covers the workspace's usage: `to_string`, `to_string_pretty`,
+//! `to_value`, `from_str`, `from_value`, plus `Value` accessors
+//! (`as_object_mut`, `as_str`, `get`, `get_mut`) and `v["key"][idx]`
+//! indexing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::{Map, Value};
+
+/// JSON encode/decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to a human-readable JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Reconstruct a type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Parse a JSON string into a type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------- printing
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(n) => {
+            if n.is_finite() {
+                out.push_str(&format!("{n}"));
+            } else {
+                // Real serde_json refuses non-finite floats; emitting null
+                // keeps the report writers total.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of JSON"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Value::Str),
+            b't' | b'f' | b'n' => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Map(map));
+        }
+        loop {
+            let key = {
+                self.skip_ws();
+                self.string()?
+            };
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Map(map));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(Error::new(format!("expected string at byte {}", self.pos)));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::new(format!("expected number at byte {start}")));
+        }
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(n) = stripped.parse::<u64>() {
+                    if n == 0 {
+                        return Ok(Value::UInt(0));
+                    }
+                }
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::Int(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+/// Build a [`Value`] from a JSON-like literal.
+///
+/// Supports object literals with string-literal keys, array literals,
+/// `null`, and arbitrary Rust expressions for leaf values (serialized
+/// through [`to_value`]). Covers the subset of `serde_json::json!`
+/// the workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Map($crate::Map::new()) };
+    ({ $($entries:tt)+ }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_object_entries!(__map, $($entries)+);
+        $crate::Value::Map(__map)
+    }};
+    ([]) => { $crate::Value::Seq(::std::vec::Vec::new()) };
+    ([ $($entries:tt)+ ]) => {{
+        let mut __seq: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_entries!(__seq, $($entries)+);
+        $crate::Value::Seq(__seq)
+    }};
+    ($value:expr) => {
+        $crate::to_value($value).expect("json! leaf value serializes")
+    };
+}
+
+/// Implementation detail of [`json!`]: one `"key": value` entry at a time,
+/// so nested `{ .. }` / `[ .. ]` literals recurse before the general
+/// expression arm can reject them.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($map:ident, ) => {};
+    ($map:ident, $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+        $crate::json_object_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : { $($inner:tt)* }) => {
+        $map.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+        $crate::json_object_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ]) => {
+        $map.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+    };
+    ($map:ident, $key:literal : null , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_object_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : null) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::Null);
+    };
+    ($map:ident, $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($value));
+        $crate::json_object_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : $value:expr) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($value));
+    };
+}
+
+/// Implementation detail of [`json!`]: one array element at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_entries {
+    ($seq:ident, ) => {};
+    ($seq:ident, { $($inner:tt)* } , $($rest:tt)*) => {
+        $seq.push($crate::json!({ $($inner)* }));
+        $crate::json_array_entries!($seq, $($rest)*);
+    };
+    ($seq:ident, { $($inner:tt)* }) => {
+        $seq.push($crate::json!({ $($inner)* }));
+    };
+    ($seq:ident, [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $seq.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_entries!($seq, $($rest)*);
+    };
+    ($seq:ident, [ $($inner:tt)* ]) => {
+        $seq.push($crate::json!([ $($inner)* ]));
+    };
+    ($seq:ident, null , $($rest:tt)*) => {
+        $seq.push($crate::Value::Null);
+        $crate::json_array_entries!($seq, $($rest)*);
+    };
+    ($seq:ident, null) => {
+        $seq.push($crate::Value::Null);
+    };
+    ($seq:ident, $value:expr , $($rest:tt)*) => {
+        $seq.push($crate::json!($value));
+        $crate::json_array_entries!($seq, $($rest)*);
+    };
+    ($seq:ident, $value:expr) => {
+        $seq.push($crate::json!($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let xs = vec![1u32, 2, 3];
+        let v = json!({
+            "name": "hetkg",
+            "count": 1 + 2,
+            "nested": { "flag": true, "none": null },
+            "list": [1, "two", { "three": 3.0 }],
+            "from_expr": xs,
+        });
+        assert_eq!(v["name"].as_str(), Some("hetkg"));
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["nested"]["flag"].as_bool(), Some(true));
+        assert!(v["nested"]["none"].is_null());
+        assert_eq!(v["list"][2]["three"].as_f64(), Some(3.0));
+        assert_eq!(v["from_expr"][1].as_u64(), Some(2));
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parse_roundtrip_compact() {
+        let text = r#"{"a":1,"b":[true,null,-2,1.5],"c":{"d":"x\n"}}"#;
+        let v: Value = from_str(text).unwrap();
+        let printed = to_string(&v).unwrap();
+        let reparsed: Value = from_str(&printed).unwrap();
+        assert_eq!(v, reparsed);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Value = from_str(r#"{"k":[1,2],"s":"hi"}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn numbers_pick_natural_representations() {
+        assert_eq!(from_str::<Value>("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str::<Value>("-42").unwrap(), Value::Int(-42));
+        assert_eq!(from_str::<Value>("0.5").unwrap(), Value::Float(0.5));
+        assert_eq!(from_str::<Value>("1e3").unwrap(), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn float_whole_numbers_survive_roundtrip_as_numbers() {
+        let s = to_string(&2.0f64).unwrap();
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" \\ slash\u{0001}";
+        let s = to_string(&String::from(original)).unwrap();
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: String = from_str(r#""Aé""#).unwrap();
+        assert_eq!(v, "Aé");
+    }
+
+    #[test]
+    fn utf8_passthrough() {
+        let v: String = from_str("\"héllo wörld ✓\"").unwrap();
+        assert_eq!(v, "héllo wörld ✓");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<Value>("{} extra").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let mut v: Value = from_str(r#"{"a":{"b":[1,2]},"s":"x"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(|s| s.as_str()), Some("x"));
+        assert_eq!(v["a"]["b"][1].as_u64(), Some(2));
+        v["a"]["b"][1] = Value::UInt(9);
+        assert_eq!(v["a"]["b"][1].as_u64(), Some(9));
+        let obj = v.as_object_mut().unwrap();
+        assert!(obj.remove("s").is_some());
+        assert!(v.get("s").is_none());
+    }
+}
