@@ -54,6 +54,41 @@ pub struct SlowEpisode {
     pub latency_factor: f64,
 }
 
+/// A flash-crowd overload window: while `start <= now < end` the target
+/// shard's service latency inflates with its in-flight queue depth, and
+/// requests arriving with the queue already at `queue_capacity` are shed
+/// outright ([`Verdict::Overloaded`]).
+///
+/// The queue model is deterministic and RNG-free: each injector tracks the
+/// depth it has in flight against the shard, draining it at `drain_rate`
+/// requests per simulated second between arrivals. Adjudication happens
+/// outside the drop/corrupt RNG draws (like [`ShardKill`]), so attaching an
+/// overload window to a plan never perturbs the existing verdict streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadWindow {
+    /// The saturated shard.
+    pub shard: usize,
+    /// Window start, in simulated seconds.
+    pub start: f64,
+    /// Window end (exclusive), in simulated seconds.
+    pub end: f64,
+    /// In-flight requests the shard sustains before shedding arrivals.
+    pub queue_capacity: u32,
+    /// Requests per simulated second the shard drains from its queue.
+    pub drain_rate: f64,
+    /// Extra service latency per queued request, in simulated seconds
+    /// (service time grows linearly with queue depth).
+    pub latency_per_inflight: f64,
+}
+
+impl OverloadWindow {
+    /// Whether simulated instant `t` falls inside the window.
+    #[inline]
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
 /// A permanent PS-shard death: from `at` (simulated seconds) onward the
 /// primary replica of `shard` never answers again. Unlike an
 /// [`OutageWindow`] there is no recovery — the only way forward is for a
@@ -116,6 +151,10 @@ pub struct FaultPlan {
     /// masked so legacy replication-off runs keep their exact behavior.
     #[serde(default)]
     pub kills: Vec<ShardKill>,
+    /// Flash-crowd overload windows: queue-depth-dependent latency
+    /// inflation and deterministic request shedding on a saturated shard.
+    #[serde(default)]
+    pub overloads: Vec<OverloadWindow>,
 }
 
 impl FaultPlan {
@@ -134,6 +173,7 @@ impl FaultPlan {
             && self.crashes.is_empty()
             && self.torn_checkpoint.is_none()
             && self.kills.is_empty()
+            && self.overloads.is_empty()
     }
 
     /// A lossy network: remote messages dropped with probability `p`.
@@ -229,6 +269,33 @@ impl FaultPlan {
         }
     }
 
+    /// The overload profile used by the CLI: a flash crowd saturates shard
+    /// 1 early in the run. Service latency on the shard inflates with queue
+    /// depth and arrivals past a small queue capacity are shed, so clients
+    /// without overload protection degenerate into a metered retry storm,
+    /// while a retry budget + circuit breaker ride the window out on
+    /// bounded-stale cache hits. No drops, stragglers, or crashes — the
+    /// window is the only perturbation, which keeps cause and effect
+    /// legible in the run report.
+    ///
+    /// Like [`FaultPlan::failover`], the window sits in the first few
+    /// simulated milliseconds so it bites at both test scale (whole runs
+    /// under ten simulated milliseconds) and CLI scale (hundreds).
+    pub fn overload(seed: u64) -> Self {
+        Self {
+            seed,
+            overloads: vec![OverloadWindow {
+                shard: 1,
+                start: 0.0005,
+                end: 0.004,
+                queue_capacity: 1,
+                drain_rate: 2_000.0,
+                latency_per_inflight: 100e-6,
+            }],
+            ..Self::default()
+        }
+    }
+
     /// Whether the plan can ever perturb a message (crash injection alone
     /// does not touch the message path).
     pub fn perturbs_messages(&self) -> bool {
@@ -237,6 +304,7 @@ impl FaultPlan {
             || !self.slow_episodes.is_empty()
             || !self.outages.is_empty()
             || !self.kills.is_empty()
+            || !self.overloads.is_empty()
     }
 
     /// All scheduled crash epochs (`crash` unioned with `crashes`), sorted
@@ -273,6 +341,14 @@ pub enum Verdict {
     /// again. The client must promote a backup replica (failover) before
     /// any message to this shard can succeed.
     ShardDead,
+    /// The target shard shed this request: its in-flight queue is at
+    /// capacity inside a flash-crowd window. The request was *not* queued;
+    /// `retry_at` is the earliest simulated instant at which one queue slot
+    /// will have drained.
+    Overloaded {
+        /// Earliest useful retry instant (one drained queue slot).
+        retry_at: f64,
+    },
 }
 
 /// Aggregated fault/countermeasure counters for one injector (one worker).
@@ -326,6 +402,30 @@ pub struct FaultSnapshot {
     /// Hedged pulls where the primary still won the race.
     #[serde(default)]
     pub hedged_losses: u64,
+    /// Requests shed by a saturated shard inside an overload window.
+    #[serde(default)]
+    pub overload_sheds: u64,
+    /// Messages delivered with queue-induced service-latency inflation.
+    #[serde(default)]
+    pub overload_throttled: u64,
+    /// Extra simulated seconds of queue-induced service latency.
+    #[serde(default)]
+    pub overload_extra_secs: f64,
+    /// Retries refused because the run-global retry budget was dry.
+    #[serde(default)]
+    pub retries_denied: u64,
+    /// Requests failed fast by an open circuit breaker (no send, no
+    /// exponential backoff burned).
+    #[serde(default)]
+    pub breaker_fast_fails: u64,
+    /// Cache hits served stale because the home shard's breaker was open
+    /// (brownout), beyond the ordinary outage-driven `degraded_hits`.
+    #[serde(default)]
+    pub brownout_stale_serves: u64,
+    /// Deferred gradient pushes dropped because the brownout backlog hit
+    /// its bound.
+    #[serde(default)]
+    pub shed_pushes: u64,
 }
 
 impl FaultSnapshot {
@@ -351,12 +451,24 @@ impl FaultSnapshot {
             hedged_pulls: self.hedged_pulls + o.hedged_pulls,
             hedged_wins: self.hedged_wins + o.hedged_wins,
             hedged_losses: self.hedged_losses + o.hedged_losses,
+            overload_sheds: self.overload_sheds + o.overload_sheds,
+            overload_throttled: self.overload_throttled + o.overload_throttled,
+            overload_extra_secs: self.overload_extra_secs + o.overload_extra_secs,
+            retries_denied: self.retries_denied + o.retries_denied,
+            breaker_fast_fails: self.breaker_fast_fails + o.breaker_fast_fails,
+            brownout_stale_serves: self.brownout_stale_serves + o.brownout_stale_serves,
+            shed_pushes: self.shed_pushes + o.shed_pushes,
         }
     }
 
-    /// Total fault events (drops + refusals + slowdowns + corruptions).
+    /// Total fault events (drops + refusals + slowdowns + corruptions +
+    /// overload sheds).
     pub fn total_faults(&self) -> u64 {
-        self.drops + self.outage_refusals + self.slow_messages + self.corrupt_frames
+        self.drops
+            + self.outage_refusals
+            + self.slow_messages
+            + self.corrupt_frames
+            + self.overload_sheds
     }
 }
 
@@ -448,12 +560,24 @@ impl SplitMix64 {
     }
 }
 
+/// Deterministic per-shard in-flight queue state for overload windows.
+#[derive(Debug, Clone, Copy, Default)]
+struct QueueState {
+    /// Simulated instant of the last depth update.
+    last: f64,
+    /// In-flight requests this injector has queued at the shard.
+    depth: f64,
+}
+
 #[derive(Debug)]
 struct InjectorState {
     rng: SplitMix64,
     /// This worker's simulated clock: compute + message time + backoff.
     clock: f64,
     stats: FaultSnapshot,
+    /// Per-shard overload queues (indexed by shard; grown on demand; empty
+    /// for plans without overload windows).
+    queues: Vec<QueueState>,
 }
 
 /// One worker's fault adjudicator.
@@ -491,6 +615,7 @@ impl FaultInjector {
                 rng,
                 clock: 0.0,
                 stats: FaultSnapshot::default(),
+                queues: Vec::new(),
             }),
         }
     }
@@ -549,6 +674,29 @@ impl FaultInjector {
             .any(|w| w.shard == shard && w.contains(now))
     }
 
+    /// Whether `shard` is inside an overload window at the current
+    /// simulated instant. Pure clock lookup — consumes no randomness.
+    pub fn shard_overloaded(&self, shard: usize) -> bool {
+        let now = self.inner.lock().clock;
+        self.plan
+            .overloads
+            .iter()
+            .any(|w| w.shard == shard && w.contains(now))
+    }
+
+    /// End of the overload window currently affecting `shard`, if any.
+    pub fn overload_until(&self, shard: usize) -> Option<f64> {
+        let now = self.inner.lock().clock;
+        self.plan
+            .overloads
+            .iter()
+            .filter(|w| w.shard == shard && w.contains(now))
+            .map(|w| w.end)
+            .fold(None, |acc: Option<f64>, end| {
+                Some(acc.map_or(end, |a| a.max(end)))
+            })
+    }
+
     /// End of the outage currently affecting `shard`, if any.
     pub fn outage_end(&self, shard: usize) -> Option<f64> {
         let now = self.inner.lock().clock;
@@ -598,6 +746,42 @@ impl FaultInjector {
             return Verdict::ShardDown { until: w.end };
         }
 
+        // Flash-crowd adjudication: deterministic and RNG-free, slotted
+        // between the outage check and the drop/corrupt draws so plans
+        // without overload windows keep their exact RNG streams.
+        let mut overload_extra = 0.0;
+        if !self.plan.overloads.is_empty() {
+            if let Some(w) = self
+                .plan
+                .overloads
+                .iter()
+                .find(|w| w.shard == shard && w.contains(inner.clock))
+            {
+                if shard >= inner.queues.len() {
+                    inner.queues.resize(shard + 1, QueueState::default());
+                }
+                let now = inner.clock;
+                let q = &mut inner.queues[shard];
+                // Drain whatever completed since the last arrival, then
+                // admit (or shed) this request.
+                q.depth = (q.depth - (now - q.last).max(0.0) * w.drain_rate).max(0.0);
+                q.last = now;
+                if q.depth + 1.0 > w.queue_capacity as f64 {
+                    // Shed: the request is refused, not queued. The failed
+                    // attempt still costs one connect-timeout latency.
+                    let retry_at = now + 1.0 / w.drain_rate.max(1.0);
+                    inner.stats.overload_sheds += 1;
+                    inner.clock += self.cost.remote_latency;
+                    return Verdict::Overloaded { retry_at };
+                }
+                q.depth += 1.0;
+                // Service latency inflates linearly with the queue ahead.
+                overload_extra = q.depth * w.latency_per_inflight;
+                inner.stats.overload_throttled += 1;
+                inner.stats.overload_extra_secs += overload_extra;
+            }
+        }
+
         let base = if remote {
             self.cost.remote_time(bytes, 1)
         } else {
@@ -615,7 +799,7 @@ impl FaultInjector {
             inner.stats.slow_messages += 1;
             inner.stats.extra_latency_secs += base * (factor - 1.0);
         }
-        inner.clock += base * factor;
+        inner.clock += base * factor + overload_extra;
 
         if remote && self.plan.drop_probability > 0.0 {
             let draw = inner.rng.next_f64();
@@ -709,6 +893,26 @@ impl FaultInjector {
         } else {
             inner.stats.hedged_losses += 1;
         }
+    }
+
+    /// Record one retry refused because the run-global retry budget was dry.
+    pub fn note_retry_denied(&self) {
+        self.inner.lock().stats.retries_denied += 1;
+    }
+
+    /// Record one request failed fast by an open circuit breaker.
+    pub fn note_breaker_fast_fail(&self) {
+        self.inner.lock().stats.breaker_fast_fails += 1;
+    }
+
+    /// Record `n` cache hits served stale under brownout (open breaker).
+    pub fn note_brownout_stale_serves(&self, n: u64) {
+        self.inner.lock().stats.brownout_stale_serves += n;
+    }
+
+    /// Record `n` deferred pushes shed because the backlog hit its bound.
+    pub fn note_shed_pushes(&self, n: u64) {
+        self.inner.lock().stats.shed_pushes += n;
     }
 
     /// Current counters.
@@ -961,6 +1165,9 @@ mod tests {
         assert!(!killy.is_inert());
         assert!(killy.perturbs_messages());
         assert!(!FaultPlan::failover(1).is_inert());
+        let crowded = FaultPlan::overload(1);
+        assert!(!crowded.is_inert());
+        assert!(crowded.perturbs_messages());
     }
 
     #[test]
@@ -1053,11 +1260,121 @@ mod tests {
         let json = serde_json::to_string(&failover).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(failover, back);
+        let crowded = FaultPlan::overload(5);
+        let json = serde_json::to_string(&crowded).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(crowded, back);
         // Missing fields default to fault-free: plans serialized before
-        // kills existed must keep deserializing.
+        // kills/overloads existed must keep deserializing.
         let empty: FaultPlan = serde_json::from_str("{}").unwrap();
         assert_eq!(empty, FaultPlan::default());
         assert!(!empty.perturbs_messages());
         assert!(empty.kills.is_empty());
+        assert!(empty.overloads.is_empty());
+    }
+
+    #[test]
+    fn overload_sheds_past_capacity_and_drains_back() {
+        // Tight window, capacity 2, slow drain: back-to-back arrivals queue
+        // up, inflate latency, then shed once the queue is full.
+        let plan = FaultPlan {
+            overloads: vec![OverloadWindow {
+                shard: 1,
+                start: 0.0,
+                end: 10.0,
+                queue_capacity: 2,
+                drain_rate: 0.5, // ~one drained slot every 2 simulated secs
+                latency_per_inflight: 0.001,
+            }],
+            ..FaultPlan::default()
+        };
+        let inj = injector(plan);
+        assert!(inj.shard_overloaded(1));
+        assert!(!inj.shard_overloaded(0));
+        assert_eq!(inj.overload_until(1), Some(10.0));
+        assert_eq!(inj.overload_until(0), None);
+        assert_eq!(inj.adjudicate(1, true, 64), Verdict::Deliver);
+        assert_eq!(inj.adjudicate(1, true, 64), Verdict::Deliver);
+        let before = inj.now();
+        match inj.adjudicate(1, true, 64) {
+            Verdict::Overloaded { retry_at } => {
+                assert!(retry_at > before, "retry hint is in the future");
+            }
+            v => panic!("expected Overloaded, got {v:?}"),
+        }
+        assert!(inj.now() > before, "a shed attempt still costs latency");
+        let s = inj.stats();
+        assert_eq!(s.overload_sheds, 1);
+        assert_eq!(s.overload_throttled, 2);
+        assert!(s.overload_extra_secs > 0.0);
+        assert_eq!(s.total_faults(), 1);
+        // Other shards are untouched.
+        assert_eq!(inj.adjudicate(0, true, 64), Verdict::Deliver);
+        // Waiting drains the queue; service resumes inside the window.
+        inj.advance(5.0);
+        assert_eq!(inj.adjudicate(1, true, 64), Verdict::Deliver);
+        // Past the window the queue model disengages entirely.
+        inj.advance(10.0);
+        assert!(!inj.shard_overloaded(1));
+        for _ in 0..10 {
+            assert_eq!(inj.adjudicate(1, true, 64), Verdict::Deliver);
+        }
+        assert_eq!(inj.stats().overload_sheds, 1);
+    }
+
+    #[test]
+    fn overload_adjudication_draws_no_randomness() {
+        // An overload window must not disturb the RNG stream: a lossy plan
+        // with and without an overload window on an *untargeted* shard sees
+        // the same drop sequence on shard 0.
+        let mut crowded = FaultPlan::lossy(7, 0.3);
+        crowded.overloads = vec![OverloadWindow {
+            shard: 1,
+            start: 0.0,
+            end: 1.0,
+            queue_capacity: 1,
+            drain_rate: 1.0,
+            latency_per_inflight: 0.01,
+        }];
+        let plain = injector(FaultPlan::lossy(7, 0.3));
+        let with_window = injector(crowded);
+        let a: Vec<bool> = (0..300)
+            .map(|_| plain.adjudicate(0, true, 64) == Verdict::Drop)
+            .collect();
+        let b: Vec<bool> = (0..300)
+            .map(|_| with_window.adjudicate(0, true, 64) == Verdict::Drop)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overload_counters_accumulate_and_merge() {
+        let inj = injector(FaultPlan::default());
+        inj.note_retry_denied();
+        inj.note_retry_denied();
+        inj.note_breaker_fast_fail();
+        inj.note_brownout_stale_serves(5);
+        inj.note_shed_pushes(3);
+        let s = inj.stats();
+        assert_eq!(s.retries_denied, 2);
+        assert_eq!(s.breaker_fast_fails, 1);
+        assert_eq!(s.brownout_stale_serves, 5);
+        assert_eq!(s.shed_pushes, 3);
+        let m = s.merge(s);
+        assert_eq!(m.retries_denied, 4);
+        assert_eq!(m.breaker_fast_fails, 2);
+        assert_eq!(m.brownout_stale_serves, 10);
+        assert_eq!(m.shed_pushes, 6);
+        // Snapshots serialized before the overload counters existed must
+        // keep deserializing.
+        let legacy: FaultSnapshot = serde_json::from_str(
+            r#"{"drops":1,"retries":2,"retransmitted_bytes":3,"outage_refusals":0,
+                "slow_messages":0,"extra_latency_secs":0.0,"backoff_secs":0.0,
+                "degraded_hits":0,"deferred_pushes":0,"backlog_flushes":0}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy.overload_sheds, 0);
+        assert_eq!(legacy.retries_denied, 0);
+        assert_eq!(legacy.brownout_stale_serves, 0);
     }
 }

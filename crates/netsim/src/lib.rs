@@ -22,8 +22,8 @@ pub mod topology;
 
 pub use cost::CostModel;
 pub use faults::{
-    CrashPoint, FaultInjector, FaultPlan, FaultSnapshot, OutageWindow, ShardKill, ShardLiveness,
-    SlowEpisode, Verdict,
+    CrashPoint, FaultInjector, FaultPlan, FaultSnapshot, OutageWindow, OverloadWindow, ShardKill,
+    ShardLiveness, SlowEpisode, Verdict,
 };
 pub use frame::{WireFrame, FRAME_CHECKSUM_BYTES};
 pub use meter::{TrafficMeter, TrafficSnapshot};

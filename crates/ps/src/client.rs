@@ -37,6 +37,7 @@
 use crate::error::{RetryPolicy, RpcError};
 use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
+use crate::overload::{Gate, OverloadControl, ShardBreakers};
 use crate::router::BatchPlan;
 use hetkg_kgraph::ParamKey;
 use hetkg_netsim::{
@@ -166,6 +167,9 @@ pub struct PsClient {
     /// Adaptive hedged-pull threshold state (shared by clones so a worker
     /// rebuilt after a crash keeps its calibration).
     hedge: Arc<Mutex<HedgeState>>,
+    /// Run-global overload protection (retry budget + circuit breakers),
+    /// shared by every worker's client like `ShardLiveness`.
+    overload: Option<Arc<OverloadControl>>,
 }
 
 impl PsClient {
@@ -191,12 +195,23 @@ impl PsClient {
             faults: None,
             checksums: true,
             hedge: Arc::new(Mutex::new(HedgeState::default())),
+            overload: None,
         }
     }
 
     /// Attach a fault injector and retry policy to this client.
     pub fn with_faults(mut self, injector: Arc<FaultInjector>, policy: RetryPolicy) -> Self {
         self.faults = Some(FaultBinding { injector, policy });
+        self
+    }
+
+    /// Attach the run-global overload-protection bundle (retry budget and/or
+    /// per-shard circuit breakers). The bundle is shared across every
+    /// worker's client in a run so the budget is truly global and all
+    /// workers see the same breaker decisions. With no faults firing the
+    /// bundle only accumulates counters — a clean run stays bit-identical.
+    pub fn with_overload(mut self, control: Arc<OverloadControl>) -> Self {
+        self.overload = Some(control);
         self
     }
 
@@ -257,6 +272,32 @@ impl PsClient {
                 .injector
                 .shard_available(self.store.router().shard_of(key)),
         }
+    }
+
+    /// The attached overload-protection bundle, if any.
+    pub fn overload(&self) -> Option<&Arc<OverloadControl>> {
+        self.overload.as_ref()
+    }
+
+    /// The shared breaker table, when breakers are enabled.
+    fn breakers(&self) -> Option<&ShardBreakers> {
+        self.overload.as_ref().and_then(|c| c.breakers.as_ref())
+    }
+
+    /// Whether `shard`'s circuit breaker is tripped (Open or HalfOpen).
+    /// Always false without breakers attached.
+    #[inline]
+    pub fn breaker_tripped(&self, shard: usize) -> bool {
+        self.breakers().is_some_and(|b| b.tripped(shard))
+    }
+
+    /// Whether `key`'s home shard is worth talking to right now: reachable
+    /// *and* not behind a tripped breaker. This is the brownout predicate —
+    /// the HET-KG cache serves stale under it instead of piling load onto a
+    /// drowning shard.
+    #[inline]
+    pub fn shard_healthy(&self, key: ParamKey) -> bool {
+        self.shard_available(key) && !self.breaker_tripped(self.store.router().shard_of(key))
     }
 
     /// Pull one key (one message).
@@ -697,15 +738,91 @@ impl PsClient {
         };
         let mut attempts: u32 = 0;
         loop {
+            // Circuit-breaker gate. Open breakers fail fast: sheddable
+            // writes surface a typed `Overloaded` immediately (the caller
+            // defers the push — brownout), while required reads sleep out
+            // the cooldown in simulated time and become the HalfOpen probe.
+            // Neither path burns an attempt: nothing transited.
+            if let Some(br) = self.breakers() {
+                match br.allow(shard, f.injector.now()) {
+                    Gate::Allow | Gate::Probe => {}
+                    Gate::FastFail { until } => {
+                        f.injector.note_breaker_fast_fail();
+                        if !hedgeable {
+                            return Err(RpcError::Overloaded { shard, attempts });
+                        }
+                        let wait = (until - f.injector.now()).max(0.0);
+                        f.injector.note_backoff(wait);
+                        continue;
+                    }
+                }
+            }
             attempts += 1;
             let sent_at = f.injector.now();
             match f.injector.adjudicate(shard, remote, bytes) {
                 Verdict::Deliver => {
                     record(bytes);
+                    let elapsed = f.injector.now() - sent_at;
+                    if let Some(ctl) = &self.overload {
+                        if let Some(budget) = &ctl.budget {
+                            budget.earn();
+                        }
+                        if let Some(br) = &ctl.breakers {
+                            let base = if remote {
+                                f.injector.cost().remote_time(bytes, 1)
+                            } else {
+                                f.injector.cost().local_time(bytes, 1)
+                            };
+                            let ratio = if base > 0.0 { elapsed / base } else { 1.0 };
+                            br.on_success(shard, f.injector.now(), ratio);
+                        }
+                    }
                     if hedgeable && remote {
-                        self.maybe_hedge(f, shard, bytes, f.injector.now() - sent_at);
+                        self.maybe_hedge(f, shard, bytes, elapsed);
                     }
                     return Ok(());
+                }
+                Verdict::Overloaded { retry_at } => {
+                    // Shed at the shard's ingress queue: the message never
+                    // transited (the refusal's latency was charged during
+                    // adjudication), so nothing is metered here.
+                    if let Some(br) = self.breakers() {
+                        br.on_failure(shard, f.injector.now());
+                    }
+                    if attempts >= f.policy.max_attempts {
+                        return Err(RpcError::Overloaded { shard, attempts });
+                    }
+                    let relief = (retry_at - f.injector.now()).max(0.0);
+                    match self.overload.as_ref().and_then(|c| c.budget.as_ref()) {
+                        Some(budget) => {
+                            if budget.try_spend() {
+                                // Paid retry: wait for the queue to drain
+                                // one slot, then retransmit.
+                                f.injector.note_retry(bytes);
+                                f.injector.note_backoff(relief);
+                            } else if hedgeable {
+                                // Budget dry, but reads must complete: be
+                                // patient instead of pushy — same wait, no
+                                // retransmission pressure accounted.
+                                f.injector.note_retry_denied();
+                                f.injector.note_backoff(relief);
+                            } else {
+                                // Budget dry and the write is sheddable:
+                                // hand it back for the brownout backlog.
+                                f.injector.note_retry_denied();
+                                return Err(RpcError::Overloaded { shard, attempts });
+                            }
+                        }
+                        None => {
+                            // No budget: the classic retry storm. Eager,
+                            // jittered retransmissions hammer the shard
+                            // while it is still shedding — this is the
+                            // behavior the budget exists to prevent.
+                            f.injector.note_retry(bytes);
+                            f.injector
+                                .note_backoff(f.policy.backoff(attempts, f.injector.jitter()));
+                        }
+                    }
                 }
                 Verdict::Corrupt => {
                     // The damaged frame still transited the link.
@@ -1456,6 +1573,200 @@ mod tests {
             stats.hedged_pulls < stats.slow_messages,
             "the adaptive threshold re-calibrates and stops hedging"
         );
+    }
+
+    fn overload_plan(shard: usize, end: f64, capacity: u32) -> FaultPlan {
+        FaultPlan {
+            overloads: vec![hetkg_netsim::OverloadWindow {
+                shard,
+                start: 0.0,
+                end,
+                queue_capacity: capacity,
+                drain_rate: 1_000.0,
+                latency_per_inflight: 100e-6,
+            }],
+            ..FaultPlan::default()
+        }
+    }
+
+    use crate::overload::{BreakerConfig, OverloadControl, RetryBudgetConfig};
+
+    #[test]
+    fn overload_sheds_spend_the_retry_budget_and_still_deliver() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(overload_plan(1, 1.0, 2));
+        // A deliberately generous bucket: the point here is spend-and-
+        // deliver, not denial (the stingier default is exercised below).
+        let generous = RetryBudgetConfig {
+            initial_millitokens: 20_000,
+            earn_millitokens: 100,
+            cap_millitokens: 50_000,
+        };
+        let ctl = Arc::new(OverloadControl::from_configs(2, Some(generous), None).unwrap());
+        let client = PsClient::new(0, topo, store, meter)
+            .with_faults(inj.clone(), RetryPolicy::default())
+            .with_overload(ctl.clone());
+        let mut buf = [0.0f32; 4];
+        for _ in 0..20 {
+            client.try_pull(ParamKey(1), &mut buf).unwrap();
+        }
+        let s = inj.stats();
+        assert!(s.overload_sheds > 0, "the queue filled and shed");
+        assert!(
+            s.overload_throttled > 0,
+            "queued requests paid extra latency"
+        );
+        assert!(s.overload_extra_secs > 0.0);
+        let budget = ctl.budget.as_ref().unwrap();
+        assert!(budget.retries_spent() > 0, "sheds were retried on budget");
+        assert_eq!(s.retries_denied, 0, "a generous budget never runs dry here");
+    }
+
+    #[test]
+    fn dry_budget_sheds_pushes_and_waits_out_pulls() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        // Capacity 0: every in-window request to shard 1 is shed.
+        let inj = injector(overload_plan(1, 2e-3, 0));
+        let dry = RetryBudgetConfig {
+            initial_millitokens: 0,
+            earn_millitokens: 0,
+            cap_millitokens: 0,
+        };
+        let ctl = Arc::new(OverloadControl::from_configs(2, Some(dry), None).unwrap());
+        let client = PsClient::new(0, topo, store, meter)
+            .with_faults(inj.clone(), RetryPolicy::default())
+            .with_overload(ctl);
+        // Sheddable write, dry budget: typed error, immediately.
+        let err = client
+            .try_push(ParamKey(1), &[0.1; 4], &Sgd { lr: 0.1 })
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Overloaded { shard: 1, .. }));
+        // Required read, dry budget: waits for relief instead of erroring.
+        let mut buf = [0.0f32; 4];
+        client.try_pull(ParamKey(1), &mut buf).unwrap();
+        let s = inj.stats();
+        assert!(s.retries_denied >= 2, "both ops saw a dry budget");
+        assert_eq!(s.retries, 0, "nothing was retried on credit");
+        assert!(inj.now() >= 2e-3, "the pull slept past the overload window");
+    }
+
+    #[test]
+    fn breaker_cycles_open_halfopen_closed_and_fast_fails_writes() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let inj = injector(overload_plan(1, 1e-3, 0));
+        let breaker = BreakerConfig {
+            failure_threshold: 1,
+            cooldown_secs: 2e-3, // cooldown outlasts the overload window
+            latency_ratio: 3.0,
+        };
+        let ctl = Arc::new(OverloadControl::from_configs(2, None, Some(breaker)).unwrap());
+        let client = PsClient::new(0, topo, store, meter)
+            .with_faults(inj.clone(), RetryPolicy::default())
+            .with_overload(ctl.clone());
+        // First push: shed at the queue, which trips the breaker; the next
+        // gate check fails fast with the typed error.
+        let err = client
+            .try_push(ParamKey(1), &[0.1; 4], &Sgd { lr: 0.1 })
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Overloaded { shard: 1, .. }));
+        assert!(client.breaker_tripped(1));
+        assert!(!client.shard_healthy(ParamKey(1)));
+        assert!(client.shard_healthy(ParamKey(0)), "shard 0 unaffected");
+        // Second push hits the open breaker without even reaching the queue.
+        let before = inj.stats().overload_sheds;
+        let err = client
+            .try_push(ParamKey(1), &[0.1; 4], &Sgd { lr: 0.1 })
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Overloaded { shard: 1, .. }));
+        assert_eq!(inj.stats().overload_sheds, before, "fast fail sent nothing");
+        assert!(inj.stats().breaker_fast_fails > 0);
+        // A required pull sleeps out the cooldown, probes, and closes the
+        // breaker (the window has ended by then).
+        let mut buf = [0.0f32; 4];
+        client.try_pull(ParamKey(1), &mut buf).unwrap();
+        let br = ctl.breakers.as_ref().unwrap();
+        assert!(br.opens() >= 1, "Closed -> Open happened");
+        assert_eq!(br.half_opens(), 1, "Open -> HalfOpen probe");
+        assert_eq!(br.closes(), 1, "HalfOpen -> Closed on probe success");
+        assert!(!client.breaker_tripped(1));
+        assert!(br.brownout_secs() > 0.0);
+    }
+
+    #[test]
+    fn retry_budget_cuts_retransmitted_bytes_versus_the_storm() {
+        let run = |budget: Option<RetryBudgetConfig>| {
+            let (store, topo) = setup(2);
+            let meter = Arc::new(TrafficMeter::new());
+            let inj = injector(overload_plan(1, 10e-3, 2));
+            let mut client = PsClient::new(0, topo, store, meter)
+                .with_faults(inj.clone(), RetryPolicy::default());
+            if let Some(cfg) = budget {
+                let ctl = Arc::new(OverloadControl::from_configs(2, Some(cfg), None).unwrap());
+                client = client.with_overload(ctl);
+            }
+            let mut buf = [0.0f32; 4];
+            for _ in 0..30 {
+                client.try_pull(ParamKey(1), &mut buf).unwrap();
+            }
+            inj.stats()
+        };
+        // A small budget: a few paid retries, then patience.
+        let tight = RetryBudgetConfig {
+            initial_millitokens: 3_000,
+            earn_millitokens: 0,
+            cap_millitokens: 3_000,
+        };
+        let with_budget = run(Some(tight));
+        let storm = run(None);
+        assert!(storm.overload_sheds > 0);
+        assert!(with_budget.overload_sheds > 0);
+        assert!(
+            with_budget.retransmitted_bytes < storm.retransmitted_bytes,
+            "budget {} vs storm {}",
+            with_budget.retransmitted_bytes,
+            storm.retransmitted_bytes
+        );
+        assert!(with_budget.retries_denied > 0, "the tight budget ran dry");
+    }
+
+    #[test]
+    fn clean_run_with_overload_control_is_bit_identical() {
+        let run = |protected: bool| {
+            let (store, topo) = setup(2);
+            let meter = Arc::new(TrafficMeter::new());
+            let inj = injector(FaultPlan::default());
+            let mut client = PsClient::new(0, topo, store.clone(), meter.clone())
+                .with_faults(inj.clone(), RetryPolicy::default());
+            if protected {
+                let ctl = Arc::new(
+                    OverloadControl::from_configs(
+                        2,
+                        Some(RetryBudgetConfig::default()),
+                        Some(BreakerConfig::default()),
+                    )
+                    .unwrap(),
+                );
+                client = client.with_overload(ctl);
+            }
+            let keys: Vec<ParamKey> = (0..8).map(ParamKey).collect();
+            let g = [0.1f32; 4];
+            let grads: Vec<&[f32]> = keys.iter().map(|_| &g[..]).collect();
+            let mut buf = [0.0f32; 4];
+            for _ in 0..10 {
+                client.pull_batch(&keys, |_, _| {});
+                client.try_pull(ParamKey(1), &mut buf).unwrap();
+                client.push_batch(&keys, &grads, &Sgd { lr: 0.1 });
+            }
+            let mut rows = Vec::new();
+            store.for_each_row(|k, row| {
+                rows.push((k, row.iter().map(|v| v.to_bits()).collect::<Vec<_>>()))
+            });
+            (meter.snapshot(), inj.stats(), inj.now(), rows)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub enum RpcError {
         /// The shard whose primary died beyond recovery.
         shard: usize,
     },
+    /// The target shard is overloaded and the run-global retry budget (or
+    /// the shard's circuit breaker) refused to keep retrying. The operation
+    /// was shed so the caller can degrade — brownout-stale serves for
+    /// pulls, the deferred-push backlog for pushes — instead of adding
+    /// retry load to a drowning shard.
+    Overloaded {
+        /// The saturated shard.
+        shard: usize,
+        /// Send attempts made before the budget/breaker cut the loop.
+        attempts: u32,
+    },
     /// The async push server's consumer thread is gone.
     ServerGone,
 }
@@ -55,6 +66,12 @@ impl fmt::Display for RpcError {
             }
             RpcError::ShardLost { shard } => {
                 write!(f, "shard {shard} lost: primary dead, no backup to promote")
+            }
+            RpcError::Overloaded { shard, attempts } => {
+                write!(
+                    f,
+                    "shard {shard} overloaded after {attempts} attempts: retry budget dry, degrade instead"
+                )
             }
             RpcError::ServerGone => write!(f, "ps server thread is gone"),
         }
@@ -120,9 +137,26 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// Backoff before retry number `attempt` (1-based), using a uniform
     /// `[0, 1)` `jitter_draw` from the worker's seeded RNG stream.
+    ///
+    /// The doubling exponent is clamped (so huge attempt counts cannot
+    /// overflow to `inf`) and the result is capped at the configurable
+    /// `max_backoff` ceiling *after* jitter as well: even a pathological
+    /// policy (`base_backoff = f64::MAX`) yields a finite, bounded wait.
+    /// For every sane policy (`jitter <= 1`) the post-jitter cap is
+    /// mathematically inactive — jitter scales by at most `1 + jitter/2`,
+    /// and the cap sits at `max_backoff * (1 + jitter)` — so existing
+    /// deterministic backoff timings are preserved bit for bit.
     pub fn backoff(&self, attempt: u32, jitter_draw: f64) -> f64 {
         let exp = self.base_backoff * 2f64.powi(attempt.saturating_sub(1).min(30) as i32);
-        exp.min(self.max_backoff) * (1.0 + self.jitter * (jitter_draw - 0.5))
+        let jittered = exp.min(self.max_backoff) * (1.0 + self.jitter * (jitter_draw - 0.5));
+        let ceiling = self.max_backoff * (1.0 + self.jitter.abs());
+        if jittered.is_finite() && ceiling.is_finite() {
+            jittered.min(ceiling)
+        } else {
+            // Non-finite intermediate (overflowing base/max/jitter): fall
+            // back to the largest finite expressible ceiling.
+            self.max_backoff.min(f64::MAX)
+        }
     }
 }
 
@@ -194,5 +228,43 @@ mod tests {
         let b = p.backoff(u32::MAX, 0.5);
         assert!(b.is_finite());
         assert!((b - p.max_backoff).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathological_policies_stay_finite() {
+        // An overflowing base cannot escape the configurable ceiling…
+        let p = RetryPolicy {
+            base_backoff: f64::MAX,
+            max_backoff: 10e-3,
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        for attempt in [1, 2, 31, 1_000, u32::MAX] {
+            for draw in [0.0, 0.5, 0.999_999] {
+                let b = p.backoff(attempt, draw);
+                assert!(b.is_finite(), "attempt {attempt}, draw {draw}: {b}");
+                assert!(b <= p.max_backoff * 1.5 + 1e-12);
+            }
+        }
+        // …and even an overflowing ceiling degrades to a finite wait.
+        let p = RetryPolicy {
+            base_backoff: f64::MAX,
+            max_backoff: f64::MAX,
+            jitter: 1.0,
+            ..RetryPolicy::default()
+        };
+        assert!(p.backoff(u32::MAX, 0.999).is_finite());
+    }
+
+    #[test]
+    fn overloaded_error_formats_actionably() {
+        assert_eq!(
+            RpcError::Overloaded {
+                shard: 1,
+                attempts: 4
+            }
+            .to_string(),
+            "shard 1 overloaded after 4 attempts: retry budget dry, degrade instead"
+        );
     }
 }

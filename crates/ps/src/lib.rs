@@ -12,7 +12,10 @@
 //! * [`queue::AsyncServer`] — Algorithm 4's message queue: a consumer
 //!   thread applying fire-and-forget gradient pushes;
 //! * [`error`] — typed RPC failures ([`RpcError`], [`ServerGone`]) and the
-//!   [`RetryPolicy`] used when a fault injector is attached to the client.
+//!   [`RetryPolicy`] used when a fault injector is attached to the client;
+//! * [`overload`] — overload protection: a run-global [`RetryBudget`] and
+//!   per-shard circuit [`ShardBreakers`], shared by workers via
+//!   [`OverloadControl`] so retries stop amplifying a flash crowd.
 
 //!
 //! # Example: a two-shard store with metered pulls
@@ -45,6 +48,7 @@ pub mod client;
 pub mod error;
 pub mod kvstore;
 pub mod optimizer;
+pub mod overload;
 pub mod queue;
 pub mod router;
 
@@ -52,5 +56,8 @@ pub use client::{FaultBinding, PsClient, PsScratch};
 pub use error::{RetryPolicy, RpcError, ServerGone};
 pub use kvstore::{KvStore, ReplicationFlush};
 pub use optimizer::{AdaGrad, Optimizer, Sgd};
+pub use overload::{
+    BreakerConfig, Gate, OverloadControl, RetryBudget, RetryBudgetConfig, ShardBreakers,
+};
 pub use queue::AsyncServer;
 pub use router::{BatchPlan, ShardRouter};

@@ -22,8 +22,12 @@ use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use hetkg_kgraph::ParamKey;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Default channel capacity for servers spawned without an explicit depth.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
 
 /// One gradient push in flight.
 #[derive(Debug)]
@@ -55,15 +59,29 @@ enum Command {
 pub struct AsyncServer {
     tx: Option<Sender<Command>>,
     handle: Option<JoinHandle<u64>>,
+    capacity: usize,
+    /// Pushes accepted but not yet applied (the queue's occupancy).
+    depth: Arc<AtomicUsize>,
+    /// Largest occupancy ever observed — the overload signal: a high
+    /// watermark near capacity means producers were blocking on
+    /// backpressure rather than the queue merely buffering bursts.
+    high_watermark: Arc<AtomicUsize>,
 }
 
 impl AsyncServer {
+    /// Spawn with the default channel capacity ([`DEFAULT_QUEUE_DEPTH`]).
+    pub fn spawn_default(store: Arc<KvStore>, optimizer: Arc<dyn Optimizer>) -> Self {
+        Self::spawn(store, optimizer, DEFAULT_QUEUE_DEPTH)
+    }
+
     /// Spawn the consumer thread. `queue_depth` bounds the channel
     /// (backpressure: producers block when the server falls behind, like a
     /// real bounded message queue).
     pub fn spawn(store: Arc<KvStore>, optimizer: Arc<dyn Optimizer>, queue_depth: usize) -> Self {
         assert!(queue_depth > 0, "queue depth must be positive");
         let (tx, rx): (Sender<Command>, Receiver<Command>) = bounded(queue_depth);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let consumer_depth = Arc::clone(&depth);
         let handle = std::thread::Builder::new()
             .name("hetkg-ps-server".into())
             .spawn(move || {
@@ -75,6 +93,7 @@ impl AsyncServer {
                     match cmd {
                         Command::Push(msg) => {
                             store.push_grad(msg.key, &msg.grad, optimizer.as_ref());
+                            consumer_depth.fetch_sub(1, Ordering::AcqRel);
                             applied += 1;
                         }
                         Command::Flush(reply) => {
@@ -92,7 +111,28 @@ impl AsyncServer {
         Self {
             tx: Some(tx),
             handle: Some(handle),
+            capacity: queue_depth,
+            depth,
+            high_watermark: Arc::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// The channel capacity this server was spawned with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes currently accepted but not yet applied.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// The deepest the queue has ever been. Compared against
+    /// [`AsyncServer::capacity`] this is the queue's contribution to the
+    /// overload signal: a watermark at capacity means producers hit
+    /// backpressure.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark.load(Ordering::Acquire)
     }
 
     fn sender(&self) -> &Sender<Command> {
@@ -104,9 +144,17 @@ impl AsyncServer {
     /// Enqueue a gradient push (blocks only when the queue is full).
     /// Fails if the consumer thread has died.
     pub fn push(&self, key: ParamKey, grad: Vec<f32>) -> Result<(), ServerGone> {
+        // Count the push before it enters the channel so depth() never
+        // under-reports while a send is blocked on backpressure — that
+        // blocked state is exactly what the watermark must capture.
+        let occupied = self.depth.fetch_add(1, Ordering::AcqRel) + 1;
+        self.high_watermark.fetch_max(occupied, Ordering::AcqRel);
         self.sender()
             .send(Command::Push(PushMessage { key, grad }))
-            .map_err(|_| ServerGone)
+            .map_err(|_| {
+                self.depth.fetch_sub(1, Ordering::AcqRel);
+                ServerGone
+            })
     }
 
     /// Wait until every previously enqueued push has been applied — the
@@ -306,6 +354,32 @@ mod tests {
         }
         server.flush().unwrap();
         assert_eq!(server.shutdown().unwrap(), 7);
+    }
+
+    #[test]
+    fn depth_and_high_watermark_track_queue_occupancy() {
+        let store = store();
+        let server = AsyncServer::spawn(store, Arc::new(Sgd { lr: 1.0 }), 64);
+        assert_eq!(server.capacity(), 64);
+        assert_eq!(server.depth(), 0);
+        assert_eq!(server.high_watermark(), 0);
+        for _ in 0..10 {
+            server.push(ParamKey(0), vec![-1.0; 4]).unwrap();
+        }
+        server.flush().unwrap();
+        // Drained after the barrier, but the watermark remembers the burst.
+        // The consumer races the producer, so the exact peak is timing-
+        // dependent; it is always >= 1 and never exceeds what was pushed.
+        assert_eq!(server.depth(), 0);
+        let peak = server.high_watermark();
+        assert!((1..=10).contains(&peak), "peak {peak}");
+    }
+
+    #[test]
+    fn spawn_default_uses_the_default_capacity() {
+        let store = store();
+        let server = AsyncServer::spawn_default(store, Arc::new(Sgd { lr: 1.0 }));
+        assert_eq!(server.capacity(), DEFAULT_QUEUE_DEPTH);
     }
 
     #[test]

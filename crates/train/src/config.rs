@@ -10,6 +10,7 @@ use hetkg_embed::negative::NegConfig;
 use hetkg_embed::ModelKind;
 use hetkg_netsim::{ClusterTopology, CostModel, FaultPlan};
 use hetkg_ps::optimizer::OptimizerKind;
+use hetkg_ps::{BreakerConfig, RetryBudgetConfig};
 use serde::{Deserialize, Serialize};
 
 /// Which training system to run (the paper's comparison grid).
@@ -187,6 +188,15 @@ pub struct TrainConfig {
     /// Clamped to the machine count.
     #[serde(default = "default_replication")]
     pub replication: usize,
+    /// Run-global retry budget (token bucket shared by every worker's PS
+    /// client). `None` (the default) keeps the unbudgeted per-message
+    /// retry policy — bit-identical to pre-overload behavior.
+    #[serde(default)]
+    pub retry_budget: Option<RetryBudgetConfig>,
+    /// Per-shard circuit breakers (Closed→Open→HalfOpen) on the PS
+    /// clients. `None` (the default) disables breakers entirely.
+    #[serde(default)]
+    pub breaker: Option<BreakerConfig>,
 }
 
 fn default_integrity() -> bool {
@@ -228,6 +238,8 @@ impl TrainConfig {
             supervisor: SupervisorConfig::default(),
             overlap: true,
             replication: 1,
+            retry_budget: None,
+            breaker: None,
         }
     }
 
@@ -258,6 +270,8 @@ impl TrainConfig {
             supervisor: SupervisorConfig::default(),
             overlap: true,
             replication: 1,
+            retry_budget: None,
+            breaker: None,
         }
     }
 
@@ -328,6 +342,8 @@ mod tests {
         obj.remove("supervisor");
         obj.remove("overlap");
         obj.remove("replication");
+        obj.remove("retry_budget");
+        obj.remove("breaker");
         obj.get_mut("cache")
             .unwrap()
             .as_object_mut()
@@ -342,5 +358,7 @@ mod tests {
         assert_eq!(back.supervisor, SupervisorConfig::default());
         assert!(back.overlap, "pipelining defaults on");
         assert_eq!(back.replication, 1, "replication defaults off");
+        assert!(back.retry_budget.is_none(), "retry budget defaults off");
+        assert!(back.breaker.is_none(), "breakers default off");
     }
 }

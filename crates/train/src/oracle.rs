@@ -92,10 +92,14 @@ impl OracleReport {
 /// shifts every later fault draw on that worker's timeline, so the faulty
 /// run's update *schedule* (and with it cache sync points) can differ from
 /// the reference — the staleness envelope is the right check.
+/// Overload windows likewise perturb values: the brownout serves stale
+/// hits past `P` (up to the staleness cap) and sheds or defers pushes, so
+/// the envelope — not bit-exactness — is the contract.
 pub fn value_preserving(plan: &FaultPlan, integrity: bool) -> bool {
     plan.outages.is_empty()
         && plan.crash_epochs().is_empty()
         && plan.kills.is_empty()
+        && plan.overloads.is_empty()
         && (integrity || plan.corrupt_probability == 0.0)
 }
 

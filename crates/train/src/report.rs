@@ -145,6 +145,41 @@ pub struct FaultReport {
     /// Hedged pulls where the primary still won.
     #[serde(default)]
     pub hedged_losses: u64,
+    /// Requests shed at an overloaded shard's ingress queue.
+    #[serde(default)]
+    pub overload_sheds: u64,
+    /// Requests that queued behind a flash crowd and paid extra latency.
+    #[serde(default)]
+    pub overload_throttled: u64,
+    /// Extra simulated seconds of queueing latency under overload.
+    #[serde(default)]
+    pub overload_extra_secs: f64,
+    /// Retries refused because the run-global retry budget was dry.
+    #[serde(default)]
+    pub retries_denied: u64,
+    /// Requests failed fast at an open circuit breaker (never sent).
+    #[serde(default)]
+    pub breaker_fast_fails: u64,
+    /// HET-KG cache hits served stale because the home shard's breaker was
+    /// tripped (brownout; outage-driven stale serves are `degraded_hits`).
+    #[serde(default)]
+    pub brownout_stale_serves: u64,
+    /// Deferred pushes dropped because a brownout backlog hit its cap.
+    #[serde(default)]
+    pub shed_pushes: u64,
+    /// Circuit-breaker Closed→Open transitions (run-global).
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Circuit-breaker Open→HalfOpen probe transitions (run-global).
+    #[serde(default)]
+    pub breaker_half_opens: u64,
+    /// Circuit-breaker HalfOpen→Closed recoveries (run-global).
+    #[serde(default)]
+    pub breaker_closes: u64,
+    /// Total simulated seconds shards spent behind a tripped breaker, over
+    /// closed brownout episodes (run-global).
+    #[serde(default)]
+    pub brownout_secs: f64,
 }
 
 impl FaultReport {
@@ -169,6 +204,13 @@ impl FaultReport {
         self.hedged_pulls += s.hedged_pulls;
         self.hedged_wins += s.hedged_wins;
         self.hedged_losses += s.hedged_losses;
+        self.overload_sheds += s.overload_sheds;
+        self.overload_throttled += s.overload_throttled;
+        self.overload_extra_secs += s.overload_extra_secs;
+        self.retries_denied += s.retries_denied;
+        self.breaker_fast_fails += s.breaker_fast_fails;
+        self.brownout_stale_serves += s.brownout_stale_serves;
+        self.shed_pushes += s.shed_pushes;
     }
 
     /// Whether any fault or countermeasure fired at all.
@@ -386,6 +428,13 @@ mod tests {
             hedged_pulls: 7,
             hedged_wins: 5,
             hedged_losses: 2,
+            overload_sheds: 9,
+            overload_throttled: 11,
+            overload_extra_secs: 0.25,
+            retries_denied: 4,
+            breaker_fast_fails: 3,
+            brownout_stale_serves: 8,
+            shed_pushes: 2,
             ..Default::default()
         });
         fr.recoveries = 1;
@@ -402,7 +451,51 @@ mod tests {
         assert_eq!(fr.hedged_pulls, 7);
         assert_eq!(fr.hedged_wins, 5);
         assert_eq!(fr.hedged_losses, 2);
+        assert_eq!(fr.overload_sheds, 9);
+        assert_eq!(fr.overload_throttled, 11);
+        assert_eq!(fr.overload_extra_secs, 0.25);
+        assert_eq!(fr.retries_denied, 4);
+        assert_eq!(fr.breaker_fast_fails, 3);
+        assert_eq!(fr.brownout_stale_serves, 8);
+        assert_eq!(fr.shed_pushes, 2);
+        assert_eq!(fr.breaker_opens, 0, "run-global, set by the trainer");
         assert!(!fr.is_quiet());
+    }
+
+    #[test]
+    fn pre_overload_report_json_still_loads() {
+        let r = TrainReport {
+            epochs: vec![epoch(1.0, 2.0, None)],
+            faults: Some(FaultReport {
+                drops: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut v = serde_json::to_value(&r).unwrap();
+        let f = v["faults"].as_object_mut().unwrap();
+        for field in [
+            "overload_sheds",
+            "overload_throttled",
+            "overload_extra_secs",
+            "retries_denied",
+            "breaker_fast_fails",
+            "brownout_stale_serves",
+            "shed_pushes",
+            "breaker_opens",
+            "breaker_half_opens",
+            "breaker_closes",
+            "brownout_secs",
+        ] {
+            assert!(f.remove(field).is_some(), "{field} serialized");
+        }
+        let back: TrainReport = serde_json::from_value(v).unwrap();
+        let bf = back.faults.unwrap();
+        assert_eq!(bf.drops, 2);
+        assert_eq!(bf.overload_sheds, 0);
+        assert_eq!(bf.retries_denied, 0);
+        assert_eq!(bf.breaker_opens, 0);
+        assert_eq!(bf.brownout_secs, 0.0);
     }
 
     #[test]

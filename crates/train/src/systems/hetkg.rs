@@ -17,9 +17,15 @@
 //! buffer: while a PS shard is down, cached keys homed there keep serving
 //! (stale) hits past the sync bound `P` up to a hard staleness cap, and
 //! their gradient pushes are deferred into a local backlog that is replayed
-//! once the shard recovers. Without faults — or with an all-zero fault
-//! plan — every key is always "available" and the data path is identical
-//! to the healthy one.
+//! once the shard recovers. With overload protection attached
+//! ([`hetkg_ps::OverloadControl`]) the same machinery doubles as a
+//! *brownout*: a shard whose circuit breaker is open is treated like a
+//! down shard — cached keys serve stale (counted separately as brownout
+//! stale serves), pushes defer into the backlog — and pushes the budget
+//! refuses to retry fold into the backlog instead of spinning. The
+//! backlog is bounded; gradients past the bound are shed (and counted).
+//! Without faults — or with an all-zero fault plan — every key is always
+//! "available" and the data path is identical to the healthy one.
 //!
 //! With overlap accounting on (`WorkerCtx::overlap`), the loop is a
 //! two-stage software pipeline: while iteration `i` computes, iteration
@@ -52,6 +58,7 @@ use hetkg_core::sync::{StalenessTracker, SyncConfig};
 use hetkg_core::table::HotEmbeddingTable;
 use hetkg_embed::negative::NegativeSampler;
 use hetkg_kgraph::ParamKey;
+use hetkg_ps::RpcError;
 use std::collections::{HashMap, VecDeque};
 
 /// Per-worker HET-KG training state (CPS or DPS, by the policy's kind).
@@ -120,6 +127,11 @@ pub struct HetKgWorker {
     /// everything anyway, waiting the outage out in simulated time rather
     /// than drifting further.
     staleness_cap: usize,
+    /// Degraded mode: hard bound on distinct keys the backlog may hold.
+    /// Gradients arriving once the backlog is full are shed (dropped and
+    /// counted) rather than growing memory without bound under a long
+    /// brownout.
+    backlog_cap: usize,
     /// Cross-step state for the epoch in progress.
     run: EpochRun,
     /// Cache stats at epoch start (the epoch report is the delta).
@@ -182,6 +194,7 @@ impl HetKgWorker {
             cur_keys: Vec::new(),
             backlog: HashMap::new(),
             staleness_cap: 64,
+            backlog_cap: 4096,
             run: EpochRun::default(),
             epoch_start_cache: CacheStats::new(),
         }
@@ -192,6 +205,13 @@ impl HetKgWorker {
     /// fault injection is attached to the PS client.
     pub fn with_staleness_cap(mut self, cap: usize) -> Self {
         self.staleness_cap = cap.max(1);
+        self
+    }
+
+    /// Override the deferred-push backlog bound (distinct keys). Only
+    /// relevant when fault injection is attached to the PS client.
+    pub fn with_backlog_cap(mut self, cap: usize) -> Self {
+        self.backlog_cap = cap.max(1);
         self
     }
 
@@ -275,10 +295,34 @@ impl HetKgWorker {
         }
     }
 
-    /// Replay backlogged gradient pushes whose home shard has recovered.
-    /// No-op on the healthy path (backlog empty) and while the shards are
-    /// still down. Keys are flushed in sorted order so the replay is
-    /// deterministic regardless of `HashMap` iteration order.
+    /// Fold one gradient into the deferred backlog. Existing entries
+    /// accumulate regardless of the bound; a *new* key is admitted only
+    /// while the backlog holds fewer than `cap` keys. Returns `true` when
+    /// the gradient was kept, `false` when it was shed.
+    fn defer_into(
+        backlog: &mut HashMap<ParamKey, Vec<f32>>,
+        cap: usize,
+        k: ParamKey,
+        g: &[f32],
+    ) -> bool {
+        if let Some(acc) = backlog.get_mut(&k) {
+            for (a, b) in acc.iter_mut().zip(g) {
+                *a += b;
+            }
+            true
+        } else if backlog.len() >= cap {
+            false
+        } else {
+            backlog.insert(k, g.to_vec());
+            true
+        }
+    }
+
+    /// Replay backlogged gradient pushes whose home shard has recovered —
+    /// reachable *and* not behind a tripped breaker. No-op on the healthy
+    /// path (backlog empty) and while the shards are still down or browning
+    /// out. Keys are flushed in sorted order so the replay is deterministic
+    /// regardless of `HashMap` iteration order.
     fn flush_backlog_if_ready(&mut self) {
         if self.backlog.is_empty() {
             return;
@@ -287,7 +331,7 @@ impl HetKgWorker {
             .backlog
             .keys()
             .copied()
-            .filter(|&k| self.ctx.client.shard_available(k))
+            .filter(|&k| self.ctx.client.shard_healthy(k))
             .collect();
         if ready.is_empty() {
             return;
@@ -298,60 +342,95 @@ impl HetKgWorker {
             .map(|k| self.backlog.remove(k).expect("key was just listed"))
             .collect();
         let grad_refs: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
-        self.ctx.client.push_batch_with(
+        match self.ctx.client.try_push_batch_with(
             &ready,
             &grad_refs,
             self.ctx.optimizer.as_ref(),
             &mut self.ctx.ps,
-        );
-        if let Some(f) = self.ctx.client.faults() {
-            f.injector.note_backlog_flush();
+        ) {
+            Ok(()) => {
+                if let Some(f) = self.ctx.client.faults() {
+                    f.injector.note_backlog_flush();
+                }
+            }
+            Err(RpcError::Overloaded { .. }) => {
+                // The replay raced a fresh overload verdict (budget dry or
+                // breaker re-tripped mid-flush): put the gradients back and
+                // retry next iteration. Re-insertion cannot overflow the
+                // bound — these keys held slots moments ago.
+                for (k, g) in ready.into_iter().zip(grads) {
+                    self.backlog.insert(k, g);
+                }
+            }
+            Err(other) => panic!("backlog replay failed after retries: {other}"),
         }
     }
 
-    /// Push accumulated gradients, deferring those homed on a down shard
-    /// into the local backlog (summed per key) instead of blocking the
-    /// iteration on the outage. With every shard up this sends exactly the
-    /// batch [`WorkerCtx::push_grads`] would.
+    /// Push accumulated gradients, deferring those homed on a down or
+    /// browning-out shard into the local backlog (summed per key) instead
+    /// of blocking the iteration. A push the overload machinery refuses —
+    /// retry budget dry, breaker tripped mid-flight — folds into the
+    /// backlog the same way. With every shard up (and no breaker open)
+    /// this sends exactly the batch [`WorkerCtx::push_grads`] would.
     fn push_grads_degraded(&mut self) {
         let mut deferred = 0u64;
+        let mut shed = 0u64;
         let mut up_keys = std::mem::take(&mut self.up_keys);
         self.ctx.grads.keys_into(&mut up_keys);
         {
             let client = &self.ctx.client;
             let grads = &self.ctx.grads;
             let backlog = &mut self.backlog;
+            let cap = self.backlog_cap;
             up_keys.retain(|&k| {
-                if client.shard_available(k) {
+                if client.shard_healthy(k) {
                     return true;
                 }
-                let g = grads.row(k);
-                match backlog.entry(k) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        for (a, b) in e.get_mut().iter_mut().zip(g) {
-                            *a += b;
-                        }
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(g.to_vec());
-                    }
+                if Self::defer_into(backlog, cap, k, grads.row(k)) {
+                    deferred += 1;
+                } else {
+                    shed += 1;
                 }
-                deferred += 1;
                 false
             });
         }
-        {
+        let pushed = {
             let grads = &self.ctx.grads;
-            self.ctx.client.push_batch_rows(
+            self.ctx.client.try_push_batch_rows(
                 &up_keys,
                 |i| grads.row(up_keys[i]),
                 self.ctx.optimizer.as_ref(),
                 &mut self.ctx.ps,
-            );
+            )
+        };
+        match pushed {
+            Ok(()) => {}
+            Err(RpcError::Overloaded { .. }) => {
+                // The shard is drowning and the retry budget refused the
+                // push: brown out instead of insisting. The whole batch
+                // folds into the backlog and replays once the breaker
+                // closes or the flash crowd passes.
+                let grads = &self.ctx.grads;
+                let backlog = &mut self.backlog;
+                let cap = self.backlog_cap;
+                for &k in &up_keys {
+                    if Self::defer_into(backlog, cap, k, grads.row(k)) {
+                        deferred += 1;
+                    } else {
+                        shed += 1;
+                    }
+                }
+            }
+            Err(other) => panic!("ps push_batch failed after retries: {other}"),
         }
-        if deferred > 0 {
+        if deferred > 0 || shed > 0 {
             if let Some(f) = self.ctx.client.faults() {
-                f.injector.note_deferred_pushes(deferred);
+                if deferred > 0 {
+                    f.injector.note_deferred_pushes(deferred);
+                }
+                if shed > 0 {
+                    f.injector.note_shed_pushes(shed);
+                }
             }
         }
         self.ctx.grads.clear();
@@ -419,24 +498,37 @@ impl HetKgWorker {
         self.ctx.ws.clear();
         self.miss_keys.clear();
         let mut degraded_uses = 0u64;
+        let mut brownout_uses = 0u64;
         for &k in &keys {
             let uses = self.usage.get(&k).copied().unwrap_or(1);
             if let Some(row) = self.table.get(k) {
                 self.ctx.ws.insert(k, row);
                 self.cache_stats.hits += uses;
-                if degraded && !self.ctx.client.shard_available(k) {
-                    // Served stale from the cache while the home shard is
-                    // down — the hit the baselines don't have.
-                    degraded_uses += uses;
+                if degraded {
+                    if !self.ctx.client.shard_available(k) {
+                        // Served stale from the cache while the home shard
+                        // is down — the hit the baselines don't have.
+                        degraded_uses += uses;
+                    } else if self.ctx.client.breaker_tripped(self.ctx.client.shard_of(k)) {
+                        // Served stale because the home shard's breaker is
+                        // open: the brownout hit, counted separately from
+                        // outage hits.
+                        brownout_uses += uses;
+                    }
                 }
             } else {
                 self.miss_keys.push(k);
                 self.cache_stats.misses += uses;
             }
         }
-        if degraded_uses > 0 {
+        if degraded_uses > 0 || brownout_uses > 0 {
             if let Some(f) = self.ctx.client.faults() {
-                f.injector.note_degraded_hits(degraded_uses);
+                if degraded_uses > 0 {
+                    f.injector.note_degraded_hits(degraded_uses);
+                }
+                if brownout_uses > 0 {
+                    f.injector.note_brownout_stale_serves(brownout_uses);
+                }
             }
         }
         let misses = std::mem::take(&mut self.miss_keys);
@@ -449,15 +541,17 @@ impl HetKgWorker {
             // one sync period stale, which is exactly the bounded-staleness
             // contract.
             let mut refresh = self.table.keys();
-            // Degraded sync: skip cached keys whose home shard is down and
-            // keep serving them stale, unless staleness has hit the hard
-            // cap — then refresh everything and let the client wait the
-            // outage out in simulated time. A partial refresh does not
-            // count as a sync, so staleness keeps accruing toward the cap.
+            // Degraded sync: skip cached keys whose home shard is down or
+            // behind an open breaker and keep serving them stale — the
+            // brownout widens effective staleness past `P` — unless
+            // staleness has hit the hard cap; then refresh everything and
+            // let the client wait the outage (or probe the breaker) in
+            // simulated time. A partial refresh does not count as a sync,
+            // so staleness keeps accruing toward the cap.
             let mut partial = false;
             if degraded && staleness_now < self.staleness_cap {
                 let before = refresh.len();
-                refresh.retain(|&k| self.ctx.client.shard_available(k));
+                refresh.retain(|&k| self.ctx.client.shard_healthy(k));
                 partial = refresh.len() < before;
             }
             let mut combined = misses.clone();
@@ -759,13 +853,17 @@ mod tests {
     use hetkg_embed::negative::{NegConfig, NegStrategy};
     use hetkg_embed::ModelKind;
     use hetkg_kgraph::generator::SyntheticKg;
-    use hetkg_netsim::{ClusterTopology, CostModel, FaultInjector, FaultPlan, TrafficMeter};
+    use hetkg_netsim::{
+        ClusterTopology, CostModel, FaultInjector, FaultPlan, OverloadWindow, TrafficMeter,
+    };
     use hetkg_ps::optimizer::AdaGrad;
-    use hetkg_ps::{KvStore, PsClient, RetryPolicy, ShardRouter};
+    use hetkg_ps::{
+        BreakerConfig, KvStore, OverloadControl, PsClient, RetryPolicy, ShardBreakers, ShardRouter,
+    };
     use std::sync::Arc;
 
     fn build(policy_kind: PolicyKind, capacity: usize) -> HetKgWorker {
-        build_inner(policy_kind, capacity, None)
+        build_inner(policy_kind, capacity, None, None)
     }
 
     fn build_with_faults(
@@ -774,13 +872,14 @@ mod tests {
         plan: FaultPlan,
         cost: CostModel,
     ) -> HetKgWorker {
-        build_inner(policy_kind, capacity, Some((plan, cost)))
+        build_inner(policy_kind, capacity, Some((plan, cost)), None)
     }
 
     fn build_inner(
         policy_kind: PolicyKind,
         capacity: usize,
         faults: Option<(FaultPlan, CostModel)>,
+        overload: Option<Arc<OverloadControl>>,
     ) -> HetKgWorker {
         let g = SyntheticKg {
             num_entities: 80,
@@ -806,6 +905,9 @@ mod tests {
                 Arc::new(FaultInjector::new(plan, cost, 0)),
                 RetryPolicy::default(),
             );
+        }
+        if let Some(ctl) = overload {
+            client = client.with_overload(ctl);
         }
         let ctx = WorkerCtx::new(
             0,
@@ -1056,6 +1158,92 @@ mod tests {
             "backlog must drain once the shard is back"
         );
         assert_eq!(stats.drops, 0, "outage-only plan must not drop messages");
+    }
+
+    #[test]
+    fn brownout_serves_stale_and_defers_while_the_breaker_is_open() {
+        // Same deterministic timing as the outage test: one remote message
+        // costs 1 simulated second, one iteration's compute ~1 s.
+        let cost = CostModel {
+            remote_bandwidth: f64::INFINITY,
+            remote_latency: 1.0,
+            message_overhead_bytes: 0.0,
+            local_bandwidth: f64::INFINITY,
+            local_latency: 0.0,
+            compute_rate: 4000.0,
+        };
+        // Worker 0 lives on machine 0, so shard 1 is remote. The flash
+        // crowd sheds *every* shard-1 arrival between 0.5 s and 3.5 s
+        // (queue capacity 0), with a 1 s relief hint.
+        let plan = FaultPlan {
+            seed: 7,
+            overloads: vec![OverloadWindow {
+                shard: 1,
+                start: 0.5,
+                end: 3.5,
+                queue_capacity: 0,
+                drain_rate: 1.0,
+                latency_per_inflight: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        // One failure opens the breaker; probes resume after 2 s of
+        // cooldown. The latency-ratio signal is disabled so only hard
+        // overload verdicts trip.
+        let ctl = Arc::new(OverloadControl {
+            budget: None,
+            breakers: Some(ShardBreakers::new(
+                2,
+                BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown_secs: 2.0,
+                    latency_ratio: f64::INFINITY,
+                },
+            )),
+        });
+        let mut w = build_inner(PolicyKind::Cps, 200, Some((plan, cost)), Some(ctl.clone()))
+            .with_staleness_cap(6);
+        // Pre-cache the full key space so the epoch never misses: every
+        // shard-1 access during the brownout is then a stale serve or a
+        // deferred push. The construction pull lands at t = 0 (before the
+        // window) and advances the clock to 1.0 s — inside it.
+        let every_key: Vec<ParamKey> = (0..w.ctx.key_space.len() as u64).map(ParamKey).collect();
+        w.construct_table(&every_key);
+        w.iteration = 1;
+        for e in 0..2 {
+            w.run_epoch(e);
+        }
+        let binding = w.ctx.client.faults().unwrap();
+        let stats = binding.injector.stats();
+        assert_eq!(
+            stats.degraded_hits, 0,
+            "no outage in the plan, yet outage hits were counted: {stats:?}"
+        );
+        assert!(
+            stats.brownout_stale_serves > 0,
+            "no stale hits served under the open breaker: {stats:?}"
+        );
+        assert!(
+            stats.deferred_pushes > 0,
+            "no pushes deferred during the brownout: {stats:?}"
+        );
+        assert!(
+            stats.breaker_fast_fails > 0,
+            "the open breaker never failed a push fast: {stats:?}"
+        );
+        let br = ctl.breakers.as_ref().unwrap();
+        assert_eq!(br.opens(), 1, "exactly one trip expected");
+        assert_eq!(br.half_opens(), 1, "the staleness-cap refresh must probe");
+        assert_eq!(br.closes(), 1, "the probe must close the breaker");
+        assert!(br.brownout_secs() > 0.0);
+        assert!(
+            stats.backlog_flushes >= 1,
+            "backlog never flushed after the breaker closed: {stats:?}"
+        );
+        assert!(
+            w.backlog.is_empty(),
+            "backlog must drain once the breaker closes"
+        );
     }
 
     /// A sparse workload (entities ≫ batch coverage) where consecutive

@@ -29,7 +29,7 @@ use hetkg_eval::link_prediction::{evaluate, EmbeddingSnapshot, EvalConfig};
 use hetkg_kgraph::{ids::KeyKind, EntityId, KeySpace, KnowledgeGraph, RelationId, Triple};
 use hetkg_netsim::{FaultInjector, ShardLiveness, TrafficMeter};
 use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
-use hetkg_ps::{KvStore, PsClient, RetryPolicy, ShardRouter};
+use hetkg_ps::{KvStore, OverloadControl, PsClient, RetryPolicy, ShardRouter};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -118,6 +118,13 @@ pub fn train_with_store(
     // promoted flag and keeps routing to the new primary.
     let liveness = (replication > 1 && config.faults.as_ref().is_some_and(|p| !p.kills.is_empty()))
         .then(|| Arc::new(ShardLiveness::new(topology.num_machines())));
+    // Overload protection is run-global shared state (like the liveness
+    // table): one budget and one breaker table for the whole worker pool,
+    // created outside `build_workers` so crash-recovery rebuilds keep the
+    // balance and breaker states instead of resetting them.
+    let overload =
+        OverloadControl::from_configs(topology.num_machines(), config.retry_budget, config.breaker)
+            .map(Arc::new);
     let injectors: Vec<Option<Arc<FaultInjector>>> = (0..topology.num_workers())
         .map(|w| {
             config.faults.clone().map(|plan| {
@@ -160,6 +167,9 @@ pub fn train_with_store(
                 .with_checksums(config.integrity);
             if let Some(inj) = &injectors[w] {
                 client = client.with_faults(inj.clone(), RetryPolicy::default());
+            }
+            if let Some(ctl) = &overload {
+                client = client.with_overload(ctl.clone());
             }
             let ctx = WorkerCtx::new(
                 w,
@@ -345,6 +355,14 @@ pub fn train_with_store(
         }
         fr.recoveries = recoveries;
         fr.checkpoints = checkpoints;
+        // Breaker transitions are run-global (the table is shared), so they
+        // come from the control itself rather than per-worker snapshots.
+        if let Some(br) = overload.as_ref().and_then(|c| c.breakers.as_ref()) {
+            fr.breaker_opens = br.opens();
+            fr.breaker_half_opens = br.half_opens();
+            fr.breaker_closes = br.closes();
+            fr.brownout_secs = br.brownout_secs();
+        }
         report.faults = Some(fr);
     }
     if let Some(sup) = supervisor.as_mut() {

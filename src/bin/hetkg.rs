@@ -15,10 +15,13 @@
 //! `--data DIR` expects FB15k-format `train.txt`/`valid.txt`/`test.txt`;
 //! `--synthetic NAME` is one of `fb15k`, `wn18`, `freebase86m` (harness
 //! scale). `--fault-profile` is a named preset (`none`, `lossy`, `corrupt`,
-//! `outage`, `chaos`, `failover`) or a path to a JSON [`FaultPlan`] file.
-//! `--replication K` keeps `K - 1` backup replicas per PS shard; the
-//! `failover` profile (which permanently kills a primary mid-run) defaults
-//! it to 2 and refuses to run without a backup.
+//! `outage`, `overload`, `chaos`, `failover`) or a path to a JSON
+//! [`FaultPlan`] file. `--replication K` keeps `K - 1` backup replicas per
+//! PS shard; the `failover` profile (which permanently kills a primary
+//! mid-run) defaults it to 2 and refuses to run without a backup. The
+//! `overload` profile (a flash crowd saturating a shard) defaults
+//! `--retry-budget` and `--breaker` on so the run browns out instead of
+//! retry-storming.
 
 use het_kg::embed::checkpoint::Checkpoint;
 use het_kg::eval::breakdown::evaluate_breakdown;
@@ -127,13 +130,16 @@ fn usage() {
     println!("  --no-overlap    disable comm/compute pipelining; reproduces the");
     println!("                  sequential timing accounting bit for bit");
     println!("fault injection (train):");
-    println!("  --fault-profile P    none | lossy | corrupt | outage | chaos | failover,");
-    println!("                       or a JSON FaultPlan file        (default none)");
+    println!("  --fault-profile P    none | lossy | corrupt | outage | overload | chaos");
+    println!("                       | failover, or a JSON FaultPlan file (default none)");
     println!("                       lossy: 2% remote-message loss with retry/backoff");
     println!("                       corrupt: 1% payload bit-flips, caught by the");
     println!("                                wire-frame checksum and re-pulled");
     println!("                       outage: PS shard 1 down mid-run; HET-KG serves");
     println!("                               stale hits and defers pushes meanwhile");
+    println!("                       overload: a flash crowd saturates shard 1 — it");
+    println!("                                 sheds and throttles arrivals; budget +");
+    println!("                                 breaker + cache brownout ride it out");
     println!("                       chaos: loss + outage + straggler + worker crash");
     println!("                              recovered from a checkpoint (+ a shard");
     println!("                              kill, armed only when replication is on)");
@@ -141,6 +147,16 @@ fn usage() {
     println!("                                 kill survived by backup promotion");
     println!("  --replication K      backup replicas per PS shard: K-1 (default 1 =");
     println!("                       off; failover profile defaults to 2)");
+    println!("  --retry-budget on|off run-global retry token bucket: retries spend,");
+    println!("                       successes earn; a dry bucket denies the retry");
+    println!("                       and degrades instead of storming   (default off;");
+    println!("                       overload profile defaults to on)");
+    println!("  --breaker on|off     per-shard circuit breakers (Closed -> Open ->");
+    println!("                       HalfOpen): consecutive overload verdicts or a");
+    println!("                       sustained latency-ratio breach open the breaker;");
+    println!("                       open breakers fail writes fast and the cache");
+    println!("                       browns out                         (default off;");
+    println!("                       overload profile defaults to on)");
     println!("  --checkpoint-every N recovery checkpoint every N epochs (0 = off;");
     println!("                       forced on when the profile schedules a crash)");
     println!("integrity & supervision (train):");
@@ -350,13 +366,14 @@ fn parse_fault_profile(value: &str, seed: u64) -> Result<Option<FaultPlan>, CliE
         "lossy" => Ok(Some(FaultPlan::lossy(seed, 0.02))),
         "corrupt" => Ok(Some(FaultPlan::corrupting(seed, 0.01))),
         "outage" => Ok(Some(FaultPlan::shard_outage(seed, 1, 0.050, 0.150))),
+        "overload" => Ok(Some(FaultPlan::overload(seed))),
         "chaos" => Ok(Some(FaultPlan::chaos(seed))),
         "failover" => Ok(Some(FaultPlan::failover(seed))),
         path => {
             let raw = std::fs::read_to_string(path).map_err(|e| CliError::BadFlag {
                 flag: "fault-profile",
                 message: format!(
-                    "not a preset (none | lossy | outage | chaos | failover) and reading {path:?} failed: {e}"
+                    "not a preset (none | lossy | outage | overload | chaos | failover) and reading {path:?} failed: {e}"
                 ),
             })?;
             let plan: FaultPlan = serde_json::from_str(&raw).map_err(|e| CliError::BadFlag {
@@ -443,6 +460,8 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "oracle",
             "no-overlap",
             "replication",
+            "retry-budget",
+            "breaker",
         ],
     )?;
     let data = load_data(flags)?;
@@ -470,6 +489,14 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
                 .into(),
         });
     }
+    // The overload profile simulates a flash crowd; without the budget and
+    // breakers the client would retry-storm the saturated shard, so both
+    // default on there (and off everywhere else).
+    let overload_default = profile == "overload";
+    cfg.retry_budget = switch(flags, "retry-budget", overload_default)?
+        .then(het_kg::ps::RetryBudgetConfig::default);
+    cfg.breaker =
+        switch(flags, "breaker", overload_default)?.then(het_kg::ps::BreakerConfig::default);
     cfg.checkpoint_every = non_negative(flags, "checkpoint-every", 0)?;
     cfg.integrity = switch(flags, "integrity", true)?;
     cfg.checkpoint_dir = flags.get("checkpoint-dir").cloned();
@@ -485,11 +512,12 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     if let Some(plan) = &cfg.faults {
         let crashes = plan.crash_epochs();
         println!(
-            "fault plan: drop {:.1}% | corrupt {:.1}% ({}) | {} outage window(s) | {} straggler episode(s) | crashes {} | shard kills {}",
+            "fault plan: drop {:.1}% | corrupt {:.1}% ({}) | {} outage window(s) | {} overload window(s) | {} straggler episode(s) | crashes {} | shard kills {}",
             100.0 * plan.drop_probability,
             100.0 * plan.corrupt_probability,
             if cfg.integrity { "checksums on" } else { "checksums OFF" },
             plan.outages.len(),
+            plan.overloads.len(),
             plan.slow_episodes.len(),
             if crashes.is_empty() { "none".to_string() } else { format!("epochs {crashes:?}") },
             if plan.kills.is_empty() {
@@ -499,6 +527,17 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             } else {
                 format!("{} (masked: replication off)", plan.kills.len())
             },
+        );
+    }
+    if cfg.retry_budget.is_some() || cfg.breaker.is_some() {
+        println!(
+            "overload protection: retry budget {} | breakers {}",
+            if cfg.retry_budget.is_some() {
+                "on"
+            } else {
+                "off"
+            },
+            if cfg.breaker.is_some() { "on" } else { "off" },
         );
     }
     if cfg.replication > 1 {
@@ -568,6 +607,27 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "degraded cache: {} stale hits, {} deferred pushes, {} backlog flushes | recovery: {} checkpoints, {} restarts",
             fr.degraded_hits, fr.deferred_pushes, fr.backlog_flushes, fr.checkpoints, fr.recoveries,
         );
+        if fr.overload_sheds > 0
+            || fr.overload_throttled > 0
+            || fr.retries_denied > 0
+            || fr.breaker_opens > 0
+            || fr.breaker_fast_fails > 0
+        {
+            println!(
+                "overload: {} sheds, {} throttled (+{:.4}s service latency) | retries denied: {}",
+                fr.overload_sheds, fr.overload_throttled, fr.overload_extra_secs, fr.retries_denied,
+            );
+            println!(
+                "breakers: {} open(s), {} half-open probe(s), {} close(s), {} fast-fail(s) | brownout: {} stale serves, {} shed pushes, {:.4}s browned out",
+                fr.breaker_opens,
+                fr.breaker_half_opens,
+                fr.breaker_closes,
+                fr.breaker_fast_fails,
+                fr.brownout_stale_serves,
+                fr.shed_pushes,
+                fr.brownout_secs,
+            );
+        }
         if fr.corrupt_frames > 0 {
             println!(
                 "integrity: {} corrupt frames injected | {} detected and re-pulled | {} silently ingested",
