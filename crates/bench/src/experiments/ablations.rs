@@ -160,6 +160,72 @@ pub fn bandwidth(ctx: ExpCtx) -> ExperimentRecord {
     }
 }
 
+/// Push-compression ablation: dense f32 pushes vs int8/int4 quantization,
+/// top-k sparsification, and the adaptive ladder — metered push-lane bytes
+/// saved vs final MRR, with error feedback keeping the lossy modes honest.
+pub fn compression(ctx: ExpCtx) -> ExperimentRecord {
+    use hetkg_netsim::CompressionMode;
+    let epochs = ctx.epochs(4);
+    let w = Workload::new(Dataset::Fb15k, ctx.full, ctx.seed);
+    let mut rows = Vec::new();
+    for mode in [
+        CompressionMode::Off,
+        CompressionMode::Int8,
+        CompressionMode::Int4,
+        CompressionMode::TopK,
+        CompressionMode::Adaptive,
+    ] {
+        let mut cfg = TrainConfig::small(SystemKind::HetKgDps);
+        cfg.machines = 4;
+        cfg.dim = 32;
+        cfg.epochs = epochs;
+        cfg.seed = ctx.seed;
+        // Rank against every entity: candidate subsampling noise at this
+        // scale would swamp the small accuracy deltas the ablation measures.
+        cfg.eval_candidates = Some(w.kg.num_entities());
+        cfg.compression = mode;
+        let report = train(&w.kg, &w.split.train, &w.eval_set, &cfg);
+        let t = report.total_traffic();
+        let ratio = if t.push_wire_bytes > 0 {
+            t.push_raw_bytes as f64 / t.push_wire_bytes as f64
+        } else {
+            1.0
+        };
+        rows.push(vec![
+            mode.as_str().to_string(),
+            mb(t.push_raw_bytes),
+            mb(t.push_wire_bytes),
+            format!("{ratio:.2}x"),
+            secs(report.total_comm_secs()),
+            format!(
+                "{:.4}",
+                report.final_metrics.as_ref().map_or(f64::NAN, |m| m.mrr())
+            ),
+        ]);
+    }
+    ExperimentRecord {
+        id: "compression-ablation".into(),
+        title: "Push compression: bytes saved vs accuracy".into(),
+        params: format!("{} | HET-KG-D, {epochs} epochs, d=32", w.describe()),
+        columns: [
+            "mode",
+            "push raw MB",
+            "push wire MB",
+            "ratio",
+            "comm time",
+            "MRR",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+        shape_expectation: "int8 and top-k cut metered push-lane bytes at least 3x \
+                            while error feedback holds final MRR within a few \
+                            percent of the dense run (GreenDyGNN-style adaptive \
+                            communication, PAPERS.md)"
+            .into(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +243,57 @@ mod tests {
             bytes(1),
             bytes(0)
         );
+    }
+
+    #[test]
+    fn compression_cuts_push_bytes_3x_at_near_equal_mrr() {
+        // The PR acceptance bar on the fb15k workload: int8 and top-k each
+        // cut metered push-lane bytes at least 3x, and the adaptive
+        // int8+top-k ladder holds final MRR within 2% relative of the
+        // dense run. (Dense MRR itself swings ~3% seed to seed at harness
+        // scale, so the fixed lossy modes get a looser catastrophic-loss
+        // guard instead of the 2% bar; the simulator is deterministic, so
+        // none of these assertions are flaky.)
+        let r = compression(ExpCtx {
+            quick: true,
+            ..Default::default()
+        });
+        let row = |mode: &str| {
+            r.rows
+                .iter()
+                .find(|row| row[0] == mode)
+                .unwrap_or_else(|| panic!("no {mode} row"))
+        };
+        let ratio = |mode: &str| {
+            let cell = &row(mode)[3];
+            cell.trim_end_matches('x').parse::<f64>().unwrap()
+        };
+        let mrr = |mode: &str| row(mode)[5].parse::<f64>().unwrap();
+        let dense = mrr("off");
+        assert!(dense.is_finite() && dense > 0.0);
+        let rel = |mode: &str| (mrr(mode) - dense).abs() / dense;
+        for mode in ["int8", "topk", "adaptive"] {
+            assert!(
+                ratio(mode) >= 3.0,
+                "{mode} push-lane cut {:.2}x is under the 3x bar",
+                ratio(mode)
+            );
+            assert!(
+                rel(mode) <= 0.10,
+                "{mode} MRR {} collapsed {:.1}% from dense {}",
+                mrr(mode),
+                100.0 * rel(mode),
+                dense
+            );
+        }
+        assert!(
+            rel("adaptive") <= 0.02,
+            "adaptive MRR {} drifted {:.1}% from dense {}",
+            mrr("adaptive"),
+            100.0 * rel("adaptive"),
+            dense
+        );
+        // The dense baseline ships raw == wire: ratio exactly 1.
+        assert_eq!(ratio("off"), 1.0);
     }
 }

@@ -66,6 +66,7 @@ pub const ALL: &[&str] = &[
     "negsample-ablation",
     "divergence",
     "bandwidth-sweep",
+    "compression-ablation",
 ];
 
 /// Run one experiment by id.
@@ -89,6 +90,7 @@ pub fn run(id: &str, ctx: ExpCtx) -> Option<ExperimentRecord> {
         "negsample-ablation" => ablations::negsample(ctx),
         "divergence" => cache::divergence(ctx),
         "bandwidth-sweep" => ablations::bandwidth(ctx),
+        "compression-ablation" => ablations::compression(ctx),
         _ => return None,
     };
     Some(record)

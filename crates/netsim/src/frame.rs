@@ -28,6 +28,8 @@ pub fn fnv1a(bytes: &[u8]) -> u32 {
     })
 }
 
+use crate::compress::Codec;
+
 fn digest(keys: &[u64], payload: &[f32]) -> u32 {
     let mut h = FNV_OFFSET;
     let mut eat = |b: u8| h = (h ^ u32::from(b)).wrapping_mul(FNV_PRIME);
@@ -40,26 +42,70 @@ fn digest(keys: &[u64], payload: &[f32]) -> u32 {
     h
 }
 
-/// One PS message: key ids + dense payload, sealed with an end-to-end
-/// checksum at send time. The checksum is computed once over the clean data;
-/// transit corruption mutates `keys`/`payload` but not the seal, so
-/// [`verify`](WireFrame::verify) catches it.
+/// Digest for an encoded (compressed) frame: the key ids, the codec tag
+/// (a frame must not verify under the wrong codec), then the encoded
+/// payload bytes — the checksum covers exactly what crosses the wire.
+fn digest_encoded(keys: &[u64], tag: u8, encoded: &[u8]) -> u32 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |b: u8| h = (h ^ u32::from(b)).wrapping_mul(FNV_PRIME);
+    for k in keys {
+        k.to_le_bytes().into_iter().for_each(&mut eat);
+    }
+    eat(tag);
+    encoded.iter().copied().for_each(&mut eat);
+    h
+}
+
+/// One PS message: key ids plus either a dense f32 payload (the legacy
+/// format) or a compressed byte encoding of it, sealed with an end-to-end
+/// checksum at send time. The checksum is computed once over the clean
+/// wire contents; transit corruption mutates `keys`/`payload`/`encoded`
+/// but not the seal, so [`verify`](WireFrame::verify) catches it.
+///
+/// For encoded frames only `keys` + `encoded` cross the (simulated) wire:
+/// `payload` is client-side staging that the receiver reconstructs by
+/// decoding, so neither [`wire_bytes`](WireFrame::wire_bytes) nor the
+/// digest covers it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireFrame {
     /// Key ids addressed by this message, in transmission order.
     pub keys: Vec<u64>,
     /// Concatenated f32 rows (embeddings or gradients) for those keys.
+    /// For encoded frames: the pre-quantization rows at send time, the
+    /// decoded rows after receipt — never on the wire.
     pub payload: Vec<f32>,
+    /// Compressed payload bytes (empty for dense frames).
+    pub encoded: Vec<u8>,
+    codec: Codec,
     checksum: u32,
 }
 
 impl WireFrame {
-    /// Seal a frame: compute the digest over the clean keys and payload.
+    /// Seal a dense frame: compute the digest over the clean keys and
+    /// payload. Bit-identical to the pre-compression wire format.
     pub fn seal(keys: Vec<u64>, payload: Vec<f32>) -> Self {
         let checksum = digest(&keys, &payload);
         Self {
             keys,
             payload,
+            encoded: Vec::new(),
+            codec: Codec::Dense,
+            checksum,
+        }
+    }
+
+    /// Seal a compressed frame: the digest covers the keys, the codec tag,
+    /// and the encoded bytes — exactly the wire contents. `payload` holds
+    /// the client's pre-quantization rows (same concatenated layout) for
+    /// the receiver to overwrite with the decoded values.
+    pub fn seal_encoded(keys: Vec<u64>, payload: Vec<f32>, encoded: Vec<u8>, codec: Codec) -> Self {
+        debug_assert!(codec != Codec::Dense, "dense frames use seal()");
+        let checksum = digest_encoded(&keys, codec.tag(), &encoded);
+        Self {
+            keys,
+            payload,
+            encoded,
+            codec,
             checksum,
         }
     }
@@ -69,25 +115,45 @@ impl WireFrame {
         self.checksum
     }
 
+    /// This frame's payload codec (`Dense` for legacy frames).
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
     /// Re-compute the digest over the (possibly corrupted) contents and
     /// compare against the seal.
     pub fn verify(&self) -> bool {
-        digest(&self.keys, &self.payload) == self.checksum
+        match self.codec {
+            Codec::Dense => digest(&self.keys, &self.payload) == self.checksum,
+            c => digest_encoded(&self.keys, c.tag(), &self.encoded) == self.checksum,
+        }
     }
 
-    /// Metered size of this frame: 8 bytes per key id + 4 per payload f32.
-    /// The [`FRAME_CHECKSUM_BYTES`] digest is envelope overhead on top.
+    /// Metered size of this frame: 8 bytes per key id + the payload as it
+    /// crosses the wire (4 per f32 dense, or the encoded byte count). The
+    /// [`FRAME_CHECKSUM_BYTES`] digest is envelope overhead on top.
     pub fn wire_bytes(&self) -> u64 {
-        self.keys.len() as u64 * 8 + self.payload.len() as u64 * 4
+        let payload_bytes = match self.codec {
+            Codec::Dense => self.payload.len() as u64 * 4,
+            _ => self.encoded.len() as u64,
+        };
+        self.keys.len() as u64 * 8 + payload_bytes
     }
 
     /// Flip one bit chosen by `pattern` (a seeded draw from the fault
-    /// injector), simulating transit corruption. Payload flips stay within
-    /// the sign + mantissa bits so a damaged embedding remains finite — the
-    /// poison is silent, not a NaN that would announce itself. Returns
-    /// `false` for an empty frame (nothing to damage).
+    /// injector), simulating transit corruption. Dense payload flips stay
+    /// within the sign + mantissa bits so a damaged embedding remains
+    /// finite — the poison is silent, not a NaN that would announce
+    /// itself. Encoded frames flip any bit of the encoded bytes (the
+    /// codecs' total decoder guarantees finiteness). Returns `false` for
+    /// an empty frame (nothing to damage).
     pub fn corrupt(&mut self, pattern: u64) -> bool {
-        if !self.payload.is_empty() {
+        if !self.encoded.is_empty() {
+            let idx = (pattern % self.encoded.len() as u64) as usize;
+            let bit = ((pattern >> 32) % 8) as u32;
+            self.encoded[idx] ^= 1 << bit;
+            true
+        } else if !self.payload.is_empty() {
             let idx = (pattern % self.payload.len() as u64) as usize;
             let pick = ((pattern >> 32) % 24) as u32;
             let bit = if pick == 23 { 31 } else { pick };
@@ -158,6 +224,97 @@ mod tests {
         let a = WireFrame::seal(vec![1, 2], vec![0.5]);
         let b = WireFrame::seal(vec![2, 1], vec![0.5]);
         assert_ne!(a.checksum(), b.checksum());
+    }
+
+    fn encoded_frame(codec: Codec) -> WireFrame {
+        let keys = vec![7u64, 11, 400_000];
+        let rows = [
+            vec![0.1f32, -2.5, 1e-3, 42.0, 0.0, 1.5, -0.25, 3.25],
+            vec![1.0f32, 2.0, -3.0, 4.0, -5.0, 6.0, -7.0, 8.0],
+            vec![0.5f32; 8],
+        ];
+        let mut payload = Vec::new();
+        let mut encoded = Vec::new();
+        let mut idx = Vec::new();
+        for row in &rows {
+            payload.extend_from_slice(row);
+            crate::compress::encode_row(codec, row, &mut encoded, &mut idx);
+        }
+        WireFrame::seal_encoded(keys, payload, encoded, codec)
+    }
+
+    #[test]
+    fn sealed_encoded_frame_verifies_and_is_smaller() {
+        for codec in [
+            Codec::Int8,
+            Codec::Int4,
+            Codec::TopKQuarter,
+            Codec::TopKEighth,
+        ] {
+            let f = encoded_frame(codec);
+            assert!(f.verify(), "{codec:?}");
+            let dense_bytes = f.keys.len() as u64 * 8 + f.payload.len() as u64 * 4;
+            assert!(f.wire_bytes() < dense_bytes, "{codec:?} did not compress");
+            assert_eq!(
+                f.wire_bytes(),
+                f.keys.len() as u64 * 8 + f.encoded.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected_on_encoded_frames() {
+        // The exhaustive dense sweep, extended to every compressed codec:
+        // the digest covers the encoded bytes, so a flip anywhere in the
+        // compressed payload (scale, index, or value byte) is caught.
+        for codec in [
+            Codec::Int8,
+            Codec::Int4,
+            Codec::TopKQuarter,
+            Codec::TopKEighth,
+        ] {
+            for pattern in 0..4096u64 {
+                let mut f = encoded_frame(codec);
+                assert!(f.corrupt(pattern));
+                assert!(!f.verify(), "{codec:?} flip {pattern:#x} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn codec_tag_is_part_of_the_seal() {
+        // The same keys and bytes under a different codec must not verify:
+        // a frame cannot be silently decoded with the wrong decoder.
+        let mut reinterpreted = encoded_frame(Codec::Int8);
+        reinterpreted.codec = Codec::Int4;
+        assert!(!reinterpreted.verify());
+        assert_ne!(
+            encoded_frame(Codec::Int8).checksum(),
+            encoded_frame(Codec::Int4).checksum()
+        );
+    }
+
+    #[test]
+    fn corrupted_encoded_frames_decode_finite() {
+        // Even when a damaged compressed frame is ingested (checksums
+        // off), the total decoder yields finite rows.
+        for codec in [Codec::Int8, Codec::Int4, Codec::TopKQuarter] {
+            for pattern in 0..2048u64 {
+                let mut f = encoded_frame(codec);
+                f.corrupt(pattern);
+                let mut out = vec![0.0f32; 8];
+                let mut off = 0;
+                for _ in 0..f.keys.len() {
+                    let n = crate::compress::encoded_len(codec, 8);
+                    crate::compress::decode_row(codec, &f.encoded[off..], &mut out);
+                    assert!(
+                        out.iter().all(|v| v.is_finite()),
+                        "{codec:?} pattern {pattern:#x}"
+                    );
+                    off += n;
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * [`FaultPlan`]/[`FaultInjector`] — seeded, deterministic fault
 //!   injection (drops, stragglers, shard outages) in simulated time.
 
+pub mod compress;
 pub mod cost;
 pub mod faults;
 pub mod frame;
@@ -20,6 +21,7 @@ pub mod meter;
 pub mod timeline;
 pub mod topology;
 
+pub use compress::{Codec, CompressionMode, CompressionStats};
 pub use cost::CostModel;
 pub use faults::{
     CrashPoint, FaultInjector, FaultPlan, FaultSnapshot, OutageWindow, OverloadWindow, ShardKill,

@@ -18,6 +18,9 @@ pub struct TrafficMeter {
     remote_messages: AtomicU64,
     replication_bytes: AtomicU64,
     replication_messages: AtomicU64,
+    push_wire_bytes: AtomicU64,
+    push_raw_bytes: AtomicU64,
+    push_messages: AtomicU64,
 }
 
 impl TrafficMeter {
@@ -49,6 +52,19 @@ impl TrafficMeter {
         self.replication_messages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one gradient-push frame on the push-lane breakdown: `wire`
+    /// bytes as transmitted (after any compression) and `raw` bytes the
+    /// same frame would have occupied dense. Push frames are *also*
+    /// metered on the local/remote lanes by the client — this lane is a
+    /// reporting breakdown (bytes saved by compression), not additional
+    /// traffic, so it joins neither `total_bytes` nor `simulated_time`.
+    #[inline]
+    pub fn record_push(&self, wire: u64, raw: u64) {
+        self.push_wire_bytes.fetch_add(wire, Ordering::Relaxed);
+        self.push_raw_bytes.fetch_add(raw, Ordering::Relaxed);
+        self.push_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the current counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
@@ -58,6 +74,9 @@ impl TrafficMeter {
             remote_messages: self.remote_messages.load(Ordering::Relaxed),
             replication_bytes: self.replication_bytes.load(Ordering::Relaxed),
             replication_messages: self.replication_messages.load(Ordering::Relaxed),
+            push_wire_bytes: self.push_wire_bytes.load(Ordering::Relaxed),
+            push_raw_bytes: self.push_raw_bytes.load(Ordering::Relaxed),
+            push_messages: self.push_messages.load(Ordering::Relaxed),
         }
     }
 
@@ -69,6 +88,9 @@ impl TrafficMeter {
         self.remote_messages.store(0, Ordering::Relaxed);
         self.replication_bytes.store(0, Ordering::Relaxed);
         self.replication_messages.store(0, Ordering::Relaxed);
+        self.push_wire_bytes.store(0, Ordering::Relaxed);
+        self.push_raw_bytes.store(0, Ordering::Relaxed);
+        self.push_messages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -89,6 +111,17 @@ pub struct TrafficSnapshot {
     /// Primary→backup replication message count.
     #[serde(default)]
     pub replication_messages: u64,
+    /// Gradient-push frame bytes as transmitted (post-compression). A
+    /// breakdown of bytes already counted on the local/remote lanes.
+    #[serde(default)]
+    pub push_wire_bytes: u64,
+    /// Dense-equivalent bytes of the same push frames (what an
+    /// uncompressed run would have transmitted).
+    #[serde(default)]
+    pub push_raw_bytes: u64,
+    /// Gradient-push frame count.
+    #[serde(default)]
+    pub push_messages: u64,
 }
 
 impl TrafficSnapshot {
@@ -106,7 +139,10 @@ impl TrafficSnapshot {
                 && self.remote_bytes >= earlier.remote_bytes
                 && self.remote_messages >= earlier.remote_messages
                 && self.replication_bytes >= earlier.replication_bytes
-                && self.replication_messages >= earlier.replication_messages,
+                && self.replication_messages >= earlier.replication_messages
+                && self.push_wire_bytes >= earlier.push_wire_bytes
+                && self.push_raw_bytes >= earlier.push_raw_bytes
+                && self.push_messages >= earlier.push_messages,
             "snapshot went backwards (meter reset between snapshots?): \
              {self:?} since {earlier:?}"
         );
@@ -121,6 +157,9 @@ impl TrafficSnapshot {
             replication_messages: self
                 .replication_messages
                 .saturating_sub(earlier.replication_messages),
+            push_wire_bytes: self.push_wire_bytes.saturating_sub(earlier.push_wire_bytes),
+            push_raw_bytes: self.push_raw_bytes.saturating_sub(earlier.push_raw_bytes),
+            push_messages: self.push_messages.saturating_sub(earlier.push_messages),
         }
     }
 
@@ -133,6 +172,9 @@ impl TrafficSnapshot {
             remote_messages: self.remote_messages + other.remote_messages,
             replication_bytes: self.replication_bytes + other.replication_bytes,
             replication_messages: self.replication_messages + other.replication_messages,
+            push_wire_bytes: self.push_wire_bytes + other.push_wire_bytes,
+            push_raw_bytes: self.push_raw_bytes + other.push_raw_bytes,
+            push_messages: self.push_messages + other.push_messages,
         }
     }
 
@@ -208,6 +250,7 @@ mod tests {
             remote_messages: 4,
             replication_bytes: 5,
             replication_messages: 6,
+            ..Default::default()
         };
         let b = TrafficSnapshot {
             local_bytes: 10,
@@ -216,6 +259,7 @@ mod tests {
             remote_messages: 40,
             replication_bytes: 50,
             replication_messages: 60,
+            ..Default::default()
         };
         let c = a.merge(b);
         assert_eq!(c.local_bytes, 11);
@@ -256,6 +300,47 @@ mod tests {
         };
         let t = s.simulated_time(&m);
         assert!((t - m.remote_time(1_000_000, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_lane_is_a_breakdown_not_extra_traffic() {
+        let m = TrafficMeter::new();
+        m.record_remote(100);
+        m.record_push(40, 100);
+        let s = m.snapshot();
+        assert_eq!(s.push_wire_bytes, 40);
+        assert_eq!(s.push_raw_bytes, 100);
+        assert_eq!(s.push_messages, 1);
+        assert_eq!(s.total_bytes(), 100, "push lane not in total_bytes");
+        let t = s.simulated_time(&CostModel::gigabit());
+        let without = TrafficSnapshot {
+            push_wire_bytes: 0,
+            push_raw_bytes: 0,
+            push_messages: 0,
+            ..s
+        }
+        .simulated_time(&CostModel::gigabit());
+        assert_eq!(t, without, "push lane never adds simulated time");
+        let start = s;
+        m.record_push(10, 10);
+        let delta = m.snapshot().since(start);
+        assert_eq!(delta.push_wire_bytes, 10);
+        assert_eq!(delta.push_messages, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_without_push_lane_fields_still_loads() {
+        // Reports serialized before the push-lane breakdown existed must
+        // keep deserializing; absent fields default to zero.
+        let json = r#"{"local_bytes":1,"local_messages":2,"remote_bytes":3,
+            "remote_messages":4,"replication_bytes":5,"replication_messages":6}"#;
+        let s: TrafficSnapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(s.push_wire_bytes, 0);
+        assert_eq!(s.push_raw_bytes, 0);
+        assert_eq!(s.push_messages, 0);
+        assert_eq!(s.replication_bytes, 5);
     }
 
     #[test]

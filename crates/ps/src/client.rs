@@ -34,14 +34,17 @@
 //! 4-byte digest rides in the per-message envelope overhead already priced
 //! by the cost model, so checksums change no metered byte counts.
 
+use crate::compress::PushCompressor;
 use crate::error::{RetryPolicy, RpcError};
 use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
 use crate::overload::{Gate, OverloadControl, ShardBreakers};
 use crate::router::BatchPlan;
 use hetkg_kgraph::ParamKey;
+use hetkg_netsim::compress::encoded_len;
 use hetkg_netsim::{
-    ClusterTopology, FaultInjector, TrafficMeter, TrafficSnapshot, Verdict, WireFrame,
+    ClusterTopology, Codec, CompressionMode, CompressionStats, FaultInjector, TrafficMeter,
+    TrafficSnapshot, Verdict, WireFrame,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -120,8 +123,16 @@ pub struct PsScratch {
     pool: Vec<(Vec<u64>, Vec<f32>)>,
     /// Per-shard frame contents for the call in flight (index = shard).
     parts: Vec<(Vec<u64>, Vec<f32>)>,
+    /// Per-shard encoded payloads for the call in flight (index = shard).
+    enc_parts: Vec<Vec<u8>>,
+    /// Spare encoded-byte buffers, recycled between calls.
+    byte_pool: Vec<Vec<u8>>,
     /// Sealed frames for the call in flight (index = shard).
     wire: Vec<WireFrame>,
+    /// Push-path compressor. `None` means compression is off — the dense
+    /// push path is untouched and bit-identical to a scratch that never
+    /// heard of compression.
+    compressor: Option<PushCompressor>,
 }
 
 impl PsScratch {
@@ -130,19 +141,71 @@ impl PsScratch {
         Self::default()
     }
 
+    /// Select the push-path compression mode for this scratch (and thus for
+    /// the worker that owns it). [`CompressionMode::Off`] drops the
+    /// compressor — and any accumulated error-feedback residuals — so
+    /// pushes go back to dense frames.
+    pub fn set_compression(&mut self, mode: CompressionMode) {
+        self.compressor = PushCompressor::new(mode);
+    }
+
+    /// The configured compression mode.
+    pub fn compression(&self) -> CompressionMode {
+        self.compressor
+            .as_ref()
+            .map_or(CompressionMode::Off, |c| c.mode())
+    }
+
+    /// Cumulative compression counters; `None` when compression is off.
+    pub fn compression_stats(&self) -> Option<CompressionStats> {
+        self.compressor.as_ref().map(|c| c.stats())
+    }
+
+    /// Feed one epoch's comm/compute lane occupancy to the adaptive
+    /// compression policy. No-op for fixed modes or with compression off.
+    pub fn adapt_compression(&mut self, comm_secs: f64, compute_secs: f64) {
+        if let Some(c) = &mut self.compressor {
+            c.adapt(comm_secs, compute_secs);
+        }
+    }
+
+    /// Fold `key`'s pending error-feedback residual into `acc` (a gradient
+    /// being deferred to a degraded-mode backlog) and clear it, so
+    /// accumulated compression error rides the backlog instead of waiting
+    /// on a wire that may stay down. Returns whether anything was folded;
+    /// always false with compression off.
+    pub fn fold_residual(&mut self, key: ParamKey, acc: &mut [f32]) -> bool {
+        self.compressor
+            .as_mut()
+            .is_some_and(|c| c.drain_residual_into(key.0, acc))
+    }
+
+    /// The codec the next push through this scratch will use.
+    fn push_codec(&self) -> Codec {
+        self.compressor.as_ref().map_or(Codec::Dense, |c| c.codec())
+    }
+
     /// Recycle last call's frames and hand out one cleared `(keys, payload)`
-    /// pair per shard in `parts`.
+    /// pair per shard in `parts` (plus one cleared encoded buffer per shard
+    /// in `enc_parts`, for compressed pushes).
     fn begin(&mut self, num_shards: usize) {
         for mut f in self.wire.drain(..) {
             self.pool
                 .push((std::mem::take(&mut f.keys), std::mem::take(&mut f.payload)));
+            self.byte_pool.push(std::mem::take(&mut f.encoded));
         }
         self.pool.append(&mut self.parts);
+        self.byte_pool.append(&mut self.enc_parts);
         while self.parts.len() < num_shards {
             let (mut k, mut p) = self.pool.pop().unwrap_or_default();
             k.clear();
             p.clear();
             self.parts.push((k, p));
+        }
+        while self.enc_parts.len() < num_shards {
+            let mut b = self.byte_pool.pop().unwrap_or_default();
+            b.clear();
+            self.enc_parts.push(b);
         }
     }
 
@@ -151,6 +214,14 @@ impl PsScratch {
     fn seal_parts(&mut self) {
         for (k, p) in self.parts.drain(..) {
             self.wire.push(WireFrame::seal(k, p));
+        }
+    }
+
+    /// Seal each shard's part together with its encoded payload into a
+    /// compressed wire frame whose checksum covers the *encoded* bytes.
+    fn seal_parts_encoded(&mut self, codec: Codec) {
+        for ((k, p), e) in self.parts.drain(..).zip(self.enc_parts.drain(..)) {
+            self.wire.push(WireFrame::seal_encoded(k, p, e, codec));
         }
     }
 }
@@ -495,12 +566,57 @@ impl PsClient {
         grad: &[f32],
         optimizer: &dyn Optimizer,
     ) -> Result<(), RpcError> {
+        self.try_push_with(key, grad, optimizer, &mut PsScratch::new())
+    }
+
+    /// [`try_push`](Self::try_push) with caller-owned scratch, so repeated
+    /// single-key pushes reuse the frame buffers instead of allocating a
+    /// key vector and a gradient copy per call — the push mirror of
+    /// [`try_pull_with`](Self::try_pull_with). The scratch's compression
+    /// mode applies exactly as it does for batched pushes.
+    pub fn try_push_with(
+        &self,
+        key: ParamKey,
+        grad: &[f32],
+        optimizer: &dyn Optimizer,
+        scratch: &mut PsScratch,
+    ) -> Result<(), RpcError> {
         let shard = self.store.router().shard_of(key);
-        let mut frame = WireFrame::seal(vec![key.0], grad.to_vec());
-        self.transmit_frame(shard, &mut frame, false)?;
-        self.store.push_grad(key, &frame.payload, optimizer);
-        self.ship_replication(shard);
-        Ok(())
+        let codec = scratch.push_codec();
+        scratch.begin(1);
+        let (mut keys, mut payload) = scratch.parts.pop().expect("begin filled one part");
+        keys.push(key.0);
+        payload.extend_from_slice(grad);
+        let mut frame = if codec == Codec::Dense {
+            WireFrame::seal(keys, payload)
+        } else {
+            let comp = scratch
+                .compressor
+                .as_mut()
+                .expect("non-dense codec without a compressor");
+            comp.begin_batch(1);
+            comp.stage(0, key.0, &mut payload);
+            let mut enc = scratch.enc_parts.pop().expect("begin filled one part");
+            comp.encode(codec, &payload, &mut enc);
+            WireFrame::seal_encoded(keys, payload, enc, codec)
+        };
+        let result = self.transmit_frame(shard, &mut frame, false);
+        if result.is_ok() {
+            if let Some(comp) = scratch.compressor.as_mut() {
+                if codec != Codec::Dense {
+                    comp.decode_commit_row(codec, 0, key.0, &frame.encoded, &mut frame.payload);
+                }
+                comp.note_frame(&frame);
+            }
+            self.meter.record_push(
+                frame.wire_bytes(),
+                KEY_BYTES + frame.payload.len() as u64 * 4,
+            );
+            self.store.push_grad(key, &frame.payload, optimizer);
+            self.ship_replication(shard);
+        }
+        scratch.wire.push(frame); // recycled by the next call
+        result
     }
 
     /// Push many gradients, one message per shard touched.
@@ -580,8 +696,17 @@ impl PsClient {
         if keys.is_empty() {
             return Ok(());
         }
-        self.seal_frames_by(keys, row_of, scratch);
+        let codec = scratch.push_codec();
+        if codec == Codec::Dense {
+            self.seal_frames_by(keys, row_of, scratch);
+        } else {
+            self.seal_frames_compressed(keys, row_of, codec, scratch);
+        }
         self.transmit_frames(&mut scratch.wire, false)?;
+        if codec != Codec::Dense {
+            Self::decode_and_commit(keys, codec, scratch);
+        }
+        self.meter_push_frames(scratch);
         let (wire, slots) = (&scratch.wire, &scratch.slots);
         self.store.push_planned(
             &scratch.plan,
@@ -682,7 +807,9 @@ impl PsClient {
         self.debug_assert_frame_bytes(keys, &scratch.wire);
     }
 
-    /// Debug check: sealed frames carry exactly the per-key metered bytes.
+    /// Debug check: sealed **dense** frames carry exactly the per-key
+    /// metered bytes. Compressed frames intentionally carry fewer — their
+    /// walk is checked row-by-row in [`Self::decode_and_commit`].
     fn debug_assert_frame_bytes(&self, keys: &[ParamKey], wire: &[WireFrame]) {
         debug_assert_eq!(
             wire.iter().map(|fr| fr.wire_bytes()).sum::<u64>(),
@@ -691,6 +818,120 @@ impl PsClient {
                 .sum::<u64>(),
             "frame bytes must match the metered per-key accounting"
         );
+    }
+
+    /// Compressed counterpart of [`Self::seal_frames_by`]: plan the batch,
+    /// stage each row through the compressor (error feedback *peeks* the
+    /// key's residual — nothing is committed until the transmit succeeds),
+    /// encode it under `codec`, and seal per-shard frames whose checksum
+    /// covers the encoded bytes. The staged dense rows stay client-side in
+    /// the frame payload (never on the wire) so a successful transmit can
+    /// commit residuals without re-deriving them.
+    fn seal_frames_compressed<'a>(
+        &self,
+        keys: &[ParamKey],
+        row_of: impl Fn(usize) -> &'a [f32],
+        codec: Codec,
+        scratch: &mut PsScratch,
+    ) {
+        let router = self.store.router();
+        router.plan_into(keys, &mut scratch.plan);
+        scratch.begin(router.num_shards());
+        let PsScratch {
+            plan,
+            slots,
+            parts,
+            enc_parts,
+            compressor,
+            ..
+        } = &mut *scratch;
+        let comp = compressor
+            .as_mut()
+            .expect("non-dense codec without a compressor");
+        comp.begin_batch(keys.len());
+        slots.clear();
+        slots.resize(keys.len(), FrameSlot::default());
+        for shard in plan.shards() {
+            let (frame_keys, payload) = &mut parts[shard];
+            let enc = &mut enc_parts[shard];
+            for i in plan.indices(shard) {
+                let row = row_of(i);
+                let offset = payload.len();
+                payload.extend_from_slice(row);
+                comp.stage(i, keys[i].0, &mut payload[offset..]);
+                comp.encode(codec, &payload[offset..], enc);
+                frame_keys.push(keys[i].0);
+                slots[i] = FrameSlot {
+                    shard,
+                    offset,
+                    width: row.len(),
+                };
+            }
+        }
+        scratch.seal_parts_encoded(codec);
+    }
+
+    /// After a successful compressed transmit: walk each frame's encoded
+    /// bytes (row boundaries are a pure function of codec and row width —
+    /// no counts or lengths are trusted from the wire), overwrite each
+    /// staged payload row with the decoded values the server actually
+    /// applies, and commit each key's error-feedback residual. With
+    /// checksums off an ingested corrupt frame decodes to finite garbage
+    /// here, exactly like the dense ingest path.
+    fn decode_and_commit(keys: &[ParamKey], codec: Codec, scratch: &mut PsScratch) {
+        let PsScratch {
+            plan,
+            slots,
+            wire,
+            compressor,
+            ..
+        } = &mut *scratch;
+        let comp = compressor
+            .as_mut()
+            .expect("non-dense codec without a compressor");
+        for shard in plan.shards() {
+            let frame = &mut wire[shard];
+            let mut off = 0;
+            for i in plan.indices(shard) {
+                let s = slots[i];
+                let len = encoded_len(codec, s.width);
+                comp.decode_commit_row(
+                    codec,
+                    i,
+                    keys[i].0,
+                    &frame.encoded[off..off + len],
+                    &mut frame.payload[s.offset..s.offset + s.width],
+                );
+                off += len;
+            }
+            debug_assert_eq!(
+                off,
+                frame.encoded.len(),
+                "encoded walk must cover the frame"
+            );
+        }
+    }
+
+    /// Meter delivered push frames on the push lane — a reporting
+    /// *breakdown* of bytes already counted on the local/remote lanes
+    /// (actual wire bytes vs what the same rows cost dense), not
+    /// additional traffic — and feed the compressor's cumulative stats
+    /// when compression is on. Runs for dense pushes too, so the
+    /// raw-vs-wire comparison has a baseline in every mode.
+    fn meter_push_frames(&self, scratch: &mut PsScratch) {
+        let PsScratch {
+            wire, compressor, ..
+        } = &mut *scratch;
+        for frame in wire.iter() {
+            if frame.keys.is_empty() {
+                continue;
+            }
+            let raw = frame.keys.len() as u64 * KEY_BYTES + frame.payload.len() as u64 * 4;
+            self.meter.record_push(frame.wire_bytes(), raw);
+            if let Some(c) = compressor.as_mut() {
+                c.note_frame(frame);
+            }
+        }
     }
 
     /// Send one frame per touched shard, in ascending shard order.
@@ -1813,6 +2054,216 @@ mod tests {
             },
             off,
             "worker-lane traffic is bit-identical with replication on"
+        );
+    }
+
+    #[test]
+    fn compressed_push_cuts_push_lane_bytes_and_applies_decoded_grads() {
+        let (store, topo) = setup(2);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store.clone(), meter.clone());
+        let mut scratch = PsScratch::new();
+        scratch.set_compression(CompressionMode::Int8);
+        let keys: Vec<ParamKey> = (0..6).map(ParamKey).collect();
+        let mut init = vec![[0.0f32; 4]; keys.len()];
+        for (i, &k) in keys.iter().enumerate() {
+            store.pull(k, &mut init[i]);
+        }
+        let g = [0.4f32, -0.2, 0.1, 0.05];
+        let grads: Vec<&[f32]> = keys.iter().map(|_| &g[..]).collect();
+        client
+            .try_push_batch_with(&keys, &grads, &Sgd { lr: 1.0 }, &mut scratch)
+            .unwrap();
+        let s = meter.snapshot();
+        assert_eq!(s.push_messages, 2, "one frame per touched shard");
+        assert_eq!(s.push_raw_bytes, 6 * (16 + 8));
+        assert_eq!(
+            s.push_wire_bytes,
+            6 * (8 + 8),
+            "per row: 8-byte key + 4-byte scale + 4 int8 codes"
+        );
+        assert_eq!(
+            s.local_bytes + s.remote_bytes,
+            s.push_wire_bytes,
+            "the worker lanes carry the encoded bytes, not the dense ones"
+        );
+        let mut buf = [0.0f32; 4];
+        for (i, &k) in keys.iter().enumerate() {
+            store.pull(k, &mut buf);
+            for d in 0..4 {
+                let applied = init[i][d] - buf[d];
+                assert!(
+                    (applied - g[d]).abs() <= 0.4 / 127.0 + 1e-6,
+                    "key {i} dim {d}: applied {applied} vs submitted {}",
+                    g[d]
+                );
+            }
+        }
+        let stats = scratch.compression_stats().unwrap();
+        assert_eq!(stats.rows, 6);
+        assert_eq!(stats.frames, 2);
+        assert!(stats.ratio() > 1.4, "ratio {}", stats.ratio());
+    }
+
+    #[test]
+    fn error_feedback_keeps_repeated_pushes_unbiased() {
+        let (store, topo) = setup(1);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store.clone(), meter);
+        let mut scratch = PsScratch::new();
+        scratch.set_compression(CompressionMode::Int8);
+        let key = ParamKey(0);
+        store.store(key, &[0.0; 4]);
+        let g = [0.013f32, -0.027, 0.0031, 0.009];
+        for _ in 0..200 {
+            client
+                .try_push_with(key, &g, &Sgd { lr: 1.0 }, &mut scratch)
+                .unwrap();
+        }
+        let mut buf = [0.0f32; 4];
+        store.pull(key, &mut buf);
+        for d in 0..4 {
+            let want = -200.0 * g[d];
+            // Without error feedback each step could lose up to half a
+            // quantization step, 200× over; with it only the final
+            // residual — at most one step's rounding error — is
+            // outstanding.
+            assert!(
+                (buf[d] - want).abs() <= 1e-3,
+                "dim {d}: {} drifted from {want}",
+                buf[d]
+            );
+        }
+    }
+
+    #[test]
+    fn topk_pushes_apply_only_the_largest_coordinates() {
+        let (store, topo) = setup(1);
+        let meter = Arc::new(TrafficMeter::new());
+        let client = PsClient::new(0, topo, store.clone(), meter);
+        let mut scratch = PsScratch::new();
+        scratch.set_compression(CompressionMode::TopK);
+        let key = ParamKey(0);
+        store.store(key, &[0.0; 4]);
+        let g = [0.5f32, -0.01, 0.02, -0.003];
+        client
+            .try_push_with(key, &g, &Sgd { lr: 1.0 }, &mut scratch)
+            .unwrap();
+        let mut buf = [0.0f32; 4];
+        store.pull(key, &mut buf);
+        let nonzero = buf.iter().filter(|v| **v != 0.0).count();
+        assert_eq!(nonzero, 1, "k = max(1, 4/4) coordinate survives the wire");
+        assert!((buf[0] + 0.5).abs() <= 0.5 / 127.0 + 1e-6, "got {}", buf[0]);
+        // The dropped mass waits in the residual, not in the void.
+        let mut acc = [0.0f32; 4];
+        assert!(scratch.fold_residual(key, &mut acc));
+        assert!((acc[1] + 0.01).abs() < 1e-6, "got {}", acc[1]);
+        assert!(!scratch.fold_residual(key, &mut acc), "folded once");
+    }
+
+    #[test]
+    fn single_key_push_with_scratch_matches_fresh_calls() {
+        let (store_a, topo) = setup(2);
+        let (store_b, _) = setup(2);
+        let meter_a = Arc::new(TrafficMeter::new());
+        let meter_b = Arc::new(TrafficMeter::new());
+        let a = PsClient::new(0, topo, store_a.clone(), meter_a.clone());
+        let b = PsClient::new(0, topo, store_b.clone(), meter_b.clone());
+        let mut scratch = PsScratch::new();
+        let g = [0.25f32, -0.5, 0.125, 0.0625];
+        for round in 0..5 {
+            for k in [1u64, 0, 3, 9].map(ParamKey) {
+                a.push(k, &g, &Sgd { lr: 0.1 });
+                b.try_push_with(k, &g, &Sgd { lr: 0.1 }, &mut scratch)
+                    .unwrap();
+            }
+            let mut ra = [0.0f32; 4];
+            let mut rb = [0.0f32; 4];
+            a.pull(ParamKey(round), &mut ra);
+            b.try_pull_with(ParamKey(round), &mut rb, &mut scratch)
+                .unwrap();
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(meter_a.snapshot(), meter_b.snapshot());
+        let mut all_a = Vec::new();
+        store_a.for_each_row(|k, row| all_a.push((k, row.to_vec())));
+        let mut all_b = Vec::new();
+        store_b.for_each_row(|k, row| all_b.push((k, row.to_vec())));
+        assert_eq!(all_a, all_b);
+    }
+
+    #[test]
+    fn compress_off_scratch_is_identical_to_a_plain_scratch() {
+        let run = |set_off: bool| {
+            let (store, topo) = setup(2);
+            let meter = Arc::new(TrafficMeter::new());
+            let client = PsClient::new(0, topo, store.clone(), meter.clone());
+            let mut scratch = PsScratch::new();
+            if set_off {
+                scratch.set_compression(CompressionMode::Off);
+            }
+            let keys: Vec<ParamKey> = (0..8).map(ParamKey).collect();
+            let g = [0.1f32; 4];
+            let grads: Vec<&[f32]> = keys.iter().map(|_| &g[..]).collect();
+            for _ in 0..4 {
+                client.push_batch_with(&keys, &grads, &Sgd { lr: 0.1 }, &mut scratch);
+                client
+                    .try_push_with(ParamKey(2), &g, &Sgd { lr: 0.1 }, &mut scratch)
+                    .unwrap();
+            }
+            assert!(scratch.compression_stats().is_none());
+            let mut rows = Vec::new();
+            store.for_each_row(|k, row| {
+                rows.push((k, row.iter().map(|v| v.to_bits()).collect::<Vec<_>>()))
+            });
+            (meter.snapshot(), rows)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn corrupted_compressed_frames_are_detected_and_never_ingested() {
+        // The chaos differential for compressed frames: under a corrupting
+        // plan the encoded-byte checksum must catch every damaged frame and
+        // retransmission must deliver the sealed bytes, so the store ends
+        // bit-identical to a fault-free run of the same compressed pushes.
+        let run = |plan: FaultPlan| {
+            let (store, topo) = setup(2);
+            let meter = Arc::new(TrafficMeter::new());
+            let inj = injector(plan);
+            let policy = RetryPolicy {
+                max_attempts: 64,
+                ..RetryPolicy::default()
+            };
+            let client = PsClient::new(0, topo, store.clone(), meter.clone())
+                .with_faults(inj.clone(), policy);
+            let mut scratch = PsScratch::new();
+            scratch.set_compression(CompressionMode::TopK);
+            let keys: Vec<ParamKey> = (0..8).map(ParamKey).collect();
+            for round in 0..12 {
+                let g = vec![0.01 * (round as f32 + 1.0), -0.02, 0.005, 0.001];
+                let refs: Vec<&[f32]> = keys.iter().map(|_| g.as_slice()).collect();
+                client
+                    .try_push_batch_with(&keys, &refs, &Sgd { lr: 0.1 }, &mut scratch)
+                    .unwrap();
+            }
+            let mut rows = Vec::new();
+            store.for_each_row(|k, row| {
+                rows.push((k, row.iter().map(|v| v.to_bits()).collect::<Vec<_>>()))
+            });
+            (rows, inj.stats())
+        };
+        let (clean, _) = run(FaultPlan::default());
+        let (faulty, stats) = run(FaultPlan::corrupting(9, 0.5));
+        assert!(stats.corrupt_frames > 0, "the plan did corrupt frames");
+        assert_eq!(
+            stats.corrupt_detected, stats.corrupt_frames,
+            "the encoded-byte checksum caught every damaged frame"
+        );
+        assert_eq!(stats.corrupt_ingested, 0);
+        assert_eq!(
+            clean, faulty,
+            "retransmission delivered the sealed bytes bit for bit"
         );
     }
 }

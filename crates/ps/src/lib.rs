@@ -45,6 +45,7 @@
 //! ```
 
 pub mod client;
+pub mod compress;
 pub mod error;
 pub mod kvstore;
 pub mod optimizer;
@@ -53,6 +54,7 @@ pub mod queue;
 pub mod router;
 
 pub use client::{FaultBinding, PsClient, PsScratch};
+pub use compress::PushCompressor;
 pub use error::{RetryPolicy, RpcError, ServerGone};
 pub use kvstore::{KvStore, ReplicationFlush};
 pub use optimizer::{AdaGrad, Optimizer, Sgd};

@@ -50,12 +50,16 @@ struct RefClient {
 }
 
 impl RefClient {
-    fn meter_batch(&self, keys: &[ParamKey]) {
+    fn shard_bytes(&self, keys: &[ParamKey]) -> Vec<u64> {
         let mut bytes = vec![0u64; self.store.router().num_shards()];
         for &k in keys {
             bytes[self.store.router().shard_of(k)] += self.store.row_bytes(k) + KEY_BYTES;
         }
-        for (shard, b) in bytes.into_iter().enumerate() {
+        bytes
+    }
+
+    fn meter_batch(&self, keys: &[ParamKey]) {
+        for (shard, b) in self.shard_bytes(keys).into_iter().enumerate() {
             if b == 0 {
                 continue;
             }
@@ -85,6 +89,13 @@ impl RefClient {
             return;
         }
         self.meter_batch(keys);
+        // Push-lane breakdown: one record per shard message; a dense push
+        // costs on the wire exactly what its rows cost raw.
+        for b in self.shard_bytes(keys) {
+            if b > 0 {
+                self.meter.record_push(b, b);
+            }
+        }
         for (&k, &g) in keys.iter().zip(grads) {
             self.store.push_grad(k, g, opt);
         }

@@ -8,7 +8,7 @@ use hetkg_core::sync::SyncConfig;
 use hetkg_embed::loss::LossKind;
 use hetkg_embed::negative::NegConfig;
 use hetkg_embed::ModelKind;
-use hetkg_netsim::{ClusterTopology, CostModel, FaultPlan};
+use hetkg_netsim::{ClusterTopology, CompressionMode, CostModel, FaultPlan};
 use hetkg_ps::optimizer::OptimizerKind;
 use hetkg_ps::{BreakerConfig, RetryBudgetConfig};
 use serde::{Deserialize, Serialize};
@@ -197,6 +197,14 @@ pub struct TrainConfig {
     /// clients. `None` (the default) disables breakers entirely.
     #[serde(default)]
     pub breaker: Option<BreakerConfig>,
+    /// Push-path gradient compression. [`CompressionMode::Off`] (the
+    /// default) is bit-identical to pre-compression behavior; the lossy
+    /// modes (int8/int4 row quantization, top-k sparsification, or the
+    /// adaptive ladder driven by the pipeline timeline's comm/compute
+    /// occupancy) trade bounded gradient error — held client-side as
+    /// error-feedback residuals — for push-lane bytes.
+    #[serde(default)]
+    pub compression: CompressionMode,
 }
 
 fn default_integrity() -> bool {
@@ -240,6 +248,7 @@ impl TrainConfig {
             replication: 1,
             retry_budget: None,
             breaker: None,
+            compression: CompressionMode::Off,
         }
     }
 
@@ -272,6 +281,7 @@ impl TrainConfig {
             replication: 1,
             retry_budget: None,
             breaker: None,
+            compression: CompressionMode::Off,
         }
     }
 
@@ -344,6 +354,7 @@ mod tests {
         obj.remove("replication");
         obj.remove("retry_budget");
         obj.remove("breaker");
+        obj.remove("compression");
         obj.get_mut("cache")
             .unwrap()
             .as_object_mut()
@@ -360,5 +371,10 @@ mod tests {
         assert_eq!(back.replication, 1, "replication defaults off");
         assert!(back.retry_budget.is_none(), "retry budget defaults off");
         assert!(back.breaker.is_none(), "breakers default off");
+        assert_eq!(
+            back.compression,
+            CompressionMode::Off,
+            "compression defaults off"
+        );
     }
 }

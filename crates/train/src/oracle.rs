@@ -95,6 +95,12 @@ impl OracleReport {
 /// Overload windows likewise perturb values: the brownout serves stale
 /// hits past `P` (up to the staleness cap) and sheds or defers pushes, so
 /// the envelope — not bit-exactness — is the contract.
+///
+/// Push compression is judged separately (see [`shadow_check_with_store`]):
+/// lossy codecs quantize or sparsify every gradient on the wire, so a run
+/// with compression on is never exact against an uncompressed reference
+/// even under a value-preserving fault plan — error feedback bounds the
+/// bias, and the staleness envelope is the contract.
 pub fn value_preserving(plan: &FaultPlan, integrity: bool) -> bool {
     plan.outages.is_empty()
         && plan.crash_epochs().is_empty()
@@ -127,6 +133,7 @@ pub fn shadow_check_with_store(
     reference.checkpoint_every = 0;
     reference.checkpoint_dir = None;
     reference.eval_candidates = None;
+    reference.compression = hetkg_netsim::CompressionMode::Off;
     let (_, ref_store) = train_with_store(kg, train_triples, &[], &reference);
     let (report, faulty_store) = train_with_store(kg, train_triples, &[], config);
 
@@ -160,10 +167,11 @@ pub fn shadow_check_with_store(
         sum / keys_compared as f64
     };
 
-    let exact = config
-        .faults
-        .as_ref()
-        .is_none_or(|p| value_preserving(p, config.integrity));
+    let exact = !config.compression.is_lossy()
+        && config
+            .faults
+            .as_ref()
+            .is_none_or(|p| value_preserving(p, config.integrity));
     let lr = match config.optimizer {
         OptimizerKind::Sgd { lr } | OptimizerKind::AdaGrad { lr } => lr,
     };
@@ -289,6 +297,36 @@ mod tests {
             "training rode through the permanent kill without a restart"
         );
         assert_eq!(fr.recoveries, 0, "failover, not restore-from-checkpoint");
+        r.assert_ok();
+    }
+
+    #[test]
+    fn lossy_compression_is_non_exact_but_inside_the_envelope() {
+        use hetkg_netsim::CompressionMode;
+        let (kg, triples) = workload();
+        for mode in [CompressionMode::Int8, CompressionMode::TopK] {
+            let mut config = cfg(SystemKind::HetKgCps);
+            config.compression = mode;
+            let r = shadow_check(&kg, &triples, &config, OracleConfig::default());
+            assert!(!r.exact, "{mode:?}: quantized pushes cannot be bit-exact");
+            assert!(
+                r.max_divergence > 0.0,
+                "{mode:?}: lossy codec left no trace"
+            );
+            let cr = r.report.compression.as_ref().unwrap();
+            assert!(cr.wire_bytes < cr.raw_bytes, "{mode:?}: nothing compressed");
+            r.assert_ok();
+        }
+    }
+
+    #[test]
+    fn compression_off_keeps_a_clean_run_exact() {
+        let (kg, triples) = workload();
+        let config = cfg(SystemKind::HetKgCps);
+        let r = shadow_check(&kg, &triples, &config, OracleConfig::default());
+        assert!(r.exact);
+        assert_eq!(r.max_divergence, 0.0);
+        assert!(r.report.compression.is_none());
         r.assert_ok();
     }
 

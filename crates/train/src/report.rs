@@ -219,6 +219,57 @@ impl FaultReport {
     }
 }
 
+/// Push-compression accounting, summed over all workers. Present when the
+/// run compressed its push path (a [`CompressionMode`] other than `Off`).
+///
+/// [`CompressionMode`]: hetkg_netsim::CompressionMode
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompressionReport {
+    /// The configured mode ("int8", "int4", "topk", "adaptive").
+    pub mode: String,
+    /// Rows pushed through the compressor.
+    pub rows: u64,
+    /// Delivered push frames.
+    pub frames: u64,
+    /// What the pushed rows would have cost dense (key ids + f32 payload).
+    pub raw_bytes: u64,
+    /// What they actually cost on the wire.
+    pub wire_bytes: u64,
+    /// Error-feedback residuals folded into degraded-mode backlogs.
+    pub residual_folds: u64,
+    /// Adaptive-ladder tighten steps over the run.
+    pub level_ups: u64,
+    /// Adaptive-ladder relax steps over the run.
+    pub level_downs: u64,
+}
+
+impl CompressionReport {
+    /// Build from a worker-summed [`CompressionStats`].
+    ///
+    /// [`CompressionStats`]: hetkg_netsim::CompressionStats
+    pub fn from_stats(mode: &str, s: hetkg_netsim::CompressionStats) -> Self {
+        Self {
+            mode: mode.to_string(),
+            rows: s.rows,
+            frames: s.frames,
+            raw_bytes: s.raw_bytes,
+            wire_bytes: s.wire_bytes,
+            residual_folds: s.residual_folds,
+            level_ups: s.level_ups,
+            level_downs: s.level_downs,
+        }
+    }
+
+    /// Bytes-saved ratio, `raw / wire` (1.0 when nothing was pushed).
+    pub fn ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.wire_bytes as f64
+        }
+    }
+}
+
 /// Full training-run report.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -236,6 +287,9 @@ pub struct TrainReport {
     /// Supervision accounting (present iff a fault plan was attached).
     #[serde(default)]
     pub supervisor: Option<SupervisorReport>,
+    /// Push-compression accounting (present iff compression was on).
+    #[serde(default)]
+    pub compression: Option<CompressionReport>,
 }
 
 impl TrainReport {
@@ -534,6 +588,29 @@ mod tests {
         assert_eq!(back_faults.catch_up_frames, 0);
         assert_eq!(back_faults.hedged_pulls, 0);
         assert_eq!(back.max_staleness(), 0);
+    }
+
+    #[test]
+    fn pre_compression_report_json_still_loads() {
+        let r = TrainReport {
+            epochs: vec![epoch(1.0, 2.0, None)],
+            ..Default::default()
+        };
+        let mut v = serde_json::to_value(&r).unwrap();
+        assert!(v.as_object_mut().unwrap().remove("compression").is_some());
+        let back: TrainReport = serde_json::from_value(v).unwrap();
+        assert!(back.compression.is_none());
+    }
+
+    #[test]
+    fn compression_report_ratio() {
+        let c = CompressionReport {
+            raw_bytes: 400,
+            wire_bytes: 100,
+            ..Default::default()
+        };
+        assert_eq!(c.ratio(), 4.0);
+        assert_eq!(CompressionReport::default().ratio(), 1.0);
     }
 
     #[test]

@@ -219,6 +219,10 @@ impl DglKeWorker {
 }
 
 impl WorkerLoop for DglKeWorker {
+    fn compression_stats(&self) -> hetkg_netsim::CompressionStats {
+        self.ctx.ps.compression_stats().unwrap_or_default()
+    }
+
     fn begin_epoch(&mut self, _epoch: usize) {
         self.run.begin(self.ctx.meter.snapshot());
         self.ctx.begin_epoch_timing();

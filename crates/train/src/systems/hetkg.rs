@@ -381,6 +381,7 @@ impl HetKgWorker {
             let client = &self.ctx.client;
             let grads = &self.ctx.grads;
             let backlog = &mut self.backlog;
+            let ps = &mut self.ctx.ps;
             let cap = self.backlog_cap;
             up_keys.retain(|&k| {
                 if client.shard_healthy(k) {
@@ -388,6 +389,14 @@ impl HetKgWorker {
                 }
                 if Self::defer_into(backlog, cap, k, grads.row(k)) {
                     deferred += 1;
+                    // A deferred push must carry the key's pending
+                    // error-feedback residual too — otherwise the
+                    // compression error would sit client-side until the
+                    // key happens to be pushed again, stretching the
+                    // staleness envelope. Shed keys keep their residual.
+                    if let Some(e) = backlog.get_mut(&k) {
+                        ps.fold_residual(k, e);
+                    }
                 } else {
                     shed += 1;
                 }
@@ -412,10 +421,14 @@ impl HetKgWorker {
                 // closes or the flash crowd passes.
                 let grads = &self.ctx.grads;
                 let backlog = &mut self.backlog;
+                let ps = &mut self.ctx.ps;
                 let cap = self.backlog_cap;
                 for &k in &up_keys {
                     if Self::defer_into(backlog, cap, k, grads.row(k)) {
                         deferred += 1;
+                        if let Some(e) = backlog.get_mut(&k) {
+                            ps.fold_residual(k, e);
+                        }
                     } else {
                         shed += 1;
                     }
@@ -798,6 +811,10 @@ impl HetKgWorker {
 }
 
 impl WorkerLoop for HetKgWorker {
+    fn compression_stats(&self) -> hetkg_netsim::CompressionStats {
+        self.ctx.ps.compression_stats().unwrap_or_default()
+    }
+
     fn begin_epoch(&mut self, _epoch: usize) {
         self.run.begin(self.ctx.meter.snapshot());
         self.epoch_start_cache = self.cache_stats;

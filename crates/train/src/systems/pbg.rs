@@ -400,6 +400,10 @@ impl PbgWorker {
 }
 
 impl WorkerLoop for PbgWorker {
+    fn compression_stats(&self) -> hetkg_netsim::CompressionStats {
+        self.ctx.ps.compression_stats().unwrap_or_default()
+    }
+
     fn begin_epoch(&mut self, epoch: usize) {
         self.locks.begin_epoch(epoch);
         self.run.begin(self.ctx.meter.snapshot());

@@ -14,7 +14,7 @@
 //! reported, never partially loaded.
 
 use crate::config::{PartitionerKind, SystemKind, TrainConfig};
-use crate::report::{EpochReport, FaultReport, TrainReport};
+use crate::report::{CompressionReport, EpochReport, FaultReport, TrainReport};
 use crate::supervisor::{RestartDecision, Supervisor};
 use crate::systems::dglke::DglKeWorker;
 use crate::systems::hetkg::HetKgWorker;
@@ -27,7 +27,7 @@ use hetkg_embed::negative::NegativeSampler;
 use hetkg_embed::storage::EmbeddingTable;
 use hetkg_eval::link_prediction::{evaluate, EmbeddingSnapshot, EvalConfig};
 use hetkg_kgraph::{ids::KeyKind, EntityId, KeySpace, KnowledgeGraph, RelationId, Triple};
-use hetkg_netsim::{FaultInjector, ShardLiveness, TrafficMeter};
+use hetkg_netsim::{CompressionMode, CompressionStats, FaultInjector, ShardLiveness, TrafficMeter};
 use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
 use hetkg_ps::{KvStore, OverloadControl, PsClient, RetryPolicy, ShardRouter};
 use std::collections::{HashSet, VecDeque};
@@ -182,7 +182,8 @@ pub fn train_with_store(
                 optimizer.clone(),
                 config.batch_size,
             )
-            .with_timing(config.cost_model, overlap);
+            .with_timing(config.cost_model, overlap)
+            .with_compression(config.compression);
             let negatives = NegativeSampler::new(
                 kg.num_entities(),
                 config.negatives,
@@ -375,6 +376,15 @@ pub fn train_with_store(
     }
     if let Some(sup) = supervisor {
         report.supervisor = Some(sup.into_report());
+    }
+    if config.compression != CompressionMode::Off {
+        let total = workers.iter().fold(CompressionStats::default(), |acc, w| {
+            acc.merge(w.compression_stats())
+        });
+        report.compression = Some(CompressionReport::from_stats(
+            config.compression.as_str(),
+            total,
+        ));
     }
     (report, store)
 }

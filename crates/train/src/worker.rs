@@ -6,7 +6,9 @@ use hetkg_core::metrics::CacheStats;
 use hetkg_embed::loss::LossKind;
 use hetkg_embed::models::KgeModel;
 use hetkg_kgraph::{KeySpace, ParamKey, Triple};
-use hetkg_netsim::{CostModel, Lane, Timeline, TrafficMeter, TrafficSnapshot};
+use hetkg_netsim::{
+    CompressionMode, CompressionStats, CostModel, Lane, Timeline, TrafficMeter, TrafficSnapshot,
+};
 use hetkg_ps::optimizer::Optimizer;
 use hetkg_ps::{PsClient, PsScratch};
 use std::sync::Arc;
@@ -87,6 +89,10 @@ pub struct WorkerCtx {
     pub timeline: Timeline,
     /// Reusable key buffer for batched pushes.
     push_keys: Vec<ParamKey>,
+    /// Cumulative per-lane busy seconds at epoch start ([comm, compute]),
+    /// so the adaptive compression policy sees this epoch's occupancy
+    /// delta rather than the whole run's.
+    epoch_busy: [f64; 2],
 }
 
 impl WorkerCtx {
@@ -125,6 +131,7 @@ impl WorkerCtx {
             overlap: false,
             timeline: Timeline::pipelined(),
             push_keys: Vec::new(),
+            epoch_busy: [0.0; 2],
         }
     }
 
@@ -133,6 +140,15 @@ impl WorkerCtx {
     pub fn with_timing(mut self, cost: CostModel, overlap: bool) -> Self {
         self.cost = cost;
         self.overlap = overlap;
+        self
+    }
+
+    /// Select the push-path compression mode. The compressor lives in this
+    /// worker's [`PsScratch`], so every push this worker issues — batched,
+    /// single-key, or backlog flush — threads through it without further
+    /// plumbing. [`CompressionMode::Off`] leaves pushes dense.
+    pub fn with_compression(mut self, mode: CompressionMode) -> Self {
+        self.ps.set_compression(mode);
         self
     }
 
@@ -194,14 +210,27 @@ impl WorkerCtx {
     pub fn begin_epoch_timing(&mut self) {
         if self.overlap {
             self.timeline.begin_epoch();
+            self.epoch_busy = [
+                self.timeline.busy(Lane::Comm),
+                self.timeline.busy(Lane::Compute),
+            ];
         }
     }
 
     /// Close the epoch on the timeline and return its critical path
-    /// (`0.0` when overlap accounting is off).
+    /// (`0.0` when overlap accounting is off). The epoch's comm/compute
+    /// lane occupancy is fed to the adaptive compression policy here:
+    /// "tighten only when the comm lane is critical" is judged on exactly
+    /// the occupancy the pipeline timeline measured. Fixed compression
+    /// modes (and overlap-off runs, which post no lane time) are
+    /// unaffected.
     pub fn end_epoch_timing(&mut self) -> f64 {
         if self.overlap {
-            self.timeline.end_epoch()
+            let cp = self.timeline.end_epoch();
+            let comm = self.timeline.busy(Lane::Comm) - self.epoch_busy[0];
+            let compute = self.timeline.busy(Lane::Compute) - self.epoch_busy[1];
+            self.ps.adapt_compression(comm, compute);
+            cp
         } else {
             0.0
         }
@@ -266,6 +295,14 @@ pub trait WorkerLoop: Send {
     /// Close the epoch started by [`WorkerLoop::begin_epoch`] and report
     /// its stats.
     fn finish_epoch(&mut self) -> WorkerEpochStats;
+
+    /// Cumulative push-compression counters for this worker's run so far
+    /// (zeros when compression is off). Systems that own a [`WorkerCtx`]
+    /// surface its scratch's stats; the default covers loops that never
+    /// push.
+    fn compression_stats(&self) -> CompressionStats {
+        CompressionStats::default()
+    }
 
     /// Run one whole epoch and report stats (single-worker convenience;
     /// the trainer drives the step protocol directly).

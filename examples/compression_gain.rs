@@ -1,0 +1,79 @@
+//! Measure what push-path gradient compression buys on the wire: train
+//! HET-KG-D on a 4-shard workload under each compression mode and print one
+//! JSON record per mode (metered push-lane bytes raw vs wire, compression
+//! ratio, comm time, and the codec's own counters).
+//!
+//! `scripts/bench_compression.sh` runs this and collects the output into
+//! `BENCH_compression.json`.
+//!
+//! Run directly with:
+//! ```sh
+//! cargo run --release --example compression_gain
+//! ```
+
+use het_kg::prelude::*;
+use serde_json::json;
+
+fn main() {
+    let kg = SyntheticKg {
+        num_entities: 4_000,
+        num_relations: 24,
+        num_triples: 8_000,
+        ..Default::default()
+    }
+    .build(11);
+    let split = Split::ninety_five_five(&kg, 11);
+
+    let mut records = Vec::new();
+    for mode in [
+        CompressionMode::Off,
+        CompressionMode::Int8,
+        CompressionMode::Int4,
+        CompressionMode::TopK,
+        CompressionMode::Adaptive,
+    ] {
+        let mut cfg = TrainConfig::small(SystemKind::HetKgDps);
+        cfg.epochs = 3;
+        cfg.dim = 32;
+        cfg.machines = 4;
+        cfg.eval_candidates = None;
+        cfg.compression = mode;
+
+        let report = train(&kg, &split.train, &[], &cfg);
+        let t = report.total_traffic();
+        let ratio = if t.push_wire_bytes > 0 {
+            t.push_raw_bytes as f64 / t.push_wire_bytes as f64
+        } else {
+            1.0
+        };
+        records.push(json!({
+            "mode": mode.as_str(),
+            "epochs": cfg.epochs,
+            "push_raw_bytes": t.push_raw_bytes,
+            "push_wire_bytes": t.push_wire_bytes,
+            "push_frames": t.push_messages,
+            "push_ratio": ratio,
+            "total_bytes": t.total_bytes(),
+            "comm_secs": report.total_comm_secs(),
+            "total_secs": report.total_secs(),
+            "codec": report.compression.as_ref().map(|c| json!({
+                "rows": c.rows,
+                "residual_folds": c.residual_folds,
+                "ladder_ups": c.level_ups,
+                "ladder_downs": c.level_downs,
+            })),
+        }));
+    }
+
+    let doc = json!({
+        "workload": {
+            "entities": kg.num_entities(),
+            "relations": kg.num_relations(),
+            "triples": kg.num_triples(),
+            "machines": 4,
+            "dim": 32,
+        },
+        "modes": records,
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+}

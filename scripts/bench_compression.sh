@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Benchmark push-path gradient compression: train the 4-shard workload
+# under each compression mode and write the result to
+# BENCH_compression.json (per mode: metered push-lane bytes raw vs wire,
+# compression ratio, comm time, and codec counters).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_compression.json
+cargo run --release --example compression_gain > "$OUT"
+echo "wrote $OUT" >&2

@@ -8,6 +8,7 @@
 //!                 [--fault-profile P] [--checkpoint-every N]
 //!                 [--integrity on|off] [--checkpoint-dir DIR]
 //!                 [--max-restarts N] [--oracle on|off]
+//!                 [--compress off|int8|int4|topk|adaptive]
 //! hetkg eval      (--data DIR | --synthetic NAME) --checkpoint CK.bin
 //!                 [--model M] [--dim D] [--candidates K]
 //! ```
@@ -129,6 +130,13 @@ fn usage() {
     println!("  --seed N        master seed                          (default 42)");
     println!("  --no-overlap    disable comm/compute pipelining; reproduces the");
     println!("                  sequential timing accounting bit for bit");
+    println!("  --compress C    push-path gradient compression        (default off)");
+    println!("                  off: dense f32 rows, bit-identical to pre-compression");
+    println!("                  int8 | int4: per-row scaled quantization");
+    println!("                  topk: top-k sparsification (k = dim/4)");
+    println!("                  adaptive: starts at int8, tightens to top-k only");
+    println!("                  while the comm lane is the bottleneck; error-");
+    println!("                  feedback residuals stay client-side in every mode");
     println!("fault injection (train):");
     println!("  --fault-profile P    none | lossy | corrupt | outage | overload | chaos");
     println!("                       | failover, or a JSON FaultPlan file (default none)");
@@ -462,6 +470,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "replication",
             "retry-budget",
             "breaker",
+            "compress",
         ],
     )?;
     let data = load_data(flags)?;
@@ -503,6 +512,12 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     cfg.supervisor.max_restarts =
         non_negative(flags, "max-restarts", cfg.supervisor.max_restarts as usize)? as u32;
     cfg.overlap = !flags.contains_key("no-overlap");
+    let compress = flag(flags, "compress", "off");
+    cfg.compression =
+        het_kg::netsim::CompressionMode::parse(compress).ok_or_else(|| CliError::BadFlag {
+            flag: "compress",
+            message: format!("unknown mode {compress:?} (off | int8 | int4 | topk | adaptive)"),
+        })?;
     let oracle_on = switch(flags, "oracle", false)?;
 
     println!(
@@ -583,6 +598,20 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         100.0 * report.comm_fraction(),
         report.total_traffic().total_bytes() as f64 / 1e6
     );
+    if let Some(c) = &report.compression {
+        println!(
+            "compression: mode={} | push lane {:.1} KB raw -> {:.1} KB wire ({:.2}x) over {} rows in {} frames | {} residual folds | ladder +{}/-{}",
+            c.mode,
+            c.raw_bytes as f64 / 1e3,
+            c.wire_bytes as f64 / 1e3,
+            c.ratio(),
+            c.rows,
+            c.frames,
+            c.residual_folds,
+            c.level_ups,
+            c.level_downs,
+        );
+    }
     let overlapped = report.total_overlap_secs();
     if overlapped > 0.0 {
         println!(

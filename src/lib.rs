@@ -75,8 +75,8 @@ pub mod prelude {
         datasets, EntityId, KeySpace, KnowledgeGraph, ParamKey, RelationId, Triple,
     };
     pub use hetkg_netsim::{
-        ClusterTopology, CostModel, CrashPoint, FaultPlan, OutageWindow, ShardKill, ShardLiveness,
-        SlowEpisode, WireFrame,
+        ClusterTopology, CompressionMode, CostModel, CrashPoint, FaultPlan, OutageWindow,
+        ShardKill, ShardLiveness, SlowEpisode, WireFrame,
     };
     pub use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
     pub use hetkg_ps::optimizer::OptimizerKind;
