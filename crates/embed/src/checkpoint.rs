@@ -72,6 +72,15 @@ pub enum CheckpointError {
         /// How many manifest entries were tried (and failed).
         tried: usize,
     },
+    /// A table dimension or string length exceeds what the format's u32
+    /// fields can record. Refusing to serialize beats the silent `as u32`
+    /// truncation this replaces, which round-tripped as corrupt tables.
+    TooLarge {
+        /// Which field overflowed (e.g. `"entity dim"`).
+        what: &'static str,
+        /// The offending length.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -86,6 +95,12 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::NoValidCheckpoint { tried } => {
                 write!(f, "no valid checkpoint in manifest ({tried} entries tried)")
+            }
+            CheckpointError::TooLarge { what, len } => {
+                write!(
+                    f,
+                    "checkpoint {what} of {len} does not fit the format's u32 field"
+                )
             }
         }
     }
@@ -149,8 +164,16 @@ impl Checkpoint {
         }
     }
 
-    /// Serialize to bytes.
-    pub fn to_bytes(&self) -> Bytes {
+    /// Check that a length fits the format's u32 fields — bare `as u32`
+    /// casts here used to truncate oversized tables into checkpoints that
+    /// round-tripped corrupt.
+    fn u32_of(what: &'static str, len: usize) -> Result<u32, CheckpointError> {
+        u32::try_from(len).map_err(|_| CheckpointError::TooLarge { what, len })
+    }
+
+    /// Serialize to bytes. Fails with [`CheckpointError::TooLarge`] when a
+    /// dimension or the optimizer string overflows the format's u32 fields.
+    pub fn to_bytes(&self) -> Result<Bytes, CheckpointError> {
         let payload = 4 * (self.entities.as_slice().len() + self.relations.as_slice().len());
         let mut buf = BytesMut::with_capacity(8 + 4 + 4 * 4 + payload);
         buf.put_slice(MAGIC);
@@ -159,17 +182,17 @@ impl Checkpoint {
             Some(_) => buf.put_u32_le(VERSION_V2),
         }
         buf.put_u64_le(self.entities.rows() as u64);
-        buf.put_u32_le(self.entities.dim() as u32);
+        buf.put_u32_le(Self::u32_of("entity dim", self.entities.dim())?);
         buf.put_u64_le(self.relations.rows() as u64);
-        buf.put_u32_le(self.relations.dim() as u32);
+        buf.put_u32_le(Self::u32_of("relation dim", self.relations.dim())?);
         if let Some(ts) = &self.train_state {
             buf.put_u64_le(ts.epoch);
-            buf.put_u32_le(ts.optimizer.len() as u32);
+            buf.put_u32_le(Self::u32_of("optimizer string", ts.optimizer.len())?);
             buf.put_slice(ts.optimizer.as_bytes());
             buf.put_u64_le(ts.entity_state.rows() as u64);
-            buf.put_u32_le(ts.entity_state.dim() as u32);
+            buf.put_u32_le(Self::u32_of("entity state dim", ts.entity_state.dim())?);
             buf.put_u64_le(ts.relation_state.rows() as u64);
-            buf.put_u32_le(ts.relation_state.dim() as u32);
+            buf.put_u32_le(Self::u32_of("relation state dim", ts.relation_state.dim())?);
         }
         for &v in self.entities.as_slice() {
             buf.put_f32_le(v);
@@ -185,13 +208,14 @@ impl Checkpoint {
                 buf.put_f32_le(v);
             }
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Serialize to the checked v3 format: v2's fields plus a FNV-1a digest
     /// after the header and after each payload table. This is what
-    /// [`save`](Checkpoint::save) puts on disk.
-    pub fn to_bytes_checked(&self) -> Bytes {
+    /// [`save`](Checkpoint::save) puts on disk. Fails with
+    /// [`CheckpointError::TooLarge`] like [`to_bytes`](Self::to_bytes).
+    pub fn to_bytes_checked(&self) -> Result<Bytes, CheckpointError> {
         let payload = 4 * (self.entities.as_slice().len() + self.relations.as_slice().len());
         let mut buf = BytesMut::with_capacity(8 + 4 + 4 + 4 * (8 + 4) + 5 * 4 + payload);
         buf.put_slice(MAGIC);
@@ -202,17 +226,17 @@ impl Checkpoint {
             0
         });
         buf.put_u64_le(self.entities.rows() as u64);
-        buf.put_u32_le(self.entities.dim() as u32);
+        buf.put_u32_le(Self::u32_of("entity dim", self.entities.dim())?);
         buf.put_u64_le(self.relations.rows() as u64);
-        buf.put_u32_le(self.relations.dim() as u32);
+        buf.put_u32_le(Self::u32_of("relation dim", self.relations.dim())?);
         if let Some(ts) = &self.train_state {
             buf.put_u64_le(ts.epoch);
-            buf.put_u32_le(ts.optimizer.len() as u32);
+            buf.put_u32_le(Self::u32_of("optimizer string", ts.optimizer.len())?);
             buf.put_slice(ts.optimizer.as_bytes());
             buf.put_u64_le(ts.entity_state.rows() as u64);
-            buf.put_u32_le(ts.entity_state.dim() as u32);
+            buf.put_u32_le(Self::u32_of("entity state dim", ts.entity_state.dim())?);
             buf.put_u64_le(ts.relation_state.rows() as u64);
-            buf.put_u32_le(ts.relation_state.dim() as u32);
+            buf.put_u32_le(Self::u32_of("relation state dim", ts.relation_state.dim())?);
         }
         let header_crc = fnv1a(&buf[..]);
         buf.put_u32_le(header_crc);
@@ -231,7 +255,7 @@ impl Checkpoint {
             put_table(&mut buf, &ts.entity_state);
             put_table(&mut buf, &ts.relation_state);
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Deserialize from bytes (reads v1, v2, and the checked v3 format).
@@ -430,7 +454,7 @@ impl Checkpoint {
         let tmp = std::path::PathBuf::from(tmp);
         {
             let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(&self.to_bytes_checked())?;
+            file.write_all(&self.to_bytes_checked()?)?;
             file.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
@@ -487,14 +511,37 @@ mod tests {
     #[test]
     fn bytes_round_trip() {
         let ck = sample();
-        let back = Checkpoint::from_bytes(ck.to_bytes()).unwrap();
+        let back = Checkpoint::from_bytes(ck.to_bytes().unwrap()).unwrap();
         assert_eq!(back, ck);
+    }
+
+    /// A multi-gigabyte table can't be built in a test, so the length
+    /// check is exercised through the helper the serializers call: any u32
+    /// field source beyond `u32::MAX` must surface `TooLarge`, never wrap.
+    #[test]
+    fn oversized_lengths_refuse_to_serialize() {
+        assert_eq!(Checkpoint::u32_of("entity dim", 12).unwrap(), 12);
+        assert_eq!(
+            Checkpoint::u32_of("entity dim", u32::MAX as usize).unwrap(),
+            u32::MAX
+        );
+        let too_big = u32::MAX as usize + 1;
+        match Checkpoint::u32_of("entity dim", too_big) {
+            Err(CheckpointError::TooLarge { what, len }) => {
+                assert_eq!(what, "entity dim");
+                assert_eq!(len, too_big);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // The old `as u32` behavior would have produced 0 here — the exact
+        // silent truncation the typed error replaces.
+        assert_eq!(too_big as u32, 0);
     }
 
     #[test]
     fn v2_bytes_round_trip() {
         let ck = sample_v2();
-        let back = Checkpoint::from_bytes(ck.to_bytes()).unwrap();
+        let back = Checkpoint::from_bytes(ck.to_bytes().unwrap()).unwrap();
         assert_eq!(back, ck);
         let ts = back.train_state.unwrap();
         assert_eq!(ts.epoch, 5);
@@ -513,7 +560,7 @@ mod tests {
 
     #[test]
     fn stateless_checkpoint_serializes_as_v1() {
-        let bytes = sample().to_bytes();
+        let bytes = sample().to_bytes().unwrap();
         assert_eq!(&bytes[8..12], &1u32.to_le_bytes(), "version 1 on the wire");
     }
 
@@ -523,7 +570,7 @@ mod tests {
         let entities = EmbeddingTable::from_data(4, vec![1.0; 8]);
         let relations = EmbeddingTable::from_data(20, vec![2.0; 40]);
         let ck = Checkpoint::new(entities, relations);
-        let back = Checkpoint::from_bytes(ck.to_bytes()).unwrap();
+        let back = Checkpoint::from_bytes(ck.to_bytes().unwrap()).unwrap();
         assert_eq!(back.entities.dim(), 4);
         assert_eq!(back.relations.dim(), 20);
     }
@@ -537,7 +584,7 @@ mod tests {
     #[test]
     fn truncation_is_detected() {
         let ck = sample();
-        let bytes = ck.to_bytes();
+        let bytes = ck.to_bytes().unwrap();
         let cut = bytes.slice(..bytes.len() - 10);
         let err = Checkpoint::from_bytes(cut).unwrap_err();
         assert!(matches!(err, CheckpointError::Truncated), "{err}");
@@ -546,7 +593,7 @@ mod tests {
     #[test]
     fn wrong_version_is_rejected() {
         let ck = sample();
-        let mut raw = ck.to_bytes().to_vec();
+        let mut raw = ck.to_bytes().unwrap().to_vec();
         raw[8] = 99; // version LE byte 0
         let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();
         assert!(matches!(err, CheckpointError::BadVersion(_)));
@@ -555,7 +602,7 @@ mod tests {
     #[test]
     fn empty_tables_round_trip() {
         let ck = Checkpoint::new(EmbeddingTable::zeros(0, 3), EmbeddingTable::zeros(0, 2));
-        let back = Checkpoint::from_bytes(ck.to_bytes()).unwrap();
+        let back = Checkpoint::from_bytes(ck.to_bytes().unwrap()).unwrap();
         assert_eq!(back.entities.rows(), 0);
         assert_eq!(back.relations.dim(), 2);
     }
@@ -563,7 +610,7 @@ mod tests {
     #[test]
     fn v3_round_trips_with_and_without_state() {
         for ck in [sample(), sample_v2()] {
-            let bytes = ck.to_bytes_checked();
+            let bytes = ck.to_bytes_checked().unwrap();
             assert_eq!(&bytes[8..12], &3u32.to_le_bytes(), "version 3 on the wire");
             let back = Checkpoint::from_bytes(bytes).unwrap();
             assert_eq!(back, ck);
@@ -573,7 +620,7 @@ mod tests {
     #[test]
     fn v3_empty_tables_round_trip() {
         let ck = Checkpoint::new(EmbeddingTable::zeros(0, 3), EmbeddingTable::zeros(0, 2));
-        let back = Checkpoint::from_bytes(ck.to_bytes_checked()).unwrap();
+        let back = Checkpoint::from_bytes(ck.to_bytes_checked().unwrap()).unwrap();
         assert_eq!(back.entities.rows(), 0);
         assert_eq!(back.relations.dim(), 2);
     }
@@ -581,7 +628,7 @@ mod tests {
     #[test]
     fn v3_detects_payload_corruption_with_section() {
         let ck = sample_v2();
-        let clean = ck.to_bytes_checked().to_vec();
+        let clean = ck.to_bytes_checked().unwrap().to_vec();
         // Flip one byte in the middle of the entities payload (which starts
         // right after the header + its CRC) and expect the right section.
         let ent_bytes = 4 * ck.entities.as_slice().len();
@@ -615,7 +662,7 @@ mod tests {
     #[test]
     fn v3_detects_header_corruption() {
         let ck = sample_v2();
-        let mut raw = ck.to_bytes_checked().to_vec();
+        let mut raw = ck.to_bytes_checked().unwrap().to_vec();
         raw[16] ^= 0x02; // ent_rows low byte
         let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();
         assert!(
@@ -630,7 +677,7 @@ mod tests {
 
     #[test]
     fn v3_every_truncation_point_errors_without_panic() {
-        let bytes = sample_v2().to_bytes_checked();
+        let bytes = sample_v2().to_bytes_checked().unwrap();
         for cut in 0..bytes.len() {
             let err = Checkpoint::from_bytes(bytes.slice(..cut)).unwrap_err();
             assert!(

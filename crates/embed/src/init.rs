@@ -8,9 +8,10 @@
 use crate::storage::EmbeddingTable;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Initialization scheme for an embedding table.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Init {
     /// Uniform in `[-bound, bound]`.
     Uniform {

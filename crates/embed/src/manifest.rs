@@ -109,7 +109,7 @@ impl CheckpointStore {
             // Simulate a medium that acknowledged the write but persisted
             // only a prefix: the final name exists, the image does not
             // validate, and the manifest still advertises it.
-            let full = ck.to_bytes_checked();
+            let full = ck.to_bytes_checked()?;
             std::fs::write(&path, &full[..full.len() * 2 / 3])?;
         } else {
             ck.save(&path)?;

@@ -36,7 +36,7 @@ fn tmp_path(tag: &str) -> std::path::PathBuf {
 #[test]
 fn bad_magic_on_disk() {
     let path = tmp_path("magic");
-    let mut raw = v1().to_bytes().to_vec();
+    let mut raw = v1().to_bytes().unwrap().to_vec();
     raw[0] ^= 0xFF;
     std::fs::write(&path, &raw).unwrap();
     let err = Checkpoint::load(&path).unwrap_err();
@@ -47,7 +47,7 @@ fn bad_magic_on_disk() {
 #[test]
 fn bad_version_on_disk() {
     let path = tmp_path("version");
-    let mut raw = v2().to_bytes().to_vec();
+    let mut raw = v2().to_bytes().unwrap().to_vec();
     raw[8] = 77; // version field follows the 8-byte magic
     std::fs::write(&path, &raw).unwrap();
     let err = Checkpoint::load(&path).unwrap_err();
@@ -63,7 +63,7 @@ fn missing_file_is_io_error() {
 
 #[test]
 fn every_truncation_point_is_rejected_v1() {
-    let full = v1().to_bytes();
+    let full = v1().to_bytes().unwrap();
     // Any strict prefix must fail with BadMagic (couldn't even read the
     // header) or Truncated — never panic, never succeed.
     for cut in 0..full.len() {
@@ -78,7 +78,7 @@ fn every_truncation_point_is_rejected_v1() {
 
 #[test]
 fn every_truncation_point_is_rejected_v2() {
-    let full = v2().to_bytes();
+    let full = v2().to_bytes().unwrap();
     for cut in 0..full.len() {
         let err = Checkpoint::from_bytes(full.slice(..cut)).unwrap_err();
         assert!(
@@ -91,7 +91,7 @@ fn every_truncation_point_is_rejected_v2() {
 
 #[test]
 fn zero_dims_are_rejected() {
-    let mut raw = v1().to_bytes().to_vec();
+    let mut raw = v1().to_bytes().unwrap().to_vec();
     // entity dim lives after magic(8) + version(4) + ent_rows(8).
     raw[20..24].copy_from_slice(&0u32.to_le_bytes());
     let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();
@@ -102,7 +102,7 @@ fn zero_dims_are_rejected() {
 fn oversized_shape_claims_are_rejected() {
     // A header claiming more rows than the payload carries must fail
     // cleanly instead of over-reading.
-    let mut raw = v1().to_bytes().to_vec();
+    let mut raw = v1().to_bytes().unwrap().to_vec();
     raw[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
     let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();
     assert!(matches!(err, CheckpointError::Truncated), "{err}");
@@ -140,7 +140,7 @@ fn flipped_payload_bytes_still_parse_but_differ() {
     // In the legacy v1/v2 encodings payload corruption is not detectable
     // (no digest) — it must parse without crashing, just to different
     // values. The checked v3 format closes this hole (next test).
-    let mut raw = v2().to_bytes().to_vec();
+    let mut raw = v2().to_bytes().unwrap().to_vec();
     let last = raw.len() - 1;
     raw[last] ^= 0xFF;
     let back = Checkpoint::from_bytes(Bytes::from(raw)).unwrap();
@@ -151,7 +151,7 @@ fn flipped_payload_bytes_still_parse_but_differ() {
 fn v3_catches_the_flip_v2_cannot_see() {
     // The exact same last-byte flip, applied to the checked encoding, is a
     // typed checksum error instead of silently different embeddings.
-    let mut raw = v2().to_bytes_checked().to_vec();
+    let mut raw = v2().to_bytes_checked().unwrap().to_vec();
     let last = raw.len() - 1;
     raw[last] ^= 0xFF;
     let err = Checkpoint::from_bytes(Bytes::from(raw)).unwrap_err();

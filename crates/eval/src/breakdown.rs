@@ -35,13 +35,17 @@ impl EvalBreakdown {
             .iter()
             .map(|(&r, m)| (r, m.mrr()))
             .collect();
-        v.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("mrr is finite")
-                .then(a.0.cmp(&b.0))
-        });
+        sort_hardest(&mut v);
         v
     }
+}
+
+/// Ascending-MRR sort with id tiebreak. `total_cmp` gives NaN a fixed
+/// place in the order (after +inf) instead of panicking: a NaN metric —
+/// from a hand-merged [`RankMetrics`] or a future float change — must not
+/// take down the report path.
+fn sort_hardest(v: &mut [(RelationId, f64)]) {
+    v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
 }
 
 /// Run link prediction collecting the full breakdown.
@@ -145,6 +149,27 @@ mod tests {
         assert!(hardest[0].1 < hardest[1].1);
         // Relation 0 is learned perfectly.
         assert_eq!(b.per_relation[&RelationId(0)].mrr(), 1.0);
+    }
+
+    /// `RankMetrics` cannot currently produce a NaN MRR, but the report
+    /// sort must not be one float refactor away from a panic — a NaN entry
+    /// sorts to a stable position (after every finite value) and ties
+    /// still break by id.
+    #[test]
+    fn nan_mrr_sorts_last_instead_of_panicking() {
+        let mut v = vec![
+            (RelationId(4), f64::NAN),
+            (RelationId(1), 0.5),
+            (RelationId(3), f64::NAN),
+            (RelationId(2), 0.1),
+        ];
+        sort_hardest(&mut v);
+        assert_eq!(v[0].0, RelationId(2));
+        assert_eq!(v[1].0, RelationId(1));
+        // Both NaNs land after the finite values, ordered by id.
+        assert_eq!(v[2].0, RelationId(3));
+        assert_eq!(v[3].0, RelationId(4));
+        assert!(v[2].1.is_nan() && v[3].1.is_nan());
     }
 
     #[test]

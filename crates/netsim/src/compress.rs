@@ -115,6 +115,20 @@ impl Codec {
         }
     }
 
+    /// Inverse of [`tag`](Codec::tag): resolve a wire tag back to its
+    /// codec. `None` for tags no codec owns — a stream decoder must treat
+    /// those as corruption, never guess.
+    pub fn from_tag(tag: u8) -> Option<Codec> {
+        match tag {
+            0 => Some(Codec::Dense),
+            1 => Some(Codec::Int8),
+            2 => Some(Codec::Int4),
+            3 => Some(Codec::TopKQuarter),
+            4 => Some(Codec::TopKEighth),
+            _ => None,
+        }
+    }
+
     /// How many top-k entries a row of `width` keeps (0 for non-sparse
     /// codecs).
     fn keep(self, width: usize) -> usize {

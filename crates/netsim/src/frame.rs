@@ -30,6 +30,14 @@ pub fn fnv1a(bytes: &[u8]) -> u32 {
 
 use crate::compress::Codec;
 
+/// Digest of a dense frame's wire contents (key ids then f32 payload) —
+/// what [`WireFrame::seal`] stamps into the frame. Public so stream
+/// transports can seal key-only request messages without allocating a
+/// throwaway frame.
+pub fn frame_digest(keys: &[u64], payload: &[f32]) -> u32 {
+    digest(keys, payload)
+}
+
 fn digest(keys: &[u64], payload: &[f32]) -> u32 {
     let mut h = FNV_OFFSET;
     let mut eat = |b: u8| h = (h ^ u32::from(b)).wrapping_mul(FNV_PRIME);
@@ -101,6 +109,28 @@ impl WireFrame {
     pub fn seal_encoded(keys: Vec<u64>, payload: Vec<f32>, encoded: Vec<u8>, codec: Codec) -> Self {
         debug_assert!(codec != Codec::Dense, "dense frames use seal()");
         let checksum = digest_encoded(&keys, codec.tag(), &encoded);
+        Self {
+            keys,
+            payload,
+            encoded,
+            codec,
+            checksum,
+        }
+    }
+
+    /// Reassemble a frame from parts received off a byte stream, keeping
+    /// the sender's checksum *as received* instead of recomputing it — so
+    /// [`verify`](WireFrame::verify) stays an end-to-end check: bytes
+    /// damaged anywhere between the sender's seal and this constructor
+    /// fail verification. Transport decoders (see [`crate::stream`]) are
+    /// the only intended caller.
+    pub fn from_wire(
+        keys: Vec<u64>,
+        payload: Vec<f32>,
+        encoded: Vec<u8>,
+        codec: Codec,
+        checksum: u32,
+    ) -> Self {
         Self {
             keys,
             payload,

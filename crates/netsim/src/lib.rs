@@ -18,6 +18,7 @@ pub mod cost;
 pub mod faults;
 pub mod frame;
 pub mod meter;
+pub mod stream;
 pub mod timeline;
 pub mod topology;
 

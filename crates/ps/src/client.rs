@@ -40,6 +40,7 @@ use crate::kvstore::KvStore;
 use crate::optimizer::Optimizer;
 use crate::overload::{Gate, OverloadControl, ShardBreakers};
 use crate::router::BatchPlan;
+use crate::transport::{FrameOp, SimTransport, Transport};
 use hetkg_kgraph::ParamKey;
 use hetkg_netsim::compress::encoded_len;
 use hetkg_netsim::{
@@ -80,6 +81,14 @@ impl HedgeState {
     }
 
     fn observe(&mut self, ratio: f64) {
+        // A zero-duration baseline (cost model says the pull was free)
+        // makes the inflation ratio inf or NaN. Folding either into the
+        // EWMA poisons it permanently — inf disables hedging forever, NaN
+        // force-triggers or disables it depending on comparison direction —
+        // so non-finite observations are discarded, not smoothed.
+        if !ratio.is_finite() {
+            return;
+        }
         if self.primed {
             self.ewma = (1.0 - HEDGE_EWMA_ALPHA) * self.ewma + HEDGE_EWMA_ALPHA * ratio;
         } else {
@@ -241,6 +250,10 @@ pub struct PsClient {
     /// Run-global overload protection (retry budget + circuit breakers),
     /// shared by every worker's client like `ShardLiveness`.
     overload: Option<Arc<OverloadControl>>,
+    /// The backend every frame exchange crosses: the simulated cost-model
+    /// path by default, or a socket backend via
+    /// [`with_transport`](Self::with_transport).
+    transport: Arc<dyn Transport>,
 }
 
 impl PsClient {
@@ -267,7 +280,18 @@ impl PsClient {
             checksums: true,
             hedge: Arc::new(Mutex::new(HedgeState::default())),
             overload: None,
+            transport: Arc::new(SimTransport),
         }
+    }
+
+    /// Route all frame exchanges through `transport` instead of the
+    /// default simulated path. Fault injection, hedging, and replication
+    /// are properties of the simulated backend; attaching a socket
+    /// transport to a client that also carries a fault binding is a
+    /// configuration error the trainer rejects up front.
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Attach a fault injector and retry policy to this client.
@@ -312,6 +336,18 @@ impl PsClient {
     /// This client's worker id.
     pub fn worker_id(&self) -> usize {
         self.worker_id
+    }
+
+    /// The traffic meter this client reports to (transports meter
+    /// successful exchanges themselves).
+    pub(crate) fn meter(&self) -> &TrafficMeter {
+        &self.meter
+    }
+
+    /// The cluster topology (transports split local vs remote lanes by
+    /// it, exactly like the simulated path).
+    pub(crate) fn topology(&self) -> &ClusterTopology {
+        &self.topology
     }
 
     /// Whether `key` is served from this worker's machine.
@@ -402,7 +438,7 @@ impl PsClient {
         payload.resize(out.len(), 0.0);
         self.store.pull(key, &mut payload);
         let mut frame = WireFrame::seal(keys, payload);
-        let result = self.transmit_frame(shard, &mut frame, true);
+        let result = self.transmit_frame(shard, &mut frame, FrameOp::Pull);
         if result.is_ok() {
             out.copy_from_slice(&frame.payload);
         }
@@ -477,7 +513,7 @@ impl PsClient {
         });
         scratch.seal_parts();
         self.debug_assert_frame_bytes(keys, &scratch.wire);
-        self.transmit_frames(&mut scratch.wire, true)?;
+        self.transmit_frames(&mut scratch.wire, FrameOp::Pull)?;
         for (i, slot) in scratch.slots.iter().enumerate() {
             sink(
                 i,
@@ -600,7 +636,7 @@ impl PsClient {
             comp.encode(codec, &payload, &mut enc);
             WireFrame::seal_encoded(keys, payload, enc, codec)
         };
-        let result = self.transmit_frame(shard, &mut frame, false);
+        let result = self.transmit_frame(shard, &mut frame, FrameOp::Push);
         if result.is_ok() {
             if let Some(comp) = scratch.compressor.as_mut() {
                 if codec != Codec::Dense {
@@ -702,7 +738,7 @@ impl PsClient {
         } else {
             self.seal_frames_compressed(keys, row_of, codec, scratch);
         }
-        self.transmit_frames(&mut scratch.wire, false)?;
+        self.transmit_frames(&mut scratch.wire, FrameOp::Push)?;
         if codec != Codec::Dense {
             Self::decode_and_commit(keys, codec, scratch);
         }
@@ -756,7 +792,7 @@ impl PsClient {
             return Ok(());
         }
         self.seal_frames_by(keys, |i| values[i], scratch);
-        self.transmit_frames(&mut scratch.wire, false)?;
+        self.transmit_frames(&mut scratch.wire, FrameOp::Write)?;
         let (wire, slots) = (&scratch.wire, &scratch.slots);
         self.store.store_planned(&scratch.plan, |i| {
             let s = slots[i];
@@ -937,13 +973,27 @@ impl PsClient {
     /// Send one frame per touched shard, in ascending shard order.
     /// All-or-nothing: the first shard that exhausts its retries aborts the
     /// batch.
-    fn transmit_frames(&self, frames: &mut [WireFrame], hedgeable: bool) -> Result<(), RpcError> {
+    fn transmit_frames(&self, frames: &mut [WireFrame], op: FrameOp) -> Result<(), RpcError> {
         for (shard, frame) in frames.iter_mut().enumerate() {
             if !frame.keys.is_empty() {
-                self.transmit_frame(shard, frame, hedgeable)?;
+                self.transmit_frame(shard, frame, op)?;
             }
         }
         Ok(())
+    }
+
+    /// Exchange one frame with `shard` through the attached
+    /// [`Transport`]. The default [`SimTransport`] delegates straight to
+    /// [`sim_exchange`](Self::sim_exchange); a socket transport puts the
+    /// frame on a real wire instead.
+    fn transmit_frame(
+        &self,
+        shard: usize,
+        frame: &mut WireFrame,
+        op: FrameOp,
+    ) -> Result<(), RpcError> {
+        let transport = Arc::clone(&self.transport);
+        transport.exchange(self, shard, op, frame)
     }
 
     /// Send one frame to `shard`, retrying under the fault policy. Every
@@ -958,7 +1008,7 @@ impl PsClient {
     /// the same request is hedged to a backup replica and the faster
     /// response wins. Writes are never hedged — duplicating a gradient push
     /// would double-apply it.
-    fn transmit_frame(
+    pub(crate) fn sim_exchange(
         &self,
         shard: usize,
         frame: &mut WireFrame,
@@ -1223,6 +1273,29 @@ mod tests {
 
     fn injector(plan: FaultPlan) -> Arc<FaultInjector> {
         Arc::new(FaultInjector::new(plan, CostModel::gigabit(), 0))
+    }
+
+    #[test]
+    fn hedge_state_discards_non_finite_ratios() {
+        let mut h = HedgeState::default();
+        // A zero-duration baseline pull produces inf (x/0) or NaN (0/0);
+        // neither may prime or move the EWMA.
+        h.observe(f64::INFINITY);
+        assert!(!h.primed, "inf must not prime the tracker");
+        assert_eq!(h.threshold(), f64::INFINITY, "still never-hedge-blind");
+        h.observe(f64::NAN);
+        assert!(!h.primed, "NaN must not prime the tracker");
+        h.observe(3.0);
+        assert!(h.primed);
+        assert_eq!(h.ewma, 3.0);
+        let before = h.ewma;
+        h.observe(f64::NEG_INFINITY);
+        h.observe(f64::NAN);
+        assert_eq!(h.ewma, before, "non-finite ratios leave the EWMA alone");
+        assert!(h.threshold().is_finite());
+        // Finite observations keep smoothing as before.
+        h.observe(5.0);
+        assert!((h.ewma - (0.8 * 3.0 + 0.2 * 5.0)).abs() < 1e-12);
     }
 
     #[test]

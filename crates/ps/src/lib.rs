@@ -52,6 +52,8 @@ pub mod optimizer;
 pub mod overload;
 pub mod queue;
 pub mod router;
+pub mod server;
+pub mod transport;
 
 pub use client::{FaultBinding, PsClient, PsScratch};
 pub use compress::PushCompressor;
@@ -63,3 +65,5 @@ pub use overload::{
 };
 pub use queue::AsyncServer;
 pub use router::{BatchPlan, ShardRouter};
+pub use server::{serve, ProcessCluster, ShardListener, ShardServerConfig, SocketMode};
+pub use transport::{FrameOp, ProcessTransport, ServerAddr, SimTransport, Transport};

@@ -1,0 +1,456 @@
+//! The pluggable transport seam behind [`PsClient`].
+//!
+//! Every pull/push/write the client issues funnels through one call —
+//! [`Transport::exchange`] — with a sealed [`WireFrame`] in hand. Two
+//! implementations exist:
+//!
+//! * [`SimTransport`] (the default): the in-process cost-model path,
+//!   byte-for-byte identical to the pre-trait client. Fault injection,
+//!   hedged pulls, circuit breakers, and replication shipping all live on
+//!   this side of the seam — they model cluster conditions the socket
+//!   backend does not reproduce (yet).
+//! * [`ProcessTransport`]: each PS shard is a real OS process (the
+//!   `hetkg ps-server` subcommand) speaking length-prefixed `WireFrame`s
+//!   (see [`hetkg_netsim::stream`]) over TCP or Unix-domain sockets.
+//!   Socket failures map onto the same [`RpcError`] vocabulary the
+//!   simulated fault machinery raises, so callers retry identically.
+//!
+//! Both backends meter a successful exchange the same way: the frame's
+//! [`wire_bytes`](WireFrame::wire_bytes) on the local or remote lane
+//! depending on shard placement. Envelope bytes (length prefix, op byte,
+//! counts) ride unmetered on both, exactly like the cost model's
+//! per-message overhead — which is what makes the cross-backend
+//! differential test able to demand *identical* byte totals.
+
+use crate::client::PsClient;
+use crate::error::RpcError;
+use hetkg_netsim::stream::{self, StreamMessage};
+use hetkg_netsim::{frame::frame_digest, Codec, WireFrame};
+use parking_lot::Mutex;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Stream operation bytes (the `op` field of a stream message).
+pub const OP_PULL: u8 = 0;
+/// Gradient push: the frame's rows are applied through the server's
+/// optimizer.
+pub const OP_PUSH: u8 = 1;
+/// Raw overwrite (no optimizer).
+pub const OP_WRITE: u8 = 2;
+/// Server acknowledgement (empty frame).
+pub const OP_ACK: u8 = 3;
+/// Orderly server shutdown.
+pub const OP_SHUTDOWN: u8 = 4;
+
+/// What a frame exchange *is*, as far as a transport needs to know.
+/// Pulls are the only hedgeable traffic (re-issuing a read is safe;
+/// re-applying a gradient is not), and the only op whose response
+/// carries data back into the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOp {
+    /// Read rows; the response payload replaces the frame's payload.
+    Pull,
+    /// Apply gradients through the server-side optimizer.
+    Push,
+    /// Overwrite values (no optimizer).
+    Write,
+}
+
+impl FrameOp {
+    /// The stream op byte for this operation.
+    pub fn wire_op(self) -> u8 {
+        match self {
+            FrameOp::Pull => OP_PULL,
+            FrameOp::Push => OP_PUSH,
+            FrameOp::Write => OP_WRITE,
+        }
+    }
+}
+
+/// One-frame-per-shard exchange: the single seam every PS interaction
+/// crosses.
+///
+/// Contract: on `Ok(())` the frame holds what the server accepted (for
+/// pulls, the server's rows in `frame.payload`), and the exchange has been
+/// metered once — `wire_bytes()` on the local or remote lane per the
+/// client's topology. On `Err` the frame's payload is unspecified and
+/// nothing further was metered by this call beyond attempts actually made.
+pub trait Transport: fmt::Debug + Send + Sync {
+    /// Exchange `frame` with `shard` on behalf of `client`.
+    fn exchange(
+        &self,
+        client: &PsClient,
+        shard: usize,
+        op: FrameOp,
+        frame: &mut WireFrame,
+    ) -> Result<(), RpcError>;
+}
+
+/// The default backend: the simulated in-process path, unchanged.
+/// Delegates straight back into the client's cost-model/fault machinery so
+/// `--transport sim` is bitwise-identical to the pre-trait code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimTransport;
+
+impl Transport for SimTransport {
+    fn exchange(
+        &self,
+        client: &PsClient,
+        shard: usize,
+        op: FrameOp,
+        frame: &mut WireFrame,
+    ) -> Result<(), RpcError> {
+        client.sim_exchange(shard, frame, op == FrameOp::Pull)
+    }
+}
+
+/// Where one shard server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerAddr {
+    /// A TCP socket address, e.g. `127.0.0.1:4170`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl ServerAddr {
+    /// Parse a `tcp:HOST:PORT` / `uds:PATH` spec (what `ps-server
+    /// --listen` takes and what its READY line reports).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            Ok(ServerAddr::Tcp(addr.to_string()))
+        } else if let Some(path) = spec.strip_prefix("uds:") {
+            Ok(ServerAddr::Uds(PathBuf::from(path)))
+        } else {
+            Err(format!(
+                "bad listen spec `{spec}`: expected tcp:HOST:PORT or uds:PATH"
+            ))
+        }
+    }
+}
+
+impl fmt::Display for ServerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerAddr::Tcp(a) => write!(f, "tcp:{a}"),
+            ServerAddr::Uds(p) => write!(f, "uds:{}", p.display()),
+        }
+    }
+}
+
+/// A connected stream to one shard server, TCP or Unix-domain.
+#[derive(Debug)]
+enum Sock {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Read for Sock {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Sock::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Sock {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Sock::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Sock::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Sock::Uds(s) => s.flush(),
+        }
+    }
+}
+
+fn connect(addr: &ServerAddr, connect_timeout: Duration, io_timeout: Duration) -> io::Result<Sock> {
+    let sock = match addr {
+        ServerAddr::Tcp(spec) => {
+            let resolved: Vec<SocketAddr> = spec.to_socket_addrs()?.collect();
+            let first = resolved.first().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::AddrNotAvailable,
+                    "address resolved to nothing",
+                )
+            })?;
+            let s = TcpStream::connect_timeout(first, connect_timeout)?;
+            s.set_nodelay(true)?;
+            Sock::Tcp(s)
+        }
+        #[cfg(unix)]
+        ServerAddr::Uds(path) => Sock::Uds(UnixStream::connect(path)?),
+        #[cfg(not(unix))]
+        ServerAddr::Uds(_) => {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this platform",
+            ))
+        }
+    };
+    match &sock {
+        Sock::Tcp(s) => {
+            s.set_read_timeout(Some(io_timeout))?;
+            s.set_write_timeout(Some(io_timeout))?;
+        }
+        #[cfg(unix)]
+        Sock::Uds(s) => {
+            s.set_read_timeout(Some(io_timeout))?;
+            s.set_write_timeout(Some(io_timeout))?;
+        }
+    }
+    Ok(sock)
+}
+
+/// Per-shard connection state: lazily connected, dropped (and re-dialed on
+/// the next attempt) after any I/O error.
+#[derive(Debug)]
+struct ShardConn {
+    addr: ServerAddr,
+    sock: Option<Sock>,
+}
+
+/// How many times one exchange re-dials/retransmits before surfacing an
+/// [`RpcError`]. Deliberately small: socket failures here are real process
+/// deaths or real timeouts, not simulated transients.
+const SOCKET_ATTEMPTS: u32 = 3;
+/// Real-time backoff between socket attempts.
+const SOCKET_BACKOFF: Duration = Duration::from_millis(20);
+
+/// The socket backend: one persistent stream per shard server, exchanges
+/// serialized per shard by a mutex (workers are driven single-threaded, so
+/// this is protection, not a bottleneck).
+pub struct ProcessTransport {
+    conns: Vec<Mutex<ShardConn>>,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl fmt::Debug for ProcessTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcessTransport")
+            .field("shards", &self.conns.len())
+            .field("io_timeout", &self.io_timeout)
+            .finish()
+    }
+}
+
+impl ProcessTransport {
+    /// A transport dialing the given shard servers (index = shard id).
+    pub fn new(addrs: Vec<ServerAddr>) -> Self {
+        Self {
+            conns: addrs
+                .into_iter()
+                .map(|addr| Mutex::new(ShardConn { addr, sock: None }))
+                .collect(),
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Override both timeouts (tests use short ones).
+    pub fn with_timeouts(mut self, connect: Duration, io: Duration) -> Self {
+        self.connect_timeout = connect;
+        self.io_timeout = io;
+        self
+    }
+
+    /// Number of shard servers this transport dials.
+    pub fn num_shards(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn attempt(&self, conn: &mut ShardConn, op: FrameOp, frame: &mut WireFrame) -> io::Result<()> {
+        if conn.sock.is_none() {
+            conn.sock = Some(connect(&conn.addr, self.connect_timeout, self.io_timeout)?);
+        }
+        let sock = conn.sock.as_mut().expect("connected above");
+        match op {
+            FrameOp::Pull => {
+                // Keys-only request, sealed so the server can verify it
+                // arrived intact without a payload round-trip.
+                stream::write_message(
+                    sock,
+                    OP_PULL,
+                    &frame.keys,
+                    &[],
+                    &[],
+                    Codec::Dense,
+                    frame_digest(&frame.keys, &[]),
+                )?;
+                let StreamMessage { op, frame: resp } = stream::read_message(sock)?;
+                if op != OP_PULL {
+                    return Err(bad_reply("pull answered with a non-pull op"));
+                }
+                if !resp.verify() {
+                    return Err(bad_reply("pull response failed checksum"));
+                }
+                if resp.keys != frame.keys || resp.payload.len() != frame.payload.len() {
+                    return Err(bad_reply("pull response shape mismatch"));
+                }
+                frame.payload.copy_from_slice(&resp.payload);
+                Ok(())
+            }
+            FrameOp::Push | FrameOp::Write => {
+                stream::write_frame(sock, op.wire_op(), frame)?;
+                let StreamMessage { op, frame: ack } = stream::read_message(sock)?;
+                if op != OP_ACK || !ack.verify() {
+                    return Err(bad_reply("push/write not acknowledged"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Send an orderly shutdown to every shard server over the existing
+    /// (or freshly dialed) connections. The servers' accept loops serve
+    /// one connection at a time, so shutdown must ride the same stream the
+    /// training traffic used.
+    pub fn send_shutdown(&self) -> io::Result<()> {
+        let mut first_err = None;
+        for conn in &self.conns {
+            let mut conn = conn.lock();
+            let r = (|| -> io::Result<()> {
+                if conn.sock.is_none() {
+                    conn.sock = Some(connect(&conn.addr, self.connect_timeout, self.io_timeout)?);
+                }
+                let sock = conn.sock.as_mut().expect("connected above");
+                stream::write_message(sock, OP_SHUTDOWN, &[], &[], &[], Codec::Dense, 0)?;
+                // Ack is best-effort: the server may exit before replying.
+                let _ = stream::read_message(sock);
+                Ok(())
+            })();
+            conn.sock = None;
+            if let Err(e) = r {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+fn bad_reply(what: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}
+
+/// Map a socket failure onto the client-facing error vocabulary the
+/// simulated fault machinery already uses, so retry/recovery policy code
+/// is backend-agnostic.
+fn map_io_error(e: &io::Error, shard: usize, attempts: u32) -> RpcError {
+    use io::ErrorKind::*;
+    match e.kind() {
+        TimedOut | WouldBlock | ConnectionRefused | NotFound | AddrNotAvailable => {
+            RpcError::ShardUnavailable { shard, attempts }
+        }
+        InvalidData => RpcError::CorruptPayload { attempts },
+        _ => RpcError::Dropped { attempts },
+    }
+}
+
+impl Transport for ProcessTransport {
+    fn exchange(
+        &self,
+        client: &PsClient,
+        shard: usize,
+        op: FrameOp,
+        frame: &mut WireFrame,
+    ) -> Result<(), RpcError> {
+        let bytes = frame.wire_bytes();
+        let conn = self
+            .conns
+            .get(shard)
+            .unwrap_or_else(|| panic!("shard {shard} has no server address"));
+        let mut conn = conn.lock();
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            match self.attempt(&mut conn, op, frame) {
+                Ok(()) => {
+                    if client.topology().is_local(client.worker_id(), shard) {
+                        client.meter().record_local(bytes);
+                    } else {
+                        client.meter().record_remote(bytes);
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    // Whatever the failure, the stream is suspect: drop it
+                    // and re-dial on the next attempt.
+                    conn.sock = None;
+                    if attempts >= SOCKET_ATTEMPTS {
+                        return Err(map_io_error(&e, shard, attempts));
+                    }
+                    std::thread::sleep(SOCKET_BACKOFF * attempts);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_addr_specs_round_trip() {
+        let tcp = ServerAddr::parse("tcp:127.0.0.1:4170").unwrap();
+        assert_eq!(tcp, ServerAddr::Tcp("127.0.0.1:4170".into()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:4170");
+        let uds = ServerAddr::parse("uds:/tmp/shard0.sock").unwrap();
+        assert_eq!(uds, ServerAddr::Uds(PathBuf::from("/tmp/shard0.sock")));
+        assert_eq!(uds.to_string(), "uds:/tmp/shard0.sock");
+        assert!(ServerAddr::parse("http://nope").is_err());
+    }
+
+    #[test]
+    fn io_errors_map_onto_rpc_vocabulary() {
+        let unavailable = io::Error::new(io::ErrorKind::ConnectionRefused, "x");
+        assert!(matches!(
+            map_io_error(&unavailable, 2, 3),
+            RpcError::ShardUnavailable {
+                shard: 2,
+                attempts: 3
+            }
+        ));
+        let timeout = io::Error::new(io::ErrorKind::TimedOut, "x");
+        assert!(matches!(
+            map_io_error(&timeout, 0, 1),
+            RpcError::ShardUnavailable { .. }
+        ));
+        let corrupt = io::Error::new(io::ErrorKind::InvalidData, "x");
+        assert!(matches!(
+            map_io_error(&corrupt, 0, 2),
+            RpcError::CorruptPayload { attempts: 2 }
+        ));
+        let torn = io::Error::new(io::ErrorKind::UnexpectedEof, "x");
+        assert!(matches!(
+            map_io_error(&torn, 0, 3),
+            RpcError::Dropped { attempts: 3 }
+        ));
+    }
+
+    #[test]
+    fn frame_ops_have_distinct_wire_bytes() {
+        assert_eq!(FrameOp::Pull.wire_op(), OP_PULL);
+        assert_eq!(FrameOp::Push.wire_op(), OP_PUSH);
+        assert_eq!(FrameOp::Write.wire_op(), OP_WRITE);
+        assert_ne!(OP_ACK, OP_SHUTDOWN);
+    }
+}

@@ -205,6 +205,49 @@ pub struct TrainConfig {
     /// error-feedback residuals — for push-lane bytes.
     #[serde(default)]
     pub compression: CompressionMode,
+    /// Which transport carries PS traffic. [`TransportKind::Sim`] (the
+    /// default) is the in-process cost-model path, bit-identical to
+    /// pre-transport behavior; `Tcp`/`Uds` run each PS shard as a real
+    /// `hetkg ps-server` process and put every frame on a real socket.
+    /// Socket modes require faults, replication, retry budgets, and
+    /// breakers off — those model cluster conditions the simulated backend
+    /// owns.
+    #[serde(default)]
+    pub transport: TransportKind,
+    /// Path to the `hetkg` binary whose `ps-server` subcommand the socket
+    /// transports spawn. Required for `Tcp`/`Uds` (the CLI fills in the
+    /// running executable); ignored for `Sim`.
+    #[serde(default)]
+    pub ps_server_bin: Option<String>,
+}
+
+/// PS transport backend selector (`--transport sim|tcp|uds`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// In-process simulated path (the default).
+    #[default]
+    Sim,
+    /// One OS process per shard over loopback TCP.
+    Tcp,
+    /// One OS process per shard over Unix-domain sockets.
+    Uds,
+}
+
+impl TransportKind {
+    /// Whether this backend runs shard servers as real processes.
+    pub fn is_socket(self) -> bool {
+        !matches!(self, TransportKind::Sim)
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransportKind::Sim => "sim",
+            TransportKind::Tcp => "tcp",
+            TransportKind::Uds => "uds",
+        })
+    }
 }
 
 fn default_integrity() -> bool {
@@ -249,6 +292,8 @@ impl TrainConfig {
             retry_budget: None,
             breaker: None,
             compression: CompressionMode::Off,
+            transport: TransportKind::Sim,
+            ps_server_bin: None,
         }
     }
 
@@ -282,6 +327,8 @@ impl TrainConfig {
             retry_budget: None,
             breaker: None,
             compression: CompressionMode::Off,
+            transport: TransportKind::Sim,
+            ps_server_bin: None,
         }
     }
 
@@ -355,6 +402,8 @@ mod tests {
         obj.remove("retry_budget");
         obj.remove("breaker");
         obj.remove("compression");
+        obj.remove("transport");
+        obj.remove("ps_server_bin");
         obj.get_mut("cache")
             .unwrap()
             .as_object_mut()
@@ -376,5 +425,11 @@ mod tests {
             CompressionMode::Off,
             "compression defaults off"
         );
+        assert_eq!(
+            back.transport,
+            TransportKind::Sim,
+            "transport defaults to the simulated path"
+        );
+        assert!(back.ps_server_bin.is_none());
     }
 }

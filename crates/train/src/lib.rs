@@ -22,7 +22,7 @@ pub mod systems;
 pub mod trainer;
 pub mod worker;
 
-pub use config::{SystemKind, TrainConfig};
+pub use config::{SystemKind, TrainConfig, TransportKind};
 pub use oracle::{shadow_check, OracleConfig, OracleReport};
 pub use report::{EpochReport, FaultReport, TrainReport};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorEvent, SupervisorReport};

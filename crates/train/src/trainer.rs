@@ -13,7 +13,7 @@
 //! that still validates — torn or rotted images are skipped, counted, and
 //! reported, never partially loaded.
 
-use crate::config::{PartitionerKind, SystemKind, TrainConfig};
+use crate::config::{PartitionerKind, SystemKind, TrainConfig, TransportKind};
 use crate::report::{CompressionReport, EpochReport, FaultReport, TrainReport};
 use crate::supervisor::{RestartDecision, Supervisor};
 use crate::systems::dglke::DglKeWorker;
@@ -29,7 +29,10 @@ use hetkg_eval::link_prediction::{evaluate, EmbeddingSnapshot, EvalConfig};
 use hetkg_kgraph::{ids::KeyKind, EntityId, KeySpace, KnowledgeGraph, RelationId, Triple};
 use hetkg_netsim::{CompressionMode, CompressionStats, FaultInjector, ShardLiveness, TrafficMeter};
 use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
-use hetkg_ps::{KvStore, OverloadControl, PsClient, RetryPolicy, ShardRouter};
+use hetkg_ps::{
+    KvStore, OverloadControl, ProcessCluster, PsClient, RetryPolicy, ShardRouter,
+    ShardServerConfig, SocketMode,
+};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -87,6 +90,58 @@ pub fn train_with_store(
         )
         .with_replication(replication),
     );
+
+    // --- Socket transport: one real PS-server process per shard ---
+    //
+    // The in-process `store` stays as a deterministic mirror (eval
+    // snapshots, checkpoints, and the cache's refresh reads all come from
+    // it), while every pull consumes the server's wire response and every
+    // push/write is applied by the server's own optimizer. Both sides see
+    // the same requests in the same order, so they stay bitwise-equal —
+    // the cross-backend differential test holds them to it.
+    let (mut cluster, proc_transport): (
+        Option<ProcessCluster>,
+        Option<Arc<hetkg_ps::ProcessTransport>>,
+    ) = if config.transport.is_socket() {
+        assert!(
+            config.faults.is_none(),
+            "fault injection is sim-only; use --transport sim"
+        );
+        assert!(
+            replication == 1,
+            "replication is sim-only; use --transport sim"
+        );
+        assert!(
+            config.retry_budget.is_none() && config.breaker.is_none(),
+            "overload protection is sim-only; use --transport sim"
+        );
+        let bin = config
+            .ps_server_bin
+            .as_deref()
+            .expect("socket transports need ps_server_bin (the CLI sets it automatically)");
+        let server_config = ShardServerConfig {
+            num_entities: ks.num_entities(),
+            num_relations: ks.num_relations(),
+            entity_shard: partitioning.assignment().to_vec(),
+            num_shards: topology.num_machines(),
+            entity_dim: model.entity_dim(),
+            relation_dim: model.relation_dim(),
+            init: Init::Xavier,
+            seed: config.seed,
+            optimizer: config.optimizer,
+        };
+        let mode = match config.transport {
+            TransportKind::Tcp => SocketMode::Tcp,
+            TransportKind::Uds => SocketMode::Uds,
+            TransportKind::Sim => unreachable!("is_socket"),
+        };
+        let cluster = ProcessCluster::spawn(std::path::Path::new(bin), &server_config, mode)
+            .expect("spawn ps-server cluster");
+        let transport = Arc::new(cluster.transport());
+        (Some(cluster), Some(transport))
+    } else {
+        (None, None)
+    };
 
     // --- Distribute training triples to workers ---
     let per_machine = partitioning.split_triples(train_triples);
@@ -170,6 +225,9 @@ pub fn train_with_store(
             }
             if let Some(ctl) = &overload {
                 client = client.with_overload(ctl.clone());
+            }
+            if let Some(t) = &proc_transport {
+                client = client.with_transport(t.clone());
             }
             let ctx = WorkerCtx::new(
                 w,
@@ -386,6 +444,18 @@ pub fn train_with_store(
             total,
         ));
     }
+    // Orderly socket teardown: shutdown rides the training connections
+    // (the servers' accept loops are sequential), then the children are
+    // reaped. Failures here are real process-management bugs, not
+    // tolerable flakiness.
+    if let Some(t) = &proc_transport {
+        t.send_shutdown().expect("ps-server shutdown");
+        cluster
+            .as_mut()
+            .expect("cluster exists with a socket transport")
+            .wait()
+            .expect("ps-server exit");
+    }
     (report, store)
 }
 
@@ -444,7 +514,7 @@ impl RecoveryStore {
                 saved,
                 torn,
             } => {
-                let full = ck.to_bytes_checked();
+                let full = ck.to_bytes_checked().expect("checkpoint fits the format");
                 let image = if *torn == Some(*saved) {
                     // Same drill as the disk store's torn write: the image
                     // exists, but only a prefix of it survived.

@@ -9,8 +9,10 @@
 //!                 [--integrity on|off] [--checkpoint-dir DIR]
 //!                 [--max-restarts N] [--oracle on|off]
 //!                 [--compress off|int8|int4|topk|adaptive]
+//!                 [--transport sim|tcp|uds]
 //! hetkg eval      (--data DIR | --synthetic NAME) --checkpoint CK.bin
 //!                 [--model M] [--dim D] [--candidates K]
+//! hetkg ps-server --config FILE --shard N --listen (tcp:ADDR | uds:PATH)
 //! ```
 //!
 //! `--data DIR` expects FB15k-format `train.txt`/`valid.txt`/`test.txt`;
@@ -23,6 +25,11 @@
 //! `overload` profile (a flash crowd saturating a shard) defaults
 //! `--retry-budget` and `--breaker` on so the run browns out instead of
 //! retry-storming.
+//!
+//! `--transport tcp|uds` runs each PS shard as a real OS process speaking
+//! length-prefixed wire frames over sockets; `train` spawns them itself via
+//! the `ps-server` subcommand (not normally invoked by hand). Fault
+//! injection, replication, and overload protection are sim-only.
 
 use het_kg::embed::checkpoint::Checkpoint;
 use het_kg::eval::breakdown::evaluate_breakdown;
@@ -31,6 +38,7 @@ use het_kg::kgraph::io::load_benchmark;
 use het_kg::kgraph::stats::AccessCounter;
 use het_kg::partition::quality;
 use het_kg::prelude::*;
+use het_kg::ps::ShardServerConfig;
 use het_kg::train_sys::oracle;
 use het_kg::train_sys::trainer;
 use std::collections::HashMap;
@@ -103,6 +111,7 @@ fn run(mut args: Vec<String>) -> Result<(), CliError> {
         "partition" => cmd_partition(&flags),
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
+        "ps-server" => cmd_ps_server(&flags),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -113,7 +122,9 @@ fn usage() {
     println!("  stats      dataset statistics and access-frequency skew");
     println!("  partition  compare METIS-like vs random partitioning quality");
     println!("  train      distributed training (simulated cluster); saves a checkpoint");
-    println!("  eval       filtered link prediction from a checkpoint, with breakdown\n");
+    println!("  eval       filtered link prediction from a checkpoint, with breakdown");
+    println!("  ps-server  one parameter-server shard process (spawned by train");
+    println!("             when --transport is tcp or uds; not normally run by hand)\n");
     println!("data selection (all commands):");
     println!("  --data DIR        FB15k-format train.txt/valid.txt/test.txt");
     println!("  --synthetic NAME  fb15k | wn18 | freebase86m (harness scale)\n");
@@ -137,6 +148,15 @@ fn usage() {
     println!("                  adaptive: starts at int8, tightens to top-k only");
     println!("                  while the comm lane is the bottleneck; error-");
     println!("                  feedback residuals stay client-side in every mode");
+    println!("  --transport T   sim | tcp | uds                       (default sim)");
+    println!("                  sim: in-process cost-model cluster, bit-identical");
+    println!("                       to every earlier release");
+    println!("                  tcp | uds: each PS shard is a real OS process");
+    println!("                       (spawned `hetkg ps-server`) reached over");
+    println!("                       TCP or Unix sockets; same loss trajectory");
+    println!("                       and metered bytes as sim. Incompatible with");
+    println!("                       --fault-profile, --replication > 1,");
+    println!("                       --retry-budget, and --breaker (sim-only)");
     println!("fault injection (train):");
     println!("  --fault-profile P    none | lossy | corrupt | outage | overload | chaos");
     println!("                       | failover, or a JSON FaultPlan file (default none)");
@@ -471,6 +491,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "retry-budget",
             "breaker",
             "compress",
+            "transport",
         ],
     )?;
     let data = load_data(flags)?;
@@ -518,6 +539,52 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             flag: "compress",
             message: format!("unknown mode {compress:?} (off | int8 | int4 | topk | adaptive)"),
         })?;
+    cfg.transport = match flag(flags, "transport", "sim") {
+        "sim" => TransportKind::Sim,
+        "tcp" => TransportKind::Tcp,
+        "uds" => TransportKind::Uds,
+        other => {
+            return Err(CliError::BadFlag {
+                flag: "transport",
+                message: format!("unknown transport {other:?} (sim | tcp | uds)"),
+            })
+        }
+    };
+    if cfg.transport.is_socket() {
+        // Fault injection, replication, and overload protection all live in
+        // the simulated cluster; refusing the combination up front beats a
+        // trainer assert.
+        if cfg.faults.is_some() {
+            return Err(CliError::BadFlag {
+                flag: "transport",
+                message: format!(
+                    "fault injection is sim-only; drop --fault-profile or use --transport sim \
+                     (got {})",
+                    cfg.transport
+                ),
+            });
+        }
+        if cfg.replication > 1 {
+            return Err(CliError::BadFlag {
+                flag: "transport",
+                message: "shard replication is sim-only; drop --replication or use --transport sim"
+                    .into(),
+            });
+        }
+        if cfg.retry_budget.is_some() || cfg.breaker.is_some() {
+            return Err(CliError::BadFlag {
+                flag: "transport",
+                message: "overload protection is sim-only; drop --retry-budget/--breaker or use \
+                          --transport sim"
+                    .into(),
+            });
+        }
+        let exe = std::env::current_exe().map_err(|e| CliError::BadFlag {
+            flag: "transport",
+            message: format!("cannot locate the hetkg binary to spawn ps-server shards: {e}"),
+        })?;
+        cfg.ps_server_bin = Some(exe.to_string_lossy().into_owned());
+    }
     let oracle_on = switch(flags, "oracle", false)?;
 
     println!(
@@ -560,6 +627,12 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "replication: k={} ({} backup replica(s) per PS shard)",
             cfg.replication,
             cfg.replication - 1
+        );
+    }
+    if cfg.transport.is_socket() {
+        println!(
+            "transport: {} (one ps-server process per shard)",
+            cfg.transport
         );
     }
     let (report, store) = if oracle_on {
@@ -700,6 +773,49 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .map_err(|e| CliError::Checkpoint(format!("saving checkpoint: {e}")))?;
     println!("checkpoint written to {}", out.display());
     Ok(())
+}
+
+/// Run one PS shard process: load the serialized [`ShardServerConfig`],
+/// bind the requested listener, print the readiness handshake on stdout
+/// (the spawning trainer blocks on it), then serve until a shutdown frame
+/// arrives on the wire.
+fn cmd_ps_server(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    check_flags("ps-server", flags, &["config", "shard", "listen"])?;
+    let path = flags.get("config").ok_or(CliError::MissingFlag("config"))?;
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Data(format!("reading shard config {path}: {e}")))?;
+    let config: ShardServerConfig = serde_json::from_str(&raw)
+        .map_err(|e| CliError::Data(format!("{path} is not a valid shard config: {e}")))?;
+    let shard: usize = flags
+        .get("shard")
+        .ok_or(CliError::MissingFlag("shard"))?
+        .parse()
+        .map_err(|_| CliError::BadFlag {
+            flag: "shard",
+            message: "must be an unsigned integer".into(),
+        })?;
+    if shard >= config.num_shards {
+        return Err(CliError::BadFlag {
+            flag: "shard",
+            message: format!(
+                "shard {shard} out of range (config has {})",
+                config.num_shards
+            ),
+        });
+    }
+    let listen = flags.get("listen").ok_or(CliError::MissingFlag("listen"))?;
+    let listener = het_kg::ps::ShardListener::bind(listen)
+        .map_err(|e| CliError::Data(format!("binding {listen}: {e}")))?;
+    let spec = listener
+        .local_spec()
+        .map_err(|e| CliError::Data(format!("resolving listen address: {e}")))?;
+    // The handshake line must hit the pipe before the trainer's read, so
+    // flush past stdout's buffering explicitly.
+    println!("{}{spec}", het_kg::ps::server::READY_PREFIX);
+    std::io::Write::flush(&mut std::io::stdout())
+        .map_err(|e| CliError::Data(format!("flushing readiness handshake: {e}")))?;
+    het_kg::ps::serve(&config, shard, &listener)
+        .map_err(|e| CliError::Data(format!("ps-server shard {shard}: {e}")))
 }
 
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {

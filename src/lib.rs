@@ -85,6 +85,6 @@ pub mod prelude {
     pub use hetkg_train::trainer::snapshot;
     pub use hetkg_train::{
         shadow_check, train, FaultReport, OracleConfig, OracleReport, SupervisorConfig,
-        SupervisorReport, SystemKind, TrainConfig, TrainReport,
+        SupervisorReport, SystemKind, TrainConfig, TrainReport, TransportKind,
     };
 }

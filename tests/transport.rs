@@ -1,0 +1,142 @@
+//! Cross-backend transport differential: the socket backend must be an
+//! exact stand-in for the simulated one.
+//!
+//! The contract under test is strong on purpose: with compression and
+//! faults off, the same seed must produce a bit-identical loss trajectory,
+//! identical `TrafficMeter` totals, and a byte-identical final checkpoint
+//! whether PS traffic crosses the in-process cost model or real OS
+//! processes speaking wire frames over sockets. Any drift means the server
+//! processes and the trainer's mirror store have diverged — the one bug
+//! class this backend must never have silently.
+//!
+//! Spawned shard servers come from the `hetkg` binary's `ps-server`
+//! subcommand (`CARGO_BIN_EXE_hetkg`), exactly as the CLI wires it.
+
+use het_kg::embed::init::Init;
+use het_kg::netsim::TrafficMeter;
+use het_kg::prelude::*;
+use het_kg::ps::{ProcessCluster, PsClient, ShardServerConfig, SocketMode};
+use het_kg::train_sys::trainer;
+use std::path::Path;
+use std::sync::Arc;
+
+fn hetkg_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hetkg")
+}
+
+fn workload(seed: u64) -> (KnowledgeGraph, Vec<Triple>) {
+    let kg = SyntheticKg {
+        num_entities: 150,
+        num_relations: 10,
+        num_triples: 900,
+        ..Default::default()
+    }
+    .build(seed);
+    let split = Split::ninety_five_five(&kg, seed);
+    (kg, split.train)
+}
+
+/// Train and return the report plus the serialized final checkpoint.
+fn run(
+    system: SystemKind,
+    seed: u64,
+    transport: TransportKind,
+    kg: &KnowledgeGraph,
+    train: &[Triple],
+) -> (TrainReport, Vec<u8>) {
+    let mut cfg = TrainConfig::small(system);
+    cfg.epochs = 3;
+    cfg.machines = 2;
+    cfg.seed = seed;
+    cfg.eval_candidates = None;
+    cfg.transport = transport;
+    if transport.is_socket() {
+        cfg.ps_server_bin = Some(hetkg_bin().to_string());
+    }
+    let (report, store) = trainer::train_with_store(kg, train, &[], &cfg);
+    let ck = trainer::checkpoint(&store, kg.key_space());
+    (report, ck.to_bytes().expect("checkpoint fits").to_vec())
+}
+
+fn assert_identical(system: SystemKind, seed: u64, socket: TransportKind) {
+    let (kg, train) = workload(seed);
+    let (sim_report, sim_ck) = run(system, seed, TransportKind::Sim, &kg, &train);
+    let (sock_report, sock_ck) = run(system, seed, socket, &kg, &train);
+
+    assert_eq!(sim_report.epochs.len(), sock_report.epochs.len());
+    for (a, b) in sim_report.epochs.iter().zip(&sock_report.epochs) {
+        assert_eq!(
+            a.loss.to_bits(),
+            b.loss.to_bits(),
+            "{system} seed {seed} {socket}: loss diverged at epoch {}",
+            a.epoch
+        );
+    }
+    assert_eq!(
+        sim_report.total_traffic(),
+        sock_report.total_traffic(),
+        "{system} seed {seed} {socket}: metered traffic diverged"
+    );
+    assert_eq!(
+        sim_ck, sock_ck,
+        "{system} seed {seed} {socket}: final checkpoint bytes diverged"
+    );
+}
+
+/// The headline differential: 2 systems × 2 seeds over Unix-domain
+/// sockets, each against its own sim run.
+#[cfg(unix)]
+#[test]
+fn uds_backend_is_bit_identical_to_sim() {
+    for system in [SystemKind::DglKe, SystemKind::HetKgCps] {
+        for seed in [11u64, 23] {
+            assert_identical(system, seed, TransportKind::Uds);
+        }
+    }
+}
+
+/// TCP takes the same wire path through different sockets; one
+/// system/seed pair keeps it honest on every platform.
+#[test]
+fn tcp_backend_is_bit_identical_to_sim() {
+    assert_identical(SystemKind::HetKgCps, 7, TransportKind::Tcp);
+}
+
+/// A torn connection — servers killed out from under a live client — must
+/// surface as a typed [`het_kg::ps::RpcError`], not a panic or a hang.
+#[test]
+fn dead_servers_surface_typed_rpc_errors() {
+    let cfg = ShardServerConfig {
+        num_entities: 8,
+        num_relations: 2,
+        entity_shard: vec![0; 8],
+        num_shards: 1,
+        entity_dim: 4,
+        relation_dim: 4,
+        init: Init::Uniform { bound: 0.1 },
+        seed: 3,
+        optimizer: OptimizerKind::Sgd { lr: 0.1 },
+    };
+    let mut cluster = ProcessCluster::spawn(Path::new(hetkg_bin()), &cfg, SocketMode::Tcp)
+        .expect("spawn one-shard cluster");
+    let transport = Arc::new(cluster.transport());
+    cluster.kill_all();
+
+    let store = Arc::new(cfg.build_store());
+    let client = PsClient::new(
+        0,
+        ClusterTopology::new(1, 1),
+        store,
+        Arc::new(TrafficMeter::new()),
+    )
+    .with_transport(transport);
+    let mut row = [0.0f32; 4];
+    let err = client
+        .try_pull(ParamKey(0), &mut row)
+        .expect_err("pull against killed servers must fail");
+    // The exact variant depends on how fast the OS tears the listener down
+    // (refused vs reset vs timeout); what matters is a typed error with a
+    // Display impl, not a panic.
+    let rendered = format!("{err}");
+    assert!(!rendered.is_empty());
+}
