@@ -1,0 +1,80 @@
+//! Criterion benchmark: the serving read path. Blocked vs scalar top-k
+//! (the kernel win), and cached vs uncached point lookups (the admission
+//! cache win). The aggregate serving picture — QPS, tails, thread
+//! scaling — is reported by `scripts/bench_serving.sh`, which emits
+//! `BENCH_serving.json` from a bigger workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetkg_embed::checkpoint::Checkpoint;
+use hetkg_embed::init::Init;
+use hetkg_embed::models::ModelKind;
+use hetkg_embed::storage::EmbeddingTable;
+use hetkg_serve::{ServeEngine, ServingSnapshot, SnapshotCell};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ENTITIES: usize = 8_000;
+const DIM: usize = 64;
+
+fn engine(kind: ModelKind, cache_rows: usize) -> ServeEngine {
+    let model = kind.build(DIM);
+    let mut entities = EmbeddingTable::zeros(ENTITIES, model.entity_dim());
+    let mut relations = EmbeddingTable::zeros(8, model.relation_dim());
+    Init::Uniform { bound: 0.5 }.fill(&mut entities, 3);
+    Init::Uniform { bound: 0.5 }.fill(&mut relations, 4);
+    let ck = Checkpoint::new(entities, relations);
+    let cell = Arc::new(SnapshotCell::new(ServingSnapshot::from_checkpoint(
+        &ck, 0, 0, 4,
+    )));
+    ServeEngine::new(cell, model, cache_rows).expect("dims match")
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_topk");
+    group.sample_size(10);
+    for kind in [ModelKind::TransEL2, ModelKind::DistMult] {
+        let eng = engine(kind, 0);
+        let mut scratch = eng.scratch();
+        group.bench_function(BenchmarkId::new("batched", kind), |b| {
+            let mut h = 0u32;
+            b.iter(|| {
+                h = (h + 17) % ENTITIES as u32;
+                black_box(eng.topk_tails(&mut scratch, h, 1, 10).unwrap())
+            })
+        });
+        group.bench_function(BenchmarkId::new("scalar", kind), |b| {
+            let mut h = 0u32;
+            b.iter(|| {
+                h = (h + 17) % ENTITIES as u32;
+                black_box(eng.topk_tails_scalar(&mut scratch, h, 1, 10).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_lookup");
+    let eng = engine(ModelKind::TransEL2, 1024);
+    let mut row = Vec::new();
+    // Drive one id hot so the cached case measures a hit.
+    for _ in 0..4 {
+        eng.lookup_entity(7, &mut row).unwrap();
+    }
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(eng.lookup_entity(7, &mut row).is_ok()))
+    });
+    group.bench_function("cache_miss_cold_tail", |b| {
+        let mut id = 2_000u32;
+        b.iter(|| {
+            // Walk the cold tail so frequencies stay below the admission
+            // threshold and every access misses.
+            id = 2_000 + (id + 1) % 6_000;
+            black_box(eng.lookup_entity(id, &mut row).is_ok())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk, bench_lookup);
+criterion_main!(benches);

@@ -59,6 +59,44 @@ pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
+/// L2 norm of the residual `q − t` without materializing it:
+/// `sqrt(Σ (q_i − t_i)²)`.
+///
+/// Accumulates with exactly the lane structure of [`dot`] — each element is
+/// subtracted then squared into the same lane position the two-pass
+/// subtract-into-scratch-then-[`norm2`] path would have used, with the same
+/// pairwise lane reduction and scalar tail — so the result is bit-identical
+/// to that path while skipping the residual's store/reload round trip.
+#[inline]
+pub fn residual_norm2(q: &[f32], t: &[f32]) -> f32 {
+    debug_assert_eq!(q.len(), t.len());
+    let qc = q.chunks_exact(LANES);
+    let tc = t.chunks_exact(LANES);
+    let (tq, tt) = (qc.remainder(), tc.remainder());
+    let mut lanes = [0.0f32; LANES];
+    for (qs, ts) in qc.zip(tc) {
+        for (l, acc) in lanes.iter_mut().enumerate() {
+            let d = qs[l] - ts[l];
+            *acc += d * d;
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for i in 0..tq.len() {
+        let d = tq[i] - tt[i];
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// L1 norm of the residual `q − t`: `Σ |q_i − t_i|`, summed sequentially in
+/// index order — bit-identical to subtract-into-scratch then [`norm1`].
+#[inline]
+pub fn residual_norm1(q: &[f32], t: &[f32]) -> f32 {
+    debug_assert_eq!(q.len(), t.len());
+    q.iter().zip(t).map(|(a, b)| (a - b).abs()).sum()
+}
+
 /// L1 norm `Σ |x_i|`.
 #[inline]
 pub fn norm1(x: &[f32]) -> f32 {

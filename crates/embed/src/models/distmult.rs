@@ -4,6 +4,7 @@
 //! evaluates. Symmetric in h/t by construction.
 
 use super::KgeModel;
+use crate::storage::EmbeddingTable;
 
 /// The DistMult score function.
 #[derive(Debug, Clone)]
@@ -34,6 +35,37 @@ impl KgeModel for DistMult {
             acc += h[i] * r[i] * t[i];
         }
         acc
+    }
+
+    /// Blocked tail scoring with the per-query product `h ⊙ r` hoisted out
+    /// of the candidate loop. Bit-identical to the scalar path:
+    /// `h[i] * r[i] * t[i]` parses as `(h[i] * r[i]) * t[i]`, so
+    /// precomputing `hr[i] = h[i] * r[i]` performs the same multiplies in
+    /// the same order, and the accumulation stays the same sequential sum.
+    fn score_tails_block(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        tails: &EmbeddingTable,
+        ids: &[u32],
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(ids.len(), out.len());
+        let d = self.dim;
+        scratch.resize(d, 0.0);
+        let hr = &mut scratch[..d];
+        for i in 0..d {
+            hr[i] = h[i] * r[i];
+        }
+        for (o, &id) in out.iter_mut().zip(ids) {
+            let t = tails.row(id as usize);
+            let mut acc = 0.0f32;
+            for i in 0..d {
+                acc += hr[i] * t[i];
+            }
+            *o = acc;
+        }
     }
 
     fn grad(

@@ -28,6 +28,7 @@ pub use transe::{Norm, TransE};
 pub use transh::TransH;
 pub use transr::TransR;
 
+use crate::storage::EmbeddingTable;
 use serde::{Deserialize, Serialize};
 
 /// A knowledge-graph embedding score function with analytic gradients.
@@ -68,6 +69,56 @@ pub trait KgeModel: Send + Sync {
         gr: &mut [f32],
         gt: &mut [f32],
     );
+
+    /// Score a block of candidate tails for a fixed `(h, r)`:
+    /// `out[i] = score(h, r, tails.row(ids[i]))`.
+    ///
+    /// The default implementation loops [`KgeModel::score`]. Models may
+    /// override it with a blocked kernel that hoists the per-query work
+    /// (e.g. `h + r` for TransE) out of the candidate loop and reuses
+    /// `scratch` instead of allocating — but every override MUST stay
+    /// **bit-identical** to the default: same float operations on the same
+    /// values in the same order per candidate. Offline evaluation pins this
+    /// with a differential test; a faster-but-drifting kernel is a bug.
+    fn score_tails_block(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        tails: &EmbeddingTable,
+        ids: &[u32],
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) {
+        let _ = scratch;
+        debug_assert_eq!(ids.len(), out.len());
+        for (o, &id) in out.iter_mut().zip(ids) {
+            *o = self.score(h, r, tails.row(id as usize));
+        }
+    }
+
+    /// Score a block of candidate heads for a fixed `(r, t)`:
+    /// `out[i] = score(heads.row(ids[i]), r, t)`.
+    ///
+    /// Same bit-identity contract as [`KgeModel::score_tails_block`]. Note
+    /// that the head side usually has less to hoist: TransE's residual is
+    /// `(h + r) - t`, so precomputing `r - t` would change the association
+    /// order — overrides on this side mostly win by dropping per-candidate
+    /// allocation and dynamic dispatch, not by algebra.
+    fn score_heads_block(
+        &self,
+        heads: &EmbeddingTable,
+        ids: &[u32],
+        r: &[f32],
+        t: &[f32],
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) {
+        let _ = scratch;
+        debug_assert_eq!(ids.len(), out.len());
+        for (o, &id) in out.iter_mut().zip(ids) {
+            *o = self.score(heads.row(id as usize), r, t);
+        }
+    }
 }
 
 /// Serializable model selector, used by training configs and the harness.
@@ -195,6 +246,55 @@ mod tests {
         m.grad(&h, &r, &t, 1.0, &mut gh, &mut gr, &mut gt);
         for i in 0..4 {
             assert!((gh[i] - 2.0 * once[i]).abs() < 1e-6);
+        }
+    }
+
+    /// Every model's block kernels must be bit-identical to the scalar
+    /// `score` loop — this is the contract offline evaluation and the
+    /// serving top-k path both rely on. Exercises dims that cover the
+    /// 8-lane kernels' tails and multi-chunk paths.
+    #[test]
+    fn block_scoring_is_bit_identical_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for kind in ModelKind::all() {
+            for dim in [3usize, 8, 13] {
+                let m = kind.build(dim);
+                let n = 17;
+                let mut ents = EmbeddingTable::zeros(n, m.entity_dim());
+                for i in 0..n {
+                    for v in ents.row_mut(i) {
+                        *v = rng.random_range(-0.9..0.9);
+                    }
+                }
+                let mut rel = vec![0.0f32; m.relation_dim()];
+                for v in rel.iter_mut() {
+                    *v = rng.random_range(-0.9..0.9);
+                }
+                let ids: Vec<u32> = (0..n as u32).rev().collect();
+                let fixed = ents.row(5).to_vec();
+                let mut scratch = Vec::new();
+                let mut out = vec![0.0f32; ids.len()];
+
+                m.score_tails_block(&fixed, &rel, &ents, &ids, &mut out, &mut scratch);
+                for (&id, &got) in ids.iter().zip(&out) {
+                    let want = m.score(&fixed, &rel, ents.row(id as usize));
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{kind} d={dim} tail id={id}: {got} vs {want}"
+                    );
+                }
+
+                m.score_heads_block(&ents, &ids, &rel, &fixed, &mut out, &mut scratch);
+                for (&id, &got) in ids.iter().zip(&out) {
+                    let want = m.score(ents.row(id as usize), &rel, &fixed);
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{kind} d={dim} head id={id}: {got} vs {want}"
+                    );
+                }
+            }
         }
     }
 

@@ -4,7 +4,8 @@
 //! translational-distance model, and one of the two the paper evaluates.
 
 use super::KgeModel;
-use crate::math::{norm1, norm2, translation_residual};
+use crate::math::{norm1, norm2, residual_norm1, residual_norm2, translation_residual};
+use crate::storage::EmbeddingTable;
 
 /// Distance norm used by [`TransE`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +54,68 @@ impl KgeModel for TransE {
         match self.norm {
             Norm::L1 => -norm1(&u),
             Norm::L2 => -norm2(&u),
+        }
+    }
+
+    /// Blocked tail scoring with the per-query translation `q = h + r`
+    /// hoisted out of the candidate loop. Bit-identical to the scalar
+    /// path: the residual is still `(h[i] + r[i]) - t[i]` — the same two
+    /// additions in the same order — and the fused residual-norm kernels
+    /// accumulate in exactly the order `translation_residual` + norm
+    /// would, just without storing the residual in between.
+    fn score_tails_block(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        tails: &EmbeddingTable,
+        ids: &[u32],
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(ids.len(), out.len());
+        let d = self.dim;
+        scratch.resize(d, 0.0);
+        let q = &mut scratch[..d];
+        for i in 0..d {
+            q[i] = h[i] + r[i];
+        }
+        match self.norm {
+            Norm::L1 => {
+                for (o, &id) in out.iter_mut().zip(ids) {
+                    *o = -residual_norm1(q, tails.row(id as usize));
+                }
+            }
+            Norm::L2 => {
+                for (o, &id) in out.iter_mut().zip(ids) {
+                    *o = -residual_norm2(q, tails.row(id as usize));
+                }
+            }
+        }
+    }
+
+    /// Blocked head scoring. Nothing to hoist on this side (precomputing
+    /// `r - t` would reassociate the residual), so the win over the scalar
+    /// path is dropping the per-candidate `Vec` allocation and dynamic
+    /// dispatch; the float work is operation-for-operation the same.
+    fn score_heads_block(
+        &self,
+        heads: &EmbeddingTable,
+        ids: &[u32],
+        r: &[f32],
+        t: &[f32],
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(ids.len(), out.len());
+        let d = self.dim;
+        scratch.resize(d, 0.0);
+        let u = &mut scratch[..d];
+        for (o, &id) in out.iter_mut().zip(ids) {
+            translation_residual(heads.row(id as usize), r, t, u);
+            *o = match self.norm {
+                Norm::L1 => -norm1(u),
+                Norm::L2 => -norm2(u),
+            };
         }
     }
 

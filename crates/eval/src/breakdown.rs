@@ -5,7 +5,11 @@
 //! corrupted side (is the model better at predicting heads or tails?). Both
 //! are cheap to collect during the same ranking pass.
 
-use crate::link_prediction::{pick_candidates, rank_one, EmbeddingSnapshot, EvalConfig, Side};
+use crate::batch::BatchScorer;
+use crate::link_prediction::{
+    pick_candidates, rank_one_batched, rank_one_scalar, EmbeddingSnapshot, EvalConfig, FilterIndex,
+    RankScratch, Side,
+};
 use crate::metrics::RankMetrics;
 use hetkg_embed::models::KgeModel;
 use hetkg_kgraph::{RelationId, Triple};
@@ -14,7 +18,7 @@ use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
 
 /// Link-prediction metrics split by relation and by corrupted side.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EvalBreakdown {
     /// Overall metrics (same definition as [`crate::evaluate`]).
     pub overall: RankMetrics,
@@ -51,8 +55,125 @@ fn sort_hardest(v: &mut [(RelationId, f64)]) {
 /// Run link prediction collecting the full breakdown.
 ///
 /// Same protocol as [`crate::evaluate`] (filtered ranking, optional
-/// candidate subsampling); one extra HashMap insert per rank.
+/// candidate subsampling); one extra HashMap insert per rank. Scoring
+/// goes through the blocked kernels — bit-identical to the historical
+/// scalar path (pinned by [`evaluate_breakdown_scalar`] differentials).
 pub fn evaluate_breakdown(
+    model: &dyn KgeModel,
+    snapshot: &EmbeddingSnapshot,
+    test: &[Triple],
+    all_true: &[Triple],
+    config: &EvalConfig,
+) -> EvalBreakdown {
+    evaluate_breakdown_threaded(model, snapshot, test, all_true, config, 1)
+}
+
+/// [`evaluate_breakdown`] over `threads` OS threads.
+///
+/// Bit-identical to the single-threaded run for any thread count: the
+/// candidate subsample streams are drawn sequentially up front (same RNG
+/// order as a sequential run), each `(triple, side)` ranking is
+/// independent and writes its integer rank into a fixed slot, and the
+/// final `RankMetrics` aggregation replays those ranks in protocol order
+/// on one thread — so even the `f64` reciprocal sums accumulate in the
+/// exact sequential order.
+pub fn evaluate_breakdown_threaded(
+    model: &dyn KgeModel,
+    snapshot: &EmbeddingSnapshot,
+    test: &[Triple],
+    all_true: &[Triple],
+    config: &EvalConfig,
+    threads: usize,
+) -> EvalBreakdown {
+    let threads = threads.max(1);
+    let filter = config.filtered.then(|| FilterIndex::build(all_true));
+    let num_entities = snapshot.entities.rows();
+
+    // One work item per (triple, side), in protocol order.
+    let items: Vec<(Triple, Side)> = test
+        .iter()
+        .flat_map(|&t| [(t, Side::Head), (t, Side::Tail)])
+        .collect();
+
+    // Candidate lists. Subsampled lists are drawn sequentially here with
+    // the same RNG stream a sequential run consumes (the full-candidate
+    // branch of `pick_candidates` never touches the RNG, so sharing one
+    // 0..N list is stream-identical). `None` = use the shared full list.
+    let subsampled = matches!(config.max_candidates, Some(k) if k < num_entities);
+    let full: Vec<u32> = if subsampled {
+        Vec::new()
+    } else {
+        (0..num_entities as u32).collect()
+    };
+    let lists: Vec<Option<Vec<u32>>> = if subsampled {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        items
+            .iter()
+            .map(|_| {
+                let mut v = Vec::new();
+                pick_candidates(&mut v, num_entities, config, &mut rng);
+                Some(v)
+            })
+            .collect()
+    } else {
+        items.iter().map(|_| None).collect()
+    };
+
+    let mut ranks = vec![0u64; items.len()];
+    let run_chunk = |items: &[(Triple, Side)], lists: &[Option<Vec<u32>>], ranks: &mut [u64]| {
+        let mut scorer = BatchScorer::new(model);
+        let mut scratch = RankScratch::default();
+        for ((&(triple, side), list), rank) in items.iter().zip(lists).zip(ranks.iter_mut()) {
+            let candidates = list.as_deref().unwrap_or(&full);
+            *rank = rank_one_batched(
+                &mut scorer,
+                snapshot,
+                triple,
+                side,
+                candidates,
+                filter.as_ref(),
+                &mut scratch,
+            );
+        }
+    };
+
+    if threads == 1 || items.len() <= 1 {
+        run_chunk(&items, &lists, &mut ranks);
+    } else {
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for ((ic, lc), rc) in items
+                .chunks(chunk)
+                .zip(lists.chunks(chunk))
+                .zip(ranks.chunks_mut(chunk))
+            {
+                s.spawn(move || run_chunk(ic, lc, rc));
+            }
+        });
+    }
+
+    let mut out = EvalBreakdown::default();
+    for (&(triple, side), &rank) in items.iter().zip(&ranks) {
+        out.overall.add_rank(rank);
+        if side == Side::Head {
+            out.head_side.add_rank(rank);
+        } else {
+            out.tail_side.add_rank(rank);
+        }
+        out.per_relation
+            .entry(triple.relation)
+            .or_default()
+            .add_rank(rank);
+    }
+    out
+}
+
+/// The pre-batching implementation — per-candidate scalar scoring against
+/// one big `HashSet<Triple>` — kept verbatim as the differential oracle.
+/// Production callers use [`evaluate_breakdown`]; tests assert the two are
+/// bit-identical across models, filter settings, and thread counts.
+#[doc(hidden)]
+pub fn evaluate_breakdown_scalar(
     model: &dyn KgeModel,
     snapshot: &EmbeddingSnapshot,
     test: &[Triple],
@@ -72,7 +193,7 @@ pub fn evaluate_breakdown(
     for &triple in test {
         for side in [Side::Head, Side::Tail] {
             pick_candidates(&mut candidates, num_entities, config, &mut rng);
-            let rank = rank_one(model, snapshot, triple, side, &candidates, &truth, config);
+            let rank = rank_one_scalar(model, snapshot, triple, side, &candidates, &truth, config);
             out.overall.add_rank(rank);
             if side == Side::Head {
                 out.head_side.add_rank(rank);

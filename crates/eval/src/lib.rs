@@ -8,10 +8,12 @@
 //! that form other true triples, as in Bordes et al. and the paper's
 //! "FilteredMRR" hyperparameter rows.
 
+pub mod batch;
 pub mod breakdown;
 pub mod link_prediction;
 pub mod metrics;
 
-pub use breakdown::{evaluate_breakdown, EvalBreakdown};
+pub use batch::{BatchScorer, TopK, BLOCK};
+pub use breakdown::{evaluate_breakdown, evaluate_breakdown_threaded, EvalBreakdown};
 pub use link_prediction::{evaluate, EvalConfig};
 pub use metrics::RankMetrics;

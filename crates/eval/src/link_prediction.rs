@@ -9,13 +9,14 @@
 //! subsamples the candidate set (the standard protocol for Freebase-scale
 //! evaluation — DGL-KE does the same with `neg_sample_size_eval`).
 
+use crate::batch::BatchScorer;
 use crate::metrics::RankMetrics;
 use hetkg_embed::models::KgeModel;
 use hetkg_embed::storage::EmbeddingTable;
 use hetkg_kgraph::{EntityId, Triple};
 use rand::rngs::StdRng;
 use rand::RngExt;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// A frozen copy of the model parameters, dense by entity/relation id.
 #[derive(Debug, Clone)]
@@ -94,10 +95,141 @@ pub fn evaluate(
     crate::breakdown::evaluate_breakdown(model, snapshot, test, all_true, config).overall
 }
 
-/// Rank of the true entity for one triple and side. 1-based; ties are
-/// counted optimistically-half (`greater + ties/2 + 1` rounded down), the
-/// convention that makes constant scorers rank in the middle.
-pub(crate) fn rank_one(
+/// Candidate-exclusion index for the filtered protocol, built **once per
+/// evaluation** from `all_true` and shared by every ranking.
+///
+/// The previous implementation kept one `HashSet<Triple>` for the whole
+/// run (already hoisted out of the per-triple loop — there never was a
+/// per-triple rebuild) but paid a full-`Triple` hash probe per candidate.
+/// This index groups the true triples by the fixed pair instead — tails
+/// under `(h, r)`, heads under `(r, t)` — so each ranking does one map
+/// lookup up front and then a binary search over a typically tiny sorted
+/// `Vec<u32>` per candidate. Membership answers are identical to the set
+/// probe, so ranks are unchanged.
+#[derive(Debug, Default)]
+pub(crate) struct FilterIndex {
+    /// `(h, r)` → sorted, deduplicated true tails.
+    tails: HashMap<(u32, u32), Vec<u32>>,
+    /// `(r, t)` → sorted, deduplicated true heads.
+    heads: HashMap<(u32, u32), Vec<u32>>,
+}
+
+impl FilterIndex {
+    /// Build the index over the filtering set (train ∪ valid ∪ test,
+    /// conventionally).
+    pub(crate) fn build(all_true: &[Triple]) -> Self {
+        let mut idx = Self::default();
+        for t in all_true {
+            idx.tails
+                .entry((t.head.0, t.relation.0))
+                .or_default()
+                .push(t.tail.0);
+            idx.heads
+                .entry((t.relation.0, t.tail.0))
+                .or_default()
+                .push(t.head.0);
+        }
+        for v in idx.tails.values_mut().chain(idx.heads.values_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        idx
+    }
+
+    /// The sorted exclusion list for one ranking: true tails of `(h, r)`
+    /// when corrupting the tail, true heads of `(r, t)` when corrupting
+    /// the head.
+    fn exclusions(&self, triple: Triple, side: Side) -> Option<&[u32]> {
+        match side {
+            Side::Tail => self
+                .tails
+                .get(&(triple.head.0, triple.relation.0))
+                .map(Vec::as_slice),
+            Side::Head => self
+                .heads
+                .get(&(triple.relation.0, triple.tail.0))
+                .map(Vec::as_slice),
+        }
+    }
+}
+
+/// Reusable per-worker buffers for [`rank_one_batched`].
+#[derive(Debug, Default)]
+pub(crate) struct RankScratch {
+    /// Candidates surviving the true-entity/filter pruning.
+    pruned: Vec<u32>,
+    /// Block scores, parallel to `pruned`.
+    scores: Vec<f32>,
+}
+
+/// Rank of the true entity for one triple and side, via the blocked
+/// kernels. 1-based; ties are counted optimistically-half
+/// (`greater + ties/2 + 1` rounded down), the convention that makes
+/// constant scorers rank in the middle.
+///
+/// Bit-identical to [`rank_one_scalar`]: pruning applies the same
+/// exclusions, the block kernels produce bit-identical scores, and the
+/// `>`/`==` counts don't depend on scoring order.
+pub(crate) fn rank_one_batched(
+    scorer: &mut BatchScorer<'_>,
+    snapshot: &EmbeddingSnapshot,
+    triple: Triple,
+    side: Side,
+    candidates: &[u32],
+    filter: Option<&FilterIndex>,
+    scratch: &mut RankScratch,
+) -> u64 {
+    let true_score = snapshot.score(scorer.model(), triple);
+    let true_entity = match side {
+        Side::Head => triple.head.0,
+        Side::Tail => triple.tail.0,
+    };
+    let exclusions = filter.and_then(|f| f.exclusions(triple, side));
+    scratch.pruned.clear();
+    for &c in candidates {
+        if c == true_entity {
+            continue; // the true triple itself
+        }
+        if let Some(ex) = exclusions {
+            if ex.binary_search(&c).is_ok() {
+                continue; // another true answer: filtered out
+            }
+        }
+        scratch.pruned.push(c);
+    }
+    scratch.scores.resize(scratch.pruned.len(), 0.0);
+    match side {
+        Side::Tail => scorer.score_tails(
+            &snapshot.entities,
+            snapshot.entities.row(triple.head.index()),
+            snapshot.relations.row(triple.relation.index()),
+            &scratch.pruned,
+            &mut scratch.scores,
+        ),
+        Side::Head => scorer.score_heads(
+            &snapshot.entities,
+            snapshot.relations.row(triple.relation.index()),
+            snapshot.entities.row(triple.tail.index()),
+            &scratch.pruned,
+            &mut scratch.scores,
+        ),
+    }
+    let mut greater = 0u64;
+    let mut ties = 0u64;
+    for &s in &scratch.scores {
+        if s > true_score {
+            greater += 1;
+        } else if s == true_score {
+            ties += 1;
+        }
+    }
+    greater + ties / 2 + 1
+}
+
+/// The original one-candidate-at-a-time ranking, kept verbatim as the
+/// differential oracle the batched path is pinned against. Not used on
+/// any production path.
+pub(crate) fn rank_one_scalar(
     model: &dyn KgeModel,
     snapshot: &EmbeddingSnapshot,
     triple: Triple,

@@ -1,0 +1,150 @@
+//! The evaluation contract this PR must not bend: routing link prediction
+//! through the blocked kernels — and across OS threads — changes NOTHING.
+//! Every metric (MRR, MR, Hits@k, per-relation, per-side) must be
+//! **bit-identical** to the historical per-candidate scalar path, for
+//! every model, filtered and raw, full and subsampled candidates.
+
+use hetkg_embed::init::Init;
+use hetkg_embed::models::ModelKind;
+use hetkg_embed::storage::EmbeddingTable;
+use hetkg_eval::breakdown::{evaluate_breakdown, evaluate_breakdown_scalar};
+use hetkg_eval::evaluate_breakdown_threaded;
+use hetkg_eval::link_prediction::EmbeddingSnapshot;
+use hetkg_eval::EvalConfig;
+use hetkg_kgraph::Triple;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const NUM_ENTITIES: usize = 120;
+const NUM_RELATIONS: usize = 6;
+
+fn world(
+    kind: ModelKind,
+    seed: u64,
+) -> (Box<dyn hetkg_embed::models::KgeModel>, EmbeddingSnapshot) {
+    let model = kind.build(8);
+    let mut entities = EmbeddingTable::zeros(NUM_ENTITIES, model.entity_dim());
+    let mut relations = EmbeddingTable::zeros(NUM_RELATIONS, model.relation_dim());
+    Init::Uniform { bound: 0.7 }.fill(&mut entities, seed);
+    Init::Uniform { bound: 0.7 }.fill(&mut relations, seed + 1);
+    (model, EmbeddingSnapshot::new(entities, relations))
+}
+
+fn triples(n: usize, seed: u64) -> Vec<Triple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Triple::new(
+                rng.random_range(0..NUM_ENTITIES as u32),
+                rng.random_range(0..NUM_RELATIONS as u32),
+                rng.random_range(0..NUM_ENTITIES as u32),
+            )
+        })
+        .collect()
+}
+
+/// Every model × {filtered, raw} × {full, subsampled} candidates: batched
+/// evaluation equals the scalar oracle exactly (PartialEq on the breakdown
+/// compares the raw f64 sums, i.e. bitwise for any value either path can
+/// produce).
+#[test]
+fn batched_equals_scalar_for_every_model() {
+    let test = triples(25, 3);
+    let all_true = {
+        let mut v = test.clone();
+        v.extend(triples(60, 4));
+        v
+    };
+    for kind in ModelKind::all() {
+        let (model, snap) = world(kind, 11);
+        for filtered in [false, true] {
+            for max_candidates in [None, Some(40)] {
+                let config = EvalConfig {
+                    filtered,
+                    max_candidates,
+                    seed: 9,
+                };
+                let scalar =
+                    evaluate_breakdown_scalar(model.as_ref(), &snap, &test, &all_true, &config);
+                let batched = evaluate_breakdown(model.as_ref(), &snap, &test, &all_true, &config);
+                assert_eq!(
+                    scalar, batched,
+                    "{kind} filtered={filtered} max={max_candidates:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Thread count must not leak into any metric: 1, 2, 3, and 8 threads all
+/// reproduce the scalar oracle bit for bit (including a thread count that
+/// doesn't divide the item count, and one exceeding it).
+#[test]
+fn threaded_equals_scalar_for_every_thread_count() {
+    let test = triples(21, 5);
+    let all_true = {
+        let mut v = test.clone();
+        v.extend(triples(40, 6));
+        v
+    };
+    for kind in [ModelKind::TransEL2, ModelKind::DistMult, ModelKind::ComplEx] {
+        let (model, snap) = world(kind, 17);
+        for filtered in [false, true] {
+            for max_candidates in [None, Some(32)] {
+                let config = EvalConfig {
+                    filtered,
+                    max_candidates,
+                    seed: 2,
+                };
+                let scalar =
+                    evaluate_breakdown_scalar(model.as_ref(), &snap, &test, &all_true, &config);
+                for threads in [1, 2, 3, 8, 64] {
+                    let got = evaluate_breakdown_threaded(
+                        model.as_ref(),
+                        &snap,
+                        &test,
+                        &all_true,
+                        &config,
+                        threads,
+                    );
+                    assert_eq!(
+                        scalar, got,
+                        "{kind} threads={threads} filtered={filtered} max={max_candidates:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Duplicate triples in the filtering set and in the test set itself must
+/// not perturb the batched path (the filter index dedups internally; the
+/// scalar set dedups by construction).
+#[test]
+fn duplicate_truths_do_not_skew_filtering() {
+    let (model, snap) = world(ModelKind::TransEL2, 23);
+    let test = triples(10, 7);
+    let mut all_true = test.clone();
+    all_true.extend(test.clone());
+    all_true.extend(test.clone());
+    let config = EvalConfig {
+        filtered: true,
+        max_candidates: None,
+        seed: 0,
+    };
+    let scalar = evaluate_breakdown_scalar(model.as_ref(), &snap, &test, &all_true, &config);
+    let batched = evaluate_breakdown(model.as_ref(), &snap, &test, &all_true, &config);
+    assert_eq!(scalar, batched);
+}
+
+/// Empty test set stays empty through the threaded path.
+#[test]
+fn empty_test_set_is_empty_for_any_thread_count() {
+    let (model, snap) = world(ModelKind::DistMult, 29);
+    let config = EvalConfig::default();
+    for threads in [1, 4] {
+        let b = evaluate_breakdown_threaded(model.as_ref(), &snap, &[], &[], &config, threads);
+        assert_eq!(b.overall.count(), 0);
+        assert!(b.per_relation.is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! Hotness-aware admission cache for entity rows.
+//!
+//! The serving analogue of the paper's training-side hot-embedding cache:
+//! a fixed budget of rows holds the Zipf head of the entity table, keyed
+//! by the same access-frequency statistic the training cache builds its
+//! hot set from. Two properties distinguish it from a plain LRU:
+//!
+//! - **Frequency-gated admission.** A miss does not blindly install the
+//!   row. Every access bumps a per-entity frequency counter; a candidate
+//!   is admitted only once its observed frequency reaches the admission
+//!   threshold *and* beats the coldest occupant of its set. One-hit
+//!   wonders in the Zipf tail therefore never evict head rows — the
+//!   failure mode that caps LRU hit rates under skew.
+//! - **Snapshot-keyed entries.** Each slot records the snapshot sequence
+//!   number it was filled from. After a hot swap the stale entries simply
+//!   stop matching and get re-admitted from the new snapshot on their next
+//!   qualifying access — no global flush, no stop-the-world.
+//!
+//! Layout is set-associative: `capacity / WAYS` sets, each a small
+//! [`parking_lot::RwLock`] over its ways. Hits take one read lock of one
+//! set; the per-entity frequency counters are lock-free atomics shared by
+//! all sets. [`HotRowCache::warm`] pre-admits the top rows given offline
+//! hotness counts (e.g. the training access counter), the same
+//! frequency-descending, id-tiebreak order as
+//! `hetkg_core::filter::filter_hot_set`.
+
+use hetkg_core::metrics::CacheStats;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Associativity: ways per set. Eight keeps a set's metadata in one cache
+/// line while giving hot ids that collide on a set enough room to coexist.
+const WAYS: usize = 8;
+
+/// Frequency a row must reach before it can be admitted.
+const ADMIT_THRESHOLD: u32 = 2;
+
+/// Counter ceiling; saturate instead of wrapping so a wrapped-to-zero hot
+/// row can never be evicted by a lukewarm one.
+const FREQ_CEILING: u32 = u32::MAX - 1;
+
+#[derive(Debug, Clone)]
+struct Way {
+    /// Entity id held, or `u32::MAX` for empty.
+    id: u32,
+    /// Snapshot seq the row was copied from; a mismatch means stale.
+    seq: u64,
+    /// The row itself.
+    data: Vec<f32>,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Set {
+    ways: Vec<Way>,
+}
+
+/// Fixed-capacity, set-associative, frequency-gated row cache.
+#[derive(Debug)]
+pub struct HotRowCache {
+    sets: Vec<RwLock<Set>>,
+    dim: usize,
+    /// One frequency counter per entity id.
+    freq: Vec<AtomicU32>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    admits: AtomicU64,
+}
+
+impl HotRowCache {
+    /// A cache holding at most `capacity` rows of width `dim`, serving a
+    /// table of `num_entities` rows. Capacity is rounded up to a whole
+    /// number of sets (min one set).
+    pub fn new(capacity: usize, dim: usize, num_entities: usize) -> Self {
+        let num_sets = capacity.div_ceil(WAYS).max(1);
+        let sets = (0..num_sets)
+            .map(|_| {
+                RwLock::new(Set {
+                    ways: Vec::with_capacity(WAYS),
+                })
+            })
+            .collect();
+        let freq = (0..num_entities).map(|_| AtomicU32::new(0)).collect();
+        Self {
+            sets,
+            dim,
+            freq,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            admits: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum rows the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * WAYS
+    }
+
+    #[inline]
+    fn set_of(&self, id: u32) -> &RwLock<Set> {
+        // Fibonacci hashing spreads contiguous hot ids across sets even
+        // though the id permutation already randomizes them.
+        let h = (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.sets[(h as usize) % self.sets.len()]
+    }
+
+    /// Whether `id` is cacheable (a reloaded snapshot may grow the entity
+    /// table past the frequency array sized at construction; such ids
+    /// bypass the cache instead of indexing out of bounds).
+    #[inline]
+    fn tracks(&self, id: u32) -> bool {
+        (id as usize) < self.freq.len()
+    }
+
+    /// Bump and return the access frequency of `id` (saturating).
+    #[inline]
+    fn touch(&self, id: u32) -> u32 {
+        let f = &self.freq[id as usize];
+        let prev = f.fetch_add(1, Ordering::Relaxed);
+        if prev >= FREQ_CEILING {
+            f.store(FREQ_CEILING, Ordering::Relaxed);
+            FREQ_CEILING
+        } else {
+            prev + 1
+        }
+    }
+
+    /// Look up `id` against snapshot `seq`; on a hit copy the row into
+    /// `out` and return `true`. Counts the access either way.
+    pub fn get(&self, id: u32, seq: u64, out: &mut Vec<f32>) -> bool {
+        if !self.tracks(id) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.touch(id);
+        let set = self.set_of(id).read();
+        if let Some(way) = set.ways.iter().find(|w| w.id == id && w.seq == seq) {
+            out.clear();
+            out.extend_from_slice(&way.data);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Offer `row` for admission after a miss on `id`. Admits iff the
+    /// id's observed frequency has reached the threshold and either the
+    /// set has a free (or stale) way or the id is hotter than the set's
+    /// coldest occupant.
+    pub fn admit(&self, id: u32, seq: u64, row: &[f32]) {
+        debug_assert_eq!(row.len(), self.dim);
+        if !self.tracks(id) {
+            return;
+        }
+        let f = self.freq[id as usize].load(Ordering::Relaxed);
+        if f < ADMIT_THRESHOLD {
+            return;
+        }
+        let mut set = self.set_of(id).write();
+        // Re-check under the lock: a racing admit may have installed it.
+        if let Some(way) = set.ways.iter_mut().find(|w| w.id == id) {
+            if way.seq != seq {
+                way.seq = seq;
+                way.data.clear();
+                way.data.extend_from_slice(row);
+            }
+            return;
+        }
+        let slot = if set.ways.len() < WAYS {
+            set.ways.push(Way {
+                id: EMPTY,
+                seq: 0,
+                data: Vec::with_capacity(self.dim),
+            });
+            set.ways.len() - 1
+        } else {
+            // Prefer evicting stale entries, then the coldest occupant.
+            let victim = set
+                .ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| {
+                    let stale = w.seq != seq;
+                    let vf = self.freq[w.id as usize].load(Ordering::Relaxed);
+                    (!stale, vf, w.id)
+                })
+                .map(|(i, _)| i)
+                .expect("WAYS >= 1");
+            let w = &set.ways[victim];
+            let victim_freq = self.freq[w.id as usize].load(Ordering::Relaxed);
+            if w.seq == seq && victim_freq >= f {
+                return; // occupant at least as hot and current: keep it
+            }
+            victim
+        };
+        let way = &mut set.ways[slot];
+        way.id = id;
+        way.seq = seq;
+        way.data.clear();
+        way.data.extend_from_slice(row);
+        self.admits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pre-admit the hottest rows given offline access counts (index =
+    /// entity id), hottest first with id tiebreak — the same order the
+    /// training cache derives its hot set with. Seeds the frequency
+    /// counters so warmed rows defend their slots from cold traffic.
+    pub fn warm<F>(&self, counts: &[u64], seq: u64, mut fetch: F)
+    where
+        F: FnMut(u32) -> Vec<f32>,
+    {
+        let mut order: Vec<u32> = (0..counts.len().min(self.freq.len()) as u32).collect();
+        order.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
+        for &id in order.iter().take(self.capacity()) {
+            if counts[id as usize] == 0 {
+                break;
+            }
+            let f = counts[id as usize].min(FREQ_CEILING as u64) as u32;
+            self.freq[id as usize].fetch_max(f.max(ADMIT_THRESHOLD), Ordering::Relaxed);
+            self.admit(id, seq, &fetch(id));
+        }
+    }
+
+    /// Hit/miss counters since construction or the last
+    /// [`HotRowCache::reset_stats`].
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Rows admitted (including re-admissions after a snapshot swap).
+    pub fn admits(&self) -> u64 {
+        self.admits.load(Ordering::Relaxed)
+    }
+
+    /// Zero the hit/miss counters (e.g. after warmup) without touching
+    /// cache contents or frequency state.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_of(id: u32, dim: usize) -> Vec<f32> {
+        (0..dim).map(|j| id as f32 * 100.0 + j as f32).collect()
+    }
+
+    #[test]
+    fn cold_miss_then_admitted_hit() {
+        let cache = HotRowCache::new(16, 4, 100);
+        let mut out = Vec::new();
+        assert!(!cache.get(7, 1, &mut out)); // freq 1: too cold to admit
+        cache.admit(7, 1, &row_of(7, 4));
+        assert!(!cache.get(7, 1, &mut out)); // freq 2: now admissible
+        cache.admit(7, 1, &row_of(7, 4));
+        assert!(cache.get(7, 1, &mut out));
+        assert_eq!(out, row_of(7, 4));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn one_hit_wonders_cannot_evict_hot_rows() {
+        // Tiny cache: one set, WAYS rows. Make `WAYS` ids hot, then sweep
+        // a long tail of cold ids through: every hot row must survive.
+        let cache = HotRowCache::new(WAYS, 2, 10_000);
+        let mut out = Vec::new();
+        for id in 0..WAYS as u32 {
+            for _ in 0..10 {
+                if !cache.get(id, 1, &mut out) {
+                    cache.admit(id, 1, &row_of(id, 2));
+                }
+            }
+        }
+        for cold in 100..2100u32 {
+            if !cache.get(cold, 1, &mut out) {
+                cache.admit(cold, 1, &row_of(cold, 2));
+            }
+        }
+        for id in 0..WAYS as u32 {
+            assert!(cache.get(id, 1, &mut out), "hot id {id} was evicted");
+        }
+    }
+
+    #[test]
+    fn hotter_candidate_evicts_coldest_occupant() {
+        let cache = HotRowCache::new(WAYS, 2, 100);
+        let mut out = Vec::new();
+        // Fill all ways at frequency 2.
+        for id in 0..WAYS as u32 {
+            cache.get(id, 1, &mut out);
+            cache.get(id, 1, &mut out);
+            cache.admit(id, 1, &row_of(id, 2));
+        }
+        // A new id that gets much hotter must displace one occupant.
+        let hot = 50u32;
+        for _ in 0..8 {
+            if !cache.get(hot, 1, &mut out) {
+                cache.admit(hot, 1, &row_of(hot, 2));
+            }
+        }
+        assert!(cache.get(hot, 1, &mut out));
+    }
+
+    #[test]
+    fn snapshot_swap_invalidates_without_flush() {
+        let cache = HotRowCache::new(16, 3, 50);
+        let mut out = Vec::new();
+        cache.get(3, 1, &mut out);
+        cache.get(3, 1, &mut out);
+        cache.admit(3, 1, &row_of(3, 3));
+        assert!(cache.get(3, 1, &mut out));
+        // New snapshot: the old entry no longer matches.
+        assert!(!cache.get(3, 2, &mut out));
+        cache.admit(3, 2, &[9.0, 9.0, 9.0]);
+        assert!(cache.get(3, 2, &mut out));
+        assert_eq!(out, vec![9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn warm_preloads_hottest_rows_as_hits() {
+        let cache = HotRowCache::new(8, 2, 100);
+        let mut counts = vec![0u64; 100];
+        counts[10] = 50;
+        counts[20] = 40;
+        counts[30] = 1;
+        cache.warm(&counts, 1, |id| row_of(id, 2));
+        let mut out = Vec::new();
+        assert!(cache.get(10, 1, &mut out));
+        assert!(cache.get(20, 1, &mut out));
+        // Zero-count rows are never warmed.
+        assert!(!cache.get(40, 1, &mut out));
+        cache.reset_stats();
+        assert_eq!(cache.stats().total(), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_whole_sets() {
+        let cache = HotRowCache::new(1, 2, 10);
+        assert_eq!(cache.capacity(), WAYS);
+        let cache = HotRowCache::new(WAYS + 1, 2, 10);
+        assert_eq!(cache.capacity(), 2 * WAYS);
+    }
+}

@@ -1,0 +1,111 @@
+//! Latency aggregation: nearest-rank percentiles over raw samples.
+//!
+//! The benchmark keeps every per-query latency (nanoseconds) rather than
+//! bucketing into a histogram — runs are short enough that exact
+//! percentiles are affordable, and "exact over raw samples" is trivially
+//! testable against a sorted reference.
+
+use serde::Serialize;
+
+/// Nearest-rank percentile of an **ascending-sorted** slice:
+/// the smallest element such that at least `p` of the mass is at or below
+/// it (`idx = ceil(p·n) - 1`). `p` in `(0, 1]`. Returns 0 for an empty
+/// slice.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    debug_assert!(p > 0.0 && p <= 1.0, "percentile p in (0, 1]");
+    let n = sorted.len() as f64;
+    let idx = (p * n).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Tail-latency summary in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// 99.9th percentile.
+    pub p999_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Sample count.
+    pub samples: u64,
+}
+
+impl LatencySummary {
+    /// Summarize raw nanosecond samples. Sorts `samples_ns` in place.
+    pub fn from_ns(samples_ns: &mut [u64]) -> Self {
+        samples_ns.sort_unstable();
+        if samples_ns.is_empty() {
+            return Self::default();
+        }
+        let to_us = |ns: u64| ns as f64 / 1_000.0;
+        let sum: u128 = samples_ns.iter().map(|&v| v as u128).sum();
+        Self {
+            p50_us: to_us(percentile(samples_ns, 0.50)),
+            p95_us: to_us(percentile(samples_ns, 0.95)),
+            p99_us: to_us(percentile(samples_ns, 0.99)),
+            p999_us: to_us(percentile(samples_ns, 0.999)),
+            max_us: to_us(*samples_ns.last().expect("non-empty")),
+            mean_us: sum as f64 / samples_ns.len() as f64 / 1_000.0,
+            samples: samples_ns.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        // 1..=100: pth percentile is exactly p (nearest-rank on a
+        // 100-sample 1-based ladder).
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&v, 0.001), 1);
+    }
+
+    #[test]
+    fn small_samples_round_up() {
+        let v = [10, 20, 30];
+        assert_eq!(percentile(&v, 0.5), 20); // ceil(1.5)-1 = 1
+        assert_eq!(percentile(&v, 0.34), 20); // ceil(1.02)-1 = 1
+        assert_eq!(percentile(&v, 0.33), 10); // ceil(0.99)-1 = 0
+        assert_eq!(percentile(&v, 0.999), 30);
+        let one = [7];
+        assert_eq!(percentile(&one, 0.5), 7);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn summary_against_sorted_reference() {
+        // Deliberately unsorted input with a known spread.
+        let mut ns: Vec<u64> = (1..=1000).rev().map(|v| v * 1_000).collect();
+        let s = LatencySummary::from_ns(&mut ns);
+        assert_eq!(s.samples, 1000);
+        assert_eq!(s.p50_us, 500.0);
+        assert_eq!(s.p95_us, 950.0);
+        assert_eq!(s.p99_us, 990.0);
+        assert_eq!(s.p999_us, 999.0);
+        assert_eq!(s.max_us, 1000.0);
+        assert_eq!(s.mean_us, 500.5);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = LatencySummary::from_ns(&mut []);
+        assert_eq!(s, LatencySummary::default());
+    }
+}

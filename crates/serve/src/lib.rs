@@ -1,0 +1,42 @@
+//! Online embedding serving: the read path for a trained HET-KG model.
+//!
+//! Training produces checkpoints ([`hetkg_embed::manifest::CheckpointStore`]);
+//! this crate turns the newest valid one into an immutable, sharded,
+//! read-mostly [`snapshot::ServingSnapshot`] and answers two query shapes
+//! at high QPS:
+//!
+//! - **point lookups** — the embedding row for an entity or relation
+//!   (feature fetch for a downstream ranker), and
+//! - **top-k link prediction** — the best `k` tails for `(h, r, ?)`,
+//!   scored with the same blocked kernels the offline evaluator uses
+//!   ([`hetkg_eval::BatchScorer`]), so online answers are bit-identical
+//!   to offline ranks.
+//!
+//! The write side never blocks the read side: a background reloader
+//! ([`snapshot::SnapshotReloader`]) watches the checkpoint manifest and
+//! publishes a fresh `Arc` snapshot through [`snapshot::SnapshotCell`];
+//! readers mid-query keep the old `Arc` and always see an internally
+//! consistent table. A hotness-aware admission cache
+//! ([`cache::HotRowCache`]) keeps the Zipf head of the entity table in a
+//! fixed budget of rows, gated on observed access frequency — the serving
+//! analogue of the paper's hot-embedding cache on the training path.
+//!
+//! [`loadgen`] drives the engine with a seeded Zipf-skewed closed-loop
+//! workload on real OS threads and [`report::ServeReport`] serializes the
+//! outcome (QPS, tail latencies, hit rate, determinism digest).
+
+pub mod cache;
+pub mod engine;
+pub mod latency;
+pub mod loadgen;
+pub mod report;
+pub mod snapshot;
+pub mod workload;
+
+pub use cache::HotRowCache;
+pub use engine::{ServeEngine, ServeError, ServeScratch};
+pub use latency::LatencySummary;
+pub use loadgen::{run_load, LoadGenConfig, LoadRun};
+pub use report::ServeReport;
+pub use snapshot::{ServingSnapshot, ShardedTables, SnapshotCell, SnapshotReloader};
+pub use workload::{Query, QueryStream, ZipfSampler};

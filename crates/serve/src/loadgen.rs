@@ -1,0 +1,335 @@
+//! Closed-loop load generation on real worker threads.
+//!
+//! Each worker owns a deterministic [`QueryStream`] and drives the shared
+//! [`ServeEngine`] in a closed loop: issue, await, (optionally) think,
+//! repeat. Per-client think time models the downstream work a real caller
+//! does between requests — and is what lets added workers raise QPS even
+//! on a single core, by overlapping one client's think time with
+//! another's query.
+//!
+//! Workers run a warmup phase first (populates the hot cache, faults
+//! pages), then rendezvous on a barrier, reset the cache counters, and
+//! measure. Every query result folds into a per-worker FNV-1a digest;
+//! worker digests XOR together so the run digest is independent of thread
+//! interleaving — two runs with the same seed and thread count must print
+//! the same digest, which the CI smoke test pins.
+
+use crate::engine::{ServeEngine, ServeScratch};
+use crate::latency::LatencySummary;
+use crate::workload::{Query, QueryStream, ZipfSampler};
+use hetkg_core::metrics::CacheStats;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Knobs for one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Worker threads (closed-loop clients).
+    pub threads: usize,
+    /// Timed queries per worker.
+    pub queries_per_thread: usize,
+    /// Untimed warmup queries per worker (cache fill).
+    pub warmup_per_thread: usize,
+    /// Fraction of queries that are top-k (the rest are row lookups).
+    pub topk_share: f64,
+    /// k for top-k queries.
+    pub k: usize,
+    /// Zipf exponent of the entity popularity distribution.
+    pub zipf_exponent: f64,
+    /// Master seed: permutation, per-worker streams.
+    pub seed: u64,
+    /// Per-query client think time, microseconds (0 = none).
+    pub think_us: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            queries_per_thread: 10_000,
+            warmup_per_thread: 2_000,
+            topk_share: 0.02,
+            k: 10,
+            zipf_exponent: 1.0,
+            seed: 0,
+            think_us: 0,
+        }
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadRun {
+    /// Timed queries completed (all workers).
+    pub queries: u64,
+    /// Queries that returned a typed error.
+    pub errors: u64,
+    /// Wall time of the timed phase, seconds.
+    pub wall_secs: f64,
+    /// Aggregate throughput.
+    pub qps: f64,
+    /// Tail latencies over all timed queries.
+    pub latency: LatencySummary,
+    /// Hot-cache counters for the timed phase only.
+    pub cache: CacheStats,
+    /// XOR of per-worker FNV-1a result digests; seed- and
+    /// snapshot-determined, independent of interleaving.
+    pub digest: u64,
+    /// Per-worker throughput (closed-loop, so roughly equal).
+    pub per_thread_qps: Vec<f64>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a over words.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+    #[inline]
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+struct WorkerOut {
+    latencies_ns: Vec<u64>,
+    digest: u64,
+    errors: u64,
+    wall_secs: f64,
+}
+
+fn run_one(
+    engine: &ServeEngine,
+    stream: &mut QueryStream,
+    scratch: &mut ServeScratch<'_>,
+    row: &mut Vec<f32>,
+    k: usize,
+    digest: &mut Fnv,
+) -> Result<(), ()> {
+    match stream.next_query() {
+        Query::Entity(id) => match engine.lookup_entity(id, row) {
+            Ok(()) => {
+                digest.word(id as u64);
+                for &v in row.iter() {
+                    digest.word(v.to_bits() as u64);
+                }
+                Ok(())
+            }
+            Err(_) => Err(()),
+        },
+        Query::TopK { h, r } => match engine.topk_tails(scratch, h, r, k) {
+            Ok(top) => {
+                digest.word(((h as u64) << 32) | r as u64);
+                for (id, s) in top {
+                    digest.word(((id as u64) << 32) | s.to_bits() as u64);
+                }
+                Ok(())
+            }
+            Err(_) => Err(()),
+        },
+    }
+}
+
+/// Drive `engine` with `cfg.threads` closed-loop workers; returns
+/// aggregate throughput, latency, cache, and determinism results.
+pub fn run_load(engine: &ServeEngine, cfg: &LoadGenConfig) -> LoadRun {
+    let threads = cfg.threads.max(1);
+    let snap = engine.snapshot();
+    let zipf = Arc::new(ZipfSampler::new(
+        snap.entities.rows().max(1),
+        cfg.zipf_exponent,
+        cfg.seed,
+    ));
+    let num_relations = snap.relations.rows().max(1) as u32;
+    drop(snap);
+
+    // Two rendezvous: after warmup (then the leader resets cache stats)
+    // and before the timed phase, so no worker's timed queries overlap
+    // another's warmup.
+    let warm_done = Barrier::new(threads);
+    let start_line = Barrier::new(threads);
+    let think = Duration::from_micros(cfg.think_us);
+
+    let mut outs: Vec<Option<WorkerOut>> = (0..threads).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (w, out) in outs.iter_mut().enumerate() {
+            let warm_done = &warm_done;
+            let start_line = &start_line;
+            let zipf = zipf.clone();
+            s.spawn(move || {
+                let worker_seed = cfg
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+                let mut stream = QueryStream::new(zipf, num_relations, cfg.topk_share, worker_seed);
+                let mut scratch = engine.scratch();
+                let mut row = Vec::new();
+                let mut digest = Fnv::new();
+                let mut latencies_ns = Vec::with_capacity(cfg.queries_per_thread);
+                let mut errors = 0u64;
+
+                let mut sink = Fnv::new();
+                for _ in 0..cfg.warmup_per_thread {
+                    let _ = run_one(
+                        engine,
+                        &mut stream,
+                        &mut scratch,
+                        &mut row,
+                        cfg.k,
+                        &mut sink,
+                    );
+                }
+                if warm_done.wait().is_leader() {
+                    engine.cache().reset_stats();
+                }
+                start_line.wait();
+
+                let t0 = Instant::now();
+                for _ in 0..cfg.queries_per_thread {
+                    let q0 = Instant::now();
+                    if run_one(
+                        engine,
+                        &mut stream,
+                        &mut scratch,
+                        &mut row,
+                        cfg.k,
+                        &mut digest,
+                    )
+                    .is_err()
+                    {
+                        errors += 1;
+                    }
+                    latencies_ns.push(q0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    if !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
+                }
+                *out = Some(WorkerOut {
+                    latencies_ns,
+                    digest: digest.0,
+                    errors,
+                    wall_secs: t0.elapsed().as_secs_f64(),
+                });
+            });
+        }
+    });
+
+    // Wall time of the timed phase = the slowest worker's wall (workers
+    // start it together at the barrier).
+    let mut all_ns = Vec::new();
+    let mut digest = 0u64;
+    let mut errors = 0u64;
+    let mut per_thread_qps = Vec::with_capacity(threads);
+    let mut max_wall = 0.0f64;
+    for out in outs.into_iter().flatten() {
+        per_thread_qps.push(out.latencies_ns.len() as f64 / out.wall_secs.max(1e-9));
+        max_wall = max_wall.max(out.wall_secs);
+        digest ^= out.digest;
+        errors += out.errors;
+        all_ns.extend(out.latencies_ns);
+    }
+    let queries = all_ns.len() as u64;
+    let wall_secs = max_wall.max(1e-9);
+    LoadRun {
+        queries,
+        errors,
+        wall_secs,
+        qps: queries as f64 / wall_secs,
+        latency: LatencySummary::from_ns(&mut all_ns),
+        cache: engine.cache().stats(),
+        digest,
+        per_thread_qps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{ServingSnapshot, SnapshotCell};
+    use hetkg_embed::checkpoint::Checkpoint;
+    use hetkg_embed::init::Init;
+    use hetkg_embed::models::ModelKind;
+    use hetkg_embed::storage::EmbeddingTable;
+
+    fn engine(entities: usize, cache_rows: usize) -> ServeEngine {
+        let model = ModelKind::TransEL2.build(8);
+        let mut ents = EmbeddingTable::zeros(entities, 8);
+        let mut rels = EmbeddingTable::zeros(5, 8);
+        Init::Uniform { bound: 0.7 }.fill(&mut ents, 1);
+        Init::Uniform { bound: 0.7 }.fill(&mut rels, 2);
+        let ck = Checkpoint::new(ents, rels);
+        let cell = Arc::new(SnapshotCell::new(ServingSnapshot::from_checkpoint(
+            &ck, 0, 0, 4,
+        )));
+        ServeEngine::new(cell, model, cache_rows).unwrap()
+    }
+
+    fn quick_cfg(threads: usize) -> LoadGenConfig {
+        LoadGenConfig {
+            threads,
+            queries_per_thread: 400,
+            warmup_per_thread: 200,
+            topk_share: 0.05,
+            k: 5,
+            zipf_exponent: 1.0,
+            seed: 42,
+            think_us: 0,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_digest_across_runs() {
+        for threads in [1, 3] {
+            let cfg = quick_cfg(threads);
+            let a = run_load(&engine(500, 128), &cfg);
+            let b = run_load(&engine(500, 128), &cfg);
+            assert_eq!(a.digest, b.digest, "threads={threads}");
+            assert_eq!(a.queries, (threads * 400) as u64);
+            assert_eq!(a.errors, 0);
+            assert!(a.qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn digest_depends_on_seed() {
+        let eng = engine(500, 128);
+        let a = run_load(&eng, &quick_cfg(2));
+        let mut cfg = quick_cfg(2);
+        cfg.seed = 43;
+        let b = run_load(&eng, &cfg);
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn cache_stats_cover_only_the_timed_phase() {
+        let eng = engine(400, 256);
+        let cfg = quick_cfg(2);
+        let run = run_load(&eng, &cfg);
+        // Only entity touches count (top-k head fetches included); the
+        // timed phase is 800 queries, ~5% of them top-k, each touching
+        // exactly one entity row through the cache path.
+        assert_eq!(run.cache.total(), run.queries);
+        // Zipf(1.0) with a roomy cache and warmup: hits must dominate.
+        assert!(
+            run.cache.hit_ratio() > 0.5,
+            "hit ratio {:.3}",
+            run.cache.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn latencies_are_collected_per_query() {
+        let run = run_load(&engine(300, 64), &quick_cfg(1));
+        assert_eq!(run.latency.samples, 400);
+        assert!(run.latency.p50_us <= run.latency.p99_us);
+        assert!(run.latency.p99_us <= run.latency.max_us);
+        assert_eq!(run.per_thread_qps.len(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! The serving run report: one JSON document per benchmark/serve run,
+//! mirroring the shape of `hetkg_train::TrainReport` (flat, serde-derived,
+//! stable field names scripts can `grep`/`jq`).
+
+use crate::latency::LatencySummary;
+use crate::loadgen::{LoadGenConfig, LoadRun};
+use hetkg_core::metrics::CacheStats;
+use serde::Serialize;
+
+/// Everything one serving run measured, plus the knobs that produced it.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Model label (e.g. "TransE-L2").
+    pub model: String,
+    /// Base embedding dimension.
+    pub dim: usize,
+    /// Entity rows served.
+    pub entities: usize,
+    /// Relation rows served.
+    pub relations: usize,
+    /// Entity-table shards.
+    pub shards: usize,
+    /// Checkpoint manifest seq of the served snapshot.
+    pub snapshot_seq: u64,
+    /// Training epochs behind the served snapshot.
+    pub snapshot_epoch: u64,
+
+    /// Closed-loop worker threads.
+    pub threads: usize,
+    /// Timed queries completed.
+    pub queries: u64,
+    /// Queries that returned a typed error.
+    pub errors: u64,
+    /// Fraction of queries that were top-k.
+    pub topk_share: f64,
+    /// k for top-k queries.
+    pub k: usize,
+    /// Zipf exponent of the workload.
+    pub zipf_exponent: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-query client think time, microseconds.
+    pub think_us: u64,
+
+    /// Aggregate throughput, queries per second.
+    pub qps: f64,
+    /// Timed-phase wall time, seconds.
+    pub wall_secs: f64,
+    /// Tail latencies.
+    pub latency_us: LatencySummary,
+
+    /// Hot-cache rows budgeted.
+    pub cache_capacity: usize,
+    /// Hot-cache counters over the timed phase.
+    pub cache: CacheStats,
+    /// Hit ratio in [0, 1] (redundant with `cache`, pre-divided for jq).
+    pub cache_hit_rate: f64,
+
+    /// XOR-combined FNV-1a digest of every query result, hex. Two runs
+    /// with the same seed, thread count, and snapshot must agree.
+    pub digest: String,
+}
+
+impl ServeReport {
+    /// Assemble a report from a finished run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        model: &str,
+        dim: usize,
+        entities: usize,
+        relations: usize,
+        shards: usize,
+        snapshot_seq: u64,
+        snapshot_epoch: u64,
+        cache_capacity: usize,
+        cfg: &LoadGenConfig,
+        run: &LoadRun,
+    ) -> Self {
+        Self {
+            model: model.to_string(),
+            dim,
+            entities,
+            relations,
+            shards,
+            snapshot_seq,
+            snapshot_epoch,
+            threads: cfg.threads,
+            queries: run.queries,
+            errors: run.errors,
+            topk_share: cfg.topk_share,
+            k: cfg.k,
+            zipf_exponent: cfg.zipf_exponent,
+            seed: cfg.seed,
+            think_us: cfg.think_us,
+            qps: run.qps,
+            wall_secs: run.wall_secs,
+            latency_us: run.latency,
+            cache_capacity,
+            cache: run.cache,
+            cache_hit_rate: run.cache.hit_ratio(),
+            digest: format!("{:016x}", run.digest),
+        }
+    }
+
+    /// Pretty JSON for files and stdout.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_stable_keys() {
+        let cfg = LoadGenConfig::default();
+        let run = LoadRun {
+            queries: 100,
+            errors: 0,
+            wall_secs: 0.5,
+            qps: 200.0,
+            latency: LatencySummary::default(),
+            cache: CacheStats {
+                hits: 80,
+                misses: 20,
+            },
+            digest: 0xdead_beef,
+            per_thread_qps: vec![200.0],
+        };
+        let r = ServeReport::new("TransE-L2", 32, 1000, 9, 4, 3, 7, 256, &cfg, &run);
+        let json = r.to_json();
+        for key in [
+            "\"qps\"",
+            "\"errors\"",
+            "\"digest\"",
+            "\"cache_hit_rate\"",
+            "\"p99_us\"",
+            "\"snapshot_epoch\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("00000000deadbeef"));
+        assert_eq!(r.cache_hit_rate, 0.8);
+    }
+}

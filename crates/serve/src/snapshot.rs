@@ -1,0 +1,337 @@
+//! Immutable sharded snapshots of a trained model, hot-swappable under
+//! concurrent readers.
+//!
+//! A [`ServingSnapshot`] is built once from a validated checkpoint and
+//! never mutated; queries hold it through an `Arc`. Publication is a
+//! pointer swap inside [`SnapshotCell`] — readers take a read lock only
+//! long enough to clone the `Arc` (no row is ever read under the lock),
+//! and a reader that loaded the old snapshot before a swap simply finishes
+//! its query against the old, internally consistent tables. There is no
+//! epoch where a query can observe half of one checkpoint and half of
+//! another.
+//!
+//! The entity table is split into contiguous [`TableShard`]s so the
+//! serving path mirrors the partitioned layout a multi-node deployment
+//! would use (and so a future NUMA-aware build can pin shards); `row(id)`
+//! is a constant-time divide, not a search.
+
+use crate::engine::ServeError;
+use hetkg_embed::checkpoint::Checkpoint;
+use hetkg_embed::manifest::CheckpointStore;
+use hetkg_embed::storage::EmbeddingTable;
+use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One contiguous range of rows of a logical table.
+#[derive(Debug)]
+pub struct TableShard {
+    /// Global id of this shard's first row.
+    pub start: usize,
+    /// The rows themselves; local row `i` is global row `start + i`.
+    pub table: EmbeddingTable,
+}
+
+/// A logical embedding table split into contiguous shards.
+#[derive(Debug)]
+pub struct ShardedTables {
+    shards: Vec<TableShard>,
+    rows: usize,
+    dim: usize,
+    /// Rows per shard (last shard may be short). Nonzero.
+    stride: usize,
+}
+
+impl ShardedTables {
+    /// Split `table` into `num_shards` contiguous shards of (near-)equal
+    /// size. More shards than rows clamps to one row per shard.
+    pub fn from_table(table: &EmbeddingTable, num_shards: usize) -> Self {
+        let rows = table.rows();
+        let dim = table.dim();
+        let num_shards = num_shards.clamp(1, rows.max(1));
+        let stride = rows.div_ceil(num_shards).max(1);
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut start = 0;
+        while start < rows {
+            let len = stride.min(rows - start);
+            let mut shard = EmbeddingTable::zeros(len, dim);
+            for i in 0..len {
+                shard.set_row(i, table.row(start + i));
+            }
+            shards.push(TableShard {
+                start,
+                table: shard,
+            });
+            start += len;
+        }
+        if shards.is_empty() {
+            // Zero-row table: keep one empty shard so iteration is uniform.
+            shards.push(TableShard {
+                start: 0,
+                table: EmbeddingTable::zeros(0, dim),
+            });
+        }
+        Self {
+            shards,
+            rows,
+            dim,
+            stride,
+        }
+    }
+
+    /// Total logical rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The shards, in global row order.
+    pub fn shards(&self) -> &[TableShard] {
+        &self.shards
+    }
+
+    /// Index of the shard holding global row `id`.
+    #[inline]
+    pub fn shard_of(&self, id: usize) -> usize {
+        id / self.stride
+    }
+
+    /// Global row `id`. Panics if out of range (engine-level code checks
+    /// first and returns a typed error).
+    #[inline]
+    pub fn row(&self, id: usize) -> &[f32] {
+        let shard = &self.shards[id / self.stride];
+        shard.table.row(id - shard.start)
+    }
+}
+
+/// An immutable, fully validated model image ready to serve.
+#[derive(Debug)]
+pub struct ServingSnapshot {
+    /// Manifest sequence number of the checkpoint this was built from.
+    /// Monotone across reloads; the cache keys admitted rows on it.
+    pub seq: u64,
+    /// Training epochs completed when the checkpoint was taken.
+    pub epoch: u64,
+    /// Entity embeddings, sharded.
+    pub entities: ShardedTables,
+    /// Relation embeddings, sharded.
+    pub relations: ShardedTables,
+}
+
+impl ServingSnapshot {
+    /// Build a snapshot from an in-memory checkpoint.
+    pub fn from_checkpoint(ck: &Checkpoint, seq: u64, epoch: u64, shards: usize) -> Self {
+        Self {
+            seq,
+            epoch,
+            entities: ShardedTables::from_table(&ck.entities, shards),
+            relations: ShardedTables::from_table(&ck.relations, 1),
+        }
+    }
+
+    /// Load the newest valid checkpoint under `dir` (walking the manifest
+    /// newest-first past torn or corrupt images, exactly like training
+    /// recovery) and shard it for serving.
+    pub fn load_latest(dir: &Path, shards: usize) -> Result<Self, ServeError> {
+        let store = CheckpointStore::open(dir, usize::MAX / 2).map_err(ServeError::Checkpoint)?;
+        let entries = store.entries().map_err(ServeError::Checkpoint)?;
+        let loaded = store.load_latest().map_err(ServeError::Checkpoint)?;
+        // load_latest walks newest-first; the seq of the entry that loaded
+        // is the newest seq minus the number it skipped.
+        let seq = entries
+            .iter()
+            .rev()
+            .nth(loaded.skipped)
+            .map(|e| e.seq)
+            .unwrap_or(0);
+        Ok(Self::from_checkpoint(
+            &loaded.checkpoint,
+            seq,
+            loaded.epoch,
+            shards,
+        ))
+    }
+}
+
+/// The single mutable cell of the serving path: an atomically swappable
+/// `Arc<ServingSnapshot>`.
+///
+/// Readers call [`SnapshotCell::load`] once per query and use the returned
+/// `Arc` for every row they touch; the read-lock critical section is one
+/// `Arc::clone`. Writers ([`SnapshotCell::publish`]) hold the write lock
+/// for one pointer store. Neither side ever blocks on table-sized work.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<ServingSnapshot>>,
+    /// Published snapshot count (for observability and tests).
+    publishes: AtomicU64,
+}
+
+impl SnapshotCell {
+    /// A cell serving `initial`.
+    pub fn new(initial: ServingSnapshot) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot. Cheap; call once per query.
+    #[inline]
+    pub fn load(&self) -> Arc<ServingSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// Swap in a new snapshot. In-flight queries keep the old `Arc`.
+    pub fn publish(&self, next: ServingSnapshot) {
+        *self.current.write() = Arc::new(next);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many snapshots have been published after the initial one.
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+}
+
+/// Background checkpoint watcher: polls the manifest and publishes a new
+/// snapshot whenever a newer valid checkpoint appears.
+#[derive(Debug)]
+pub struct SnapshotReloader {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl SnapshotReloader {
+    /// One poll step, usable without a thread (tests, manual reload):
+    /// if the manifest's newest entry is newer than `cell`'s current
+    /// snapshot and loads cleanly, publish it. Returns whether a new
+    /// snapshot was published. Load errors (e.g. a torn newest file with
+    /// no newer fallback) leave the current snapshot serving.
+    pub fn poll_once(cell: &SnapshotCell, dir: &Path, shards: usize) -> bool {
+        let current_seq = cell.load().seq;
+        match ServingSnapshot::load_latest(dir, shards) {
+            Ok(snap) if snap.seq > current_seq => {
+                cell.publish(snap);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Spawn a poller over `cell` every `interval`. Dropping or
+    /// [`SnapshotReloader::stop`]ping joins the thread.
+    pub fn spawn(
+        cell: Arc<SnapshotCell>,
+        dir: impl Into<PathBuf>,
+        shards: usize,
+        interval: Duration,
+    ) -> Self {
+        let dir = dir.into();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut reloads = 0u64;
+            while !stop2.load(Ordering::Relaxed) {
+                if Self::poll_once(&cell, &dir, shards) {
+                    reloads += 1;
+                }
+                // Sleep in short slices so stop() returns promptly.
+                let mut left = interval;
+                while !stop2.load(Ordering::Relaxed) && left > Duration::ZERO {
+                    let step = left.min(Duration::from_millis(20));
+                    std::thread::sleep(step);
+                    left = left.saturating_sub(step);
+                }
+            }
+            reloads
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the poller and return how many snapshots it published.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for SnapshotReloader {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetkg_embed::init::Init;
+
+    fn table(rows: usize, dim: usize, seed: u64) -> EmbeddingTable {
+        let mut t = EmbeddingTable::zeros(rows, dim);
+        Init::Uniform { bound: 1.0 }.fill(&mut t, seed);
+        t
+    }
+
+    #[test]
+    fn sharding_preserves_every_row() {
+        for (rows, shards) in [(10, 1), (10, 3), (10, 10), (10, 25), (1, 4), (7, 2)] {
+            let t = table(rows, 5, 42);
+            let sharded = ShardedTables::from_table(&t, shards);
+            assert_eq!(sharded.rows(), rows);
+            for i in 0..rows {
+                assert_eq!(
+                    sharded.row(i),
+                    t.row(i),
+                    "rows={rows} shards={shards} row {i}"
+                );
+            }
+            // Shards tile [0, rows) contiguously.
+            let mut next = 0;
+            for s in sharded.shards() {
+                assert_eq!(s.start, next);
+                next += s.table.rows();
+            }
+            assert_eq!(next, rows);
+        }
+    }
+
+    #[test]
+    fn shard_of_agrees_with_row_location() {
+        let t = table(23, 3, 1);
+        let sharded = ShardedTables::from_table(&t, 4);
+        for i in 0..23 {
+            let s = sharded.shard_of(i);
+            let shard = &sharded.shards()[s];
+            assert!(i >= shard.start && i < shard.start + shard.table.rows());
+        }
+    }
+
+    #[test]
+    fn publish_bumps_count_and_swaps() {
+        let ck = Checkpoint::new(table(6, 4, 7), table(2, 4, 8));
+        let cell = SnapshotCell::new(ServingSnapshot::from_checkpoint(&ck, 0, 0, 2));
+        assert_eq!(cell.load().seq, 0);
+        let ck2 = Checkpoint::new(table(6, 4, 9), table(2, 4, 10));
+        cell.publish(ServingSnapshot::from_checkpoint(&ck2, 5, 3, 2));
+        assert_eq!(cell.load().seq, 5);
+        assert_eq!(cell.load().epoch, 3);
+        assert_eq!(cell.publishes(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Serving bootstrap and reload drills: corrupt checkpoints must be typed
+//! errors, the manifest walk must land on the newest *valid* image, and a
+//! hot swap must never tear a row under concurrent readers.
+
+use hetkg_embed::checkpoint::{Checkpoint, CheckpointError};
+use hetkg_embed::manifest::CheckpointStore;
+use hetkg_embed::models::ModelKind;
+use hetkg_embed::storage::EmbeddingTable;
+use hetkg_serve::{ServeEngine, ServeError, ServingSnapshot, SnapshotCell, SnapshotReloader};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 8;
+
+/// A checkpoint whose every entity row is `[tag; DIM]` — readers can tell
+/// at a glance which checkpoint a row came from and whether it is torn.
+fn tagged_checkpoint(rows: usize, tag: f32) -> Checkpoint {
+    let mut entities = EmbeddingTable::zeros(rows, DIM);
+    for i in 0..rows {
+        entities.set_row(i, &[tag; DIM]);
+    }
+    let mut relations = EmbeddingTable::zeros(3, DIM);
+    for i in 0..3 {
+        relations.set_row(i, &[tag; DIM]);
+    }
+    Checkpoint::new(entities, relations)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hetkg-serve-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn truncated_checkpoint_is_a_typed_error_not_a_partial_load() {
+    let dir = tmp_dir("trunc");
+    let mut store = CheckpointStore::open(&dir, 4).unwrap();
+    store.save(&tagged_checkpoint(20, 1.0), 0).unwrap();
+    // Truncate the only image behind the manifest's back.
+    for e in store.entries().unwrap() {
+        let p = dir.join(&e.file);
+        let raw = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &raw[..raw.len() / 3]).unwrap();
+    }
+    match ServingSnapshot::load_latest(&dir, 2) {
+        Err(ServeError::Checkpoint(CheckpointError::NoValidCheckpoint { tried })) => {
+            assert_eq!(tried, 1)
+        }
+        other => panic!("expected typed no-valid-checkpoint error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_rot_in_a_section_is_rejected_by_validation() {
+    let dir = tmp_dir("rot");
+    let mut store = CheckpointStore::open(&dir, 4).unwrap();
+    store.save(&tagged_checkpoint(20, 1.0), 0).unwrap();
+    // Flip one byte in the middle of the payload (same length).
+    for e in store.entries().unwrap() {
+        let p = dir.join(&e.file);
+        let mut raw = std::fs::read(&p).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&p, &raw).unwrap();
+    }
+    assert!(matches!(
+        ServingSnapshot::load_latest(&dir, 2),
+        Err(ServeError::Checkpoint(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_store_is_a_typed_error() {
+    let dir = tmp_dir("empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    assert!(matches!(
+        ServingSnapshot::load_latest(&dir, 2),
+        Err(ServeError::Checkpoint(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loader_selects_newest_valid_and_reports_its_seq() {
+    let dir = tmp_dir("newest-valid");
+    // Saves 0 and 1 are good; save 2 (the newest) is deliberately torn.
+    let mut store = CheckpointStore::open(&dir, 5)
+        .unwrap()
+        .with_torn_write(Some(2));
+    store.save(&tagged_checkpoint(20, 10.0), 0).unwrap();
+    store.save(&tagged_checkpoint(20, 11.0), 1).unwrap();
+    store.save(&tagged_checkpoint(20, 12.0), 2).unwrap();
+
+    let snap = ServingSnapshot::load_latest(&dir, 3).unwrap();
+    assert_eq!(snap.epoch, 1, "fell back past the torn newest save");
+    assert_eq!(snap.seq, 1, "seq identifies the entry that actually loaded");
+    assert_eq!(snap.entities.row(7), &[11.0; DIM]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reloader_publishes_only_when_a_newer_valid_checkpoint_appears() {
+    let dir = tmp_dir("poll");
+    let mut store = CheckpointStore::open(&dir, 5).unwrap();
+    store.save(&tagged_checkpoint(12, 1.0), 0).unwrap();
+    let cell = SnapshotCell::new(ServingSnapshot::load_latest(&dir, 2).unwrap());
+
+    // Nothing new: no publish.
+    assert!(!SnapshotReloader::poll_once(&cell, &dir, 2));
+    assert_eq!(cell.publishes(), 0);
+
+    // A newer checkpoint: one publish, rows visible.
+    store.save(&tagged_checkpoint(12, 2.0), 1).unwrap();
+    assert!(SnapshotReloader::poll_once(&cell, &dir, 2));
+    assert_eq!(cell.load().entities.row(3), &[2.0; DIM]);
+    assert_eq!(cell.load().epoch, 1);
+
+    // Same checkpoint again: idempotent.
+    assert!(!SnapshotReloader::poll_once(&cell, &dir, 2));
+    assert_eq!(cell.publishes(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn background_reloader_picks_up_a_new_checkpoint() {
+    let dir = tmp_dir("bg");
+    let mut store = CheckpointStore::open(&dir, 5).unwrap();
+    store.save(&tagged_checkpoint(12, 1.0), 0).unwrap();
+    let cell = Arc::new(SnapshotCell::new(
+        ServingSnapshot::load_latest(&dir, 2).unwrap(),
+    ));
+    let reloader = SnapshotReloader::spawn(cell.clone(), &dir, 2, Duration::from_millis(5));
+    store.save(&tagged_checkpoint(12, 2.0), 1).unwrap();
+    // Wait (bounded) for the poller to notice.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cell.load().epoch != 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let reloads = reloader.stop();
+    assert_eq!(cell.load().epoch, 1, "reloader never published");
+    assert!(reloads >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The hot-swap safety property: readers hammering the engine during
+/// publishes must only ever observe rows that are entirely from one
+/// checkpoint (every element equal), never a blend, and top-k answers
+/// must come entirely from one snapshot too.
+#[test]
+fn hot_swap_under_concurrent_readers_never_tears_a_row() {
+    let entities = 64;
+    let ck_a = tagged_checkpoint(entities, 1.0);
+    let cell = Arc::new(SnapshotCell::new(ServingSnapshot::from_checkpoint(
+        &ck_a, 0, 0, 4,
+    )));
+    let engine =
+        Arc::new(ServeEngine::new(cell.clone(), ModelKind::TransEL2.build(DIM), 32).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for worker in 0..3 {
+            let engine = engine.clone();
+            let stop = stop.clone();
+            readers.push(s.spawn(move || {
+                let mut row = Vec::new();
+                let mut scratch = engine.scratch();
+                let mut checked = 0u64;
+                let mut id = worker as u32;
+                while !stop.load(Ordering::Relaxed) {
+                    engine
+                        .lookup_entity(id % entities as u32, &mut row)
+                        .unwrap();
+                    let tag = row[0];
+                    assert!(
+                        row.iter().all(|&v| v == tag),
+                        "torn row: {row:?} (mixed checkpoints)"
+                    );
+                    // Top-k on an all-equal-rows snapshot: every score must
+                    // tie, so ids must come back 0,1,2,... by the tie rule —
+                    // and all from one snapshot.
+                    if id.is_multiple_of(97) {
+                        let top = engine.topk_tails(&mut scratch, 0, 0, 4).unwrap();
+                        let ids: Vec<u32> = top.iter().map(|&(i, _)| i).collect();
+                        assert_eq!(ids, vec![0, 1, 2, 3]);
+                        let s0 = top[0].1;
+                        assert!(top.iter().all(|&(_, sc)| sc == s0), "mixed-snapshot top-k");
+                    }
+                    id = id.wrapping_add(1);
+                    checked += 1;
+                }
+                checked
+            }));
+        }
+
+        // Writer: publish alternating snapshots as fast as it can.
+        for i in 1..=200u64 {
+            let tag = 1.0 + (i % 2) as f32; // 2.0, 1.0, 2.0, ...
+            let ck = tagged_checkpoint(entities, tag);
+            cell.publish(ServingSnapshot::from_checkpoint(&ck, i, i, 4));
+            if i % 50 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "readers made no progress");
+    });
+    assert_eq!(cell.publishes(), 200);
+}

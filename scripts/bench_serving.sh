@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Benchmark the serving read path and write BENCH_serving.json:
+#   - blocked top-k kernels vs the per-candidate scalar path (equal
+#     results asserted; speedup reported),
+#   - hot-row cache hit rate under Zipf(1.0) at a 25%-of-table budget,
+#   - closed-loop QPS at 1/2/4/8 worker threads with client think time.
+#
+# Optionally pass --criterion to also run the wall-clock Criterion bench
+# (`cargo bench -p hetkg-bench --bench serving`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_serving.json
+cargo run --release --example serving_gain > "$OUT"
+echo "wrote $OUT" >&2
+
+# Distill the headline numbers into an experiment record so
+# `scripts/gen_experiments_md.py` can fold serving into EXPERIMENTS.md.
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+w = d["workload"]
+rows = [[f"{k['model']} blocked vs scalar top-k", f"{k['speedup']:.2f}x",
+         "results bit-identical" if k["results_identical"] else "RESULTS DIVERGED"]
+        for k in d["topk_kernels"]]
+cache = d["hot_cache"]
+rows.append(["hot-cache hit rate",
+             f"{100 * cache['hit_rate']:.1f}%",
+             f"{100 * cache['capacity_fraction']:.0f}% budget"])
+rows.append(["QPS scaling 1 -> 4 threads", f"{d['scaling_1_to_4']:.2f}x",
+             f"host parallelism {w['host_parallelism']}"])
+rec = {
+    "id": "serving",
+    "title": "High-QPS serving: blocked top-k, hot-row cache, thread scaling",
+    "params": f"{w['entities']} entities / {w['relations']} relations, d={w['dim']}, "
+              f"Zipf(1.0), seed {w['seed']}",
+    "columns": ["measurement", "value", "notes"],
+    "rows": rows,
+    "shape_expectation": "blocked top-k beats per-triple scalar scoring at equal "
+                         "(asserted bit-identical) results, the admission cache "
+                         "captures most of a Zipf(1.0) stream with a 25% budget, "
+                         "and closed-loop QPS scales superlinearly in clients "
+                         "while think time dominates",
+}
+json.dump(rec, open("experiments/serving.json", "w"), indent=2)
+print("wrote experiments/serving.json", file=sys.stderr)
+EOF
+
+if [ "${1:-}" = "--criterion" ]; then
+    cargo bench -p hetkg-bench --bench serving
+fi

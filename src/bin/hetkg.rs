@@ -11,9 +11,20 @@
 //!                 [--compress off|int8|int4|topk|adaptive]
 //!                 [--transport sim|tcp|uds]
 //! hetkg eval      (--data DIR | --synthetic NAME) --checkpoint CK.bin
-//!                 [--model M] [--dim D] [--candidates K]
+//!                 [--model M] [--dim D] [--candidates K] [--eval-threads N]
+//! hetkg serve     (--checkpoint CK.bin | --checkpoint-dir DIR)
+//!                 [--model M] [--dim D] [--shards N] [--threads N]
+//!                 [--queries N] [--warmup N] [--topk K] [--topk-share F]
+//!                 [--zipf S] [--cache-rows N] [--warm on|off]
+//!                 [--think-us N] [--reload-ms N] [--report PATH]
 //! hetkg ps-server --config FILE --shard N --listen (tcp:ADDR | uds:PATH)
 //! ```
+//!
+//! `serve` loads a trained checkpoint into sharded read-only tables and
+//! benchmarks the online read path: Zipf-skewed point lookups plus top-k
+//! link prediction on closed-loop worker threads, with a hotness-gated
+//! hot-row cache in front. The digest line it prints is deterministic per
+//! (seed, snapshot, thread count) — CI pins it across runs.
 //!
 //! `--data DIR` expects FB15k-format `train.txt`/`valid.txt`/`test.txt`;
 //! `--synthetic NAME` is one of `fb15k`, `wn18`, `freebase86m` (harness
@@ -32,7 +43,7 @@
 //! injection, replication, and overload protection are sim-only.
 
 use het_kg::embed::checkpoint::Checkpoint;
-use het_kg::eval::breakdown::evaluate_breakdown;
+use het_kg::eval::breakdown::evaluate_breakdown_threaded;
 use het_kg::eval::link_prediction::EmbeddingSnapshot;
 use het_kg::kgraph::io::load_benchmark;
 use het_kg::kgraph::stats::AccessCounter;
@@ -111,6 +122,7 @@ fn run(mut args: Vec<String>) -> Result<(), CliError> {
         "partition" => cmd_partition(&flags),
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
+        "serve" => cmd_serve(&flags),
         "ps-server" => cmd_ps_server(&flags),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -123,6 +135,8 @@ fn usage() {
     println!("  partition  compare METIS-like vs random partitioning quality");
     println!("  train      distributed training (simulated cluster); saves a checkpoint");
     println!("  eval       filtered link prediction from a checkpoint, with breakdown");
+    println!("  serve      online serving benchmark from a checkpoint: Zipf lookups +");
+    println!("             top-k link prediction on real worker threads");
     println!("  ps-server  one parameter-server shard process (spawned by train");
     println!("             when --transport is tcp or uds; not normally run by hand)\n");
     println!("data selection (all commands):");
@@ -136,8 +150,10 @@ fn usage() {
     println!("  --machines N    simulated machines                   (default 4)");
     println!("  --parts N       partitions for `partition`           (default 4)");
     println!("  --candidates K  eval candidate subsample             (default 500)");
+    println!("  --eval-threads N rank test triples on N threads; metrics are");
+    println!("                  bit-identical for any N               (default 1)");
     println!("  --out PATH      checkpoint output                    (default hetkg-model.bin)");
-    println!("  --checkpoint P  checkpoint input for `eval`");
+    println!("  --checkpoint P  checkpoint input for `eval` / `serve`");
     println!("  --seed N        master seed                          (default 42)");
     println!("  --no-overlap    disable comm/compute pipelining; reproduces the");
     println!("                  sequential timing accounting bit for bit");
@@ -196,6 +212,23 @@ fn usage() {
     println!("  --max-restarts N     supervisor restart budget per worker (default 3)");
     println!("  --oracle on|off      also run a fault-free shadow reference and");
     println!("                       check per-key divergence        (default off)");
+    println!("serving flags (serve):");
+    println!("  --checkpoint-dir DIR serve the newest valid checkpoint from a");
+    println!("                       manifest store (alternative to --checkpoint)");
+    println!("  --shards N      entity-table shards                  (default 4)");
+    println!("  --threads N     closed-loop client threads           (default 2)");
+    println!("  --queries N     timed queries per thread             (default 10000)");
+    println!("  --warmup N      untimed warmup queries per thread    (default 2000)");
+    println!("  --topk K        k for top-k queries                  (default 10)");
+    println!("  --topk-share F  fraction of queries that are top-k   (default 0.02)");
+    println!("  --zipf S        workload skew exponent (0 = uniform) (default 1.0)");
+    println!("  --cache-rows N  hot-row cache budget (0 = minimum)   (default entities/4)");
+    println!("  --warm on|off   pre-admit rows by training-data hotness; needs");
+    println!("                  --data/--synthetic                   (default off)");
+    println!("  --think-us N    per-query client think time, us      (default 0)");
+    println!("  --reload-ms N   poll --checkpoint-dir for newer checkpoints and");
+    println!("                  hot-swap without stalling readers (0 = off)");
+    println!("  --report PATH   write the full ServeReport JSON here");
 }
 
 /// Flags that stand alone (no value follows them).
@@ -279,6 +312,24 @@ fn non_negative(
             flag: name,
             message: format!("{v:?} is not an integer"),
         }),
+    }
+}
+
+/// Parse a finite, non-negative float flag.
+fn fraction(
+    flags: &HashMap<String, String>,
+    name: &'static str,
+    default: f64,
+) -> Result<f64, CliError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => match v.parse::<f64>() {
+            Ok(f) if f.is_finite() && f >= 0.0 => Ok(f),
+            _ => Err(CliError::BadFlag {
+                flag: name,
+                message: format!("{v:?} is not a non-negative number"),
+            }),
+        },
     }
 }
 
@@ -819,7 +870,11 @@ fn cmd_ps_server(flags: &HashMap<String, String>) -> Result<(), CliError> {
 }
 
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    check_flags("eval", flags, &["checkpoint", "model", "dim", "candidates"])?;
+    check_flags(
+        "eval",
+        flags,
+        &["checkpoint", "model", "dim", "candidates", "eval-threads"],
+    )?;
     let data = load_data(flags)?;
     let path = flags
         .get("checkpoint")
@@ -840,8 +895,11 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
             model.relation_dim()
         )));
     }
+    let eval_threads = positive(flags, "eval-threads", 1)?;
     let snapshot = EmbeddingSnapshot::new(ck.entities, ck.relations);
-    let breakdown = evaluate_breakdown(
+    // Metrics are bit-identical for any thread count (ranks land in fixed
+    // slots; aggregation replays them in protocol order on one thread).
+    let breakdown = evaluate_breakdown_threaded(
         model.as_ref(),
         &snapshot,
         &data.test,
@@ -851,6 +909,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
             max_candidates: Some(candidates.min(data.kg.num_entities())),
             seed: 0,
         },
+        eval_threads,
     );
     println!("overall:   {}", breakdown.overall);
     println!("head-side: {}", breakdown.head_side);
@@ -859,6 +918,198 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     println!("\nhardest relations (lowest MRR first):");
     for (r, mrr) in hardest.iter().take(5) {
         println!("  {r}: MRR {mrr:.3}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    check_flags(
+        "serve",
+        flags,
+        &[
+            "checkpoint",
+            "checkpoint-dir",
+            "model",
+            "dim",
+            "shards",
+            "threads",
+            "queries",
+            "warmup",
+            "topk",
+            "topk-share",
+            "zipf",
+            "cache-rows",
+            "warm",
+            "think-us",
+            "reload-ms",
+            "report",
+        ],
+    )?;
+    let model = parse_model(flag(flags, "model", "transe"))?.build(positive(flags, "dim", 64)?);
+    let dim = model.base_dim();
+    let shards = positive(flags, "shards", 4)?;
+    let snapshot = match (flags.get("checkpoint"), flags.get("checkpoint-dir")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::BadFlag {
+                flag: "checkpoint",
+                message: "pass either --checkpoint or --checkpoint-dir, not both".into(),
+            })
+        }
+        (Some(path), None) => {
+            let ck = Checkpoint::load(&PathBuf::from(path))
+                .map_err(|e| CliError::Checkpoint(format!("loading checkpoint: {e}")))?;
+            ServingSnapshot::from_checkpoint(&ck, 0, 0, shards)
+        }
+        (None, Some(dir)) => ServingSnapshot::load_latest(&PathBuf::from(dir), shards)
+            .map_err(|e| CliError::Checkpoint(e.to_string()))?,
+        (None, None) => return Err(CliError::MissingFlag("checkpoint")),
+    };
+    if snapshot.entities.dim() != model.entity_dim()
+        || snapshot.relations.dim() != model.relation_dim()
+    {
+        return Err(CliError::Checkpoint(format!(
+            "checkpoint widths (e{}, r{}) do not match {} at d={dim} (e{}, r{})",
+            snapshot.entities.dim(),
+            snapshot.relations.dim(),
+            model.name(),
+            model.entity_dim(),
+            model.relation_dim()
+        )));
+    }
+    let (entities, relations) = (snapshot.entities.rows(), snapshot.relations.rows());
+    let (snap_seq, snap_epoch) = (snapshot.seq, snapshot.epoch);
+    if entities == 0 || relations == 0 {
+        return Err(CliError::Checkpoint(
+            "checkpoint has no entities or no relations to serve".into(),
+        ));
+    }
+    let cache_rows = non_negative(flags, "cache-rows", (entities / 4).max(8))?;
+    let model_name = model.name();
+    let cell = std::sync::Arc::new(SnapshotCell::new(snapshot));
+    let engine = ServeEngine::new(cell.clone(), model, cache_rows)
+        .map_err(|e| CliError::Checkpoint(e.to_string()))?;
+
+    if switch(flags, "warm", false)? {
+        // Pre-admit by *training-data* hotness — the same statistic the
+        // training cache builds its hot set from. Needs the dataset.
+        let data = load_data(flags)?;
+        let mut counter = AccessCounter::new(data.kg.key_space());
+        counter.record_batch(data.kg.triples());
+        let counts = &counter.counts()[..data.kg.num_entities().min(entities)];
+        let snap = engine.snapshot();
+        engine.cache().warm(counts, snap.seq, |id| {
+            snap.entities.row(id as usize).to_vec()
+        });
+        println!(
+            "warmed {} rows from training-data hotness",
+            engine.cache().admits()
+        );
+    }
+
+    let reload_ms = non_negative(flags, "reload-ms", 0)?;
+    let reloader = match (flags.get("checkpoint-dir"), reload_ms) {
+        (Some(dir), ms) if ms > 0 => Some(SnapshotReloader::spawn(
+            cell.clone(),
+            PathBuf::from(dir),
+            shards,
+            std::time::Duration::from_millis(ms as u64),
+        )),
+        (None, ms) if ms > 0 => {
+            return Err(CliError::BadFlag {
+                flag: "reload-ms",
+                message: "hot reload needs --checkpoint-dir (a manifest store to poll)".into(),
+            })
+        }
+        _ => None,
+    };
+
+    let cfg = LoadGenConfig {
+        threads: positive(flags, "threads", 2)?,
+        queries_per_thread: positive(flags, "queries", 10_000)?,
+        warmup_per_thread: non_negative(flags, "warmup", 2_000)?,
+        topk_share: {
+            let s = fraction(flags, "topk-share", 0.02)?;
+            if s > 1.0 {
+                return Err(CliError::BadFlag {
+                    flag: "topk-share",
+                    message: format!("must be in [0, 1], got {s}"),
+                });
+            }
+            s
+        },
+        k: positive(flags, "topk", 10)?,
+        zipf_exponent: fraction(flags, "zipf", 1.0)?,
+        seed: parse_seed(flags)?,
+        think_us: non_negative(flags, "think-us", 0)? as u64,
+    };
+
+    println!(
+        "serving {model_name} d={dim}: {entities} entities, {relations} relations, \
+         {shards} shard(s), cache {} rows (snapshot seq {snap_seq}, epoch {snap_epoch})",
+        engine.cache().capacity(),
+    );
+    println!(
+        "workload: zipf({}) | topk share {:.1}% (k={}) | {} thread(s) x {} queries \
+         (+{} warmup) | think {}us",
+        cfg.zipf_exponent,
+        100.0 * cfg.topk_share,
+        cfg.k,
+        cfg.threads,
+        cfg.queries_per_thread,
+        cfg.warmup_per_thread,
+        cfg.think_us,
+    );
+
+    let run = run_load(&engine, &cfg);
+
+    println!(
+        "qps {:.0} | queries {} | errors {} | wall {:.3}s",
+        run.qps, run.queries, run.errors, run.wall_secs
+    );
+    println!(
+        "latency us: p50 {:.1} | p95 {:.1} | p99 {:.1} | p99.9 {:.1} | max {:.1} | mean {:.1}",
+        run.latency.p50_us,
+        run.latency.p95_us,
+        run.latency.p99_us,
+        run.latency.p999_us,
+        run.latency.max_us,
+        run.latency.mean_us,
+    );
+    println!(
+        "cache: hit rate {:.1}% ({} hits / {} accesses) | admits {}",
+        100.0 * run.cache.hit_ratio(),
+        run.cache.hits,
+        run.cache.total(),
+        engine.cache().admits(),
+    );
+    println!("digest {:016x}", run.digest);
+
+    if let Some(r) = reloader {
+        let reloads = r.stop();
+        if reloads > 0 {
+            println!(
+                "hot-swapped {reloads} snapshot(s) mid-run (now at seq {})",
+                engine.snapshot().seq
+            );
+        }
+    }
+
+    if let Some(path) = flags.get("report") {
+        let report = ServeReport::new(
+            model_name,
+            dim,
+            entities,
+            relations,
+            shards,
+            snap_seq,
+            snap_epoch,
+            engine.cache().capacity(),
+            &cfg,
+            &run,
+        );
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::Data(format!("writing report {path}: {e}")))?;
+        println!("report written to {path}");
     }
     Ok(())
 }

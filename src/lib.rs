@@ -57,6 +57,10 @@ pub use hetkg_train as train_sys;
 /// Link-prediction evaluation (MRR / MR / Hits@k, filtered).
 pub use hetkg_eval as eval;
 
+/// Online serving: sharded snapshots, hot-row admission cache, batched
+/// top-k, and the closed-loop load generator.
+pub use hetkg_serve as serve;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use hetkg_core::filter::FilterConfig;
@@ -81,6 +85,10 @@ pub mod prelude {
     pub use hetkg_partition::{MetisLike, Partitioner, RandomPartitioner};
     pub use hetkg_ps::optimizer::OptimizerKind;
     pub use hetkg_ps::RetryPolicy;
+    pub use hetkg_serve::{
+        run_load, LoadGenConfig, ServeEngine, ServeReport, ServingSnapshot, SnapshotCell,
+        SnapshotReloader,
+    };
     pub use hetkg_train::config::CacheConfig;
     pub use hetkg_train::trainer::snapshot;
     pub use hetkg_train::{
